@@ -1,0 +1,252 @@
+#include "bench_common.hpp"
+
+#include <cmath>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+namespace amret::bench {
+
+void SweepConfig::apply_args(const util::ArgParser& args) {
+    scale = args.get_double("scale", scale, "AMRET_SCALE");
+    model = args.get("model", model);
+    retrain_epochs = static_cast<int>(args.get_int("epochs", retrain_epochs));
+    train_samples = args.get_int("train", train_samples);
+    test_samples = args.get_int("test", test_samples);
+    lr = args.get_double("lr", lr);
+    seeds = static_cast<int>(args.get_int("seeds", seeds, "AMRET_SEEDS"));
+    if (args.get_bool("quick", false, "AMRET_QUICK")) {
+        scale = 0.5;
+        seeds = 1;
+    }
+    train_samples = static_cast<std::int64_t>(static_cast<double>(train_samples) * scale);
+    test_samples = static_cast<std::int64_t>(static_cast<double>(test_samples) * scale);
+    retrain_epochs = std::max(1, static_cast<int>(std::lround(retrain_epochs * scale)));
+    seeds = std::max(1, seeds);
+}
+
+std::string SweepConfig::key() const {
+    std::ostringstream os;
+    os << model << "|c" << classes << "|i" << image << "|w" << width_mult << "|tr"
+       << train_samples << "|te" << test_samples << "|n" << noise << "|s" << max_shift
+       << "|f" << float_epochs << "|q" << qat_epochs << "|r" << retrain_epochs << "|b"
+       << batch << "|lr" << lr << "|seed" << data_seed << "|reps" << seeds;
+    // Fingerprint the HWS selection so cached sweeps invalidate when the
+    // selected windows change.
+    os << "|hws";
+    for (const auto& name : table2_multipliers()) os << "." << bench_hws(name);
+    return os.str();
+}
+
+data::DatasetPair SweepConfig::make_data() const {
+    data::SyntheticConfig dc;
+    dc.num_classes = classes;
+    dc.height = dc.width = image;
+    dc.train_samples = train_samples;
+    dc.test_samples = test_samples;
+    dc.noise_stddev = noise;
+    dc.max_shift = max_shift;
+    dc.seed = data_seed;
+    return data::make_synthetic(dc);
+}
+
+train::PipelineConfig SweepConfig::pipeline_config() const {
+    train::PipelineConfig pc;
+    pc.model = model;
+    pc.model_config.in_size = image;
+    pc.model_config.num_classes = classes;
+    pc.model_config.width_mult = width_mult;
+    pc.float_epochs = float_epochs;
+    pc.qat_epochs = qat_epochs;
+    pc.retrain_epochs = retrain_epochs;
+    pc.train.batch_size = batch;
+    pc.train.lr = lr;
+    return pc;
+}
+
+unsigned bench_hws(const std::string& mult_name) {
+    // Selected by the paper's Sec. V-A procedure at bench scale: for each
+    // candidate HWS in {1,2,4,8,16,32,64}, train a small LeNet for a few
+    // epochs with the difference-based gradient and keep the smallest
+    // training loss (see bench_hws_ablation, which re-runs the sweep).
+    // Values differ from the paper's Table I because the training regime
+    // differs; the selection *procedure* is the reproduced artifact.
+    static const std::map<std::string, unsigned> kSelected = {
+        {"mul8u_syn1", 32}, {"mul8u_syn2", 16}, {"mul8u_2NDH", 32},
+        {"mul8u_17C8", 64}, {"mul8u_1DMU", 8},  {"mul8u_17R6", 32},
+        {"mul8u_rm8", 8},   {"mul7u_06Q", 4},   {"mul7u_073", 4},
+        {"mul7u_rm6", 4},   {"mul7u_syn1", 16}, {"mul7u_syn2", 64},
+        {"mul7u_081", 1},   {"mul7u_08E", 32},  {"mul6u_rm4", 4},
+    };
+    const auto it = kSelected.find(mult_name);
+    if (it != kSelected.end()) return it->second;
+    const auto& reg = appmult::Registry::instance();
+    return reg.contains(mult_name) ? std::max(1u, reg.info(mult_name).default_hws) : 4u;
+}
+
+const std::vector<std::string>& table2_multipliers() {
+    static const std::vector<std::string> kList = {
+        "mul8u_syn1", "mul8u_syn2", "mul8u_2NDH", "mul8u_17C8", "mul8u_1DMU",
+        "mul8u_17R6", "mul8u_rm8",  "mul7u_06Q",  "mul7u_073",  "mul7u_rm6",
+        "mul7u_syn1", "mul7u_syn2", "mul7u_081",  "mul7u_08E"};
+    return kList;
+}
+
+std::string results_dir() {
+    std::error_code ec;
+    std::filesystem::create_directories("results", ec);
+    return "results";
+}
+
+namespace {
+
+std::optional<std::vector<SweepRow>> load_cached(const std::string& path,
+                                                 const std::string& key,
+                                                 std::size_t expected_rows) {
+    std::ifstream f(path);
+    if (!f) return std::nullopt;
+    std::string line;
+    if (!std::getline(f, line) || line != "# " + key) return std::nullopt;
+    if (!std::getline(f, line)) return std::nullopt; // header
+    std::vector<SweepRow> rows;
+    while (std::getline(f, line)) {
+        std::istringstream is(line);
+        SweepRow row;
+        std::string bits, ref, init, ste, ours, hws;
+        if (!std::getline(is, row.mult, ',') || !std::getline(is, bits, ',') ||
+            !std::getline(is, ref, ',') || !std::getline(is, init, ',') ||
+            !std::getline(is, ste, ',') || !std::getline(is, ours, ',') ||
+            !std::getline(is, hws, ','))
+            return std::nullopt;
+        row.bits = static_cast<unsigned>(std::stoul(bits));
+        row.reference = std::stod(ref);
+        row.initial = std::stod(init);
+        row.ste = std::stod(ste);
+        row.ours = std::stod(ours);
+        row.hws = static_cast<unsigned>(std::stoul(hws));
+        rows.push_back(std::move(row));
+    }
+    if (rows.size() != expected_rows) return std::nullopt;
+    return rows;
+}
+
+void save_cache(const std::string& path, const std::string& key,
+                const std::vector<SweepRow>& rows) {
+    std::ofstream f(path);
+    if (!f) return;
+    f << "# " << key << "\n";
+    f << "mult,bits,reference,initial,ste,ours,hws\n";
+    for (const auto& r : rows) {
+        f << r.mult << ',' << r.bits << ',' << r.reference << ',' << r.initial << ','
+          << r.ste << ',' << r.ours << ',' << r.hws << "\n";
+    }
+}
+
+} // namespace
+
+std::vector<SweepRow> run_or_load_sweep(const SweepConfig& config,
+                                        const std::vector<std::string>& multipliers,
+                                        const std::string& cache_name) {
+    const std::string path = results_dir() + "/" + cache_name + ".csv";
+    if (auto cached = load_cached(path, config.key(), multipliers.size())) {
+        util::log_info("loaded cached sweep from ", path);
+        return *cached;
+    }
+
+    auto& reg = appmult::Registry::instance();
+    std::vector<SweepRow> rows(multipliers.size());
+    util::Stopwatch total;
+
+    // Average the whole sweep over independent repetitions: each repetition
+    // regenerates the dataset and the model initialization with shifted
+    // seeds, which tames the variance of the slim CPU-scale configuration.
+    for (int rep = 0; rep < config.seeds; ++rep) {
+        SweepConfig rep_config = config;
+        rep_config.data_seed = config.data_seed + static_cast<std::uint64_t>(rep);
+        const auto pair = rep_config.make_data();
+        train::PipelineConfig pc = rep_config.pipeline_config();
+        pc.model_config.seed = 1 + static_cast<std::uint64_t>(rep);
+        pc.train.seed = 7 + static_cast<std::uint64_t>(rep);
+        train::RetrainPipeline pipeline(pc, pair.train, pair.test);
+
+        std::map<unsigned, double> references;
+        for (std::size_t i = 0; i < multipliers.size(); ++i) {
+            const std::string& name = multipliers[i];
+            const unsigned bits = reg.info(name).bits;
+            if (!references.count(bits)) {
+                util::log_info("rep ", rep + 1, "/", config.seeds, ": preparing ",
+                               config.model, " at ", bits, " bits ...");
+                references[bits] = pipeline.prepare(bits);
+            }
+            const auto& lut = reg.lut(name);
+            SweepRow& row = rows[i];
+            row.mult = name;
+            row.bits = bits;
+            row.hws = bench_hws(name);
+
+            util::Stopwatch sw;
+            const auto ste = pipeline.retrain(lut, core::build_ste_grad(bits));
+            const auto ours =
+                pipeline.retrain(lut, core::build_difference_grad(lut, row.hws));
+            const double inv = 1.0 / static_cast<double>(config.seeds);
+            row.reference += references[bits] * inv;
+            row.initial += ste.initial_top1 * inv;
+            row.ste += ste.final_top1 * inv;
+            row.ours += ours.final_top1 * inv;
+            util::log_info("  ", name, ": init ", ste.initial_top1, " ste ",
+                           ste.final_top1, " ours ", ours.final_top1, " (",
+                           sw.seconds(), " s)");
+        }
+    }
+    util::log_info("sweep finished in ", total.seconds(), " s");
+    save_cache(path, config.key(), rows);
+    return rows;
+}
+
+void print_table2(const std::vector<SweepRow>& rows, const std::string& title) {
+    auto& reg = appmult::Registry::instance();
+    const double base_power = reg.hardware("mul8u_acc").power_uw;
+    const double base_delay = reg.hardware("mul8u_acc").delay_ps;
+
+    std::printf("%s\n", title.c_str());
+    util::TablePrinter table({"Multiplier", "Init/%", "STE/%", "Ours/%", "Improve/%",
+                              "Norm.power", "Norm.delay", "NMED/%"});
+
+    unsigned current_bits = 0;
+    double sum_init = 0.0, sum_ste = 0.0, sum_ours = 0.0;
+    for (const auto& row : rows) {
+        if (row.bits != current_bits) {
+            current_bits = row.bits;
+            const std::string acc = "mul" + std::to_string(current_bits) + "u_acc";
+            table.add_separator();
+            table.add_row({acc + " (reference " +
+                               util::TablePrinter::num(100.0 * row.reference, 2) + "%)",
+                           "-", "-", "-", "-",
+                           util::TablePrinter::num(reg.hardware(acc).power_uw / base_power, 2),
+                           util::TablePrinter::num(reg.hardware(acc).delay_ps / base_delay, 2),
+                           "0.00"});
+        }
+        const auto& hw = reg.hardware(row.mult);
+        const auto& err = reg.error(row.mult);
+        table.add_row({row.mult, util::TablePrinter::num(100.0 * row.initial, 2),
+                       util::TablePrinter::num(100.0 * row.ste, 2),
+                       util::TablePrinter::num(100.0 * row.ours, 2),
+                       util::TablePrinter::num(100.0 * (row.ours - row.ste), 2),
+                       util::TablePrinter::num(hw.power_uw / base_power, 2),
+                       util::TablePrinter::num(hw.delay_ps / base_delay, 2),
+                       util::TablePrinter::num(100.0 * err.nmed, 2)});
+        sum_init += row.initial;
+        sum_ste += row.ste;
+        sum_ours += row.ours;
+    }
+    const auto n = static_cast<double>(rows.size());
+    table.add_separator();
+    table.add_row({"mean over AppMults", util::TablePrinter::num(100.0 * sum_init / n, 2),
+                   util::TablePrinter::num(100.0 * sum_ste / n, 2),
+                   util::TablePrinter::num(100.0 * sum_ours / n, 2),
+                   util::TablePrinter::num(100.0 * (sum_ours - sum_ste) / n, 2), "-", "-",
+                   "-"});
+    table.print();
+}
+
+} // namespace amret::bench

@@ -1,0 +1,86 @@
+/// \file bench_common.hpp
+/// \brief Shared infrastructure for the paper-reproduction bench binaries.
+///
+/// Each bench binary regenerates one table or figure of the paper. They
+/// share: the scaled-down experiment configuration (CPU-sized stand-ins for
+/// CIFAR-10/100 + VGG19/ResNet), the Table II sweep runner with CSV result
+/// caching (so e.g. bench_fig5 and bench_table2_resnet don't both pay for
+/// the same retraining sweep), and the per-multiplier half-window sizes
+/// selected for this scale by the Sec. V-A procedure (see
+/// bench_hws_ablation for the selection sweep itself).
+#pragma once
+
+#include "amret.hpp"
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace amret::bench {
+
+/// One experiment configuration for a Table II style sweep.
+struct SweepConfig {
+    std::string model = "vgg19";
+    int classes = 10;
+    std::int64_t image = 8;
+    float width_mult = 0.125f;
+    std::int64_t train_samples = 600;
+    std::int64_t test_samples = 500;
+    float noise = 0.5f;
+    int max_shift = 2;
+    int float_epochs = 5;
+    int qat_epochs = 3;
+    int retrain_epochs = 3;
+    std::int64_t batch = 32;
+    double lr = 1e-3;
+    std::uint64_t data_seed = 42;
+    int seeds = 2;      ///< independent repetitions averaged per row
+    double scale = 1.0; ///< multiplies samples and retrain epochs
+
+    /// Applies --scale / AMRET_SCALE and related CLI overrides.
+    void apply_args(const util::ArgParser& args);
+
+    /// Stable string identity used to validate cached results.
+    [[nodiscard]] std::string key() const;
+
+    [[nodiscard]] data::DatasetPair make_data() const;
+    [[nodiscard]] train::PipelineConfig pipeline_config() const;
+};
+
+/// One multiplier row of a Table II style sweep.
+struct SweepRow {
+    std::string mult;
+    unsigned bits = 0;
+    double reference = 0.0; ///< QAT accuracy with the AccMult of this width
+    double initial = 0.0;   ///< after the AppMult swap, before retraining
+    double ste = 0.0;       ///< after retraining with the STE gradient
+    double ours = 0.0;      ///< after retraining with the difference gradient
+    unsigned hws = 0;       ///< half window size used for `ours`
+};
+
+/// Per-multiplier half window sizes selected at bench scale using the
+/// paper's Sec. V-A procedure (short-training sweep, smallest loss). The
+/// paper's own Table I values target RTX-3090-scale runs; these are the
+/// equivalents for the slim CPU configuration. Names missing here fall back
+/// to the registry default.
+unsigned bench_hws(const std::string& mult_name);
+
+/// The paper's Table II multiplier lineup (8-bit then 7-bit AppMults).
+const std::vector<std::string>& table2_multipliers();
+
+/// Runs the full STE-vs-Ours sweep for \p multipliers, reusing a cached CSV
+/// in `results/` when its config key matches (delete `results/` to force a
+/// rerun). Rows come back in input order.
+std::vector<SweepRow> run_or_load_sweep(const SweepConfig& config,
+                                        const std::vector<std::string>& multipliers,
+                                        const std::string& cache_name);
+
+/// Renders sweep rows in the paper's Table II format (plus hardware columns
+/// normalized to mul8u_acc).
+void print_table2(const std::vector<SweepRow>& rows, const std::string& title);
+
+/// results/ directory (created on demand).
+std::string results_dir();
+
+} // namespace amret::bench

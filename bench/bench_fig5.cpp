@@ -1,0 +1,55 @@
+/// \file bench_fig5.cpp
+/// \brief Regenerates Fig. 5: ResNet18 accuracy after retraining versus
+///        normalized multiplier power, for 7-bit (a) and 8-bit (b) AppMults,
+///        STE vs Ours, with the AccMult reference accuracy line.
+///
+/// Runs (or reuses) the same sweep as bench_table2_resnet and prints the
+/// scatter series; CSV saved for plotting.
+#include "bench_common.hpp"
+
+#include <cstdio>
+
+using namespace amret;
+
+int main(int argc, char** argv) {
+    const util::ArgParser args(argc, argv);
+    bench::SweepConfig config;
+    config.model = "resnet18";
+    config.apply_args(args);
+
+    const auto rows =
+        bench::run_or_load_sweep(config, bench::table2_multipliers(), "table2_resnet");
+
+    auto& reg = appmult::Registry::instance();
+    const double base_power = reg.hardware("mul8u_acc").power_uw;
+
+    util::CsvWriter csv({"panel", "multiplier", "norm_power", "ste_acc", "ours_acc",
+                         "reference_acc"});
+    for (unsigned bits : {7u, 8u}) {
+        const std::string acc_name = "mul" + std::to_string(bits) + "u_acc";
+        const double acc_power = reg.hardware(acc_name).power_uw / base_power;
+
+        std::printf("\nFig. 5(%c): %u-bit AppMults — accuracy vs normalized power "
+                    "(norm. power of %s = %.2f)\n",
+                    bits == 7 ? 'a' : 'b', bits, acc_name.c_str(), acc_power);
+
+        util::TablePrinter table(
+            {"Multiplier", "Norm.power", "STE acc/%", "Ours acc/%", "Ref acc/%"});
+        for (const auto& row : rows) {
+            if (row.bits != bits) continue;
+            const double power = reg.hardware(row.mult).power_uw / base_power;
+            table.add_row({row.mult, util::TablePrinter::num(power, 2),
+                           util::TablePrinter::num(100.0 * row.ste, 2),
+                           util::TablePrinter::num(100.0 * row.ours, 2),
+                           util::TablePrinter::num(100.0 * row.reference, 2)});
+            csv.add_row({std::string(bits == 7 ? "a" : "b"), row.mult,
+                         std::to_string(power), std::to_string(row.ste),
+                         std::to_string(row.ours), std::to_string(row.reference)});
+        }
+        table.print();
+    }
+    const std::string path = bench::results_dir() + "/fig5.csv";
+    csv.save(path);
+    std::printf("\nscatter series saved to %s\n", path.c_str());
+    return 0;
+}

@@ -1,0 +1,80 @@
+/// \file bench_fig6.cpp
+/// \brief Regenerates Fig. 6: top-5 test accuracy versus retraining epoch
+///        for ResNet34 (a) and ResNet50 (b) with the 6-bit AppMult
+///        mul6u_rm4, STE vs the difference-based gradient.
+///
+/// Scaled substitution: slim ResNets on a CIFAR-100-like synthetic task
+/// (many classes so top-5 is meaningful); epoch count scaled by --scale.
+#include "bench_common.hpp"
+
+#include <cstdio>
+
+using namespace amret;
+
+namespace {
+
+struct CurvePair {
+    std::vector<double> ste;
+    std::vector<double> ours;
+    double initial_top5 = 0.0;
+};
+
+CurvePair run_model(const std::string& model, const bench::SweepConfig& base) {
+    bench::SweepConfig config = base;
+    config.model = model;
+
+    const auto pair = config.make_data();
+    train::RetrainPipeline pipeline(config.pipeline_config(), pair.train, pair.test);
+    pipeline.prepare(6);
+
+    auto& reg = appmult::Registry::instance();
+    const auto& lut = reg.lut("mul6u_rm4");
+
+    CurvePair curves;
+    const auto ste = pipeline.retrain(lut, core::build_ste_grad(6));
+    const auto ours = pipeline.retrain(
+        lut, core::build_difference_grad(lut, bench::bench_hws("mul6u_rm4")));
+    curves.initial_top5 = ste.initial_top5;
+    for (const auto& epoch : ste.history.test) curves.ste.push_back(epoch.top5);
+    for (const auto& epoch : ours.history.test) curves.ours.push_back(epoch.top5);
+    return curves;
+}
+
+} // namespace
+
+int main(int argc, char** argv) {
+    const util::ArgParser args(argc, argv);
+    bench::SweepConfig config;
+    // CIFAR-100-like: many classes, a bit more data so top-5 separates.
+    config.classes = 40;
+    config.train_samples = 800;
+    config.test_samples = 400;
+    config.retrain_epochs = 8;
+    config.apply_args(args);
+
+    util::CsvWriter csv({"model", "epoch", "ste_top5", "ours_top5"});
+    for (const std::string model : {"resnet34", "resnet50"}) {
+        util::log_info("running ", model, " (mul6u_rm4, CIFAR-100-like) ...");
+        const auto curves = run_model(model, config);
+
+        std::printf("\nFig. 6(%s): %s, top-5 accuracy vs epoch, mul6u_rm4\n",
+                    model == "resnet34" ? "a" : "b", model.c_str());
+        std::printf("initial (before retraining): %.2f%%\n",
+                    100.0 * curves.initial_top5);
+        util::TablePrinter table({"Epoch", "STE top-5/%", "Ours top-5/%"});
+        for (std::size_t e = 0; e < curves.ste.size(); ++e) {
+            table.add_row({std::to_string(e + 1),
+                           util::TablePrinter::num(100.0 * curves.ste[e], 2),
+                           util::TablePrinter::num(100.0 * curves.ours[e], 2)});
+            csv.add_row({model, std::to_string(e + 1), std::to_string(curves.ste[e]),
+                         std::to_string(curves.ours[e])});
+        }
+        table.print();
+        std::printf("final: STE %.2f%%  Ours %.2f%%\n",
+                    100.0 * curves.ste.back(), 100.0 * curves.ours.back());
+    }
+    const std::string path = bench::results_dir() + "/fig6.csv";
+    csv.save(path);
+    std::printf("\ncurves saved to %s\n", path.c_str());
+    return 0;
+}

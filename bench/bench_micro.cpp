@@ -1,0 +1,145 @@
+/// \file bench_micro.cpp
+/// \brief google-benchmark micro-benchmarks for the hot kernels: LUT-based
+///        multiplication GEMM (forward), gradient-LUT GEMM (backward),
+///        gradient-table construction, exhaustive netlist simulation, and
+///        the float conv used for pretraining. Quantifies the Sec. V-B
+///        runtime-overhead observation (ours ~1.4-2.6x STE) at kernel level.
+#include "amret.hpp"
+#include "approx/lut_gemm.hpp"
+
+#include <benchmark/benchmark.h>
+
+namespace {
+
+using namespace amret;
+
+void BM_LutForwardGemm(benchmark::State& state) {
+    const unsigned bits = static_cast<unsigned>(state.range(0));
+    const std::int64_t o = 16, p = 256, k = 72;
+    const auto lut = appmult::AppMultLut::exact(bits);
+    util::Rng rng(1);
+    std::vector<std::uint16_t> wq(static_cast<std::size_t>(o * k));
+    std::vector<std::uint16_t> xq(static_cast<std::size_t>(p * k));
+    for (auto& v : wq) v = static_cast<std::uint16_t>(rng.uniform_u64(lut.domain()));
+    for (auto& v : xq) v = static_cast<std::uint16_t>(rng.uniform_u64(lut.domain()));
+
+    approx::LutGemmArgs args;
+    args.bits = bits;
+    args.lut = lut.table().data();
+    args.wq = wq.data();
+    args.xq = xq.data();
+    args.o = o;
+    args.p = p;
+    args.k = k;
+    std::vector<float> y(static_cast<std::size_t>(p * o));
+    for (auto _ : state) {
+        approx::lut_forward(args, nullptr, y.data());
+        benchmark::DoNotOptimize(y.data());
+    }
+    state.SetItemsProcessed(state.iterations() * o * p * k);
+}
+BENCHMARK(BM_LutForwardGemm)->Arg(6)->Arg(7)->Arg(8);
+
+void BM_LutBackwardGemm(benchmark::State& state) {
+    const unsigned bits = static_cast<unsigned>(state.range(0));
+    const std::int64_t o = 16, p = 256, k = 72;
+    const auto lut = appmult::AppMultLut::exact(bits);
+    const auto grad = core::build_ste_grad(bits);
+    util::Rng rng(2);
+    std::vector<std::uint16_t> wq(static_cast<std::size_t>(o * k));
+    std::vector<std::uint16_t> xq(static_cast<std::size_t>(p * k));
+    std::vector<float> gyp(static_cast<std::size_t>(p * o));
+    for (auto& v : wq) v = static_cast<std::uint16_t>(rng.uniform_u64(lut.domain()));
+    for (auto& v : xq) v = static_cast<std::uint16_t>(rng.uniform_u64(lut.domain()));
+    for (auto& v : gyp) v = static_cast<float>(rng.normal());
+
+    approx::LutGemmArgs args;
+    args.bits = bits;
+    args.lut = lut.table().data();
+    args.wq = wq.data();
+    args.xq = xq.data();
+    args.o = o;
+    args.p = p;
+    args.k = k;
+    std::vector<float> gw(static_cast<std::size_t>(o * k));
+    std::vector<float> gx(static_cast<std::size_t>(p * k));
+    for (auto _ : state) {
+        std::fill(gw.begin(), gw.end(), 0.0f);
+        std::fill(gx.begin(), gx.end(), 0.0f);
+        approx::lut_backward(args, gyp.data(), grad.dw_table().data(),
+                             grad.dx_table().data(), gw.data(), gx.data());
+        benchmark::DoNotOptimize(gw.data());
+    }
+    state.SetItemsProcessed(state.iterations() * o * p * k);
+}
+BENCHMARK(BM_LutBackwardGemm)->Arg(6)->Arg(7)->Arg(8);
+
+void BM_BuildDifferenceGrad(benchmark::State& state) {
+    const unsigned bits = static_cast<unsigned>(state.range(0));
+    const auto& lut = appmult::Registry::instance().lut(
+        bits == 8 ? "mul8u_rm8" : bits == 7 ? "mul7u_rm6" : "mul6u_rm4");
+    for (auto _ : state) {
+        auto grad = core::build_difference_grad(lut, 8);
+        benchmark::DoNotOptimize(grad.dw_table().data());
+    }
+}
+BENCHMARK(BM_BuildDifferenceGrad)->Arg(6)->Arg(7)->Arg(8);
+
+void BM_BuildSteGrad(benchmark::State& state) {
+    const unsigned bits = static_cast<unsigned>(state.range(0));
+    for (auto _ : state) {
+        auto grad = core::build_ste_grad(bits);
+        benchmark::DoNotOptimize(grad.dw_table().data());
+    }
+}
+BENCHMARK(BM_BuildSteGrad)->Arg(7)->Arg(8);
+
+void BM_ExhaustiveNetlistSim(benchmark::State& state) {
+    const unsigned bits = static_cast<unsigned>(state.range(0));
+    const auto nl = multgen::build_netlist(multgen::exact_spec(bits));
+    for (auto _ : state) {
+        auto result = netlist::simulate_exhaustive(nl);
+        benchmark::DoNotOptimize(result.outputs.data());
+    }
+}
+BENCHMARK(BM_ExhaustiveNetlistSim)->Arg(6)->Arg(7)->Arg(8);
+
+void BM_FloatConvForward(benchmark::State& state) {
+    util::Rng rng(3);
+    approx::ApproxConv2d conv(8, 16, 3, 1, 1, rng);
+    conv.set_mode(approx::ComputeMode::kFloat);
+    const tensor::Tensor x = tensor::Tensor::randn(tensor::Shape{4, 8, 16, 16}, rng);
+    for (auto _ : state) {
+        auto y = conv.forward(x);
+        benchmark::DoNotOptimize(y.data());
+    }
+}
+BENCHMARK(BM_FloatConvForward);
+
+void BM_QuantConvForward(benchmark::State& state) {
+    util::Rng rng(4);
+    approx::ApproxConv2d conv(8, 16, 3, 1, 1, rng);
+    conv.set_multiplier(approx::MultiplierConfig::exact_ste(8));
+    conv.set_mode(approx::ComputeMode::kQuantized);
+    const tensor::Tensor x = tensor::Tensor::randn(tensor::Shape{4, 8, 16, 16}, rng);
+    for (auto _ : state) {
+        auto y = conv.forward(x);
+        benchmark::DoNotOptimize(y.data());
+    }
+}
+BENCHMARK(BM_QuantConvForward);
+
+void BM_SmoothRow(benchmark::State& state) {
+    std::vector<double> row(256);
+    for (std::size_t i = 0; i < row.size(); ++i)
+        row[i] = static_cast<double>((i * 37) % 97);
+    for (auto _ : state) {
+        auto s = core::smooth_row(row, static_cast<unsigned>(state.range(0)));
+        benchmark::DoNotOptimize(s.data());
+    }
+}
+BENCHMARK(BM_SmoothRow)->Arg(4)->Arg(32);
+
+} // namespace
+
+BENCHMARK_MAIN();

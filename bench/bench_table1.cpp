@@ -1,0 +1,81 @@
+/// \file bench_table1.cpp
+/// \brief Regenerates Table I: characteristics of all tested multipliers —
+///        area, delay, power (netlist STA + activity power model standing in
+///        for Synopsys DC + ASAP7), the ER/NMED/MaxED error metrics of
+///        Eq. (2) by exhaustive enumeration, and the selected HWS.
+///
+/// Flags: --hws-search runs the actual Sec. V-A LeNet sweep per AppMult
+/// (slower) instead of reporting the precomputed bench-scale selection.
+#include "bench_common.hpp"
+
+#include <cstdio>
+
+using namespace amret;
+
+int main(int argc, char** argv) {
+    const util::ArgParser args(argc, argv);
+    const bool do_search = args.get_bool("hws-search", false);
+
+    auto& reg = appmult::Registry::instance();
+    util::TablePrinter table({"Multiplier", "Area/um2", "Delay/ps", "Power/uW",
+                              "ER/%", "NMED/%", "MaxED", "HWS", "Construction"});
+    util::CsvWriter csv({"multiplier", "area_um2", "delay_ps", "power_uw", "er",
+                         "nmed", "max_ed", "hws"});
+
+    // Optional: reproduce the HWS selection procedure live.
+    data::DatasetPair hws_data;
+    train::HwsSearchConfig hws_config;
+    if (do_search) {
+        data::SyntheticConfig dc;
+        dc.num_classes = 10;
+        dc.height = dc.width = 8;
+        dc.train_samples = 200;
+        dc.test_samples = 50;
+        hws_data = data::make_synthetic(dc);
+        hws_config.epochs = 2;
+        hws_config.lenet.in_size = 8;
+        hws_config.lenet.num_classes = 10;
+        hws_config.lenet.width_mult = 0.5f;
+        hws_config.train.batch_size = 32;
+        hws_config.train.lr = 1e-3;
+    }
+
+    unsigned previous_bits = 0;
+    for (const auto& name : reg.names()) {
+        const auto& info = reg.info(name);
+        if (info.bits != previous_bits) {
+            table.add_separator();
+            previous_bits = info.bits;
+        }
+        const auto& hw = reg.hardware(name);
+        const auto& err = reg.error(name);
+
+        std::string hws = "N/A";
+        if (info.approximate) {
+            if (do_search) {
+                const auto sel =
+                    train::search_hws(reg.lut(name), hws_data.train, hws_config);
+                hws = std::to_string(sel.best_hws);
+            } else {
+                hws = std::to_string(bench::bench_hws(name));
+            }
+        }
+        table.add_row({name, util::TablePrinter::num(hw.area_um2, 1),
+                       util::TablePrinter::num(hw.delay_ps, 1),
+                       util::TablePrinter::num(hw.power_uw, 2),
+                       util::TablePrinter::num(100.0 * err.error_rate, 1),
+                       util::TablePrinter::num(100.0 * err.nmed, 2),
+                       std::to_string(err.max_ed), hws, info.family});
+        csv.add_row({name, std::to_string(hw.area_um2), std::to_string(hw.delay_ps),
+                     std::to_string(hw.power_uw), std::to_string(err.error_rate),
+                     std::to_string(err.nmed), std::to_string(err.max_ed), hws});
+    }
+
+    std::printf("Table I: characteristics of tested unsigned multipliers\n");
+    std::printf("(area/delay/power: calibrated gate-level model standing in for "
+                "DC+ASAP7; errors: exhaustive enumeration, Eq. 2)\n");
+    table.print();
+    csv.save(bench::results_dir() + "/table1.csv");
+    std::printf("\nrows saved to %s/table1.csv\n", bench::results_dir().c_str());
+    return 0;
+}

@@ -1,0 +1,23 @@
+/// \file bench_table2_resnet.cpp
+/// \brief Regenerates Table II (bottom): ResNet18 on the CIFAR-10-like task,
+///        STE vs difference-based gradient for every 7/8-bit AppMult.
+///
+/// Shares its sweep cache (results/table2_resnet.csv) with bench_fig5,
+/// which plots the same data as accuracy-vs-power trade-off curves.
+#include "bench_common.hpp"
+
+using namespace amret;
+
+int main(int argc, char** argv) {
+    const util::ArgParser args(argc, argv);
+    bench::SweepConfig config;
+    config.model = "resnet18";
+    config.apply_args(args);
+
+    const auto rows =
+        bench::run_or_load_sweep(config, bench::table2_multipliers(), "table2_resnet");
+    bench::print_table2(rows,
+                        "Table II (bottom): ResNet18, STE vs difference-based "
+                        "gradient (CIFAR-10-like synthetic task, slim model)");
+    return 0;
+}

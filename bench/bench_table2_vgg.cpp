@@ -1,0 +1,25 @@
+/// \file bench_table2_vgg.cpp
+/// \brief Regenerates Table II (top): VGG19 on the CIFAR-10-like task,
+///        comparing STE-based retraining against the difference-based
+///        gradient for every 7- and 8-bit AppMult of Table I.
+///
+/// Scaled substitution: slim VGG19 (width 1/8) on 8x8 synthetic 10-class
+/// images, few epochs — see DESIGN.md section 2. Use --scale / AMRET_SCALE
+/// to grow the run; results cache in results/table2_vgg.csv.
+#include "bench_common.hpp"
+
+using namespace amret;
+
+int main(int argc, char** argv) {
+    const util::ArgParser args(argc, argv);
+    bench::SweepConfig config;
+    config.model = "vgg19";
+    config.apply_args(args);
+
+    const auto rows =
+        bench::run_or_load_sweep(config, bench::table2_multipliers(), "table2_vgg");
+    bench::print_table2(rows,
+                        "Table II (top): VGG19, STE vs difference-based gradient "
+                        "(CIFAR-10-like synthetic task, slim model)");
+    return 0;
+}

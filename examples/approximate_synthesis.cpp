@@ -1,0 +1,89 @@
+/// \file approximate_synthesis.cpp
+/// \brief Using the approximate-logic-synthesis engine directly: synthesize
+///        approximate multipliers at several error budgets from the exact
+///        array multiplier, inspect the area/error trade-off, export
+///        Verilog, and push one result through HWS selection + retraining.
+#include "amret.hpp"
+
+#include <cstdio>
+
+using namespace amret;
+
+int main(int argc, char** argv) {
+    const util::ArgParser args(argc, argv);
+    const auto bits = static_cast<unsigned>(args.get_int("bits", 6));
+
+    const auto exact = multgen::build_netlist(multgen::exact_spec(bits));
+    const auto exact_hw = netlist::analyze(exact);
+    std::printf("exact %u-bit array multiplier: %zu gates, %.1f um^2, %.2f uW\n\n",
+                bits, exact.gate_count(), exact_hw.area_um2, exact_hw.power_uw);
+
+    std::printf("greedy approximate synthesis at increasing NMED budgets:\n");
+    util::TablePrinter table({"NMED budget/%", "Rewrites", "Gates", "Area/um2",
+                              "Power/uW", "NMED/%", "ER/%", "MaxED"});
+    netlist::Netlist chosen = exact;
+    for (const double budget : {0.05, 0.15, 0.4, 1.0}) {
+        als::AlsOptions options;
+        options.nmed_budget = budget / 100.0;
+        const auto result = als::synthesize(exact, options);
+        const auto hw = netlist::analyze(result.netlist);
+        table.add_row({util::TablePrinter::num(budget, 2),
+                       std::to_string(result.moves),
+                       std::to_string(result.netlist.gate_count()),
+                       util::TablePrinter::num(hw.area_um2, 1),
+                       util::TablePrinter::num(hw.power_uw, 2),
+                       util::TablePrinter::num(100.0 * result.metrics.nmed, 3),
+                       util::TablePrinter::num(100.0 * result.metrics.error_rate, 1),
+                       std::to_string(result.metrics.max_ed)});
+        if (budget == 0.4) chosen = result.netlist;
+    }
+    table.print();
+
+    // Inspect the chosen circuit.
+    std::printf("\nVerilog of the 0.4%%-budget circuit (first lines):\n");
+    const std::string verilog = chosen.to_verilog("als_mult");
+    std::printf("%s...\n", verilog.substr(0, 240).c_str());
+
+    // Select a half window size for it, then retrain a small CNN.
+    const auto lut = appmult::AppMultLut::from_netlist(bits, chosen);
+    data::SyntheticConfig dc;
+    dc.num_classes = 10;
+    dc.height = dc.width = 8;
+    dc.train_samples = 300;
+    dc.test_samples = 150;
+    const auto dataset = data::make_synthetic(dc);
+
+    train::HwsSearchConfig hws_config;
+    hws_config.candidates = {1, 2, 4, 8, 16};
+    hws_config.epochs = 2;
+    hws_config.lenet.in_size = 8;
+    hws_config.lenet.num_classes = 10;
+    hws_config.lenet.width_mult = 0.5f;
+    hws_config.train.batch_size = 32;
+    hws_config.train.lr = 2e-3;
+    const auto selection = train::search_hws(lut, dataset.train, hws_config);
+    std::printf("\nHWS selection (Sec. V-A procedure): best HWS = %u\n",
+                selection.best_hws);
+    for (const auto& [hws, loss] : selection.losses)
+        std::printf("  hws %2u -> training loss %.4f\n", hws, loss);
+
+    train::PipelineConfig pc;
+    pc.model = "lenet";
+    pc.model_config.in_size = 8;
+    pc.model_config.num_classes = 10;
+    pc.model_config.width_mult = 0.5f;
+    pc.float_epochs = 4;
+    pc.qat_epochs = 2;
+    pc.retrain_epochs = 3;
+    pc.train.batch_size = 32;
+    pc.train.lr = 2e-3;
+    train::RetrainPipeline pipeline(pc, dataset.train, dataset.test);
+    const double reference = pipeline.prepare(bits);
+    const auto outcome =
+        pipeline.retrain(lut, core::build_difference_grad(lut, selection.best_hws));
+    std::printf("\nretraining with the synthesized multiplier: reference %.1f%%, "
+                "swap %.1f%%, retrained %.1f%%\n",
+                100.0 * reference, 100.0 * outcome.initial_top1,
+                100.0 * outcome.final_top1);
+    return 0;
+}

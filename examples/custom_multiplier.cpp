@@ -1,0 +1,80 @@
+/// \file custom_multiplier.cpp
+/// \brief Defining your own approximate multiplier and your own gradient.
+///
+/// Shows the three extension points the framework offers (Sec. IV's
+/// "user-defined gradients" hook):
+///   1. a custom multiplier from a parametric spec (registered by name),
+///   2. a custom multiplier from an arbitrary behavioural function,
+///   3. a custom gradient rule compared against STE / difference-based,
+/// plus the signed-domain generic gradient builder.
+#include "amret.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+using namespace amret;
+
+int main() {
+    // --- 1. Parametric spec, registered like the built-ins ---------------
+    auto& registry = appmult::Registry::instance();
+    registry.register_spec("my_mul8u_ba", multgen::broken_array_spec(8, 6, 5, 2),
+                           /*default_hws=*/16);
+    const auto& err = registry.error("my_mul8u_ba");
+    const auto& hw = registry.hardware("my_mul8u_ba");
+    std::printf("my_mul8u_ba: NMED = %.2f%%, power = %.2f uW, area = %.1f um^2\n",
+                100.0 * err.nmed, hw.power_uw, hw.area_um2);
+
+    // The gate-level circuit is available too — e.g. for Verilog export.
+    const auto& circuit = registry.circuit("my_mul8u_ba");
+    std::printf("circuit: %zu gates; Verilog header:\n  %s...\n", circuit.gate_count(),
+                circuit.to_verilog("my_mul8u_ba").substr(0, 60).c_str());
+
+    // --- 2. Arbitrary behavioural function -------------------------------
+    // A "round to nearest multiple of 8" multiplier, LUT-ified directly.
+    const appmult::AppMultLut rounded(7, [](std::uint64_t w, std::uint64_t x) {
+        return ((w * x + 4) / 8) * 8;
+    });
+    const auto rounded_err = appmult::measure_error(rounded);
+    std::printf("\nrounded-product multiplier: ER = %.1f%%, NMED = %.3f%%\n",
+                100.0 * rounded_err.error_rate, 100.0 * rounded_err.nmed);
+
+    // --- 3. Custom gradient rule ------------------------------------------
+    // Anything can drive the backward pass; here, a damped STE.
+    const core::GradLut damped = core::build_custom_grad(
+        7,
+        [](std::uint64_t, std::uint64_t x) { return 0.5 * static_cast<double>(x); },
+        [](std::uint64_t w, std::uint64_t) { return 0.5 * static_cast<double>(w); });
+    const core::GradLut diff = core::build_difference_grad(rounded, 4);
+    std::printf("dAM/dX at (20, 60): damped custom = %.1f, difference-based = %.1f, "
+                "STE = 20.0\n",
+                damped.dx(20, 60), diff.dx(20, 60));
+
+    // Use it in a layer exactly like the built-in gradients.
+    util::Rng rng(7);
+    approx::ApproxConv2d conv(3, 8, 3, 1, 1, rng);
+    approx::MultiplierConfig config;
+    config.lut = std::make_shared<appmult::AppMultLut>(rounded);
+    config.grad = std::make_shared<core::GradLut>(damped);
+    conv.set_multiplier(config);
+    conv.set_mode(approx::ComputeMode::kQuantized);
+    const tensor::Tensor x = tensor::Tensor::randn(tensor::Shape{1, 3, 8, 8}, rng);
+    const tensor::Tensor y = conv.forward(x);
+    std::printf("quantized forward through the custom multiplier: output %s, "
+                "mean %.4f\n",
+                y.shape_str().c_str(), y.mean());
+
+    // --- 4. Signed multipliers via the generic builder --------------------
+    const auto signed_tables = core::build_difference_grad_generic(
+        -64, 128,
+        [](std::int64_t w, std::int64_t x) {
+            // A signed multiplier that truncates the low 3 product bits.
+            const std::int64_t p = w * x;
+            return static_cast<double>((p >> 3) << 3);
+        },
+        /*hws=*/4);
+    const std::size_t idx =
+        static_cast<std::size_t>((10 + 64) * 128 + (-20 + 64));
+    std::printf("signed multiplier dAM/dX at (w=10, x=-20): %.2f (exact slope 10)\n",
+                signed_tables.d_dx[idx]);
+    return 0;
+}

@@ -1,0 +1,73 @@
+/// \file design_space_exploration.cpp
+/// \brief Accuracy / power design-space exploration across a truncation
+///        sweep — the workflow the paper's introduction motivates: pick the
+///        cheapest multiplier whose *retrained* accuracy is acceptable.
+///
+/// For each rm-k multiplier (k = 4..9, 8-bit) this example measures the
+/// hardware cost, the accuracy right after the swap, and the accuracy after
+/// difference-based retraining, then prints the Pareto view.
+#include "amret.hpp"
+
+#include <cstdio>
+
+using namespace amret;
+
+int main(int argc, char** argv) {
+    const util::ArgParser args(argc, argv);
+    const double scale = args.get_double("scale", 1.0, "AMRET_SCALE");
+
+    data::SyntheticConfig dc;
+    dc.num_classes = 10;
+    dc.height = dc.width = 8;
+    dc.train_samples = static_cast<std::int64_t>(500 * scale);
+    dc.test_samples = static_cast<std::int64_t>(250 * scale);
+    dc.noise_stddev = 0.4f;
+    const auto dataset = data::make_synthetic(dc);
+
+    train::PipelineConfig pc;
+    pc.model = "lenet";
+    pc.model_config.in_size = 8;
+    pc.model_config.num_classes = 10;
+    pc.model_config.width_mult = 0.5f;
+    pc.float_epochs = 4;
+    pc.qat_epochs = 2;
+    pc.retrain_epochs = std::max(1, static_cast<int>(3 * scale));
+    pc.train.batch_size = 32;
+    pc.train.lr = 2e-3;
+
+    train::RetrainPipeline pipeline(pc, dataset.train, dataset.test);
+    const double reference = pipeline.prepare(8);
+    const double base_power =
+        netlist::analyze(multgen::build_netlist(multgen::exact_spec(8))).power_uw;
+
+    std::printf("Design-space exploration: 8-bit truncated multipliers rm4..rm9\n");
+    std::printf("reference accuracy (exact 8-bit): %.1f%%\n\n", 100.0 * reference);
+
+    util::TablePrinter table({"Multiplier", "NMED/%", "Power/uW", "Power saving/%",
+                              "Swap acc/%", "Retrained acc/%", "Acc drop/%"});
+    for (unsigned k = 4; k <= 9; ++k) {
+        const auto spec = multgen::truncated_spec(8, k);
+        const auto netlist = multgen::build_netlist(spec);
+        const auto hw = netlist::analyze(netlist);
+        const appmult::AppMultLut lut(8, [&](std::uint64_t w, std::uint64_t x) {
+            return multgen::behavioral(spec, w, x);
+        });
+        const auto err = appmult::measure_error(lut);
+        const auto outcome =
+            pipeline.retrain(lut, core::build_difference_grad(lut, 32));
+
+        table.add_row({"mul8u_rm" + std::to_string(k),
+                       util::TablePrinter::num(100.0 * err.nmed, 2),
+                       util::TablePrinter::num(hw.power_uw, 2),
+                       util::TablePrinter::num(100.0 * (1.0 - hw.power_uw / base_power), 1),
+                       util::TablePrinter::num(100.0 * outcome.initial_top1, 1),
+                       util::TablePrinter::num(100.0 * outcome.final_top1, 1),
+                       util::TablePrinter::num(100.0 * (reference - outcome.final_top1), 1)});
+    }
+    table.print();
+    std::printf("\nReading the table: pick the largest k whose accuracy drop is "
+                "acceptable;\nretraining turns otherwise unusable multipliers "
+                "(near-random swap accuracy)\ninto viable low-power designs — "
+                "the paper's central point.\n");
+    return 0;
+}

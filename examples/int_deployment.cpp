@@ -1,0 +1,76 @@
+/// \file int_deployment.cpp
+/// \brief The full journey of Fig. 1 ending at the accelerator: pretrain,
+///        quantize, swap in an approximate multiplier, retrain with the
+///        difference-based gradient, then COMPILE the model to
+///        integer-arithmetic-only form (the code an AppMult accelerator
+///        actually runs) and compare float/fake-quant/int-only accuracies
+///        and the energy bill.
+#include "amret.hpp"
+
+#include <cstdio>
+
+using namespace amret;
+
+int main(int argc, char** argv) {
+    const util::ArgParser args(argc, argv);
+    const std::string mult = args.get("mult", "mul7u_rm6");
+
+    // --- Task and model -----------------------------------------------------
+    data::SyntheticConfig dc;
+    dc.num_classes = 8;
+    dc.height = dc.width = 8;
+    dc.train_samples = 480;
+    dc.test_samples = 240;
+    dc.noise_stddev = 0.35f;
+    const auto dataset = data::make_synthetic(dc);
+
+    train::PipelineConfig pc;
+    pc.model = "lenet";
+    pc.model_config.in_size = 8;
+    pc.model_config.num_classes = 8;
+    pc.model_config.width_mult = 0.5f;
+    pc.float_epochs = 5;
+    pc.qat_epochs = 3;
+    pc.retrain_epochs = 4;
+    pc.train.batch_size = 32;
+    pc.train.lr = 2e-3;
+
+    auto& reg = appmult::Registry::instance();
+    const auto& lut = reg.lut(mult);
+    const unsigned bits = lut.bits();
+
+    // --- Fig. 1 flow --------------------------------------------------------
+    train::RetrainPipeline pipeline(pc, dataset.train, dataset.test);
+    const double reference = pipeline.prepare(bits);
+    const auto outcome = pipeline.retrain(
+        lut, core::build_difference_grad(lut, reg.info(mult).default_hws));
+    std::printf("Fig. 1 flow with %s:\n", mult.c_str());
+    std::printf("  QAT reference accuracy (AccMult):   %.1f%%\n", 100.0 * reference);
+    std::printf("  after AppMult swap (no retraining): %.1f%%\n",
+                100.0 * outcome.initial_top1);
+    std::printf("  after difference-based retraining:  %.1f%%\n",
+                100.0 * outcome.final_top1);
+
+    // --- Deployment: integer-only compilation -------------------------------
+    auto& model = dynamic_cast<nn::Sequential&>(pipeline.model());
+    model.set_training(false);
+    approx::IntInferenceEngine engine(model, dataset.train, 128);
+    const double int_acc = engine.evaluate(dataset.test);
+    std::printf("\ninteger-only deployment (%zu fused int ops):\n", engine.num_ops());
+    std::printf("  int-only accuracy: %.1f%% (fake-quant model: %.1f%%)\n",
+                100.0 * int_acc, 100.0 * outcome.final_top1);
+
+    // --- Energy bill ---------------------------------------------------------
+    const auto workload = accel::analyze_workload(model, 3, 8);
+    const auto& hw_app = reg.hardware(mult);
+    const auto& hw_acc = reg.hardware(appmult::accurate_counterpart(mult));
+    const auto e_app = accel::estimate_energy(workload, hw_app);
+    const auto e_acc = accel::estimate_energy(workload, hw_acc);
+    std::printf("\nmultiplier energy per inference (%lld MACs):\n",
+                static_cast<long long>(workload.total_macs));
+    std::printf("  accurate %u-bit: %.2f nJ\n", bits, e_acc.mult_energy_nj);
+    std::printf("  %s:      %.2f nJ  (%.0f%% saving)\n", mult.c_str(),
+                e_app.mult_energy_nj,
+                100.0 * (1.0 - e_app.mult_energy_nj / e_acc.mult_energy_nj));
+    return 0;
+}

@@ -1,0 +1,72 @@
+/// \file quickstart.cpp
+/// \brief Five-minute tour of the amret public API:
+///        1. pick an approximate multiplier from the Table I registry,
+///        2. inspect its error metrics and hardware cost,
+///        3. build the paper's difference-based gradient LUT,
+///        4. drop the multiplier into a CNN and run AppMult-aware
+///           retraining, comparing against the STE baseline.
+#include "amret.hpp"
+
+#include <cstdio>
+
+using namespace amret;
+
+int main() {
+    // --- 1. A multiplier from the registry ------------------------------
+    auto& registry = appmult::Registry::instance();
+    const std::string name = "mul7u_rm6"; // the paper's Fig. 2 multiplier
+    const appmult::AppMultLut& lut = registry.lut(name);
+    std::printf("multiplier %s: %u-bit, AM(10, 100) = %lld (exact: 1000)\n",
+                name.c_str(), lut.bits(), static_cast<long long>(lut(10, 100)));
+
+    // --- 2. Error metrics (Eq. 2) and hardware cost ---------------------
+    const auto& err = registry.error(name);
+    const auto& hw = registry.hardware(name);
+    std::printf("ER = %.1f%%  NMED = %.2f%%  MaxED = %lld\n",
+                100.0 * err.error_rate, 100.0 * err.nmed,
+                static_cast<long long>(err.max_ed));
+    std::printf("area = %.1f um^2  delay = %.0f ps  power = %.2f uW "
+                "(exact 7-bit: %.2f uW)\n",
+                hw.area_um2, hw.delay_ps, hw.power_uw,
+                registry.hardware("mul7u_acc").power_uw);
+
+    // --- 3. Gradient LUTs ------------------------------------------------
+    // STE pretends the multiplier is exact; the difference-based gradient
+    // follows the smoothed AppMult function (Eqs. 4-6).
+    const core::GradLut ste = core::build_ste_grad(lut.bits());
+    const core::GradLut ours = core::build_difference_grad(lut, /*hws=*/4);
+    std::printf("gradient dAM/dX at (W=10, X=64): STE = %.1f, ours = %.1f\n",
+                ste.dx(10, 64), ours.dx(10, 64));
+
+    // --- 4. AppMult-aware retraining (Fig. 1 flow) -----------------------
+    data::SyntheticConfig dc;
+    dc.num_classes = 10;
+    dc.height = dc.width = 8;
+    dc.train_samples = 400;
+    dc.test_samples = 200;
+    const auto dataset = data::make_synthetic(dc);
+
+    train::PipelineConfig pc;
+    pc.model = "lenet";
+    pc.model_config.in_size = 8;
+    pc.model_config.num_classes = 10;
+    pc.model_config.width_mult = 0.5f;
+    pc.float_epochs = 4;
+    pc.qat_epochs = 2;
+    pc.retrain_epochs = 3;
+    pc.train.batch_size = 32;
+    pc.train.lr = 2e-3;
+
+    train::RetrainPipeline pipeline(pc, dataset.train, dataset.test);
+    const double reference = pipeline.prepare(lut.bits());
+    std::printf("\nquantized reference accuracy (exact 7-bit multiplier): %.1f%%\n",
+                100.0 * reference);
+
+    const auto with_ste = pipeline.retrain(lut, ste);
+    const auto with_ours = pipeline.retrain(lut, ours);
+    std::printf("after swapping in %s: %.1f%%\n", name.c_str(),
+                100.0 * with_ste.initial_top1);
+    std::printf("retrained with STE gradient:   %.1f%%\n", 100.0 * with_ste.final_top1);
+    std::printf("retrained with diff gradient:  %.1f%%\n", 100.0 * with_ours.final_top1);
+    return 0;
+}

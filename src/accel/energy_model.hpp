@@ -1,0 +1,78 @@
+/// \file energy_model.hpp
+/// \brief Accelerator-level cost model: from per-multiplier hardware numbers
+///        (area/delay/power of Table I) to whole-network inference cost.
+///
+/// The paper reports multiplier-level power; the motivating claim, though,
+/// is about *accelerator* energy (Fig. 1). This module closes that loop for
+/// a weight-stationary MAC-array accelerator template:
+///   - counts the integer multiplications of every ApproxConv2d /
+///     ApproxLinear layer for a given input resolution,
+///   - converts multiplier power @ 1 GHz into energy per multiplication,
+///   - reports per-layer and total multiplier energy, the critical-path
+///     bound on MAC throughput, and the area of a given array size,
+/// so two multipliers can be compared end-to-end (energy per inference)
+/// rather than per-operation only.
+#pragma once
+
+#include "netlist/analysis.hpp"
+#include "nn/module.hpp"
+
+#include <string>
+#include <vector>
+
+namespace amret::accel {
+
+/// Static description of one layer's arithmetic workload.
+struct LayerWorkload {
+    std::string name;      ///< layer type
+    std::int64_t macs = 0; ///< integer multiplications per inference
+    std::int64_t params = 0;
+    std::int64_t output_elems = 0;
+};
+
+/// Arithmetic workload of a model at a given input shape (batch size 1).
+struct NetworkWorkload {
+    std::vector<LayerWorkload> layers;
+    std::int64_t total_macs = 0;
+
+    [[nodiscard]] std::int64_t conv_macs() const;
+};
+
+/// Walks the model and accumulates the MACs executed by the approximate
+/// layers on an (1, channels, size, size) input. Non-multiplying layers
+/// (pooling, BN at inference, ReLU) are ignored, matching the paper's focus
+/// on multiplier cost.
+NetworkWorkload analyze_workload(nn::Module& model, std::int64_t in_channels,
+                                 std::int64_t in_size);
+
+/// Accelerator template parameters.
+struct AcceleratorConfig {
+    int array_rows = 16;       ///< MAC array height
+    int array_cols = 16;       ///< MAC array width
+    double clock_ghz = 1.0;    ///< matches the paper's 1 GHz measurement
+    double non_mult_overhead = 0.35; ///< fraction of MAC energy spent outside
+                                     ///< the multiplier (adder, registers)
+};
+
+/// Energy/latency estimate of running one inference.
+struct EnergyReport {
+    double mult_energy_nj = 0.0;   ///< multiplier energy per inference
+    double total_energy_nj = 0.0;  ///< including the non-multiplier overhead
+    double latency_us = 0.0;       ///< MACs / (array throughput), clock-bound
+    double array_area_um2 = 0.0;   ///< multiplier area x array size
+    double effective_clock_ghz = 0.0; ///< min(config clock, 1/multiplier delay)
+};
+
+/// Combines a workload with one multiplier's hardware report.
+EnergyReport estimate_energy(const NetworkWorkload& workload,
+                             const netlist::HardwareReport& multiplier,
+                             const AcceleratorConfig& config = {});
+
+/// Relative energy of an approximate multiplier versus a baseline on the
+/// same workload (ratio of mult_energy_nj).
+double energy_ratio(const NetworkWorkload& workload,
+                    const netlist::HardwareReport& approx,
+                    const netlist::HardwareReport& baseline,
+                    const AcceleratorConfig& config = {});
+
+} // namespace amret::accel

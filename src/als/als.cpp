@@ -1,0 +1,390 @@
+#include "als/als.hpp"
+
+#include "netlist/analysis.hpp"
+#include "util/logging.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cassert>
+#include <cmath>
+#include <limits>
+#include <memory>
+
+namespace amret::als {
+
+using netlist::CellType;
+using netlist::kNullNet;
+using netlist::Netlist;
+using netlist::NetId;
+
+namespace {
+
+constexpr std::uint64_t kLanePattern[6] = {
+    0xAAAAAAAAAAAAAAAAULL, 0xCCCCCCCCCCCCCCCCULL, 0xF0F0F0F0F0F0F0F0ULL,
+    0xFF00FF00FF00FF00ULL, 0xFFFF0000FFFF0000ULL, 0xFFFFFFFF00000000ULL,
+};
+
+/// Holds the full bit-parallel signature (all patterns) of every net, kept
+/// in sync with the evolving netlist so candidate rewrites can be scored by
+/// re-simulating only the victim's transitive fanout cone.
+class IncrementalSim {
+public:
+    explicit IncrementalSim(const Netlist& nl) : nl_(nl) {
+        n_patterns_ = std::uint64_t{1} << nl.num_inputs();
+        n_words_ = (n_patterns_ + 63) / 64;
+        input_index_.assign(nl.num_nodes(), -1);
+        for (std::size_t i = 0; i < nl.num_inputs(); ++i)
+            input_index_[nl.inputs()[i]] = static_cast<std::int32_t>(i);
+        words_.assign(nl.num_nodes(), std::vector<std::uint64_t>(n_words_));
+        for (NetId id = 0; id < nl.num_nodes(); ++id) recompute_node(id);
+    }
+
+    [[nodiscard]] const std::vector<std::uint64_t>& signature(NetId id) const {
+        return words_[id];
+    }
+
+    /// Output value of output-bit vector for pattern p under the current
+    /// netlist with optional single substitution victim -> repl.
+    /// Fills `out` (size n_patterns) with decoded unsigned output values.
+    void decode_outputs(const std::vector<const std::vector<std::uint64_t>*>& bit_words,
+                        std::vector<std::int64_t>& out) const {
+        out.assign(n_patterns_, 0);
+        for (std::size_t ob = 0; ob < bit_words.size(); ++ob) {
+            const auto& wv = *bit_words[ob];
+            for (std::uint64_t w = 0; w < n_words_; ++w) {
+                std::uint64_t bits = wv[w];
+                while (bits) {
+                    const unsigned lane = static_cast<unsigned>(std::countr_zero(bits));
+                    bits &= bits - 1;
+                    const std::uint64_t p = w * 64 + lane;
+                    if (p < n_patterns_) out[p] |= std::int64_t{1} << ob;
+                }
+            }
+        }
+    }
+
+    /// Nodes strictly after `victim` whose value depends on it.
+    [[nodiscard]] std::vector<NetId> affected_cone(NetId victim) const {
+        std::vector<bool> affected(nl_.num_nodes(), false);
+        std::vector<NetId> cone;
+        for (NetId id = victim + 1; id < nl_.num_nodes(); ++id) {
+            const auto& node = nl_.node(id);
+            const bool hit =
+                (node.fanin0 != kNullNet &&
+                 (node.fanin0 == victim || affected[node.fanin0])) ||
+                (node.fanin1 != kNullNet &&
+                 (node.fanin1 == victim || affected[node.fanin1]));
+            if (hit) {
+                affected[id] = true;
+                cone.push_back(id);
+            }
+        }
+        return cone;
+    }
+
+    /// Simulates the cone under substitution victim->repl into scratch
+    /// buffers; returns words for every cone node (indexed like `cone`).
+    void simulate_cone(NetId victim, NetId repl, const std::vector<NetId>& cone,
+                       std::vector<std::vector<std::uint64_t>>& scratch) const {
+        scratch.assign(cone.size(), std::vector<std::uint64_t>(n_words_));
+        std::vector<std::int32_t> cone_pos(nl_.num_nodes(), -1);
+        for (std::size_t k = 0; k < cone.size(); ++k)
+            cone_pos[cone[k]] = static_cast<std::int32_t>(k);
+
+        auto source = [&](NetId f, std::uint64_t w) -> std::uint64_t {
+            if (f == victim) return words_[repl][w];
+            const std::int32_t pos = cone_pos[f];
+            return pos >= 0 ? scratch[static_cast<std::size_t>(pos)][w] : words_[f][w];
+        };
+
+        for (std::uint64_t w = 0; w < n_words_; ++w) {
+            for (std::size_t k = 0; k < cone.size(); ++k) {
+                const auto& node = nl_.node(cone[k]);
+                const std::uint64_t a = source(node.fanin0, w);
+                const std::uint64_t b =
+                    (node.fanin1 != kNullNet) ? source(node.fanin1, w) : 0;
+                scratch[k][w] = netlist::eval_cell(node.type, a, b);
+            }
+        }
+    }
+
+    /// Commits a substitution that was already applied to the netlist by
+    /// refreshing every stored signature that changed.
+    void refresh_all() {
+        for (NetId id = 0; id < nl_.num_nodes(); ++id) recompute_node(id);
+    }
+
+    [[nodiscard]] std::uint64_t n_patterns() const { return n_patterns_; }
+    [[nodiscard]] std::uint64_t n_words() const { return n_words_; }
+
+private:
+    void recompute_node(NetId id) {
+        const auto& node = nl_.node(id);
+        auto& out = words_[id];
+        switch (node.type) {
+            case CellType::kConst0:
+                std::fill(out.begin(), out.end(), 0);
+                break;
+            case CellType::kConst1:
+                std::fill(out.begin(), out.end(), ~std::uint64_t{0});
+                break;
+            case CellType::kInput: {
+                const auto k = static_cast<unsigned>(input_index_[id]);
+                for (std::uint64_t w = 0; w < n_words_; ++w) {
+                    out[w] = (k < 6) ? kLanePattern[k]
+                                     : (((w >> (k - 6)) & 1u) ? ~std::uint64_t{0} : 0);
+                }
+                break;
+            }
+            default:
+                for (std::uint64_t w = 0; w < n_words_; ++w) {
+                    const std::uint64_t a = words_[node.fanin0][w];
+                    const std::uint64_t b =
+                        (node.fanin1 != kNullNet) ? words_[node.fanin1][w] : 0;
+                    out[w] = netlist::eval_cell(node.type, a, b);
+                }
+                break;
+        }
+    }
+
+    const Netlist& nl_;
+    std::uint64_t n_patterns_ = 0;
+    std::uint64_t n_words_ = 0;
+    std::vector<std::int32_t> input_index_;
+    std::vector<std::vector<std::uint64_t>> words_;
+};
+
+/// Error accumulator comparing candidate outputs against reference values.
+struct ErrorAccumulator {
+    double sum_abs = 0.0;
+    std::uint64_t mismatches = 0;
+    std::int64_t max_ed = 0;
+
+    void add(std::int64_t approx, std::int64_t reference) {
+        const std::int64_t diff = approx - reference;
+        const std::int64_t ad = diff < 0 ? -diff : diff;
+        if (diff != 0) ++mismatches;
+        sum_abs += static_cast<double>(ad);
+        if (ad > max_ed) max_ed = ad;
+    }
+
+    [[nodiscard]] appmult::ErrorMetrics finalize(std::uint64_t total,
+                                                 unsigned out_bits) const {
+        appmult::ErrorMetrics m;
+        m.error_rate = static_cast<double>(mismatches) / static_cast<double>(total);
+        m.nmed = sum_abs / static_cast<double>(total) /
+                 (std::ldexp(1.0, static_cast<int>(out_bits)) - 1.0);
+        m.max_ed = max_ed;
+        return m;
+    }
+};
+
+/// Area of the logic that becomes dead when `victim` is replaced: victim's
+/// own gate plus any exclusive fanin cone (approximated by a reference-count
+/// peeling, which is exact for tree regions).
+double dead_area_estimate(const Netlist& nl, NetId victim) {
+    auto fanout = nl.fanout_counts();
+    double area = 0.0;
+    std::vector<NetId> stack = {victim};
+    while (!stack.empty()) {
+        const NetId id = stack.back();
+        stack.pop_back();
+        const auto& node = nl.node(id);
+        const auto& info = netlist::cell_info(node.type);
+        if (info.arity == 0) continue;
+        area += info.area_um2;
+        if (node.fanin0 != kNullNet && --fanout[node.fanin0] == 0)
+            stack.push_back(node.fanin0);
+        if (node.fanin1 != kNullNet && --fanout[node.fanin1] == 0)
+            stack.push_back(node.fanin1);
+    }
+    return area;
+}
+
+} // namespace
+
+std::vector<std::uint64_t> multiplier_zero_patterns(unsigned bits) {
+    // Pattern layout of multgen::build_netlist: W in the low B bits, X in
+    // the high B bits.
+    std::vector<std::uint64_t> patterns;
+    const std::uint64_t n = std::uint64_t{1} << bits;
+    for (std::uint64_t v = 0; v < n; ++v) {
+        patterns.push_back(v << bits); // W = 0
+        patterns.push_back(v);         // X = 0
+    }
+    return patterns;
+}
+
+AlsResult synthesize(const Netlist& exact, const AlsOptions& options) {
+    AlsResult result;
+    result.netlist = exact;
+    result.area_before_um2 = exact.area_um2();
+    Netlist& nl = result.netlist;
+
+    const unsigned out_bits = static_cast<unsigned>(nl.num_outputs());
+    assert(out_bits >= 1 && out_bits <= 63);
+
+    auto sim_ptr = std::make_unique<IncrementalSim>(nl);
+    const std::uint64_t n_patterns = sim_ptr->n_patterns();
+
+    // Reference outputs (the exact function we must stay close to).
+    std::vector<std::int64_t> reference(n_patterns, 0);
+    {
+        std::vector<const std::vector<std::uint64_t>*> bit_words;
+        for (const auto& port : nl.outputs())
+            bit_words.push_back(&sim_ptr->signature(port.net));
+        sim_ptr->decode_outputs(bit_words, reference);
+    }
+
+    // Current outputs (same as reference initially).
+    std::vector<std::int64_t> current = reference;
+
+    const double max_product = std::ldexp(1.0, static_cast<int>(out_bits)) - 1.0;
+    double current_nmed = 0.0;
+
+    struct Candidate {
+        NetId victim = kNullNet;
+        NetId repl = kNullNet;
+        double nmed = 0.0;
+        appmult::ErrorMetrics metrics;
+        double area_saved = 0.0;
+        double score = -1.0;
+    };
+
+    std::vector<std::vector<std::uint64_t>> scratch;
+    std::vector<std::int64_t> cand_out;
+
+    auto evaluate = [&](NetId victim, NetId repl) -> Candidate {
+        IncrementalSim& sim = *sim_ptr;
+        Candidate c;
+        c.victim = victim;
+        c.repl = repl;
+        const auto cone = sim.affected_cone(victim);
+        sim.simulate_cone(victim, repl, cone, scratch);
+
+        std::vector<std::int32_t> cone_pos(nl.num_nodes(), -1);
+        for (std::size_t k = 0; k < cone.size(); ++k)
+            cone_pos[cone[k]] = static_cast<std::int32_t>(k);
+
+        std::vector<const std::vector<std::uint64_t>*> bit_words;
+        bit_words.reserve(out_bits);
+        for (const auto& port : nl.outputs()) {
+            const NetId net = port.net;
+            if (net == victim) {
+                bit_words.push_back(&sim.signature(repl));
+            } else if (cone_pos[net] >= 0) {
+                bit_words.push_back(&scratch[static_cast<std::size_t>(cone_pos[net])]);
+            } else {
+                bit_words.push_back(&sim.signature(net));
+            }
+        }
+        sim.decode_outputs(bit_words, cand_out);
+
+        for (const std::uint64_t p : options.protected_patterns) {
+            if (cand_out[p] != reference[p]) {
+                c.score = -1.0; // rejected: touches a protected pattern
+                return c;
+            }
+        }
+
+        ErrorAccumulator acc;
+        for (std::uint64_t p = 0; p < n_patterns; ++p) acc.add(cand_out[p], reference[p]);
+        c.metrics = acc.finalize(n_patterns, out_bits);
+        c.nmed = c.metrics.nmed;
+        c.area_saved = dead_area_estimate(nl, victim);
+        const double delta = std::max(0.0, c.nmed - current_nmed);
+        c.score = c.area_saved / (delta + options.score_epsilon);
+        return c;
+    };
+
+    int moves = 0;
+    while (moves < options.max_moves) {
+        // Node ids shift after each sweep; recompute the first gate id.
+        const NetId first_gate = static_cast<NetId>(2 + nl.num_inputs());
+        Candidate best;
+        // Constant substitutions for every live gate.
+        const auto fanout = nl.fanout_counts();
+        for (NetId id = first_gate; id < nl.num_nodes(); ++id) {
+            if (netlist::cell_info(nl.node(id).type).arity == 0) continue;
+            bool is_output = fanout[id] > 0;
+            if (!is_output) {
+                for (const auto& port : nl.outputs())
+                    if (port.net == id) { is_output = true; break; }
+            }
+            if (!is_output) continue; // already dead
+            for (NetId repl : {nl.const0(), nl.const1()}) {
+                Candidate c = evaluate(id, repl);
+                if (c.nmed <= options.nmed_budget && c.area_saved > 0.0 &&
+                    c.score > best.score)
+                    best = c;
+            }
+        }
+
+        // Wire substitutions: earlier nets with close signatures.
+        if (options.enable_wire_substitution) {
+            struct Pair {
+                NetId victim;
+                NetId repl;
+                std::uint64_t distance;
+            };
+            std::vector<Pair> pairs;
+            for (NetId v = first_gate; v < nl.num_nodes(); ++v) {
+                if (netlist::cell_info(nl.node(v).type).arity == 0) continue;
+                if (fanout[v] == 0) continue;
+                for (NetId r = first_gate; r < v; ++r) {
+                    if (netlist::cell_info(nl.node(r).type).arity == 0) continue;
+                    std::uint64_t dist = 0;
+                    const auto& sv = sim_ptr->signature(v);
+                    const auto& sr = sim_ptr->signature(r);
+                    for (std::uint64_t w = 0; w < sim_ptr->n_words(); ++w)
+                        dist += static_cast<std::uint64_t>(std::popcount(sv[w] ^ sr[w]));
+                    if (dist > 0 && dist <= sim_ptr->n_patterns() / 16)
+                        pairs.push_back({v, r, dist});
+                }
+            }
+            std::sort(pairs.begin(), pairs.end(),
+                      [](const Pair& a, const Pair& b) { return a.distance < b.distance; });
+            const std::size_t limit =
+                std::min<std::size_t>(pairs.size(),
+                                      static_cast<std::size_t>(options.wire_candidates_per_round));
+            for (std::size_t k = 0; k < limit; ++k) {
+                Candidate c = evaluate(pairs[k].victim, pairs[k].repl);
+                if (c.nmed <= options.nmed_budget && c.area_saved > 0.0 &&
+                    c.score > best.score)
+                    best = c;
+            }
+        }
+
+        if (best.victim == kNullNet) break;
+
+        nl.substitute(best.victim, best.repl);
+        nl.sweep(); // keep the candidate pool free of dead logic
+        sim_ptr = std::make_unique<IncrementalSim>(nl);
+        {
+            std::vector<const std::vector<std::uint64_t>*> bit_words;
+            for (const auto& port : nl.outputs())
+                bit_words.push_back(&sim_ptr->signature(port.net));
+            sim_ptr->decode_outputs(bit_words, current);
+        }
+        ErrorAccumulator acc;
+        for (std::uint64_t p = 0; p < n_patterns; ++p) acc.add(current[p], reference[p]);
+        result.metrics = acc.finalize(n_patterns, out_bits);
+        current_nmed = result.metrics.nmed;
+        ++moves;
+        result.move_log.push_back(
+            "replace n" + std::to_string(best.victim) + " -> " +
+            (best.repl == 0 ? std::string("const0")
+                            : best.repl == 1 ? std::string("const1")
+                                             : "n" + std::to_string(best.repl)) +
+            " (nmed=" + std::to_string(current_nmed) + ")");
+        util::log_debug("als move ", moves, ": ", result.move_log.back());
+    }
+
+    (void)max_product;
+    nl.sweep();
+    result.moves = moves;
+    result.area_after_um2 = nl.area_um2();
+    return result;
+}
+
+} // namespace amret::als

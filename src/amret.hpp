@@ -1,0 +1,49 @@
+/// \file amret.hpp
+/// \brief Umbrella header for the amret library.
+///
+/// amret is a from-scratch C++20 reproduction of "Gradient Approximation of
+/// Approximate Multipliers for High-Accuracy Deep Neural Network Retraining"
+/// (DATE 2025). See README.md for a tour and DESIGN.md for the system map.
+#pragma once
+
+#include "accel/energy_model.hpp"      // accelerator-level energy model
+#include "als/als.hpp"                 // approximate logic synthesis
+#include "appmult/appmult.hpp"         // multiplier LUTs + error metrics
+#include "appmult/registry.hpp"        // Table I named multipliers
+#include "appmult/error_stats.hpp"     // structural error analysis
+#include "appmult/signed_mult.hpp"     // signed AppMult adapter
+#include "approx/approx_conv.hpp"      // AppMult conv/linear layers
+#include "approx/depthwise.hpp"        // AppMult depthwise conv
+#include "approx/inference.hpp"        // integer-only deployment engine
+#include "approx/lut_gemm.hpp"         // LUT GEMM kernels
+#include "core/grad_lut.hpp"           // the paper's gradient approximation
+#include "core/hws.hpp"                // half-window-size selection
+#include "core/smoothing.hpp"          // Eq. 4-6 primitives
+#include "data/dataset.hpp"            // datasets + loader
+#include "data/shapes.hpp"             // geometric-shapes task
+#include "explore/pareto.hpp"          // design-space exploration
+#include "models/models.hpp"           // LeNet / VGG / ResNet
+#include "multgen/addergen.hpp"        // exact + approximate adders
+#include "multgen/behavioral_models.hpp" // Mitchell / DRUM / SSM models
+#include "multgen/multgen.hpp"         // multiplier generators
+#include "netlist/analysis.hpp"        // STA + power
+#include "netlist/netlist.hpp"         // gate-level netlist
+#include "netlist/opt.hpp"             // exact netlist optimization
+#include "netlist/serialize.hpp"       // netlist (de)serialization
+#include "netlist/sim.hpp"             // exhaustive simulation
+#include "netlist/techmap.hpp"         // NAND/INV technology mapping
+#include "nn/layers.hpp"               // float layers
+#include "nn/loss.hpp"                 // loss + metrics
+#include "nn/module.hpp"               // module base
+#include "nn/optim.hpp"                // SGD / Adam
+#include "quant/quant.hpp"             // Eq. 7/8 quantization
+#include "tensor/tensor.hpp"           // dense tensors
+#include "train/checkpoint.hpp"        // model persistence
+#include "train/hws_search.hpp"        // LeNet-based HWS sweep
+#include "train/pipeline.hpp"          // Fig. 1 retraining flow
+#include "train/trainer.hpp"           // training loop
+#include "util/args.hpp"
+#include "util/logging.hpp"
+#include "util/rng.hpp"
+#include "util/stopwatch.hpp"
+#include "util/table.hpp"

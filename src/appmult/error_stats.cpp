@@ -1,0 +1,101 @@
+#include "appmult/error_stats.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <sstream>
+
+namespace amret::appmult {
+
+ErrorProfile profile_error(const AppMultLut& lut, int buckets) {
+    assert(buckets >= 1);
+    ErrorProfile profile;
+    profile.bits = lut.bits();
+    const std::uint64_t n = lut.domain();
+
+    profile.mean_abs_error_by_magnitude.assign(static_cast<std::size_t>(buckets), 0.0);
+    profile.mean_signed_error_by_magnitude.assign(static_cast<std::size_t>(buckets),
+                                                  0.0);
+    std::vector<std::uint64_t> bucket_counts(static_cast<std::size_t>(buckets), 0);
+
+    std::vector<std::int64_t> errors;
+    errors.reserve(static_cast<std::size_t>(n * n));
+
+    double sum_err = 0.0, sum_err2 = 0.0, zero_sum = 0.0;
+    std::uint64_t zero_count = 0;
+    std::uint64_t violations = 0, adjacents = 0;
+
+    for (std::uint64_t w = 0; w < n; ++w) {
+        std::int64_t previous = 0;
+        for (std::uint64_t x = 0; x < n; ++x) {
+            const std::int64_t approx = lut(w, x);
+            const std::int64_t err =
+                approx - static_cast<std::int64_t>(w) * static_cast<std::int64_t>(x);
+            errors.push_back(err);
+            sum_err += static_cast<double>(err);
+            sum_err2 += static_cast<double>(err) * static_cast<double>(err);
+
+            if (w == 0 || x == 0) {
+                const std::int64_t mag = std::abs(approx);
+                profile.zero_row_max = std::max(profile.zero_row_max, mag);
+                zero_sum += static_cast<double>(mag);
+                ++zero_count;
+            }
+
+            const std::uint64_t magnitude = std::max(w, x);
+            const std::size_t bucket = static_cast<std::size_t>(
+                std::min<std::uint64_t>(static_cast<std::uint64_t>(buckets) - 1,
+                                        magnitude * static_cast<std::uint64_t>(buckets) / n));
+            profile.mean_abs_error_by_magnitude[bucket] +=
+                static_cast<double>(std::abs(err));
+            profile.mean_signed_error_by_magnitude[bucket] += static_cast<double>(err);
+            ++bucket_counts[bucket];
+
+            if (x > 0) {
+                ++adjacents;
+                if (approx < previous) ++violations;
+            }
+            previous = approx;
+        }
+    }
+
+    const double total = static_cast<double>(n) * static_cast<double>(n);
+    profile.zero_row_mean = zero_count ? zero_sum / static_cast<double>(zero_count) : 0.0;
+    profile.zero_preserving = profile.zero_row_max == 0;
+    profile.bias = sum_err / total;
+    profile.rms_error = std::sqrt(sum_err2 / total);
+    profile.monotonicity_violations =
+        adjacents ? static_cast<double>(violations) / static_cast<double>(adjacents)
+                  : 0.0;
+
+    for (std::size_t b = 0; b < static_cast<std::size_t>(buckets); ++b) {
+        if (bucket_counts[b] == 0) continue;
+        profile.mean_abs_error_by_magnitude[b] /= static_cast<double>(bucket_counts[b]);
+        profile.mean_signed_error_by_magnitude[b] /=
+            static_cast<double>(bucket_counts[b]);
+    }
+
+    const auto q = [&](double fraction) {
+        const auto pos = static_cast<std::size_t>(
+            fraction * static_cast<double>(errors.size() - 1));
+        std::nth_element(errors.begin(),
+                         errors.begin() + static_cast<std::ptrdiff_t>(pos),
+                         errors.end());
+        return static_cast<double>(errors[pos]);
+    };
+    profile.q05 = q(0.05);
+    profile.q95 = q(0.95);
+    return profile;
+}
+
+std::string summarize(const ErrorProfile& profile) {
+    std::ostringstream os;
+    os << "bits=" << profile.bits << " zero_row_max=" << profile.zero_row_max
+       << (profile.zero_preserving ? " (zero-preserving)" : " (NOT zero-preserving)")
+       << " bias=" << profile.bias << " rms=" << profile.rms_error
+       << " err[q05,q95]=[" << profile.q05 << "," << profile.q95 << "]"
+       << " mono_violations=" << profile.monotonicity_violations;
+    return os.str();
+}
+
+} // namespace amret::appmult

@@ -1,0 +1,54 @@
+/// \file error_stats.hpp
+/// \brief Structural error analysis of approximate multipliers.
+///
+/// Eq. (2)'s scalar metrics (ER/NMED/MaxED) do not predict how well a
+/// multiplier retrains; this module computes the structural properties that
+/// do (see DESIGN.md's zero-preservation finding):
+///   - zero-row behaviour: max/mean |AM(0, x)|, |AM(w, 0)| — nonzero values
+///     inject constants into every accumulation and resist retraining,
+///   - error conditioned on operand magnitude (small operands dominate DNN
+///     activations after batch normalization),
+///   - signed error distribution (bias, RMS, quantiles),
+///   - row monotonicity violations (how stair-like / non-monotone the
+///     function is — what the paper's smoothing targets).
+#pragma once
+
+#include "appmult/appmult.hpp"
+
+#include <vector>
+
+namespace amret::appmult {
+
+/// Full structural error profile of one multiplier.
+struct ErrorProfile {
+    unsigned bits = 0;
+
+    // Zero-operand behaviour.
+    std::int64_t zero_row_max = 0;  ///< max |AM(0,x)|, |AM(w,0)|
+    double zero_row_mean = 0.0;     ///< mean of the same
+    bool zero_preserving = false;   ///< true iff zero_row_max == 0
+
+    // Error conditioned on max(|W|,|X|) magnitude buckets (equal-width over
+    // the operand range). mean_abs_error_by_magnitude[0] covers the smallest
+    // operands.
+    std::vector<double> mean_abs_error_by_magnitude;
+    std::vector<double> mean_signed_error_by_magnitude;
+
+    // Global signed-error distribution.
+    double bias = 0.0;           ///< mean signed error
+    double rms_error = 0.0;      ///< sqrt(mean(err^2))
+    double q05 = 0.0, q95 = 0.0; ///< 5th / 95th percentile of signed error
+
+    // Fraction of adjacent (x, x+1) row pairs where the AppMult decreases
+    // (the exact product never does). High values = rough rows, larger HWS.
+    double monotonicity_violations = 0.0;
+};
+
+/// Computes the profile by full enumeration. \p buckets controls the
+/// magnitude resolution (default 8).
+ErrorProfile profile_error(const AppMultLut& lut, int buckets = 8);
+
+/// One-line textual summary for logs and benches.
+std::string summarize(const ErrorProfile& profile);
+
+} // namespace amret::appmult

@@ -1,0 +1,100 @@
+/// \file registry.hpp
+/// \brief Named multiplier registry reproducing the paper's Table I lineup.
+///
+/// The paper evaluates 17 unsigned multipliers: exact 8/7/6-bit references,
+/// simple column-truncated designs (`_rmk`), EvoApproxLib designs, and two
+/// pairs synthesized by an approximate-logic-synthesis tool (`_syn`).
+/// EvoApproxLib's RTL is not available offline, so each EvoApprox name maps
+/// to a surrogate from our parametric families chosen to match that design's
+/// error regime (NMED/ER/MaxED shape); the `_rmk` designs are exact
+/// reproductions of the paper's definition and the `_syn` designs are
+/// genuinely synthesized by `amret::als`. See DESIGN.md section 5.
+#pragma once
+
+#include "appmult/appmult.hpp"
+#include "multgen/multgen.hpp"
+#include "netlist/analysis.hpp"
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace amret::appmult {
+
+/// How a registry entry's netlist is obtained.
+enum class Construction {
+    kSpec, ///< directly from a multgen::MultiplierSpec
+    kAls,  ///< approximate logic synthesis on the exact netlist
+};
+
+/// Static description of one named multiplier.
+struct MultiplierInfo {
+    std::string name;
+    unsigned bits = 8;
+    bool approximate = true;
+    Construction construction = Construction::kSpec;
+    multgen::MultiplierSpec spec;     ///< for kSpec (and the ALS start point)
+    double als_nmed_budget = 0.0;     ///< for kAls
+    bool als_wire_substitution = true;///< for kAls (differentiates syn1/syn2)
+    bool als_zero_preserving = true;  ///< for kAls: protect AM(0,x)/AM(w,0)
+    unsigned default_hws = 0;         ///< Table I's selected HWS (0 = N/A)
+    std::string family;               ///< human-readable construction note
+};
+
+/// Lazy cache of netlists, LUTs and hardware reports for the named set.
+/// Single-threaded by design (amret is single-threaded throughout).
+class Registry {
+public:
+    /// The process-wide registry with the paper's Table I names.
+    static Registry& instance();
+
+    /// All names in Table I order.
+    [[nodiscard]] const std::vector<std::string>& names() const { return order_; }
+
+    /// True if \p name is registered.
+    [[nodiscard]] bool contains(const std::string& name) const;
+
+    /// Static info; throws std::out_of_range for unknown names.
+    [[nodiscard]] const MultiplierInfo& info(const std::string& name) const;
+
+    /// Product LUT (built on first use, then cached).
+    const AppMultLut& lut(const std::string& name);
+
+    /// Gate-level netlist (built on first use, then cached).
+    const netlist::Netlist& circuit(const std::string& name);
+
+    /// Area/delay/power report (built on first use, then cached).
+    const netlist::HardwareReport& hardware(const std::string& name);
+
+    /// Error metrics vs the exact multiplier of the same width (cached).
+    const ErrorMetrics& error(const std::string& name);
+
+    /// Registers a user-defined multiplier built from \p spec; replaces any
+    /// existing entry with the same name and clears its caches.
+    void register_spec(const std::string& name, const multgen::MultiplierSpec& spec,
+                       unsigned default_hws);
+
+private:
+    Registry();
+
+    struct Entry {
+        MultiplierInfo info;
+        std::optional<netlist::Netlist> circuit;
+        std::optional<AppMultLut> lut;
+        std::optional<netlist::HardwareReport> hardware;
+        std::optional<ErrorMetrics> error;
+    };
+
+    Entry& entry(const std::string& name);
+    void build_circuit(Entry& e);
+
+    std::vector<std::string> order_;
+    std::map<std::string, Entry> entries_;
+};
+
+/// Name of the accurate multiplier with the same bit width as \p name
+/// (e.g. "mul7u_06Q" -> "mul7u_acc").
+std::string accurate_counterpart(const std::string& name);
+
+} // namespace amret::appmult

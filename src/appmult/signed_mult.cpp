@@ -1,0 +1,97 @@
+#include "appmult/signed_mult.hpp"
+
+#include <cassert>
+#include <cmath>
+
+namespace amret::appmult {
+
+SignedAppMultLut::SignedAppMultLut(
+    unsigned bits, const std::function<std::int64_t(std::int64_t, std::int64_t)>& fn)
+    : bits_(bits) {
+    assert(bits >= 2 && bits <= 10);
+    const std::int64_t n = std::int64_t{1} << bits;
+    table_.resize(static_cast<std::size_t>(n * n));
+    for (std::int64_t w = lo(); w <= hi(); ++w) {
+        for (std::int64_t x = lo(); x <= hi(); ++x) {
+            table_[static_cast<std::size_t>((w - lo()) * n + (x - lo()))] =
+                static_cast<std::int32_t>(fn(w, x));
+        }
+    }
+}
+
+SignedAppMultLut SignedAppMultLut::from_unsigned(const AppMultLut& unsigned_lut) {
+    const unsigned bits = unsigned_lut.bits();
+    const std::int64_t mag_max =
+        static_cast<std::int64_t>(unsigned_lut.domain()) - 1;
+    return SignedAppMultLut(bits, [&](std::int64_t w, std::int64_t x) {
+        const std::int64_t aw = std::min(std::abs(w), mag_max);
+        const std::int64_t ax = std::min(std::abs(x), mag_max);
+        const std::int64_t mag = unsigned_lut(static_cast<std::uint64_t>(aw),
+                                              static_cast<std::uint64_t>(ax));
+        return ((w < 0) != (x < 0)) ? -mag : mag;
+    });
+}
+
+SignedAppMultLut SignedAppMultLut::exact(unsigned bits) {
+    return SignedAppMultLut(bits,
+                            [](std::int64_t w, std::int64_t x) { return w * x; });
+}
+
+std::int64_t SignedAppMultLut::operator()(std::int64_t w, std::int64_t x) const {
+    assert(w >= lo() && w <= hi() && x >= lo() && x <= hi());
+    const std::int64_t n = std::int64_t{1} << bits_;
+    return table_[static_cast<std::size_t>((w - lo()) * n + (x - lo()))];
+}
+
+std::function<double(std::int64_t, std::int64_t)> SignedAppMultLut::as_function() const {
+    // Copy the table into the closure so the function outlives the LUT.
+    const auto table = table_;
+    const unsigned bits = bits_;
+    const std::int64_t low = lo();
+    const std::int64_t n = std::int64_t{1} << bits;
+    return [table, low, n](std::int64_t w, std::int64_t x) {
+        return static_cast<double>(
+            table[static_cast<std::size_t>((w - low) * n + (x - low))]);
+    };
+}
+
+AppMultLut to_unsigned_equivalent(const SignedAppMultLut& lut) {
+    const unsigned bits = lut.bits();
+    const std::int64_t zero = std::int64_t{1} << (bits - 1);
+    return AppMultLut(bits, [&](std::uint64_t cw, std::uint64_t cx) {
+        const std::int64_t vw = static_cast<std::int64_t>(cw) - zero;
+        const std::int64_t vx = static_cast<std::int64_t>(cx) - zero;
+        const std::int64_t value = lut(vw, vx) +
+                                   zero * static_cast<std::int64_t>(cw) +
+                                   zero * static_cast<std::int64_t>(cx) - zero * zero;
+        return static_cast<std::uint64_t>(value);
+    });
+}
+
+ErrorMetrics measure_error(const SignedAppMultLut& lut) {
+    const std::int64_t n = std::int64_t{1} << lut.bits();
+    const double max_product = std::ldexp(1.0, static_cast<int>(2 * lut.bits() - 2));
+
+    ErrorMetrics m;
+    double sum_abs = 0.0, sum_signed = 0.0;
+    std::uint64_t mismatches = 0;
+    std::int64_t max_ed = 0;
+    for (std::int64_t w = lut.lo(); w <= lut.hi(); ++w) {
+        for (std::int64_t x = lut.lo(); x <= lut.hi(); ++x) {
+            const std::int64_t diff = lut(w, x) - w * x;
+            if (diff != 0) ++mismatches;
+            const std::int64_t ad = diff < 0 ? -diff : diff;
+            sum_abs += static_cast<double>(ad);
+            sum_signed += static_cast<double>(diff);
+            if (ad > max_ed) max_ed = ad;
+        }
+    }
+    const double total = static_cast<double>(n) * static_cast<double>(n);
+    m.error_rate = static_cast<double>(mismatches) / total;
+    m.nmed = sum_abs / total / max_product;
+    m.max_ed = max_ed;
+    m.mean_error = sum_signed / total;
+    return m;
+}
+
+} // namespace amret::appmult

@@ -1,0 +1,72 @@
+/// \file signed_mult.hpp
+/// \brief Signed approximate multipliers (the paper's Sec. III note that the
+///        method "can be easily extended to signed AppMults").
+///
+/// A SignedAppMultLut tabulates a function over the two's-complement domain
+/// [-2^(B-1), 2^(B-1)); the difference-based gradient is obtained through
+/// core::build_difference_grad_generic over the same domain. Two standard
+/// constructions are provided: wrapping an unsigned AppMult in sign/magnitude
+/// logic, and tabulating an arbitrary signed behavioural function.
+#pragma once
+
+#include "appmult/appmult.hpp"
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+namespace amret::appmult {
+
+/// Product lookup table over a signed operand domain.
+class SignedAppMultLut {
+public:
+    SignedAppMultLut() = default;
+
+    /// Tabulates \p fn over [-2^(B-1), 2^(B-1)) x [-2^(B-1), 2^(B-1)).
+    SignedAppMultLut(unsigned bits,
+                     const std::function<std::int64_t(std::int64_t, std::int64_t)>& fn);
+
+    /// Sign/magnitude wrapper: SM(w, x) = sign(w*x) * AM(|w|, |x|), with the
+    /// magnitudes clamped into the unsigned multiplier's domain. This is the
+    /// standard way to reuse an unsigned AppMult in signed datapaths.
+    static SignedAppMultLut from_unsigned(const AppMultLut& unsigned_lut);
+
+    /// Exact signed multiplier.
+    static SignedAppMultLut exact(unsigned bits);
+
+    [[nodiscard]] unsigned bits() const { return bits_; }
+    [[nodiscard]] bool empty() const { return table_.empty(); }
+    [[nodiscard]] std::int64_t lo() const { return -(std::int64_t{1} << (bits_ - 1)); }
+    [[nodiscard]] std::int64_t hi() const { return (std::int64_t{1} << (bits_ - 1)) - 1; }
+
+    /// SM(w, x); requires lo() <= w, x <= hi().
+    [[nodiscard]] std::int64_t operator()(std::int64_t w, std::int64_t x) const;
+
+    [[nodiscard]] const std::vector<std::int32_t>& table() const { return table_; }
+
+    /// Behavioural function view (for the generic gradient builder).
+    [[nodiscard]] std::function<double(std::int64_t, std::int64_t)> as_function() const;
+
+private:
+    unsigned bits_ = 0;
+    std::vector<std::int32_t> table_;
+};
+
+/// Error metrics of a signed AppMult versus the exact signed product,
+/// uniform over the full two's-complement domain (signed analogue of Eq. 2;
+/// NMED normalized by the maximum |product| = 2^(2B-2)).
+ErrorMetrics measure_error(const SignedAppMultLut& lut);
+
+/// Bridges a signed multiplier into the (unsigned, affine) training stack.
+///
+/// With symmetric quantization the affine code of a signed value v is
+/// c = v + Z with Z = 2^(B-1). The quantized layers compute
+/// y = s_w s_x (Σ AM(c_w, c_x) − Z_x Σc_w − Z_w Σc_x + K Z_w Z_x), which
+/// equals Σ s_w s_x · SM(v_w, v_x) exactly when
+///   AM(c_w, c_x) := SM(c_w − Z, c_x − Z) + Z c_w + Z c_x − Z².
+/// This function tabulates that equivalent unsigned-indexed LUT, so any
+/// signed AppMult drops into ApproxConv2d/ApproxLinear unchanged (use
+/// core::build_difference_grad on the result for the paper's gradient).
+AppMultLut to_unsigned_equivalent(const SignedAppMultLut& lut);
+
+} // namespace amret::appmult

@@ -1,0 +1,394 @@
+#include "approx/approx_conv.hpp"
+
+#include "approx/depthwise.hpp"
+#include "approx/lut_gemm.hpp"
+
+#include <cassert>
+
+namespace amret::approx {
+
+using tensor::ConvGeom;
+using tensor::Shape;
+using tensor::Tensor;
+
+MultiplierConfig MultiplierConfig::exact_ste(unsigned bits) {
+    MultiplierConfig config;
+    config.lut = std::make_shared<appmult::AppMultLut>(appmult::AppMultLut::exact(bits));
+    config.grad = std::make_shared<core::GradLut>(core::build_ste_grad(bits));
+    return config;
+}
+
+// ------------------------------------------------------------ ApproxConv2d
+
+ApproxConv2d::ApproxConv2d(std::int64_t in_ch, std::int64_t out_ch,
+                           std::int64_t kernel, std::int64_t stride,
+                           std::int64_t pad, util::Rng& rng)
+    : weight("conv.weight", Tensor::he_init(Shape{out_ch, in_ch, kernel, kernel},
+                                            in_ch * kernel * kernel, rng)),
+      bias("conv.bias", Tensor::zeros(Shape{out_ch})),
+      in_ch_(in_ch), out_ch_(out_ch), kernel_(kernel), stride_(stride), pad_(pad) {}
+
+void ApproxConv2d::set_multiplier(MultiplierConfig config) {
+    assert(config.valid());
+    mult_ = std::move(config);
+}
+
+void ApproxConv2d::collect_params(std::vector<nn::Param*>& out) {
+    out.push_back(&weight);
+    out.push_back(&bias);
+}
+
+void ApproxConv2d::save_extra_state(std::vector<float>& out) const {
+    out.push_back(act_observer_.lo());
+    out.push_back(act_observer_.hi());
+    out.push_back(act_observer_.initialized() ? 1.0f : 0.0f);
+}
+
+void ApproxConv2d::load_extra_state(const float*& cursor) {
+    const float lo = *cursor++;
+    const float hi = *cursor++;
+    const bool init = *cursor++ != 0.0f;
+    act_observer_.set_range(lo, hi, init);
+}
+
+namespace {
+
+/// (P, O) position-major matrix -> (N, O, OH, OW) feature map.
+Tensor scatter_positions(const Tensor& po, std::int64_t n, std::int64_t o,
+                         std::int64_t oh, std::int64_t ow) {
+    Tensor y(Shape{n, o, oh, ow});
+    const std::int64_t spatial = oh * ow;
+    for (std::int64_t i = 0; i < n; ++i) {
+        for (std::int64_t s = 0; s < spatial; ++s) {
+            const float* row = po.data() + (i * spatial + s) * o;
+            for (std::int64_t c = 0; c < o; ++c)
+                y[(i * o + c) * spatial + s] = row[c];
+        }
+    }
+    return y;
+}
+
+/// (N, O, OH, OW) feature-map gradient -> (P, O) position-major matrix.
+Tensor gather_positions(const Tensor& gy, std::int64_t n, std::int64_t o,
+                        std::int64_t oh, std::int64_t ow) {
+    Tensor gp(Shape{n * oh * ow, o});
+    const std::int64_t spatial = oh * ow;
+    for (std::int64_t i = 0; i < n; ++i) {
+        for (std::int64_t s = 0; s < spatial; ++s) {
+            float* row = gp.data() + (i * spatial + s) * o;
+            for (std::int64_t c = 0; c < o; ++c)
+                row[c] = gy[(i * o + c) * spatial + s];
+        }
+    }
+    return gp;
+}
+
+} // namespace
+
+Tensor ApproxConv2d::forward(const Tensor& x) {
+    assert(x.rank() == 4 && x.dim(1) == in_ch_);
+    geom_ = ConvGeom{x.dim(0), in_ch_, x.dim(2), x.dim(3), kernel_, stride_, pad_};
+    return mode_ == ComputeMode::kFloat ? forward_float(x) : forward_quant(x);
+}
+
+Tensor ApproxConv2d::backward(const Tensor& gy) {
+    return mode_ == ComputeMode::kFloat ? backward_float(gy) : backward_quant(gy);
+}
+
+Tensor ApproxConv2d::forward_float(const Tensor& x) {
+    cached_cols_ = tensor::im2col(x, geom_);
+    const Tensor w2d = weight.value.reshaped(Shape{out_ch_, geom_.patch()});
+    Tensor po = tensor::matmul_nt(cached_cols_, w2d); // (P, O)
+    for (std::int64_t pidx = 0; pidx < po.dim(0); ++pidx) {
+        float* row = po.data() + pidx * out_ch_;
+        for (std::int64_t c = 0; c < out_ch_; ++c) row[c] += bias.value[c];
+    }
+    return scatter_positions(po, geom_.batch, out_ch_, geom_.out_h(), geom_.out_w());
+}
+
+Tensor ApproxConv2d::backward_float(const Tensor& gy) {
+    const Tensor gyp =
+        gather_positions(gy, geom_.batch, out_ch_, geom_.out_h(), geom_.out_w());
+    // Bias gradient: column sums of gyp.
+    for (std::int64_t pidx = 0; pidx < gyp.dim(0); ++pidx) {
+        const float* row = gyp.data() + pidx * out_ch_;
+        for (std::int64_t c = 0; c < out_ch_; ++c) bias.grad[c] += row[c];
+    }
+    // dW = gyp^T @ cols, reshaped to (O, C, K, K).
+    Tensor dw2d = tensor::matmul_tn(gyp, cached_cols_); // (O, patch)
+    weight.grad.add_(dw2d.reshaped(weight.value.shape()));
+    // dx = col2im(gyp @ W).
+    const Tensor w2d = weight.value.reshaped(Shape{out_ch_, geom_.patch()});
+    const Tensor dcols = tensor::matmul(gyp, w2d); // (P, patch)
+    return tensor::col2im(dcols, geom_);
+}
+
+Tensor ApproxConv2d::forward_quant(const Tensor& x) {
+    assert(mult_.valid() && "set_multiplier() before quantized forward");
+    const unsigned bits = mult_.bits();
+
+    // Weight quantization parameters track the current weights each step.
+    const std::int64_t patch = geom_.patch();
+    quant::QuantParams wparams{};
+    if (per_channel_) {
+        // Each output channel (filter) gets its own affine parameters.
+        wscale_per_o_.resize(static_cast<std::size_t>(out_ch_));
+        wzero_per_o_.resize(static_cast<std::size_t>(out_ch_));
+        cached_wq_.codes.resize(static_cast<std::size_t>(out_ch_ * patch));
+        cached_wq_.in_range.resize(static_cast<std::size_t>(out_ch_ * patch));
+        const float* w = weight.value.data();
+        for (std::int64_t o = 0; o < out_ch_; ++o) {
+            float lo = w[o * patch], hi = w[o * patch];
+            for (std::int64_t k = 1; k < patch; ++k) {
+                lo = std::min(lo, w[o * patch + k]);
+                hi = std::max(hi, w[o * patch + k]);
+            }
+            const quant::QuantParams row = quant::choose_params(lo, hi, bits);
+            wscale_per_o_[static_cast<std::size_t>(o)] = row.scale;
+            wzero_per_o_[static_cast<std::size_t>(o)] =
+                static_cast<std::int32_t>(row.zero_point);
+            for (std::int64_t k = 0; k < patch; ++k) {
+                const float v = w[o * patch + k];
+                cached_wq_.codes[static_cast<std::size_t>(o * patch + k)] =
+                    static_cast<std::uint16_t>(row.quantize(v));
+                cached_wq_.in_range[static_cast<std::size_t>(o * patch + k)] =
+                    row.in_range(v) ? 1 : 0;
+            }
+        }
+        cached_wq_.params = quant::choose_params(weight.value.min(),
+                                                 weight.value.max(), bits);
+    } else {
+        wparams = quant::choose_params(weight.value.min(), weight.value.max(), bits);
+        cached_wq_ =
+            quant::quantize_tensor(weight.value.reshaped(Shape{out_ch_, patch}), wparams);
+    }
+
+    // Activation parameters: EMA-calibrated during training (standard fake
+    // quantization); frozen running range in eval.
+    quant::QuantParams xparams{};
+    if (training_ || !act_observer_.initialized()) act_observer_.observe(x);
+    xparams = act_observer_.params(bits);
+
+    const Tensor cols = tensor::im2col(x, geom_);
+    cached_xq_ = quant::quantize_tensor(cols, xparams);
+
+    LutGemmArgs args;
+    args.bits = bits;
+    args.lut = mult_.lut->table().data();
+    args.wq = cached_wq_.codes.data();
+    args.xq = cached_xq_.codes.data();
+    args.o = out_ch_;
+    args.p = geom_.positions();
+    args.k = patch;
+    args.scale_x = xparams.scale;
+    args.zero_x = static_cast<std::int32_t>(xparams.zero_point);
+    if (per_channel_) {
+        args.scale_w_per_o = wscale_per_o_.data();
+        args.zero_w_per_o = wzero_per_o_.data();
+    } else {
+        args.scale_w = wparams.scale;
+        args.zero_w = static_cast<std::int32_t>(wparams.zero_point);
+    }
+
+    Tensor po(Shape{args.p, args.o});
+    lut_forward(args, bias.value.data(), po.data());
+    return scatter_positions(po, geom_.batch, out_ch_, geom_.out_h(), geom_.out_w());
+}
+
+Tensor ApproxConv2d::backward_quant(const Tensor& gy) {
+    const Tensor gyp =
+        gather_positions(gy, geom_.batch, out_ch_, geom_.out_h(), geom_.out_w());
+    for (std::int64_t pidx = 0; pidx < gyp.dim(0); ++pidx) {
+        const float* row = gyp.data() + pidx * out_ch_;
+        for (std::int64_t c = 0; c < out_ch_; ++c) bias.grad[c] += row[c];
+    }
+
+    LutGemmArgs args;
+    args.bits = mult_.bits();
+    args.lut = mult_.lut->table().data();
+    args.wq = cached_wq_.codes.data();
+    args.xq = cached_xq_.codes.data();
+    args.o = out_ch_;
+    args.p = geom_.positions();
+    args.k = geom_.patch();
+    args.scale_x = cached_xq_.params.scale;
+    args.zero_x = static_cast<std::int32_t>(cached_xq_.params.zero_point);
+    if (per_channel_) {
+        args.scale_w_per_o = wscale_per_o_.data();
+        args.zero_w_per_o = wzero_per_o_.data();
+    } else {
+        args.scale_w = cached_wq_.params.scale;
+        args.zero_w = static_cast<std::int32_t>(cached_wq_.params.zero_point);
+    }
+
+    Tensor gw_raw(Shape{args.o, args.k});
+    Tensor gx_raw(Shape{args.p, args.k});
+    lut_backward(args, gyp.data(), mult_.grad->dw_table().data(),
+                 mult_.grad->dx_table().data(), gw_raw.data(), gx_raw.data());
+
+    // Eq. (9): fold in the quantizer derivative. dW/dw = 1/s_w inside the
+    // clamp range (0 outside); dy/dY contributed s_w*s_x, so the weight
+    // gradient scale is s_x. The activation gradient's s_w factor was folded
+    // into gx_raw by the kernel (it varies per row in per-channel mode);
+    // only the clamp mask remains.
+    float* wg = weight.grad.data();
+    for (std::int64_t i = 0; i < gw_raw.numel(); ++i) {
+        if (cached_wq_.in_range[static_cast<std::size_t>(i)])
+            wg[i] += args.scale_x * gw_raw[i];
+    }
+    for (std::int64_t i = 0; i < gx_raw.numel(); ++i) {
+        if (!cached_xq_.in_range[static_cast<std::size_t>(i)]) gx_raw[i] = 0.0f;
+    }
+    return tensor::col2im(gx_raw, geom_);
+}
+
+// ----------------------------------------------------------- ApproxLinear
+
+ApproxLinear::ApproxLinear(std::int64_t in_features, std::int64_t out_features,
+                           util::Rng& rng)
+    : weight("alinear.weight",
+             Tensor::he_init(Shape{out_features, in_features}, in_features, rng)),
+      bias("alinear.bias", Tensor::zeros(Shape{out_features})),
+      in_features_(in_features), out_features_(out_features) {}
+
+void ApproxLinear::set_multiplier(MultiplierConfig config) {
+    assert(config.valid());
+    mult_ = std::move(config);
+}
+
+void ApproxLinear::collect_params(std::vector<nn::Param*>& out) {
+    out.push_back(&weight);
+    out.push_back(&bias);
+}
+
+void ApproxLinear::save_extra_state(std::vector<float>& out) const {
+    out.push_back(act_observer_.lo());
+    out.push_back(act_observer_.hi());
+    out.push_back(act_observer_.initialized() ? 1.0f : 0.0f);
+}
+
+void ApproxLinear::load_extra_state(const float*& cursor) {
+    const float lo = *cursor++;
+    const float hi = *cursor++;
+    const bool init = *cursor++ != 0.0f;
+    act_observer_.set_range(lo, hi, init);
+}
+
+Tensor ApproxLinear::forward(const Tensor& x) {
+    assert(x.rank() == 2 && x.dim(1) == in_features_);
+    cached_batch_ = x.dim(0);
+    if (mode_ == ComputeMode::kFloat) {
+        cached_x_ = x;
+        Tensor y = tensor::matmul_nt(x, weight.value);
+        for (std::int64_t i = 0; i < y.dim(0); ++i)
+            for (std::int64_t j = 0; j < out_features_; ++j)
+                y[i * out_features_ + j] += bias.value[j];
+        return y;
+    }
+
+    assert(mult_.valid());
+    const unsigned bits = mult_.bits();
+    const quant::QuantParams wparams =
+        quant::choose_params(weight.value.min(), weight.value.max(), bits);
+    cached_wq_ = quant::quantize_tensor(weight.value, wparams);
+    if (training_ || !act_observer_.initialized()) act_observer_.observe(x);
+    const quant::QuantParams xparams = act_observer_.params(bits);
+    cached_xq_ = quant::quantize_tensor(x, xparams);
+
+    LutGemmArgs args;
+    args.bits = bits;
+    args.lut = mult_.lut->table().data();
+    args.wq = cached_wq_.codes.data();
+    args.xq = cached_xq_.codes.data();
+    args.o = out_features_;
+    args.p = cached_batch_;
+    args.k = in_features_;
+    args.scale_w = wparams.scale;
+    args.scale_x = xparams.scale;
+    args.zero_w = static_cast<std::int32_t>(wparams.zero_point);
+    args.zero_x = static_cast<std::int32_t>(xparams.zero_point);
+
+    Tensor y(Shape{args.p, args.o});
+    lut_forward(args, bias.value.data(), y.data());
+    return y;
+}
+
+Tensor ApproxLinear::backward(const Tensor& gy) {
+    assert(gy.rank() == 2 && gy.dim(0) == cached_batch_);
+    for (std::int64_t i = 0; i < gy.dim(0); ++i)
+        for (std::int64_t j = 0; j < out_features_; ++j)
+            bias.grad[j] += gy[i * out_features_ + j];
+
+    if (mode_ == ComputeMode::kFloat) {
+        Tensor dw = tensor::matmul_tn(gy, cached_x_);
+        weight.grad.add_(dw);
+        return tensor::matmul(gy, weight.value);
+    }
+
+    LutGemmArgs args;
+    args.bits = mult_.bits();
+    args.lut = mult_.lut->table().data();
+    args.wq = cached_wq_.codes.data();
+    args.xq = cached_xq_.codes.data();
+    args.o = out_features_;
+    args.p = cached_batch_;
+    args.k = in_features_;
+    args.scale_w = cached_wq_.params.scale;
+    args.scale_x = cached_xq_.params.scale;
+    args.zero_w = static_cast<std::int32_t>(cached_wq_.params.zero_point);
+    args.zero_x = static_cast<std::int32_t>(cached_xq_.params.zero_point);
+
+    Tensor gw_raw(Shape{args.o, args.k});
+    Tensor gx(Shape{args.p, args.k});
+    lut_backward(args, gy.data(), mult_.grad->dw_table().data(),
+                 mult_.grad->dx_table().data(), gw_raw.data(), gx.data());
+
+    float* wg = weight.grad.data();
+    for (std::int64_t i = 0; i < gw_raw.numel(); ++i) {
+        if (cached_wq_.in_range[static_cast<std::size_t>(i)])
+            wg[i] += args.scale_x * gw_raw[i];
+    }
+    // The s_w factor of the activation gradient is folded in by the kernel.
+    for (std::int64_t i = 0; i < gx.numel(); ++i) {
+        if (!cached_xq_.in_range[static_cast<std::size_t>(i)]) gx[i] = 0.0f;
+    }
+    return gx;
+}
+
+// ------------------------------------------------------------- utilities
+
+void configure_approx_layers(nn::Module& root, const MultiplierConfig& config,
+                             ComputeMode mode) {
+    root.visit([&](nn::Module& m) {
+        if (auto* conv = dynamic_cast<ApproxConv2d*>(&m)) {
+            conv->set_multiplier(config);
+            conv->set_mode(mode);
+        } else if (auto* linear = dynamic_cast<ApproxLinear*>(&m)) {
+            linear->set_multiplier(config);
+            linear->set_mode(mode);
+        } else if (auto* dw = dynamic_cast<DepthwiseConv2d*>(&m)) {
+            dw->set_multiplier(config);
+            dw->set_mode(mode);
+        }
+    });
+}
+
+void set_gradient_luts(nn::Module& root, std::shared_ptr<const core::GradLut> grad) {
+    root.visit([&](nn::Module& m) {
+        if (auto* conv = dynamic_cast<ApproxConv2d*>(&m)) {
+            MultiplierConfig config = conv->multiplier();
+            config.grad = grad;
+            conv->set_multiplier(std::move(config));
+        } else if (auto* linear = dynamic_cast<ApproxLinear*>(&m)) {
+            MultiplierConfig config = linear->multiplier();
+            config.grad = grad;
+            linear->set_multiplier(std::move(config));
+        } else if (auto* dw = dynamic_cast<DepthwiseConv2d*>(&m)) {
+            MultiplierConfig config = dw->multiplier();
+            config.grad = grad;
+            dw->set_multiplier(std::move(config));
+        }
+    });
+}
+
+} // namespace amret::approx

@@ -1,0 +1,217 @@
+#include "approx/depthwise.hpp"
+
+#include <cassert>
+
+namespace amret::approx {
+
+using tensor::ConvGeom;
+using tensor::Shape;
+using tensor::Tensor;
+
+DepthwiseConv2d::DepthwiseConv2d(std::int64_t channels, std::int64_t kernel,
+                                 std::int64_t stride, std::int64_t pad,
+                                 util::Rng& rng)
+    : weight("dwconv.weight",
+             Tensor::he_init(Shape{channels, kernel, kernel}, kernel * kernel, rng)),
+      bias("dwconv.bias", Tensor::zeros(Shape{channels})),
+      channels_(channels), kernel_(kernel), stride_(stride), pad_(pad) {}
+
+void DepthwiseConv2d::set_multiplier(MultiplierConfig config) {
+    assert(config.valid());
+    mult_ = std::move(config);
+}
+
+void DepthwiseConv2d::collect_params(std::vector<nn::Param*>& out) {
+    out.push_back(&weight);
+    out.push_back(&bias);
+}
+
+void DepthwiseConv2d::save_extra_state(std::vector<float>& out) const {
+    out.push_back(act_observer_.lo());
+    out.push_back(act_observer_.hi());
+    out.push_back(act_observer_.initialized() ? 1.0f : 0.0f);
+}
+
+void DepthwiseConv2d::load_extra_state(const float*& cursor) {
+    const float lo = *cursor++;
+    const float hi = *cursor++;
+    const bool init = *cursor++ != 0.0f;
+    act_observer_.set_range(lo, hi, init);
+}
+
+namespace {
+
+/// im2col of a single channel of x into rows of `out` starting at row0.
+void channel_im2col(const Tensor& x, std::int64_t channel, const ConvGeom& geom,
+                    Tensor& out, std::int64_t row0) {
+    const std::int64_t oh = geom.out_h(), ow = geom.out_w();
+    const std::int64_t patch = geom.kernel * geom.kernel;
+    const std::int64_t total_ch = x.dim(1);
+    for (std::int64_t n = 0; n < geom.batch; ++n) {
+        const float* px = x.data() + (n * total_ch + channel) * geom.in_h * geom.in_w;
+        for (std::int64_t oy = 0; oy < oh; ++oy) {
+            for (std::int64_t ox = 0; ox < ow; ++ox) {
+                float* row = out.data() + (row0 + (n * oh + oy) * ow + ox) * patch;
+                std::int64_t idx = 0;
+                for (std::int64_t ky = 0; ky < geom.kernel; ++ky) {
+                    const std::int64_t iy = oy * geom.stride + ky - geom.pad;
+                    for (std::int64_t kx = 0; kx < geom.kernel; ++kx, ++idx) {
+                        const std::int64_t ix = ox * geom.stride + kx - geom.pad;
+                        row[idx] = (iy >= 0 && iy < geom.in_h && ix >= 0 &&
+                                    ix < geom.in_w)
+                                       ? px[iy * geom.in_w + ix]
+                                       : 0.0f;
+                    }
+                }
+            }
+        }
+    }
+}
+
+} // namespace
+
+Tensor DepthwiseConv2d::forward(const Tensor& x) {
+    assert(x.rank() == 4 && x.dim(1) == channels_);
+    batch_ = x.dim(0);
+    geom_ = ConvGeom{batch_, 1, x.dim(2), x.dim(3), kernel_, stride_, pad_};
+    const std::int64_t positions = geom_.positions();
+    const std::int64_t patch = kernel_ * kernel_;
+
+    cached_cols_ = Tensor(Shape{channels_ * positions, patch});
+    for (std::int64_t c = 0; c < channels_; ++c)
+        channel_im2col(x, c, geom_, cached_cols_, c * positions);
+
+    return mode_ == ComputeMode::kFloat ? forward_float(x) : forward_quant(x);
+}
+
+Tensor DepthwiseConv2d::forward_float(const Tensor& x) {
+    const std::int64_t positions = geom_.positions();
+    const std::int64_t patch = kernel_ * kernel_;
+    const std::int64_t oh = geom_.out_h(), ow = geom_.out_w();
+    Tensor y(Shape{batch_, channels_, oh, ow});
+    const std::int64_t spatial = oh * ow;
+    for (std::int64_t c = 0; c < channels_; ++c) {
+        const float* wrow = weight.value.data() + c * patch;
+        for (std::int64_t p = 0; p < positions; ++p) {
+            const float* row = cached_cols_.data() + (c * positions + p) * patch;
+            float acc = bias.value[c];
+            for (std::int64_t k = 0; k < patch; ++k) acc += wrow[k] * row[k];
+            const std::int64_t n = p / spatial, s = p % spatial;
+            y[(n * channels_ + c) * spatial + s] = acc;
+        }
+    }
+    (void)x;
+    return y;
+}
+
+Tensor DepthwiseConv2d::forward_quant(const Tensor& x) {
+    assert(mult_.valid() && "set_multiplier() before quantized forward");
+    const unsigned bits = mult_.bits();
+    const std::int64_t positions = geom_.positions();
+    const std::int64_t patch = kernel_ * kernel_;
+
+    const auto wparams =
+        quant::choose_params(weight.value.min(), weight.value.max(), bits);
+    cached_wq_ = quant::quantize_tensor(
+        weight.value.reshaped(Shape{channels_, patch}), wparams);
+    if (training_ || !act_observer_.initialized()) act_observer_.observe(x);
+    const auto xparams = act_observer_.params(bits);
+    cached_xq_ = quant::quantize_tensor(cached_cols_, xparams);
+
+    const std::int32_t zw = static_cast<std::int32_t>(wparams.zero_point);
+    const std::int32_t zx = static_cast<std::int32_t>(xparams.zero_point);
+    const float ss = wparams.scale * xparams.scale;
+    const std::int32_t* table = mult_.lut->table().data();
+
+    const std::int64_t oh = geom_.out_h(), ow = geom_.out_w();
+    const std::int64_t spatial = oh * ow;
+    Tensor y(Shape{batch_, channels_, oh, ow});
+    for (std::int64_t c = 0; c < channels_; ++c) {
+        const std::uint16_t* wrow = cached_wq_.codes.data() + c * patch;
+        std::int64_t sum_w = 0;
+        for (std::int64_t k = 0; k < patch; ++k) sum_w += wrow[k];
+        for (std::int64_t p = 0; p < positions; ++p) {
+            const std::uint16_t* xrow =
+                cached_xq_.codes.data() + (c * positions + p) * patch;
+            std::int64_t acc = 0, sum_x = 0;
+            for (std::int64_t k = 0; k < patch; ++k) {
+                acc += table[(static_cast<std::uint32_t>(wrow[k]) << bits) | xrow[k]];
+                sum_x += xrow[k];
+            }
+            const std::int64_t corrected =
+                acc - static_cast<std::int64_t>(zx) * sum_w -
+                static_cast<std::int64_t>(zw) * sum_x +
+                patch * static_cast<std::int64_t>(zw) * zx;
+            const std::int64_t n = p / spatial, s = p % spatial;
+            y[(n * channels_ + c) * spatial + s] =
+                ss * static_cast<float>(corrected) + bias.value[c];
+        }
+    }
+    return y;
+}
+
+Tensor DepthwiseConv2d::backward(const Tensor& gy) {
+    const std::int64_t positions = geom_.positions();
+    const std::int64_t patch = kernel_ * kernel_;
+    const std::int64_t spatial = geom_.out_h() * geom_.out_w();
+    assert(gy.numel() == batch_ * channels_ * spatial);
+
+    Tensor dcols(Shape{channels_ * positions, patch});
+    const bool quantized = mode_ == ComputeMode::kQuantized;
+    const float* grad_w_lut = quantized ? mult_.grad->dw_table().data() : nullptr;
+    const float* grad_x_lut = quantized ? mult_.grad->dx_table().data() : nullptr;
+    const unsigned bits = quantized ? mult_.bits() : 0;
+    const float zw = quantized ? cached_wq_.params.zero_point : 0.0f;
+    const float zx = quantized ? cached_xq_.params.zero_point : 0.0f;
+    const float sw = quantized ? cached_wq_.params.scale : 0.0f;
+    const float sx = quantized ? cached_xq_.params.scale : 0.0f;
+
+    for (std::int64_t c = 0; c < channels_; ++c) {
+        float* gwrow = weight.grad.data() + c * patch;
+        const float* wrow_f = weight.value.data() + c * patch;
+        const std::uint16_t* wrow_q =
+            quantized ? cached_wq_.codes.data() + c * patch : nullptr;
+        for (std::int64_t p = 0; p < positions; ++p) {
+            const std::int64_t n = p / spatial, s = p % spatial;
+            const float g = gy[(n * channels_ + c) * spatial + s];
+            bias.grad[c] += g;
+            float* drow = dcols.data() + (c * positions + p) * patch;
+            if (!quantized) {
+                const float* crow = cached_cols_.data() + (c * positions + p) * patch;
+                for (std::int64_t k = 0; k < patch; ++k) {
+                    gwrow[k] += g * crow[k];
+                    drow[k] = g * wrow_f[k];
+                }
+            } else {
+                const std::uint16_t* xrow =
+                    cached_xq_.codes.data() + (c * positions + p) * patch;
+                for (std::int64_t k = 0; k < patch; ++k) {
+                    const std::uint32_t idx =
+                        (static_cast<std::uint32_t>(wrow_q[k]) << bits) | xrow[k];
+                    if (cached_wq_.in_range[static_cast<std::size_t>(c * patch + k)])
+                        gwrow[k] += g * sx * (grad_w_lut[idx] - zx);
+                    const bool x_ok = cached_xq_.in_range[static_cast<std::size_t>(
+                        (c * positions + p) * patch + k)];
+                    drow[k] = x_ok ? g * sw * (grad_x_lut[idx] - zw) : 0.0f;
+                }
+            }
+        }
+    }
+
+    // Fold dcols back per channel.
+    Tensor gx(Shape{batch_, channels_, geom_.in_h, geom_.in_w});
+    for (std::int64_t c = 0; c < channels_; ++c) {
+        Tensor chan_cols(Shape{positions, patch});
+        std::copy(dcols.data() + c * positions * patch,
+                  dcols.data() + (c + 1) * positions * patch, chan_cols.data());
+        const Tensor chan_gx = tensor::col2im(chan_cols, geom_); // (N,1,H,W)
+        for (std::int64_t n = 0; n < batch_; ++n) {
+            const float* src = chan_gx.data() + n * geom_.in_h * geom_.in_w;
+            float* dst = gx.data() + (n * channels_ + c) * geom_.in_h * geom_.in_w;
+            std::copy(src, src + geom_.in_h * geom_.in_w, dst);
+        }
+    }
+    return gx;
+}
+
+} // namespace amret::approx

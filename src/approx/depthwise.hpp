@@ -1,0 +1,63 @@
+/// \file depthwise.hpp
+/// \brief Depthwise convolution with AppMult-simulated arithmetic.
+///
+/// Depthwise-separable blocks (depthwise 3x3 + pointwise 1x1) dominate
+/// mobile accelerators — a prime deployment target for approximate
+/// multipliers. This layer convolves each channel with its own single
+/// filter; combined with a 1x1 ApproxConv2d it forms the separable block
+/// used by models::make_mobilenet.
+///
+/// Quantized mode follows the same Eq. (7)/(8)/(9) scheme as ApproxConv2d:
+/// LUT products forward, gradient-LUT backward, clamp-aware STE through the
+/// quantizers.
+#pragma once
+
+#include "approx/approx_conv.hpp"
+
+namespace amret::approx {
+
+/// Channel-wise conv: weight (C, K, K), each channel c convolved with its
+/// own filter; stride/padding like ApproxConv2d.
+class DepthwiseConv2d : public nn::Module {
+public:
+    DepthwiseConv2d(std::int64_t channels, std::int64_t kernel, std::int64_t stride,
+                    std::int64_t pad, util::Rng& rng);
+
+    tensor::Tensor forward(const tensor::Tensor& x) override;
+    tensor::Tensor backward(const tensor::Tensor& gy) override;
+    void collect_params(std::vector<nn::Param*>& out) override;
+    void save_extra_state(std::vector<float>& out) const override;
+    void load_extra_state(const float*& cursor) override;
+    [[nodiscard]] std::string name() const override { return "DepthwiseConv2d"; }
+
+    void set_mode(ComputeMode mode) { mode_ = mode; }
+    [[nodiscard]] ComputeMode mode() const { return mode_; }
+    void set_multiplier(MultiplierConfig config);
+    [[nodiscard]] const MultiplierConfig& multiplier() const { return mult_; }
+
+    nn::Param weight; ///< (C, K, K)
+    nn::Param bias;   ///< (C)
+
+    [[nodiscard]] std::int64_t last_forward_macs() const {
+        return geom_.batch == 0
+                   ? 0
+                   : geom_.positions() * kernel_ * kernel_ * channels_;
+    }
+
+private:
+    tensor::Tensor forward_float(const tensor::Tensor& x);
+    tensor::Tensor forward_quant(const tensor::Tensor& x);
+
+    std::int64_t channels_, kernel_, stride_, pad_;
+    ComputeMode mode_ = ComputeMode::kFloat;
+    MultiplierConfig mult_;
+    quant::EmaObserver act_observer_;
+
+    tensor::ConvGeom geom_; ///< per-channel geometry (in_ch = 1)
+    std::int64_t batch_ = 0;
+    tensor::Tensor cached_cols_;       // float: (C*P, K*K)
+    quant::QuantizedTensor cached_xq_; // quant: codes of cols
+    quant::QuantizedTensor cached_wq_; // quant: codes of (C, K*K)
+};
+
+} // namespace amret::approx

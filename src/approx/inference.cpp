@@ -1,0 +1,494 @@
+#include "approx/inference.hpp"
+
+#include "approx/lut_gemm.hpp"
+#include "nn/loss.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <stdexcept>
+
+namespace amret::approx {
+
+FixedPointMultiplier quantize_multiplier(double m) {
+    assert(m > 0.0);
+    FixedPointMultiplier fpm;
+    if (m >= 1.0) {
+        // Rare (s_in*s_w > s_out); fold powers of two into a negative shift.
+        int up = 0;
+        while (m >= 1.0) {
+            m /= 2.0;
+            ++up;
+        }
+        fpm = quantize_multiplier(m);
+        fpm.shift -= up;
+        return fpm;
+    }
+    int shift = 0;
+    while (m < 0.5) {
+        m *= 2.0;
+        ++shift;
+    }
+    // m in [0.5, 1): mult in [2^30, 2^31).
+    fpm.mult = static_cast<std::int32_t>(std::lround(m * (1ll << 31)));
+    if (fpm.mult == (1ll << 31)) {
+        fpm.mult /= 2;
+        --shift;
+    }
+    fpm.shift = shift + 31;
+    return fpm;
+}
+
+std::int32_t fixed_point_rescale(std::int64_t v, const FixedPointMultiplier& fpm) {
+    const __int128 prod = static_cast<__int128>(v) * fpm.mult;
+    if (fpm.shift <= 0) {
+        return static_cast<std::int32_t>(prod << (-fpm.shift));
+    }
+    const __int128 rounding = __int128{1} << (fpm.shift - 1);
+    return static_cast<std::int32_t>((prod + rounding) >> fpm.shift);
+}
+
+// ---------------------------------------------------------------- ops ----
+
+struct IntInferenceEngine::Op {
+    virtual ~Op() = default;
+    virtual QTensor run(const QTensor& in) const = 0;
+    /// Float twin used during calibration; updates recorded ranges.
+    virtual tensor::Tensor run_float(const tensor::Tensor& in) = 0;
+};
+
+namespace {
+
+struct ConvOp final : IntInferenceEngine::Op {
+    // Static configuration.
+    std::shared_ptr<const appmult::AppMultLut> lut;
+    unsigned bits = 8;
+    std::int64_t in_ch = 0, out_ch = 0, kernel = 3, stride = 1, pad = 1;
+    bool relu = false;
+    tensor::Tensor folded_w; // (O, C, K, K) float, BN folded
+    tensor::Tensor folded_b; // (O)
+
+    // Calibration state.
+    float out_lo = 0.0f, out_hi = 0.0f;
+    bool calibrated = false;
+
+    // Compiled integer parameters (filled by finalize()).
+    std::vector<std::uint16_t> wq;
+    std::vector<std::int32_t> bias_int;
+    std::int32_t zero_w = 0;
+    float out_scale = 1.0f;
+    std::int32_t out_zero = 0;
+    std::int32_t out_qmax = 255; ///< activations live in [0, 2^act_bits - 1]
+    FixedPointMultiplier requant;
+    float in_scale = 1.0f; // fixed at finalize from the previous op
+    std::int32_t in_zero = 0;
+
+    tensor::Tensor run_float(const tensor::Tensor& x) override {
+        tensor::ConvGeom geom{x.dim(0), in_ch, x.dim(2), x.dim(3), kernel, stride, pad};
+        const tensor::Tensor cols = tensor::im2col(x, geom);
+        tensor::Tensor po = tensor::matmul_nt(
+            cols, folded_w.reshaped(tensor::Shape{out_ch, geom.patch()}));
+        for (std::int64_t p = 0; p < po.dim(0); ++p)
+            for (std::int64_t o = 0; o < out_ch; ++o) {
+                float v = po[p * out_ch + o] + folded_b[o];
+                if (relu) v = std::max(v, 0.0f);
+                po[p * out_ch + o] = v;
+            }
+        // Track output range for requantization.
+        const float lo = po.min(), hi = po.max();
+        if (!calibrated) {
+            out_lo = lo;
+            out_hi = hi;
+            calibrated = true;
+        } else {
+            out_lo = std::min(out_lo, lo);
+            out_hi = std::max(out_hi, hi);
+        }
+        // Back to NCHW.
+        tensor::Tensor y(tensor::Shape{x.dim(0), out_ch, geom.out_h(), geom.out_w()});
+        const std::int64_t spatial = geom.out_h() * geom.out_w();
+        for (std::int64_t n = 0; n < x.dim(0); ++n)
+            for (std::int64_t s = 0; s < spatial; ++s)
+                for (std::int64_t o = 0; o < out_ch; ++o)
+                    y[(n * out_ch + o) * spatial + s] = po[(n * spatial + s) * out_ch + o];
+        return y;
+    }
+
+    void finalize(float input_scale, std::int32_t input_zero, unsigned act_bits) {
+        in_scale = input_scale;
+        in_zero = input_zero;
+        const auto wp = quant::choose_params(folded_w.min(), folded_w.max(), bits);
+        zero_w = static_cast<std::int32_t>(wp.zero_point);
+        wq.resize(static_cast<std::size_t>(folded_w.numel()));
+        for (std::int64_t i = 0; i < folded_w.numel(); ++i)
+            wq[static_cast<std::size_t>(i)] =
+                static_cast<std::uint16_t>(wp.quantize(folded_w[i]));
+
+        // Output activations must index the *next* layer's LUT, so they are
+        // quantized to the network-wide activation width.
+        out_qmax = static_cast<std::int32_t>((1u << act_bits) - 1);
+        const auto op = quant::choose_params(out_lo, out_hi, act_bits);
+        out_scale = op.scale;
+        out_zero = static_cast<std::int32_t>(op.zero_point);
+
+        const double acc_scale = static_cast<double>(in_scale) * wp.scale;
+        requant = quantize_multiplier(acc_scale / out_scale);
+        bias_int.resize(static_cast<std::size_t>(out_ch));
+        for (std::int64_t o = 0; o < out_ch; ++o)
+            bias_int[static_cast<std::size_t>(o)] = static_cast<std::int32_t>(
+                std::lround(static_cast<double>(folded_b[o]) / acc_scale));
+    }
+
+    QTensor run(const QTensor& x) const override {
+        tensor::ConvGeom geom{x.n, in_ch, x.h, x.w, kernel, stride, pad};
+        const std::int64_t patch = geom.patch();
+        const std::int64_t positions = geom.positions();
+        const std::int64_t oh = geom.out_h(), ow = geom.out_w();
+
+        // uint8 im2col with zero-point padding (exact hardware behaviour).
+        std::vector<std::uint16_t> cols(static_cast<std::size_t>(positions * patch));
+        const auto zin = static_cast<std::uint16_t>(x.zero);
+        for (std::int64_t n = 0; n < x.n; ++n) {
+            for (std::int64_t oy = 0; oy < oh; ++oy) {
+                for (std::int64_t ox = 0; ox < ow; ++ox) {
+                    std::uint16_t* row =
+                        cols.data() + ((n * oh + oy) * ow + ox) * patch;
+                    std::int64_t idx = 0;
+                    for (std::int64_t c = 0; c < in_ch; ++c) {
+                        for (std::int64_t ky = 0; ky < kernel; ++ky) {
+                            const std::int64_t iy = oy * stride + ky - pad;
+                            for (std::int64_t kx = 0; kx < kernel; ++kx, ++idx) {
+                                const std::int64_t ix = ox * stride + kx - pad;
+                                row[idx] =
+                                    (iy >= 0 && iy < x.h && ix >= 0 && ix < x.w)
+                                        ? x.data[((n * in_ch + c) * x.h + iy) * x.w + ix]
+                                        : zin;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+
+        QTensor y;
+        y.n = x.n;
+        y.c = out_ch;
+        y.h = oh;
+        y.w = ow;
+        y.scale = out_scale;
+        y.zero = out_zero;
+        y.data.resize(static_cast<std::size_t>(y.numel()));
+
+        const std::int32_t* table = lut->table().data();
+        std::vector<std::int64_t> sum_w(static_cast<std::size_t>(out_ch), 0);
+        for (std::int64_t o = 0; o < out_ch; ++o) {
+            std::int64_t s = 0;
+            for (std::int64_t k = 0; k < patch; ++k) s += wq[o * patch + k];
+            sum_w[static_cast<std::size_t>(o)] = s;
+        }
+
+        const std::int64_t spatial = oh * ow;
+        for (std::int64_t p = 0; p < positions; ++p) {
+            const std::uint16_t* xrow = cols.data() + p * patch;
+            std::int64_t sum_x = 0;
+            for (std::int64_t k = 0; k < patch; ++k) sum_x += xrow[k];
+            for (std::int64_t o = 0; o < out_ch; ++o) {
+                const std::uint16_t* wrow = wq.data() + o * patch;
+                std::int64_t acc = 0;
+                for (std::int64_t k = 0; k < patch; ++k)
+                    acc += table[(static_cast<std::uint32_t>(wrow[k]) << bits) | xrow[k]];
+                acc -= static_cast<std::int64_t>(x.zero) * sum_w[static_cast<std::size_t>(o)];
+                acc -= static_cast<std::int64_t>(zero_w) * sum_x;
+                acc += patch * static_cast<std::int64_t>(zero_w) * x.zero;
+                acc += bias_int[static_cast<std::size_t>(o)];
+                std::int32_t v = fixed_point_rescale(acc, requant) + out_zero;
+                if (relu) v = std::max(v, out_zero);
+                v = std::clamp(v, 0, out_qmax);
+                const std::int64_t n = p / spatial, s = p % spatial;
+                y.data[(n * out_ch + o) * spatial + s] = static_cast<std::uint8_t>(v);
+            }
+        }
+        return y;
+    }
+};
+
+struct MaxPoolOp final : IntInferenceEngine::Op {
+    std::int64_t kernel = 2;
+
+    tensor::Tensor run_float(const tensor::Tensor& x) override {
+        nn::MaxPool2d pool(kernel);
+        return pool.forward(x);
+    }
+
+    QTensor run(const QTensor& x) const override {
+        QTensor y;
+        y.n = x.n;
+        y.c = x.c;
+        y.h = x.h / kernel;
+        y.w = x.w / kernel;
+        y.scale = x.scale;
+        y.zero = x.zero;
+        y.data.resize(static_cast<std::size_t>(y.numel()));
+        for (std::int64_t i = 0; i < x.n * x.c; ++i) {
+            const std::uint8_t* px = x.data.data() + i * x.h * x.w;
+            std::uint8_t* py = y.data.data() + i * y.h * y.w;
+            for (std::int64_t oy = 0; oy < y.h; ++oy)
+                for (std::int64_t ox = 0; ox < y.w; ++ox) {
+                    std::uint8_t best = 0;
+                    for (std::int64_t ky = 0; ky < kernel; ++ky)
+                        for (std::int64_t kx = 0; kx < kernel; ++kx)
+                            best = std::max(
+                                best, px[(oy * kernel + ky) * x.w + ox * kernel + kx]);
+                    py[oy * y.w + ox] = best;
+                }
+        }
+        return y;
+    }
+};
+
+struct AvgPoolOp final : IntInferenceEngine::Op {
+    std::int64_t kernel = 2;
+    bool global = false;
+
+    tensor::Tensor run_float(const tensor::Tensor& x) override {
+        if (global) {
+            nn::GlobalAvgPool pool;
+            return pool.forward(x);
+        }
+        nn::AvgPool2d pool(kernel);
+        return pool.forward(x);
+    }
+
+    QTensor run(const QTensor& x) const override {
+        QTensor y;
+        y.n = x.n;
+        y.c = x.c;
+        y.h = global ? 1 : x.h / kernel;
+        y.w = global ? 1 : x.w / kernel;
+        y.scale = x.scale;
+        y.zero = x.zero;
+        y.data.resize(static_cast<std::size_t>(y.numel()));
+        const std::int64_t kh = global ? x.h : kernel;
+        const std::int64_t kw = global ? x.w : kernel;
+        const std::int64_t window = kh * kw;
+        for (std::int64_t i = 0; i < x.n * x.c; ++i) {
+            const std::uint8_t* px = x.data.data() + i * x.h * x.w;
+            std::uint8_t* py = y.data.data() + i * y.h * y.w;
+            for (std::int64_t oy = 0; oy < y.h; ++oy)
+                for (std::int64_t ox = 0; ox < y.w; ++ox) {
+                    std::int64_t acc = 0;
+                    for (std::int64_t ky = 0; ky < kh; ++ky)
+                        for (std::int64_t kx = 0; kx < kw; ++kx)
+                            acc += px[(oy * kh + ky) * x.w + ox * kw + kx];
+                    py[oy * y.w + ox] = static_cast<std::uint8_t>(
+                        std::clamp<std::int64_t>((acc + window / 2) / window, 0, 255));
+                }
+        }
+        return y;
+    }
+};
+
+} // namespace
+
+// ------------------------------------------------------------- engine ----
+
+IntInferenceEngine::IntInferenceEngine(nn::Sequential& model,
+                                       const data::Dataset& calibration,
+                                       std::int64_t calib_samples) {
+    // --- 1. Fuse and collect ops ------------------------------------------
+    std::vector<std::pair<tensor::Tensor, tensor::Tensor>> head_linears;
+    std::vector<bool> head_relu;
+    bool in_head = false;
+
+    for (std::size_t i = 0; i < model.size(); ++i) {
+        nn::Module* m = model.child(i);
+        if (auto* conv = dynamic_cast<ApproxConv2d*>(m)) {
+            if (in_head)
+                throw std::invalid_argument("conv after classifier head unsupported");
+            auto op = std::make_unique<ConvOp>();
+            op->in_ch = conv->in_channels();
+            op->out_ch = conv->out_channels();
+            op->kernel = conv->kernel();
+            op->stride = conv->stride();
+            op->pad = conv->padding();
+            op->folded_w = conv->weight.value;
+            op->folded_b = conv->bias.value;
+            if (conv->multiplier().valid()) {
+                op->lut = conv->multiplier().lut;
+                op->bits = conv->multiplier().bits();
+            } else {
+                op->lut = std::make_shared<appmult::AppMultLut>(
+                    appmult::AppMultLut::exact(8));
+                op->bits = 8;
+            }
+            // Fold a following BatchNorm2d.
+            if (i + 1 < model.size()) {
+                if (auto* bn = dynamic_cast<nn::BatchNorm2d*>(model.child(i + 1))) {
+                    const std::int64_t patch =
+                        op->folded_w.numel() / op->out_ch;
+                    for (std::int64_t o = 0; o < op->out_ch; ++o) {
+                        const float inv_std =
+                            1.0f / std::sqrt(bn->running_var()[o] + 1e-5f);
+                        const float g = bn->gamma.value[o] * inv_std;
+                        for (std::int64_t k = 0; k < patch; ++k)
+                            op->folded_w[o * patch + k] *= g;
+                        op->folded_b[o] = (op->folded_b[o] - bn->running_mean()[o]) * g +
+                                          bn->beta.value[o];
+                    }
+                    ++i;
+                }
+            }
+            // Fuse a following ReLU.
+            if (i + 1 < model.size() &&
+                dynamic_cast<nn::ReLU*>(model.child(i + 1)) != nullptr) {
+                op->relu = true;
+                ++i;
+            }
+            ops_.push_back(std::move(op));
+        } else if (auto* mp = dynamic_cast<nn::MaxPool2d*>(m)) {
+            (void)mp;
+            auto op = std::make_unique<MaxPoolOp>();
+            ops_.push_back(std::move(op));
+        } else if (dynamic_cast<nn::AvgPool2d*>(m) != nullptr) {
+            auto op = std::make_unique<AvgPoolOp>();
+            ops_.push_back(std::move(op));
+        } else if (dynamic_cast<nn::GlobalAvgPool*>(m) != nullptr) {
+            auto op = std::make_unique<AvgPoolOp>();
+            op->global = true;
+            ops_.push_back(std::move(op));
+        } else if (dynamic_cast<nn::Flatten*>(m) != nullptr ||
+                   dynamic_cast<nn::Dropout*>(m) != nullptr) {
+            // Flatten is a view change handled at the head boundary; dropout
+            // is identity at inference.
+            continue;
+        } else if (auto* linear = dynamic_cast<nn::Linear*>(m)) {
+            in_head = true;
+            head_linears.emplace_back(linear->weight.value, linear->bias.value);
+            head_relu.push_back(false);
+        } else if (dynamic_cast<nn::ReLU*>(m) != nullptr && in_head) {
+            if (!head_relu.empty()) head_relu.back() = true;
+        } else {
+            throw std::invalid_argument("unsupported layer for int-only inference: " +
+                                        m->name());
+        }
+    }
+    if (head_linears.empty())
+        throw std::invalid_argument("model has no classifier head");
+
+    for (std::size_t i = 0; i < head_linears.size(); ++i) {
+        head_chain_.push_back(HeadLayer{head_linears[i].first, head_linears[i].second,
+                                        head_relu[i]});
+    }
+
+    // --- 2. Calibration ----------------------------------------------------
+    const std::int64_t n_cal = std::min<std::int64_t>(calib_samples, calibration.size());
+    if (n_cal < 1) throw std::invalid_argument("empty calibration set");
+    float in_lo = 0.0f, in_hi = 0.0f;
+    {
+        data::DataLoader loader(calibration, std::min<std::int64_t>(n_cal, 32),
+                                /*shuffle=*/false, 0);
+        loader.start_epoch();
+        data::Batch batch;
+        std::int64_t used = 0;
+        bool first = true;
+        while (used < n_cal && loader.next(batch)) {
+            if (first) {
+                in_lo = batch.images.min();
+                in_hi = batch.images.max();
+                first = false;
+            } else {
+                in_lo = std::min(in_lo, batch.images.min());
+                in_hi = std::max(in_hi, batch.images.max());
+            }
+            tensor::Tensor cur = batch.images;
+            for (auto& op : ops_) cur = op->run_float(cur);
+            used += batch.images.dim(0);
+        }
+    }
+    // Activations must index every conv's LUT, so the network-wide
+    // activation width is the narrowest multiplier width.
+    act_bits_ = 8;
+    for (auto& op : ops_) {
+        if (auto* conv = dynamic_cast<ConvOp*>(op.get()))
+            act_bits_ = std::min(act_bits_, conv->bits);
+    }
+    const auto ip = quant::choose_params(in_lo, in_hi, act_bits_);
+    input_scale_ = ip.scale;
+    input_zero_ = static_cast<std::int32_t>(ip.zero_point);
+
+    // --- 3. Finalize integer parameters ------------------------------------
+    float scale = input_scale_;
+    std::int32_t zero = input_zero_;
+    for (auto& op : ops_) {
+        if (auto* conv = dynamic_cast<ConvOp*>(op.get())) {
+            conv->finalize(scale, zero, act_bits_);
+            scale = conv->out_scale;
+            zero = conv->out_zero;
+        }
+        // Pool ops keep scale/zero.
+    }
+}
+
+IntInferenceEngine::~IntInferenceEngine() = default;
+
+QTensor IntInferenceEngine::quantize_input(const tensor::Tensor& images) const {
+    QTensor q;
+    q.n = images.dim(0);
+    q.c = images.dim(1);
+    q.h = images.dim(2);
+    q.w = images.dim(3);
+    q.scale = input_scale_;
+    q.zero = input_zero_;
+    q.data.resize(static_cast<std::size_t>(q.numel()));
+    const float qmax = static_cast<float>((1u << act_bits_) - 1);
+    for (std::int64_t i = 0; i < images.numel(); ++i) {
+        const float v =
+            std::nearbyint(images[i] / input_scale_ + static_cast<float>(input_zero_));
+        q.data[static_cast<std::size_t>(i)] =
+            static_cast<std::uint8_t>(std::clamp(v, 0.0f, qmax));
+    }
+    return q;
+}
+
+tensor::Tensor IntInferenceEngine::forward(const tensor::Tensor& images) {
+    QTensor q = quantize_input(images);
+    for (const auto& op : ops_) q = op->run(q);
+
+    // Dequantize and run the float head.
+    tensor::Tensor features(tensor::Shape{q.n, q.c * q.h * q.w});
+    for (std::int64_t i = 0; i < features.numel(); ++i)
+        features[i] = q.scale * (static_cast<float>(q.data[static_cast<std::size_t>(i)]) -
+                                 static_cast<float>(q.zero));
+
+    tensor::Tensor cur = features;
+    for (const auto& layer : head_chain_) {
+        tensor::Tensor y = tensor::matmul_nt(cur, layer.weight);
+        const std::int64_t out = layer.weight.dim(0);
+        for (std::int64_t n = 0; n < y.dim(0); ++n)
+            for (std::int64_t o = 0; o < out; ++o) {
+                float v = y[n * out + o] + layer.bias[o];
+                if (layer.relu) v = std::max(v, 0.0f);
+                y[n * out + o] = v;
+            }
+        cur = y;
+    }
+    return cur;
+}
+
+double IntInferenceEngine::evaluate(const data::Dataset& dataset,
+                                    std::int64_t batch_size) {
+    data::DataLoader loader(dataset, batch_size, /*shuffle=*/false, 0);
+    loader.start_epoch();
+    data::Batch batch;
+    double hits = 0.0;
+    std::int64_t total = 0;
+    while (loader.next(batch)) {
+        const tensor::Tensor logits = forward(batch.images);
+        hits += nn::top1_accuracy(logits, batch.labels) *
+                static_cast<double>(batch.labels.size());
+        total += static_cast<std::int64_t>(batch.labels.size());
+    }
+    return total ? hits / static_cast<double>(total) : 0.0;
+}
+
+} // namespace amret::approx

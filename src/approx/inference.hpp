@@ -1,0 +1,94 @@
+/// \file inference.hpp
+/// \brief Integer-arithmetic-only inference — the deployment path of Fig. 1.
+///
+/// Training simulates the accelerator with fake quantization; the deployed
+/// accelerator runs pure integer arithmetic (Jacob et al., CVPR'18). This
+/// engine compiles a trained sequential CNN into that form:
+///   1. BatchNorm layers are folded into the preceding convolution,
+///   2. a float calibration pass records every fused op's output range,
+///   3. weights are quantized to codes; each op gets a fixed-point
+///      requantization multiplier M = s_in*s_w/s_out as (int32 mul, shift),
+///   4. execution uses uint8 activation tensors, the AppMult product LUT,
+///      int32/int64 accumulation, integer bias addition, fixed-point
+///      requantization with clamping, and integer max/avg pooling.
+/// The classifier head stays float (dequantize before it), matching the
+/// paper's setup where only conv layers are approximate.
+///
+/// Supported topology: a Sequential of ApproxConv2d / BatchNorm2d / ReLU /
+/// MaxPool2d / AvgPool2d / GlobalAvgPool / Flatten / Dropout / Linear
+/// (i.e. LeNet and the VGG family; residual ResNets need skip-scale
+/// alignment, which is out of scope here).
+#pragma once
+
+#include "approx/approx_conv.hpp"
+#include "data/dataset.hpp"
+#include "nn/layers.hpp"
+#include "nn/module.hpp"
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+namespace amret::approx {
+
+/// A uint8 activation tensor with its affine interpretation.
+struct QTensor {
+    std::vector<std::uint8_t> data;
+    std::int64_t n = 0, c = 0, h = 0, w = 0; ///< NCHW dims (h=w=1 for flat)
+    float scale = 1.0f;
+    std::int32_t zero = 0;
+
+    [[nodiscard]] std::int64_t numel() const { return n * c * h * w; }
+};
+
+/// Compiled integer-only network.
+class IntInferenceEngine {
+public:
+    /// Compiles \p model (see the supported topology above). \p calibration
+    /// provides activations for range calibration; \p calib_samples bounds
+    /// how many are used. The model itself is not modified.
+    /// Throws std::invalid_argument on unsupported layers.
+    IntInferenceEngine(nn::Sequential& model, const data::Dataset& calibration,
+                       std::int64_t calib_samples = 128);
+    ~IntInferenceEngine(); // out-of-line: Op is incomplete here
+
+    /// Runs integer-only inference; returns float logits (N, classes).
+    tensor::Tensor forward(const tensor::Tensor& images);
+
+    /// Top-1 accuracy over a dataset.
+    double evaluate(const data::Dataset& dataset, std::int64_t batch_size = 64);
+
+    /// Number of compiled integer ops (fused convs + pools).
+    [[nodiscard]] std::size_t num_ops() const { return ops_.size(); }
+
+    struct Op; // public so op implementations can derive in the .cpp
+
+private:
+    /// Float classifier head: Linear (ReLU Linear)* chain copied at compile.
+    struct HeadLayer {
+        tensor::Tensor weight; // (out, in)
+        tensor::Tensor bias;   // (out)
+        bool relu = false;
+    };
+
+    std::vector<std::unique_ptr<Op>> ops_;
+    std::vector<HeadLayer> head_chain_;
+    unsigned act_bits_ = 8; ///< network-wide activation width (min LUT width)
+    float input_scale_ = 1.0f;
+    std::int32_t input_zero_ = 0;
+
+    QTensor quantize_input(const tensor::Tensor& images) const;
+};
+
+/// Fixed-point representation of a positive real multiplier m < 1:
+/// m ~= mult * 2^-shift with mult in [2^30, 2^31). Exposed for testing.
+struct FixedPointMultiplier {
+    std::int32_t mult = 0;
+    int shift = 0;
+};
+FixedPointMultiplier quantize_multiplier(double m);
+
+/// Applies the fixed-point multiplier with rounding: (v * mult) >> shift.
+std::int32_t fixed_point_rescale(std::int64_t v, const FixedPointMultiplier& fpm);
+
+} // namespace amret::approx

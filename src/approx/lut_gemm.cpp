@@ -1,0 +1,77 @@
+#include "approx/lut_gemm.hpp"
+
+#include <vector>
+
+namespace amret::approx {
+
+void lut_forward(const LutGemmArgs& args, const float* bias, float* y) {
+    const std::int64_t o_rows = args.o, p_rows = args.p, depth = args.k;
+    const unsigned bits = args.bits;
+
+    // Row sums for the Eq. (8) zero-point correction terms.
+    std::vector<std::int64_t> sum_w(static_cast<std::size_t>(o_rows), 0);
+    for (std::int64_t i = 0; i < o_rows; ++i) {
+        const std::uint16_t* row = args.wq + i * depth;
+        std::int64_t s = 0;
+        for (std::int64_t kk = 0; kk < depth; ++kk) s += row[kk];
+        sum_w[static_cast<std::size_t>(i)] = s;
+    }
+
+    for (std::int64_t pp = 0; pp < p_rows; ++pp) {
+        const std::uint16_t* xrow = args.xq + pp * depth;
+        std::int64_t sum_x = 0;
+        for (std::int64_t kk = 0; kk < depth; ++kk) sum_x += xrow[kk];
+
+        float* yrow = y + pp * o_rows;
+        for (std::int64_t oo = 0; oo < o_rows; ++oo) {
+            const std::uint16_t* wrow = args.wq + oo * depth;
+            std::int64_t acc = 0;
+            for (std::int64_t kk = 0; kk < depth; ++kk) {
+                acc += args.lut[(static_cast<std::uint32_t>(wrow[kk]) << bits) |
+                                xrow[kk]];
+            }
+            const std::int32_t zw = args.row_zero_w(oo);
+            const float ss = args.row_scale_w(oo) * args.scale_x;
+            const std::int64_t kzz =
+                depth * static_cast<std::int64_t>(zw) * args.zero_x;
+            const std::int64_t corrected = acc -
+                                           static_cast<std::int64_t>(args.zero_x) *
+                                               sum_w[static_cast<std::size_t>(oo)] -
+                                           static_cast<std::int64_t>(zw) * sum_x +
+                                           kzz;
+            yrow[oo] = ss * static_cast<float>(corrected) + (bias ? bias[oo] : 0.0f);
+        }
+    }
+}
+
+void lut_backward(const LutGemmArgs& args, const float* gyp, const float* grad_w_lut,
+                  const float* grad_x_lut, float* gw_raw, float* gx_raw) {
+    const std::int64_t o_rows = args.o, p_rows = args.p, depth = args.k;
+    const unsigned bits = args.bits;
+    const float zx = static_cast<float>(args.zero_x);
+
+    for (std::int64_t pp = 0; pp < p_rows; ++pp) {
+        const std::uint16_t* xrow = args.xq + pp * depth;
+        float* gxrow = gx_raw + pp * depth;
+        const float* gyrow = gyp + pp * o_rows;
+        for (std::int64_t oo = 0; oo < o_rows; ++oo) {
+            const float g = gyrow[oo];
+            if (g == 0.0f) continue;
+            // The row's weight scale is folded into the activation-gradient
+            // contribution here, since it varies per output channel in
+            // per-channel mode.
+            const float zw = static_cast<float>(args.row_zero_w(oo));
+            const float gx_scale = args.row_scale_w(oo);
+            const std::uint16_t* wrow = args.wq + oo * depth;
+            float* gwrow = gw_raw + oo * depth;
+            for (std::int64_t kk = 0; kk < depth; ++kk) {
+                const std::uint32_t idx =
+                    (static_cast<std::uint32_t>(wrow[kk]) << bits) | xrow[kk];
+                gwrow[kk] += g * (grad_w_lut[idx] - zx);
+                gxrow[kk] += g * gx_scale * (grad_x_lut[idx] - zw);
+            }
+        }
+    }
+}
+
+} // namespace amret::approx

@@ -1,0 +1,57 @@
+/// \file lut_gemm.hpp
+/// \brief Integer GEMM kernels driven by multiplier lookup tables.
+///
+/// These are the CPU equivalents of the paper's CUDA kernels: the forward
+/// kernel replaces every multiply-accumulate with a product-LUT lookup and
+/// applies the Eq. (8) zero-point correction; the backward kernel replaces
+/// the multiplier derivative with a gradient-LUT lookup (Eq. 9). They are
+/// shared by ApproxConv2d (after im2col) and ApproxLinear and benchmarked
+/// stand-alone by bench_micro.
+#pragma once
+
+#include <cstdint>
+
+namespace amret::approx {
+
+/// Operand matrices and quantization constants of one LUT GEMM.
+/// Layout: wq is (rows_o, depth_k), xq is (rows_p, depth_k), both row-major;
+/// LUT index is (w << bits) | x.
+struct LutGemmArgs {
+    unsigned bits = 8;
+    const std::int32_t* lut = nullptr;  ///< product LUT, 2^(2*bits) entries
+    const std::uint16_t* wq = nullptr;  ///< quantized weights (O, K)
+    const std::uint16_t* xq = nullptr;  ///< quantized activations (P, K)
+    std::int64_t o = 0;                 ///< output rows (channels)
+    std::int64_t p = 0;                 ///< positions (batch x spatial)
+    std::int64_t k = 0;                 ///< reduction depth
+    float scale_w = 1.0f, scale_x = 1.0f;
+    std::int32_t zero_w = 0, zero_x = 0;
+    /// Optional per-output-channel weight quantization: when non-null these
+    /// arrays (length O) override scale_w / zero_w row-wise.
+    const float* scale_w_per_o = nullptr;
+    const std::int32_t* zero_w_per_o = nullptr;
+
+    [[nodiscard]] float row_scale_w(std::int64_t oo) const {
+        return scale_w_per_o ? scale_w_per_o[oo] : scale_w;
+    }
+    [[nodiscard]] std::int32_t row_zero_w(std::int64_t oo) const {
+        return zero_w_per_o ? zero_w_per_o[oo] : zero_w;
+    }
+};
+
+/// Forward: y[p, o] = s_w*s_x*(sum_k LUT[w,x] - Z_x*sumW[o] - Z_w*sumX[p]
+///                             + K*Z_w*Z_x) + bias[o].
+/// \p bias may be null. \p y is (P, O), overwritten.
+void lut_forward(const LutGemmArgs& args, const float* bias, float* y);
+
+/// Backward: accumulates the multiplier-gradient sums
+///   gw_raw[o, k] += sum_p gyp[p, o] * (gradW[w,x] - Z_x)
+///   gx_raw[p, k] += sum_o gyp[p, o] * s_w[o] * (gradX[w,x] - Z_w)
+/// The weight scale is folded into gx_raw (it varies per row in per-channel
+/// mode); the remaining factors — s_x for gw, and the clamp masks — are
+/// applied by the caller (see ApproxConv2d::backward_quant). Buffers must
+/// be zero-initialized.
+void lut_backward(const LutGemmArgs& args, const float* gyp, const float* grad_w_lut,
+                  const float* grad_x_lut, float* gw_raw, float* gx_raw);
+
+} // namespace amret::approx

@@ -1,0 +1,26 @@
+#include "core/hws.hpp"
+
+#include <cassert>
+#include <limits>
+
+namespace amret::core {
+
+std::vector<unsigned> default_hws_candidates() { return {1, 2, 4, 8, 16, 32, 64}; }
+
+HwsSelection select_hws(const std::vector<unsigned>& candidates,
+                        const std::function<double(unsigned)>& loss_fn) {
+    assert(!candidates.empty());
+    HwsSelection sel;
+    sel.best_loss = std::numeric_limits<double>::infinity();
+    for (unsigned hws : candidates) {
+        const double loss = loss_fn(hws);
+        sel.losses.emplace_back(hws, loss);
+        if (loss < sel.best_loss) {
+            sel.best_loss = loss;
+            sel.best_hws = hws;
+        }
+    }
+    return sel;
+}
+
+} // namespace amret::core

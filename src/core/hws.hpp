@@ -1,0 +1,32 @@
+/// \file hws.hpp
+/// \brief Half-window-size selection (Sec. V-A).
+///
+/// The paper selects HWS per multiplier by retraining a small LeNet for a
+/// few epochs with each candidate HWS and keeping the one with the smallest
+/// training loss. This module provides the candidate sweep as a generic
+/// argmin over a caller-supplied evaluation function so the core stays free
+/// of DNN dependencies; `train/hws_search.hpp` supplies the concrete
+/// LeNet-based evaluator.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+namespace amret::core {
+
+/// The paper's candidate set: 1, 2, 4, 8, 16, 32, 64.
+std::vector<unsigned> default_hws_candidates();
+
+/// Result of a sweep.
+struct HwsSelection {
+    unsigned best_hws = 1;
+    double best_loss = 0.0;
+    std::vector<std::pair<unsigned, double>> losses; ///< (hws, loss) per candidate
+};
+
+/// Evaluates \p loss_fn for every candidate and returns the argmin.
+/// \p loss_fn must return the training loss achieved with that HWS.
+HwsSelection select_hws(const std::vector<unsigned>& candidates,
+                        const std::function<double(unsigned hws)>& loss_fn);
+
+} // namespace amret::core

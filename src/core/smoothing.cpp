@@ -1,0 +1,66 @@
+#include "core/smoothing.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <numeric>
+
+namespace amret::core {
+
+std::vector<double> smooth_row(std::span<const double> row, unsigned hws) {
+    const std::size_t n = row.size();
+    assert(n >= 1);
+    std::vector<double> smoothed(row.begin(), row.end());
+    const std::size_t window = 2 * static_cast<std::size_t>(hws) + 1;
+    if (hws == 0) return smoothed;
+    if (window > n) {
+        const double mean =
+            std::accumulate(row.begin(), row.end(), 0.0) / static_cast<double>(n);
+        std::fill(smoothed.begin(), smoothed.end(), mean);
+        return smoothed;
+    }
+
+    // Prefix sums make each window average O(1).
+    std::vector<double> prefix(n + 1, 0.0);
+    for (std::size_t i = 0; i < n; ++i) prefix[i + 1] = prefix[i] + row[i];
+
+    for (std::size_t x = hws; x + hws < n; ++x) {
+        const double sum = prefix[x + hws + 1] - prefix[x - hws];
+        smoothed[x] = sum / static_cast<double>(window);
+    }
+    return smoothed;
+}
+
+double boundary_gradient(std::span<const double> row) {
+    assert(!row.empty());
+    const auto [mn, mx] = std::minmax_element(row.begin(), row.end());
+    return (*mx - *mn) / static_cast<double>(row.size());
+}
+
+double signed_boundary_gradient(std::span<const double> row) {
+    assert(!row.empty());
+    return (row.back() - row.front()) / static_cast<double>(row.size());
+}
+
+std::vector<double> difference_gradient_row(std::span<const double> row, unsigned hws,
+                                            BoundaryRule rule) {
+    const std::size_t n = row.size();
+    assert(n >= 2);
+    const double edge = rule == BoundaryRule::kPaperEq6
+                            ? boundary_gradient(row)
+                            : signed_boundary_gradient(row);
+    std::vector<double> grad(n, edge);
+
+    // Interior of Eq. (5) requires x-1 >= hws and x+1 <= n-1-hws.
+    if (2 * static_cast<std::size_t>(hws) + 2 >= n) return grad; // no interior
+    const std::vector<double> smoothed = smooth_row(row, hws);
+    for (std::size_t x = hws + 1; x + hws + 1 < n; ++x) {
+        grad[x] = (smoothed[x + 1] - smoothed[x - 1]) / 2.0;
+    }
+    return grad;
+}
+
+std::vector<double> ste_gradient_row(double fixed_operand, std::size_t n) {
+    return std::vector<double>(n, fixed_operand);
+}
+
+} // namespace amret::core

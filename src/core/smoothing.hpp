@@ -1,0 +1,57 @@
+/// \file smoothing.hpp
+/// \brief Row-wise smoothing and difference-based gradient of a discrete
+///        multiplier function (the paper's Eqs. 4-6).
+///
+/// These primitives operate on one "row" of the multiplier function — the
+/// vector AM(W_f, X) for X = 0..2^B-1 with W_f fixed (or the transposed
+/// row for the gradient w.r.t. W). They are the heart of the paper's
+/// contribution and are kept free of any DNN dependencies so they can be
+/// unit- and property-tested in isolation.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace amret::core {
+
+/// Moving-average smoothing, Eq. (4):
+///   S(x) = (1 / (2*hws + 1)) * sum_{d = -hws..hws} row[x + d]
+/// defined for hws <= x <= n-1-hws where n = row.size().
+///
+/// Returns a vector of size n whose entries outside [hws, n-1-hws] are left
+/// as the raw row values (they are never consumed by the gradient rule, but
+/// keeping the vector full-length simplifies callers). If 2*hws + 1 > n the
+/// whole row is replaced by its global mean.
+std::vector<double> smooth_row(std::span<const double> row, unsigned hws);
+
+/// How gradients outside the Eq. (5) interior are estimated.
+enum class BoundaryRule {
+    /// The paper's Eq. (6): (max(row) - min(row)) / n. Always non-negative —
+    /// correct for the unsigned multipliers the paper studies, whose rows
+    /// are (on average) non-decreasing.
+    kPaperEq6,
+    /// Signed average slope (row[n-1] - row[0]) / n. Coincides with Eq. (6)
+    /// for monotone non-decreasing rows; required for signed multipliers,
+    /// whose rows decrease when the fixed operand is negative.
+    kSignedSlope,
+};
+
+/// Difference-based gradient of one row, Eqs. (5) and (6):
+///   g(x) = (S(x+1) - S(x-1)) / 2            for hws <  x < n-1-hws
+///   g(x) = boundary estimate (see BoundaryRule) otherwise
+/// where S is the Eq. (4) smoothing of the row with the same hws.
+std::vector<double> difference_gradient_row(std::span<const double> row, unsigned hws,
+                                            BoundaryRule rule = BoundaryRule::kPaperEq6);
+
+/// The boundary estimate of Eq. (6) alone: (max(row) - min(row)) / n.
+double boundary_gradient(std::span<const double> row);
+
+/// The signed-slope boundary estimate: (row[n-1] - row[0]) / n.
+double signed_boundary_gradient(std::span<const double> row);
+
+/// STE gradient of one row: the accurate multiplier's slope, i.e. a constant
+/// equal to the fixed operand (Eq. 3). Provided for symmetry in tests.
+std::vector<double> ste_gradient_row(double fixed_operand, std::size_t n);
+
+} // namespace amret::core

@@ -1,0 +1,216 @@
+#include "data/dataset.hpp"
+
+#include "util/logging.hpp"
+
+#include <cassert>
+#include <cmath>
+#include <fstream>
+#include <numbers>
+
+namespace amret::data {
+
+namespace {
+
+/// Smooth random field: sum of low-frequency cosine waves.
+struct WaveField {
+    struct Wave {
+        double fy, fx, phase, amp;
+    };
+    std::vector<Wave> waves;
+
+    static WaveField random(int count, util::Rng& rng) {
+        WaveField f;
+        for (int i = 0; i < count; ++i) {
+            f.waves.push_back(Wave{rng.uniform(0.5, 2.5), rng.uniform(0.5, 2.5),
+                                   rng.uniform(0.0, 2.0 * std::numbers::pi),
+                                   rng.uniform(0.4, 1.0)});
+        }
+        return f;
+    }
+
+    [[nodiscard]] double at(double y, double x) const {
+        double v = 0.0;
+        for (const auto& w : waves) {
+            v += w.amp * std::cos(2.0 * std::numbers::pi * (w.fy * y + w.fx * x) +
+                                  w.phase);
+        }
+        return v;
+    }
+};
+
+void synthesize_split(Dataset& out, std::int64_t samples,
+                      const std::vector<std::vector<WaveField>>& prototypes,
+                      const SyntheticConfig& config, util::Rng& rng) {
+    out.channels = config.channels;
+    out.height = config.height;
+    out.width = config.width;
+    out.num_classes = config.num_classes;
+    out.images.resize(static_cast<std::size_t>(samples * out.sample_numel()));
+    out.labels.resize(static_cast<std::size_t>(samples));
+
+    const std::int64_t h = config.height, w = config.width;
+    for (std::int64_t s = 0; s < samples; ++s) {
+        const int label = static_cast<int>(rng.uniform_u64(
+            static_cast<std::uint64_t>(config.num_classes)));
+        out.labels[static_cast<std::size_t>(s)] = label;
+
+        const int shift_y = static_cast<int>(
+            rng.uniform_int(-config.max_shift, config.max_shift));
+        const int shift_x = static_cast<int>(
+            rng.uniform_int(-config.max_shift, config.max_shift));
+        const float gain =
+            1.0f + static_cast<float>(rng.uniform(-config.gain_jitter,
+                                                  config.gain_jitter));
+
+        float* img = out.images.data() + s * out.sample_numel();
+        for (std::int64_t c = 0; c < config.channels; ++c) {
+            const WaveField& field =
+                prototypes[static_cast<std::size_t>(label)][static_cast<std::size_t>(c)];
+            for (std::int64_t y = 0; y < h; ++y) {
+                for (std::int64_t x = 0; x < w; ++x) {
+                    // Circular shift keeps all class energy in the frame.
+                    const double yy =
+                        static_cast<double>(((y + shift_y) % h + h) % h) /
+                        static_cast<double>(h);
+                    const double xx =
+                        static_cast<double>(((x + shift_x) % w + w) % w) /
+                        static_cast<double>(w);
+                    const double base = field.at(yy, xx);
+                    const double noisy =
+                        gain * base + config.noise_stddev * rng.normal();
+                    img[(c * h + y) * w + x] = static_cast<float>(noisy);
+                }
+            }
+        }
+    }
+}
+
+} // namespace
+
+DatasetPair make_synthetic(const SyntheticConfig& config) {
+    assert(config.num_classes >= 2);
+    util::Rng rng(config.seed);
+
+    std::vector<std::vector<WaveField>> prototypes(
+        static_cast<std::size_t>(config.num_classes));
+    for (auto& per_channel : prototypes) {
+        per_channel.reserve(static_cast<std::size_t>(config.channels));
+        for (std::int64_t c = 0; c < config.channels; ++c)
+            per_channel.push_back(WaveField::random(config.waves_per_class, rng));
+    }
+
+    DatasetPair pair;
+    synthesize_split(pair.train, config.train_samples, prototypes, config, rng);
+    synthesize_split(pair.test, config.test_samples, prototypes, config, rng);
+    return pair;
+}
+
+Dataset load_cifar_binary(const std::vector<std::string>& paths, int num_classes,
+                          bool cifar100) {
+    Dataset out;
+    out.channels = 3;
+    out.height = 32;
+    out.width = 32;
+    out.num_classes = num_classes;
+
+    const std::size_t row_bytes = cifar100 ? (2 + 3072) : (1 + 3072);
+    for (const auto& path : paths) {
+        std::ifstream f(path, std::ios::binary);
+        if (!f) {
+            util::log_warn("cifar: cannot open ", path);
+            return Dataset{};
+        }
+        std::vector<unsigned char> row(row_bytes);
+        while (f.read(reinterpret_cast<char*>(row.data()),
+                      static_cast<std::streamsize>(row_bytes))) {
+            // CIFAR-100 rows carry [coarse, fine]; we use the fine label.
+            const int label = cifar100 ? row[1] : row[0];
+            if (label < 0 || label >= num_classes) return Dataset{};
+            out.labels.push_back(label);
+            const unsigned char* pixels = row.data() + (cifar100 ? 2 : 1);
+            for (std::size_t i = 0; i < 3072; ++i) {
+                // Normalize to roughly zero-mean unit-range floats.
+                out.images.push_back(
+                    (static_cast<float>(pixels[i]) / 255.0f - 0.5f) * 2.0f);
+            }
+        }
+    }
+    return out;
+}
+
+DataLoader::DataLoader(const Dataset& dataset, std::int64_t batch_size, bool shuffle,
+                       std::uint64_t seed)
+    : dataset_(dataset), batch_size_(batch_size), shuffle_(shuffle), rng_(seed) {
+    assert(batch_size_ >= 1);
+    order_.resize(static_cast<std::size_t>(dataset_.size()));
+    for (std::size_t i = 0; i < order_.size(); ++i) order_[i] = i;
+}
+
+std::int64_t DataLoader::num_batches() const {
+    return (dataset_.size() + batch_size_ - 1) / batch_size_;
+}
+
+void DataLoader::start_epoch() {
+    cursor_ = 0;
+    if (shuffle_) rng_.shuffle(order_);
+}
+
+void DataLoader::augment_sample(float* sample) {
+    const std::int64_t c = dataset_.channels, h = dataset_.height, w = dataset_.width;
+    if (augmentation_.hflip_prob > 0.0f &&
+        rng_.bernoulli(augmentation_.hflip_prob)) {
+        for (std::int64_t ch = 0; ch < c; ++ch)
+            for (std::int64_t y = 0; y < h; ++y) {
+                float* row = sample + (ch * h + y) * w;
+                for (std::int64_t x = 0; x < w / 2; ++x)
+                    std::swap(row[x], row[w - 1 - x]);
+            }
+    }
+    if (augmentation_.max_shift > 0) {
+        const int sy = static_cast<int>(
+            rng_.uniform_int(-augmentation_.max_shift, augmentation_.max_shift));
+        const int sx = static_cast<int>(
+            rng_.uniform_int(-augmentation_.max_shift, augmentation_.max_shift));
+        if (sy != 0 || sx != 0) {
+            std::vector<float> shifted(static_cast<std::size_t>(c * h * w));
+            for (std::int64_t ch = 0; ch < c; ++ch)
+                for (std::int64_t y = 0; y < h; ++y)
+                    for (std::int64_t x = 0; x < w; ++x) {
+                        const std::int64_t yy = ((y + sy) % h + h) % h;
+                        const std::int64_t xx = ((x + sx) % w + w) % w;
+                        shifted[static_cast<std::size_t>((ch * h + y) * w + x)] =
+                            sample[(ch * h + yy) * w + xx];
+                    }
+            std::copy(shifted.begin(), shifted.end(), sample);
+        }
+    }
+    if (augmentation_.noise_stddev > 0.0f) {
+        for (std::int64_t i = 0; i < c * h * w; ++i)
+            sample[i] += static_cast<float>(
+                rng_.normal(0.0, augmentation_.noise_stddev));
+    }
+}
+
+bool DataLoader::next(Batch& out) {
+    if (cursor_ >= dataset_.size()) return false;
+    const std::int64_t n =
+        std::min<std::int64_t>(batch_size_, dataset_.size() - cursor_);
+    out.images = tensor::Tensor(tensor::Shape{n, dataset_.channels, dataset_.height,
+                                              dataset_.width});
+    out.labels.resize(static_cast<std::size_t>(n));
+    const std::int64_t sample = dataset_.sample_numel();
+    for (std::int64_t i = 0; i < n; ++i) {
+        const std::size_t src = order_[static_cast<std::size_t>(cursor_ + i)];
+        const float* from =
+            dataset_.images.data() + static_cast<std::int64_t>(src) * sample;
+        float* to = out.images.data() + i * sample;
+        std::copy(from, from + sample, to);
+        if (augmentation_.enabled()) augment_sample(to);
+        out.labels[static_cast<std::size_t>(i)] =
+            dataset_.labels[src];
+    }
+    cursor_ += n;
+    return true;
+}
+
+} // namespace amret::data

@@ -1,0 +1,119 @@
+/// \file dataset.hpp
+/// \brief Image classification datasets and the batching data loader.
+///
+/// The paper trains on CIFAR-10/100, which cannot be downloaded offline.
+/// The primary substitute is a synthetic class-structured image generator:
+/// each class has a smooth random prototype (a sum of low-frequency cosine
+/// waves per channel); samples are the prototype plus Gaussian pixel noise,
+/// a random circular shift, and a random gain — enough structure that a CNN
+/// must learn real spatial features, while remaining learnable at tiny
+/// scales. A reader for the genuine CIFAR binary format is also provided
+/// and is used automatically when the files are present.
+#pragma once
+
+#include "tensor/tensor.hpp"
+#include "util/rng.hpp"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace amret::data {
+
+/// One in-memory split (images are stored normalized, NCHW per sample).
+struct Dataset {
+    std::int64_t channels = 3;
+    std::int64_t height = 0;
+    std::int64_t width = 0;
+    int num_classes = 0;
+    std::vector<float> images; ///< size() == samples * channels * h * w
+    std::vector<int> labels;
+
+    [[nodiscard]] std::int64_t size() const {
+        return static_cast<std::int64_t>(labels.size());
+    }
+    [[nodiscard]] std::int64_t sample_numel() const {
+        return channels * height * width;
+    }
+};
+
+/// Configuration for the synthetic generator.
+struct SyntheticConfig {
+    int num_classes = 10;
+    std::int64_t height = 12;
+    std::int64_t width = 12;
+    std::int64_t channels = 3;
+    std::int64_t train_samples = 800;
+    std::int64_t test_samples = 400;
+    int waves_per_class = 4;     ///< cosine components per prototype channel
+    float noise_stddev = 0.35f;  ///< per-pixel Gaussian noise
+    int max_shift = 2;           ///< circular shift range (pixels)
+    float gain_jitter = 0.15f;   ///< multiplicative brightness jitter
+    std::uint64_t seed = 42;
+};
+
+/// Train/test pair.
+struct DatasetPair {
+    Dataset train;
+    Dataset test;
+};
+
+/// Generates the synthetic classification task described above.
+DatasetPair make_synthetic(const SyntheticConfig& config);
+
+/// Reads CIFAR-10/100 binary batches (3072-byte RGB rows). For CIFAR-100
+/// pass coarse_labels=false to use the fine label byte. Returns an empty
+/// dataset when the file cannot be read.
+Dataset load_cifar_binary(const std::vector<std::string>& paths, int num_classes,
+                          bool cifar100);
+
+/// Mini-batch view materialized as tensors.
+struct Batch {
+    tensor::Tensor images; ///< (N, C, H, W)
+    std::vector<int> labels;
+};
+
+/// On-the-fly training augmentation applied per sample by the DataLoader.
+struct Augmentation {
+    float hflip_prob = 0.0f;    ///< probability of mirroring horizontally
+    int max_shift = 0;          ///< random circular shift in +-pixels
+    float noise_stddev = 0.0f;  ///< additive Gaussian pixel noise
+
+    [[nodiscard]] bool enabled() const {
+        return hflip_prob > 0.0f || max_shift > 0 || noise_stddev > 0.0f;
+    }
+};
+
+/// Shuffling mini-batch iterator over a Dataset.
+class DataLoader {
+public:
+    DataLoader(const Dataset& dataset, std::int64_t batch_size, bool shuffle,
+               std::uint64_t seed);
+
+    /// Enables per-sample augmentation (training loaders only).
+    void set_augmentation(const Augmentation& augmentation) {
+        augmentation_ = augmentation;
+    }
+
+    /// Number of batches per epoch (last partial batch included).
+    [[nodiscard]] std::int64_t num_batches() const;
+
+    /// Reshuffles (if enabled) and resets the cursor.
+    void start_epoch();
+
+    /// Fetches the next batch; returns false at epoch end.
+    bool next(Batch& out);
+
+private:
+    void augment_sample(float* sample);
+
+    const Dataset& dataset_;
+    std::int64_t batch_size_;
+    bool shuffle_;
+    util::Rng rng_;
+    std::vector<std::size_t> order_;
+    std::int64_t cursor_ = 0;
+    Augmentation augmentation_;
+};
+
+} // namespace amret::data

@@ -1,0 +1,102 @@
+#include "data/shapes.hpp"
+
+#include <cassert>
+#include <cmath>
+
+namespace amret::data {
+
+namespace {
+
+/// Shape catalog: returns coverage in [0, 1] of pixel (y, x) by the shape
+/// with the given half-size, all in centered unit coordinates.
+enum class ShapeKind {
+    kSquare,
+    kCircle,
+    kCross,
+    kTriangle,
+    kRing,
+    kHBar,
+    kVBar,
+    kDiamond,
+};
+constexpr int kNumShapes = 8;
+
+bool covered(ShapeKind kind, double y, double x, double half) {
+    const double ay = std::abs(y), ax = std::abs(x);
+    switch (kind) {
+        case ShapeKind::kSquare: return ay <= half && ax <= half;
+        case ShapeKind::kCircle: return y * y + x * x <= half * half;
+        case ShapeKind::kCross:
+            return (ay <= half * 0.35 && ax <= half) ||
+                   (ax <= half * 0.35 && ay <= half);
+        case ShapeKind::kTriangle:
+            return y >= -half && y <= half && ax <= (y + half) / 2.0;
+        case ShapeKind::kRing: {
+            const double r2 = y * y + x * x;
+            return r2 <= half * half && r2 >= half * half * 0.3;
+        }
+        case ShapeKind::kHBar: return ay <= half * 0.4 && ax <= half;
+        case ShapeKind::kVBar: return ax <= half * 0.4 && ay <= half;
+        case ShapeKind::kDiamond: return ay + ax <= half;
+    }
+    return false;
+}
+
+void render_split(Dataset& out, std::int64_t samples, const ShapesConfig& config,
+                  util::Rng& rng) {
+    out.channels = 3;
+    out.height = config.height;
+    out.width = config.width;
+    out.num_classes = config.num_classes;
+    out.images.resize(static_cast<std::size_t>(samples * out.sample_numel()));
+    out.labels.resize(static_cast<std::size_t>(samples));
+
+    const double base_half = 0.55; // relative to the half image size
+    for (std::int64_t s = 0; s < samples; ++s) {
+        const int label = static_cast<int>(
+            rng.uniform_u64(static_cast<std::uint64_t>(config.num_classes)));
+        out.labels[static_cast<std::size_t>(s)] = label;
+        const auto kind = static_cast<ShapeKind>(label % kNumShapes);
+        // Classes beyond the catalog reuse a shape at reduced size.
+        const double class_scale = 1.0 - 0.35 * static_cast<double>(label / kNumShapes);
+
+        const double half =
+            base_half * class_scale *
+            (1.0 + rng.uniform(-config.scale_jitter, config.scale_jitter));
+        const double cy = rng.uniform_int(-config.max_shift, config.max_shift);
+        const double cx = rng.uniform_int(-config.max_shift, config.max_shift);
+        // Random saturated colour against a dark background.
+        float colour[3];
+        for (auto& ch : colour) ch = static_cast<float>(rng.uniform(0.4, 1.0));
+
+        float* img = out.images.data() + s * out.sample_numel();
+        const double hh = static_cast<double>(config.height) / 2.0;
+        const double hw = static_cast<double>(config.width) / 2.0;
+        for (std::int64_t c = 0; c < 3; ++c) {
+            for (std::int64_t y = 0; y < config.height; ++y) {
+                for (std::int64_t x = 0; x < config.width; ++x) {
+                    const double uy = (static_cast<double>(y) - hh + 0.5 - cy) / hh;
+                    const double ux = (static_cast<double>(x) - hw + 0.5 - cx) / hw;
+                    const bool on = covered(kind, uy, ux, half);
+                    const double value = (on ? colour[c] : -0.6) +
+                                         config.noise_stddev * rng.normal();
+                    img[(c * config.height + y) * config.width + x] =
+                        static_cast<float>(value);
+                }
+            }
+        }
+    }
+}
+
+} // namespace
+
+DatasetPair make_shapes(const ShapesConfig& config) {
+    assert(config.num_classes >= 2);
+    util::Rng rng(config.seed);
+    DatasetPair pair;
+    render_split(pair.train, config.train_samples, config, rng);
+    render_split(pair.test, config.test_samples, config, rng);
+    return pair;
+}
+
+} // namespace amret::data

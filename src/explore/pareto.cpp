@@ -1,0 +1,112 @@
+#include "explore/pareto.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <sstream>
+
+namespace amret::explore {
+
+std::vector<multgen::MultiplierSpec> standard_candidates(unsigned bits) {
+    std::vector<multgen::MultiplierSpec> candidates;
+
+    // Truncation depths up to (but excluding) total collapse.
+    for (unsigned k = 2; k + 2 <= 2 * bits; ++k)
+        candidates.push_back(multgen::truncated_spec(bits, k));
+
+    // OR-compression depths.
+    for (unsigned level = 3; level + 2 <= 2 * bits; ++level)
+        candidates.push_back(multgen::or_compressed_spec(bits, level));
+
+    // Truncation + OR hybrids (truncate k, OR the next 1-3 columns).
+    for (unsigned k = 2; k + 4 <= 2 * bits; ++k)
+        for (unsigned extra = 1; extra <= 3; ++extra)
+            candidates.push_back(multgen::truncated_or_spec(bits, k, k + extra));
+
+    // Broken arrays: a vertical cut plus a deeper cut on the high rows.
+    for (unsigned cut = 2; cut + 3 <= 2 * bits && cut < bits; ++cut)
+        for (unsigned row = bits / 2; row < bits; ++row)
+            candidates.push_back(multgen::broken_array_spec(bits, cut, row, 2));
+
+    // Single- and double-row perforation of the low rows.
+    for (unsigned row = 0; row < bits / 2; ++row)
+        candidates.push_back(multgen::perforated_spec(bits, {row}));
+    for (unsigned row = 0; row + 1 < bits / 2; ++row)
+        candidates.push_back(multgen::perforated_spec(bits, {row, row + 1}));
+
+    return candidates;
+}
+
+std::vector<DesignPoint> evaluate_designs(
+    const std::vector<multgen::MultiplierSpec>& candidates, double nmed_limit,
+    const AccuracyFn& accuracy) {
+    std::vector<DesignPoint> points;
+    for (const auto& spec : candidates) {
+        DesignPoint point;
+        point.spec = spec;
+        point.name = describe_spec(spec);
+
+        const appmult::AppMultLut lut(spec.bits, [&](std::uint64_t w, std::uint64_t x) {
+            return multgen::behavioral(spec, w, x);
+        });
+        point.error = appmult::measure_error(lut);
+        if (point.error.nmed > nmed_limit) continue;
+
+        point.hardware = netlist::analyze(multgen::build_netlist(spec));
+        if (accuracy) point.accuracy = accuracy(lut);
+        points.push_back(std::move(point));
+    }
+    return points;
+}
+
+std::vector<std::size_t> pareto_front(const std::vector<DesignPoint>& points) {
+    std::vector<std::size_t> order(points.size());
+    for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+    std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+        if (points[a].cost() != points[b].cost())
+            return points[a].cost() < points[b].cost();
+        return points[a].quality() > points[b].quality();
+    });
+
+    std::vector<std::size_t> front;
+    double best_quality = -std::numeric_limits<double>::infinity();
+    for (const std::size_t idx : order) {
+        if (points[idx].quality() > best_quality) {
+            front.push_back(idx);
+            best_quality = points[idx].quality();
+        }
+    }
+    return front;
+}
+
+std::optional<std::size_t> cheapest_above(const std::vector<DesignPoint>& points,
+                                          double min_quality) {
+    std::optional<std::size_t> best;
+    for (std::size_t i = 0; i < points.size(); ++i) {
+        if (points[i].quality() < min_quality) continue;
+        if (!best || points[i].cost() < points[*best].cost()) best = i;
+    }
+    return best;
+}
+
+std::string describe_spec(const multgen::MultiplierSpec& spec) {
+    std::ostringstream os;
+    os << "mul" << spec.bits << "u";
+    if (!spec.is_approximate()) {
+        os << "_acc";
+        return os.str();
+    }
+    if (spec.truncate_columns > 0) os << "_rm" << spec.truncate_columns;
+    if (spec.or_compress_columns > 0) os << "_or" << spec.or_compress_columns;
+    if (!spec.perforated_rows.empty()) {
+        os << "_perf{";
+        for (std::size_t i = 0; i < spec.perforated_rows.size(); ++i)
+            os << (i ? "," : "") << spec.perforated_rows[i];
+        os << "}";
+    }
+    if (spec.broken_row_start > 0)
+        os << "_ba" << spec.broken_row_start << "k" << spec.broken_col_keep;
+    if (spec.compensation != 0) os << "_c" << spec.compensation;
+    return os.str();
+}
+
+} // namespace amret::explore

@@ -1,0 +1,67 @@
+/// \file pareto.hpp
+/// \brief Design-space exploration utilities: enumerate candidate
+///        approximate multipliers, score them on cost and error (optionally
+///        retrained accuracy), and extract Pareto-optimal designs.
+///
+/// Automates the workflow of the paper's introduction — choosing the
+/// cheapest multiplier whose retrained accuracy is acceptable — and of
+/// Fig. 5's accuracy/power trade-off view.
+#pragma once
+
+#include "appmult/appmult.hpp"
+#include "multgen/multgen.hpp"
+#include "netlist/analysis.hpp"
+
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace amret::explore {
+
+/// One evaluated design point.
+struct DesignPoint {
+    std::string name;
+    multgen::MultiplierSpec spec;
+    netlist::HardwareReport hardware;
+    appmult::ErrorMetrics error;
+    /// Filled when an accuracy evaluator is supplied to evaluate_designs.
+    std::optional<double> accuracy;
+
+    /// Cost metric used for Pareto domination (power by default).
+    [[nodiscard]] double cost() const { return hardware.power_uw; }
+    /// Quality metric: retrained accuracy when available, else -NMED.
+    [[nodiscard]] double quality() const {
+        return accuracy.has_value() ? *accuracy : -error.nmed;
+    }
+};
+
+/// Enumerates a standard candidate grid for the given bit width across all
+/// approximation families: truncation depths, broken arrays, perforation
+/// patterns, OR-compression depths, truncation+OR hybrids.
+std::vector<multgen::MultiplierSpec> standard_candidates(unsigned bits);
+
+/// Optional accuracy oracle: maps a product LUT to task accuracy
+/// (e.g. a short retraining run); may be null.
+using AccuracyFn = std::function<double(const appmult::AppMultLut&)>;
+
+/// Builds, measures, and (optionally) trains every candidate.
+/// Candidates whose NMED exceeds \p nmed_limit are skipped before the
+/// (expensive) accuracy evaluation.
+std::vector<DesignPoint> evaluate_designs(
+    const std::vector<multgen::MultiplierSpec>& candidates, double nmed_limit,
+    const AccuracyFn& accuracy = nullptr);
+
+/// Indices of the Pareto-optimal points (maximizing quality(), minimizing
+/// cost()), sorted by ascending cost. A point is dominated if another point
+/// has cost <= and quality >= with at least one strict.
+std::vector<std::size_t> pareto_front(const std::vector<DesignPoint>& points);
+
+/// The cheapest point whose quality is at least \p min_quality, if any.
+std::optional<std::size_t> cheapest_above(const std::vector<DesignPoint>& points,
+                                          double min_quality);
+
+/// Short human-readable description of a spec ("rm6", "perf{1,2}", ...).
+std::string describe_spec(const multgen::MultiplierSpec& spec);
+
+} // namespace amret::explore

@@ -1,0 +1,284 @@
+#include "models/models.hpp"
+
+#include "approx/depthwise.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <map>
+#include <stdexcept>
+
+namespace amret::models {
+
+using approx::ApproxConv2d;
+using nn::BatchNorm2d;
+using nn::Flatten;
+using nn::GlobalAvgPool;
+using nn::Linear;
+using nn::MaxPool2d;
+using nn::ReLU;
+using nn::Sequential;
+
+namespace {
+
+std::int64_t scaled(std::int64_t channels, float width_mult) {
+    return std::max<std::int64_t>(
+        2, static_cast<std::int64_t>(channels * width_mult + 0.5f));
+}
+
+} // namespace
+
+// ---------------------------------------------------------------- LeNet --
+
+std::unique_ptr<Sequential> make_lenet(const ModelConfig& config) {
+    assert(config.in_size % 4 == 0);
+    util::Rng rng(config.seed);
+    auto net = std::make_unique<Sequential>();
+    const std::int64_t c1 = scaled(6, config.width_mult);
+    const std::int64_t c2 = scaled(16, config.width_mult);
+    net->emplace<ApproxConv2d>(config.in_channels, c1, 5, 1, 2, rng);
+    net->emplace<BatchNorm2d>(c1);
+    net->emplace<ReLU>();
+    net->emplace<MaxPool2d>(2);
+    net->emplace<ApproxConv2d>(c1, c2, 5, 1, 2, rng);
+    net->emplace<BatchNorm2d>(c2);
+    net->emplace<ReLU>();
+    net->emplace<MaxPool2d>(2);
+    net->emplace<Flatten>();
+    const std::int64_t spatial = (config.in_size / 4) * (config.in_size / 4);
+    const std::int64_t f1 = scaled(120, config.width_mult);
+    const std::int64_t f2 = scaled(84, config.width_mult);
+    net->emplace<Linear>(c2 * spatial, f1, rng);
+    net->emplace<ReLU>();
+    net->emplace<Linear>(f1, f2, rng);
+    net->emplace<ReLU>();
+    net->emplace<Linear>(f2, config.num_classes, rng);
+    return net;
+}
+
+// ------------------------------------------------------------------ VGG --
+
+std::unique_ptr<Sequential> make_vgg(const std::string& variant,
+                                     const ModelConfig& config) {
+    // 'M' = max-pool; numbers = conv output channels (Simonyan & Zisserman).
+    static const std::map<std::string, std::vector<int>> kConfigs = {
+        {"vgg11", {64, -1, 128, -1, 256, 256, -1, 512, 512, -1, 512, 512, -1}},
+        {"vgg13",
+         {64, 64, -1, 128, 128, -1, 256, 256, -1, 512, 512, -1, 512, 512, -1}},
+        {"vgg16",
+         {64, 64, -1, 128, 128, -1, 256, 256, 256, -1, 512, 512, 512, -1, 512,
+          512, 512, -1}},
+        {"vgg19",
+         {64, 64, -1, 128, 128, -1, 256, 256, 256, 256, -1, 512, 512, 512, 512,
+          -1, 512, 512, 512, 512, -1}},
+    };
+    const auto it = kConfigs.find(variant);
+    if (it == kConfigs.end()) throw std::invalid_argument("unknown VGG variant: " + variant);
+
+    util::Rng rng(config.seed);
+    auto net = std::make_unique<Sequential>();
+    std::int64_t channels = config.in_channels;
+    std::int64_t size = config.in_size;
+    for (const int entry : it->second) {
+        if (entry < 0) {
+            if (size >= 2 && size % 2 == 0) {
+                net->emplace<MaxPool2d>(2);
+                size /= 2;
+            }
+            continue;
+        }
+        const std::int64_t out = scaled(entry, config.width_mult);
+        net->emplace<ApproxConv2d>(channels, out, 3, 1, 1, rng);
+        net->emplace<BatchNorm2d>(out);
+        net->emplace<ReLU>();
+        channels = out;
+    }
+    net->emplace<Flatten>();
+    net->emplace<Linear>(channels * size * size, config.num_classes, rng);
+    return net;
+}
+
+// ------------------------------------------------------------ MobileNet --
+
+std::unique_ptr<Sequential> make_mobilenet(const ModelConfig& config) {
+    using approx::DepthwiseConv2d;
+    util::Rng rng(config.seed);
+    auto net = std::make_unique<Sequential>();
+
+    // Stem.
+    std::int64_t channels = scaled(32, config.width_mult);
+    std::int64_t size = config.in_size;
+    net->emplace<ApproxConv2d>(config.in_channels, channels, 3, 1, 1, rng);
+    net->emplace<BatchNorm2d>(channels);
+    net->emplace<ReLU>();
+
+    // Depthwise-separable blocks: (out_channels, downsample?) per stage.
+    const std::vector<std::pair<int, bool>> blocks = {
+        {64, false}, {128, true}, {128, false}, {256, true}, {256, false}};
+    for (const auto& [out_raw, down] : blocks) {
+        std::int64_t stride = down ? 2 : 1;
+        if (stride == 2 && size % 2 != 0) stride = 1;
+        const std::int64_t out = scaled(out_raw, config.width_mult);
+        net->emplace<DepthwiseConv2d>(channels, 3, stride, 1, rng);
+        net->emplace<BatchNorm2d>(channels);
+        net->emplace<ReLU>();
+        net->emplace<ApproxConv2d>(channels, out, 1, 1, 0, rng); // pointwise
+        net->emplace<BatchNorm2d>(out);
+        net->emplace<ReLU>();
+        channels = out;
+        if (stride == 2) size /= 2;
+    }
+
+    net->emplace<GlobalAvgPool>();
+    net->emplace<Linear>(channels, config.num_classes, rng);
+    return net;
+}
+
+// --------------------------------------------------------------- ResNet --
+
+BasicBlock::BasicBlock(std::int64_t in_ch, std::int64_t out_ch, std::int64_t stride,
+                       util::Rng& rng) {
+    branch_.emplace<ApproxConv2d>(in_ch, out_ch, 3, stride, 1, rng);
+    branch_.emplace<BatchNorm2d>(out_ch);
+    branch_.emplace<ReLU>();
+    branch_.emplace<ApproxConv2d>(out_ch, out_ch, 3, 1, 1, rng);
+    branch_.emplace<BatchNorm2d>(out_ch);
+    if (stride != 1 || in_ch != out_ch) {
+        downsample_ = std::make_unique<Sequential>();
+        downsample_->emplace<ApproxConv2d>(in_ch, out_ch, 1, stride, 0, rng);
+        downsample_->emplace<BatchNorm2d>(out_ch);
+    }
+}
+
+tensor::Tensor BasicBlock::forward(const tensor::Tensor& x) {
+    tensor::Tensor branch = branch_.forward(x);
+    tensor::Tensor identity = downsample_ ? downsample_->forward(x) : x;
+    branch.add_(identity);
+    return relu_out_.forward(branch);
+}
+
+tensor::Tensor BasicBlock::backward(const tensor::Tensor& gy) {
+    const tensor::Tensor gsum = relu_out_.backward(gy);
+    tensor::Tensor gx = branch_.backward(gsum);
+    if (downsample_) {
+        gx.add_(downsample_->backward(gsum));
+    } else {
+        gx.add_(gsum);
+    }
+    return gx;
+}
+
+void BasicBlock::collect_params(std::vector<nn::Param*>& out) {
+    branch_.collect_params(out);
+    if (downsample_) downsample_->collect_params(out);
+}
+
+void BasicBlock::set_training(bool training) {
+    Module::set_training(training);
+    branch_.set_training(training);
+    if (downsample_) downsample_->set_training(training);
+}
+
+void BasicBlock::visit(const std::function<void(nn::Module&)>& fn) {
+    fn(*this);
+    branch_.visit(fn);
+    if (downsample_) downsample_->visit(fn);
+}
+
+Bottleneck::Bottleneck(std::int64_t in_ch, std::int64_t mid_ch, std::int64_t stride,
+                       util::Rng& rng) {
+    const std::int64_t out_ch = mid_ch * kExpansion;
+    branch_.emplace<ApproxConv2d>(in_ch, mid_ch, 1, 1, 0, rng);
+    branch_.emplace<BatchNorm2d>(mid_ch);
+    branch_.emplace<ReLU>();
+    branch_.emplace<ApproxConv2d>(mid_ch, mid_ch, 3, stride, 1, rng);
+    branch_.emplace<BatchNorm2d>(mid_ch);
+    branch_.emplace<ReLU>();
+    branch_.emplace<ApproxConv2d>(mid_ch, out_ch, 1, 1, 0, rng);
+    branch_.emplace<BatchNorm2d>(out_ch);
+    if (stride != 1 || in_ch != out_ch) {
+        downsample_ = std::make_unique<Sequential>();
+        downsample_->emplace<ApproxConv2d>(in_ch, out_ch, 1, stride, 0, rng);
+        downsample_->emplace<BatchNorm2d>(out_ch);
+    }
+}
+
+tensor::Tensor Bottleneck::forward(const tensor::Tensor& x) {
+    tensor::Tensor branch = branch_.forward(x);
+    tensor::Tensor identity = downsample_ ? downsample_->forward(x) : x;
+    branch.add_(identity);
+    return relu_out_.forward(branch);
+}
+
+tensor::Tensor Bottleneck::backward(const tensor::Tensor& gy) {
+    const tensor::Tensor gsum = relu_out_.backward(gy);
+    tensor::Tensor gx = branch_.backward(gsum);
+    if (downsample_) {
+        gx.add_(downsample_->backward(gsum));
+    } else {
+        gx.add_(gsum);
+    }
+    return gx;
+}
+
+void Bottleneck::collect_params(std::vector<nn::Param*>& out) {
+    branch_.collect_params(out);
+    if (downsample_) downsample_->collect_params(out);
+}
+
+void Bottleneck::set_training(bool training) {
+    Module::set_training(training);
+    branch_.set_training(training);
+    if (downsample_) downsample_->set_training(training);
+}
+
+void Bottleneck::visit(const std::function<void(nn::Module&)>& fn) {
+    fn(*this);
+    branch_.visit(fn);
+    if (downsample_) downsample_->visit(fn);
+}
+
+std::unique_ptr<Sequential> make_resnet(int depth, const ModelConfig& config) {
+    struct StagePlan {
+        std::vector<int> blocks;
+        bool bottleneck;
+    };
+    StagePlan plan;
+    switch (depth) {
+        case 18: plan = {{2, 2, 2, 2}, false}; break;
+        case 34: plan = {{3, 4, 6, 3}, false}; break;
+        case 50: plan = {{3, 4, 6, 3}, true}; break;
+        default: throw std::invalid_argument("unsupported ResNet depth");
+    }
+
+    util::Rng rng(config.seed);
+    auto net = std::make_unique<Sequential>();
+    const std::int64_t base = scaled(64, config.width_mult);
+    // CIFAR-style stem: single 3x3 conv, no max-pool.
+    net->emplace<ApproxConv2d>(config.in_channels, base, 3, 1, 1, rng);
+    net->emplace<BatchNorm2d>(base);
+    net->emplace<ReLU>();
+
+    std::int64_t in_ch = base;
+    std::int64_t size = config.in_size;
+    for (std::size_t stage = 0; stage < plan.blocks.size(); ++stage) {
+        const std::int64_t mid = scaled(64 << stage, config.width_mult);
+        for (int b = 0; b < plan.blocks[stage]; ++b) {
+            // First block of stages 2..4 halves the resolution (if possible).
+            std::int64_t stride = (stage > 0 && b == 0) ? 2 : 1;
+            if (stride == 2 && size % 2 != 0) stride = 1;
+            if (plan.bottleneck) {
+                net->emplace<Bottleneck>(in_ch, mid, stride, rng);
+                in_ch = mid * Bottleneck::kExpansion;
+            } else {
+                net->emplace<BasicBlock>(in_ch, mid, stride, rng);
+                in_ch = mid;
+            }
+            if (stride == 2) size /= 2;
+        }
+    }
+    net->emplace<GlobalAvgPool>();
+    net->emplace<Linear>(in_ch, config.num_classes, rng);
+    return net;
+}
+
+} // namespace amret::models

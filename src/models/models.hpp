@@ -1,0 +1,86 @@
+/// \file models.hpp
+/// \brief The paper's model zoo: LeNet, VGG11/13/16/19, ResNet18/34/50.
+///
+/// All convolutions are ApproxConv2d so any model can be switched between
+/// float, quantized-exact (QAT), and quantized-approximate execution with
+/// `approx::configure_approx_layers`. Classifier heads stay float, matching
+/// the paper's setup where only the convolutional layers are approximated.
+/// A width multiplier and free input size let the benches run slim variants
+/// on one CPU core while tests also construct the full-width topologies.
+#pragma once
+
+#include "approx/approx_conv.hpp"
+#include "nn/layers.hpp"
+#include "nn/module.hpp"
+
+#include <memory>
+#include <string>
+
+namespace amret::models {
+
+/// Common hyper-parameters for all builders.
+struct ModelConfig {
+    int num_classes = 10;
+    std::int64_t in_channels = 3;
+    std::int64_t in_size = 32;  ///< square input resolution
+    float width_mult = 1.0f;    ///< channel scaling (1.0 = paper width)
+    std::uint64_t seed = 1;     ///< weight init seed
+};
+
+/// LeNet-5-style CNN (used by the paper for HWS selection).
+std::unique_ptr<nn::Sequential> make_lenet(const ModelConfig& config);
+
+/// VGG; \p variant is one of "vgg11", "vgg13", "vgg16", "vgg19".
+/// Max-pool stages are skipped once the spatial size reaches 1.
+std::unique_ptr<nn::Sequential> make_vgg(const std::string& variant,
+                                         const ModelConfig& config);
+
+/// ResNet; \p depth is 18, 34 (BasicBlock) or 50 (Bottleneck), with the
+/// CIFAR-style 3x3 stem.
+std::unique_ptr<nn::Sequential> make_resnet(int depth, const ModelConfig& config);
+
+/// MobileNet-style CNN built from depthwise-separable blocks (depthwise 3x3
+/// + pointwise 1x1, both approximate-multiplier layers). CIFAR-scale.
+std::unique_ptr<nn::Sequential> make_mobilenet(const ModelConfig& config);
+
+/// Residual block with two 3x3 convolutions (ResNet18/34).
+class BasicBlock : public nn::Module {
+public:
+    BasicBlock(std::int64_t in_ch, std::int64_t out_ch, std::int64_t stride,
+               util::Rng& rng);
+
+    tensor::Tensor forward(const tensor::Tensor& x) override;
+    tensor::Tensor backward(const tensor::Tensor& gy) override;
+    void collect_params(std::vector<nn::Param*>& out) override;
+    void set_training(bool training) override;
+    void visit(const std::function<void(nn::Module&)>& fn) override;
+    [[nodiscard]] std::string name() const override { return "BasicBlock"; }
+
+private:
+    nn::Sequential branch_;
+    std::unique_ptr<nn::Sequential> downsample_; ///< null = identity skip
+    nn::ReLU relu_out_;
+};
+
+/// Residual bottleneck block (1x1 -> 3x3 -> 1x1, expansion 4; ResNet50).
+class Bottleneck : public nn::Module {
+public:
+    static constexpr std::int64_t kExpansion = 4;
+
+    Bottleneck(std::int64_t in_ch, std::int64_t mid_ch, std::int64_t stride,
+               util::Rng& rng);
+
+    tensor::Tensor forward(const tensor::Tensor& x) override;
+    tensor::Tensor backward(const tensor::Tensor& gy) override;
+    void collect_params(std::vector<nn::Param*>& out) override;
+    void set_training(bool training) override;
+    void visit(const std::function<void(nn::Module&)>& fn) override;
+    [[nodiscard]] std::string name() const override { return "Bottleneck"; }
+
+private:
+    nn::Sequential branch_;
+    std::unique_ptr<nn::Sequential> downsample_;
+    nn::ReLU relu_out_;
+};
+
+} // namespace amret::models

@@ -1,0 +1,104 @@
+#include "multgen/addergen.hpp"
+
+#include "util/bits.hpp"
+
+#include <cassert>
+
+namespace amret::multgen {
+
+using netlist::CellType;
+using netlist::Netlist;
+using netlist::NetId;
+
+netlist::Netlist build_adder_netlist(const AdderSpec& spec) {
+    const unsigned b = spec.bits;
+    assert(b >= 2 && b <= 16);
+    assert(spec.kind == AdderKind::kExact || spec.low_bits <= b);
+    Netlist nl;
+
+    std::vector<NetId> abits(b), bbits(b);
+    for (unsigned i = 0; i < b; ++i) abits[i] = nl.add_input("a" + std::to_string(i));
+    for (unsigned i = 0; i < b; ++i) bbits[i] = nl.add_input("b" + std::to_string(i));
+
+    std::vector<NetId> sum(b + 1, nl.const0());
+    const unsigned low = spec.kind == AdderKind::kExact ? 0 : spec.low_bits;
+
+    // Approximated low part (carry-free in all three approximate kinds).
+    for (unsigned i = 0; i < low; ++i) {
+        switch (spec.kind) {
+            case AdderKind::kLoa:
+                sum[i] = nl.add_gate(CellType::kOr2, abits[i], bbits[i]);
+                break;
+            case AdderKind::kEta:
+                sum[i] = nl.add_gate(CellType::kXor2, abits[i], bbits[i]);
+                break;
+            case AdderKind::kTruncated:
+                sum[i] = nl.const1();
+                break;
+            case AdderKind::kExact:
+                break;
+        }
+    }
+
+    // Exact ripple-carry upper part; no carry enters from the low part.
+    NetId carry = netlist::kNullNet;
+    for (unsigned i = low; i < b; ++i) {
+        if (carry == netlist::kNullNet) {
+            const auto ha = nl.half_adder(abits[i], bbits[i]);
+            sum[i] = ha.sum;
+            carry = ha.carry;
+        } else {
+            const auto fa = nl.full_adder(abits[i], bbits[i], carry);
+            sum[i] = fa.sum;
+            carry = fa.carry;
+        }
+    }
+    sum[b] = carry != netlist::kNullNet ? carry : nl.const0();
+
+    for (unsigned i = 0; i <= b; ++i)
+        nl.add_output("s" + std::to_string(i), sum[i]);
+    nl.sweep();
+    return nl;
+}
+
+std::uint64_t adder_behavioral(const AdderSpec& spec, std::uint64_t a,
+                               std::uint64_t b) {
+    [[maybe_unused]] const unsigned width = spec.bits;
+    assert(a < util::domain_size(width) && b < util::domain_size(width));
+    if (spec.kind == AdderKind::kExact) return a + b;
+
+    const unsigned low = spec.low_bits;
+    const std::uint64_t low_mask = util::mask_of(low);
+    const std::uint64_t a_hi = a >> low, b_hi = b >> low;
+    std::uint64_t low_part = 0;
+    switch (spec.kind) {
+        case AdderKind::kLoa:
+            low_part = (a | b) & low_mask;
+            break;
+        case AdderKind::kEta:
+            low_part = (a ^ b) & low_mask;
+            break;
+        case AdderKind::kTruncated:
+            low_part = low_mask;
+            break;
+        case AdderKind::kExact:
+            break;
+    }
+    return ((a_hi + b_hi) << low) | low_part;
+}
+
+AdderSpec exact_adder(unsigned bits) { return AdderSpec{bits, AdderKind::kExact, 0}; }
+
+AdderSpec loa_adder(unsigned bits, unsigned low_bits) {
+    return AdderSpec{bits, AdderKind::kLoa, low_bits};
+}
+
+AdderSpec eta_adder(unsigned bits, unsigned low_bits) {
+    return AdderSpec{bits, AdderKind::kEta, low_bits};
+}
+
+AdderSpec truncated_adder(unsigned bits, unsigned low_bits) {
+    return AdderSpec{bits, AdderKind::kTruncated, low_bits};
+}
+
+} // namespace amret::multgen

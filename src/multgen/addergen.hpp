@@ -1,0 +1,55 @@
+/// \file addergen.hpp
+/// \brief Exact and approximate adder generators.
+///
+/// Approximate adders are the second pillar of the approximate-arithmetic
+/// libraries the paper draws on (EvoApproxLib ships adders alongside
+/// multipliers; the Jiang et al. survey the paper cites covers both). These
+/// generators produce gate-level netlists plus closed-form behavioural
+/// models, exactly like the multiplier generators, so the same simulation /
+/// STA / power / error machinery applies.
+///
+/// Families:
+///   - exact ripple-carry adder (RCA),
+///   - lower-part OR adder (LOA): low k bits added by bitwise OR, no carry
+///     into the upper part,
+///   - error-tolerant adder I (ETA-I style): low bits computed by a
+///     carry-free approximation,
+///   - truncated adder: low k result bits forced to 1 (constant), carry-free.
+#pragma once
+
+#include "netlist/netlist.hpp"
+
+#include <cstdint>
+
+namespace amret::multgen {
+
+/// Adder approximation families.
+enum class AdderKind {
+    kExact,     ///< ripple-carry
+    kLoa,       ///< lower-part OR
+    kEta,       ///< carry-free low part: sum_i = a_i ^ b_i
+    kTruncated, ///< low result bits stuck at 1
+};
+
+/// Full description of one unsigned adder variant.
+struct AdderSpec {
+    unsigned bits = 8;      ///< operand width B; result has B+1 bits
+    AdderKind kind = AdderKind::kExact;
+    unsigned low_bits = 0;  ///< size of the approximated low part
+};
+
+/// Builds the gate-level netlist: inputs a0..a{B-1}, b0..b{B-1} (LSB-first),
+/// outputs s0..sB (LSB-first, sB = carry out).
+netlist::Netlist build_adder_netlist(const AdderSpec& spec);
+
+/// Closed-form behavioural model of the same adder.
+std::uint64_t adder_behavioral(const AdderSpec& spec, std::uint64_t a,
+                               std::uint64_t b);
+
+/// Convenience constructors.
+AdderSpec exact_adder(unsigned bits);
+AdderSpec loa_adder(unsigned bits, unsigned low_bits);
+AdderSpec eta_adder(unsigned bits, unsigned low_bits);
+AdderSpec truncated_adder(unsigned bits, unsigned low_bits);
+
+} // namespace amret::multgen

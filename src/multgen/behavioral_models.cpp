@@ -1,0 +1,86 @@
+#include "multgen/behavioral_models.hpp"
+
+#include "util/bits.hpp"
+
+#include <bit>
+#include <cassert>
+
+namespace amret::multgen {
+
+namespace {
+
+/// Index of the most significant set bit; requires v != 0.
+unsigned msb(std::uint64_t v) {
+    return 63u - static_cast<unsigned>(std::countl_zero(v));
+}
+
+} // namespace
+
+std::uint64_t mitchell_mult(unsigned bits, std::uint64_t w, std::uint64_t x) {
+    assert(w < util::domain_size(bits) && x < util::domain_size(bits));
+    (void)bits;
+    if (w == 0 || x == 0) return 0;
+
+    // log2(v) ~= k + f where v = 2^k (1 + f), f in [0, 1).
+    // Work in fixed point with 32 fractional bits.
+    const unsigned kw = msb(w);
+    const unsigned kx = msb(x);
+    const std::uint64_t fw = (w - (std::uint64_t{1} << kw)) << (32 - kw);
+    const std::uint64_t fx = (x - (std::uint64_t{1} << kx)) << (32 - kx);
+
+    const std::uint64_t fsum = fw + fx;        // fractional parts sum
+    const unsigned ksum = kw + kx;
+    // Antilog: 2^(k + f) ~= 2^k (1 + f) for f < 1, and 2^(k+1) (1 + f - 1)
+    // when the fractional sum carries.
+    if (fsum < (std::uint64_t{1} << 32)) {
+        // result = 2^ksum * (1 + fsum)
+        return (std::uint64_t{1} << ksum) +
+               ((fsum << ksum) >> 32);
+    }
+    const std::uint64_t frac = fsum - (std::uint64_t{1} << 32);
+    return (std::uint64_t{1} << (ksum + 1)) + ((frac << (ksum + 1)) >> 32);
+}
+
+std::uint64_t drum_mult([[maybe_unused]] unsigned bits, unsigned k, std::uint64_t w,
+                        std::uint64_t x) {
+    assert(k >= 3 && k <= bits);
+    assert(w < util::domain_size(bits) && x < util::domain_size(bits));
+
+    auto segment = [&](std::uint64_t v, unsigned& shift) -> std::uint64_t {
+        shift = 0;
+        if (v < (std::uint64_t{1} << k)) return v; // fits: exact
+        const unsigned top = msb(v);
+        shift = top - (k - 1);
+        std::uint64_t seg = v >> shift;
+        seg |= 1; // unbiasing: force the lowest kept bit to 1
+        return seg;
+    };
+
+    unsigned sw = 0, sx = 0;
+    const std::uint64_t segw = segment(w, sw);
+    const std::uint64_t segx = segment(x, sx);
+    return (segw * segx) << (sw + sx);
+}
+
+std::uint64_t ssm_mult(unsigned bits, unsigned segment, std::uint64_t w,
+                       std::uint64_t x) {
+    assert(segment >= 2 && segment <= bits);
+    assert(w < util::domain_size(bits) && x < util::domain_size(bits));
+    const unsigned high_shift = bits - segment;
+
+    auto pick = [&](std::uint64_t v, unsigned& shift) -> std::uint64_t {
+        if (v < (std::uint64_t{1} << segment)) {
+            shift = 0;
+            return v;
+        }
+        shift = high_shift;
+        return v >> high_shift;
+    };
+
+    unsigned sw = 0, sx = 0;
+    const std::uint64_t segw = pick(w, sw);
+    const std::uint64_t segx = pick(x, sx);
+    return (segw * segx) << (sw + sx);
+}
+
+} // namespace amret::multgen

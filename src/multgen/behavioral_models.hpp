@@ -1,0 +1,36 @@
+/// \file behavioral_models.hpp
+/// \brief Behavioural-level approximate multiplier models (Sec. II-B notes
+///        that forward simulation can be LUT-based *or* behavioural; these
+///        are classic designs whose LUTs come from closed-form behaviour
+///        rather than a partial-product array).
+///
+/// Included models:
+///   - Mitchell's logarithmic multiplier (1962): multiply via piecewise-
+///     linear log/antilog approximation; always underestimates.
+///   - DRUM (Hashemi et al., ICCAD 2015): dynamic range unbiased multiplier —
+///     keep a k-bit window below each operand's leading one, set the lowest
+///     kept bit for unbiasedness, multiply the windows exactly.
+///   - SSM-style static segment multiplier: multiply fixed high/low segments
+///     selected by the operand magnitude.
+///
+/// Each returns the approximate product for B-bit unsigned operands; wrap
+/// with appmult::AppMultLut to use in training.
+#pragma once
+
+#include <cstdint>
+
+namespace amret::multgen {
+
+/// Mitchell's logarithmic multiplier on B-bit unsigned operands.
+/// Returns 0 when either operand is 0 (log undefined), like the hardware.
+std::uint64_t mitchell_mult(unsigned bits, std::uint64_t w, std::uint64_t x);
+
+/// DRUM-k: k-bit dynamic segments with unbiasing LSB (3 <= k <= bits).
+std::uint64_t drum_mult(unsigned bits, unsigned k, std::uint64_t w, std::uint64_t x);
+
+/// Static segment multiplier: if an operand fits in the low `segment` bits
+/// use it exactly, otherwise use its top `segment` bits (shifted back).
+std::uint64_t ssm_mult(unsigned bits, unsigned segment, std::uint64_t w,
+                       std::uint64_t x);
+
+} // namespace amret::multgen

@@ -1,0 +1,238 @@
+#include "multgen/multgen.hpp"
+
+#include "util/bits.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <deque>
+
+namespace amret::multgen {
+
+using netlist::CellType;
+using netlist::Netlist;
+using netlist::NetId;
+
+bool MultiplierSpec::is_approximate() const {
+    return truncate_columns > 0 || !perforated_rows.empty() || broken_row_start > 0 ||
+           or_compress_columns > 0 || compensation != 0;
+}
+
+bool MultiplierSpec::keeps_pp(unsigned i, unsigned j) const {
+    if (i + j < truncate_columns) return false;
+    if (std::find(perforated_rows.begin(), perforated_rows.end(), i) !=
+        perforated_rows.end())
+        return false;
+    if (broken_row_start > 0 && i >= broken_row_start && j < broken_col_keep) return false;
+    return true;
+}
+
+Netlist build_netlist(const MultiplierSpec& spec) {
+    const unsigned b = spec.bits;
+    assert(b >= 2 && b <= 12);
+    Netlist nl;
+
+    std::vector<NetId> wbits(b), xbits(b);
+    for (unsigned i = 0; i < b; ++i) wbits[i] = nl.add_input("w" + std::to_string(i));
+    for (unsigned j = 0; j < b; ++j) xbits[j] = nl.add_input("x" + std::to_string(j));
+
+    // Column stacks of partial-product bits, LSB column first. Two spare
+    // columns absorb structural (always-zero or wrapped) carries.
+    const unsigned out_bits = 2 * b;
+    std::vector<std::deque<NetId>> cols(out_bits + 2);
+
+    for (unsigned i = 0; i < b; ++i) {
+        for (unsigned j = 0; j < b; ++j) {
+            if (!spec.keeps_pp(i, j)) continue;
+            cols[i + j].push_back(nl.add_gate(CellType::kAnd2, wbits[i], xbits[j]));
+        }
+    }
+
+    // Compensation constant: inject CONST1 bits at its set bit positions.
+    for (unsigned k = 0; k < out_bits; ++k) {
+        if ((spec.compensation >> k) & 1u) cols[k].push_back(nl.const1());
+    }
+
+    // Lower-part OR compression: collapse each low column to one bit, no
+    // carries propagate out of it.
+    for (unsigned c = 0; c < spec.or_compress_columns && c < out_bits; ++c) {
+        if (cols[c].size() <= 1) continue;
+        NetId acc = cols[c].front();
+        for (std::size_t k = 1; k < cols[c].size(); ++k)
+            acc = nl.add_gate(CellType::kOr2, acc, cols[c][k]);
+        cols[c].clear();
+        cols[c].push_back(acc);
+    }
+
+    // Carry-save reduction: full adders until every column holds <= 2 bits.
+    for (unsigned c = 0; c < cols.size(); ++c) {
+        auto& col = cols[c];
+        while (col.size() > 2) {
+            const NetId a = col.front(); col.pop_front();
+            const NetId x = col.front(); col.pop_front();
+            const NetId y = col.front(); col.pop_front();
+            const auto fa = nl.full_adder(a, x, y);
+            col.push_back(fa.sum);
+            if (c + 1 < cols.size()) cols[c + 1].push_back(fa.carry);
+        }
+    }
+
+    // Final carry-propagate (ripple) adder over the remaining two rows.
+    NetId carry = netlist::kNullNet;
+    std::vector<NetId> product(out_bits, nl.const0());
+    for (unsigned c = 0; c < cols.size(); ++c) {
+        auto& col = cols[c];
+        NetId bit;
+        if (col.empty()) {
+            bit = (carry != netlist::kNullNet) ? carry : nl.const0();
+            carry = netlist::kNullNet;
+        } else if (col.size() == 1) {
+            if (carry != netlist::kNullNet) {
+                const auto ha = nl.half_adder(col[0], carry);
+                bit = ha.sum;
+                carry = ha.carry;
+            } else {
+                bit = col[0];
+            }
+        } else { // two bits
+            if (carry != netlist::kNullNet) {
+                const auto fa = nl.full_adder(col[0], col[1], carry);
+                bit = fa.sum;
+                carry = fa.carry;
+            } else {
+                const auto ha = nl.half_adder(col[0], col[1]);
+                bit = ha.sum;
+                carry = ha.carry;
+            }
+        }
+        if (c < out_bits) product[c] = bit; // columns beyond 2B wrap away
+    }
+
+    for (unsigned k = 0; k < out_bits; ++k)
+        nl.add_output("y" + std::to_string(k), product[k]);
+    nl.sweep();
+    return nl;
+}
+
+std::uint64_t behavioral(const MultiplierSpec& spec, std::uint64_t w, std::uint64_t x) {
+    const unsigned b = spec.bits;
+    assert(w < util::domain_size(b) && x < util::domain_size(b));
+    const std::uint64_t out_mask = util::mask_of(2 * b);
+
+    if (spec.or_compress_columns == 0) {
+        // Sum of kept partial products plus compensation, modulo 2^(2B).
+        std::uint64_t sum = spec.compensation;
+        for (unsigned i = 0; i < b; ++i) {
+            if (!util::bit_of(w, i)) continue;
+            for (unsigned j = 0; j < b; ++j) {
+                if (!util::bit_of(x, j)) continue;
+                if (spec.keeps_pp(i, j)) sum += std::uint64_t{1} << (i + j);
+            }
+        }
+        return sum & out_mask;
+    }
+
+    // OR-compressed lower part: column c < L contributes 2^c iff any kept
+    // pp in that column is 1; the rest adds exactly.
+    const unsigned L = spec.or_compress_columns;
+    std::uint64_t sum = spec.compensation;
+    for (unsigned c = 0; c < std::min(L, 2 * b); ++c) {
+        bool any = false;
+        // Compensation bits participate in the OR as well (they entered the
+        // column stack before compression in the netlist).
+        if ((spec.compensation >> c) & 1u) any = true;
+        for (unsigned i = 0; i < b && !any; ++i) {
+            if (!util::bit_of(w, i)) continue;
+            if (c < i) continue;
+            const unsigned j = c - i;
+            if (j >= b) continue;
+            if (util::bit_of(x, j) && spec.keeps_pp(i, j)) any = true;
+        }
+        // Remove the compensation bit we already counted in `sum` init and
+        // replace the whole column with the OR result.
+        if ((spec.compensation >> c) & 1u) sum -= std::uint64_t{1} << c;
+        if (any) sum += std::uint64_t{1} << c;
+    }
+    for (unsigned i = 0; i < b; ++i) {
+        if (!util::bit_of(w, i)) continue;
+        for (unsigned j = 0; j < b; ++j) {
+            if (!util::bit_of(x, j)) continue;
+            if (i + j < L) continue;
+            if (spec.keeps_pp(i, j)) sum += std::uint64_t{1} << (i + j);
+        }
+    }
+    return sum & out_mask;
+}
+
+double expected_dropped_value(const MultiplierSpec& spec) {
+    // Each pp_{ij} is 1 with probability 1/4 under uniform operands.
+    double expected = 0.0;
+    for (unsigned i = 0; i < spec.bits; ++i) {
+        for (unsigned j = 0; j < spec.bits; ++j) {
+            if (!spec.keeps_pp(i, j))
+                expected += 0.25 * std::ldexp(1.0, static_cast<int>(i + j));
+        }
+    }
+    return expected;
+}
+
+MultiplierSpec exact_spec(unsigned bits) {
+    MultiplierSpec spec;
+    spec.bits = bits;
+    return spec;
+}
+
+MultiplierSpec truncated_spec(unsigned bits, unsigned k) {
+    MultiplierSpec spec;
+    spec.bits = bits;
+    spec.truncate_columns = k;
+    return spec;
+}
+
+MultiplierSpec truncated_comp_spec(unsigned bits, unsigned k, std::int64_t comp) {
+    MultiplierSpec spec = truncated_spec(bits, k);
+    if (comp < 0) {
+        spec.compensation =
+            static_cast<std::uint64_t>(std::llround(expected_dropped_value(spec)));
+    } else {
+        spec.compensation = static_cast<std::uint64_t>(comp);
+    }
+    return spec;
+}
+
+MultiplierSpec perforated_spec(unsigned bits, std::vector<unsigned> rows,
+                               std::int64_t comp) {
+    MultiplierSpec spec;
+    spec.bits = bits;
+    spec.perforated_rows = std::move(rows);
+    spec.compensation = static_cast<std::uint64_t>(std::max<std::int64_t>(comp, 0));
+    return spec;
+}
+
+MultiplierSpec broken_array_spec(unsigned bits, unsigned truncate_cols,
+                                 unsigned row_start, unsigned col_keep) {
+    MultiplierSpec spec;
+    spec.bits = bits;
+    spec.truncate_columns = truncate_cols;
+    spec.broken_row_start = row_start;
+    spec.broken_col_keep = col_keep;
+    return spec;
+}
+
+MultiplierSpec or_compressed_spec(unsigned bits, unsigned low_columns) {
+    MultiplierSpec spec;
+    spec.bits = bits;
+    spec.or_compress_columns = low_columns;
+    return spec;
+}
+
+MultiplierSpec truncated_or_spec(unsigned bits, unsigned k, unsigned low_columns) {
+    assert(low_columns >= k);
+    MultiplierSpec spec;
+    spec.bits = bits;
+    spec.truncate_columns = k;
+    spec.or_compress_columns = low_columns;
+    return spec;
+}
+
+} // namespace amret::multgen

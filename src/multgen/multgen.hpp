@@ -1,0 +1,100 @@
+/// \file multgen.hpp
+/// \brief Parametric generators for exact and approximate array multipliers.
+///
+/// Every multiplier is produced twice from one specification:
+///   1. a gate-level Netlist (for area/delay/power and as ALS input), and
+///   2. a closed-form behavioural model (independent code path, used by the
+///      tests to cross-validate the netlist and by LUT construction).
+///
+/// The approximation families span the design space of the paper's Table I:
+///   - column truncation (the paper's `_rmk` multipliers, Fig. 2),
+///   - truncation with constant error compensation,
+///   - partial-product row perforation,
+///   - broken-array cell omission (BAM-style),
+///   - OR-compressed lower columns (LOA-style approximate compression).
+#pragma once
+
+#include "netlist/netlist.hpp"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace amret::multgen {
+
+/// Full description of one unsigned array multiplier variant.
+/// The exact multiplier is the default-constructed spec.
+struct MultiplierSpec {
+    unsigned bits = 8; ///< operand width B (2..12; LUT paths use <= 8)
+
+    /// Drop partial products pp_{ij} with i + j < truncate_columns
+    /// ("remove the rightmost k columns", paper Fig. 2).
+    unsigned truncate_columns = 0;
+
+    /// Drop entire partial-product rows (indices of W bits whose row is
+    /// perforated).
+    std::vector<unsigned> perforated_rows;
+
+    /// Broken-array style: for rows i >= broken_row_start, additionally drop
+    /// pp_{ij} with j < broken_col_keep.
+    unsigned broken_row_start = 0; ///< 0 disables (rows >= bits never match)
+    unsigned broken_col_keep = 0;
+
+    /// Compress all kept bits of columns < or_compress_columns with a single
+    /// OR chain instead of exact adders (lower-part OR compression).
+    unsigned or_compress_columns = 0;
+
+    /// Constant added into the array to re-center the (negative) truncation
+    /// or perforation error. Applied modulo 2^(2*bits).
+    std::uint64_t compensation = 0;
+
+    /// True when at least one approximation knob is active.
+    [[nodiscard]] bool is_approximate() const;
+
+    /// True if pp_{ij} is kept by this spec (before OR compression).
+    [[nodiscard]] bool keeps_pp(unsigned i, unsigned j) const;
+};
+
+/// Builds the gate-level netlist for \p spec. Inputs are named
+/// w0..w{B-1}, x0..x{B-1} (W bits first, LSB-first), outputs y0..y{2B-1}.
+netlist::Netlist build_netlist(const MultiplierSpec& spec);
+
+/// Closed-form behavioural model of the same multiplier; result is reduced
+/// modulo 2^(2*bits), matching the netlist's output width.
+std::uint64_t behavioral(const MultiplierSpec& spec, std::uint64_t w, std::uint64_t x);
+
+/// Expected value of the bits dropped by truncation/perforation/broken-array
+/// under uniform inputs; useful for picking a compensation constant.
+double expected_dropped_value(const MultiplierSpec& spec);
+
+// --- convenience constructors for the named families -----------------------
+
+/// Exact unsigned array multiplier.
+MultiplierSpec exact_spec(unsigned bits);
+
+/// Paper's `_rmk`: remove the rightmost \p k columns of partial products.
+MultiplierSpec truncated_spec(unsigned bits, unsigned k);
+
+/// Truncation plus a compensation constant (defaults to the rounded expected
+/// dropped value, which re-centers the error distribution).
+MultiplierSpec truncated_comp_spec(unsigned bits, unsigned k, std::int64_t comp = -1);
+
+/// Row perforation, optionally compensated.
+MultiplierSpec perforated_spec(unsigned bits, std::vector<unsigned> rows,
+                               std::int64_t comp = 0);
+
+/// Broken-array multiplier.
+MultiplierSpec broken_array_spec(unsigned bits, unsigned truncate_cols,
+                                 unsigned row_start, unsigned col_keep);
+
+/// OR-compressed low columns (exact elsewhere).
+MultiplierSpec or_compressed_spec(unsigned bits, unsigned low_columns);
+
+/// Truncate the \p k rightmost columns and OR-compress columns k..L-1: the
+/// dropped region's information is partially preserved by single-bit OR
+/// summaries instead of a constant, so AM(0, x) = AM(w, 0) = 0 holds (a
+/// property constant compensation violates, which destroys retraining —
+/// see DESIGN.md).
+MultiplierSpec truncated_or_spec(unsigned bits, unsigned k, unsigned low_columns);
+
+} // namespace amret::multgen

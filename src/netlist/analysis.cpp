@@ -1,0 +1,62 @@
+#include "netlist/analysis.hpp"
+
+#include <algorithm>
+
+namespace amret::netlist {
+
+double critical_path_ps(const Netlist& netlist) {
+    const auto fanout = netlist.fanout_counts();
+    std::vector<double> arrival(netlist.num_nodes(), 0.0);
+    double worst = 0.0;
+    for (NetId id = 0; id < netlist.num_nodes(); ++id) {
+        const Node& node = netlist.node(id);
+        const CellInfo& info = cell_info(node.type);
+        if (info.arity == 0) {
+            arrival[id] = 0.0;
+            continue;
+        }
+        double in_arrival = arrival[node.fanin0];
+        if (node.fanin1 != kNullNet)
+            in_arrival = std::max(in_arrival, arrival[node.fanin1]);
+        const double load_penalty =
+            (fanout[id] > 1) ? kDelayPerFanoutPs * static_cast<double>(fanout[id] - 1) : 0.0;
+        arrival[id] = in_arrival + info.delay_ps + load_penalty;
+        worst = std::max(worst, arrival[id]);
+    }
+    return worst;
+}
+
+double dynamic_power_uw(const Netlist& netlist, const ExhaustiveSimResult* sim,
+                        double freq_ghz) {
+    ExhaustiveSimResult local;
+    if (sim == nullptr) {
+        local = simulate_exhaustive(netlist);
+        sim = &local;
+    }
+    const auto fanout = netlist.fanout_counts();
+    double energy_fj = 0.0; // expected energy per cycle
+    for (NetId id = 0; id < netlist.num_nodes(); ++id) {
+        const Node& node = netlist.node(id);
+        const CellInfo& info = cell_info(node.type);
+        if (info.arity == 0) continue;
+        const double p = sim->p1[id];
+        const double alpha = 2.0 * p * (1.0 - p); // toggle rate per cycle
+        const double load =
+            info.energy_fj + kEnergyPerFanoutFj * static_cast<double>(fanout[id] > 0 ? fanout[id] - 1 : 0);
+        energy_fj += alpha * load;
+    }
+    // fJ/cycle * cycles/ns = uW  (1 fJ/ns = 1 uW)
+    return energy_fj * freq_ghz;
+}
+
+HardwareReport analyze(const Netlist& netlist, double freq_ghz) {
+    const ExhaustiveSimResult sim = simulate_exhaustive(netlist);
+    HardwareReport report;
+    report.area_um2 = netlist.area_um2();
+    report.delay_ps = critical_path_ps(netlist);
+    report.power_uw = dynamic_power_uw(netlist, &sim, freq_ghz);
+    report.gates = netlist.gate_count();
+    return report;
+}
+
+} // namespace amret::netlist

@@ -1,0 +1,37 @@
+/// \file analysis.hpp
+/// \brief Static timing analysis and switching-activity power estimation.
+///
+/// Substitutes the paper's Synopsys DC + ASAP7 flow: delay is the longest
+/// topological path through calibrated per-cell delays (with a linear fanout
+/// penalty); power is the zero-delay switching-activity model
+///   P = f_clk * sum_g  alpha_g * E_g(load),  alpha_g = 2*p1*(1-p1)
+/// evaluated under a uniform input distribution (exhaustive simulation),
+/// matching the paper's measurement conditions (1 GHz, uniform inputs).
+#pragma once
+
+#include "netlist/netlist.hpp"
+#include "netlist/sim.hpp"
+
+namespace amret::netlist {
+
+/// Area/delay/power summary for one netlist.
+struct HardwareReport {
+    double area_um2 = 0.0;
+    double delay_ps = 0.0;
+    double power_uw = 0.0;
+    std::size_t gates = 0;
+};
+
+/// Longest combinational path in picoseconds.
+double critical_path_ps(const Netlist& netlist);
+
+/// Dynamic power in microwatts at \p freq_ghz under uniform inputs, using
+/// the signal probabilities from \p sim (or a fresh exhaustive sim when
+/// nullptr is passed).
+double dynamic_power_uw(const Netlist& netlist, const ExhaustiveSimResult* sim,
+                        double freq_ghz = 1.0);
+
+/// Full report (area + STA + power); runs one exhaustive simulation.
+HardwareReport analyze(const Netlist& netlist, double freq_ghz = 1.0);
+
+} // namespace amret::netlist

@@ -1,0 +1,55 @@
+#include "netlist/cells.hpp"
+
+#include <array>
+#include <cassert>
+
+namespace amret::netlist {
+
+namespace {
+
+// Area (um^2), delay (ps), energy (fJ/transition) per cell. Relative values
+// follow the ASAP7 7.5T RVT flavor (XOR ~2.3x NAND area, ~2x delay); the
+// absolute scale is calibrated against Table I's accurate multipliers.
+constexpr std::array<CellInfo, kNumCellTypes> kCells = {{
+    {"CONST0", 0, 0.000, 0.0, 0.000},
+    {"CONST1", 0, 0.000, 0.0, 0.000},
+    {"INPUT", 0, 0.000, 0.0, 0.000},
+    {"BUF", 1, 0.047, 9.0, 0.053},
+    {"INV", 1, 0.031, 6.0, 0.038},
+    {"AND2", 2, 0.063, 13.0, 0.081},
+    {"OR2", 2, 0.063, 14.0, 0.084},
+    {"NAND2", 2, 0.047, 8.5, 0.061},
+    {"NOR2", 2, 0.047, 10.0, 0.064},
+    {"XOR2", 2, 0.109, 24.0, 0.149},
+    {"XNOR2", 2, 0.109, 24.0, 0.149},
+    {"ANDN2", 2, 0.063, 14.0, 0.081},
+}};
+
+} // namespace
+
+const CellInfo& cell_info(CellType type) {
+    const auto idx = static_cast<std::size_t>(type);
+    assert(idx < kCells.size());
+    return kCells[idx];
+}
+
+std::uint64_t eval_cell(CellType type, std::uint64_t a, std::uint64_t b) {
+    switch (type) {
+        case CellType::kConst0: return 0;
+        case CellType::kConst1: return ~std::uint64_t{0};
+        case CellType::kInput: return a; // pattern word passed through
+        case CellType::kBuf: return a;
+        case CellType::kInv: return ~a;
+        case CellType::kAnd2: return a & b;
+        case CellType::kOr2: return a | b;
+        case CellType::kNand2: return ~(a & b);
+        case CellType::kNor2: return ~(a | b);
+        case CellType::kXor2: return a ^ b;
+        case CellType::kXnor2: return ~(a ^ b);
+        case CellType::kAndN2: return a & ~b;
+    }
+    assert(false && "unknown cell type");
+    return 0;
+}
+
+} // namespace amret::netlist

@@ -1,0 +1,200 @@
+#include "netlist/netlist.hpp"
+
+#include <cassert>
+#include <sstream>
+
+namespace amret::netlist {
+
+Netlist::Netlist() {
+    nodes_.push_back(Node{CellType::kConst0, kNullNet, kNullNet});
+    nodes_.push_back(Node{CellType::kConst1, kNullNet, kNullNet});
+}
+
+NetId Netlist::add_input(std::string name) {
+    const NetId id = static_cast<NetId>(nodes_.size());
+    nodes_.push_back(Node{CellType::kInput, kNullNet, kNullNet});
+    inputs_.push_back(id);
+    input_names_.push_back(std::move(name));
+    return id;
+}
+
+NetId Netlist::add_gate(CellType type, NetId a, NetId b) {
+    const int arity = cell_info(type).arity;
+    assert(arity >= 1 && "use const0()/const1()/add_input() for sources");
+    const NetId id = static_cast<NetId>(nodes_.size());
+    assert(a < id);
+    if (arity == 2) {
+        assert(b < id);
+    } else {
+        b = kNullNet;
+    }
+    nodes_.push_back(Node{type, a, b});
+    return id;
+}
+
+void Netlist::add_output(std::string name, NetId net) {
+    assert(net < nodes_.size());
+    outputs_.push_back(OutputPort{std::move(name), net});
+}
+
+void Netlist::set_output(std::size_t index, NetId net) {
+    assert(index < outputs_.size());
+    assert(net < nodes_.size());
+    outputs_[index].net = net;
+}
+
+void Netlist::rewrite_gate(NetId id, CellType type, NetId a, NetId b) {
+    assert(id >= 2 && id < nodes_.size());
+    const int arity = cell_info(type).arity;
+    assert(arity >= 1);
+    assert(a < id);
+    if (arity == 2) {
+        assert(b < id);
+    } else {
+        b = kNullNet;
+    }
+    assert(nodes_[id].type != CellType::kInput);
+    nodes_[id] = Node{type, a, b};
+}
+
+void Netlist::substitute(NetId victim, NetId replacement) {
+    assert(victim < nodes_.size());
+    assert(replacement < victim && "replacement must precede victim");
+    for (NetId i = victim + 1; i < nodes_.size(); ++i) {
+        if (nodes_[i].fanin0 == victim) nodes_[i].fanin0 = replacement;
+        if (nodes_[i].fanin1 == victim) nodes_[i].fanin1 = replacement;
+    }
+    for (auto& port : outputs_) {
+        if (port.net == victim) port.net = replacement;
+    }
+}
+
+std::size_t Netlist::sweep() {
+    std::vector<bool> live(nodes_.size(), false);
+    live[0] = live[1] = true;
+    for (NetId in : inputs_) live[in] = true;
+    for (const auto& port : outputs_) live[port.net] = true;
+    // Reverse pass: node order is topological, so one backward sweep marks
+    // the whole transitive fanin cone.
+    for (NetId i = static_cast<NetId>(nodes_.size()); i-- > 0;) {
+        if (!live[i]) continue;
+        const Node& n = nodes_[i];
+        if (n.fanin0 != kNullNet) live[n.fanin0] = true;
+        if (n.fanin1 != kNullNet) live[n.fanin1] = true;
+    }
+
+    std::vector<NetId> remap(nodes_.size(), kNullNet);
+    std::vector<Node> packed;
+    packed.reserve(nodes_.size());
+    std::size_t removed = 0;
+    for (NetId i = 0; i < nodes_.size(); ++i) {
+        if (!live[i]) {
+            ++removed;
+            continue;
+        }
+        remap[i] = static_cast<NetId>(packed.size());
+        Node n = nodes_[i];
+        if (n.fanin0 != kNullNet) n.fanin0 = remap[n.fanin0];
+        if (n.fanin1 != kNullNet) n.fanin1 = remap[n.fanin1];
+        packed.push_back(n);
+    }
+    nodes_ = std::move(packed);
+    for (auto& in : inputs_) in = remap[in];
+    for (auto& port : outputs_) port.net = remap[port.net];
+    return removed;
+}
+
+std::size_t Netlist::gate_count() const {
+    std::size_t count = 0;
+    for (const auto& n : nodes_) {
+        if (cell_info(n.type).arity >= 1) ++count;
+    }
+    return count;
+}
+
+double Netlist::area_um2() const {
+    double area = 0.0;
+    for (const auto& n : nodes_) area += cell_info(n.type).area_um2;
+    return area;
+}
+
+std::vector<std::uint32_t> Netlist::fanout_counts() const {
+    std::vector<std::uint32_t> fo(nodes_.size(), 0);
+    for (const auto& n : nodes_) {
+        if (n.fanin0 != kNullNet) ++fo[n.fanin0];
+        if (n.fanin1 != kNullNet) ++fo[n.fanin1];
+    }
+    for (const auto& port : outputs_) ++fo[port.net];
+    return fo;
+}
+
+Netlist::HalfAdderOut Netlist::half_adder(NetId a, NetId b) {
+    return HalfAdderOut{add_gate(CellType::kXor2, a, b), add_gate(CellType::kAnd2, a, b)};
+}
+
+Netlist::FullAdderOut Netlist::full_adder(NetId a, NetId b, NetId c) {
+    const NetId axb = add_gate(CellType::kXor2, a, b);
+    const NetId sum = add_gate(CellType::kXor2, axb, c);
+    const NetId t0 = add_gate(CellType::kAnd2, a, b);
+    const NetId t1 = add_gate(CellType::kAnd2, axb, c);
+    const NetId carry = add_gate(CellType::kOr2, t0, t1);
+    return FullAdderOut{sum, carry};
+}
+
+std::string Netlist::to_verilog(const std::string& module_name) const {
+    std::ostringstream os;
+    os << "module " << module_name << "(";
+    for (std::size_t i = 0; i < input_names_.size(); ++i)
+        os << (i ? ", " : "") << input_names_[i];
+    for (const auto& port : outputs_) os << ", " << port.name;
+    os << ");\n";
+    for (const auto& name : input_names_) os << "  input " << name << ";\n";
+    for (const auto& port : outputs_) os << "  output " << port.name << ";\n";
+
+    auto net_name = [&](NetId id) -> std::string {
+        if (id == 0) return "1'b0";
+        if (id == 1) return "1'b1";
+        const Node& n = nodes_[id];
+        if (n.type == CellType::kInput) {
+            for (std::size_t i = 0; i < inputs_.size(); ++i)
+                if (inputs_[i] == id) return input_names_[i];
+        }
+        // Built via append to avoid a GCC 12 -Wrestrict false positive on
+        // operator+(const char*, std::string&&).
+        std::string wire("n");
+        wire += std::to_string(id);
+        return wire;
+    };
+
+    for (NetId i = 2; i < nodes_.size(); ++i) {
+        const Node& n = nodes_[i];
+        if (n.type == CellType::kInput) continue;
+        os << "  wire n" << i << ";\n";
+    }
+    for (NetId i = 2; i < nodes_.size(); ++i) {
+        const Node& n = nodes_[i];
+        if (n.type == CellType::kInput) continue;
+        const std::string a = net_name(n.fanin0);
+        const std::string b = (n.fanin1 != kNullNet) ? net_name(n.fanin1) : "";
+        os << "  assign n" << i << " = ";
+        switch (n.type) {
+            case CellType::kBuf: os << a; break;
+            case CellType::kInv: os << "~" << a; break;
+            case CellType::kAnd2: os << a << " & " << b; break;
+            case CellType::kOr2: os << a << " | " << b; break;
+            case CellType::kNand2: os << "~(" << a << " & " << b << ")"; break;
+            case CellType::kNor2: os << "~(" << a << " | " << b << ")"; break;
+            case CellType::kXor2: os << a << " ^ " << b; break;
+            case CellType::kXnor2: os << "~(" << a << " ^ " << b << ")"; break;
+            case CellType::kAndN2: os << a << " & ~" << b; break;
+            default: os << "1'b0"; break;
+        }
+        os << ";\n";
+    }
+    for (const auto& port : outputs_)
+        os << "  assign " << port.name << " = " << net_name(port.net) << ";\n";
+    os << "endmodule\n";
+    return os.str();
+}
+
+} // namespace amret::netlist

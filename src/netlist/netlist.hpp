@@ -1,0 +1,110 @@
+/// \file netlist.hpp
+/// \brief Combinational gate-level netlist with topological construction.
+///
+/// The netlist is an append-only DAG: every gate may only reference nodes
+/// created before it, so node order *is* a topological order. This keeps
+/// simulation, timing, and the approximate-synthesis engine simple and fast.
+/// Nodes 0 and 1 are always CONST0 and CONST1.
+#pragma once
+
+#include "netlist/cells.hpp"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace amret::netlist {
+
+/// Handle to a node (net) in a Netlist; indexes the node array.
+using NetId = std::uint32_t;
+
+/// Sentinel for "no fanin".
+inline constexpr NetId kNullNet = 0xFFFFFFFFu;
+
+/// One gate instance (or input / constant).
+struct Node {
+    CellType type = CellType::kConst0;
+    NetId fanin0 = kNullNet;
+    NetId fanin1 = kNullNet;
+};
+
+/// A named output port.
+struct OutputPort {
+    std::string name;
+    NetId net = kNullNet;
+};
+
+/// Combinational netlist. Inputs and outputs are ordered; multiplier
+/// generators use LSB-first bit order for operands and product.
+class Netlist {
+public:
+    Netlist();
+
+    /// Adds a primary input and returns its net.
+    NetId add_input(std::string name);
+
+    /// Adds a one- or two-input gate. Fanins must precede the new node.
+    NetId add_gate(CellType type, NetId a, NetId b = kNullNet);
+
+    /// Constant nets (always present).
+    [[nodiscard]] NetId const0() const { return 0; }
+    [[nodiscard]] NetId const1() const { return 1; }
+
+    /// Registers \p net as the next output bit.
+    void add_output(std::string name, NetId net);
+
+    /// Replaces output bit \p index with \p net (used by synthesis rewrites).
+    void set_output(std::size_t index, NetId net);
+
+    [[nodiscard]] std::size_t num_nodes() const { return nodes_.size(); }
+    [[nodiscard]] std::size_t num_inputs() const { return inputs_.size(); }
+    [[nodiscard]] std::size_t num_outputs() const { return outputs_.size(); }
+    [[nodiscard]] const Node& node(NetId id) const { return nodes_[id]; }
+    [[nodiscard]] const std::vector<NetId>& inputs() const { return inputs_; }
+    [[nodiscard]] const std::vector<OutputPort>& outputs() const { return outputs_; }
+    [[nodiscard]] const std::string& input_name(std::size_t i) const { return input_names_[i]; }
+
+    /// Redirects every use of \p victim (in gates and outputs) to
+    /// \p replacement. Requires replacement < victim so topological order is
+    /// preserved; the victim becomes dead and is removed by sweep().
+    void substitute(NetId victim, NetId replacement);
+
+    /// Rewrites gate \p id in place to a new cell with the given fanins
+    /// (fanins must precede \p id). Used by the exact optimizer to express
+    /// e.g. XOR(a, 1) -> INV(a) without inserting nodes.
+    void rewrite_gate(NetId id, CellType type, NetId a, NetId b = kNullNet);
+
+    /// Removes gates not reachable from any output. Inputs and constants are
+    /// always kept. Returns the number of gates removed.
+    std::size_t sweep();
+
+    /// Number of logic gates (excludes constants and inputs).
+    [[nodiscard]] std::size_t gate_count() const;
+
+    /// Total placed area over all gates.
+    [[nodiscard]] double area_um2() const;
+
+    /// Fanout count per node (recomputed on call).
+    [[nodiscard]] std::vector<std::uint32_t> fanout_counts() const;
+
+    /// Structural description in a Verilog-like format (for inspection).
+    [[nodiscard]] std::string to_verilog(const std::string& module_name) const;
+
+    // --- convenience composite builders (common in multiplier arrays) ---
+
+    /// sum = a ^ b, carry = a & b.
+    struct HalfAdderOut { NetId sum; NetId carry; };
+    HalfAdderOut half_adder(NetId a, NetId b);
+
+    /// sum = a ^ b ^ c, carry = majority(a, b, c) built from 5 gates.
+    struct FullAdderOut { NetId sum; NetId carry; };
+    FullAdderOut full_adder(NetId a, NetId b, NetId c);
+
+private:
+    std::vector<Node> nodes_;
+    std::vector<NetId> inputs_;
+    std::vector<std::string> input_names_;
+    std::vector<OutputPort> outputs_;
+};
+
+} // namespace amret::netlist

@@ -1,0 +1,189 @@
+#include "netlist/opt.hpp"
+
+#include <algorithm>
+#include <map>
+#include <tuple>
+
+namespace amret::netlist {
+
+namespace {
+
+bool is_commutative(CellType type) {
+    switch (type) {
+        case CellType::kAnd2:
+        case CellType::kOr2:
+        case CellType::kNand2:
+        case CellType::kNor2:
+        case CellType::kXor2:
+        case CellType::kXnor2:
+            return true;
+        default:
+            return false;
+    }
+}
+
+/// Outcome of trying to simplify one gate.
+struct Action {
+    enum class Kind { kNone, kRedirect, kRewrite } kind = Kind::kNone;
+    NetId target = kNullNet;   // kRedirect
+    CellType new_type{};       // kRewrite
+    NetId a = kNullNet, b = kNullNet;
+};
+
+Action redirect(NetId to) {
+    Action act;
+    act.kind = Action::Kind::kRedirect;
+    act.target = to;
+    return act;
+}
+
+Action rewrite(CellType type, NetId a, NetId b = kNullNet) {
+    Action act;
+    act.kind = Action::Kind::kRewrite;
+    act.new_type = type;
+    act.a = a;
+    act.b = b;
+    return act;
+}
+
+/// Simplification rules for one gate given its (current) fanins.
+/// `c0` / `c1` are the constant nets (0 and 1).
+Action simplify(const Netlist& nl, NetId id) {
+    const Node& node = nl.node(id);
+    const NetId c0 = 0, c1 = 1;
+    const NetId f0 = node.fanin0, f1 = node.fanin1;
+
+    auto with_const = [&](NetId& var, NetId& cst) -> bool {
+        // Orders (variable, constant) for commutative inspection.
+        if (f0 == c0 || f0 == c1) {
+            cst = f0;
+            var = f1;
+            return true;
+        }
+        if (f1 == c0 || f1 == c1) {
+            cst = f1;
+            var = f0;
+            return true;
+        }
+        return false;
+    };
+
+    switch (node.type) {
+        case CellType::kBuf:
+            return redirect(f0);
+        case CellType::kInv: {
+            if (f0 == c0) return redirect(c1);
+            if (f0 == c1) return redirect(c0);
+            const Node& in = nl.node(f0);
+            if (in.type == CellType::kInv) return redirect(in.fanin0);
+            return {};
+        }
+        case CellType::kAnd2: {
+            if (f0 == f1) return redirect(f0);
+            NetId var = kNullNet, cst = kNullNet;
+            if (with_const(var, cst))
+                return cst == c0 ? redirect(c0) : redirect(var);
+            return {};
+        }
+        case CellType::kOr2: {
+            if (f0 == f1) return redirect(f0);
+            NetId var = kNullNet, cst = kNullNet;
+            if (with_const(var, cst))
+                return cst == c1 ? redirect(c1) : redirect(var);
+            return {};
+        }
+        case CellType::kNand2: {
+            if (f0 == f1) return rewrite(CellType::kInv, f0);
+            NetId var = kNullNet, cst = kNullNet;
+            if (with_const(var, cst))
+                return cst == c0 ? redirect(c1) : rewrite(CellType::kInv, var);
+            return {};
+        }
+        case CellType::kNor2: {
+            if (f0 == f1) return rewrite(CellType::kInv, f0);
+            NetId var = kNullNet, cst = kNullNet;
+            if (with_const(var, cst))
+                return cst == c1 ? redirect(c0) : rewrite(CellType::kInv, var);
+            return {};
+        }
+        case CellType::kXor2: {
+            if (f0 == f1) return redirect(c0);
+            NetId var = kNullNet, cst = kNullNet;
+            if (with_const(var, cst))
+                return cst == c0 ? redirect(var) : rewrite(CellType::kInv, var);
+            return {};
+        }
+        case CellType::kXnor2: {
+            if (f0 == f1) return redirect(c1);
+            NetId var = kNullNet, cst = kNullNet;
+            if (with_const(var, cst))
+                return cst == c1 ? redirect(var) : rewrite(CellType::kInv, var);
+            return {};
+        }
+        case CellType::kAndN2: { // a & ~b
+            if (f0 == f1) return redirect(c0);
+            if (f0 == c0) return redirect(c0);
+            if (f1 == c1) return redirect(c0);
+            if (f1 == c0) return redirect(f0);
+            if (f0 == c1) return rewrite(CellType::kInv, f1);
+            return {};
+        }
+        default:
+            return {};
+    }
+}
+
+} // namespace
+
+OptStats optimize(Netlist& nl) {
+    OptStats stats;
+    // Nodes already redirected away are dead: skip them, or their rules
+    // would keep firing forever.
+    std::vector<bool> replaced(nl.num_nodes(), false);
+    bool changed = true;
+    while (changed) {
+        changed = false;
+
+        // Constant folding + algebraic rules.
+        for (NetId id = 2; id < nl.num_nodes(); ++id) {
+            if (replaced[id]) continue;
+            const Node& node = nl.node(id);
+            if (cell_info(node.type).arity == 0) continue;
+            const Action act = simplify(nl, id);
+            if (act.kind == Action::Kind::kRedirect) {
+                nl.substitute(id, act.target);
+                replaced[id] = true;
+                const bool involved_const =
+                    node.fanin0 <= 1 || (node.fanin1 != kNullNet && node.fanin1 <= 1);
+                (involved_const ? stats.constant_folds : stats.algebraic) += 1;
+                changed = true;
+            } else if (act.kind == Action::Kind::kRewrite) {
+                nl.rewrite_gate(id, act.new_type, act.a, act.b);
+                ++stats.algebraic;
+                changed = true;
+            }
+        }
+
+        // Structural hashing: merge later duplicates into the first copy.
+        std::map<std::tuple<CellType, NetId, NetId>, NetId> seen;
+        for (NetId id = 2; id < nl.num_nodes(); ++id) {
+            if (replaced[id]) continue;
+            const Node& node = nl.node(id);
+            if (cell_info(node.type).arity == 0) continue;
+            NetId a = node.fanin0, b = node.fanin1;
+            if (b != kNullNet && is_commutative(node.type) && b < a) std::swap(a, b);
+            const auto key = std::make_tuple(node.type, a, b);
+            const auto [it, inserted] = seen.emplace(key, id);
+            if (!inserted) {
+                nl.substitute(id, it->second);
+                replaced[id] = true;
+                ++stats.structural_merges;
+                changed = true;
+            }
+        }
+    }
+    stats.swept = nl.sweep();
+    return stats;
+}
+
+} // namespace amret::netlist

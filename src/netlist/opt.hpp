@@ -1,0 +1,36 @@
+/// \file opt.hpp
+/// \brief Function-preserving netlist cleanup: constant folding, algebraic
+///        simplification, and structural hashing.
+///
+/// Complements the ALS engine (which makes *function-changing* rewrites):
+/// after synthesis the circuit often contains gates fed by constants and
+/// duplicated subtrees; this pass removes them exactly, shrinking area
+/// without touching behaviour.
+#pragma once
+
+#include "netlist/netlist.hpp"
+
+namespace amret::netlist {
+
+/// Statistics of one optimization run.
+struct OptStats {
+    std::size_t constant_folds = 0;  ///< gates reduced via constant inputs
+    std::size_t algebraic = 0;       ///< idempotence/annihilation rewrites
+    std::size_t structural_merges = 0; ///< duplicate gates merged
+    std::size_t swept = 0;           ///< dead gates removed at the end
+
+    [[nodiscard]] std::size_t total() const {
+        return constant_folds + algebraic + structural_merges + swept;
+    }
+};
+
+/// Applies, to fixpoint:
+///   - constant folding: AND(a,0)=0, AND(a,1)=a, OR(a,1)=1, XOR(a,1)=~a, ...
+///   - algebraic rules: AND(a,a)=a, OR(a,a)=a, XOR(a,a)=0, XNOR(a,a)=1,
+///     INV(INV(a))=a, BUF(a)=a, NAND(a,a)=~a, NOR(a,a)=~a, ANDN(a,a)=0
+///   - structural hashing: gates with identical (type, fanins) merge
+///     (commutative cells compare with sorted fanins)
+/// then sweeps dead logic. The circuit function is preserved exactly.
+OptStats optimize(Netlist& nl);
+
+} // namespace amret::netlist

@@ -1,0 +1,124 @@
+#include "netlist/sim.hpp"
+
+#include <bit>
+#include <cassert>
+
+namespace amret::netlist {
+
+namespace {
+
+// Pattern words for input bits 0..5 within one 64-lane word: input bit k of
+// pattern (word*64 + lane) equals bit k of the lane index for k < 6.
+constexpr std::uint64_t kLanePattern[6] = {
+    0xAAAAAAAAAAAAAAAAULL, 0xCCCCCCCCCCCCCCCCULL, 0xF0F0F0F0F0F0F0F0ULL,
+    0xFF00FF00FF00FF00ULL, 0xFFFF0000FFFF0000ULL, 0xFFFFFFFF00000000ULL,
+};
+
+} // namespace
+
+ExhaustiveSimResult simulate_exhaustive(const Netlist& netlist) {
+    const std::size_t n_in = netlist.num_inputs();
+    assert(n_in >= 1 && n_in <= 24);
+    assert(netlist.num_outputs() <= 64);
+
+    const std::uint64_t n_patterns = std::uint64_t{1} << n_in;
+    const std::uint64_t n_words = (n_patterns + 63) / 64;
+    const std::size_t n_nodes = netlist.num_nodes();
+
+    ExhaustiveSimResult result;
+    result.outputs.assign(n_patterns, 0);
+    std::vector<std::uint64_t> ones(n_nodes, 0);
+
+    // Map input net -> input index for fast lookup during the node walk.
+    std::vector<std::int32_t> input_index(n_nodes, -1);
+    for (std::size_t i = 0; i < n_in; ++i)
+        input_index[netlist.inputs()[i]] = static_cast<std::int32_t>(i);
+
+    std::vector<std::uint64_t> value(n_nodes);
+    const std::uint64_t valid_last =
+        (n_patterns % 64 == 0) ? ~std::uint64_t{0} : ((std::uint64_t{1} << (n_patterns % 64)) - 1);
+
+    for (std::uint64_t w = 0; w < n_words; ++w) {
+        for (NetId id = 0; id < n_nodes; ++id) {
+            const Node& node = netlist.node(id);
+            std::uint64_t v;
+            switch (node.type) {
+                case CellType::kConst0: v = 0; break;
+                case CellType::kConst1: v = ~std::uint64_t{0}; break;
+                case CellType::kInput: {
+                    const auto k = static_cast<unsigned>(input_index[id]);
+                    if (k < 6) {
+                        v = kLanePattern[k];
+                    } else {
+                        v = ((w >> (k - 6)) & 1u) ? ~std::uint64_t{0} : 0;
+                    }
+                    break;
+                }
+                default: {
+                    const std::uint64_t a = value[node.fanin0];
+                    const std::uint64_t b = (node.fanin1 != kNullNet) ? value[node.fanin1] : 0;
+                    v = eval_cell(node.type, a, b);
+                    break;
+                }
+            }
+            value[id] = v;
+            const std::uint64_t masked = (w + 1 == n_words) ? (v & valid_last) : v;
+            ones[id] += static_cast<std::uint64_t>(std::popcount(masked));
+        }
+
+        // Scatter output bits into per-pattern words.
+        const std::uint64_t base = w * 64;
+        const std::uint64_t lanes = (w + 1 == n_words && n_patterns % 64 != 0)
+                                        ? n_patterns % 64
+                                        : 64;
+        for (std::size_t ob = 0; ob < netlist.num_outputs(); ++ob) {
+            const std::uint64_t bits = value[netlist.outputs()[ob].net];
+            if (bits == 0) continue;
+            for (std::uint64_t lane = 0; lane < lanes; ++lane) {
+                result.outputs[base + lane] |= ((bits >> lane) & 1u) << ob;
+            }
+        }
+    }
+
+    result.p1.resize(n_nodes);
+    for (std::size_t i = 0; i < n_nodes; ++i)
+        result.p1[i] = static_cast<double>(ones[i]) / static_cast<double>(n_patterns);
+    return result;
+}
+
+std::vector<std::uint64_t> eval_all_patterns(const Netlist& netlist) {
+    return simulate_exhaustive(netlist).outputs;
+}
+
+std::uint64_t eval_pattern(const Netlist& netlist, std::uint64_t pattern) {
+    const std::size_t n_nodes = netlist.num_nodes();
+    std::vector<std::uint64_t> value(n_nodes, 0);
+    std::vector<std::int32_t> input_index(n_nodes, -1);
+    for (std::size_t i = 0; i < netlist.num_inputs(); ++i)
+        input_index[netlist.inputs()[i]] = static_cast<std::int32_t>(i);
+
+    for (NetId id = 0; id < n_nodes; ++id) {
+        const Node& node = netlist.node(id);
+        switch (node.type) {
+            case CellType::kConst0: value[id] = 0; break;
+            case CellType::kConst1: value[id] = 1; break;
+            case CellType::kInput:
+                value[id] = (pattern >> input_index[id]) & 1u;
+                break;
+            default: {
+                const std::uint64_t a = value[node.fanin0] & 1u;
+                const std::uint64_t b =
+                    (node.fanin1 != kNullNet) ? (value[node.fanin1] & 1u) : 0;
+                value[id] = eval_cell(node.type, a ? ~std::uint64_t{0} : 0,
+                                      b ? ~std::uint64_t{0} : 0) & 1u;
+                break;
+            }
+        }
+    }
+    std::uint64_t out = 0;
+    for (std::size_t ob = 0; ob < netlist.num_outputs(); ++ob)
+        out |= (value[netlist.outputs()[ob].net] & 1u) << ob;
+    return out;
+}
+
+} // namespace amret::netlist

@@ -1,0 +1,38 @@
+/// \file sim.hpp
+/// \brief Bit-parallel exhaustive simulation of combinational netlists.
+///
+/// Simulates all 2^n input patterns (n = total input bits, n <= 24) using
+/// 64 patterns per machine word. Used to (a) extract a multiplier's full
+/// product LUT, (b) verify generated netlists against behavioural models,
+/// (c) measure signal probabilities for the power model, and (d) evaluate
+/// error metrics inside the approximate-synthesis engine.
+#pragma once
+
+#include "netlist/netlist.hpp"
+
+#include <cstdint>
+#include <vector>
+
+namespace amret::netlist {
+
+/// Result of an exhaustive simulation.
+struct ExhaustiveSimResult {
+    /// outputs[p] = output word for pattern p, with output bit k of the
+    /// netlist in bit k (LSB-first, matching add_output order).
+    std::vector<std::uint64_t> outputs;
+    /// p1[node] = probability that the node is 1 under uniform inputs.
+    std::vector<double> p1;
+};
+
+/// Runs all 2^n patterns, where input bit k of the netlist carries bit k of
+/// the pattern index. Requires 1 <= n <= 24 and num_outputs <= 64.
+ExhaustiveSimResult simulate_exhaustive(const Netlist& netlist);
+
+/// Convenience: exhaustive simulation returning only the decoded output
+/// values (no signal probabilities).
+std::vector<std::uint64_t> eval_all_patterns(const Netlist& netlist);
+
+/// Evaluates a single input pattern (slow path, for spot checks).
+std::uint64_t eval_pattern(const Netlist& netlist, std::uint64_t pattern);
+
+} // namespace amret::netlist

@@ -1,0 +1,94 @@
+#include "netlist/techmap.hpp"
+
+#include <cassert>
+#include <vector>
+
+namespace amret::netlist {
+
+Netlist map_to_nand(const Netlist& input, TechmapStats* stats) {
+    Netlist out;
+    std::vector<NetId> remap(input.num_nodes(), kNullNet);
+    remap[0] = out.const0();
+    remap[1] = out.const1();
+
+    auto nand = [&out](NetId a, NetId b) { return out.add_gate(CellType::kNand2, a, b); };
+    auto inv = [&out, &nand](NetId a) { return nand(a, a); };
+
+    std::size_t input_index = 0;
+    for (NetId id = 2; id < input.num_nodes(); ++id) {
+        const Node& node = input.node(id);
+        if (node.type == CellType::kInput) {
+            remap[id] = out.add_input(input.input_name(input_index++));
+            continue;
+        }
+        const NetId a = remap[node.fanin0];
+        const NetId b = node.fanin1 != kNullNet ? remap[node.fanin1] : kNullNet;
+        assert(a != kNullNet);
+
+        switch (node.type) {
+            case CellType::kBuf:
+                remap[id] = a; // free in a NAND library
+                break;
+            case CellType::kInv:
+                remap[id] = inv(a);
+                break;
+            case CellType::kNand2:
+                remap[id] = nand(a, b);
+                break;
+            case CellType::kAnd2:
+                remap[id] = inv(nand(a, b));
+                break;
+            case CellType::kOr2:
+                // a | b = ~( ~a & ~b ) = NAND(~a, ~b)
+                remap[id] = nand(inv(a), inv(b));
+                break;
+            case CellType::kNor2:
+                remap[id] = inv(nand(inv(a), inv(b)));
+                break;
+            case CellType::kXor2: {
+                // Classic 4-NAND XOR.
+                const NetId t = nand(a, b);
+                remap[id] = nand(nand(a, t), nand(b, t));
+                break;
+            }
+            case CellType::kXnor2: {
+                const NetId t = nand(a, b);
+                remap[id] = inv(nand(nand(a, t), nand(b, t)));
+                break;
+            }
+            case CellType::kAndN2:
+                // a & ~b = ~NAND(a, ~b)
+                remap[id] = inv(nand(a, inv(b)));
+                break;
+            default:
+                assert(false && "unmappable cell");
+                break;
+        }
+    }
+
+    for (const auto& port : input.outputs()) out.add_output(port.name, remap[port.net]);
+    out.sweep();
+    if (stats != nullptr) {
+        stats->gates_before = input.gate_count();
+        stats->gates_after = out.gate_count();
+    }
+    return out;
+}
+
+bool is_nand_inv_only(const Netlist& nl) {
+    for (NetId id = 0; id < nl.num_nodes(); ++id) {
+        switch (nl.node(id).type) {
+            case CellType::kConst0:
+            case CellType::kConst1:
+            case CellType::kInput:
+            case CellType::kInv:
+            case CellType::kNand2:
+                break;
+            default:
+                return false;
+        }
+    }
+    return true;
+}
+
+} // namespace amret::netlist

@@ -1,0 +1,29 @@
+/// \file techmap.hpp
+/// \brief Technology mapping: rewrite a netlist into a restricted cell set.
+///
+/// Some flows only admit a universal-gate library (NAND2 + INV is the
+/// classic teaching target and a good stress test for the simulator and
+/// optimizer). map_to_nand() decomposes every cell into NAND2/INV while
+/// preserving the function exactly; the optimizer can then re-shrink the
+/// result. Useful for comparing multiplier implementations across cell
+/// libraries and for validating the cost model's sensitivity to mapping.
+#pragma once
+
+#include "netlist/netlist.hpp"
+
+namespace amret::netlist {
+
+/// Statistics of one mapping run.
+struct TechmapStats {
+    std::size_t gates_before = 0;
+    std::size_t gates_after = 0;
+};
+
+/// Returns a functionally identical netlist using only NAND2 and INV cells
+/// (constants and inputs unchanged). Output port names are preserved.
+Netlist map_to_nand(const Netlist& input, TechmapStats* stats = nullptr);
+
+/// True if every gate in \p nl is NAND2, INV, or a source (const/input).
+bool is_nand_inv_only(const Netlist& nl);
+
+} // namespace amret::netlist

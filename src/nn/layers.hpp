@@ -1,0 +1,141 @@
+/// \file layers.hpp
+/// \brief Standard float layers: Linear, BatchNorm2d, ReLU, pooling, Flatten.
+///
+/// Convolutions live in `approx/approx_conv.hpp` — every conv in the models
+/// is an ApproxConv2d that can run in float, quantized-exact, or quantized-
+/// approximate mode, matching the paper's flow where conv layers are the
+/// approximated ones and everything else stays float.
+#pragma once
+
+#include "nn/module.hpp"
+
+#include <cstdint>
+
+namespace amret::nn {
+
+/// Fully connected layer y = x W^T + b for x: (N, in), W: (out, in).
+class Linear : public Module {
+public:
+    Linear(std::int64_t in_features, std::int64_t out_features, util::Rng& rng);
+
+    tensor::Tensor forward(const tensor::Tensor& x) override;
+    tensor::Tensor backward(const tensor::Tensor& gy) override;
+    void collect_params(std::vector<Param*>& out) override;
+    [[nodiscard]] std::string name() const override { return "Linear"; }
+
+    Param weight; ///< (out, in)
+    Param bias;   ///< (out)
+
+private:
+    tensor::Tensor cached_x_;
+};
+
+/// 2-D batch normalization over (N, C, H, W) with running statistics.
+class BatchNorm2d : public Module {
+public:
+    explicit BatchNorm2d(std::int64_t channels, float momentum = 0.9f,
+                         float eps = 1e-5f);
+
+    tensor::Tensor forward(const tensor::Tensor& x) override;
+    tensor::Tensor backward(const tensor::Tensor& gy) override;
+    void collect_params(std::vector<Param*>& out) override;
+    void save_extra_state(std::vector<float>& out) const override;
+    void load_extra_state(const float*& cursor) override;
+    [[nodiscard]] std::string name() const override { return "BatchNorm2d"; }
+
+    Param gamma; ///< (C)
+    Param beta;  ///< (C)
+
+    [[nodiscard]] const tensor::Tensor& running_mean() const { return running_mean_; }
+    [[nodiscard]] const tensor::Tensor& running_var() const { return running_var_; }
+
+private:
+    std::int64_t channels_;
+    float momentum_, eps_;
+    tensor::Tensor running_mean_, running_var_;
+    // Caches for backward (training mode).
+    tensor::Tensor cached_xhat_;
+    tensor::Tensor cached_invstd_; // (C)
+    std::int64_t cached_n_ = 0, cached_h_ = 0, cached_w_ = 0;
+};
+
+/// Elementwise max(x, 0).
+class ReLU : public Module {
+public:
+    tensor::Tensor forward(const tensor::Tensor& x) override;
+    tensor::Tensor backward(const tensor::Tensor& gy) override;
+    [[nodiscard]] std::string name() const override { return "ReLU"; }
+
+private:
+    std::vector<std::uint8_t> mask_;
+};
+
+/// Non-overlapping max pooling with kernel == stride.
+class MaxPool2d : public Module {
+public:
+    explicit MaxPool2d(std::int64_t kernel = 2) : kernel_(kernel) {}
+
+    tensor::Tensor forward(const tensor::Tensor& x) override;
+    tensor::Tensor backward(const tensor::Tensor& gy) override;
+    [[nodiscard]] std::string name() const override { return "MaxPool2d"; }
+
+private:
+    std::int64_t kernel_;
+    tensor::Shape in_shape_;
+    std::vector<std::int64_t> argmax_;
+};
+
+/// Non-overlapping average pooling with kernel == stride.
+class AvgPool2d : public Module {
+public:
+    explicit AvgPool2d(std::int64_t kernel = 2) : kernel_(kernel) {}
+
+    tensor::Tensor forward(const tensor::Tensor& x) override;
+    tensor::Tensor backward(const tensor::Tensor& gy) override;
+    [[nodiscard]] std::string name() const override { return "AvgPool2d"; }
+
+private:
+    std::int64_t kernel_;
+    tensor::Shape in_shape_;
+};
+
+/// Inverted dropout: active in training mode only; scales kept activations
+/// by 1/(1-p) so evaluation needs no correction.
+class Dropout : public Module {
+public:
+    explicit Dropout(float p = 0.5f, std::uint64_t seed = 17)
+        : p_(p), rng_(seed) {}
+
+    tensor::Tensor forward(const tensor::Tensor& x) override;
+    tensor::Tensor backward(const tensor::Tensor& gy) override;
+    [[nodiscard]] std::string name() const override { return "Dropout"; }
+
+private:
+    float p_;
+    util::Rng rng_;
+    std::vector<float> mask_;
+};
+
+/// Global average pooling (N, C, H, W) -> (N, C).
+class GlobalAvgPool : public Module {
+public:
+    tensor::Tensor forward(const tensor::Tensor& x) override;
+    tensor::Tensor backward(const tensor::Tensor& gy) override;
+    [[nodiscard]] std::string name() const override { return "GlobalAvgPool"; }
+
+private:
+    tensor::Shape in_shape_;
+};
+
+/// Collapses all non-batch dimensions: (N, ...) -> (N, prod).
+class Flatten : public Module {
+public:
+    tensor::Tensor forward(const tensor::Tensor& x) override;
+    tensor::Tensor backward(const tensor::Tensor& gy) override;
+    [[nodiscard]] std::string name() const override { return "Flatten"; }
+
+private:
+    tensor::Shape in_shape_;
+};
+
+} // namespace amret::nn

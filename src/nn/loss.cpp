@@ -1,0 +1,68 @@
+#include "nn/loss.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace amret::nn {
+
+using tensor::Tensor;
+
+double SoftmaxCrossEntropy::forward(const Tensor& logits, const std::vector<int>& labels) {
+    assert(logits.rank() == 2);
+    const std::int64_t n = logits.dim(0), c = logits.dim(1);
+    assert(labels.size() == static_cast<std::size_t>(n));
+    probs_ = Tensor(logits.shape());
+    labels_ = labels;
+
+    double total = 0.0;
+    for (std::int64_t i = 0; i < n; ++i) {
+        const float* row = logits.data() + i * c;
+        float mx = row[0];
+        for (std::int64_t j = 1; j < c; ++j) mx = std::max(mx, row[j]);
+        double denom = 0.0;
+        for (std::int64_t j = 0; j < c; ++j)
+            denom += std::exp(static_cast<double>(row[j]) - mx);
+        const double log_denom = std::log(denom);
+        float* prow = probs_.data() + i * c;
+        for (std::int64_t j = 0; j < c; ++j)
+            prow[j] = static_cast<float>(
+                std::exp(static_cast<double>(row[j]) - mx - log_denom));
+        const int label = labels[static_cast<std::size_t>(i)];
+        assert(label >= 0 && label < c);
+        total += -(static_cast<double>(row[label]) - mx - log_denom);
+    }
+    return total / static_cast<double>(n);
+}
+
+Tensor SoftmaxCrossEntropy::backward() const {
+    const std::int64_t n = probs_.dim(0), c = probs_.dim(1);
+    Tensor grad = probs_;
+    const float inv_n = 1.0f / static_cast<float>(n);
+    for (std::int64_t i = 0; i < n; ++i) {
+        float* row = grad.data() + i * c;
+        row[labels_[static_cast<std::size_t>(i)]] -= 1.0f;
+        for (std::int64_t j = 0; j < c; ++j) row[j] *= inv_n;
+    }
+    return grad;
+}
+
+double topk_accuracy(const Tensor& logits, const std::vector<int>& labels, int k) {
+    assert(logits.rank() == 2);
+    const std::int64_t n = logits.dim(0), c = logits.dim(1);
+    assert(labels.size() == static_cast<std::size_t>(n));
+    k = std::min<int>(k, static_cast<int>(c));
+    std::int64_t hits = 0;
+    for (std::int64_t i = 0; i < n; ++i) {
+        const float* row = logits.data() + i * c;
+        const float target = row[labels[static_cast<std::size_t>(i)]];
+        // Rank of the target logit: number of strictly larger entries.
+        int larger = 0;
+        for (std::int64_t j = 0; j < c; ++j)
+            if (row[j] > target) ++larger;
+        if (larger < k) ++hits;
+    }
+    return static_cast<double>(hits) / static_cast<double>(n);
+}
+
+} // namespace amret::nn

@@ -1,0 +1,41 @@
+/// \file loss.hpp
+/// \brief Softmax cross-entropy loss and classification metrics.
+#pragma once
+
+#include "tensor/tensor.hpp"
+
+#include <cstdint>
+#include <vector>
+
+namespace amret::nn {
+
+/// Numerically stable softmax cross-entropy over logits (N, C).
+class SoftmaxCrossEntropy {
+public:
+    /// Mean loss over the batch; caches softmax probabilities.
+    double forward(const tensor::Tensor& logits, const std::vector<int>& labels);
+
+    /// Gradient w.r.t. the logits of the last forward call.
+    [[nodiscard]] tensor::Tensor backward() const;
+
+    /// Probabilities from the last forward (N, C).
+    [[nodiscard]] const tensor::Tensor& probs() const { return probs_; }
+
+private:
+    tensor::Tensor probs_;
+    std::vector<int> labels_;
+};
+
+/// Fraction of rows whose true label is among the top-k logits.
+double topk_accuracy(const tensor::Tensor& logits, const std::vector<int>& labels,
+                     int k);
+
+/// Convenience wrappers for the paper's reported metrics.
+inline double top1_accuracy(const tensor::Tensor& logits, const std::vector<int>& labels) {
+    return topk_accuracy(logits, labels, 1);
+}
+inline double top5_accuracy(const tensor::Tensor& logits, const std::vector<int>& labels) {
+    return topk_accuracy(logits, labels, 5);
+}
+
+} // namespace amret::nn

@@ -1,0 +1,32 @@
+#include "nn/module.hpp"
+
+namespace amret::nn {
+
+tensor::Tensor Sequential::forward(const tensor::Tensor& x) {
+    tensor::Tensor cur = x;
+    for (auto& child : children_) cur = child->forward(cur);
+    return cur;
+}
+
+tensor::Tensor Sequential::backward(const tensor::Tensor& gy) {
+    tensor::Tensor cur = gy;
+    for (auto it = children_.rbegin(); it != children_.rend(); ++it)
+        cur = (*it)->backward(cur);
+    return cur;
+}
+
+void Sequential::collect_params(std::vector<Param*>& out) {
+    for (auto& child : children_) child->collect_params(out);
+}
+
+void Sequential::set_training(bool training) {
+    Module::set_training(training);
+    for (auto& child : children_) child->set_training(training);
+}
+
+void Sequential::visit(const std::function<void(Module&)>& fn) {
+    fn(*this);
+    for (auto& child : children_) child->visit(fn);
+}
+
+} // namespace amret::nn

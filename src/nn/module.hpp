@@ -1,0 +1,120 @@
+/// \file module.hpp
+/// \brief Layer abstraction: explicit forward/backward with cached state.
+///
+/// amret uses layer-local backpropagation (as in classic frameworks) rather
+/// than a tape: each Module caches what it needs during forward and returns
+/// the input gradient from backward. Parameters expose value and gradient
+/// tensors that optimizers update in place.
+#pragma once
+
+#include "tensor/tensor.hpp"
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace amret::nn {
+
+/// A learnable parameter: value plus accumulated gradient.
+struct Param {
+    std::string name;
+    tensor::Tensor value;
+    tensor::Tensor grad;
+
+    Param() = default;
+    Param(std::string n, tensor::Tensor v)
+        : name(std::move(n)), value(std::move(v)), grad(value.shape()) {}
+
+    void zero_grad() { grad.fill(0.0f); }
+};
+
+/// Base class for all layers and containers.
+class Module {
+public:
+    virtual ~Module() = default;
+
+    /// Computes the layer output; must cache anything backward needs.
+    virtual tensor::Tensor forward(const tensor::Tensor& x) = 0;
+
+    /// Propagates the output gradient; accumulates into parameter grads and
+    /// returns the input gradient. Must follow a matching forward call.
+    virtual tensor::Tensor backward(const tensor::Tensor& gy) = 0;
+
+    /// Appends pointers to this module's parameters (and its children's).
+    virtual void collect_params(std::vector<Param*>& out) { (void)out; }
+
+    /// Human-readable layer name for summaries.
+    [[nodiscard]] virtual std::string name() const = 0;
+
+    /// Switches train/eval behaviour (BatchNorm, observers); containers
+    /// propagate to children.
+    virtual void set_training(bool training) { training_ = training; }
+    [[nodiscard]] bool training() const { return training_; }
+
+    /// Visits this module and (for containers) every descendant, pre-order.
+    /// Used e.g. to swap the multiplier in every approximate layer at once.
+    virtual void visit(const std::function<void(Module&)>& fn) { fn(*this); }
+
+    /// Appends non-parameter state (BatchNorm running stats, quantization
+    /// observer ranges) to \p out; paired with load_extra_state. Containers
+    /// do NOT recurse — train::snapshot drives the traversal via visit().
+    virtual void save_extra_state(std::vector<float>& out) const { (void)out; }
+
+    /// Restores state written by save_extra_state, advancing \p cursor.
+    virtual void load_extra_state(const float*& cursor) { (void)cursor; }
+
+    /// All parameters as a flat list.
+    [[nodiscard]] std::vector<Param*> params() {
+        std::vector<Param*> out;
+        collect_params(out);
+        return out;
+    }
+
+    /// Sets every parameter gradient to zero.
+    void zero_grad() {
+        for (Param* p : params()) p->zero_grad();
+    }
+
+    /// Total number of learnable scalars.
+    [[nodiscard]] std::int64_t num_params() {
+        std::int64_t n = 0;
+        for (Param* p : params()) n += p->value.numel();
+        return n;
+    }
+
+protected:
+    bool training_ = true;
+};
+
+/// Ordered container of sub-modules.
+class Sequential : public Module {
+public:
+    Sequential() = default;
+
+    /// Appends a layer; returns a typed pointer for further configuration.
+    template <typename M, typename... Args>
+    M* emplace(Args&&... args) {
+        auto mod = std::make_unique<M>(std::forward<Args>(args)...);
+        M* raw = mod.get();
+        children_.push_back(std::move(mod));
+        return raw;
+    }
+
+    void append(std::unique_ptr<Module> m) { children_.push_back(std::move(m)); }
+
+    tensor::Tensor forward(const tensor::Tensor& x) override;
+    tensor::Tensor backward(const tensor::Tensor& gy) override;
+    void collect_params(std::vector<Param*>& out) override;
+    void set_training(bool training) override;
+    void visit(const std::function<void(Module&)>& fn) override;
+    [[nodiscard]] std::string name() const override { return "Sequential"; }
+
+    [[nodiscard]] std::size_t size() const { return children_.size(); }
+    [[nodiscard]] Module* child(std::size_t i) { return children_[i].get(); }
+
+private:
+    std::vector<std::unique_ptr<Module>> children_;
+};
+
+} // namespace amret::nn

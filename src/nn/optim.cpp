@@ -1,0 +1,50 @@
+#include "nn/optim.hpp"
+
+#include <cmath>
+
+namespace amret::nn {
+
+void Sgd::step(const std::vector<Param*>& params) {
+    for (Param* p : params) {
+        auto [it, inserted] = velocity_.try_emplace(p, p->value.shape());
+        tensor::Tensor& vel = it->second;
+        const float lr = static_cast<float>(lr_);
+        const float mu = static_cast<float>(momentum_);
+        const float wd = static_cast<float>(weight_decay_);
+        for (std::int64_t i = 0; i < p->value.numel(); ++i) {
+            const float g = p->grad[i] + wd * p->value[i];
+            vel[i] = mu * vel[i] + g;
+            p->value[i] -= lr * vel[i];
+        }
+    }
+}
+
+void Adam::step(const std::vector<Param*>& params) {
+    ++t_;
+    const double bc1 = 1.0 - std::pow(beta1_, t_);
+    const double bc2 = 1.0 - std::pow(beta2_, t_);
+    for (Param* p : params) {
+        auto [it, inserted] = state_.try_emplace(
+            p, State{tensor::Tensor(p->value.shape()), tensor::Tensor(p->value.shape())});
+        State& s = it->second;
+        const float b1 = static_cast<float>(beta1_);
+        const float b2 = static_cast<float>(beta2_);
+        const float wd = static_cast<float>(weight_decay_);
+        for (std::int64_t i = 0; i < p->value.numel(); ++i) {
+            const float g = p->grad[i] + wd * p->value[i];
+            s.m[i] = b1 * s.m[i] + (1.0f - b1) * g;
+            s.v[i] = b2 * s.v[i] + (1.0f - b2) * g * g;
+            const double mhat = s.m[i] / bc1;
+            const double vhat = s.v[i] / bc2;
+            p->value[i] -= static_cast<float>(lr_ * mhat / (std::sqrt(vhat) + eps_));
+        }
+    }
+}
+
+double paper_lr_schedule(double base_lr, int epoch, int total_epochs) {
+    if (total_epochs <= 0) return base_lr;
+    const int third = (epoch * 3) / total_epochs; // 0, 1, 2
+    return base_lr / static_cast<double>(1 << (third < 2 ? third : 2));
+}
+
+} // namespace amret::nn

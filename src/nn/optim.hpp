@@ -1,0 +1,65 @@
+/// \file optim.hpp
+/// \brief SGD and Adam optimizers plus the paper's step learning-rate rule.
+#pragma once
+
+#include "nn/module.hpp"
+
+#include <map>
+#include <vector>
+
+namespace amret::nn {
+
+/// Base optimizer; the learning rate is mutable for scheduling.
+class Optimizer {
+public:
+    explicit Optimizer(double lr) : lr_(lr) {}
+    virtual ~Optimizer() = default;
+
+    /// Applies one update using each parameter's accumulated gradient.
+    virtual void step(const std::vector<Param*>& params) = 0;
+
+    void set_lr(double lr) { lr_ = lr; }
+    [[nodiscard]] double lr() const { return lr_; }
+
+protected:
+    double lr_;
+};
+
+/// SGD with classical momentum and optional L2 weight decay.
+class Sgd : public Optimizer {
+public:
+    explicit Sgd(double lr, double momentum = 0.9, double weight_decay = 0.0)
+        : Optimizer(lr), momentum_(momentum), weight_decay_(weight_decay) {}
+
+    void step(const std::vector<Param*>& params) override;
+
+private:
+    double momentum_, weight_decay_;
+    std::map<Param*, tensor::Tensor> velocity_;
+};
+
+/// Adam (Kingma & Ba), the paper's optimizer.
+class Adam : public Optimizer {
+public:
+    explicit Adam(double lr, double beta1 = 0.9, double beta2 = 0.999,
+                  double eps = 1e-8, double weight_decay = 0.0)
+        : Optimizer(lr), beta1_(beta1), beta2_(beta2), eps_(eps),
+          weight_decay_(weight_decay) {}
+
+    void step(const std::vector<Param*>& params) override;
+
+private:
+    struct State {
+        tensor::Tensor m, v;
+    };
+    double beta1_, beta2_, eps_, weight_decay_;
+    long t_ = 0;
+    std::map<Param*, State> state_;
+};
+
+/// The paper's retraining schedule (Sec. V-A): the base rate for the first
+/// third of the epochs, halved for the second third, halved again for the
+/// last (0.001 / 0.0005 / 0.00025 over 30 epochs).
+double paper_lr_schedule(double base_lr, int epoch, int total_epochs);
+
+} // namespace amret::nn

@@ -1,0 +1,101 @@
+#include "quant/quant.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+namespace amret::quant {
+
+float QuantParams::quantize(float v) const {
+    const float q = std::nearbyint(v / scale + zero_point);
+    return std::clamp(q, 0.0f, qmax());
+}
+
+float QuantParams::dequantize(float q) const { return scale * (q - zero_point); }
+
+bool QuantParams::in_range(float v) const {
+    const float q = v / scale + zero_point;
+    return q > -0.5f && q < qmax() + 0.5f;
+}
+
+QuantParams choose_params(float lo, float hi, unsigned bits) {
+    // Ensure zero is representable and the range is non-degenerate.
+    lo = std::min(lo, 0.0f);
+    hi = std::max(hi, 0.0f);
+    if (hi - lo < 1e-8f) hi = lo + 1e-8f;
+
+    QuantParams p;
+    p.bits = bits;
+    const float levels = p.qmax();
+    p.scale = (hi - lo) / levels;
+    p.zero_point = std::nearbyint(-lo / p.scale);
+    p.zero_point = std::clamp(p.zero_point, 0.0f, levels);
+    return p;
+}
+
+void EmaObserver::observe(const tensor::Tensor& t) {
+    if (t.empty()) return;
+    const double lo = t.min();
+    const double hi = t.max();
+    if (!initialized_) {
+        lo_ = lo;
+        hi_ = hi;
+        initialized_ = true;
+        return;
+    }
+    lo_ = momentum_ * lo_ + (1.0 - momentum_) * lo;
+    hi_ = momentum_ * hi_ + (1.0 - momentum_) * hi;
+}
+
+QuantParams EmaObserver::params(unsigned bits) const {
+    return choose_params(lo(), hi(), bits);
+}
+
+void PercentileObserver::observe(const tensor::Tensor& t) {
+    if (t.empty()) return;
+    std::vector<float> values(t.data(), t.data() + t.numel());
+    const auto hi_pos = static_cast<std::ptrdiff_t>(
+        percentile_ * static_cast<double>(values.size() - 1));
+    const auto lo_pos = static_cast<std::ptrdiff_t>(
+        (1.0 - percentile_) * static_cast<double>(values.size() - 1));
+    std::nth_element(values.begin(), values.begin() + hi_pos, values.end());
+    const double hi = values[static_cast<std::size_t>(hi_pos)];
+    std::nth_element(values.begin(), values.begin() + lo_pos, values.end());
+    const double lo = values[static_cast<std::size_t>(lo_pos)];
+
+    if (!initialized_) {
+        lo_ = lo;
+        hi_ = hi;
+        initialized_ = true;
+        return;
+    }
+    lo_ = momentum_ * lo_ + (1.0 - momentum_) * lo;
+    hi_ = momentum_ * hi_ + (1.0 - momentum_) * hi;
+}
+
+QuantParams PercentileObserver::params(unsigned bits) const {
+    return choose_params(lo(), hi(), bits);
+}
+
+QuantizedTensor quantize_tensor(const tensor::Tensor& t, const QuantParams& params) {
+    QuantizedTensor q;
+    q.params = params;
+    const std::size_t n = static_cast<std::size_t>(t.numel());
+    q.codes.resize(n);
+    q.in_range.resize(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        const float v = t[static_cast<std::int64_t>(i)];
+        q.codes[i] = static_cast<std::uint16_t>(params.quantize(v));
+        q.in_range[i] = params.in_range(v) ? 1 : 0;
+    }
+    return q;
+}
+
+tensor::Tensor fake_quantize(const tensor::Tensor& t, const QuantParams& params) {
+    tensor::Tensor out = t;
+    for (std::int64_t i = 0; i < out.numel(); ++i)
+        out[i] = params.dequantize(params.quantize(out[i]));
+    return out;
+}
+
+} // namespace amret::quant

@@ -1,0 +1,110 @@
+/// \file quant.hpp
+/// \brief Uniform affine (asymmetric) quantization, Eqs. (7) and (8).
+///
+/// Float weights/activations are mapped to unsigned B-bit integers with a
+/// scale s and zero point Z: Q(v) = clamp(round(v/s + Z), 0, 2^B - 1).
+/// Dequantization of a product of quantized operands follows Eq. (8):
+///   y = s_w * s_x * (Y - Z_x*W - Z_w*X + Z_w*Z_x).
+/// The fake-quant training path uses the clamp-aware straight-through rule:
+/// dQ/dv = 1/s inside the representable range and 0 outside.
+#pragma once
+
+#include "tensor/tensor.hpp"
+
+#include <cstdint>
+#include <vector>
+
+namespace amret::quant {
+
+/// Affine quantization parameters for one tensor.
+struct QuantParams {
+    float scale = 1.0f;      ///< s
+    float zero_point = 0.0f; ///< Z (kept float; always an integer value)
+    unsigned bits = 8;       ///< B
+
+    [[nodiscard]] float qmax() const {
+        return static_cast<float>((std::uint32_t{1} << bits) - 1);
+    }
+
+    /// Q(v) of Eq. (7) with clamping to [0, 2^B - 1].
+    [[nodiscard]] float quantize(float v) const;
+
+    /// Plain dequantization of a single quantized value: s * (q - Z).
+    [[nodiscard]] float dequantize(float q) const;
+
+    /// True if v falls strictly inside the representable (un-clamped) range;
+    /// gradients pass through only here.
+    [[nodiscard]] bool in_range(float v) const;
+};
+
+/// Derives affine parameters covering [lo, hi] with B bits. The range is
+/// widened to include 0 so that zero is exactly representable (standard
+/// practice; keeps padding exact).
+QuantParams choose_params(float lo, float hi, unsigned bits);
+
+/// Exponential-moving-average min/max observer for activation calibration.
+class EmaObserver {
+public:
+    explicit EmaObserver(double momentum = 0.9) : momentum_(momentum) {}
+
+    /// Folds the batch range of \p t into the running range.
+    void observe(const tensor::Tensor& t);
+
+    [[nodiscard]] bool initialized() const { return initialized_; }
+    [[nodiscard]] float lo() const { return static_cast<float>(lo_); }
+    [[nodiscard]] float hi() const { return static_cast<float>(hi_); }
+
+    /// Restores a previously captured range (model snapshot support).
+    void set_range(float lo, float hi, bool initialized) {
+        lo_ = lo;
+        hi_ = hi;
+        initialized_ = initialized;
+    }
+
+    /// Current quantization parameters for the observed range.
+    [[nodiscard]] QuantParams params(unsigned bits) const;
+
+private:
+    double momentum_;
+    double lo_ = 0.0, hi_ = 0.0;
+    bool initialized_ = false;
+};
+
+/// Percentile-clipping observer: tracks the EMA of a low/high batch
+/// quantile instead of the absolute min/max, so a handful of activation
+/// outliers cannot blow up the quantization range (a standard calibration
+/// refinement over min/max observers).
+class PercentileObserver {
+public:
+    explicit PercentileObserver(double momentum = 0.9, double percentile = 0.999)
+        : momentum_(momentum), percentile_(percentile) {}
+
+    /// Folds the batch's [1-p, p] quantile range into the running range.
+    void observe(const tensor::Tensor& t);
+
+    [[nodiscard]] bool initialized() const { return initialized_; }
+    [[nodiscard]] float lo() const { return static_cast<float>(lo_); }
+    [[nodiscard]] float hi() const { return static_cast<float>(hi_); }
+    [[nodiscard]] QuantParams params(unsigned bits) const;
+
+private:
+    double momentum_, percentile_;
+    double lo_ = 0.0, hi_ = 0.0;
+    bool initialized_ = false;
+};
+
+/// Quantizes a whole tensor into unsigned 8/16-bit codes (stored as
+/// uint16_t to cover bits <= 10) and records the in-range mask for the
+/// backward pass.
+struct QuantizedTensor {
+    std::vector<std::uint16_t> codes;
+    std::vector<std::uint8_t> in_range; ///< 1 where the STE gradient passes
+    QuantParams params;
+};
+QuantizedTensor quantize_tensor(const tensor::Tensor& t, const QuantParams& params);
+
+/// Fake-quantization: quantize then dequantize elementwise (used in tests
+/// as the reference for the exact-multiplier integer path).
+tensor::Tensor fake_quantize(const tensor::Tensor& t, const QuantParams& params);
+
+} // namespace amret::quant

@@ -1,0 +1,233 @@
+#include "tensor/tensor.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <sstream>
+
+namespace amret::tensor {
+
+namespace {
+
+std::int64_t shape_numel(const Shape& shape) {
+    std::int64_t n = 1;
+    for (const std::int64_t d : shape) {
+        assert(d >= 0);
+        n *= d;
+    }
+    return n;
+}
+
+} // namespace
+
+Tensor::Tensor(Shape shape) : shape_(std::move(shape)) {
+    data_.assign(static_cast<std::size_t>(shape_numel(shape_)), 0.0f);
+}
+
+Tensor Tensor::full(Shape shape, float value) {
+    Tensor t(std::move(shape));
+    t.fill(value);
+    return t;
+}
+
+Tensor Tensor::randn(Shape shape, util::Rng& rng, float stddev) {
+    Tensor t(std::move(shape));
+    for (std::int64_t i = 0; i < t.numel(); ++i)
+        t[i] = static_cast<float>(rng.normal(0.0, stddev));
+    return t;
+}
+
+Tensor Tensor::he_init(Shape shape, std::int64_t fan_in, util::Rng& rng) {
+    assert(fan_in > 0);
+    const float stddev = std::sqrt(2.0f / static_cast<float>(fan_in));
+    return randn(std::move(shape), rng, stddev);
+}
+
+Tensor Tensor::from(std::initializer_list<float> values) {
+    Tensor t(Shape{static_cast<std::int64_t>(values.size())});
+    std::copy(values.begin(), values.end(), t.data());
+    return t;
+}
+
+Tensor Tensor::reshaped(Shape shape) const {
+    assert(shape_numel(shape) == numel());
+    Tensor t = *this;
+    t.shape_ = std::move(shape);
+    return t;
+}
+
+void Tensor::fill(float value) { std::fill(data_.begin(), data_.end(), value); }
+
+void Tensor::scale(float factor) {
+    for (auto& v : data_) v *= factor;
+}
+
+void Tensor::add_(const Tensor& other) {
+    assert(numel() == other.numel());
+    for (std::size_t i = 0; i < data_.size(); ++i) data_[i] += other.data_[i];
+}
+
+void Tensor::axpy_(float alpha, const Tensor& other) {
+    assert(numel() == other.numel());
+    for (std::size_t i = 0; i < data_.size(); ++i) data_[i] += alpha * other.data_[i];
+}
+
+float Tensor::min() const {
+    assert(!data_.empty());
+    return *std::min_element(data_.begin(), data_.end());
+}
+
+float Tensor::max() const {
+    assert(!data_.empty());
+    return *std::max_element(data_.begin(), data_.end());
+}
+
+float Tensor::sum() const { return std::accumulate(data_.begin(), data_.end(), 0.0f); }
+
+float Tensor::mean() const {
+    assert(!data_.empty());
+    return sum() / static_cast<float>(data_.size());
+}
+
+float Tensor::rms() const {
+    assert(!data_.empty());
+    double acc = 0.0;
+    for (const float v : data_) acc += static_cast<double>(v) * v;
+    return static_cast<float>(std::sqrt(acc / static_cast<double>(data_.size())));
+}
+
+std::string Tensor::shape_str() const {
+    std::ostringstream os;
+    os << "(";
+    for (std::size_t i = 0; i < shape_.size(); ++i) os << (i ? ", " : "") << shape_[i];
+    os << ")";
+    return os.str();
+}
+
+Tensor matmul(const Tensor& a, const Tensor& b) {
+    assert(a.rank() == 2 && b.rank() == 2);
+    const std::int64_t m = a.dim(0), k = a.dim(1), n = b.dim(1);
+    assert(b.dim(0) == k);
+    Tensor c(Shape{m, n});
+    const float* pa = a.data();
+    const float* pb = b.data();
+    float* pc = c.data();
+    // ikj loop order: streams over b and c rows, cache-friendly.
+    for (std::int64_t i = 0; i < m; ++i) {
+        for (std::int64_t kk = 0; kk < k; ++kk) {
+            const float av = pa[i * k + kk];
+            if (av == 0.0f) continue;
+            const float* brow = pb + kk * n;
+            float* crow = pc + i * n;
+            for (std::int64_t j = 0; j < n; ++j) crow[j] += av * brow[j];
+        }
+    }
+    return c;
+}
+
+Tensor matmul_tn(const Tensor& a, const Tensor& b) {
+    assert(a.rank() == 2 && b.rank() == 2);
+    const std::int64_t k = a.dim(0), m = a.dim(1), n = b.dim(1);
+    assert(b.dim(0) == k);
+    Tensor c(Shape{m, n});
+    const float* pa = a.data();
+    const float* pb = b.data();
+    float* pc = c.data();
+    for (std::int64_t kk = 0; kk < k; ++kk) {
+        const float* arow = pa + kk * m;
+        const float* brow = pb + kk * n;
+        for (std::int64_t i = 0; i < m; ++i) {
+            const float av = arow[i];
+            if (av == 0.0f) continue;
+            float* crow = pc + i * n;
+            for (std::int64_t j = 0; j < n; ++j) crow[j] += av * brow[j];
+        }
+    }
+    return c;
+}
+
+Tensor matmul_nt(const Tensor& a, const Tensor& b) {
+    assert(a.rank() == 2 && b.rank() == 2);
+    const std::int64_t m = a.dim(0), k = a.dim(1), n = b.dim(0);
+    assert(b.dim(1) == k);
+    Tensor c(Shape{m, n});
+    const float* pa = a.data();
+    const float* pb = b.data();
+    float* pc = c.data();
+    for (std::int64_t i = 0; i < m; ++i) {
+        const float* arow = pa + i * k;
+        for (std::int64_t j = 0; j < n; ++j) {
+            const float* brow = pb + j * k;
+            float acc = 0.0f;
+            for (std::int64_t kk = 0; kk < k; ++kk) acc += arow[kk] * brow[kk];
+            pc[i * n + j] = acc;
+        }
+    }
+    return c;
+}
+
+Tensor im2col(const Tensor& x, const ConvGeom& geom) {
+    assert(x.rank() == 4);
+    assert(x.dim(0) == geom.batch && x.dim(1) == geom.in_ch &&
+           x.dim(2) == geom.in_h && x.dim(3) == geom.in_w);
+    const std::int64_t oh = geom.out_h(), ow = geom.out_w();
+    const std::int64_t patch = geom.patch();
+    Tensor cols(Shape{geom.positions(), patch});
+    const float* px = x.data();
+    float* pc = cols.data();
+
+    for (std::int64_t n = 0; n < geom.batch; ++n) {
+        for (std::int64_t oy = 0; oy < oh; ++oy) {
+            for (std::int64_t ox = 0; ox < ow; ++ox) {
+                float* row = pc + ((n * oh + oy) * ow + ox) * patch;
+                std::int64_t idx = 0;
+                for (std::int64_t c = 0; c < geom.in_ch; ++c) {
+                    for (std::int64_t ky = 0; ky < geom.kernel; ++ky) {
+                        const std::int64_t iy = oy * geom.stride + ky - geom.pad;
+                        for (std::int64_t kx = 0; kx < geom.kernel; ++kx, ++idx) {
+                            const std::int64_t ix = ox * geom.stride + kx - geom.pad;
+                            row[idx] =
+                                (iy >= 0 && iy < geom.in_h && ix >= 0 && ix < geom.in_w)
+                                    ? px[((n * geom.in_ch + c) * geom.in_h + iy) * geom.in_w + ix]
+                                    : 0.0f;
+                        }
+                    }
+                }
+            }
+        }
+    }
+    return cols;
+}
+
+Tensor col2im(const Tensor& cols, const ConvGeom& geom) {
+    assert(cols.rank() == 2);
+    assert(cols.dim(0) == geom.positions() && cols.dim(1) == geom.patch());
+    const std::int64_t oh = geom.out_h(), ow = geom.out_w();
+    Tensor x(Shape{geom.batch, geom.in_ch, geom.in_h, geom.in_w});
+    const float* pc = cols.data();
+    float* px = x.data();
+
+    for (std::int64_t n = 0; n < geom.batch; ++n) {
+        for (std::int64_t oy = 0; oy < oh; ++oy) {
+            for (std::int64_t ox = 0; ox < ow; ++ox) {
+                const float* row = pc + ((n * oh + oy) * ow + ox) * geom.patch();
+                std::int64_t idx = 0;
+                for (std::int64_t c = 0; c < geom.in_ch; ++c) {
+                    for (std::int64_t ky = 0; ky < geom.kernel; ++ky) {
+                        const std::int64_t iy = oy * geom.stride + ky - geom.pad;
+                        for (std::int64_t kx = 0; kx < geom.kernel; ++kx, ++idx) {
+                            const std::int64_t ix = ox * geom.stride + kx - geom.pad;
+                            if (iy >= 0 && iy < geom.in_h && ix >= 0 && ix < geom.in_w) {
+                                px[((n * geom.in_ch + c) * geom.in_h + iy) * geom.in_w + ix] +=
+                                    row[idx];
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+    return x;
+}
+
+} // namespace amret::tensor

@@ -1,0 +1,102 @@
+#include "train/checkpoint.hpp"
+
+#include <cstdint>
+#include <fstream>
+
+namespace amret::train {
+
+namespace {
+
+constexpr char kMagic[8] = {'A', 'M', 'C', 'K', 'P', 'T', '1', 0};
+
+void write_u64(std::ostream& os, std::uint64_t v) {
+    os.write(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+
+bool read_u64(std::istream& is, std::uint64_t& v) {
+    is.read(reinterpret_cast<char*>(&v), sizeof(v));
+    return static_cast<bool>(is);
+}
+
+} // namespace
+
+bool save_checkpoint(const ModelSnapshot& snap, const std::string& path) {
+    std::ofstream f(path, std::ios::binary);
+    if (!f) return false;
+    f.write(kMagic, sizeof(kMagic));
+
+    write_u64(f, snap.params.size());
+    for (const auto& tensor : snap.params) {
+        write_u64(f, tensor.shape().size());
+        for (const auto dim : tensor.shape())
+            write_u64(f, static_cast<std::uint64_t>(dim));
+        f.write(reinterpret_cast<const char*>(tensor.data()),
+                static_cast<std::streamsize>(tensor.numel() * sizeof(float)));
+    }
+    write_u64(f, snap.extra.size());
+    f.write(reinterpret_cast<const char*>(snap.extra.data()),
+            static_cast<std::streamsize>(snap.extra.size() * sizeof(float)));
+    return static_cast<bool>(f);
+}
+
+std::optional<ModelSnapshot> load_checkpoint(const std::string& path) {
+    std::ifstream f(path, std::ios::binary);
+    if (!f) return std::nullopt;
+    char magic[8];
+    f.read(magic, sizeof(magic));
+    if (!f || std::string(magic, 6) != std::string(kMagic, 6)) return std::nullopt;
+
+    ModelSnapshot snap;
+    std::uint64_t n_params = 0;
+    if (!read_u64(f, n_params) || n_params > (1u << 20)) return std::nullopt;
+    snap.params.reserve(n_params);
+    for (std::uint64_t i = 0; i < n_params; ++i) {
+        std::uint64_t rank = 0;
+        if (!read_u64(f, rank) || rank > 8) return std::nullopt;
+        tensor::Shape shape(rank);
+        std::uint64_t numel = 1;
+        for (auto& dim : shape) {
+            std::uint64_t v = 0;
+            if (!read_u64(f, v) || v > (1u << 28)) return std::nullopt;
+            dim = static_cast<std::int64_t>(v);
+            numel *= v;
+        }
+        if (numel > (1u << 28)) return std::nullopt;
+        tensor::Tensor t(shape);
+        f.read(reinterpret_cast<char*>(t.data()),
+               static_cast<std::streamsize>(numel * sizeof(float)));
+        if (!f) return std::nullopt;
+        snap.params.push_back(std::move(t));
+    }
+
+    std::uint64_t n_extra = 0;
+    if (!read_u64(f, n_extra) || n_extra > (1u << 24)) return std::nullopt;
+    snap.extra.resize(n_extra);
+    f.read(reinterpret_cast<char*>(snap.extra.data()),
+           static_cast<std::streamsize>(n_extra * sizeof(float)));
+    if (!f) return std::nullopt;
+    return snap;
+}
+
+bool save_model(nn::Module& model, const std::string& path) {
+    return save_checkpoint(snapshot(model), path);
+}
+
+bool load_model(nn::Module& model, const std::string& path) {
+    const auto snap = load_checkpoint(path);
+    if (!snap) return false;
+    // Validate architecture compatibility before touching the model.
+    const auto params = model.params();
+    if (params.size() != snap->params.size()) return false;
+    for (std::size_t i = 0; i < params.size(); ++i) {
+        if (params[i]->value.shape() != snap->params[i].shape()) return false;
+    }
+    std::vector<float> probe;
+    model.visit([&](nn::Module& m) { m.save_extra_state(probe); });
+    if (probe.size() != snap->extra.size()) return false;
+
+    restore(model, *snap);
+    return true;
+}
+
+} // namespace amret::train

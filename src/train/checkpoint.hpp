@@ -1,0 +1,31 @@
+/// \file checkpoint.hpp
+/// \brief Disk persistence for model state (parameters + running statistics).
+///
+/// Lets long retraining sweeps resume and lets examples ship trained
+/// checkpoints: the ModelSnapshot captured by train::snapshot() is written
+/// with shape information so loads are validated against the receiving
+/// model's architecture.
+#pragma once
+
+#include "train/trainer.hpp"
+
+#include <optional>
+#include <string>
+
+namespace amret::train {
+
+/// Writes \p snap to \p path; returns false on I/O failure.
+bool save_checkpoint(const ModelSnapshot& snap, const std::string& path);
+
+/// Reads a checkpoint written by save_checkpoint; nullopt on failure or
+/// corrupt content.
+std::optional<ModelSnapshot> load_checkpoint(const std::string& path);
+
+/// Convenience: snapshot \p model and write it.
+bool save_model(nn::Module& model, const std::string& path);
+
+/// Convenience: load \p path and restore into \p model. Returns false if
+/// the file is missing/corrupt or the stored shapes do not match the model.
+bool load_model(nn::Module& model, const std::string& path);
+
+} // namespace amret::train

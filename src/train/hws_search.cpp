@@ -1,0 +1,33 @@
+#include "train/hws_search.hpp"
+
+#include "approx/approx_conv.hpp"
+#include "core/grad_lut.hpp"
+#include "util/logging.hpp"
+
+namespace amret::train {
+
+core::HwsSelection search_hws(const appmult::AppMultLut& lut,
+                              const data::Dataset& train_set,
+                              const HwsSearchConfig& config) {
+    const auto shared_lut = std::make_shared<appmult::AppMultLut>(lut);
+
+    auto loss_for_hws = [&](unsigned hws) -> double {
+        // Fresh LeNet with identical initialization for every candidate so
+        // the comparison isolates the gradient table.
+        auto model = models::make_lenet(config.lenet);
+        approx::MultiplierConfig mc;
+        mc.lut = shared_lut;
+        mc.grad = std::make_shared<core::GradLut>(core::build_difference_grad(lut, hws));
+        approx::configure_approx_layers(*model, mc, approx::ComputeMode::kQuantized);
+
+        Trainer trainer(*model, train_set, train_set, config.train);
+        const auto stats = trainer.train_only(config.epochs);
+        const double loss = stats.empty() ? 0.0 : stats.back().loss;
+        util::log_debug("hws=", hws, " loss=", loss);
+        return loss;
+    };
+
+    return core::select_hws(config.candidates, loss_for_hws);
+}
+
+} // namespace amret::train

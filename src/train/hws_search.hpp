@@ -1,0 +1,30 @@
+/// \file hws_search.hpp
+/// \brief Concrete half-window-size selection (Sec. V-A): for each candidate
+///        HWS, retrain a small LeNet for a few epochs with the difference-
+///        based gradient and keep the HWS with the smallest training loss.
+#pragma once
+
+#include "appmult/appmult.hpp"
+#include "core/hws.hpp"
+#include "data/dataset.hpp"
+#include "models/models.hpp"
+#include "train/trainer.hpp"
+
+namespace amret::train {
+
+/// Knobs for the sweep; defaults mirror the paper (LeNet, 5 epochs,
+/// candidates {1, 2, 4, 8, 16, 32, 64}).
+struct HwsSearchConfig {
+    std::vector<unsigned> candidates = core::default_hws_candidates();
+    int epochs = 5;
+    models::ModelConfig lenet;
+    TrainConfig train;
+};
+
+/// Runs the sweep for \p lut and returns the per-candidate losses plus the
+/// selected HWS.
+core::HwsSelection search_hws(const appmult::AppMultLut& lut,
+                              const data::Dataset& train_set,
+                              const HwsSearchConfig& config);
+
+} // namespace amret::train

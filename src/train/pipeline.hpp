@@ -1,0 +1,78 @@
+/// \file pipeline.hpp
+/// \brief The full design flow of Fig. 1: pretrain -> quantize (QAT) ->
+///        approximate -> AppMult-aware retrain.
+#pragma once
+
+#include "appmult/appmult.hpp"
+#include "core/grad_lut.hpp"
+#include "models/models.hpp"
+#include "train/trainer.hpp"
+
+#include <memory>
+#include <string>
+
+namespace amret::train {
+
+/// Builds a model by name: "lenet", "vgg11/13/16/19", "resnet18/34/50".
+std::unique_ptr<nn::Sequential> make_model(const std::string& name,
+                                           const models::ModelConfig& config);
+
+/// Pipeline hyper-parameters.
+struct PipelineConfig {
+    std::string model = "resnet18";
+    models::ModelConfig model_config;
+    int float_epochs = 4;   ///< stage 1: float pretraining
+    int qat_epochs = 3;     ///< stage 2: quantization-aware training (AccMult)
+    int retrain_epochs = 6; ///< stage 4: AppMult-aware retraining
+    TrainConfig train;      ///< optimizer/batch/schedule settings
+};
+
+/// Outcome of one AppMult-aware retraining run (one Table II cell pair).
+struct RetrainOutcome {
+    double initial_top1 = 0.0; ///< accuracy right after the AppMult swap
+    double initial_top5 = 0.0;
+    double final_top1 = 0.0;   ///< accuracy after retraining
+    double final_top5 = 0.0;
+    History history;           ///< per-epoch retraining curve
+};
+
+/// Runs the Fig. 1 flow. `prepare()` executes the shared stages 1-2 once;
+/// `retrain()` can then be called repeatedly for different multipliers and
+/// gradient estimators, always starting from the same QAT snapshot — this
+/// mirrors the paper's comparison protocol (STE and Ours retrain the same
+/// quantized model).
+class RetrainPipeline {
+public:
+    RetrainPipeline(PipelineConfig config, const data::Dataset& train_set,
+                    const data::Dataset& test_set);
+
+    /// Stages 1-2 at the given multiplier width. Returns the reference
+    /// top-1 accuracy of the quantized model with the accurate multiplier.
+    double prepare(unsigned bits);
+
+    /// Stage 3-4 for one multiplier/gradient pair, starting from the QAT
+    /// snapshot. Requires prepare() to have been called.
+    RetrainOutcome retrain(const appmult::AppMultLut& lut, const core::GradLut& grad);
+
+    /// Evaluates the current model on the test split.
+    [[nodiscard]] EpochStats test_stats();
+
+    [[nodiscard]] nn::Module& model() { return *model_; }
+    [[nodiscard]] double reference_top1() const { return reference_top1_; }
+    [[nodiscard]] double reference_top5() const { return reference_top5_; }
+
+private:
+    PipelineConfig config_;
+    const data::Dataset& train_set_;
+    const data::Dataset& test_set_;
+    std::unique_ptr<nn::Sequential> model_;
+    ModelSnapshot float_snapshot_; ///< after stage 1, shared across bitwidths
+    ModelSnapshot qat_snapshot_;   ///< after stage 2, per prepare() call
+    unsigned bits_ = 0;
+    double reference_top1_ = 0.0;
+    double reference_top5_ = 0.0;
+    bool float_done_ = false;
+    bool prepared_ = false;
+};
+
+} // namespace amret::train

@@ -1,0 +1,129 @@
+#include "train/trainer.hpp"
+
+#include "util/logging.hpp"
+#include "util/stopwatch.hpp"
+
+#include <cassert>
+
+namespace amret::train {
+
+ModelSnapshot snapshot(nn::Module& model) {
+    ModelSnapshot snap;
+    for (nn::Param* p : model.params()) snap.params.push_back(p->value);
+    model.visit([&](nn::Module& m) { m.save_extra_state(snap.extra); });
+    return snap;
+}
+
+void restore(nn::Module& model, const ModelSnapshot& snap) {
+    const auto params = model.params();
+    assert(params.size() == snap.params.size());
+    for (std::size_t i = 0; i < params.size(); ++i) {
+        assert(params[i]->value.numel() == snap.params[i].numel());
+        params[i]->value = snap.params[i];
+        params[i]->zero_grad();
+    }
+    const float* cursor = snap.extra.data();
+    model.visit([&](nn::Module& m) { m.load_extra_state(cursor); });
+    assert(cursor == snap.extra.data() + snap.extra.size());
+}
+
+EpochStats evaluate(nn::Module& model, const data::Dataset& dataset,
+                    std::int64_t batch_size) {
+    const bool was_training = model.training();
+    model.set_training(false);
+
+    data::DataLoader loader(dataset, batch_size, /*shuffle=*/false, /*seed=*/0);
+    loader.start_epoch();
+    nn::SoftmaxCrossEntropy loss_fn;
+    EpochStats stats;
+    std::int64_t total = 0;
+    data::Batch batch;
+    while (loader.next(batch)) {
+        const tensor::Tensor logits = model.forward(batch.images);
+        const auto n = static_cast<std::int64_t>(batch.labels.size());
+        stats.loss += loss_fn.forward(logits, batch.labels) * static_cast<double>(n);
+        stats.top1 += nn::top1_accuracy(logits, batch.labels) * static_cast<double>(n);
+        stats.top5 += nn::top5_accuracy(logits, batch.labels) * static_cast<double>(n);
+        total += n;
+    }
+    if (total > 0) {
+        stats.loss /= static_cast<double>(total);
+        stats.top1 /= static_cast<double>(total);
+        stats.top5 /= static_cast<double>(total);
+    }
+    model.set_training(was_training);
+    return stats;
+}
+
+Trainer::Trainer(nn::Module& model, const data::Dataset& train_set,
+                 const data::Dataset& test_set, TrainConfig config)
+    : model_(model), train_set_(train_set), test_set_(test_set), config_(config) {
+    if (config_.optimizer == TrainConfig::Opt::kAdam) {
+        optimizer_ = std::make_unique<nn::Adam>(config_.lr, 0.9, 0.999, 1e-8,
+                                                config_.weight_decay);
+    } else {
+        optimizer_ = std::make_unique<nn::Sgd>(config_.lr, 0.9, config_.weight_decay);
+    }
+}
+
+EpochStats Trainer::run_epoch(int epoch_index, int total_epochs) {
+    model_.set_training(true);
+    if (config_.paper_lr_schedule) {
+        optimizer_->set_lr(
+            nn::paper_lr_schedule(config_.lr, epoch_index, total_epochs));
+    }
+
+    data::DataLoader loader(train_set_, config_.batch_size, /*shuffle=*/true,
+                            config_.seed + static_cast<std::uint64_t>(epoch_index));
+    loader.start_epoch();
+    nn::SoftmaxCrossEntropy loss_fn;
+    const auto params = model_.params();
+
+    EpochStats stats;
+    std::int64_t total = 0;
+    data::Batch batch;
+    while (loader.next(batch)) {
+        model_.zero_grad();
+        const tensor::Tensor logits = model_.forward(batch.images);
+        const auto n = static_cast<std::int64_t>(batch.labels.size());
+        const double loss = loss_fn.forward(logits, batch.labels);
+        stats.loss += loss * static_cast<double>(n);
+        stats.top1 += nn::top1_accuracy(logits, batch.labels) * static_cast<double>(n);
+        stats.top5 += nn::top5_accuracy(logits, batch.labels) * static_cast<double>(n);
+        total += n;
+
+        model_.backward(loss_fn.backward());
+        optimizer_->step(params);
+    }
+    if (total > 0) {
+        stats.loss /= static_cast<double>(total);
+        stats.top1 /= static_cast<double>(total);
+        stats.top5 /= static_cast<double>(total);
+    }
+    return stats;
+}
+
+History Trainer::run() {
+    History history;
+    util::Stopwatch sw;
+    for (int e = 0; e < config_.epochs; ++e) {
+        const EpochStats tr = run_epoch(e, config_.epochs);
+        const EpochStats te = evaluate(model_, test_set_, config_.batch_size);
+        history.train.push_back(tr);
+        history.test.push_back(te);
+        if (config_.verbose) {
+            util::log_info("epoch ", e + 1, "/", config_.epochs, " loss=", tr.loss,
+                           " train@1=", tr.top1, " test@1=", te.top1, " (",
+                           sw.seconds(), "s)");
+        }
+    }
+    return history;
+}
+
+std::vector<EpochStats> Trainer::train_only(int epochs) {
+    std::vector<EpochStats> out;
+    for (int e = 0; e < epochs; ++e) out.push_back(run_epoch(e, epochs));
+    return out;
+}
+
+} // namespace amret::train

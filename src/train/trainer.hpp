@@ -1,0 +1,90 @@
+/// \file trainer.hpp
+/// \brief Gradient-descent training loop, evaluation, model snapshots.
+#pragma once
+
+#include "data/dataset.hpp"
+#include "nn/loss.hpp"
+#include "nn/module.hpp"
+#include "nn/optim.hpp"
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace amret::train {
+
+/// Hyper-parameters of one training run. Defaults follow the paper's
+/// retraining setup (Adam, batch 64, base LR 1e-3 halved each third).
+struct TrainConfig {
+    int epochs = 30;
+    std::int64_t batch_size = 64;
+    double lr = 1e-3;
+    bool paper_lr_schedule = true; ///< 1e-3 / 5e-4 / 2.5e-4 thirds
+    enum class Opt { kAdam, kSgd } optimizer = Opt::kAdam;
+    double weight_decay = 0.0;
+    std::uint64_t seed = 7;   ///< shuffling seed
+    bool verbose = false;     ///< per-epoch log lines
+};
+
+/// Metrics of one pass over a split.
+struct EpochStats {
+    double loss = 0.0;
+    double top1 = 0.0;
+    double top5 = 0.0;
+};
+
+/// Per-epoch training curve (train metrics and, if evaluated, test metrics).
+struct History {
+    std::vector<EpochStats> train;
+    std::vector<EpochStats> test;
+
+    [[nodiscard]] double final_train_loss() const {
+        return train.empty() ? 0.0 : train.back().loss;
+    }
+    [[nodiscard]] double final_test_top1() const {
+        return test.empty() ? 0.0 : test.back().top1;
+    }
+};
+
+/// Full value snapshot of a model: parameters plus extra state (BatchNorm
+/// running statistics, activation observer ranges).
+struct ModelSnapshot {
+    std::vector<tensor::Tensor> params;
+    std::vector<float> extra;
+};
+
+/// Captures all learnable and running state of \p model.
+ModelSnapshot snapshot(nn::Module& model);
+
+/// Restores a snapshot taken from a structurally identical model.
+void restore(nn::Module& model, const ModelSnapshot& snap);
+
+/// Evaluates \p model on \p dataset (eval mode; restores train mode after).
+EpochStats evaluate(nn::Module& model, const data::Dataset& dataset,
+                    std::int64_t batch_size = 128);
+
+/// Mini-batch training driver.
+class Trainer {
+public:
+    Trainer(nn::Module& model, const data::Dataset& train_set,
+            const data::Dataset& test_set, TrainConfig config);
+
+    /// Trains for config.epochs, evaluating on the test split after each
+    /// epoch, and returns the full history.
+    History run();
+
+    /// Trains for \p epochs without test evaluation; returns per-epoch train
+    /// stats (used by the HWS search, which ranks by training loss).
+    std::vector<EpochStats> train_only(int epochs);
+
+private:
+    EpochStats run_epoch(int epoch_index, int total_epochs);
+
+    nn::Module& model_;
+    const data::Dataset& train_set_;
+    const data::Dataset& test_set_;
+    TrainConfig config_;
+    std::unique_ptr<nn::Optimizer> optimizer_;
+};
+
+} // namespace amret::train

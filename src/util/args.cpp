@@ -1,0 +1,72 @@
+#include "util/args.hpp"
+
+#include <cstdlib>
+
+namespace amret::util {
+
+ArgParser::ArgParser(int argc, const char* const* argv) {
+    if (argc > 0) program_ = argv[0];
+    for (int i = 1; i < argc; ++i) {
+        std::string tok = argv[i];
+        if (tok.rfind("--", 0) != 0) {
+            positional_.push_back(std::move(tok));
+            continue;
+        }
+        std::string name = tok.substr(2);
+        std::string value = "";
+        const auto eq = name.find('=');
+        if (eq != std::string::npos) {
+            value = name.substr(eq + 1);
+            name = name.substr(0, eq);
+        } else if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+            value = argv[++i];
+        }
+        flags_[name] = value;
+    }
+}
+
+bool ArgParser::has(const std::string& name) const { return flags_.count(name) > 0; }
+
+std::optional<std::string> ArgParser::raw(const std::string& name,
+                                          const std::string& env) const {
+    const auto it = flags_.find(name);
+    if (it != flags_.end()) return it->second;
+    if (!env.empty()) {
+        if (const char* v = std::getenv(env.c_str())) return std::string(v);
+    }
+    return std::nullopt;
+}
+
+std::string ArgParser::get(const std::string& name, const std::string& def,
+                           const std::string& env) const {
+    return raw(name, env).value_or(def);
+}
+
+long ArgParser::get_int(const std::string& name, long def, const std::string& env) const {
+    const auto v = raw(name, env);
+    if (!v || v->empty()) return def;
+    return std::strtol(v->c_str(), nullptr, 10);
+}
+
+double ArgParser::get_double(const std::string& name, double def,
+                             const std::string& env) const {
+    const auto v = raw(name, env);
+    if (!v || v->empty()) return def;
+    return std::strtod(v->c_str(), nullptr);
+}
+
+bool ArgParser::get_bool(const std::string& name, bool def, const std::string& env) const {
+    const auto v = raw(name, env);
+    if (!v) return def;
+    if (v->empty()) return true; // bare --flag
+    return *v == "1" || *v == "true" || *v == "yes" || *v == "on";
+}
+
+std::vector<std::string> ArgParser::flag_names() const {
+    std::vector<std::string> names;
+    names.reserve(flags_.size());
+    for (const auto& [k, _] : flags_) names.push_back(k);
+    return names;
+}
+
+} // namespace amret::util

@@ -1,0 +1,62 @@
+/// \file args.hpp
+/// \brief Tiny command-line flag parser shared by benches and examples.
+///
+/// Supports `--name=value`, `--name value`, and boolean `--name` flags, plus
+/// environment-variable fallbacks so batch runs (`for b in bench/*; do $b;
+/// done`) can be globally rescaled via AMRET_* variables.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace amret::util {
+
+class ArgParser {
+public:
+    /// Parses argv; unknown flags are collected and reported via
+    /// unknown_flags() rather than aborting.
+    ArgParser(int argc, const char* const* argv);
+
+    /// True if `--name` was passed (with or without value).
+    [[nodiscard]] bool has(const std::string& name) const;
+
+    /// String value of `--name`; falls back to env var \p env (if nonempty),
+    /// then to \p def.
+    [[nodiscard]] std::string get(const std::string& name, const std::string& def,
+                                  const std::string& env = "") const;
+
+    /// Integer flag with env fallback.
+    [[nodiscard]] long get_int(const std::string& name, long def,
+                               const std::string& env = "") const;
+
+    /// Floating-point flag with env fallback.
+    [[nodiscard]] double get_double(const std::string& name, double def,
+                                    const std::string& env = "") const;
+
+    /// Boolean flag: true if present without value or with value in
+    /// {1,true,yes,on}; env fallback applies when the flag is absent.
+    [[nodiscard]] bool get_bool(const std::string& name, bool def,
+                                const std::string& env = "") const;
+
+    /// Positional (non-flag) arguments in order.
+    [[nodiscard]] const std::vector<std::string>& positional() const { return positional_; }
+
+    /// Flags that looked like `--x` but were never queried do not error;
+    /// this lists everything that was parsed, for diagnostics.
+    [[nodiscard]] std::vector<std::string> flag_names() const;
+
+    /// Program name (argv[0]).
+    [[nodiscard]] const std::string& program() const { return program_; }
+
+private:
+    [[nodiscard]] std::optional<std::string> raw(const std::string& name,
+                                                 const std::string& env) const;
+
+    std::string program_;
+    std::map<std::string, std::string> flags_;
+    std::vector<std::string> positional_;
+};
+
+} // namespace amret::util

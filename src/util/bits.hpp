@@ -1,0 +1,40 @@
+/// \file bits.hpp
+/// \brief Bit-manipulation helpers shared by the netlist and multiplier code.
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+
+namespace amret::util {
+
+/// Extracts bit \p i of \p v (0 = LSB).
+constexpr std::uint32_t bit_of(std::uint64_t v, unsigned i) {
+    return static_cast<std::uint32_t>((v >> i) & 1u);
+}
+
+/// All-ones mask of width \p bits (bits <= 63).
+constexpr std::uint64_t mask_of(unsigned bits) {
+    assert(bits < 64);
+    return (std::uint64_t{1} << bits) - 1;
+}
+
+/// Number of distinct values of a \p bits-wide unsigned operand.
+constexpr std::uint64_t domain_size(unsigned bits) {
+    assert(bits < 32);
+    return std::uint64_t{1} << bits;
+}
+
+/// Ceiling division for non-negative integers.
+constexpr std::uint64_t ceil_div(std::uint64_t a, std::uint64_t b) {
+    return (a + b - 1) / b;
+}
+
+/// Sign-extends the low \p bits of \p v to a signed 64-bit value.
+constexpr std::int64_t sign_extend(std::uint64_t v, unsigned bits) {
+    assert(bits > 0 && bits < 64);
+    const std::uint64_t m = std::uint64_t{1} << (bits - 1);
+    const std::uint64_t low = v & mask_of(bits);
+    return static_cast<std::int64_t>((low ^ m)) - static_cast<std::int64_t>(m);
+}
+
+} // namespace amret::util

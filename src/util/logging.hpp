@@ -1,0 +1,52 @@
+/// \file logging.hpp
+/// \brief Minimal leveled logging used across amret.
+///
+/// A deliberately tiny facility: benches and examples print structured tables
+/// themselves; logging is for progress and diagnostics only.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace amret::util {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Global log threshold; messages below it are dropped.
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+/// Emits one line to stderr with a level prefix if \p level passes the
+/// threshold. Thread-compatible (amret is single-threaded by design).
+void log_line(LogLevel level, const std::string& message);
+
+namespace detail {
+
+inline void format_into(std::ostringstream&) {}
+
+template <typename T, typename... Rest>
+void format_into(std::ostringstream& os, const T& first, const Rest&... rest) {
+    os << first;
+    format_into(os, rest...);
+}
+
+template <typename... Args>
+void log_fmt(LogLevel level, const Args&... args) {
+    if (level < log_level()) return;
+    std::ostringstream os;
+    format_into(os, args...);
+    log_line(level, os.str());
+}
+
+} // namespace detail
+
+template <typename... Args>
+void log_debug(const Args&... args) { detail::log_fmt(LogLevel::kDebug, args...); }
+template <typename... Args>
+void log_info(const Args&... args) { detail::log_fmt(LogLevel::kInfo, args...); }
+template <typename... Args>
+void log_warn(const Args&... args) { detail::log_fmt(LogLevel::kWarn, args...); }
+template <typename... Args>
+void log_error(const Args&... args) { detail::log_fmt(LogLevel::kError, args...); }
+
+} // namespace amret::util

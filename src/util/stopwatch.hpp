@@ -1,0 +1,30 @@
+/// \file stopwatch.hpp
+/// \brief Wall-clock timing helper for benches and training progress.
+#pragma once
+
+#include <chrono>
+
+namespace amret::util {
+
+/// Monotonic stopwatch; starts on construction.
+class Stopwatch {
+public:
+    Stopwatch() : start_(Clock::now()) {}
+
+    /// Resets the origin to now.
+    void restart() { start_ = Clock::now(); }
+
+    /// Elapsed seconds since construction or last restart().
+    [[nodiscard]] double seconds() const {
+        return std::chrono::duration<double>(Clock::now() - start_).count();
+    }
+
+    /// Elapsed milliseconds.
+    [[nodiscard]] double millis() const { return seconds() * 1e3; }
+
+private:
+    using Clock = std::chrono::steady_clock;
+    Clock::time_point start_;
+};
+
+} // namespace amret::util

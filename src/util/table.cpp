@@ -1,0 +1,118 @@
+#include "util/table.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+namespace amret::util {
+
+TablePrinter::TablePrinter(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {
+    aligns_.assign(headers_.size(), Align::kRight);
+    if (!aligns_.empty()) aligns_[0] = Align::kLeft;
+}
+
+void TablePrinter::set_align(std::size_t col, Align align) {
+    assert(col < aligns_.size());
+    aligns_[col] = align;
+}
+
+void TablePrinter::add_row(std::vector<std::string> cells) {
+    assert(cells.size() == headers_.size());
+    rows_.push_back(Row{false, std::move(cells)});
+}
+
+void TablePrinter::add_separator() { rows_.push_back(Row{true, {}}); }
+
+std::string TablePrinter::num(double v, int digits) {
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f", digits, v);
+    return buf;
+}
+
+std::string TablePrinter::str() const {
+    std::vector<std::size_t> widths(headers_.size());
+    for (std::size_t c = 0; c < headers_.size(); ++c) widths[c] = headers_[c].size();
+    for (const auto& row : rows_) {
+        if (row.separator) continue;
+        for (std::size_t c = 0; c < row.cells.size(); ++c)
+            widths[c] = std::max(widths[c], row.cells[c].size());
+    }
+
+    auto pad = [&](const std::string& s, std::size_t c) {
+        std::string out;
+        const std::size_t fill = widths[c] - s.size();
+        if (aligns_[c] == Align::kRight) out.append(fill, ' ');
+        out += s;
+        if (aligns_[c] == Align::kLeft) out.append(fill, ' ');
+        return out;
+    };
+
+    std::ostringstream os;
+    auto rule = [&] {
+        for (std::size_t c = 0; c < widths.size(); ++c) {
+            os << (c == 0 ? "+" : "+") << std::string(widths[c] + 2, '-');
+        }
+        os << "+\n";
+    };
+
+    rule();
+    os << "|";
+    for (std::size_t c = 0; c < headers_.size(); ++c) os << ' ' << pad(headers_[c], c) << " |";
+    os << "\n";
+    rule();
+    for (const auto& row : rows_) {
+        if (row.separator) {
+            rule();
+            continue;
+        }
+        os << "|";
+        for (std::size_t c = 0; c < row.cells.size(); ++c) os << ' ' << pad(row.cells[c], c) << " |";
+        os << "\n";
+    }
+    rule();
+    return os.str();
+}
+
+void TablePrinter::print() const { std::fputs(str().c_str(), stdout); }
+
+CsvWriter::CsvWriter(std::vector<std::string> headers) : headers_(std::move(headers)) {}
+
+void CsvWriter::add_row(std::vector<std::string> cells) {
+    assert(cells.size() == headers_.size());
+    rows_.push_back(std::move(cells));
+}
+
+std::string CsvWriter::escape(const std::string& cell) {
+    if (cell.find_first_of(",\"\n") == std::string::npos) return cell;
+    std::string out = "\"";
+    for (char ch : cell) {
+        if (ch == '"') out += '"';
+        out += ch;
+    }
+    out += '"';
+    return out;
+}
+
+std::string CsvWriter::str() const {
+    std::ostringstream os;
+    for (std::size_t c = 0; c < headers_.size(); ++c)
+        os << (c ? "," : "") << escape(headers_[c]);
+    os << "\n";
+    for (const auto& row : rows_) {
+        for (std::size_t c = 0; c < row.size(); ++c) os << (c ? "," : "") << escape(row[c]);
+        os << "\n";
+    }
+    return os.str();
+}
+
+bool CsvWriter::save(const std::string& path) const {
+    std::ofstream f(path);
+    if (!f) return false;
+    f << str();
+    return static_cast<bool>(f);
+}
+
+} // namespace amret::util

@@ -1,0 +1,66 @@
+/// \file table.hpp
+/// \brief Fixed-width ASCII table printing for paper-style result tables.
+///
+/// Every bench binary regenerating one of the paper's tables/figures renders
+/// its rows through this printer so output is uniform and diffable.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace amret::util {
+
+/// Column alignment inside a TablePrinter.
+enum class Align { kLeft, kRight };
+
+/// Accumulates rows of strings and renders them with aligned columns,
+/// a header rule, and optional section separators.
+class TablePrinter {
+public:
+    /// \param headers column titles; fixes the column count.
+    explicit TablePrinter(std::vector<std::string> headers);
+
+    /// Sets alignment for one column (default: left for col 0, right others).
+    void set_align(std::size_t col, Align align);
+
+    /// Appends one data row; must have exactly as many cells as headers.
+    void add_row(std::vector<std::string> cells);
+
+    /// Appends a horizontal separator at the current position.
+    void add_separator();
+
+    /// Renders the full table.
+    [[nodiscard]] std::string str() const;
+
+    /// Renders to stdout.
+    void print() const;
+
+    /// Formats a double with \p digits fractional digits.
+    static std::string num(double v, int digits = 2);
+
+private:
+    struct Row {
+        bool separator = false;
+        std::vector<std::string> cells;
+    };
+    std::vector<std::string> headers_;
+    std::vector<Align> aligns_;
+    std::vector<Row> rows_;
+};
+
+/// Writes rows as CSV (quoting cells that contain commas/quotes/newlines).
+class CsvWriter {
+public:
+    explicit CsvWriter(std::vector<std::string> headers);
+    void add_row(std::vector<std::string> cells);
+    [[nodiscard]] std::string str() const;
+    /// Writes the CSV to \p path; returns false on I/O failure.
+    bool save(const std::string& path) const;
+
+private:
+    static std::string escape(const std::string& cell);
+    std::vector<std::string> headers_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+} // namespace amret::util

@@ -1,0 +1,155 @@
+// Tests for the accelerator-level energy model.
+#include "accel/energy_model.hpp"
+#include "appmult/registry.hpp"
+#include "models/models.hpp"
+
+#include <gtest/gtest.h>
+
+namespace {
+
+using namespace amret;
+
+models::ModelConfig slim(std::int64_t in_size = 8) {
+    models::ModelConfig mc;
+    mc.in_size = in_size;
+    mc.num_classes = 10;
+    mc.width_mult = 0.125f;
+    return mc;
+}
+
+TEST(Workload, LenetMacCountMatchesManual) {
+    models::ModelConfig mc;
+    mc.in_size = 8;
+    mc.num_classes = 10;
+    mc.width_mult = 1.0f;
+    auto net = models::make_lenet(mc);
+    const auto workload = accel::analyze_workload(*net, 3, 8);
+
+    // LeNet conv1: 3->6 channels, 5x5 kernel, pad 2 -> 8x8 outputs:
+    // 64 positions * (3*25) patch * 6 out = 28800 MACs.
+    ASSERT_GE(workload.layers.size(), 2u);
+    EXPECT_EQ(workload.layers[0].name, "ApproxConv2d");
+    EXPECT_EQ(workload.layers[0].macs, 64 * 75 * 6);
+    // conv2: 6->16, 5x5, on 4x4 input -> 16 positions * 150 * 16.
+    EXPECT_EQ(workload.layers[1].macs, 16 * 150 * 16);
+    EXPECT_EQ(workload.total_macs, workload.conv_macs());
+}
+
+TEST(Workload, ScalesWithResolution) {
+    auto net8 = models::make_resnet(18, slim(8));
+    auto net16 = models::make_resnet(18, slim(16));
+    const auto w8 = accel::analyze_workload(*net8, 3, 8);
+    const auto w16 = accel::analyze_workload(*net16, 3, 16);
+    EXPECT_GT(w16.total_macs, 2 * w8.total_macs);
+}
+
+TEST(Workload, RestoresLayerModes) {
+    auto net = models::make_lenet(slim());
+    approx::configure_approx_layers(*net, approx::MultiplierConfig::exact_ste(8),
+                                    approx::ComputeMode::kQuantized);
+    accel::analyze_workload(*net, 3, 8);
+    net->visit([](nn::Module& m) {
+        if (auto* conv = dynamic_cast<approx::ApproxConv2d*>(&m)) {
+            EXPECT_EQ(conv->mode(), approx::ComputeMode::kQuantized);
+        }
+    });
+}
+
+TEST(Workload, CountsResidualDownsampleConvs) {
+    auto net = models::make_resnet(18, slim());
+    const auto workload = accel::analyze_workload(*net, 3, 8);
+    // ResNet18 CIFAR-style: stem + 8 blocks x 2 convs + 3 downsample 1x1.
+    int convs = 0;
+    for (const auto& layer : workload.layers)
+        if (layer.name == "ApproxConv2d") ++convs;
+    EXPECT_EQ(convs, 1 + 16 + 3);
+    for (const auto& layer : workload.layers) EXPECT_GT(layer.macs, 0);
+}
+
+TEST(Energy, ProportionalToPowerAndMacs) {
+    auto net = models::make_lenet(slim());
+    const auto workload = accel::analyze_workload(*net, 3, 8);
+    auto& reg = appmult::Registry::instance();
+    const auto acc = accel::estimate_energy(workload, reg.hardware("mul8u_acc"));
+    const auto rm8 = accel::estimate_energy(workload, reg.hardware("mul8u_rm8"));
+    EXPECT_GT(acc.mult_energy_nj, 0.0);
+    EXPECT_LT(rm8.mult_energy_nj, acc.mult_energy_nj);
+    // Ratio of energies equals ratio of powers (same workload).
+    const double expected =
+        reg.hardware("mul8u_rm8").power_uw / reg.hardware("mul8u_acc").power_uw;
+    EXPECT_NEAR(rm8.mult_energy_nj / acc.mult_energy_nj, expected, 1e-9);
+}
+
+TEST(Energy, RatioHelperMatchesManual) {
+    auto net = models::make_lenet(slim());
+    const auto workload = accel::analyze_workload(*net, 3, 8);
+    auto& reg = appmult::Registry::instance();
+    const double ratio = accel::energy_ratio(workload, reg.hardware("mul7u_rm6"),
+                                             reg.hardware("mul7u_acc"));
+    EXPECT_GT(ratio, 0.0);
+    EXPECT_LT(ratio, 1.0); // approximate saves energy
+}
+
+TEST(Energy, LatencyRespectsMultiplierDelay) {
+    auto net = models::make_lenet(slim());
+    const auto workload = accel::analyze_workload(*net, 3, 8);
+    auto& reg = appmult::Registry::instance();
+
+    accel::AcceleratorConfig config;
+    config.clock_ghz = 10.0; // far above what any multiplier can sustain
+    const auto report = accel::estimate_energy(workload, reg.hardware("mul8u_acc"),
+                                               config);
+    // 728 ps critical path -> ~1.37 GHz max.
+    EXPECT_LT(report.effective_clock_ghz, 1.5);
+    EXPECT_GT(report.effective_clock_ghz, 1.2);
+    EXPECT_GT(report.latency_us, 0.0);
+}
+
+TEST(Energy, BiggerArrayLowersLatencyRaisesArea) {
+    auto net = models::make_lenet(slim());
+    const auto workload = accel::analyze_workload(*net, 3, 8);
+    auto& reg = appmult::Registry::instance();
+
+    accel::AcceleratorConfig small, big;
+    small.array_rows = small.array_cols = 8;
+    big.array_rows = big.array_cols = 32;
+    const auto rs = accel::estimate_energy(workload, reg.hardware("mul8u_acc"), small);
+    const auto rb = accel::estimate_energy(workload, reg.hardware("mul8u_acc"), big);
+    EXPECT_GT(rs.latency_us, rb.latency_us);
+    EXPECT_LT(rs.array_area_um2, rb.array_area_um2);
+    EXPECT_DOUBLE_EQ(rs.mult_energy_nj, rb.mult_energy_nj); // energy ~ workload
+}
+
+TEST(Energy, OverheadFactorApplied) {
+    auto net = models::make_lenet(slim());
+    const auto workload = accel::analyze_workload(*net, 3, 8);
+    auto& reg = appmult::Registry::instance();
+    accel::AcceleratorConfig config;
+    config.non_mult_overhead = 1.0;
+    const auto report =
+        accel::estimate_energy(workload, reg.hardware("mul8u_acc"), config);
+    EXPECT_NEAR(report.total_energy_nj, 2.0 * report.mult_energy_nj, 1e-12);
+}
+
+} // namespace
+
+namespace {
+
+TEST(Workload, MobilenetCountsDepthwiseLayers) {
+    models::ModelConfig mc;
+    mc.in_size = 8;
+    mc.num_classes = 10;
+    mc.width_mult = 0.25f;
+    auto net = models::make_mobilenet(mc);
+    const auto workload = accel::analyze_workload(*net, 3, 8);
+    int depthwise = 0, pointwise = 0;
+    for (const auto& layer : workload.layers) {
+        if (layer.name == "DepthwiseConv2d") ++depthwise;
+        if (layer.name == "ApproxConv2d") ++pointwise;
+    }
+    EXPECT_EQ(depthwise, 5);
+    EXPECT_EQ(pointwise, 6); // stem + 5 pointwise convs
+    for (const auto& layer : workload.layers) EXPECT_GT(layer.macs, 0);
+}
+
+} // namespace

@@ -1,0 +1,125 @@
+// Tests for the exact/approximate adder generators: netlist vs behavioural
+// cross-validation, family-specific error properties, hardware savings.
+#include "multgen/addergen.hpp"
+#include "netlist/analysis.hpp"
+#include "netlist/sim.hpp"
+#include "util/bits.hpp"
+
+#include <gtest/gtest.h>
+
+namespace {
+
+using namespace amret;
+using multgen::AdderSpec;
+
+void expect_adder_netlist_matches(const AdderSpec& spec) {
+    const auto nl = multgen::build_adder_netlist(spec);
+    ASSERT_EQ(nl.num_inputs(), 2u * spec.bits);
+    ASSERT_EQ(nl.num_outputs(), spec.bits + 1u);
+    const auto outputs = netlist::eval_all_patterns(nl);
+    const std::uint64_t n = util::domain_size(spec.bits);
+    // Pattern: a in low bits, b in high bits (inputs added a-first).
+    for (std::uint64_t p = 0; p < n * n; ++p) {
+        const std::uint64_t a = p & (n - 1);
+        const std::uint64_t b = p >> spec.bits;
+        ASSERT_EQ(outputs[p], multgen::adder_behavioral(spec, a, b))
+            << "a=" << a << " b=" << b;
+    }
+}
+
+class AdderCrossValidation : public ::testing::TestWithParam<AdderSpec> {};
+
+TEST_P(AdderCrossValidation, NetlistEqualsBehavioral) {
+    expect_adder_netlist_matches(GetParam());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllFamilies, AdderCrossValidation,
+    ::testing::Values(multgen::exact_adder(4), multgen::exact_adder(8),
+                      multgen::loa_adder(8, 3), multgen::loa_adder(6, 4),
+                      multgen::eta_adder(8, 4), multgen::eta_adder(5, 2),
+                      multgen::truncated_adder(8, 3),
+                      multgen::truncated_adder(6, 6)));
+
+TEST(AdderGen, ExactAdderIsExact) {
+    const auto spec = multgen::exact_adder(8);
+    for (std::uint64_t a = 0; a < 256; a += 7)
+        for (std::uint64_t b = 0; b < 256; b += 11)
+            ASSERT_EQ(multgen::adder_behavioral(spec, a, b), a + b);
+}
+
+TEST(AdderGen, LoaExactWhenNoCommonLowBits) {
+    // OR equals addition when the low parts never both carry.
+    const auto spec = multgen::loa_adder(8, 4);
+    for (std::uint64_t a = 0; a < 256; ++a) {
+        for (std::uint64_t b = 0; b < 256; b += 3) {
+            if (((a & b) & 0xF) != 0) continue; // would need carries
+            ASSERT_EQ(multgen::adder_behavioral(spec, a, b), a + b);
+        }
+    }
+}
+
+TEST(AdderGen, LoaNeverOverestimates) {
+    const auto spec = multgen::loa_adder(8, 4);
+    for (std::uint64_t a = 0; a < 256; a += 3)
+        for (std::uint64_t b = 0; b < 256; b += 5)
+            ASSERT_LE(multgen::adder_behavioral(spec, a, b), a + b);
+}
+
+TEST(AdderGen, EtaErrorBoundedByLowPart) {
+    const auto spec = multgen::eta_adder(8, 4);
+    for (std::uint64_t a = 0; a < 256; a += 3) {
+        for (std::uint64_t b = 0; b < 256; b += 5) {
+            const auto approx = multgen::adder_behavioral(spec, a, b);
+            const auto exact = a + b;
+            const auto diff = approx > exact ? approx - exact : exact - approx;
+            // Dropping all low-part carries costs at most 2^low per operand
+            // pair plus the low-part representation error.
+            ASSERT_LE(diff, 2ull * 16ull) << "a=" << a << " b=" << b;
+        }
+    }
+}
+
+TEST(AdderGen, ApproximationSavesHardware) {
+    const auto exact = multgen::build_adder_netlist(multgen::exact_adder(8));
+    const auto loa = multgen::build_adder_netlist(multgen::loa_adder(8, 4));
+    const auto trunc = multgen::build_adder_netlist(multgen::truncated_adder(8, 4));
+    const auto hw_exact = netlist::analyze(exact);
+    const auto hw_loa = netlist::analyze(loa);
+    const auto hw_trunc = netlist::analyze(trunc);
+    EXPECT_LT(hw_loa.area_um2, hw_exact.area_um2);
+    EXPECT_LT(hw_trunc.area_um2, hw_loa.area_um2);
+    EXPECT_LT(hw_loa.delay_ps, hw_exact.delay_ps); // shorter carry chain
+    EXPECT_LT(hw_loa.power_uw, hw_exact.power_uw);
+}
+
+TEST(AdderGen, DeeperApproximationMoreError) {
+    auto mean_abs_error = [](const AdderSpec& spec) {
+        double total = 0.0;
+        const std::uint64_t n = util::domain_size(spec.bits);
+        for (std::uint64_t a = 0; a < n; ++a)
+            for (std::uint64_t b = 0; b < n; ++b) {
+                const auto approx = multgen::adder_behavioral(spec, a, b);
+                const auto exact = a + b;
+                total += static_cast<double>(approx > exact ? approx - exact
+                                                            : exact - approx);
+            }
+        return total / static_cast<double>(n * n);
+    };
+    const double e2 = mean_abs_error(multgen::loa_adder(8, 2));
+    const double e4 = mean_abs_error(multgen::loa_adder(8, 4));
+    const double e6 = mean_abs_error(multgen::loa_adder(8, 6));
+    EXPECT_LT(e2, e4);
+    EXPECT_LT(e4, e6);
+}
+
+TEST(AdderGen, CarryOutCorrectForExact) {
+    const auto nl = multgen::build_adder_netlist(multgen::exact_adder(4));
+    const auto outputs = netlist::eval_all_patterns(nl);
+    // 15 + 15 = 30: carry-out bit (s4) set.
+    const std::uint64_t p = (15ull << 4) | 15ull;
+    EXPECT_EQ(outputs[p], 30u);
+    EXPECT_EQ((outputs[p] >> 4) & 1u, 1u);
+}
+
+} // namespace

@@ -1,0 +1,109 @@
+// Tests for the mini approximate-logic-synthesis engine.
+#include "als/als.hpp"
+#include "appmult/appmult.hpp"
+#include "multgen/multgen.hpp"
+#include "netlist/sim.hpp"
+
+#include <gtest/gtest.h>
+
+namespace {
+
+using namespace amret;
+
+appmult::ErrorMetrics metrics_vs_exact(unsigned bits, const netlist::Netlist& nl) {
+    const auto lut = appmult::AppMultLut::from_netlist(bits, nl);
+    return appmult::measure_error(lut);
+}
+
+TEST(Als, RespectsNmedBudget) {
+    const auto exact = multgen::build_netlist(multgen::exact_spec(5));
+    als::AlsOptions options;
+    options.nmed_budget = 0.004;
+    const auto result = als::synthesize(exact, options);
+    EXPECT_LE(result.metrics.nmed, options.nmed_budget);
+    EXPECT_GT(result.moves, 0);
+    // Reported metrics agree with an independent re-measurement.
+    const auto check = metrics_vs_exact(5, result.netlist);
+    EXPECT_NEAR(check.nmed, result.metrics.nmed, 1e-12);
+    EXPECT_EQ(check.max_ed, result.metrics.max_ed);
+}
+
+TEST(Als, ReducesArea) {
+    const auto exact = multgen::build_netlist(multgen::exact_spec(5));
+    als::AlsOptions options;
+    options.nmed_budget = 0.004;
+    const auto result = als::synthesize(exact, options);
+    EXPECT_LT(result.area_after_um2, result.area_before_um2);
+    EXPECT_DOUBLE_EQ(result.area_after_um2, result.netlist.area_um2());
+}
+
+TEST(Als, TighterBudgetGivesLowerError) {
+    const auto exact = multgen::build_netlist(multgen::exact_spec(5));
+    als::AlsOptions tight, loose;
+    tight.nmed_budget = 0.001;
+    loose.nmed_budget = 0.008;
+    const auto r_tight = als::synthesize(exact, tight);
+    const auto r_loose = als::synthesize(exact, loose);
+    EXPECT_LE(r_tight.metrics.nmed, tight.nmed_budget);
+    EXPECT_LE(r_loose.metrics.nmed, loose.nmed_budget);
+    // Looser budget should buy at least as much area reduction.
+    EXPECT_LE(r_loose.area_after_um2, r_tight.area_after_um2 + 1e-9);
+}
+
+TEST(Als, ZeroBudgetPreservesFunction) {
+    const auto exact = multgen::build_netlist(multgen::exact_spec(4));
+    const auto reference = netlist::eval_all_patterns(exact);
+    als::AlsOptions options;
+    options.nmed_budget = 0.0;
+    const auto result = als::synthesize(exact, options);
+    const auto after = netlist::eval_all_patterns(result.netlist);
+    EXPECT_EQ(reference, after);
+    EXPECT_DOUBLE_EQ(result.metrics.nmed, 0.0);
+}
+
+TEST(Als, MaxMovesBounds) {
+    const auto exact = multgen::build_netlist(multgen::exact_spec(5));
+    als::AlsOptions options;
+    options.nmed_budget = 0.05;
+    options.max_moves = 3;
+    const auto result = als::synthesize(exact, options);
+    EXPECT_LE(result.moves, 3);
+    EXPECT_EQ(result.move_log.size(), static_cast<std::size_t>(result.moves));
+}
+
+TEST(Als, WireSubstitutionToggleChangesOutcome) {
+    const auto exact = multgen::build_netlist(multgen::exact_spec(5));
+    als::AlsOptions with_wires, without_wires;
+    with_wires.nmed_budget = without_wires.nmed_budget = 0.004;
+    without_wires.enable_wire_substitution = false;
+    const auto a = als::synthesize(exact, with_wires);
+    const auto b = als::synthesize(exact, without_wires);
+    // Both stay within budget; the search spaces differ so at least the
+    // resulting circuits should (typically) differ in size or error.
+    EXPECT_LE(a.metrics.nmed, with_wires.nmed_budget);
+    EXPECT_LE(b.metrics.nmed, without_wires.nmed_budget);
+}
+
+TEST(Als, OutputStructureIsValidMultiplier) {
+    const auto exact = multgen::build_netlist(multgen::exact_spec(5));
+    als::AlsOptions options;
+    options.nmed_budget = 0.004;
+    const auto result = als::synthesize(exact, options);
+    EXPECT_EQ(result.netlist.num_inputs(), 10u);
+    EXPECT_EQ(result.netlist.num_outputs(), 10u);
+    // All output nets valid.
+    for (const auto& port : result.netlist.outputs())
+        EXPECT_LT(port.net, result.netlist.num_nodes());
+}
+
+TEST(Als, ErrorRateWithinSaneRange) {
+    const auto exact = multgen::build_netlist(multgen::exact_spec(5));
+    als::AlsOptions options;
+    options.nmed_budget = 0.004;
+    const auto result = als::synthesize(exact, options);
+    EXPECT_GE(result.metrics.error_rate, 0.0);
+    EXPECT_LE(result.metrics.error_rate, 1.0);
+    EXPECT_GE(result.metrics.max_ed, 0);
+}
+
+} // namespace

@@ -1,0 +1,162 @@
+// Tests for AppMultLut, the Eq. (2) error metrics, and the Table I registry.
+#include "appmult/appmult.hpp"
+#include "appmult/registry.hpp"
+#include "multgen/multgen.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+namespace {
+
+using namespace amret;
+using appmult::AppMultLut;
+
+TEST(AppMultLut, ExactTable) {
+    const auto lut = AppMultLut::exact(6);
+    EXPECT_EQ(lut.bits(), 6u);
+    EXPECT_EQ(lut.domain(), 64u);
+    for (std::uint64_t w = 0; w < 64; ++w)
+        for (std::uint64_t x = 0; x < 64; ++x)
+            ASSERT_EQ(lut(w, x), static_cast<std::int64_t>(w * x));
+}
+
+TEST(AppMultLut, FromFunction) {
+    const auto lut = AppMultLut(4, [](std::uint64_t w, std::uint64_t x) {
+        return (w * x) & ~std::uint64_t{1}; // drop LSB
+    });
+    EXPECT_EQ(lut(3, 5), 14);
+    EXPECT_EQ(lut(2, 2), 4);
+}
+
+TEST(AppMultLut, SaveLoadRoundTrip) {
+    const auto lut = AppMultLut::exact(7);
+    const std::string path = ::testing::TempDir() + "/amret_lut_test.bin";
+    ASSERT_TRUE(lut.save(path));
+    const auto loaded = AppMultLut::load(path);
+    ASSERT_FALSE(loaded.empty());
+    EXPECT_EQ(loaded.bits(), 7u);
+    EXPECT_EQ(loaded.table(), lut.table());
+    std::remove(path.c_str());
+}
+
+TEST(AppMultLut, LoadMissingFileIsEmpty) {
+    const auto lut = AppMultLut::load("/nonexistent/amret.bin");
+    EXPECT_TRUE(lut.empty());
+}
+
+TEST(ErrorMetrics, ExactMultiplierHasZeroError) {
+    const auto m = appmult::measure_error(AppMultLut::exact(6));
+    EXPECT_DOUBLE_EQ(m.error_rate, 0.0);
+    EXPECT_DOUBLE_EQ(m.nmed, 0.0);
+    EXPECT_EQ(m.max_ed, 0);
+    EXPECT_DOUBLE_EQ(m.mean_error, 0.0);
+}
+
+TEST(ErrorMetrics, KnownSingleErrorCase) {
+    // 2-bit multiplier with one wrong entry: AM(3,3) = 8 instead of 9.
+    auto lut = AppMultLut(2, [](std::uint64_t w, std::uint64_t x) {
+        return (w == 3 && x == 3) ? 8u : w * x;
+    });
+    const auto m = appmult::measure_error(lut);
+    EXPECT_DOUBLE_EQ(m.error_rate, 1.0 / 16.0);
+    EXPECT_DOUBLE_EQ(m.nmed, (1.0 / 16.0) / 15.0); // Eq. (2): /(2^(2B)-1)
+    EXPECT_EQ(m.max_ed, 1);
+    EXPECT_DOUBLE_EQ(m.mean_error, -1.0 / 16.0);
+}
+
+TEST(ErrorMetrics, Rm6PaperDefinition) {
+    // mul7u_rm6 drops the 6 rightmost columns: the worst case sets all
+    // dropped partial products, i.e. MaxED = sum_{c<6} (c+1) 2^c = 321.
+    auto& reg = appmult::Registry::instance();
+    const auto& m = reg.error("mul7u_rm6");
+    EXPECT_EQ(m.max_ed, 321);
+    EXPECT_GT(m.error_rate, 0.9);
+    EXPECT_NEAR(m.nmed, 0.0049, 0.0005);
+}
+
+TEST(Registry, ContainsAllTableOneNames) {
+    auto& reg = appmult::Registry::instance();
+    const std::vector<std::string> expected = {
+        "mul8u_acc",  "mul8u_syn1", "mul8u_syn2", "mul8u_2NDH", "mul8u_17C8",
+        "mul8u_1DMU", "mul8u_17R6", "mul8u_rm8",  "mul7u_acc",  "mul7u_06Q",
+        "mul7u_073",  "mul7u_rm6",  "mul7u_syn1", "mul7u_syn2", "mul7u_081",
+        "mul7u_08E",  "mul6u_acc",  "mul6u_rm4"};
+    for (const auto& name : expected)
+        EXPECT_TRUE(reg.contains(name)) << name;
+    EXPECT_GE(reg.names().size(), expected.size());
+}
+
+TEST(Registry, InfoFields) {
+    auto& reg = appmult::Registry::instance();
+    EXPECT_EQ(reg.info("mul8u_acc").bits, 8u);
+    EXPECT_FALSE(reg.info("mul8u_acc").approximate);
+    EXPECT_TRUE(reg.info("mul8u_rm8").approximate);
+    EXPECT_EQ(reg.info("mul6u_rm4").bits, 6u);
+    EXPECT_EQ(reg.info("mul7u_rm6").default_hws, 2u);
+    EXPECT_THROW(static_cast<void>(reg.info("not_a_mult")), std::out_of_range);
+}
+
+TEST(Registry, AccurateLutsAreExact) {
+    auto& reg = appmult::Registry::instance();
+    for (const char* name : {"mul8u_acc", "mul7u_acc", "mul6u_acc"}) {
+        const auto& m = reg.error(name);
+        EXPECT_DOUBLE_EQ(m.nmed, 0.0) << name;
+    }
+}
+
+TEST(Registry, ApproximateLutsHaveExpectedErrorRegime) {
+    auto& reg = appmult::Registry::instance();
+    // All Table I approximations sit between 0.1% and 1% NMED in the paper.
+    for (const char* name : {"mul8u_2NDH", "mul8u_17C8", "mul8u_1DMU",
+                             "mul8u_17R6", "mul8u_rm8", "mul7u_06Q", "mul7u_073",
+                             "mul7u_rm6", "mul7u_081", "mul7u_08E", "mul6u_rm4"}) {
+        const auto& m = reg.error(name);
+        EXPECT_GT(m.nmed, 0.001) << name;
+        EXPECT_LT(m.nmed, 0.010) << name;
+    }
+}
+
+TEST(Registry, HardwareCheaperThanAccurate) {
+    auto& reg = appmult::Registry::instance();
+    const auto& acc = reg.hardware("mul8u_acc");
+    for (const char* name : {"mul8u_rm8", "mul8u_2NDH", "mul8u_17C8", "mul8u_17R6"}) {
+        const auto& hw = reg.hardware(name);
+        EXPECT_LT(hw.power_uw, acc.power_uw) << name;
+        EXPECT_LT(hw.area_um2, acc.area_um2) << name;
+    }
+}
+
+TEST(Registry, HardwareCalibrationNearPaper) {
+    // Table I: mul8u_acc = 25.6 um^2 / 730.1 ps / 22.93 uW.
+    auto& reg = appmult::Registry::instance();
+    const auto& hw = reg.hardware("mul8u_acc");
+    EXPECT_NEAR(hw.area_um2, 25.6, 3.0);
+    EXPECT_NEAR(hw.delay_ps, 730.0, 80.0);
+    EXPECT_NEAR(hw.power_uw, 22.93, 3.0);
+}
+
+TEST(Registry, RegisterUserSpec) {
+    auto& reg = appmult::Registry::instance();
+    reg.register_spec("test_user_rm2", multgen::truncated_spec(6, 2), 1);
+    EXPECT_TRUE(reg.contains("test_user_rm2"));
+    const auto& m = reg.error("test_user_rm2");
+    EXPECT_GT(m.error_rate, 0.0);
+    EXPECT_EQ(reg.info("test_user_rm2").bits, 6u);
+}
+
+TEST(Registry, LutAndCircuitAgree) {
+    auto& reg = appmult::Registry::instance();
+    // Behavioural LUT (fast path) must equal the netlist simulation.
+    const auto& lut = reg.lut("mul6u_rm4");
+    const auto netlist_lut = appmult::AppMultLut::from_netlist(6, reg.circuit("mul6u_rm4"));
+    EXPECT_EQ(lut.table(), netlist_lut.table());
+}
+
+TEST(Registry, AccurateCounterpartNames) {
+    EXPECT_EQ(appmult::accurate_counterpart("mul8u_rm8"), "mul8u_acc");
+    EXPECT_EQ(appmult::accurate_counterpart("mul7u_06Q"), "mul7u_acc");
+    EXPECT_EQ(appmult::accurate_counterpart("mul6u_acc"), "mul6u_acc");
+}
+
+} // namespace

@@ -1,0 +1,127 @@
+// Tests for the behavioural-level approximate multiplier models
+// (Mitchell logarithmic, DRUM, static segment).
+#include "appmult/appmult.hpp"
+#include "core/grad_lut.hpp"
+#include "multgen/behavioral_models.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace {
+
+using namespace amret;
+
+TEST(Mitchell, ZeroOperandsGiveZero) {
+    for (std::uint64_t v = 0; v < 256; v += 17) {
+        EXPECT_EQ(multgen::mitchell_mult(8, 0, v), 0u);
+        EXPECT_EQ(multgen::mitchell_mult(8, v, 0), 0u);
+    }
+}
+
+TEST(Mitchell, ExactForPowersOfTwo) {
+    // log is exact when both operands are powers of two.
+    for (std::uint64_t w : {1ull, 2ull, 4ull, 8ull, 16ull, 32ull, 64ull, 128ull})
+        for (std::uint64_t x : {1ull, 2ull, 4ull, 8ull, 16ull, 32ull, 64ull, 128ull})
+            EXPECT_EQ(multgen::mitchell_mult(8, w, x), w * x) << w << "*" << x;
+}
+
+TEST(Mitchell, AlwaysUnderestimatesWithinKnownBound) {
+    // Mitchell's error is in (-11.2%, 0] of the true product.
+    for (std::uint64_t w = 1; w < 256; ++w) {
+        for (std::uint64_t x = 1; x < 256; x += 3) {
+            const std::uint64_t approx = multgen::mitchell_mult(8, w, x);
+            const std::uint64_t exact = w * x;
+            ASSERT_LE(approx, exact) << w << "*" << x;
+            ASSERT_GE(static_cast<double>(approx), 0.888 * static_cast<double>(exact))
+                << w << "*" << x;
+        }
+    }
+}
+
+TEST(Mitchell, NmedInKnownRegime) {
+    const appmult::AppMultLut lut(8, [](std::uint64_t w, std::uint64_t x) {
+        return multgen::mitchell_mult(8, w, x);
+    });
+    const auto m = appmult::measure_error(lut);
+    // Mean relative error of Mitchell is ~3.8%; NMED (normalized by the max
+    // product) lands around 0.5-1.5%.
+    EXPECT_GT(m.nmed, 0.002);
+    EXPECT_LT(m.nmed, 0.02);
+    EXPECT_LT(m.mean_error, 0.0); // strictly underestimating
+}
+
+TEST(Drum, ExactForSmallOperands) {
+    // Operands that fit in the k-bit segment multiply exactly.
+    for (std::uint64_t w = 0; w < 16; ++w)
+        for (std::uint64_t x = 0; x < 16; ++x)
+            EXPECT_EQ(multgen::drum_mult(8, 4, w, x), w * x);
+}
+
+TEST(Drum, ApproximatesLargeOperands) {
+    const std::uint64_t approx = multgen::drum_mult(8, 4, 200, 200);
+    const std::uint64_t exact = 200 * 200;
+    EXPECT_NE(approx, exact);
+    // DRUM-4 relative error is bounded by ~6%.
+    EXPECT_NEAR(static_cast<double>(approx), static_cast<double>(exact),
+                0.10 * static_cast<double>(exact));
+}
+
+TEST(Drum, LargerSegmentsAreMoreAccurate) {
+    auto nmed_of = [](unsigned k) {
+        const appmult::AppMultLut lut(8, [k](std::uint64_t w, std::uint64_t x) {
+            return multgen::drum_mult(8, k, w, x);
+        });
+        return appmult::measure_error(lut).nmed;
+    };
+    const double n3 = nmed_of(3), n4 = nmed_of(4), n6 = nmed_of(6);
+    EXPECT_GT(n3, n4);
+    EXPECT_GT(n4, n6);
+}
+
+TEST(Drum, LessBiasedThanTruncation) {
+    // The unbiasing LSB keeps the mean error small (DRUM's design goal),
+    // unlike truncation's one-sided error: rm8 has mean error ~-448 at the
+    // same width; DRUM-4 stays within a fraction of that.
+    const appmult::AppMultLut lut(8, [](std::uint64_t w, std::uint64_t x) {
+        return multgen::drum_mult(8, 4, w, x);
+    });
+    const auto m = appmult::measure_error(lut);
+    EXPECT_LT(std::abs(m.mean_error), 150.0);
+}
+
+TEST(Ssm, ExactForSmallOperands) {
+    for (std::uint64_t w = 0; w < 16; ++w)
+        for (std::uint64_t x = 0; x < 16; ++x)
+            EXPECT_EQ(multgen::ssm_mult(8, 4, w, x), w * x);
+}
+
+TEST(Ssm, UsesHighSegmentForLargeOperands) {
+    // 240 = 0b11110000: top-4 segment 15 << 4; times 3 -> 45 << 4 = 720.
+    EXPECT_EQ(multgen::ssm_mult(8, 4, 240, 3), 720u);
+    EXPECT_EQ(240u * 3u, 720u); // here the approximation happens to be exact
+    // 250 = 0b11111010: top 4 bits 15, shift 4 -> 15*3 << 4 = 720 != 750.
+    EXPECT_EQ(multgen::ssm_mult(8, 4, 250, 3), 720u);
+}
+
+TEST(Ssm, NeverOverestimates) {
+    for (std::uint64_t w = 0; w < 256; w += 5)
+        for (std::uint64_t x = 0; x < 256; x += 7)
+            ASSERT_LE(multgen::ssm_mult(8, 4, w, x), w * x);
+}
+
+TEST(BehavioralModels, PlugIntoGradientPipeline) {
+    // Any behavioural model LUT-ifies and yields difference gradients.
+    const appmult::AppMultLut lut(7, [](std::uint64_t w, std::uint64_t x) {
+        return multgen::drum_mult(7, 3, w, x);
+    });
+    const auto grad = core::build_difference_grad(lut, 4);
+    EXPECT_FALSE(grad.empty());
+    // DRUM-3 is exact for operands < 8 but the HWS=4 window spills into the
+    // approximate region, so the smoothed slope is near (not exactly) the
+    // fixed operand.
+    EXPECT_NEAR(grad.dx(5, 3), 5.0f, 1.0f);
+    EXPECT_NEAR(grad.dx(5, 6), 5.0f, 0.5f);
+}
+
+} // namespace

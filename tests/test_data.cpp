@@ -1,0 +1,365 @@
+// Tests for the dataset substrate: synthetic generator, CIFAR binary reader,
+// and the batching data loader.
+#include "data/dataset.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <set>
+
+namespace {
+
+using namespace amret;
+using data::Batch;
+using data::DataLoader;
+using data::Dataset;
+using data::SyntheticConfig;
+
+SyntheticConfig tiny_config() {
+    SyntheticConfig config;
+    config.num_classes = 4;
+    config.height = 8;
+    config.width = 8;
+    config.train_samples = 64;
+    config.test_samples = 32;
+    config.seed = 5;
+    return config;
+}
+
+TEST(Synthetic, ShapesAndLabelRanges) {
+    const auto pair = data::make_synthetic(tiny_config());
+    EXPECT_EQ(pair.train.size(), 64);
+    EXPECT_EQ(pair.test.size(), 32);
+    EXPECT_EQ(pair.train.sample_numel(), 3 * 8 * 8);
+    EXPECT_EQ(pair.train.images.size(), 64u * 3u * 8u * 8u);
+    for (int label : pair.train.labels) {
+        EXPECT_GE(label, 0);
+        EXPECT_LT(label, 4);
+    }
+}
+
+TEST(Synthetic, DeterministicForSeed) {
+    const auto a = data::make_synthetic(tiny_config());
+    const auto b = data::make_synthetic(tiny_config());
+    EXPECT_EQ(a.train.labels, b.train.labels);
+    EXPECT_EQ(a.train.images, b.train.images);
+}
+
+TEST(Synthetic, DifferentSeedsDiffer) {
+    auto config = tiny_config();
+    const auto a = data::make_synthetic(config);
+    config.seed = 6;
+    const auto b = data::make_synthetic(config);
+    EXPECT_NE(a.train.images, b.train.images);
+}
+
+TEST(Synthetic, AllClassesPresent) {
+    auto config = tiny_config();
+    config.train_samples = 400;
+    const auto pair = data::make_synthetic(config);
+    std::set<int> seen(pair.train.labels.begin(), pair.train.labels.end());
+    EXPECT_EQ(seen.size(), 4u);
+}
+
+TEST(Synthetic, ClassesAreSeparable) {
+    // Same-class samples must be closer (on average) than cross-class ones;
+    // otherwise the retraining benches would measure noise.
+    auto config = tiny_config();
+    config.train_samples = 200;
+    config.noise_stddev = 0.2f;
+    config.max_shift = 0;
+    const auto pair = data::make_synthetic(config);
+    const auto& ds = pair.train;
+    double intra = 0.0, inter = 0.0;
+    int intra_n = 0, inter_n = 0;
+    for (std::int64_t i = 0; i < ds.size(); ++i) {
+        for (std::int64_t j = i + 1; j < std::min<std::int64_t>(ds.size(), i + 20); ++j) {
+            double d = 0.0;
+            for (std::int64_t k = 0; k < ds.sample_numel(); ++k) {
+                const double diff = ds.images[i * ds.sample_numel() + k] -
+                                    ds.images[j * ds.sample_numel() + k];
+                d += diff * diff;
+            }
+            if (ds.labels[static_cast<std::size_t>(i)] ==
+                ds.labels[static_cast<std::size_t>(j)]) {
+                intra += d;
+                ++intra_n;
+            } else {
+                inter += d;
+                ++inter_n;
+            }
+        }
+    }
+    ASSERT_GT(intra_n, 0);
+    ASSERT_GT(inter_n, 0);
+    EXPECT_LT(intra / intra_n, 0.7 * inter / inter_n);
+}
+
+TEST(Loader, BatchShapesAndCount) {
+    const auto pair = data::make_synthetic(tiny_config());
+    DataLoader loader(pair.train, 10, false, 0);
+    EXPECT_EQ(loader.num_batches(), 7); // 64 = 6*10 + 4
+    loader.start_epoch();
+    Batch batch;
+    int batches = 0;
+    std::int64_t total = 0;
+    while (loader.next(batch)) {
+        ++batches;
+        total += batch.images.dim(0);
+        EXPECT_EQ(batch.images.dim(1), 3);
+        EXPECT_EQ(batch.images.dim(2), 8);
+        EXPECT_EQ(static_cast<std::int64_t>(batch.labels.size()), batch.images.dim(0));
+    }
+    EXPECT_EQ(batches, 7);
+    EXPECT_EQ(total, 64);
+}
+
+TEST(Loader, ShuffleCoversAllSamplesOnce) {
+    const auto pair = data::make_synthetic(tiny_config());
+    DataLoader loader(pair.train, 8, true, 42);
+    loader.start_epoch();
+    Batch batch;
+    std::multiset<float> firsts;
+    while (loader.next(batch)) {
+        for (std::int64_t i = 0; i < batch.images.dim(0); ++i)
+            firsts.insert(batch.images[i * pair.train.sample_numel()]);
+    }
+    // Compare against the unshuffled multiset of first pixels.
+    std::multiset<float> expected;
+    for (std::int64_t s = 0; s < pair.train.size(); ++s)
+        expected.insert(pair.train.images[s * pair.train.sample_numel()]);
+    EXPECT_EQ(firsts, expected);
+}
+
+TEST(Loader, ShuffleChangesOrderBetweenEpochs) {
+    const auto pair = data::make_synthetic(tiny_config());
+    DataLoader loader(pair.train, 64, true, 42);
+    loader.start_epoch();
+    Batch first, second;
+    ASSERT_TRUE(loader.next(first));
+    loader.start_epoch();
+    ASSERT_TRUE(loader.next(second));
+    EXPECT_NE(first.labels, second.labels);
+}
+
+TEST(Cifar, ReadsCifar10Format) {
+    const std::string path = ::testing::TempDir() + "/amret_cifar_test.bin";
+    {
+        std::ofstream f(path, std::ios::binary);
+        for (int s = 0; s < 3; ++s) {
+            const unsigned char label = static_cast<unsigned char>(s);
+            f.put(static_cast<char>(label));
+            for (int i = 0; i < 3072; ++i)
+                f.put(static_cast<char>((s * 37 + i) % 256));
+        }
+    }
+    const Dataset ds = data::load_cifar_binary({path}, 10, /*cifar100=*/false);
+    ASSERT_EQ(ds.size(), 3);
+    EXPECT_EQ(ds.labels[0], 0);
+    EXPECT_EQ(ds.labels[2], 2);
+    EXPECT_EQ(ds.height, 32);
+    // Pixel normalization: byte 0 -> -1, byte 255 -> ~1.
+    EXPECT_NEAR(ds.images[0], -1.0f, 1e-5f);
+    std::remove(path.c_str());
+}
+
+TEST(Cifar, ReadsCifar100FineLabels) {
+    const std::string path = ::testing::TempDir() + "/amret_cifar100_test.bin";
+    {
+        std::ofstream f(path, std::ios::binary);
+        f.put(static_cast<char>(7));  // coarse
+        f.put(static_cast<char>(42)); // fine
+        for (int i = 0; i < 3072; ++i) f.put(static_cast<char>(128));
+    }
+    const Dataset ds = data::load_cifar_binary({path}, 100, /*cifar100=*/true);
+    ASSERT_EQ(ds.size(), 1);
+    EXPECT_EQ(ds.labels[0], 42);
+    std::remove(path.c_str());
+}
+
+TEST(Cifar, MissingFileGivesEmptyDataset) {
+    const Dataset ds = data::load_cifar_binary({"/no/such/file.bin"}, 10, false);
+    EXPECT_EQ(ds.size(), 0);
+}
+
+TEST(Cifar, RejectsOutOfRangeLabels) {
+    const std::string path = ::testing::TempDir() + "/amret_cifar_bad.bin";
+    {
+        std::ofstream f(path, std::ios::binary);
+        f.put(static_cast<char>(200)); // label 200 invalid for 10 classes
+        for (int i = 0; i < 3072; ++i) f.put(static_cast<char>(0));
+    }
+    const Dataset ds = data::load_cifar_binary({path}, 10, false);
+    EXPECT_EQ(ds.size(), 0);
+    std::remove(path.c_str());
+}
+
+} // namespace
+
+#include "data/shapes.hpp"
+
+namespace {
+
+using namespace amret;
+
+data::ShapesConfig tiny_shapes() {
+    data::ShapesConfig config;
+    config.num_classes = 6;
+    config.height = config.width = 10;
+    config.train_samples = 120;
+    config.test_samples = 60;
+    config.seed = 3;
+    return config;
+}
+
+TEST(Shapes, ShapesAndLabels) {
+    const auto pair = data::make_shapes(tiny_shapes());
+    EXPECT_EQ(pair.train.size(), 120);
+    EXPECT_EQ(pair.train.channels, 3);
+    EXPECT_EQ(pair.train.sample_numel(), 3 * 10 * 10);
+    for (int label : pair.train.labels) {
+        EXPECT_GE(label, 0);
+        EXPECT_LT(label, 6);
+    }
+}
+
+TEST(Shapes, DeterministicAndSeedSensitive) {
+    const auto a = data::make_shapes(tiny_shapes());
+    const auto b = data::make_shapes(tiny_shapes());
+    EXPECT_EQ(a.train.images, b.train.images);
+    auto config = tiny_shapes();
+    config.seed = 4;
+    const auto c = data::make_shapes(config);
+    EXPECT_NE(a.train.images, c.train.images);
+}
+
+TEST(Shapes, ForegroundBrighterThanBackground) {
+    auto config = tiny_shapes();
+    config.noise_stddev = 0.0f;
+    config.max_shift = 0;
+    const auto pair = data::make_shapes(config);
+    // With no noise, every image must contain both bright foreground
+    // (> 0.3) and dark background (< -0.3) pixels.
+    for (std::int64_t s = 0; s < 10; ++s) {
+        const float* img = pair.train.images.data() + s * pair.train.sample_numel();
+        float mx = -10.0f, mn = 10.0f;
+        for (std::int64_t i = 0; i < pair.train.sample_numel(); ++i) {
+            mx = std::max(mx, img[i]);
+            mn = std::min(mn, img[i]);
+        }
+        EXPECT_GT(mx, 0.3f) << "sample " << s;
+        EXPECT_LT(mn, -0.3f) << "sample " << s;
+    }
+}
+
+TEST(Shapes, ClassesAreSeparable) {
+    auto config = tiny_shapes();
+    config.noise_stddev = 0.1f;
+    config.max_shift = 0;
+    config.scale_jitter = 0.0f;
+    config.train_samples = 200;
+    const auto pair = data::make_shapes(config);
+    const auto& ds = pair.train;
+    double intra = 0.0, inter = 0.0;
+    int intra_n = 0, inter_n = 0;
+    for (std::int64_t i = 0; i < ds.size(); ++i) {
+        for (std::int64_t j = i + 1; j < std::min<std::int64_t>(ds.size(), i + 25); ++j) {
+            double d = 0.0;
+            for (std::int64_t k = 0; k < ds.sample_numel(); ++k) {
+                const double diff = ds.images[i * ds.sample_numel() + k] -
+                                    ds.images[j * ds.sample_numel() + k];
+                d += diff * diff;
+            }
+            if (ds.labels[static_cast<std::size_t>(i)] ==
+                ds.labels[static_cast<std::size_t>(j)]) {
+                intra += d;
+                ++intra_n;
+            } else {
+                inter += d;
+                ++inter_n;
+            }
+        }
+    }
+    ASSERT_GT(intra_n, 0);
+    ASSERT_GT(inter_n, 0);
+    EXPECT_LT(intra / intra_n, 0.8 * inter / inter_n);
+}
+
+TEST(Shapes, WorksWithDataLoader) {
+    const auto pair = data::make_shapes(tiny_shapes());
+    data::DataLoader loader(pair.train, 32, true, 1);
+    loader.start_epoch();
+    data::Batch batch;
+    ASSERT_TRUE(loader.next(batch));
+    EXPECT_EQ(batch.images.dim(1), 3);
+    EXPECT_EQ(batch.images.dim(2), 10);
+}
+
+} // namespace
+
+namespace {
+
+TEST(Augmentation, DisabledByDefault) {
+    const auto pair = data::make_synthetic(tiny_config());
+    data::DataLoader loader(pair.train, 8, false, 1);
+    loader.start_epoch();
+    data::Batch batch;
+    ASSERT_TRUE(loader.next(batch));
+    // Without augmentation the batch equals the raw dataset order.
+    for (std::int64_t i = 0; i < batch.images.numel(); ++i)
+        ASSERT_FLOAT_EQ(batch.images[i], pair.train.images[static_cast<std::size_t>(i)]);
+}
+
+TEST(Augmentation, FlipMirrorsRows) {
+    const auto pair = data::make_synthetic(tiny_config());
+    data::DataLoader loader(pair.train, 1, false, 1);
+    data::Augmentation aug;
+    aug.hflip_prob = 1.0f; // always flip
+    loader.set_augmentation(aug);
+    loader.start_epoch();
+    data::Batch batch;
+    ASSERT_TRUE(loader.next(batch));
+    const std::int64_t w = pair.train.width;
+    for (std::int64_t x = 0; x < w; ++x)
+        ASSERT_FLOAT_EQ(batch.images[x],
+                        pair.train.images[static_cast<std::size_t>(w - 1 - x)]);
+}
+
+TEST(Augmentation, ShiftPreservesPixelMultiset) {
+    const auto pair = data::make_synthetic(tiny_config());
+    data::DataLoader loader(pair.train, 1, false, 2);
+    data::Augmentation aug;
+    aug.max_shift = 2;
+    loader.set_augmentation(aug);
+    loader.start_epoch();
+    data::Batch batch;
+    ASSERT_TRUE(loader.next(batch));
+    std::multiset<float> got, expected;
+    for (std::int64_t i = 0; i < batch.images.numel(); ++i) {
+        got.insert(batch.images[i]);
+        expected.insert(pair.train.images[static_cast<std::size_t>(i)]);
+    }
+    EXPECT_EQ(got, expected); // circular shift permutes, never loses pixels
+}
+
+TEST(Augmentation, NoiseChangesValuesSlightly) {
+    const auto pair = data::make_synthetic(tiny_config());
+    data::DataLoader loader(pair.train, 4, false, 3);
+    data::Augmentation aug;
+    aug.noise_stddev = 0.05f;
+    loader.set_augmentation(aug);
+    loader.start_epoch();
+    data::Batch batch;
+    ASSERT_TRUE(loader.next(batch));
+    double total = 0.0, max_abs = 0.0;
+    for (std::int64_t i = 0; i < batch.images.numel(); ++i) {
+        const double d = batch.images[i] - pair.train.images[static_cast<std::size_t>(i)];
+        total += std::abs(d);
+        max_abs = std::max(max_abs, std::abs(d));
+    }
+    EXPECT_GT(total, 0.0);
+    EXPECT_LT(max_abs, 0.5); // perturbation, not destruction
+}
+
+} // namespace

@@ -1,0 +1,192 @@
+// Tests for the depthwise convolution layer and the MobileNet builder.
+#include "approx/depthwise.hpp"
+#include "appmult/registry.hpp"
+#include "models/models.hpp"
+#include "train/trainer.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace {
+
+using namespace amret;
+using approx::ComputeMode;
+using approx::DepthwiseConv2d;
+using approx::MultiplierConfig;
+using tensor::Shape;
+using tensor::Tensor;
+
+double dot(const Tensor& a, const Tensor& b) {
+    double acc = 0.0;
+    for (std::int64_t i = 0; i < a.numel(); ++i)
+        acc += static_cast<double>(a[i]) * b[i];
+    return acc;
+}
+
+/// Direct per-channel convolution reference.
+Tensor naive_depthwise(const Tensor& x, const Tensor& w, const Tensor& b,
+                       std::int64_t kernel, std::int64_t stride, std::int64_t pad) {
+    const std::int64_t n = x.dim(0), c = x.dim(1), h = x.dim(2), wd = x.dim(3);
+    const std::int64_t oh = (h + 2 * pad - kernel) / stride + 1;
+    const std::int64_t ow = (wd + 2 * pad - kernel) / stride + 1;
+    Tensor y(Shape{n, c, oh, ow});
+    for (std::int64_t ni = 0; ni < n; ++ni)
+        for (std::int64_t ci = 0; ci < c; ++ci)
+            for (std::int64_t oy = 0; oy < oh; ++oy)
+                for (std::int64_t ox = 0; ox < ow; ++ox) {
+                    float acc = b[ci];
+                    for (std::int64_t ky = 0; ky < kernel; ++ky)
+                        for (std::int64_t kx = 0; kx < kernel; ++kx) {
+                            const std::int64_t iy = oy * stride + ky - pad;
+                            const std::int64_t ix = ox * stride + kx - pad;
+                            if (iy < 0 || iy >= h || ix < 0 || ix >= wd) continue;
+                            acc += x[((ni * c + ci) * h + iy) * wd + ix] *
+                                   w[(ci * kernel + ky) * kernel + kx];
+                        }
+                    y[((ni * c + ci) * oh + oy) * ow + ox] = acc;
+                }
+    return y;
+}
+
+TEST(Depthwise, FloatForwardMatchesNaive) {
+    util::Rng rng(51);
+    DepthwiseConv2d dw(3, 3, 1, 1, rng);
+    const Tensor x = Tensor::randn(Shape{2, 3, 5, 5}, rng);
+    const Tensor y = dw.forward(x);
+    const Tensor ref = naive_depthwise(x, dw.weight.value, dw.bias.value, 3, 1, 1);
+    ASSERT_EQ(y.shape(), ref.shape());
+    for (std::int64_t i = 0; i < y.numel(); ++i) ASSERT_NEAR(y[i], ref[i], 1e-4f);
+}
+
+TEST(Depthwise, StrideTwoShapes) {
+    util::Rng rng(52);
+    DepthwiseConv2d dw(4, 3, 2, 1, rng);
+    const Tensor x = Tensor::randn(Shape{1, 4, 8, 8}, rng);
+    const Tensor y = dw.forward(x);
+    EXPECT_EQ(y.shape(), (Shape{1, 4, 4, 4}));
+    const Tensor ref = naive_depthwise(x, dw.weight.value, dw.bias.value, 3, 2, 1);
+    for (std::int64_t i = 0; i < y.numel(); ++i) ASSERT_NEAR(y[i], ref[i], 1e-4f);
+}
+
+TEST(Depthwise, FloatGradCheck) {
+    util::Rng rng(53);
+    DepthwiseConv2d dw(2, 3, 1, 1, rng);
+    Tensor x = Tensor::randn(Shape{1, 2, 4, 4}, rng);
+    Tensor y = dw.forward(x);
+    const Tensor proj = Tensor::randn(y.shape(), rng);
+    dw.zero_grad();
+    dw.forward(x);
+    const Tensor gx = dw.backward(proj);
+
+    const float eps = 1e-2f;
+    for (std::int64_t idx : {0, 7, 15, 31}) {
+        Tensor xp = x, xm = x;
+        xp[idx] += eps;
+        xm[idx] -= eps;
+        const double numeric =
+            (dot(dw.forward(xp), proj) - dot(dw.forward(xm), proj)) / (2.0 * eps);
+        EXPECT_NEAR(gx[idx], numeric, 2e-2) << idx;
+    }
+    // Weight gradient probe.
+    dw.zero_grad();
+    dw.forward(x);
+    dw.backward(proj);
+    for (std::int64_t idx : {0, 5, 11}) {
+        const float keep = dw.weight.value[idx];
+        dw.weight.value[idx] = keep + eps;
+        const double fp = dot(dw.forward(x), proj);
+        dw.weight.value[idx] = keep - eps;
+        const double fm = dot(dw.forward(x), proj);
+        dw.weight.value[idx] = keep;
+        EXPECT_NEAR(dw.weight.grad[idx], (fp - fm) / (2.0 * eps), 2e-2) << idx;
+    }
+}
+
+TEST(Depthwise, QuantExactMatchesFakeQuantReference) {
+    util::Rng rng(54);
+    DepthwiseConv2d dw(3, 3, 1, 1, rng);
+    dw.set_multiplier(MultiplierConfig::exact_ste(8));
+    dw.set_mode(ComputeMode::kQuantized);
+    const Tensor x = Tensor::randn(Shape{2, 3, 5, 5}, rng);
+    const Tensor y = dw.forward(x);
+
+    const auto wp = quant::choose_params(dw.weight.value.min(),
+                                         dw.weight.value.max(), 8);
+    const auto xp = quant::choose_params(x.min(), x.max(), 8);
+    const Tensor fqw = quant::fake_quantize(dw.weight.value, wp);
+    const Tensor fqx = quant::fake_quantize(x, xp);
+    const Tensor ref = naive_depthwise(fqx, fqw, dw.bias.value, 3, 1, 1);
+    for (std::int64_t i = 0; i < y.numel(); ++i) ASSERT_NEAR(y[i], ref[i], 2e-3f);
+}
+
+TEST(Depthwise, ApproximateLutChangesOutput) {
+    util::Rng rng(55);
+    DepthwiseConv2d dw(2, 3, 1, 1, rng);
+    const Tensor x = Tensor::randn(Shape{1, 2, 6, 6}, rng);
+    dw.set_multiplier(MultiplierConfig::exact_ste(7));
+    dw.set_mode(ComputeMode::kQuantized);
+    const Tensor y_exact = dw.forward(x);
+
+    auto& reg = appmult::Registry::instance();
+    MultiplierConfig config;
+    config.lut = std::make_shared<appmult::AppMultLut>(reg.lut("mul7u_rm6"));
+    config.grad = std::make_shared<core::GradLut>(core::build_ste_grad(7));
+    dw.set_multiplier(config);
+    const Tensor y_approx = dw.forward(x);
+    double diff = 0.0;
+    for (std::int64_t i = 0; i < y_exact.numel(); ++i)
+        diff += std::abs(static_cast<double>(y_exact[i]) - y_approx[i]);
+    EXPECT_GT(diff, 1e-3);
+}
+
+TEST(Mobilenet, ForwardBackwardShapes) {
+    models::ModelConfig mc;
+    mc.in_size = 8;
+    mc.num_classes = 5;
+    mc.width_mult = 0.125f;
+    auto net = models::make_mobilenet(mc);
+    util::Rng rng(56);
+    const Tensor x = Tensor::randn(Shape{2, 3, 8, 8}, rng);
+    const Tensor y = net->forward(x);
+    EXPECT_EQ(y.shape(), (Shape{2, 5}));
+    net->zero_grad();
+    const Tensor gx = net->backward(Tensor::randn(y.shape(), rng));
+    EXPECT_EQ(gx.shape(), x.shape());
+}
+
+TEST(Mobilenet, QuantizedTrainingReducesLoss) {
+    data::SyntheticConfig dc;
+    dc.num_classes = 4;
+    dc.height = dc.width = 8;
+    dc.train_samples = 96;
+    dc.test_samples = 48;
+    const auto pair = data::make_synthetic(dc);
+
+    models::ModelConfig mc;
+    mc.in_size = 8;
+    mc.num_classes = 4;
+    mc.width_mult = 0.25f;
+    auto net = models::make_mobilenet(mc);
+    approx::configure_approx_layers(*net, MultiplierConfig::exact_ste(8),
+                                    ComputeMode::kQuantized);
+    // configure must reach the depthwise layers too.
+    int dw_configured = 0;
+    net->visit([&](nn::Module& m) {
+        if (auto* dw = dynamic_cast<DepthwiseConv2d*>(&m)) {
+            EXPECT_TRUE(dw->multiplier().valid());
+            ++dw_configured;
+        }
+    });
+    EXPECT_EQ(dw_configured, 5);
+
+    train::TrainConfig tc;
+    tc.epochs = 3;
+    tc.batch_size = 16;
+    tc.lr = 3e-3;
+    train::Trainer trainer(*net, pair.train, pair.test, tc);
+    const auto stats = trainer.train_only(3);
+    EXPECT_LT(stats.back().loss, stats.front().loss);
+}
+
+} // namespace

@@ -1,0 +1,93 @@
+// Tests for the structural error analysis of approximate multipliers.
+#include "appmult/error_stats.hpp"
+#include "appmult/registry.hpp"
+#include "multgen/multgen.hpp"
+
+#include <gtest/gtest.h>
+
+namespace {
+
+using namespace amret;
+
+TEST(ErrorStats, ExactMultiplierProfileIsClean) {
+    const auto profile = appmult::profile_error(appmult::AppMultLut::exact(6));
+    EXPECT_TRUE(profile.zero_preserving);
+    EXPECT_EQ(profile.zero_row_max, 0);
+    EXPECT_DOUBLE_EQ(profile.bias, 0.0);
+    EXPECT_DOUBLE_EQ(profile.rms_error, 0.0);
+    EXPECT_DOUBLE_EQ(profile.monotonicity_violations, 0.0);
+    for (const double v : profile.mean_abs_error_by_magnitude)
+        EXPECT_DOUBLE_EQ(v, 0.0);
+}
+
+TEST(ErrorStats, TruncationIsZeroPreservingAndNegativelyBiased) {
+    auto& reg = appmult::Registry::instance();
+    const auto profile = appmult::profile_error(reg.lut("mul8u_rm8"));
+    EXPECT_TRUE(profile.zero_preserving);
+    EXPECT_LT(profile.bias, -100.0);
+    EXPECT_LE(profile.q95, 0.0); // error never positive
+    EXPECT_LT(profile.q05, profile.q95);
+    EXPECT_GT(profile.rms_error, 0.0);
+}
+
+TEST(ErrorStats, ConstantCompensationBreaksZeroPreservation) {
+    const auto spec = multgen::truncated_comp_spec(8, 9);
+    const appmult::AppMultLut lut(8, [&](std::uint64_t w, std::uint64_t x) {
+        return multgen::behavioral(spec, w, x);
+    });
+    const auto profile = appmult::profile_error(lut);
+    EXPECT_FALSE(profile.zero_preserving);
+    EXPECT_EQ(profile.zero_row_max, static_cast<std::int64_t>(spec.compensation));
+    // ... while the Table I surrogate that replaced it is zero-preserving.
+    auto& reg = appmult::Registry::instance();
+    EXPECT_TRUE(appmult::profile_error(reg.lut("mul8u_17C8")).zero_preserving);
+}
+
+TEST(ErrorStats, MagnitudeBucketsGrowForTruncation) {
+    auto& reg = appmult::Registry::instance();
+    const auto profile = appmult::profile_error(reg.lut("mul8u_rm8"), 4);
+    ASSERT_EQ(profile.mean_abs_error_by_magnitude.size(), 4u);
+    // Truncation drops more partial products as operands grow.
+    EXPECT_LT(profile.mean_abs_error_by_magnitude[0],
+              profile.mean_abs_error_by_magnitude[3]);
+    // Signed bucket means mirror the absolute ones (error is one-sided).
+    for (std::size_t b = 0; b < 4; ++b)
+        EXPECT_NEAR(profile.mean_signed_error_by_magnitude[b],
+                    -profile.mean_abs_error_by_magnitude[b], 1e-9);
+}
+
+TEST(ErrorStats, MonotonicityViolationsDetectRoughRows) {
+    auto& reg = appmult::Registry::instance();
+    // Truncated multipliers are monotone in X (dropping pps of a monotone
+    // sum keeps the partial sums monotone).
+    EXPECT_DOUBLE_EQ(appmult::profile_error(reg.lut("mul7u_rm6")).monotonicity_violations,
+                     0.0);
+    // ALS-synthesized circuits have genuinely rough rows.
+    EXPECT_GT(appmult::profile_error(reg.lut("mul7u_syn1")).monotonicity_violations,
+              0.01);
+}
+
+TEST(ErrorStats, AlsEntriesAreZeroPreservingByConstruction) {
+    auto& reg = appmult::Registry::instance();
+    for (const char* name : {"mul7u_syn1", "mul7u_syn2"}) {
+        const auto profile = appmult::profile_error(reg.lut(name));
+        EXPECT_TRUE(profile.zero_preserving) << name;
+    }
+}
+
+TEST(ErrorStats, QuantilesBracketBias) {
+    auto& reg = appmult::Registry::instance();
+    const auto profile = appmult::profile_error(reg.lut("mul6u_rm4"));
+    EXPECT_LE(profile.q05, profile.bias);
+    EXPECT_GE(profile.q95 + 1e-9, profile.bias);
+}
+
+TEST(ErrorStats, SummaryMentionsKeyFields) {
+    auto& reg = appmult::Registry::instance();
+    const auto text = appmult::summarize(appmult::profile_error(reg.lut("mul6u_rm4")));
+    EXPECT_NE(text.find("zero_row_max=0"), std::string::npos);
+    EXPECT_NE(text.find("bias="), std::string::npos);
+    EXPECT_NE(text.find("zero-preserving"), std::string::npos);
+}
+
+} // namespace

@@ -1,0 +1,121 @@
+// Tests for the design-space exploration utilities.
+#include "explore/pareto.hpp"
+
+#include <gtest/gtest.h>
+
+namespace {
+
+using namespace amret;
+using explore::DesignPoint;
+
+TEST(Explore, StandardCandidatesCoverAllFamilies) {
+    const auto candidates = explore::standard_candidates(6);
+    EXPECT_GT(candidates.size(), 20u);
+    bool has_trunc = false, has_or = false, has_perf = false, has_ba = false;
+    for (const auto& spec : candidates) {
+        if (spec.truncate_columns > 0 && spec.or_compress_columns == 0 &&
+            spec.broken_row_start == 0)
+            has_trunc = true;
+        if (spec.or_compress_columns > 0) has_or = true;
+        if (!spec.perforated_rows.empty()) has_perf = true;
+        if (spec.broken_row_start > 0) has_ba = true;
+        EXPECT_EQ(spec.bits, 6u);
+    }
+    EXPECT_TRUE(has_trunc);
+    EXPECT_TRUE(has_or);
+    EXPECT_TRUE(has_perf);
+    EXPECT_TRUE(has_ba);
+}
+
+TEST(Explore, EvaluateFiltersOnNmed) {
+    const std::vector<multgen::MultiplierSpec> candidates = {
+        multgen::truncated_spec(6, 2),  // tiny error
+        multgen::truncated_spec(6, 8),  // enormous error
+    };
+    const auto points = explore::evaluate_designs(candidates, 0.01);
+    ASSERT_EQ(points.size(), 1u);
+    EXPECT_EQ(points[0].spec.truncate_columns, 2u);
+    EXPECT_GT(points[0].hardware.power_uw, 0.0);
+}
+
+TEST(Explore, AccuracyOracleInvokedPerSurvivor) {
+    const std::vector<multgen::MultiplierSpec> candidates = {
+        multgen::truncated_spec(6, 2), multgen::truncated_spec(6, 3)};
+    int calls = 0;
+    const auto points = explore::evaluate_designs(
+        candidates, 0.01, [&](const appmult::AppMultLut&) {
+            ++calls;
+            return 0.9;
+        });
+    EXPECT_EQ(calls, 2);
+    for (const auto& p : points) {
+        ASSERT_TRUE(p.accuracy.has_value());
+        EXPECT_DOUBLE_EQ(p.quality(), 0.9);
+    }
+}
+
+std::vector<DesignPoint> synthetic_points() {
+    // (cost, quality): b dominates a; c is cheap/low-quality; d is the
+    // expensive/high-quality corner.
+    auto mk = [](double cost, double quality) {
+        DesignPoint p;
+        p.hardware.power_uw = cost;
+        p.accuracy = quality;
+        return p;
+    };
+    return {mk(5.0, 0.80), mk(5.0, 0.85), mk(2.0, 0.60), mk(9.0, 0.95)};
+}
+
+TEST(Explore, ParetoFrontExcludesDominated) {
+    const auto points = synthetic_points();
+    const auto front = explore::pareto_front(points);
+    // Expected front (by ascending cost): c (2.0/0.60), b (5.0/0.85),
+    // d (9.0/0.95). a is dominated by b.
+    ASSERT_EQ(front.size(), 3u);
+    EXPECT_EQ(front[0], 2u);
+    EXPECT_EQ(front[1], 1u);
+    EXPECT_EQ(front[2], 3u);
+}
+
+TEST(Explore, CheapestAboveThreshold) {
+    const auto points = synthetic_points();
+    const auto pick = explore::cheapest_above(points, 0.82);
+    ASSERT_TRUE(pick.has_value());
+    EXPECT_EQ(*pick, 1u);
+    EXPECT_FALSE(explore::cheapest_above(points, 0.99).has_value());
+}
+
+TEST(Explore, QualityFallsBackToNegativeNmed) {
+    const auto points = explore::evaluate_designs(
+        {multgen::truncated_spec(6, 2), multgen::truncated_spec(6, 4)}, 0.01);
+    ASSERT_EQ(points.size(), 2u);
+    // Less truncation -> smaller NMED -> higher quality.
+    EXPECT_GT(points[0].quality(), points[1].quality());
+}
+
+TEST(Explore, DescribeSpecNames) {
+    EXPECT_EQ(explore::describe_spec(multgen::exact_spec(8)), "mul8u_acc");
+    EXPECT_EQ(explore::describe_spec(multgen::truncated_spec(8, 6)), "mul8u_rm6");
+    EXPECT_EQ(explore::describe_spec(multgen::perforated_spec(7, {1, 2})),
+              "mul7u_perf{1,2}");
+    EXPECT_EQ(explore::describe_spec(multgen::or_compressed_spec(8, 9)), "mul8u_or9");
+    EXPECT_EQ(explore::describe_spec(multgen::truncated_or_spec(7, 3, 7)),
+              "mul7u_rm3_or7");
+    EXPECT_EQ(explore::describe_spec(multgen::broken_array_spec(8, 7, 6, 2)),
+              "mul8u_rm7_ba6k2");
+}
+
+TEST(Explore, EndToEndSmallSweepHasNonTrivialFront) {
+    const auto candidates = explore::standard_candidates(6);
+    const auto points = explore::evaluate_designs(candidates, 0.02);
+    ASSERT_GT(points.size(), 5u);
+    const auto front = explore::pareto_front(points);
+    ASSERT_GE(front.size(), 2u);
+    // Front is sorted by cost and strictly improving in quality.
+    for (std::size_t i = 1; i < front.size(); ++i) {
+        EXPECT_GE(points[front[i]].cost(), points[front[i - 1]].cost());
+        EXPECT_GT(points[front[i]].quality(), points[front[i - 1]].quality());
+    }
+}
+
+} // namespace

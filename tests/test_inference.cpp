@@ -1,0 +1,144 @@
+// Tests for the integer-only inference engine (deployment path).
+#include "approx/inference.hpp"
+#include "appmult/registry.hpp"
+#include "models/models.hpp"
+#include "train/pipeline.hpp"
+#include "train/trainer.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace {
+
+using namespace amret;
+using approx::FixedPointMultiplier;
+using approx::IntInferenceEngine;
+
+TEST(FixedPoint, MultiplierRoundTrip) {
+    for (const double m : {0.5, 0.25, 0.1, 0.9999, 0.0003, 1.7}) {
+        const FixedPointMultiplier fpm = approx::quantize_multiplier(m);
+        // Apply to a large value and compare with the real product.
+        const std::int64_t v = 123456;
+        const double expected = static_cast<double>(v) * m;
+        const std::int32_t got = approx::fixed_point_rescale(v, fpm);
+        EXPECT_NEAR(static_cast<double>(got), expected, std::abs(expected) * 1e-4 + 1.0)
+            << "m=" << m;
+    }
+}
+
+TEST(FixedPoint, RoundsToNearest) {
+    const FixedPointMultiplier half = approx::quantize_multiplier(0.5);
+    EXPECT_EQ(approx::fixed_point_rescale(5, half), 3);  // 2.5 -> 3 (round half up)
+    EXPECT_EQ(approx::fixed_point_rescale(4, half), 2);
+    EXPECT_EQ(approx::fixed_point_rescale(-4, half), -2);
+}
+
+struct TrainedModel {
+    std::unique_ptr<nn::Sequential> model;
+    data::DatasetPair data;
+    double fake_quant_acc = 0.0;
+};
+
+TrainedModel make_trained(const std::string& arch, const std::string& mult_name) {
+    TrainedModel out;
+    data::SyntheticConfig dc;
+    dc.num_classes = 6;
+    dc.height = dc.width = 8;
+    dc.train_samples = 240;
+    dc.test_samples = 120;
+    dc.noise_stddev = 0.3f;
+    dc.seed = 77;
+    out.data = data::make_synthetic(dc);
+
+    models::ModelConfig mc;
+    mc.in_size = 8;
+    mc.num_classes = 6;
+    mc.width_mult = 0.5f;
+    out.model = train::make_model(arch, mc);
+
+    auto& reg = appmult::Registry::instance();
+    approx::MultiplierConfig config;
+    config.lut = std::make_shared<appmult::AppMultLut>(reg.lut(mult_name));
+    config.grad = std::make_shared<core::GradLut>(
+        core::build_ste_grad(reg.info(mult_name).bits));
+    approx::configure_approx_layers(*out.model, config,
+                                    approx::ComputeMode::kQuantized);
+
+    train::TrainConfig tc;
+    tc.epochs = 5;
+    tc.batch_size = 24;
+    tc.lr = 3e-3;
+    train::Trainer trainer(*out.model, out.data.train, out.data.test, tc);
+    trainer.train_only(5);
+    out.fake_quant_acc = train::evaluate(*out.model, out.data.test).top1;
+    return out;
+}
+
+TEST(IntInference, LenetMatchesFakeQuantAccuracy) {
+    auto trained = make_trained("lenet", "mul8u_acc");
+    trained.model->set_training(false);
+    IntInferenceEngine engine(*trained.model, trained.data.train, 96);
+    EXPECT_GT(engine.num_ops(), 2u);
+    const double int_acc = engine.evaluate(trained.data.test);
+    // The integer pipeline re-quantizes between layers, so a small accuracy
+    // delta is expected — but it must stay close to the fake-quant model.
+    EXPECT_GT(trained.fake_quant_acc, 0.5); // the task was learned
+    EXPECT_GT(int_acc, trained.fake_quant_acc - 0.12);
+}
+
+TEST(IntInference, WorksWithApproximateMultiplier) {
+    auto trained = make_trained("lenet", "mul7u_rm6");
+    trained.model->set_training(false);
+    IntInferenceEngine engine(*trained.model, trained.data.train, 96);
+    const double int_acc = engine.evaluate(trained.data.test);
+    EXPECT_GT(int_acc, trained.fake_quant_acc - 0.15);
+    EXPECT_GT(int_acc, 1.0 / 6.0); // far above chance
+}
+
+TEST(IntInference, VggTopologyCompiles) {
+    auto trained = make_trained("vgg11", "mul8u_acc");
+    trained.model->set_training(false);
+    IntInferenceEngine engine(*trained.model, trained.data.train, 64);
+    const double int_acc = engine.evaluate(trained.data.test);
+    EXPECT_GT(int_acc, trained.fake_quant_acc - 0.15);
+}
+
+TEST(IntInference, LogitsCorrelateWithFloatModel) {
+    auto trained = make_trained("lenet", "mul8u_acc");
+    trained.model->set_training(false);
+    IntInferenceEngine engine(*trained.model, trained.data.train, 96);
+
+    data::DataLoader loader(trained.data.test, 16, false, 0);
+    loader.start_epoch();
+    data::Batch batch;
+    ASSERT_TRUE(loader.next(batch));
+    const tensor::Tensor int_logits = engine.forward(batch.images);
+    const tensor::Tensor fq_logits = trained.model->forward(batch.images);
+    ASSERT_EQ(int_logits.shape(), fq_logits.shape());
+
+    double dot = 0.0, na = 0.0, nb = 0.0;
+    for (std::int64_t i = 0; i < int_logits.numel(); ++i) {
+        dot += static_cast<double>(int_logits[i]) * fq_logits[i];
+        na += static_cast<double>(int_logits[i]) * int_logits[i];
+        nb += static_cast<double>(fq_logits[i]) * fq_logits[i];
+    }
+    EXPECT_GT(dot / std::sqrt(na * nb), 0.95);
+}
+
+TEST(IntInference, RejectsResidualTopology) {
+    models::ModelConfig mc;
+    mc.in_size = 8;
+    mc.num_classes = 4;
+    mc.width_mult = 0.125f;
+    auto model = models::make_resnet(18, mc);
+    data::SyntheticConfig dc;
+    dc.num_classes = 4;
+    dc.height = dc.width = 8;
+    dc.train_samples = 16;
+    dc.test_samples = 8;
+    const auto pair = data::make_synthetic(dc);
+    EXPECT_THROW(IntInferenceEngine(*model, pair.train, 16), std::invalid_argument);
+}
+
+} // namespace

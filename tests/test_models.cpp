@@ -1,0 +1,159 @@
+// Tests for the model zoo: output shapes, parameter plumbing, forward /
+// backward shape round-trips, and full-width construction.
+#include "approx/approx_conv.hpp"
+#include "models/models.hpp"
+#include "train/pipeline.hpp"
+
+#include <gtest/gtest.h>
+
+namespace {
+
+using namespace amret;
+using models::ModelConfig;
+using tensor::Shape;
+using tensor::Tensor;
+
+ModelConfig slim_config(std::int64_t in_size = 8, int classes = 10) {
+    ModelConfig config;
+    config.in_size = in_size;
+    config.num_classes = classes;
+    config.width_mult = 0.125f;
+    return config;
+}
+
+void expect_forward_backward_shapes(nn::Module& model, std::int64_t in_size,
+                                    int classes) {
+    util::Rng rng(31);
+    const Tensor x = Tensor::randn(Shape{2, 3, in_size, in_size}, rng);
+    const Tensor y = model.forward(x);
+    ASSERT_EQ(y.rank(), 2u);
+    EXPECT_EQ(y.dim(0), 2);
+    EXPECT_EQ(y.dim(1), classes);
+    model.zero_grad();
+    const Tensor gx = model.backward(Tensor::randn(y.shape(), rng));
+    EXPECT_EQ(gx.shape(), x.shape());
+    // Gradients must reach the first conv.
+    bool found_nonzero = false;
+    for (nn::Param* p : model.params()) {
+        if (p->grad.rms() > 0.0f) {
+            found_nonzero = true;
+            break;
+        }
+    }
+    EXPECT_TRUE(found_nonzero);
+}
+
+TEST(Models, LenetShapes) {
+    auto net = models::make_lenet(slim_config(8, 7));
+    expect_forward_backward_shapes(*net, 8, 7);
+}
+
+TEST(Models, LenetFullWidth) {
+    ModelConfig config;
+    config.in_size = 32;
+    auto net = models::make_lenet(config);
+    EXPECT_GT(net->num_params(), 50000);
+}
+
+class VggVariants : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(VggVariants, ForwardBackwardShapes) {
+    auto net = models::make_vgg(GetParam(), slim_config(8, 10));
+    expect_forward_backward_shapes(*net, 8, 10);
+}
+
+INSTANTIATE_TEST_SUITE_P(All, VggVariants,
+                         ::testing::Values("vgg11", "vgg13", "vgg16", "vgg19"));
+
+TEST(Models, Vgg19FullWidthConstructs) {
+    ModelConfig config;
+    config.in_size = 32;
+    auto net = models::make_vgg("vgg19", config);
+    // Paper-scale VGG19 for CIFAR has ~20M parameters; ours should be in
+    // that ballpark (single-FC classifier).
+    EXPECT_GT(net->num_params(), 10'000'000);
+}
+
+TEST(Models, VggRejectsUnknownVariant) {
+    EXPECT_THROW(models::make_vgg("vgg99", slim_config()), std::invalid_argument);
+}
+
+class ResnetDepths : public ::testing::TestWithParam<int> {};
+
+TEST_P(ResnetDepths, ForwardBackwardShapes) {
+    auto net = models::make_resnet(GetParam(), slim_config(8, 10));
+    expect_forward_backward_shapes(*net, 8, 10);
+}
+
+INSTANTIATE_TEST_SUITE_P(All, ResnetDepths, ::testing::Values(18, 34, 50));
+
+TEST(Models, Resnet18FullWidthConstructs) {
+    ModelConfig config;
+    config.in_size = 32;
+    auto net = models::make_resnet(18, config);
+    EXPECT_GT(net->num_params(), 10'000'000); // ~11.2M in the standard model
+}
+
+TEST(Models, ResnetRejectsUnknownDepth) {
+    EXPECT_THROW(models::make_resnet(99, slim_config()), std::invalid_argument);
+}
+
+TEST(Models, ResnetQuantizedModeRuns) {
+    auto net = models::make_resnet(18, slim_config(8, 10));
+    approx::configure_approx_layers(*net, approx::MultiplierConfig::exact_ste(7),
+                                    approx::ComputeMode::kQuantized);
+    expect_forward_backward_shapes(*net, 8, 10);
+}
+
+TEST(Models, SameSeedSameInitialization) {
+    auto a = models::make_resnet(18, slim_config());
+    auto b = models::make_resnet(18, slim_config());
+    const auto pa = a->params(), pb = b->params();
+    ASSERT_EQ(pa.size(), pb.size());
+    for (std::size_t i = 0; i < pa.size(); ++i)
+        for (std::int64_t j = 0; j < pa[i]->value.numel(); ++j)
+            ASSERT_FLOAT_EQ(pa[i]->value[j], pb[i]->value[j]);
+}
+
+TEST(Models, WidthMultScalesParameters) {
+    auto narrow = models::make_vgg("vgg11", slim_config());
+    ModelConfig wide_config = slim_config();
+    wide_config.width_mult = 0.25f;
+    auto wide = models::make_vgg("vgg11", wide_config);
+    EXPECT_GT(wide->num_params(), narrow->num_params());
+}
+
+TEST(Models, MakeModelFactory) {
+    EXPECT_NE(train::make_model("lenet", slim_config()), nullptr);
+    EXPECT_NE(train::make_model("vgg19", slim_config()), nullptr);
+    EXPECT_NE(train::make_model("resnet34", slim_config()), nullptr);
+    EXPECT_THROW(train::make_model("transformer", slim_config()),
+                 std::invalid_argument);
+}
+
+TEST(Models, ResidualBlockCountsMatchDepth) {
+    auto count_blocks = [](nn::Module& m) {
+        int basic = 0, bottleneck = 0;
+        m.visit([&](nn::Module& child) {
+            if (dynamic_cast<models::BasicBlock*>(&child)) ++basic;
+            if (dynamic_cast<models::Bottleneck*>(&child)) ++bottleneck;
+        });
+        return std::pair<int, int>{basic, bottleneck};
+    };
+    auto r18 = models::make_resnet(18, slim_config());
+    auto r34 = models::make_resnet(34, slim_config());
+    auto r50 = models::make_resnet(50, slim_config());
+    EXPECT_EQ(count_blocks(*r18).first, 8);
+    EXPECT_EQ(count_blocks(*r34).first, 16);
+    EXPECT_EQ(count_blocks(*r50).second, 16);
+}
+
+TEST(Models, TrainingFlagPropagatesThroughBlocks) {
+    auto net = models::make_resnet(18, slim_config());
+    net->set_training(false);
+    net->visit([](nn::Module& m) { EXPECT_FALSE(m.training()); });
+    net->set_training(true);
+    net->visit([](nn::Module& m) { EXPECT_TRUE(m.training()); });
+}
+
+} // namespace

@@ -1,0 +1,152 @@
+// Tests for the exact netlist optimizer: constant folding, algebraic rules,
+// structural hashing — all function-preserving.
+#include "netlist/netlist.hpp"
+#include "netlist/opt.hpp"
+#include "netlist/sim.hpp"
+#include "multgen/multgen.hpp"
+#include "util/rng.hpp"
+
+#include <gtest/gtest.h>
+
+namespace {
+
+using namespace amret::netlist;
+
+TEST(Opt, FoldsAndWithConstants) {
+    Netlist nl;
+    const NetId a = nl.add_input("a");
+    nl.add_output("y0", nl.add_gate(CellType::kAnd2, a, nl.const0()));
+    nl.add_output("y1", nl.add_gate(CellType::kAnd2, a, nl.const1()));
+    const auto stats = optimize(nl);
+    EXPECT_GE(stats.constant_folds, 2u);
+    EXPECT_EQ(nl.gate_count(), 0u);
+    const auto out = eval_all_patterns(nl);
+    EXPECT_EQ(out[0], 0b00u);
+    EXPECT_EQ(out[1], 0b10u); // y0 = 0, y1 = a
+}
+
+TEST(Opt, FoldsOrXorXnorWithConstants) {
+    Netlist nl;
+    const NetId a = nl.add_input("a");
+    nl.add_output("or1", nl.add_gate(CellType::kOr2, a, nl.const1()));   // 1
+    nl.add_output("xor1", nl.add_gate(CellType::kXor2, a, nl.const1())); // ~a
+    nl.add_output("xnor0", nl.add_gate(CellType::kXnor2, nl.const0(), a)); // ~a
+    optimize(nl);
+    const auto out = eval_all_patterns(nl);
+    EXPECT_EQ(out[0], 0b111u); // a=0: or1=1, xor1=1, xnor0=1
+    EXPECT_EQ(out[1], 0b001u); // a=1: or1=1, xor1=0, xnor0=0
+}
+
+TEST(Opt, IdempotenceRules) {
+    Netlist nl;
+    const NetId a = nl.add_input("a");
+    nl.add_output("and_aa", nl.add_gate(CellType::kAnd2, a, a));   // a
+    nl.add_output("xor_aa", nl.add_gate(CellType::kXor2, a, a));   // 0
+    nl.add_output("nand_aa", nl.add_gate(CellType::kNand2, a, a)); // ~a
+    nl.add_output("andn_aa", nl.add_gate(CellType::kAndN2, a, a)); // 0
+    const auto stats = optimize(nl);
+    EXPECT_GT(stats.algebraic, 0u);
+    const auto out = eval_all_patterns(nl);
+    EXPECT_EQ(out[0], 0b0100u);
+    EXPECT_EQ(out[1], 0b0001u);
+}
+
+TEST(Opt, DoubleInversionCancels) {
+    Netlist nl;
+    const NetId a = nl.add_input("a");
+    const NetId inv1 = nl.add_gate(CellType::kInv, a);
+    const NetId inv2 = nl.add_gate(CellType::kInv, inv1);
+    nl.add_output("y", inv2);
+    optimize(nl);
+    EXPECT_EQ(nl.gate_count(), 0u);
+    const auto out = eval_all_patterns(nl);
+    EXPECT_EQ(out[1], 1u);
+}
+
+TEST(Opt, StructuralHashingMergesDuplicates) {
+    Netlist nl;
+    const NetId a = nl.add_input("a");
+    const NetId b = nl.add_input("b");
+    const NetId g1 = nl.add_gate(CellType::kAnd2, a, b);
+    const NetId g2 = nl.add_gate(CellType::kAnd2, b, a); // commutative dup
+    const NetId g3 = nl.add_gate(CellType::kXor2, g1, g2); // -> XOR(x,x) = 0
+    nl.add_output("y", g3);
+    const auto stats = optimize(nl);
+    EXPECT_GE(stats.structural_merges, 1u);
+    const auto out = eval_all_patterns(nl);
+    for (std::uint64_t p = 0; p < 4; ++p) EXPECT_EQ(out[p], 0u);
+}
+
+TEST(Opt, PreservesMultiplierFunction) {
+    for (unsigned bits : {4u, 6u}) {
+        auto nl = amret::multgen::build_netlist(amret::multgen::exact_spec(bits));
+        const auto before = eval_all_patterns(nl);
+        const std::size_t gates_before = nl.gate_count();
+        const auto stats = optimize(nl);
+        const auto after = eval_all_patterns(nl);
+        EXPECT_EQ(before, after) << bits << "-bit";
+        EXPECT_LE(nl.gate_count(), gates_before);
+        (void)stats;
+    }
+}
+
+TEST(Opt, ReducesRedundantCircuit) {
+    // Build a deliberately wasteful circuit: duplicated subtrees + constant
+    // feeds; the optimizer should collapse most of it.
+    Netlist nl;
+    const NetId a = nl.add_input("a");
+    const NetId b = nl.add_input("b");
+    const NetId c = nl.add_input("c");
+    NetId prev = a;
+    for (int i = 0; i < 6; ++i) {
+        const NetId g1 = nl.add_gate(CellType::kAnd2, prev, b);
+        const NetId g2 = nl.add_gate(CellType::kAnd2, b, prev); // duplicate
+        const NetId o = nl.add_gate(CellType::kOr2, g1, g2);    // == g1
+        const NetId z = nl.add_gate(CellType::kAnd2, o, nl.const1());
+        prev = nl.add_gate(CellType::kXor2, z, c);
+    }
+    nl.add_output("y", prev);
+    const auto before = eval_all_patterns(nl);
+    const std::size_t gates_before = nl.gate_count();
+    optimize(nl);
+    EXPECT_LT(nl.gate_count(), gates_before / 2);
+    EXPECT_EQ(eval_all_patterns(nl), before);
+}
+
+TEST(Opt, IdempotentOnCleanCircuit) {
+    auto nl = amret::multgen::build_netlist(amret::multgen::exact_spec(5));
+    optimize(nl);
+    const std::size_t gates = nl.gate_count();
+    const auto stats = optimize(nl);
+    EXPECT_EQ(nl.gate_count(), gates);
+    EXPECT_EQ(stats.constant_folds + stats.algebraic + stats.structural_merges, 0u);
+}
+
+TEST(Opt, RandomCircuitsFunctionPreserved) {
+    amret::util::Rng rng(77);
+    for (int trial = 0; trial < 20; ++trial) {
+        Netlist nl;
+        std::vector<NetId> pool;
+        for (int i = 0; i < 4; ++i)
+            pool.push_back(nl.add_input("i" + std::to_string(i)));
+        pool.push_back(nl.const0());
+        pool.push_back(nl.const1());
+        for (int g = 0; g < 30; ++g) {
+            const auto type = static_cast<CellType>(
+                3 + rng.uniform_u64(kNumCellTypes - 3)); // BUF..ANDN2
+            const NetId f0 = pool[rng.uniform_u64(pool.size())];
+            const NetId f1 = pool[rng.uniform_u64(pool.size())];
+            pool.push_back(nl.add_gate(type, f0, cell_info(type).arity == 2
+                                                     ? f1
+                                                     : kNullNet));
+        }
+        for (int o = 0; o < 3; ++o)
+            nl.add_output("y" + std::to_string(o),
+                          pool[pool.size() - 1 - static_cast<std::size_t>(o)]);
+        const auto before = eval_all_patterns(nl);
+        optimize(nl);
+        ASSERT_EQ(eval_all_patterns(nl), before) << "trial " << trial;
+    }
+}
+
+} // namespace

@@ -1,0 +1,382 @@
+// Tests for float layers, losses and optimizers, including finite-difference
+// gradient checks for every layer's backward pass.
+#include "nn/layers.hpp"
+#include "nn/loss.hpp"
+#include "nn/module.hpp"
+#include "nn/optim.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace {
+
+using namespace amret;
+using nn::Module;
+using tensor::Shape;
+using tensor::Tensor;
+
+double dot(const Tensor& a, const Tensor& b) {
+    double acc = 0.0;
+    for (std::int64_t i = 0; i < a.numel(); ++i)
+        acc += static_cast<double>(a[i]) * b[i];
+    return acc;
+}
+
+/// Checks d(proj . module(x))/dx and the parameter gradients by central
+/// finite differences. Isolated outliers are tolerated (up to 10% of the
+/// probed indices) because piecewise-linear layers (ReLU, MaxPool) have
+/// kinks where finite differences are invalid; systematic backward bugs
+/// break far more than 10% of probes.
+void gradcheck(Module& module, Tensor x, double tol = 2e-2) {
+    util::Rng rng(99);
+    Tensor y = module.forward(x);
+    const Tensor proj = Tensor::randn(y.shape(), rng);
+
+    module.zero_grad();
+    module.forward(x);
+    const Tensor gx = module.backward(proj);
+
+    const float eps = 1e-2f;
+    int probes = 0, outliers = 0;
+
+    // Input gradient.
+    for (std::int64_t i = 0; i < std::min<std::int64_t>(x.numel(), 40); ++i) {
+        const std::int64_t idx = (i * 7919) % x.numel();
+        Tensor xp = x, xm = x;
+        xp[idx] += eps;
+        xm[idx] -= eps;
+        const double fp = dot(module.forward(xp), proj);
+        const double fm = dot(module.forward(xm), proj);
+        const double numeric = (fp - fm) / (2.0 * eps);
+        ++probes;
+        if (std::abs(gx[idx] - numeric) > tol * std::max(1.0, std::abs(numeric)))
+            ++outliers;
+    }
+    // Parameter gradients (recompute analytic after the perturbing forwards).
+    module.zero_grad();
+    module.forward(x);
+    module.backward(proj);
+    for (nn::Param* p : module.params()) {
+        for (std::int64_t i = 0; i < std::min<std::int64_t>(p->value.numel(), 20); ++i) {
+            const std::int64_t idx = (i * 104729) % p->value.numel();
+            const float keep = p->value[idx];
+            p->value[idx] = keep + eps;
+            const double fp = dot(module.forward(x), proj);
+            p->value[idx] = keep - eps;
+            const double fm = dot(module.forward(x), proj);
+            p->value[idx] = keep;
+            const double numeric = (fp - fm) / (2.0 * eps);
+            ++probes;
+            if (std::abs(p->grad[idx] - numeric) >
+                tol * std::max(1.0, std::abs(numeric)))
+                ++outliers;
+        }
+    }
+    EXPECT_LE(outliers, std::max(1, probes / 10))
+        << outliers << " of " << probes << " finite-difference probes failed";
+}
+
+TEST(Linear, ForwardMatchesManual) {
+    util::Rng rng(1);
+    nn::Linear lin(3, 2, rng);
+    lin.weight.value = Tensor::from({1, 2, 3, 4, 5, 6}).reshaped(Shape{2, 3});
+    lin.bias.value = Tensor::from({0.5f, -0.5f});
+    const Tensor x = Tensor::from({1, 0, -1}).reshaped(Shape{1, 3});
+    const Tensor y = lin.forward(x);
+    EXPECT_FLOAT_EQ(y[0], 1.0f - 3.0f + 0.5f);
+    EXPECT_FLOAT_EQ(y[1], 4.0f - 6.0f - 0.5f);
+}
+
+TEST(Linear, GradCheck) {
+    util::Rng rng(2);
+    nn::Linear lin(5, 4, rng);
+    gradcheck(lin, Tensor::randn(Shape{3, 5}, rng));
+}
+
+TEST(ReLU, ForwardAndBackward) {
+    nn::ReLU relu;
+    const Tensor x = Tensor::from({-1, 0, 2});
+    const Tensor y = relu.forward(x);
+    EXPECT_FLOAT_EQ(y[0], 0.0f);
+    EXPECT_FLOAT_EQ(y[2], 2.0f);
+    const Tensor g = relu.backward(Tensor::from({5, 5, 5}));
+    EXPECT_FLOAT_EQ(g[0], 0.0f);
+    EXPECT_FLOAT_EQ(g[1], 0.0f); // x == 0 blocks gradient
+    EXPECT_FLOAT_EQ(g[2], 5.0f);
+}
+
+TEST(BatchNorm, NormalizesInTraining) {
+    util::Rng rng(3);
+    nn::BatchNorm2d bn(4);
+    bn.set_training(true);
+    Tensor x = Tensor::randn(Shape{8, 4, 3, 3}, rng, 3.0f);
+    for (std::int64_t i = 0; i < x.numel(); ++i) x[i] += 5.0f;
+    const Tensor y = bn.forward(x);
+    EXPECT_NEAR(y.mean(), 0.0f, 1e-4f);
+    EXPECT_NEAR(y.rms(), 1.0f, 1e-2f);
+}
+
+TEST(BatchNorm, EvalUsesRunningStats) {
+    util::Rng rng(4);
+    nn::BatchNorm2d bn(2, /*momentum=*/0.0f); // running stats = last batch
+    bn.set_training(true);
+    const Tensor x = Tensor::randn(Shape{16, 2, 4, 4}, rng, 2.0f);
+    bn.forward(x);
+    bn.set_training(false);
+    const Tensor y = bn.forward(x);
+    EXPECT_NEAR(y.mean(), 0.0f, 0.05f);
+    EXPECT_NEAR(y.rms(), 1.0f, 0.05f);
+}
+
+TEST(BatchNorm, GradCheck) {
+    util::Rng rng(5);
+    nn::BatchNorm2d bn(3);
+    bn.set_training(true);
+    gradcheck(bn, Tensor::randn(Shape{4, 3, 2, 2}, rng), 5e-2);
+}
+
+TEST(BatchNorm, ExtraStateRoundTrip) {
+    util::Rng rng(6);
+    nn::BatchNorm2d bn(3);
+    bn.set_training(true);
+    bn.forward(Tensor::randn(Shape{4, 3, 2, 2}, rng, 2.0f));
+    std::vector<float> state;
+    bn.save_extra_state(state);
+    ASSERT_EQ(state.size(), 6u);
+
+    nn::BatchNorm2d bn2(3);
+    const float* cursor = state.data();
+    bn2.load_extra_state(cursor);
+    EXPECT_EQ(cursor, state.data() + state.size());
+    for (std::int64_t i = 0; i < 3; ++i) {
+        EXPECT_FLOAT_EQ(bn2.running_mean()[i], bn.running_mean()[i]);
+        EXPECT_FLOAT_EQ(bn2.running_var()[i], bn.running_var()[i]);
+    }
+}
+
+TEST(MaxPool, ForwardSelectsMaxAndRoutesGradient) {
+    nn::MaxPool2d pool(2);
+    Tensor x(Shape{1, 1, 2, 2});
+    x[0] = 1;
+    x[1] = 7;
+    x[2] = 3;
+    x[3] = 2;
+    const Tensor y = pool.forward(x);
+    ASSERT_EQ(y.numel(), 1);
+    EXPECT_FLOAT_EQ(y[0], 7.0f);
+    const Tensor g = pool.backward(Tensor::from({10}).reshaped(Shape{1, 1, 1, 1}));
+    EXPECT_FLOAT_EQ(g[1], 10.0f);
+    EXPECT_FLOAT_EQ(g[0], 0.0f);
+}
+
+TEST(MaxPool, GradCheck) {
+    util::Rng rng(7);
+    nn::MaxPool2d pool(2);
+    gradcheck(pool, Tensor::randn(Shape{2, 3, 4, 4}, rng));
+}
+
+TEST(GlobalAvgPool, ForwardAndGradCheck) {
+    util::Rng rng(8);
+    nn::GlobalAvgPool gap;
+    Tensor x = Tensor::full(Shape{2, 3, 4, 4}, 2.0f);
+    const Tensor y = gap.forward(x);
+    EXPECT_EQ(y.shape(), (Shape{2, 3}));
+    EXPECT_FLOAT_EQ(y[0], 2.0f);
+    gradcheck(gap, Tensor::randn(Shape{2, 3, 4, 4}, rng));
+}
+
+TEST(Flatten, RoundTrip) {
+    nn::Flatten fl;
+    util::Rng rng(9);
+    const Tensor x = Tensor::randn(Shape{2, 3, 4, 4}, rng);
+    const Tensor y = fl.forward(x);
+    EXPECT_EQ(y.shape(), (Shape{2, 48}));
+    const Tensor g = fl.backward(y);
+    EXPECT_EQ(g.shape(), x.shape());
+    for (std::int64_t i = 0; i < x.numel(); ++i) EXPECT_FLOAT_EQ(g[i], x[i]);
+}
+
+TEST(Sequential, ComposesAndCollectsParams) {
+    util::Rng rng(10);
+    nn::Sequential seq;
+    seq.emplace<nn::Linear>(6, 5, rng);
+    seq.emplace<nn::ReLU>();
+    seq.emplace<nn::Linear>(5, 2, rng);
+    EXPECT_EQ(seq.params().size(), 4u);
+    EXPECT_GT(seq.num_params(), 0);
+    gradcheck(seq, Tensor::randn(Shape{3, 6}, rng));
+}
+
+TEST(Sequential, VisitReachesAllChildren) {
+    util::Rng rng(11);
+    nn::Sequential seq;
+    seq.emplace<nn::Linear>(2, 2, rng);
+    seq.emplace<nn::ReLU>();
+    int count = 0;
+    seq.visit([&](Module&) { ++count; });
+    EXPECT_EQ(count, 3); // container + two children
+}
+
+TEST(SoftmaxXent, KnownValues) {
+    nn::SoftmaxCrossEntropy loss;
+    Tensor logits(Shape{1, 3}); // all zeros -> uniform softmax
+    const double l = loss.forward(logits, {1});
+    EXPECT_NEAR(l, std::log(3.0), 1e-6);
+    const Tensor g = loss.backward();
+    EXPECT_NEAR(g[0], 1.0 / 3.0, 1e-6);
+    EXPECT_NEAR(g[1], 1.0 / 3.0 - 1.0, 1e-6);
+}
+
+TEST(SoftmaxXent, GradientMatchesFiniteDifference) {
+    util::Rng rng(12);
+    Tensor logits = Tensor::randn(Shape{4, 5}, rng);
+    const std::vector<int> labels = {0, 3, 2, 4};
+    nn::SoftmaxCrossEntropy loss;
+    loss.forward(logits, labels);
+    const Tensor g = loss.backward();
+    const float eps = 1e-3f;
+    for (std::int64_t i = 0; i < logits.numel(); ++i) {
+        Tensor lp = logits, lm = logits;
+        lp[i] += eps;
+        lm[i] -= eps;
+        nn::SoftmaxCrossEntropy tmp;
+        const double numeric =
+            (tmp.forward(lp, labels) - tmp.forward(lm, labels)) / (2.0 * eps);
+        EXPECT_NEAR(g[i], numeric, 1e-3);
+    }
+}
+
+TEST(SoftmaxXent, NumericallyStableForLargeLogits) {
+    nn::SoftmaxCrossEntropy loss;
+    Tensor logits = Tensor::from({1000.0f, 0.0f}).reshaped(Shape{1, 2});
+    const double l = loss.forward(logits, {0});
+    EXPECT_NEAR(l, 0.0, 1e-6);
+    EXPECT_TRUE(std::isfinite(loss.forward(logits, {1})));
+}
+
+TEST(Metrics, TopKAccuracy) {
+    Tensor logits(Shape{2, 4});
+    // Row 0 ranks: class2 > class0 > class1 > class3.
+    logits[0] = 2;
+    logits[1] = 1;
+    logits[2] = 9;
+    logits[3] = 0;
+    // Row 1: class3 best.
+    logits[4] = 0;
+    logits[5] = 1;
+    logits[6] = 2;
+    logits[7] = 5;
+    EXPECT_DOUBLE_EQ(nn::top1_accuracy(logits, {2, 3}), 1.0);
+    EXPECT_DOUBLE_EQ(nn::top1_accuracy(logits, {0, 0}), 0.0);
+    EXPECT_DOUBLE_EQ(nn::topk_accuracy(logits, {0, 2}, 2), 1.0);
+}
+
+TEST(Optim, SgdConvergesOnQuadratic) {
+    nn::Param p("p", Tensor::from({10.0f, -6.0f}));
+    nn::Sgd sgd(0.1, 0.9);
+    for (int i = 0; i < 200; ++i) {
+        p.zero_grad();
+        p.grad[0] = 2.0f * p.value[0];
+        p.grad[1] = 2.0f * p.value[1];
+        sgd.step({&p});
+    }
+    EXPECT_NEAR(p.value[0], 0.0f, 1e-3f);
+    EXPECT_NEAR(p.value[1], 0.0f, 1e-3f);
+}
+
+TEST(Optim, AdamConvergesOnQuadratic) {
+    nn::Param p("p", Tensor::from({4.0f, -3.0f}));
+    nn::Adam adam(0.05);
+    for (int i = 0; i < 500; ++i) {
+        p.zero_grad();
+        p.grad[0] = 2.0f * p.value[0];
+        p.grad[1] = 2.0f * p.value[1];
+        adam.step({&p});
+    }
+    EXPECT_NEAR(p.value[0], 0.0f, 1e-2f);
+    EXPECT_NEAR(p.value[1], 0.0f, 1e-2f);
+}
+
+TEST(Optim, WeightDecayShrinksWeights) {
+    nn::Param p("p", Tensor::from({1.0f}));
+    nn::Sgd sgd(0.1, 0.0, /*weight_decay=*/0.5);
+    p.zero_grad();
+    sgd.step({&p});
+    EXPECT_LT(p.value[0], 1.0f);
+}
+
+TEST(Optim, PaperLrSchedule) {
+    EXPECT_DOUBLE_EQ(nn::paper_lr_schedule(1e-3, 0, 30), 1e-3);
+    EXPECT_DOUBLE_EQ(nn::paper_lr_schedule(1e-3, 9, 30), 1e-3);
+    EXPECT_DOUBLE_EQ(nn::paper_lr_schedule(1e-3, 10, 30), 5e-4);
+    EXPECT_DOUBLE_EQ(nn::paper_lr_schedule(1e-3, 20, 30), 2.5e-4);
+    EXPECT_DOUBLE_EQ(nn::paper_lr_schedule(1e-3, 29, 30), 2.5e-4);
+}
+
+} // namespace
+
+namespace {
+
+TEST(AvgPool, ForwardAveragesAndBackwardSpreads) {
+    nn::AvgPool2d pool(2);
+    Tensor x(Shape{1, 1, 2, 2});
+    x[0] = 1;
+    x[1] = 3;
+    x[2] = 5;
+    x[3] = 7;
+    const Tensor y = pool.forward(x);
+    ASSERT_EQ(y.numel(), 1);
+    EXPECT_FLOAT_EQ(y[0], 4.0f);
+    const Tensor g = pool.backward(Tensor::from({8}).reshaped(Shape{1, 1, 1, 1}));
+    for (std::int64_t i = 0; i < 4; ++i) EXPECT_FLOAT_EQ(g[i], 2.0f);
+}
+
+TEST(AvgPool, GradCheck) {
+    util::Rng rng(41);
+    nn::AvgPool2d pool(2);
+    gradcheck(pool, Tensor::randn(Shape{2, 3, 4, 4}, rng));
+}
+
+TEST(Dropout, EvalModeIsIdentity) {
+    nn::Dropout drop(0.5f);
+    drop.set_training(false);
+    util::Rng rng(42);
+    const Tensor x = Tensor::randn(Shape{64}, rng);
+    const Tensor y = drop.forward(x);
+    for (std::int64_t i = 0; i < x.numel(); ++i) EXPECT_FLOAT_EQ(y[i], x[i]);
+}
+
+TEST(Dropout, TrainingPreservesExpectation) {
+    nn::Dropout drop(0.5f, 7);
+    drop.set_training(true);
+    const Tensor x = Tensor::full(Shape{20000}, 1.0f);
+    const Tensor y = drop.forward(x);
+    // Inverted dropout: E[y] == x. Half the entries are 0, half are 2.
+    EXPECT_NEAR(y.mean(), 1.0f, 0.05f);
+    int zeros = 0;
+    for (std::int64_t i = 0; i < y.numel(); ++i)
+        if (y[i] == 0.0f) ++zeros;
+    EXPECT_NEAR(static_cast<double>(zeros) / y.numel(), 0.5, 0.03);
+}
+
+TEST(Dropout, BackwardUsesSameMask) {
+    nn::Dropout drop(0.5f, 9);
+    drop.set_training(true);
+    const Tensor x = Tensor::full(Shape{256}, 1.0f);
+    const Tensor y = drop.forward(x);
+    Tensor gy = Tensor::full(Shape{256}, 1.0f);
+    const Tensor gx = drop.backward(gy);
+    for (std::int64_t i = 0; i < 256; ++i) EXPECT_FLOAT_EQ(gx[i], y[i]);
+}
+
+TEST(Dropout, ZeroRateIsIdentityInTraining) {
+    nn::Dropout drop(0.0f);
+    drop.set_training(true);
+    util::Rng rng(43);
+    const Tensor x = Tensor::randn(Shape{32}, rng);
+    const Tensor y = drop.forward(x);
+    for (std::int64_t i = 0; i < x.numel(); ++i) EXPECT_FLOAT_EQ(y[i], x[i]);
+}
+
+} // namespace

@@ -1,0 +1,162 @@
+// Tests for the Eq. (7)/(8) quantization layer.
+#include "quant/quant.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace {
+
+using namespace amret;
+using quant::QuantParams;
+
+TEST(Quant, ChooseParamsCoversRangeAndZero) {
+    const QuantParams p = quant::choose_params(-1.0f, 3.0f, 8);
+    EXPECT_EQ(p.bits, 8u);
+    // Zero maps exactly to an integer code.
+    const float zq = p.quantize(0.0f);
+    EXPECT_FLOAT_EQ(zq, std::nearbyint(zq));
+    EXPECT_NEAR(p.dequantize(zq), 0.0f, 1e-6f);
+    // Extremes stay within one step of the range.
+    EXPECT_NEAR(p.dequantize(p.quantize(-1.0f)), -1.0f, p.scale);
+    EXPECT_NEAR(p.dequantize(p.quantize(3.0f)), 3.0f, p.scale);
+}
+
+TEST(Quant, PositiveOnlyRangeStillIncludesZero) {
+    const QuantParams p = quant::choose_params(2.0f, 5.0f, 8);
+    EXPECT_NEAR(p.dequantize(p.quantize(0.0f)), 0.0f, 1e-5f);
+}
+
+TEST(Quant, DegenerateRangeDoesNotBlowUp) {
+    const QuantParams p = quant::choose_params(0.0f, 0.0f, 8);
+    EXPECT_GT(p.scale, 0.0f);
+    EXPECT_TRUE(std::isfinite(p.quantize(0.0f)));
+}
+
+TEST(Quant, QuantizeClampsOutOfRange) {
+    const QuantParams p = quant::choose_params(-1.0f, 1.0f, 8);
+    EXPECT_FLOAT_EQ(p.quantize(100.0f), p.qmax());
+    EXPECT_FLOAT_EQ(p.quantize(-100.0f), 0.0f);
+    EXPECT_FALSE(p.in_range(100.0f));
+    EXPECT_FALSE(p.in_range(-100.0f));
+    EXPECT_TRUE(p.in_range(0.5f));
+}
+
+TEST(Quant, RoundTripErrorBoundedByHalfStep) {
+    const QuantParams p = quant::choose_params(-2.0f, 2.0f, 8);
+    for (float v = -2.0f; v <= 2.0f; v += 0.037f) {
+        const float r = p.dequantize(p.quantize(v));
+        EXPECT_LE(std::abs(r - v), 0.5f * p.scale + 1e-6f) << v;
+    }
+}
+
+TEST(Quant, BitsControlResolution) {
+    const QuantParams p8 = quant::choose_params(-1.0f, 1.0f, 8);
+    const QuantParams p4 = quant::choose_params(-1.0f, 1.0f, 4);
+    EXPECT_LT(p8.scale, p4.scale);
+    EXPECT_FLOAT_EQ(p8.qmax(), 255.0f);
+    EXPECT_FLOAT_EQ(p4.qmax(), 15.0f);
+}
+
+TEST(Quant, DequantizeInverse) {
+    const QuantParams p = quant::choose_params(-1.0f, 1.0f, 7);
+    // dequantize(Z) == 0 by construction.
+    EXPECT_NEAR(p.dequantize(p.zero_point), 0.0f, 1e-7f);
+}
+
+TEST(Observer, FirstObservationInitializes) {
+    quant::EmaObserver obs(0.9);
+    EXPECT_FALSE(obs.initialized());
+    obs.observe(tensor::Tensor::from({-1.0f, 2.0f}));
+    EXPECT_TRUE(obs.initialized());
+    EXPECT_FLOAT_EQ(obs.lo(), -1.0f);
+    EXPECT_FLOAT_EQ(obs.hi(), 2.0f);
+}
+
+TEST(Observer, EmaConverges) {
+    quant::EmaObserver obs(0.5);
+    obs.observe(tensor::Tensor::from({0.0f, 0.0f}));
+    for (int i = 0; i < 30; ++i) obs.observe(tensor::Tensor::from({-4.0f, 4.0f}));
+    EXPECT_NEAR(obs.lo(), -4.0f, 1e-3f);
+    EXPECT_NEAR(obs.hi(), 4.0f, 1e-3f);
+}
+
+TEST(Observer, SetRangeRestoresState) {
+    quant::EmaObserver obs;
+    obs.set_range(-2.0f, 3.0f, true);
+    EXPECT_TRUE(obs.initialized());
+    const QuantParams p = obs.params(8);
+    EXPECT_NEAR(p.dequantize(p.quantize(-2.0f)), -2.0f, p.scale);
+}
+
+TEST(QuantizedTensor, CodesAndMask) {
+    const QuantParams p = quant::choose_params(-1.0f, 1.0f, 8);
+    const tensor::Tensor t = tensor::Tensor::from({-1.0f, 0.0f, 1.0f, 50.0f});
+    const auto q = quant::quantize_tensor(t, p);
+    ASSERT_EQ(q.codes.size(), 4u);
+    EXPECT_EQ(q.codes[0], 0u);
+    EXPECT_EQ(q.codes[3], 255u); // clamped
+    EXPECT_EQ(q.in_range[1], 1);
+    EXPECT_EQ(q.in_range[3], 0); // gradient blocked outside range
+}
+
+TEST(QuantizedTensor, FakeQuantizeIdempotent) {
+    const QuantParams p = quant::choose_params(-1.0f, 1.0f, 6);
+    util::Rng rng(11);
+    const tensor::Tensor t = tensor::Tensor::randn(tensor::Shape{64}, rng, 0.4f);
+    const tensor::Tensor once = quant::fake_quantize(t, p);
+    const tensor::Tensor twice = quant::fake_quantize(once, p);
+    for (std::int64_t i = 0; i < t.numel(); ++i)
+        EXPECT_FLOAT_EQ(once[i], twice[i]) << i;
+}
+
+TEST(QuantizedTensor, DequantOfCodesMatchesFakeQuant) {
+    const QuantParams p = quant::choose_params(-1.5f, 0.7f, 7);
+    util::Rng rng(12);
+    const tensor::Tensor t = tensor::Tensor::randn(tensor::Shape{128}, rng, 0.5f);
+    const auto q = quant::quantize_tensor(t, p);
+    const tensor::Tensor fq = quant::fake_quantize(t, p);
+    for (std::int64_t i = 0; i < t.numel(); ++i)
+        EXPECT_NEAR(p.dequantize(static_cast<float>(q.codes[static_cast<std::size_t>(i)])),
+                    fq[i], 1e-6f);
+}
+
+} // namespace
+
+namespace {
+
+TEST(PercentileObserver, IgnoresOutliers) {
+    // A min/max observer blows its range on a single outlier; the
+    // percentile observer stays tight.
+    util::Rng rng(61);
+    tensor::Tensor t = tensor::Tensor::randn(tensor::Shape{4000}, rng, 1.0f);
+    t[5] = 1000.0f; // single wild outlier
+
+    quant::EmaObserver minmax;
+    quant::PercentileObserver pct(0.9, 0.999);
+    minmax.observe(t);
+    pct.observe(t);
+    EXPECT_GT(minmax.hi(), 900.0f);
+    EXPECT_LT(pct.hi(), 10.0f);
+    EXPECT_GT(pct.hi(), 2.0f); // still covers the bulk of the distribution
+}
+
+TEST(PercentileObserver, EmaConverges) {
+    quant::PercentileObserver obs(0.5, 1.0); // p=1 -> exact min/max
+    obs.observe(tensor::Tensor::from({0.0f, 0.0f, 0.0f}));
+    for (int i = 0; i < 30; ++i)
+        obs.observe(tensor::Tensor::from({-3.0f, 0.0f, 3.0f}));
+    EXPECT_NEAR(obs.lo(), -3.0f, 1e-3f);
+    EXPECT_NEAR(obs.hi(), 3.0f, 1e-3f);
+}
+
+TEST(PercentileObserver, ParamsCoverClippedRange) {
+    quant::PercentileObserver obs;
+    util::Rng rng(62);
+    obs.observe(tensor::Tensor::randn(tensor::Shape{2000}, rng, 0.5f));
+    const auto p = obs.params(8);
+    EXPECT_GT(p.scale, 0.0f);
+    EXPECT_NEAR(p.dequantize(p.quantize(0.0f)), 0.0f, 1e-5f);
+}
+
+} // namespace

@@ -1,0 +1,124 @@
+// Registry-wide parameterized property suite: every named multiplier of the
+// Table I lineup must satisfy the invariants the training stack relies on.
+#include "appmult/error_stats.hpp"
+#include "appmult/registry.hpp"
+#include "core/grad_lut.hpp"
+#include "netlist/serialize.hpp"
+#include "netlist/sim.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+
+namespace {
+
+using namespace amret;
+
+std::vector<std::string> approximate_names() {
+    std::vector<std::string> names;
+    for (const auto& name : appmult::Registry::instance().names()) {
+        if (appmult::Registry::instance().info(name).approximate)
+            names.push_back(name);
+    }
+    return names;
+}
+
+class RegistrySweep : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(RegistrySweep, LutValuesWithinProductRange) {
+    auto& reg = appmult::Registry::instance();
+    const auto& lut = reg.lut(GetParam());
+    const std::int64_t limit = std::int64_t{1} << (2 * lut.bits());
+    for (const std::int32_t v : lut.table()) {
+        ASSERT_GE(v, 0);
+        ASSERT_LT(v, limit);
+    }
+}
+
+TEST_P(RegistrySweep, GradTablesFiniteAndBounded) {
+    auto& reg = appmult::Registry::instance();
+    const auto& lut = reg.lut(GetParam());
+    const unsigned hws = std::max(1u, reg.info(GetParam()).default_hws);
+    const auto grad = core::build_difference_grad(lut, hws);
+    // The central difference of values in [0, 2^2B) can never exceed half
+    // the output range; Eq. (6) never exceeds (max-min)/2^B <= 2^B.
+    const float bound = std::ldexp(1.0f, static_cast<int>(2 * lut.bits() - 1));
+    for (const float v : grad.dx_table()) {
+        ASSERT_TRUE(std::isfinite(v));
+        ASSERT_LE(std::abs(v), bound);
+    }
+    for (const float v : grad.dw_table()) {
+        ASSERT_TRUE(std::isfinite(v));
+        ASSERT_LE(std::abs(v), bound);
+    }
+}
+
+TEST_P(RegistrySweep, HardwareStrictlyCheaperThanAccurate) {
+    auto& reg = appmult::Registry::instance();
+    const auto& hw = reg.hardware(GetParam());
+    const auto& acc = reg.hardware(appmult::accurate_counterpart(GetParam()));
+    EXPECT_LT(hw.area_um2, acc.area_um2);
+    EXPECT_LT(hw.power_uw, acc.power_uw);
+    EXPECT_GT(hw.gates, 0u);
+}
+
+TEST_P(RegistrySweep, NetlistSerializationRoundTrip) {
+    auto& reg = appmult::Registry::instance();
+    const auto& circuit = reg.circuit(GetParam());
+    const std::string path =
+        ::testing::TempDir() + "/amret_sweep_" + GetParam() + ".netlist";
+    ASSERT_TRUE(netlist::save_netlist(circuit, path));
+    const auto loaded = netlist::load_netlist(path);
+    ASSERT_TRUE(loaded.has_value());
+    EXPECT_EQ(netlist::eval_all_patterns(*loaded), netlist::eval_all_patterns(circuit));
+    std::remove(path.c_str());
+}
+
+TEST_P(RegistrySweep, ZeroRowsPreserved) {
+    // Every Table I multiplier (including the ALS entries, by construction)
+    // preserves AM(0, x) = AM(w, 0) = 0 — the retrainability precondition.
+    auto& reg = appmult::Registry::instance();
+    const auto profile = appmult::profile_error(reg.lut(GetParam()), 4);
+    EXPECT_TRUE(profile.zero_preserving) << GetParam();
+}
+
+TEST_P(RegistrySweep, ErrorMetricsSelfConsistent) {
+    auto& reg = appmult::Registry::instance();
+    const auto& m = reg.error(GetParam());
+    EXPECT_GT(m.error_rate, 0.0);
+    EXPECT_LE(m.error_rate, 1.0);
+    EXPECT_GT(m.nmed, 0.0);
+    EXPECT_GT(m.max_ed, 0);
+    // |mean| <= mean(|.|) <= MaxED, and NMED is the normalized mean(|.|).
+    const double denom = std::ldexp(1.0, static_cast<int>(
+                             2 * reg.info(GetParam()).bits)) - 1.0;
+    EXPECT_LE(std::abs(m.mean_error), m.nmed * denom + 1e-9);
+    EXPECT_LE(m.nmed * denom, static_cast<double>(m.max_ed) + 1e-9);
+}
+
+TEST_P(RegistrySweep, SteAndDiffGradAgreeOnAverage) {
+    // Summed over the full table, the difference gradient's mean must be
+    // close to STE's mean (both estimate the same average slope); this
+    // catches sign or scale bugs in the builders.
+    auto& reg = appmult::Registry::instance();
+    const auto& lut = reg.lut(GetParam());
+    const auto diff = core::build_difference_grad(lut, 8);
+    const auto ste = core::build_ste_grad(lut.bits());
+    double mean_diff = 0.0, mean_ste = 0.0;
+    for (std::size_t i = 0; i < diff.dx_table().size(); ++i) {
+        mean_diff += diff.dx_table()[i];
+        mean_ste += ste.dx_table()[i];
+    }
+    mean_diff /= static_cast<double>(diff.dx_table().size());
+    mean_ste /= static_cast<double>(ste.dx_table().size());
+    EXPECT_NEAR(mean_diff, mean_ste, 0.25 * mean_ste) << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(TableOne, RegistrySweep,
+                         ::testing::ValuesIn(approximate_names()),
+                         [](const ::testing::TestParamInfo<std::string>& info) {
+                             return info.param;
+                         });
+
+} // namespace

@@ -1,0 +1,194 @@
+/// \file amret_cli.cpp
+/// \brief Command-line interface to the multiplier side of the library.
+///
+/// Subcommands:
+///   list                          all registered multipliers with metrics
+///   info    <name>                error metrics + hardware + structure
+///   verilog <name> [--out f.v]    export the gate-level netlist
+///   lut     <name> --out f.bin    export the product LUT (AMLUT1 format)
+///   grad    <name> --hws N --out f.bin   export difference-gradient tables
+///   synth   --bits B --nmed P [--out f.v]  run approximate synthesis
+///   profile <name>                structural error profile (zero rows, bias,
+///                                 magnitude-conditioned error)
+///
+/// Examples:
+///   amret_cli info mul7u_rm6
+///   amret_cli synth --bits 6 --nmed 0.4 --out mult.v
+#include "amret.hpp"
+
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+
+using namespace amret;
+
+namespace {
+
+int cmd_list() {
+    auto& reg = appmult::Registry::instance();
+    util::TablePrinter table({"Name", "Bits", "ER/%", "NMED/%", "MaxED", "Area/um2",
+                              "Power/uW", "Construction"});
+    for (const auto& name : reg.names()) {
+        const auto& info = reg.info(name);
+        const auto& err = reg.error(name);
+        const auto& hw = reg.hardware(name);
+        table.add_row({name, std::to_string(info.bits),
+                       util::TablePrinter::num(100.0 * err.error_rate, 1),
+                       util::TablePrinter::num(100.0 * err.nmed, 2),
+                       std::to_string(err.max_ed),
+                       util::TablePrinter::num(hw.area_um2, 1),
+                       util::TablePrinter::num(hw.power_uw, 2), info.family});
+    }
+    table.print();
+    return 0;
+}
+
+int cmd_info(const std::string& name) {
+    auto& reg = appmult::Registry::instance();
+    if (!reg.contains(name)) {
+        std::fprintf(stderr, "unknown multiplier: %s (try `amret_cli list`)\n",
+                     name.c_str());
+        return 1;
+    }
+    const auto& info = reg.info(name);
+    const auto& err = reg.error(name);
+    const auto& hw = reg.hardware(name);
+    std::printf("%s — %s\n", name.c_str(), info.family.c_str());
+    std::printf("  bits: %u   approximate: %s   default HWS: %u\n", info.bits,
+                info.approximate ? "yes" : "no", info.default_hws);
+    std::printf("  ER: %.2f%%   NMED: %.3f%%   MaxED: %lld\n",
+                100.0 * err.error_rate, 100.0 * err.nmed,
+                static_cast<long long>(err.max_ed));
+    std::printf("  area: %.2f um^2   delay: %.1f ps   power: %.2f uW   gates: %zu\n",
+                hw.area_um2, hw.delay_ps, hw.power_uw, hw.gates);
+    return 0;
+}
+
+int cmd_verilog(const std::string& name, const std::string& out) {
+    auto& reg = appmult::Registry::instance();
+    if (!reg.contains(name)) {
+        std::fprintf(stderr, "unknown multiplier: %s\n", name.c_str());
+        return 1;
+    }
+    const std::string verilog = reg.circuit(name).to_verilog(name);
+    if (out.empty()) {
+        std::fputs(verilog.c_str(), stdout);
+        return 0;
+    }
+    std::ofstream f(out);
+    if (!f) {
+        std::fprintf(stderr, "cannot write %s\n", out.c_str());
+        return 1;
+    }
+    f << verilog;
+    std::printf("wrote %s (%zu gates)\n", out.c_str(), reg.circuit(name).gate_count());
+    return 0;
+}
+
+int cmd_lut(const std::string& name, const std::string& out) {
+    auto& reg = appmult::Registry::instance();
+    if (!reg.contains(name) || out.empty()) {
+        std::fprintf(stderr, "usage: amret_cli lut <name> --out file.bin\n");
+        return 1;
+    }
+    if (!reg.lut(name).save(out)) {
+        std::fprintf(stderr, "cannot write %s\n", out.c_str());
+        return 1;
+    }
+    std::printf("wrote %s (%u-bit product LUT)\n", out.c_str(), reg.lut(name).bits());
+    return 0;
+}
+
+int cmd_grad(const std::string& name, unsigned hws, const std::string& out) {
+    auto& reg = appmult::Registry::instance();
+    if (!reg.contains(name) || out.empty()) {
+        std::fprintf(stderr, "usage: amret_cli grad <name> --hws N --out file.bin\n");
+        return 1;
+    }
+    const auto grad = core::build_difference_grad(reg.lut(name), hws);
+    if (!grad.save(out)) {
+        std::fprintf(stderr, "cannot write %s\n", out.c_str());
+        return 1;
+    }
+    std::printf("wrote %s (difference gradient, HWS=%u)\n", out.c_str(), hws);
+    return 0;
+}
+
+int cmd_synth(unsigned bits, double nmed_percent, const std::string& out) {
+    als::AlsOptions options;
+    options.nmed_budget = nmed_percent / 100.0;
+    options.protected_patterns = als::multiplier_zero_patterns(bits);
+    const auto exact = multgen::build_netlist(multgen::exact_spec(bits));
+    std::printf("synthesizing %u-bit approximate multiplier, NMED budget %.3f%% ...\n",
+                bits, nmed_percent);
+    const auto result = als::synthesize(exact, options);
+    std::printf("done: %d rewrites, area %.2f -> %.2f um^2, NMED %.3f%%, ER %.1f%%\n",
+                result.moves, result.area_before_um2, result.area_after_um2,
+                100.0 * result.metrics.nmed, 100.0 * result.metrics.error_rate);
+    if (!out.empty()) {
+        std::ofstream f(out);
+        if (!f) {
+            std::fprintf(stderr, "cannot write %s\n", out.c_str());
+            return 1;
+        }
+        f << result.netlist.to_verilog("als_mult");
+        std::printf("wrote %s\n", out.c_str());
+    }
+    return 0;
+}
+
+int cmd_profile(const std::string& name) {
+    auto& reg = appmult::Registry::instance();
+    if (!reg.contains(name)) {
+        std::fprintf(stderr, "unknown multiplier: %s\n", name.c_str());
+        return 1;
+    }
+    const auto profile = appmult::profile_error(reg.lut(name));
+    std::printf("%s\n", appmult::summarize(profile).c_str());
+    std::printf("mean |error| by operand magnitude (low -> high):\n");
+    for (std::size_t b = 0; b < profile.mean_abs_error_by_magnitude.size(); ++b) {
+        std::printf("  bucket %zu: |err| = %8.2f  signed = %8.2f\n", b,
+                    profile.mean_abs_error_by_magnitude[b],
+                    profile.mean_signed_error_by_magnitude[b]);
+    }
+    return 0;
+}
+
+void usage() {
+    std::fputs(
+        "usage: amret_cli <command> [args]\n"
+        "  list                         all multipliers\n"
+        "  info    <name>               metrics + hardware\n"
+        "  verilog <name> [--out f.v]   export netlist\n"
+        "  lut     <name> --out f.bin   export product LUT\n"
+        "  grad    <name> [--hws N] --out f.bin  export gradient tables\n"
+        "  synth   --bits B --nmed P [--out f.v] approximate synthesis\n"
+        "  profile <name>               structural error profile\n",
+        stderr);
+}
+
+} // namespace
+
+int main(int argc, char** argv) {
+    const util::ArgParser args(argc, argv);
+    if (args.positional().empty()) {
+        usage();
+        return 1;
+    }
+    const std::string command = args.positional()[0];
+    const std::string name = args.positional().size() > 1 ? args.positional()[1] : "";
+    const std::string out = args.get("out", "");
+
+    if (command == "list") return cmd_list();
+    if (command == "info") return cmd_info(name);
+    if (command == "verilog") return cmd_verilog(name, out);
+    if (command == "lut") return cmd_lut(name, out);
+    if (command == "grad")
+        return cmd_grad(name, static_cast<unsigned>(args.get_int("hws", 4)), out);
+    if (command == "synth")
+        return cmd_synth(static_cast<unsigned>(args.get_int("bits", 6)),
+                         args.get_double("nmed", 0.4), out);
+    if (command == "profile") return cmd_profile(name);
+    usage();
+    return 1;
+}
