@@ -129,6 +129,55 @@ void BM_QuantConvForward(benchmark::State& state) {
 }
 BENCHMARK(BM_QuantConvForward);
 
+// ------------------------------------------------- threads-vs-throughput --
+// Sweeps the runtime thread count over the two hottest kernels. Sizes are
+// larger than the single-thread micro-benchmarks above so the per-job pool
+// overhead is amortized and scaling is visible on multi-core machines.
+
+void BM_LutForwardGemmThreads(benchmark::State& state) {
+    runtime::set_num_threads(static_cast<unsigned>(state.range(0)));
+    const unsigned bits = 8;
+    const std::int64_t o = 32, p = 1024, k = 72;
+    const auto lut = appmult::AppMultLut::exact(bits);
+    util::Rng rng(1);
+    std::vector<std::uint16_t> wq(static_cast<std::size_t>(o * k));
+    std::vector<std::uint16_t> xq(static_cast<std::size_t>(p * k));
+    for (auto& v : wq) v = static_cast<std::uint16_t>(rng.uniform_u64(lut.domain()));
+    for (auto& v : xq) v = static_cast<std::uint16_t>(rng.uniform_u64(lut.domain()));
+
+    approx::LutGemmArgs args;
+    args.bits = bits;
+    args.lut = lut.table().data();
+    args.wq = wq.data();
+    args.xq = xq.data();
+    args.o = o;
+    args.p = p;
+    args.k = k;
+    std::vector<float> y(static_cast<std::size_t>(p * o));
+    for (auto _ : state) {
+        approx::lut_forward(args, nullptr, y.data());
+        benchmark::DoNotOptimize(y.data());
+    }
+    state.SetItemsProcessed(state.iterations() * o * p * k);
+    runtime::set_num_threads(1);
+}
+BENCHMARK(BM_LutForwardGemmThreads)->Arg(1)->Arg(2)->Arg(4)->Arg(8);
+
+void BM_QuantConvForwardThreads(benchmark::State& state) {
+    runtime::set_num_threads(static_cast<unsigned>(state.range(0)));
+    util::Rng rng(4);
+    approx::ApproxConv2d conv(8, 32, 3, 1, 1, rng);
+    conv.set_multiplier(approx::MultiplierConfig::exact_ste(8));
+    conv.set_mode(approx::ComputeMode::kQuantized);
+    const tensor::Tensor x = tensor::Tensor::randn(tensor::Shape{8, 8, 32, 32}, rng);
+    for (auto _ : state) {
+        auto y = conv.forward(x);
+        benchmark::DoNotOptimize(y.data());
+    }
+    runtime::set_num_threads(1);
+}
+BENCHMARK(BM_QuantConvForwardThreads)->Arg(1)->Arg(2)->Arg(4)->Arg(8);
+
 void BM_SmoothRow(benchmark::State& state) {
     std::vector<double> row(256);
     for (std::size_t i = 0; i < row.size(); ++i)

@@ -14,8 +14,76 @@
 
 using namespace amret;
 
+namespace {
+
+/// Times one kernel at the given thread count; returns ms per iteration.
+template <typename Fn>
+double time_kernel_ms(unsigned threads, int iters, Fn&& fn) {
+    runtime::set_num_threads(threads);
+    fn(); // warm up (resolves the pool, faults in buffers)
+    util::Stopwatch sw;
+    for (int i = 0; i < iters; ++i) fn();
+    const double ms = sw.millis() / iters;
+    runtime::set_num_threads(1);
+    return ms;
+}
+
+/// Threads-vs-throughput sweep over the two hot kernels, one JSON row per
+/// (kernel, threads) so the results are machine-readable:
+///   {"bench": "lut_gemm", "threads": 4, "ms_per_iter": 1.23, "speedup": 2.5}
+void threads_sweep(int iters) {
+    const unsigned bits = 8;
+    const std::int64_t o = 32, p = 1024, k = 72;
+    const auto lut = appmult::AppMultLut::exact(bits);
+    util::Rng rng(1);
+    std::vector<std::uint16_t> wq(static_cast<std::size_t>(o * k));
+    std::vector<std::uint16_t> xq(static_cast<std::size_t>(p * k));
+    for (auto& v : wq) v = static_cast<std::uint16_t>(rng.uniform_u64(lut.domain()));
+    for (auto& v : xq) v = static_cast<std::uint16_t>(rng.uniform_u64(lut.domain()));
+    approx::LutGemmArgs gemm;
+    gemm.bits = bits;
+    gemm.lut = lut.table().data();
+    gemm.wq = wq.data();
+    gemm.xq = xq.data();
+    gemm.o = o;
+    gemm.p = p;
+    gemm.k = k;
+    std::vector<float> y(static_cast<std::size_t>(p * o));
+
+    approx::ApproxConv2d conv(8, 32, 3, 1, 1, rng);
+    conv.set_multiplier(approx::MultiplierConfig::exact_ste(8));
+    conv.set_mode(approx::ComputeMode::kQuantized);
+    const tensor::Tensor x = tensor::Tensor::randn(tensor::Shape{8, 8, 32, 32}, rng);
+
+    struct Kernel {
+        const char* name;
+        std::function<void()> fn;
+    };
+    const Kernel kernels[] = {
+        {"lut_gemm", [&] { approx::lut_forward(gemm, nullptr, y.data()); }},
+        {"approx_conv", [&] { auto out = conv.forward(x); (void)out; }},
+    };
+    for (const auto& kernel : kernels) {
+        double base_ms = 0.0;
+        for (const unsigned threads : {1u, 2u, 4u, 8u}) {
+            const double ms = time_kernel_ms(threads, iters, kernel.fn);
+            if (threads == 1) base_ms = ms;
+            std::printf("{\"bench\": \"%s\", \"threads\": %u, "
+                        "\"ms_per_iter\": %.4f, \"speedup\": %.3f}\n",
+                        kernel.name, threads, ms, base_ms / ms);
+        }
+    }
+}
+
+} // namespace
+
 int main(int argc, char** argv) {
     const util::ArgParser args(argc, argv);
+
+    std::printf("threads-vs-throughput sweep (JSON rows)\n");
+    threads_sweep(static_cast<int>(args.get_int("sweep-iters", 20)));
+    if (args.get_bool("sweep-only", false)) return 0;
+
     bench::SweepConfig config;
     config.model = args.get("model", "vgg19");
     config.retrain_epochs = 2;

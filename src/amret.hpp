@@ -37,6 +37,8 @@
 #include "nn/module.hpp"               // module base
 #include "nn/optim.hpp"                // SGD / Adam
 #include "quant/quant.hpp"             // Eq. 7/8 quantization
+#include "runtime/parallel.hpp"        // deterministic parallel_for
+#include "runtime/thread_pool.hpp"     // fixed-size worker pool
 #include "tensor/tensor.hpp"           // dense tensors
 #include "train/checkpoint.hpp"        // model persistence
 #include "train/hws_search.hpp"        // LeNet-based HWS sweep

@@ -98,10 +98,12 @@ Registry& Registry::instance() {
 }
 
 bool Registry::contains(const std::string& name) const {
+    const std::lock_guard<std::recursive_mutex> lock(mutex_);
     return entries_.count(name) > 0;
 }
 
 const MultiplierInfo& Registry::info(const std::string& name) const {
+    const std::lock_guard<std::recursive_mutex> lock(mutex_);
     return entries_.at(name).info;
 }
 
@@ -163,12 +165,14 @@ void Registry::build_circuit(Entry& e) {
 }
 
 const netlist::Netlist& Registry::circuit(const std::string& name) {
+    const std::lock_guard<std::recursive_mutex> lock(mutex_);
     Entry& e = entry(name);
     build_circuit(e);
     return *e.circuit;
 }
 
 const AppMultLut& Registry::lut(const std::string& name) {
+    const std::lock_guard<std::recursive_mutex> lock(mutex_);
     Entry& e = entry(name);
     if (!e.lut.has_value()) {
         if (e.info.construction == Construction::kSpec) {
@@ -187,6 +191,7 @@ const AppMultLut& Registry::lut(const std::string& name) {
 }
 
 const netlist::HardwareReport& Registry::hardware(const std::string& name) {
+    const std::lock_guard<std::recursive_mutex> lock(mutex_);
     Entry& e = entry(name);
     if (!e.hardware.has_value()) {
         build_circuit(e);
@@ -196,6 +201,7 @@ const netlist::HardwareReport& Registry::hardware(const std::string& name) {
 }
 
 const ErrorMetrics& Registry::error(const std::string& name) {
+    const std::lock_guard<std::recursive_mutex> lock(mutex_);
     Entry& e = entry(name);
     if (!e.error.has_value()) e.error = measure_error(lut(name));
     return *e.error;
@@ -204,6 +210,7 @@ const ErrorMetrics& Registry::error(const std::string& name) {
 void Registry::register_spec(const std::string& name,
                              const multgen::MultiplierSpec& spec,
                              unsigned default_hws) {
+    const std::lock_guard<std::recursive_mutex> lock(mutex_);
     MultiplierInfo info = spec_entry(name, spec, default_hws, "user-defined");
     if (!contains(name)) order_.push_back(name);
     Entry fresh{std::move(info), {}, {}, {}, {}};

@@ -16,6 +16,7 @@
 #include "netlist/analysis.hpp"
 
 #include <map>
+#include <mutex>
 #include <optional>
 #include <string>
 #include <vector>
@@ -43,7 +44,10 @@ struct MultiplierInfo {
 };
 
 /// Lazy cache of netlists, LUTs and hardware reports for the named set.
-/// Single-threaded by design (amret is single-threaded throughout).
+/// Thread-safe: lazy builders run under an internal lock, so concurrent
+/// lookups (e.g. from runtime::parallel_for chunks) build each artifact
+/// exactly once. References stay valid until register_spec replaces that
+/// entry; don't hold one across a concurrent re-registration of its name.
 class Registry {
 public:
     /// The process-wide registry with the paper's Table I names.
@@ -89,6 +93,8 @@ private:
     Entry& entry(const std::string& name);
     void build_circuit(Entry& e);
 
+    /// Recursive because lazy builders call each other (error() -> lut()).
+    mutable std::recursive_mutex mutex_;
     std::vector<std::string> order_;
     std::map<std::string, Entry> entries_;
 };

@@ -2,6 +2,7 @@
 
 #include "approx/depthwise.hpp"
 #include "approx/lut_gemm.hpp"
+#include "runtime/parallel.hpp"
 
 #include <cassert>
 
@@ -58,13 +59,15 @@ Tensor scatter_positions(const Tensor& po, std::int64_t n, std::int64_t o,
                          std::int64_t oh, std::int64_t ow) {
     Tensor y(Shape{n, o, oh, ow});
     const std::int64_t spatial = oh * ow;
-    for (std::int64_t i = 0; i < n; ++i) {
-        for (std::int64_t s = 0; s < spatial; ++s) {
-            const float* row = po.data() + (i * spatial + s) * o;
+    runtime::parallel_for(0, n * spatial, runtime::grain_for(n * spatial, 64),
+                          [&](std::int64_t pb, std::int64_t pe) {
+        for (std::int64_t p = pb; p < pe; ++p) {
+            const std::int64_t i = p / spatial, s = p % spatial;
+            const float* row = po.data() + p * o;
             for (std::int64_t c = 0; c < o; ++c)
                 y[(i * o + c) * spatial + s] = row[c];
         }
-    }
+    });
     return y;
 }
 
@@ -73,14 +76,29 @@ Tensor gather_positions(const Tensor& gy, std::int64_t n, std::int64_t o,
                         std::int64_t oh, std::int64_t ow) {
     Tensor gp(Shape{n * oh * ow, o});
     const std::int64_t spatial = oh * ow;
-    for (std::int64_t i = 0; i < n; ++i) {
-        for (std::int64_t s = 0; s < spatial; ++s) {
-            float* row = gp.data() + (i * spatial + s) * o;
+    runtime::parallel_for(0, n * spatial, runtime::grain_for(n * spatial, 64),
+                          [&](std::int64_t pb, std::int64_t pe) {
+        for (std::int64_t p = pb; p < pe; ++p) {
+            const std::int64_t i = p / spatial, s = p % spatial;
+            float* row = gp.data() + p * o;
             for (std::int64_t c = 0; c < o; ++c)
                 row[c] = gy[(i * o + c) * spatial + s];
         }
-    }
+    });
     return gp;
+}
+
+/// Column sums of a (P, O) position-major gradient into \p bias_grad via the
+/// deterministic per-chunk reduction (chunk boundaries depend only on P).
+void accumulate_bias_grad(const Tensor& gyp, std::int64_t out_ch, float* bias_grad) {
+    runtime::parallel_accumulate(
+        0, gyp.dim(0), runtime::grain_for(gyp.dim(0), 16),
+        static_cast<std::size_t>(out_ch),
+        [&](std::int64_t pidx, float* acc) {
+            const float* row = gyp.data() + pidx * out_ch;
+            for (std::int64_t c = 0; c < out_ch; ++c) acc[c] += row[c];
+        },
+        bias_grad);
 }
 
 } // namespace
@@ -99,10 +117,13 @@ Tensor ApproxConv2d::forward_float(const Tensor& x) {
     cached_cols_ = tensor::im2col(x, geom_);
     const Tensor w2d = weight.value.reshaped(Shape{out_ch_, geom_.patch()});
     Tensor po = tensor::matmul_nt(cached_cols_, w2d); // (P, O)
-    for (std::int64_t pidx = 0; pidx < po.dim(0); ++pidx) {
-        float* row = po.data() + pidx * out_ch_;
-        for (std::int64_t c = 0; c < out_ch_; ++c) row[c] += bias.value[c];
-    }
+    runtime::parallel_for(0, po.dim(0), runtime::grain_for(po.dim(0), 64),
+                          [&](std::int64_t pb, std::int64_t pe) {
+        for (std::int64_t pidx = pb; pidx < pe; ++pidx) {
+            float* row = po.data() + pidx * out_ch_;
+            for (std::int64_t c = 0; c < out_ch_; ++c) row[c] += bias.value[c];
+        }
+    });
     return scatter_positions(po, geom_.batch, out_ch_, geom_.out_h(), geom_.out_w());
 }
 
@@ -110,10 +131,7 @@ Tensor ApproxConv2d::backward_float(const Tensor& gy) {
     const Tensor gyp =
         gather_positions(gy, geom_.batch, out_ch_, geom_.out_h(), geom_.out_w());
     // Bias gradient: column sums of gyp.
-    for (std::int64_t pidx = 0; pidx < gyp.dim(0); ++pidx) {
-        const float* row = gyp.data() + pidx * out_ch_;
-        for (std::int64_t c = 0; c < out_ch_; ++c) bias.grad[c] += row[c];
-    }
+    accumulate_bias_grad(gyp, out_ch_, bias.grad.data());
     // dW = gyp^T @ cols, reshaped to (O, C, K, K).
     Tensor dw2d = tensor::matmul_tn(gyp, cached_cols_); // (O, patch)
     weight.grad.add_(dw2d.reshaped(weight.value.shape()));
@@ -137,24 +155,29 @@ Tensor ApproxConv2d::forward_quant(const Tensor& x) {
         cached_wq_.codes.resize(static_cast<std::size_t>(out_ch_ * patch));
         cached_wq_.in_range.resize(static_cast<std::size_t>(out_ch_ * patch));
         const float* w = weight.value.data();
-        for (std::int64_t o = 0; o < out_ch_; ++o) {
-            float lo = w[o * patch], hi = w[o * patch];
-            for (std::int64_t k = 1; k < patch; ++k) {
-                lo = std::min(lo, w[o * patch + k]);
-                hi = std::max(hi, w[o * patch + k]);
+        // Per-channel rows are independent: range scan + quantization of each
+        // filter touch only that filter's slice of the caches.
+        runtime::parallel_for(0, out_ch_, runtime::grain_for(out_ch_, 1),
+                              [&](std::int64_t ob, std::int64_t oe) {
+            for (std::int64_t o = ob; o < oe; ++o) {
+                float lo = w[o * patch], hi = w[o * patch];
+                for (std::int64_t k = 1; k < patch; ++k) {
+                    lo = std::min(lo, w[o * patch + k]);
+                    hi = std::max(hi, w[o * patch + k]);
+                }
+                const quant::QuantParams row = quant::choose_params(lo, hi, bits);
+                wscale_per_o_[static_cast<std::size_t>(o)] = row.scale;
+                wzero_per_o_[static_cast<std::size_t>(o)] =
+                    static_cast<std::int32_t>(row.zero_point);
+                for (std::int64_t k = 0; k < patch; ++k) {
+                    const float v = w[o * patch + k];
+                    cached_wq_.codes[static_cast<std::size_t>(o * patch + k)] =
+                        static_cast<std::uint16_t>(row.quantize(v));
+                    cached_wq_.in_range[static_cast<std::size_t>(o * patch + k)] =
+                        row.in_range(v) ? 1 : 0;
+                }
             }
-            const quant::QuantParams row = quant::choose_params(lo, hi, bits);
-            wscale_per_o_[static_cast<std::size_t>(o)] = row.scale;
-            wzero_per_o_[static_cast<std::size_t>(o)] =
-                static_cast<std::int32_t>(row.zero_point);
-            for (std::int64_t k = 0; k < patch; ++k) {
-                const float v = w[o * patch + k];
-                cached_wq_.codes[static_cast<std::size_t>(o * patch + k)] =
-                    static_cast<std::uint16_t>(row.quantize(v));
-                cached_wq_.in_range[static_cast<std::size_t>(o * patch + k)] =
-                    row.in_range(v) ? 1 : 0;
-            }
-        }
+        });
         cached_wq_.params = quant::choose_params(weight.value.min(),
                                                  weight.value.max(), bits);
     } else {
@@ -198,10 +221,7 @@ Tensor ApproxConv2d::forward_quant(const Tensor& x) {
 Tensor ApproxConv2d::backward_quant(const Tensor& gy) {
     const Tensor gyp =
         gather_positions(gy, geom_.batch, out_ch_, geom_.out_h(), geom_.out_w());
-    for (std::int64_t pidx = 0; pidx < gyp.dim(0); ++pidx) {
-        const float* row = gyp.data() + pidx * out_ch_;
-        for (std::int64_t c = 0; c < out_ch_; ++c) bias.grad[c] += row[c];
-    }
+    accumulate_bias_grad(gyp, out_ch_, bias.grad.data());
 
     LutGemmArgs args;
     args.bits = mult_.bits();
@@ -232,13 +252,19 @@ Tensor ApproxConv2d::backward_quant(const Tensor& gy) {
     // into gx_raw by the kernel (it varies per row in per-channel mode);
     // only the clamp mask remains.
     float* wg = weight.grad.data();
-    for (std::int64_t i = 0; i < gw_raw.numel(); ++i) {
-        if (cached_wq_.in_range[static_cast<std::size_t>(i)])
-            wg[i] += args.scale_x * gw_raw[i];
-    }
-    for (std::int64_t i = 0; i < gx_raw.numel(); ++i) {
-        if (!cached_xq_.in_range[static_cast<std::size_t>(i)]) gx_raw[i] = 0.0f;
-    }
+    runtime::parallel_for(0, gw_raw.numel(), runtime::grain_for(gw_raw.numel(), 256),
+                          [&](std::int64_t b, std::int64_t e) {
+        for (std::int64_t i = b; i < e; ++i) {
+            if (cached_wq_.in_range[static_cast<std::size_t>(i)])
+                wg[i] += args.scale_x * gw_raw[i];
+        }
+    });
+    runtime::parallel_for(0, gx_raw.numel(), runtime::grain_for(gx_raw.numel(), 256),
+                          [&](std::int64_t b, std::int64_t e) {
+        for (std::int64_t i = b; i < e; ++i) {
+            if (!cached_xq_.in_range[static_cast<std::size_t>(i)]) gx_raw[i] = 0.0f;
+        }
+    });
     return tensor::col2im(gx_raw, geom_);
 }
 
@@ -315,9 +341,7 @@ Tensor ApproxLinear::forward(const Tensor& x) {
 
 Tensor ApproxLinear::backward(const Tensor& gy) {
     assert(gy.rank() == 2 && gy.dim(0) == cached_batch_);
-    for (std::int64_t i = 0; i < gy.dim(0); ++i)
-        for (std::int64_t j = 0; j < out_features_; ++j)
-            bias.grad[j] += gy[i * out_features_ + j];
+    accumulate_bias_grad(gy, out_features_, bias.grad.data());
 
     if (mode_ == ComputeMode::kFloat) {
         Tensor dw = tensor::matmul_tn(gy, cached_x_);
@@ -344,14 +368,20 @@ Tensor ApproxLinear::backward(const Tensor& gy) {
                  mult_.grad->dx_table().data(), gw_raw.data(), gx.data());
 
     float* wg = weight.grad.data();
-    for (std::int64_t i = 0; i < gw_raw.numel(); ++i) {
-        if (cached_wq_.in_range[static_cast<std::size_t>(i)])
-            wg[i] += args.scale_x * gw_raw[i];
-    }
+    runtime::parallel_for(0, gw_raw.numel(), runtime::grain_for(gw_raw.numel(), 256),
+                          [&](std::int64_t b, std::int64_t e) {
+        for (std::int64_t i = b; i < e; ++i) {
+            if (cached_wq_.in_range[static_cast<std::size_t>(i)])
+                wg[i] += args.scale_x * gw_raw[i];
+        }
+    });
     // The s_w factor of the activation gradient is folded in by the kernel.
-    for (std::int64_t i = 0; i < gx.numel(); ++i) {
-        if (!cached_xq_.in_range[static_cast<std::size_t>(i)]) gx[i] = 0.0f;
-    }
+    runtime::parallel_for(0, gx.numel(), runtime::grain_for(gx.numel(), 256),
+                          [&](std::int64_t b, std::int64_t e) {
+        for (std::int64_t i = b; i < e; ++i) {
+            if (!cached_xq_.in_range[static_cast<std::size_t>(i)]) gx[i] = 0.0f;
+        }
+    });
     return gx;
 }
 

@@ -1,5 +1,7 @@
 #include "approx/depthwise.hpp"
 
+#include "runtime/parallel.hpp"
+
 #include <cassert>
 
 namespace amret::approx {
@@ -78,8 +80,11 @@ Tensor DepthwiseConv2d::forward(const Tensor& x) {
     const std::int64_t patch = kernel_ * kernel_;
 
     cached_cols_ = Tensor(Shape{channels_ * positions, patch});
-    for (std::int64_t c = 0; c < channels_; ++c)
-        channel_im2col(x, c, geom_, cached_cols_, c * positions);
+    // Each channel fills its own row block [c * positions, (c+1) * positions).
+    runtime::parallel_for(0, channels_, 1, [&](std::int64_t cb, std::int64_t ce) {
+        for (std::int64_t c = cb; c < ce; ++c)
+            channel_im2col(x, c, geom_, cached_cols_, c * positions);
+    });
 
     return mode_ == ComputeMode::kFloat ? forward_float(x) : forward_quant(x);
 }
@@ -90,16 +95,18 @@ Tensor DepthwiseConv2d::forward_float(const Tensor& x) {
     const std::int64_t oh = geom_.out_h(), ow = geom_.out_w();
     Tensor y(Shape{batch_, channels_, oh, ow});
     const std::int64_t spatial = oh * ow;
-    for (std::int64_t c = 0; c < channels_; ++c) {
-        const float* wrow = weight.value.data() + c * patch;
-        for (std::int64_t p = 0; p < positions; ++p) {
-            const float* row = cached_cols_.data() + (c * positions + p) * patch;
-            float acc = bias.value[c];
-            for (std::int64_t k = 0; k < patch; ++k) acc += wrow[k] * row[k];
-            const std::int64_t n = p / spatial, s = p % spatial;
-            y[(n * channels_ + c) * spatial + s] = acc;
+    runtime::parallel_for(0, channels_, 1, [&](std::int64_t cb, std::int64_t ce) {
+        for (std::int64_t c = cb; c < ce; ++c) {
+            const float* wrow = weight.value.data() + c * patch;
+            for (std::int64_t p = 0; p < positions; ++p) {
+                const float* row = cached_cols_.data() + (c * positions + p) * patch;
+                float acc = bias.value[c];
+                for (std::int64_t k = 0; k < patch; ++k) acc += wrow[k] * row[k];
+                const std::int64_t n = p / spatial, s = p % spatial;
+                y[(n * channels_ + c) * spatial + s] = acc;
+            }
         }
-    }
+    });
     (void)x;
     return y;
 }
@@ -126,27 +133,30 @@ Tensor DepthwiseConv2d::forward_quant(const Tensor& x) {
     const std::int64_t oh = geom_.out_h(), ow = geom_.out_w();
     const std::int64_t spatial = oh * ow;
     Tensor y(Shape{batch_, channels_, oh, ow});
-    for (std::int64_t c = 0; c < channels_; ++c) {
-        const std::uint16_t* wrow = cached_wq_.codes.data() + c * patch;
-        std::int64_t sum_w = 0;
-        for (std::int64_t k = 0; k < patch; ++k) sum_w += wrow[k];
-        for (std::int64_t p = 0; p < positions; ++p) {
-            const std::uint16_t* xrow =
-                cached_xq_.codes.data() + (c * positions + p) * patch;
-            std::int64_t acc = 0, sum_x = 0;
-            for (std::int64_t k = 0; k < patch; ++k) {
-                acc += table[(static_cast<std::uint32_t>(wrow[k]) << bits) | xrow[k]];
-                sum_x += xrow[k];
+    runtime::parallel_for(0, channels_, 1, [&](std::int64_t cb, std::int64_t ce) {
+        for (std::int64_t c = cb; c < ce; ++c) {
+            const std::uint16_t* wrow = cached_wq_.codes.data() + c * patch;
+            std::int64_t sum_w = 0;
+            for (std::int64_t k = 0; k < patch; ++k) sum_w += wrow[k];
+            for (std::int64_t p = 0; p < positions; ++p) {
+                const std::uint16_t* xrow =
+                    cached_xq_.codes.data() + (c * positions + p) * patch;
+                std::int64_t acc = 0, sum_x = 0;
+                for (std::int64_t k = 0; k < patch; ++k) {
+                    acc +=
+                        table[(static_cast<std::uint32_t>(wrow[k]) << bits) | xrow[k]];
+                    sum_x += xrow[k];
+                }
+                const std::int64_t corrected =
+                    acc - static_cast<std::int64_t>(zx) * sum_w -
+                    static_cast<std::int64_t>(zw) * sum_x +
+                    patch * static_cast<std::int64_t>(zw) * zx;
+                const std::int64_t n = p / spatial, s = p % spatial;
+                y[(n * channels_ + c) * spatial + s] =
+                    ss * static_cast<float>(corrected) + bias.value[c];
             }
-            const std::int64_t corrected =
-                acc - static_cast<std::int64_t>(zx) * sum_w -
-                static_cast<std::int64_t>(zw) * sum_x +
-                patch * static_cast<std::int64_t>(zw) * zx;
-            const std::int64_t n = p / spatial, s = p % spatial;
-            y[(n * channels_ + c) * spatial + s] =
-                ss * static_cast<float>(corrected) + bias.value[c];
         }
-    }
+    });
     return y;
 }
 
@@ -166,7 +176,10 @@ Tensor DepthwiseConv2d::backward(const Tensor& gy) {
     const float sw = quantized ? cached_wq_.params.scale : 0.0f;
     const float sx = quantized ? cached_xq_.params.scale : 0.0f;
 
-    for (std::int64_t c = 0; c < channels_; ++c) {
+    // All writes are per-channel slices (gw row, bias.grad[c], dcols rows),
+    // so channels parallelize without any reduction.
+    runtime::parallel_for(0, channels_, 1, [&](std::int64_t cb, std::int64_t ce) {
+    for (std::int64_t c = cb; c < ce; ++c) {
         float* gwrow = weight.grad.data() + c * patch;
         const float* wrow_f = weight.value.data() + c * patch;
         const std::uint16_t* wrow_q =
@@ -197,20 +210,24 @@ Tensor DepthwiseConv2d::backward(const Tensor& gy) {
             }
         }
     }
+    });
 
-    // Fold dcols back per channel.
+    // Fold dcols back per channel; each channel writes its own gx slices.
     Tensor gx(Shape{batch_, channels_, geom_.in_h, geom_.in_w});
-    for (std::int64_t c = 0; c < channels_; ++c) {
-        Tensor chan_cols(Shape{positions, patch});
-        std::copy(dcols.data() + c * positions * patch,
-                  dcols.data() + (c + 1) * positions * patch, chan_cols.data());
-        const Tensor chan_gx = tensor::col2im(chan_cols, geom_); // (N,1,H,W)
-        for (std::int64_t n = 0; n < batch_; ++n) {
-            const float* src = chan_gx.data() + n * geom_.in_h * geom_.in_w;
-            float* dst = gx.data() + (n * channels_ + c) * geom_.in_h * geom_.in_w;
-            std::copy(src, src + geom_.in_h * geom_.in_w, dst);
+    runtime::parallel_for(0, channels_, 1, [&](std::int64_t cb, std::int64_t ce) {
+        for (std::int64_t c = cb; c < ce; ++c) {
+            Tensor chan_cols(Shape{positions, patch});
+            std::copy(dcols.data() + c * positions * patch,
+                      dcols.data() + (c + 1) * positions * patch, chan_cols.data());
+            const Tensor chan_gx = tensor::col2im(chan_cols, geom_); // (N,1,H,W)
+            for (std::int64_t n = 0; n < batch_; ++n) {
+                const float* src = chan_gx.data() + n * geom_.in_h * geom_.in_w;
+                float* dst =
+                    gx.data() + (n * channels_ + c) * geom_.in_h * geom_.in_w;
+                std::copy(src, src + geom_.in_h * geom_.in_w, dst);
+            }
         }
-    }
+    });
     return gx;
 }
 

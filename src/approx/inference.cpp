@@ -2,6 +2,7 @@
 
 #include "approx/lut_gemm.hpp"
 #include "nn/loss.hpp"
+#include "runtime/parallel.hpp"
 
 #include <algorithm>
 #include <cassert>
@@ -146,29 +147,34 @@ struct ConvOp final : IntInferenceEngine::Op {
         const std::int64_t oh = geom.out_h(), ow = geom.out_w();
 
         // uint8 im2col with zero-point padding (exact hardware behaviour).
+        // Batch images fill disjoint row blocks, so they run in parallel.
         std::vector<std::uint16_t> cols(static_cast<std::size_t>(positions * patch));
         const auto zin = static_cast<std::uint16_t>(x.zero);
-        for (std::int64_t n = 0; n < x.n; ++n) {
-            for (std::int64_t oy = 0; oy < oh; ++oy) {
-                for (std::int64_t ox = 0; ox < ow; ++ox) {
-                    std::uint16_t* row =
-                        cols.data() + ((n * oh + oy) * ow + ox) * patch;
-                    std::int64_t idx = 0;
-                    for (std::int64_t c = 0; c < in_ch; ++c) {
-                        for (std::int64_t ky = 0; ky < kernel; ++ky) {
-                            const std::int64_t iy = oy * stride + ky - pad;
-                            for (std::int64_t kx = 0; kx < kernel; ++kx, ++idx) {
-                                const std::int64_t ix = ox * stride + kx - pad;
-                                row[idx] =
-                                    (iy >= 0 && iy < x.h && ix >= 0 && ix < x.w)
-                                        ? x.data[((n * in_ch + c) * x.h + iy) * x.w + ix]
-                                        : zin;
+        runtime::parallel_for(0, x.n, 1, [&](std::int64_t nb, std::int64_t ne) {
+            for (std::int64_t n = nb; n < ne; ++n) {
+                for (std::int64_t oy = 0; oy < oh; ++oy) {
+                    for (std::int64_t ox = 0; ox < ow; ++ox) {
+                        std::uint16_t* row =
+                            cols.data() + ((n * oh + oy) * ow + ox) * patch;
+                        std::int64_t idx = 0;
+                        for (std::int64_t c = 0; c < in_ch; ++c) {
+                            for (std::int64_t ky = 0; ky < kernel; ++ky) {
+                                const std::int64_t iy = oy * stride + ky - pad;
+                                for (std::int64_t kx = 0; kx < kernel; ++kx, ++idx) {
+                                    const std::int64_t ix = ox * stride + kx - pad;
+                                    row[idx] =
+                                        (iy >= 0 && iy < x.h && ix >= 0 && ix < x.w)
+                                            ? x.data[((n * in_ch + c) * x.h + iy) *
+                                                         x.w +
+                                                     ix]
+                                            : zin;
+                                }
                             }
                         }
                     }
                 }
             }
-        }
+        });
 
         QTensor y;
         y.n = x.n;
@@ -181,33 +187,44 @@ struct ConvOp final : IntInferenceEngine::Op {
 
         const std::int32_t* table = lut->table().data();
         std::vector<std::int64_t> sum_w(static_cast<std::size_t>(out_ch), 0);
-        for (std::int64_t o = 0; o < out_ch; ++o) {
-            std::int64_t s = 0;
-            for (std::int64_t k = 0; k < patch; ++k) s += wq[o * patch + k];
-            sum_w[static_cast<std::size_t>(o)] = s;
-        }
-
-        const std::int64_t spatial = oh * ow;
-        for (std::int64_t p = 0; p < positions; ++p) {
-            const std::uint16_t* xrow = cols.data() + p * patch;
-            std::int64_t sum_x = 0;
-            for (std::int64_t k = 0; k < patch; ++k) sum_x += xrow[k];
-            for (std::int64_t o = 0; o < out_ch; ++o) {
-                const std::uint16_t* wrow = wq.data() + o * patch;
-                std::int64_t acc = 0;
-                for (std::int64_t k = 0; k < patch; ++k)
-                    acc += table[(static_cast<std::uint32_t>(wrow[k]) << bits) | xrow[k]];
-                acc -= static_cast<std::int64_t>(x.zero) * sum_w[static_cast<std::size_t>(o)];
-                acc -= static_cast<std::int64_t>(zero_w) * sum_x;
-                acc += patch * static_cast<std::int64_t>(zero_w) * x.zero;
-                acc += bias_int[static_cast<std::size_t>(o)];
-                std::int32_t v = fixed_point_rescale(acc, requant) + out_zero;
-                if (relu) v = std::max(v, out_zero);
-                v = std::clamp(v, 0, out_qmax);
-                const std::int64_t n = p / spatial, s = p % spatial;
-                y.data[(n * out_ch + o) * spatial + s] = static_cast<std::uint8_t>(v);
+        runtime::parallel_for(0, out_ch, runtime::grain_for(out_ch, 8),
+                              [&](std::int64_t ob, std::int64_t oe) {
+            for (std::int64_t o = ob; o < oe; ++o) {
+                std::int64_t s = 0;
+                for (std::int64_t k = 0; k < patch; ++k) s += wq[o * patch + k];
+                sum_w[static_cast<std::size_t>(o)] = s;
             }
-        }
+        });
+
+        // Each output position writes a disjoint set of y elements, so the
+        // integer GEMM parallelizes over positions without any reduction.
+        const std::int64_t spatial = oh * ow;
+        runtime::parallel_for(0, positions, runtime::grain_for(positions, 4),
+                              [&](std::int64_t pb, std::int64_t pe) {
+            for (std::int64_t p = pb; p < pe; ++p) {
+                const std::uint16_t* xrow = cols.data() + p * patch;
+                std::int64_t sum_x = 0;
+                for (std::int64_t k = 0; k < patch; ++k) sum_x += xrow[k];
+                for (std::int64_t o = 0; o < out_ch; ++o) {
+                    const std::uint16_t* wrow = wq.data() + o * patch;
+                    std::int64_t acc = 0;
+                    for (std::int64_t k = 0; k < patch; ++k)
+                        acc += table[(static_cast<std::uint32_t>(wrow[k]) << bits) |
+                                     xrow[k]];
+                    acc -= static_cast<std::int64_t>(x.zero) *
+                           sum_w[static_cast<std::size_t>(o)];
+                    acc -= static_cast<std::int64_t>(zero_w) * sum_x;
+                    acc += patch * static_cast<std::int64_t>(zero_w) * x.zero;
+                    acc += bias_int[static_cast<std::size_t>(o)];
+                    std::int32_t v = fixed_point_rescale(acc, requant) + out_zero;
+                    if (relu) v = std::max(v, out_zero);
+                    v = std::clamp(v, 0, out_qmax);
+                    const std::int64_t n = p / spatial, s = p % spatial;
+                    y.data[(n * out_ch + o) * spatial + s] =
+                        static_cast<std::uint8_t>(v);
+                }
+            }
+        });
         return y;
     }
 };
@@ -441,12 +458,16 @@ QTensor IntInferenceEngine::quantize_input(const tensor::Tensor& images) const {
     q.zero = input_zero_;
     q.data.resize(static_cast<std::size_t>(q.numel()));
     const float qmax = static_cast<float>((1u << act_bits_) - 1);
-    for (std::int64_t i = 0; i < images.numel(); ++i) {
-        const float v =
-            std::nearbyint(images[i] / input_scale_ + static_cast<float>(input_zero_));
-        q.data[static_cast<std::size_t>(i)] =
-            static_cast<std::uint8_t>(std::clamp(v, 0.0f, qmax));
-    }
+    runtime::parallel_for(0, images.numel(),
+                          runtime::grain_for(images.numel(), 1024),
+                          [&](std::int64_t b, std::int64_t e) {
+        for (std::int64_t i = b; i < e; ++i) {
+            const float v = std::nearbyint(images[i] / input_scale_ +
+                                           static_cast<float>(input_zero_));
+            q.data[static_cast<std::size_t>(i)] =
+                static_cast<std::uint8_t>(std::clamp(v, 0.0f, qmax));
+        }
+    });
     return q;
 }
 

@@ -1,5 +1,7 @@
 #include "approx/lut_gemm.hpp"
 
+#include "runtime/parallel.hpp"
+
 #include <vector>
 
 namespace amret::approx {
@@ -10,38 +12,46 @@ void lut_forward(const LutGemmArgs& args, const float* bias, float* y) {
 
     // Row sums for the Eq. (8) zero-point correction terms.
     std::vector<std::int64_t> sum_w(static_cast<std::size_t>(o_rows), 0);
-    for (std::int64_t i = 0; i < o_rows; ++i) {
-        const std::uint16_t* row = args.wq + i * depth;
-        std::int64_t s = 0;
-        for (std::int64_t kk = 0; kk < depth; ++kk) s += row[kk];
-        sum_w[static_cast<std::size_t>(i)] = s;
-    }
-
-    for (std::int64_t pp = 0; pp < p_rows; ++pp) {
-        const std::uint16_t* xrow = args.xq + pp * depth;
-        std::int64_t sum_x = 0;
-        for (std::int64_t kk = 0; kk < depth; ++kk) sum_x += xrow[kk];
-
-        float* yrow = y + pp * o_rows;
-        for (std::int64_t oo = 0; oo < o_rows; ++oo) {
-            const std::uint16_t* wrow = args.wq + oo * depth;
-            std::int64_t acc = 0;
-            for (std::int64_t kk = 0; kk < depth; ++kk) {
-                acc += args.lut[(static_cast<std::uint32_t>(wrow[kk]) << bits) |
-                                xrow[kk]];
-            }
-            const std::int32_t zw = args.row_zero_w(oo);
-            const float ss = args.row_scale_w(oo) * args.scale_x;
-            const std::int64_t kzz =
-                depth * static_cast<std::int64_t>(zw) * args.zero_x;
-            const std::int64_t corrected = acc -
-                                           static_cast<std::int64_t>(args.zero_x) *
-                                               sum_w[static_cast<std::size_t>(oo)] -
-                                           static_cast<std::int64_t>(zw) * sum_x +
-                                           kzz;
-            yrow[oo] = ss * static_cast<float>(corrected) + (bias ? bias[oo] : 0.0f);
+    runtime::parallel_for(0, o_rows, runtime::grain_for(o_rows, 8),
+                          [&](std::int64_t ob, std::int64_t oe) {
+        for (std::int64_t i = ob; i < oe; ++i) {
+            const std::uint16_t* row = args.wq + i * depth;
+            std::int64_t s = 0;
+            for (std::int64_t kk = 0; kk < depth; ++kk) s += row[kk];
+            sum_w[static_cast<std::size_t>(i)] = s;
         }
-    }
+    });
+
+    // Position rows of y are independent; each chunk owns a row range.
+    runtime::parallel_for(0, p_rows, runtime::grain_for(p_rows, 4),
+                          [&](std::int64_t pb, std::int64_t pe) {
+        for (std::int64_t pp = pb; pp < pe; ++pp) {
+            const std::uint16_t* xrow = args.xq + pp * depth;
+            std::int64_t sum_x = 0;
+            for (std::int64_t kk = 0; kk < depth; ++kk) sum_x += xrow[kk];
+
+            float* yrow = y + pp * o_rows;
+            for (std::int64_t oo = 0; oo < o_rows; ++oo) {
+                const std::uint16_t* wrow = args.wq + oo * depth;
+                std::int64_t acc = 0;
+                for (std::int64_t kk = 0; kk < depth; ++kk) {
+                    acc += args.lut[(static_cast<std::uint32_t>(wrow[kk]) << bits) |
+                                    xrow[kk]];
+                }
+                const std::int32_t zw = args.row_zero_w(oo);
+                const float ss = args.row_scale_w(oo) * args.scale_x;
+                const std::int64_t kzz =
+                    depth * static_cast<std::int64_t>(zw) * args.zero_x;
+                const std::int64_t corrected =
+                    acc -
+                    static_cast<std::int64_t>(args.zero_x) *
+                        sum_w[static_cast<std::size_t>(oo)] -
+                    static_cast<std::int64_t>(zw) * sum_x + kzz;
+                yrow[oo] =
+                    ss * static_cast<float>(corrected) + (bias ? bias[oo] : 0.0f);
+            }
+        }
+    });
 }
 
 void lut_backward(const LutGemmArgs& args, const float* gyp, const float* grad_w_lut,
@@ -50,28 +60,51 @@ void lut_backward(const LutGemmArgs& args, const float* gyp, const float* grad_w
     const unsigned bits = args.bits;
     const float zx = static_cast<float>(args.zero_x);
 
-    for (std::int64_t pp = 0; pp < p_rows; ++pp) {
-        const std::uint16_t* xrow = args.xq + pp * depth;
-        float* gxrow = gx_raw + pp * depth;
-        const float* gyrow = gyp + pp * o_rows;
-        for (std::int64_t oo = 0; oo < o_rows; ++oo) {
-            const float g = gyrow[oo];
-            if (g == 0.0f) continue;
-            // The row's weight scale is folded into the activation-gradient
-            // contribution here, since it varies per output channel in
-            // per-channel mode.
-            const float zw = static_cast<float>(args.row_zero_w(oo));
-            const float gx_scale = args.row_scale_w(oo);
-            const std::uint16_t* wrow = args.wq + oo * depth;
-            float* gwrow = gw_raw + oo * depth;
-            for (std::int64_t kk = 0; kk < depth; ++kk) {
-                const std::uint32_t idx =
-                    (static_cast<std::uint32_t>(wrow[kk]) << bits) | xrow[kk];
-                gwrow[kk] += g * (grad_w_lut[idx] - zx);
-                gxrow[kk] += g * gx_scale * (grad_x_lut[idx] - zw);
+    // Activation gradients: each position row of gx is owned by one chunk.
+    runtime::parallel_for(0, p_rows, runtime::grain_for(p_rows, 4),
+                          [&](std::int64_t pb, std::int64_t pe) {
+        for (std::int64_t pp = pb; pp < pe; ++pp) {
+            const std::uint16_t* xrow = args.xq + pp * depth;
+            float* gxrow = gx_raw + pp * depth;
+            const float* gyrow = gyp + pp * o_rows;
+            for (std::int64_t oo = 0; oo < o_rows; ++oo) {
+                const float g = gyrow[oo];
+                if (g == 0.0f) continue;
+                // The row's weight scale is folded into the activation-gradient
+                // contribution here, since it varies per output channel in
+                // per-channel mode.
+                const float zw = static_cast<float>(args.row_zero_w(oo));
+                const float gx_scale = args.row_scale_w(oo);
+                const std::uint16_t* wrow = args.wq + oo * depth;
+                for (std::int64_t kk = 0; kk < depth; ++kk) {
+                    const std::uint32_t idx =
+                        (static_cast<std::uint32_t>(wrow[kk]) << bits) | xrow[kk];
+                    gxrow[kk] += g * gx_scale * (grad_x_lut[idx] - zw);
+                }
             }
         }
-    }
+    });
+
+    // Weight gradients: iterate output channels outermost so each gw row is
+    // owned by one chunk. The per-row accumulation over positions runs in
+    // ascending pp order, matching the serial kernel bit for bit.
+    runtime::parallel_for(0, o_rows, runtime::grain_for(o_rows, 1),
+                          [&](std::int64_t ob, std::int64_t oe) {
+        for (std::int64_t oo = ob; oo < oe; ++oo) {
+            const std::uint16_t* wrow = args.wq + oo * depth;
+            float* gwrow = gw_raw + oo * depth;
+            for (std::int64_t pp = 0; pp < p_rows; ++pp) {
+                const float g = gyp[pp * o_rows + oo];
+                if (g == 0.0f) continue;
+                const std::uint16_t* xrow = args.xq + pp * depth;
+                for (std::int64_t kk = 0; kk < depth; ++kk) {
+                    const std::uint32_t idx =
+                        (static_cast<std::uint32_t>(wrow[kk]) << bits) | xrow[kk];
+                    gwrow[kk] += g * (grad_w_lut[idx] - zx);
+                }
+            }
+        }
+    });
 }
 
 } // namespace amret::approx

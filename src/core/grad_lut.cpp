@@ -1,5 +1,7 @@
 #include "core/grad_lut.hpp"
 
+#include "runtime/parallel.hpp"
+
 #include <cassert>
 #include <fstream>
 
@@ -59,12 +61,17 @@ GradLut GradLut::load(const std::string& path) {
 GradLut build_ste_grad(unsigned bits) {
     const std::uint64_t n = std::uint64_t{1} << bits;
     std::vector<float> d_dw(n * n), d_dx(n * n);
-    for (std::uint64_t w = 0; w < n; ++w) {
-        for (std::uint64_t x = 0; x < n; ++x) {
-            d_dw[(w << bits) | x] = static_cast<float>(x);
-            d_dx[(w << bits) | x] = static_cast<float>(w);
+    const auto rows = static_cast<std::int64_t>(n);
+    runtime::parallel_for(0, rows, runtime::grain_for(rows, 8),
+                          [&](std::int64_t wb, std::int64_t we) {
+        for (std::int64_t wi = wb; wi < we; ++wi) {
+            const auto w = static_cast<std::uint64_t>(wi);
+            for (std::uint64_t x = 0; x < n; ++x) {
+                d_dw[(w << bits) | x] = static_cast<float>(x);
+                d_dx[(w << bits) | x] = static_cast<float>(w);
+            }
         }
-    }
+    });
     return GradLut(bits, std::move(d_dw), std::move(d_dx));
 }
 
@@ -76,19 +83,26 @@ void fill_from_rows(const appmult::AppMultLut& lut, unsigned hws, bool transpose
                     std::vector<float>& out) {
     const unsigned bits = lut.bits();
     const std::uint64_t n = lut.domain();
-    std::vector<double> row(n);
-    for (std::uint64_t fixed = 0; fixed < n; ++fixed) {
-        for (std::uint64_t v = 0; v < n; ++v) {
-            row[v] = transpose ? static_cast<double>(lut(v, fixed))
-                               : static_cast<double>(lut(fixed, v));
+    const auto rows = static_cast<std::int64_t>(n);
+    // Each `fixed` row writes a disjoint slice of `out`; the scratch row
+    // buffer lives inside the chunk so chunks never share state.
+    runtime::parallel_for(0, rows, runtime::grain_for(rows, 4),
+                          [&](std::int64_t fb, std::int64_t fe) {
+        std::vector<double> row(n);
+        for (std::int64_t fi = fb; fi < fe; ++fi) {
+            const auto fixed = static_cast<std::uint64_t>(fi);
+            for (std::uint64_t v = 0; v < n; ++v) {
+                row[v] = transpose ? static_cast<double>(lut(v, fixed))
+                                   : static_cast<double>(lut(fixed, v));
+            }
+            const std::vector<double> grad = difference_gradient_row(row, hws);
+            for (std::uint64_t v = 0; v < n; ++v) {
+                const std::uint64_t idx =
+                    transpose ? ((v << bits) | fixed) : ((fixed << bits) | v);
+                out[idx] = static_cast<float>(grad[v]);
+            }
         }
-        const std::vector<double> grad = difference_gradient_row(row, hws);
-        for (std::uint64_t v = 0; v < n; ++v) {
-            const std::uint64_t idx =
-                transpose ? ((v << bits) | fixed) : ((fixed << bits) | v);
-            out[idx] = static_cast<float>(grad[v]);
-        }
-    }
+    });
 }
 
 } // namespace
@@ -135,25 +149,35 @@ GenericGradTables build_difference_grad_generic(
     const BoundaryRule rule =
         lo < 0 ? BoundaryRule::kSignedSlope : BoundaryRule::kPaperEq6;
 
-    std::vector<double> row(n);
-    // d/dx rows: w fixed.
-    for (std::size_t wi = 0; wi < n; ++wi) {
-        const std::int64_t w = lo + static_cast<std::int64_t>(wi);
-        for (std::size_t xi = 0; xi < n; ++xi)
-            row[xi] = fn(w, lo + static_cast<std::int64_t>(xi));
-        const auto grad = difference_gradient_row(row, hws, rule);
-        for (std::size_t xi = 0; xi < n; ++xi)
-            tables.d_dx[wi * n + xi] = static_cast<float>(grad[xi]);
-    }
-    // d/dw rows: x fixed.
-    for (std::size_t xi = 0; xi < n; ++xi) {
-        const std::int64_t x = lo + static_cast<std::int64_t>(xi);
-        for (std::size_t wi = 0; wi < n; ++wi)
-            row[wi] = fn(lo + static_cast<std::int64_t>(wi), x);
-        const auto grad = difference_gradient_row(row, hws, rule);
-        for (std::size_t wi = 0; wi < n; ++wi)
-            tables.d_dw[wi * n + xi] = static_cast<float>(grad[wi]);
-    }
+    const auto rows = static_cast<std::int64_t>(n);
+    // d/dx rows: w fixed. Each wi writes its own d_dx row.
+    runtime::parallel_for(0, rows, runtime::grain_for(rows, 4),
+                          [&](std::int64_t wb, std::int64_t we) {
+        std::vector<double> row(n);
+        for (std::int64_t wv = wb; wv < we; ++wv) {
+            const auto wi = static_cast<std::size_t>(wv);
+            const std::int64_t w = lo + static_cast<std::int64_t>(wi);
+            for (std::size_t xi = 0; xi < n; ++xi)
+                row[xi] = fn(w, lo + static_cast<std::int64_t>(xi));
+            const auto grad = difference_gradient_row(row, hws, rule);
+            for (std::size_t xi = 0; xi < n; ++xi)
+                tables.d_dx[wi * n + xi] = static_cast<float>(grad[xi]);
+        }
+    });
+    // d/dw rows: x fixed. Each xi writes its own d_dw column.
+    runtime::parallel_for(0, rows, runtime::grain_for(rows, 4),
+                          [&](std::int64_t xb, std::int64_t xe) {
+        std::vector<double> row(n);
+        for (std::int64_t xv = xb; xv < xe; ++xv) {
+            const auto xi = static_cast<std::size_t>(xv);
+            const std::int64_t x = lo + static_cast<std::int64_t>(xi);
+            for (std::size_t wi = 0; wi < n; ++wi)
+                row[wi] = fn(lo + static_cast<std::int64_t>(wi), x);
+            const auto grad = difference_gradient_row(row, hws, rule);
+            for (std::size_t wi = 0; wi < n; ++wi)
+                tables.d_dw[wi * n + xi] = static_cast<float>(grad[wi]);
+        }
+    });
     return tables;
 }
 
@@ -163,10 +187,15 @@ GradLut build_blended_grad(const appmult::AppMultLut& lut, unsigned hws,
     const GradLut diff = build_difference_grad(lut, hws);
     const GradLut ste = build_ste_grad(lut.bits());
     std::vector<float> dw(diff.dw_table().size()), dx(diff.dx_table().size());
-    for (std::size_t i = 0; i < dw.size(); ++i) {
-        dw[i] = alpha * diff.dw_table()[i] + (1.0f - alpha) * ste.dw_table()[i];
-        dx[i] = alpha * diff.dx_table()[i] + (1.0f - alpha) * ste.dx_table()[i];
-    }
+    const auto total = static_cast<std::int64_t>(dw.size());
+    runtime::parallel_for(0, total, runtime::grain_for(total, 1024),
+                          [&](std::int64_t b, std::int64_t e) {
+        for (std::int64_t iv = b; iv < e; ++iv) {
+            const auto i = static_cast<std::size_t>(iv);
+            dw[i] = alpha * diff.dw_table()[i] + (1.0f - alpha) * ste.dw_table()[i];
+            dx[i] = alpha * diff.dx_table()[i] + (1.0f - alpha) * ste.dx_table()[i];
+        }
+    });
     return GradLut(lut.bits(), std::move(dw), std::move(dx));
 }
 

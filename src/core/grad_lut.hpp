@@ -95,6 +95,8 @@ struct GenericGradTables {
     std::vector<float> d_dw;
     std::vector<float> d_dx;
 };
+/// `fn` is sampled row-parallel and must tolerate concurrent calls (pure
+/// functions and stateless behavioural models qualify).
 GenericGradTables build_difference_grad_generic(
     std::int64_t lo, std::size_t n,
     const std::function<double(std::int64_t w, std::int64_t x)>& fn, unsigned hws);

@@ -1,0 +1,96 @@
+#include "runtime/thread_pool.hpp"
+
+#include <stdexcept>
+
+namespace amret::runtime {
+
+namespace {
+/// The pool whose chunk this thread is currently executing (nullptr outside
+/// chunk bodies). Used to reject nested run() calls without a lock.
+thread_local const ThreadPool* t_executing_pool = nullptr;
+} // namespace
+
+ThreadPool::ThreadPool(unsigned workers) {
+    threads_.reserve(workers);
+    for (unsigned i = 0; i < workers; ++i)
+        threads_.emplace_back([this](std::stop_token stop) { worker_loop(stop); });
+}
+
+ThreadPool::~ThreadPool() {
+    for (auto& t : threads_) t.request_stop();
+    // jthread destructors join; condition_variable_any wakes on stop request.
+}
+
+bool ThreadPool::active_on_this_thread() const { return t_executing_pool == this; }
+
+void ThreadPool::execute_chunks(Job& job) {
+    const ThreadPool* previous = t_executing_pool;
+    t_executing_pool = this;
+    while (true) {
+        const std::size_t i = job.next.fetch_add(1, std::memory_order_relaxed);
+        if (i >= job.chunks) break;
+        if (!job.cancelled.load(std::memory_order_relaxed)) {
+            try {
+                (*job.fn)(i);
+            } catch (...) {
+                std::lock_guard<std::mutex> lock(job.error_mutex);
+                if (!job.error) job.error = std::current_exception();
+                job.cancelled.store(true, std::memory_order_relaxed);
+            }
+        }
+        job.completed.fetch_add(1, std::memory_order_acq_rel);
+    }
+    t_executing_pool = previous;
+}
+
+void ThreadPool::worker_loop(std::stop_token stop) {
+    std::uint64_t seen = 0;
+    std::unique_lock<std::mutex> lock(mutex_);
+    while (true) {
+        if (!cv_.wait(lock, stop, [&] { return generation_ != seen; })) return;
+        seen = generation_;
+        Job* job = job_;
+        if (job == nullptr) continue; // the job drained before we woke
+        ++job->inflight;
+        lock.unlock();
+        execute_chunks(*job);
+        lock.lock();
+        --job->inflight;
+        if (job->inflight == 0 &&
+            job->completed.load(std::memory_order_acquire) == job->chunks)
+            done_cv_.notify_all();
+    }
+}
+
+void ThreadPool::run(std::size_t chunks, const std::function<void(std::size_t)>& fn) {
+    if (active_on_this_thread())
+        throw std::logic_error(
+            "runtime::ThreadPool: nested run() from inside a chunk is rejected");
+    if (chunks == 0) return;
+
+    Job job;
+    job.fn = &fn;
+    job.chunks = chunks;
+
+    std::unique_lock<std::mutex> lock(mutex_);
+    idle_cv_.wait(lock, [&] { return job_ == nullptr; });
+    job_ = &job;
+    ++generation_;
+    lock.unlock();
+    cv_.notify_all();
+
+    execute_chunks(job); // the calling thread is one of the lanes
+
+    lock.lock();
+    done_cv_.wait(lock, [&] {
+        return job.inflight == 0 &&
+               job.completed.load(std::memory_order_acquire) == job.chunks;
+    });
+    job_ = nullptr;
+    lock.unlock();
+    idle_cv_.notify_one();
+
+    if (job.error) std::rethrow_exception(job.error);
+}
+
+} // namespace amret::runtime

@@ -1,0 +1,79 @@
+/// \file thread_pool.hpp
+/// \brief Fixed-size worker pool executing chunk-indexed jobs.
+///
+/// Deliberately work-stealing-free: a job is a contiguous range of chunk
+/// indices handed out through an atomic cursor, so the only scheduling
+/// freedom is *which thread* runs a chunk — never *what* a chunk computes.
+/// Combined with the deterministic chunk decomposition in parallel.hpp this
+/// makes every parallel result bitwise-identical at any thread count.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace amret::runtime {
+
+/// Pool of std::jthread workers. One job runs at a time; the thread calling
+/// run() participates in chunk execution, so a pool of W workers provides
+/// W + 1 lanes of parallelism.
+class ThreadPool {
+public:
+    /// Spawns \p workers worker threads (0 is allowed: run() then executes
+    /// every chunk on the calling thread).
+    explicit ThreadPool(unsigned workers);
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool&) = delete;
+    ThreadPool& operator=(const ThreadPool&) = delete;
+
+    /// Number of worker threads (excluding the caller of run()).
+    [[nodiscard]] unsigned workers() const {
+        return static_cast<unsigned>(threads_.size());
+    }
+
+    /// Executes fn(chunk) for every chunk in [0, chunks), blocking until all
+    /// chunks have finished. Chunks are claimed through an atomic cursor, so
+    /// each index runs exactly once. If a chunk throws, remaining chunks are
+    /// skipped (claimed but not executed) and the first exception is
+    /// rethrown here once the job has drained.
+    ///
+    /// Nested parallelism is rejected: calling run() from inside a chunk of
+    /// this pool (on any thread) throws std::logic_error. Callers that want
+    /// nested loops to degrade gracefully should use runtime::parallel_for,
+    /// which serializes inner regions instead.
+    void run(std::size_t chunks, const std::function<void(std::size_t)>& fn);
+
+    /// True while the current thread is executing a chunk of this pool.
+    [[nodiscard]] bool active_on_this_thread() const;
+
+private:
+    struct Job {
+        const std::function<void(std::size_t)>* fn = nullptr;
+        std::size_t chunks = 0;
+        std::atomic<std::size_t> next{0};      ///< chunk-claim cursor
+        std::atomic<std::size_t> completed{0}; ///< chunks finished or skipped
+        std::atomic<bool> cancelled{false};    ///< set on first exception
+        std::size_t inflight = 0;              ///< workers inside the job (guarded by mutex_)
+        std::exception_ptr error;              ///< first exception (guarded by error_mutex)
+        std::mutex error_mutex;
+    };
+
+    void worker_loop(std::stop_token stop);
+    void execute_chunks(Job& job);
+
+    std::mutex mutex_;
+    std::condition_variable_any cv_;   ///< wakes workers on a new job
+    std::condition_variable done_cv_;  ///< wakes run() when a job drains
+    std::condition_variable idle_cv_;  ///< serializes concurrent run() calls
+    Job* job_ = nullptr;               ///< current job (guarded by mutex_)
+    std::uint64_t generation_ = 0;     ///< bumped per job (guarded by mutex_)
+    std::vector<std::jthread> threads_;
+};
+
+} // namespace amret::runtime

@@ -2,7 +2,10 @@
 
 #include "approx/approx_conv.hpp"
 #include "core/grad_lut.hpp"
+#include "runtime/parallel.hpp"
 #include "util/logging.hpp"
+
+#include <cstddef>
 
 namespace amret::train {
 
@@ -13,7 +16,9 @@ core::HwsSelection search_hws(const appmult::AppMultLut& lut,
 
     auto loss_for_hws = [&](unsigned hws) -> double {
         // Fresh LeNet with identical initialization for every candidate so
-        // the comparison isolates the gradient table.
+        // the comparison isolates the gradient table. Each candidate owns its
+        // model, gradient table, and trainer (with its own seeded loader), so
+        // candidates are independent and safe to evaluate concurrently.
         auto model = models::make_lenet(config.lenet);
         approx::MultiplierConfig mc;
         mc.lut = shared_lut;
@@ -27,7 +32,23 @@ core::HwsSelection search_hws(const appmult::AppMultLut& lut,
         return loss;
     };
 
-    return core::select_hws(config.candidates, loss_for_hws);
+    // Candidate-parallel sweep: train every candidate up front (each one is
+    // self-contained, so the losses are identical at any thread count), then
+    // replay the cached losses through select_hws so tie-breaking follows the
+    // serial candidate order and the selected HWS is unchanged.
+    const auto n_cand = static_cast<std::int64_t>(config.candidates.size());
+    std::vector<double> losses(config.candidates.size(), 0.0);
+    runtime::parallel_for(0, n_cand, 1, [&](std::int64_t cb, std::int64_t ce) {
+        for (std::int64_t c = cb; c < ce; ++c) {
+            losses[static_cast<std::size_t>(c)] =
+                loss_for_hws(config.candidates[static_cast<std::size_t>(c)]);
+        }
+    });
+
+    std::size_t cursor = 0;
+    return core::select_hws(config.candidates, [&](unsigned) -> double {
+        return losses[cursor++];
+    });
 }
 
 } // namespace amret::train

@@ -1,11 +1,19 @@
 #include "util/logging.hpp"
 
+#include <atomic>
 #include <cstdio>
+#include <mutex>
 
 namespace amret::util {
 
 namespace {
-LogLevel g_level = LogLevel::kInfo;
+std::atomic<LogLevel> g_level{LogLevel::kInfo};
+
+/// Serializes sink writes so lines from concurrent workers never interleave.
+std::mutex& sink_mutex() {
+    static std::mutex m;
+    return m;
+}
 
 const char* level_name(LogLevel level) {
     switch (level) {
@@ -19,11 +27,12 @@ const char* level_name(LogLevel level) {
 }
 } // namespace
 
-void set_log_level(LogLevel level) { g_level = level; }
-LogLevel log_level() { return g_level; }
+void set_log_level(LogLevel level) { g_level.store(level, std::memory_order_relaxed); }
+LogLevel log_level() { return g_level.load(std::memory_order_relaxed); }
 
 void log_line(LogLevel level, const std::string& message) {
-    if (level < g_level) return;
+    if (level < log_level()) return;
+    const std::lock_guard<std::mutex> lock(sink_mutex());
     std::fprintf(stderr, "[%s] %s\n", level_name(level), message.c_str());
 }
 

@@ -17,7 +17,8 @@ void set_log_level(LogLevel level);
 LogLevel log_level();
 
 /// Emits one line to stderr with a level prefix if \p level passes the
-/// threshold. Thread-compatible (amret is single-threaded by design).
+/// threshold. Thread-safe: concurrent callers (e.g. chunks inside
+/// runtime::parallel_for) never interleave within a line.
 void log_line(LogLevel level, const std::string& message);
 
 namespace detail {

@@ -25,6 +25,18 @@ void Rng::reseed(std::uint64_t seed) {
     has_cached_normal_ = false;
 }
 
+Rng Rng::split(std::uint64_t stream_id) const {
+    // Mix the parent state with the stream id through splitmix64 so children
+    // of different streams (and of different parents) are decorrelated. The
+    // parent is not advanced, so splitting is order-independent.
+    std::uint64_t s = state_[0] ^ rotl(state_[1], 13) ^ rotl(state_[2], 29) ^
+                      rotl(state_[3], 43);
+    s ^= splitmix64(stream_id); // stream_id advanced by value, parent untouched
+    Rng child;
+    child.reseed(splitmix64(s));
+    return child;
+}
+
 Rng::result_type Rng::operator()() {
     const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
     const std::uint64_t t = state_[1] << 17;

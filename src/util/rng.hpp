@@ -25,6 +25,12 @@ public:
     /// Re-seeds in place; same semantics as constructing with \p seed.
     void reseed(std::uint64_t seed);
 
+    /// Derives an independent child generator for stream \p stream_id without
+    /// advancing this generator. Deterministic: the same (state, stream_id)
+    /// pair always yields the same child, so parallel workers that split by
+    /// their chunk index reproduce serial runs exactly.
+    Rng split(std::uint64_t stream_id) const;
+
     static constexpr result_type min() { return 0; }
     static constexpr result_type max() { return std::numeric_limits<result_type>::max(); }
 

@@ -1,0 +1,253 @@
+// End-to-end determinism tests for the parallel runtime: forward, backward,
+// gradient-table construction, integer inference and the HWS sweep must be
+// bitwise-identical at 1, 2 and 8 threads. Any mismatch means a kernel
+// violated the chunk-ownership / ordered-reduction contract in
+// runtime/parallel.hpp.
+#include "appmult/registry.hpp"
+#include "approx/approx_conv.hpp"
+#include "approx/depthwise.hpp"
+#include "approx/inference.hpp"
+#include "core/grad_lut.hpp"
+#include "data/dataset.hpp"
+#include "models/models.hpp"
+#include "runtime/parallel.hpp"
+#include "train/hws_search.hpp"
+#include "util/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <vector>
+
+namespace {
+
+using namespace amret;
+using approx::ApproxConv2d;
+using approx::ApproxLinear;
+using approx::ComputeMode;
+using approx::DepthwiseConv2d;
+using approx::MultiplierConfig;
+using tensor::Shape;
+using tensor::Tensor;
+
+constexpr unsigned kThreadCounts[] = {1, 2, 8};
+
+class DeterminismTest : public ::testing::Test {
+protected:
+    void TearDown() override { runtime::set_num_threads(1); }
+};
+
+MultiplierConfig diff_config(const std::string& name, unsigned hws) {
+    auto& reg = appmult::Registry::instance();
+    MultiplierConfig config;
+    config.lut = std::make_shared<appmult::AppMultLut>(reg.lut(name));
+    config.grad = std::make_shared<core::GradLut>(
+        core::build_difference_grad(*config.lut, hws));
+    return config;
+}
+
+Tensor random_tensor(const Shape& shape, std::uint64_t seed) {
+    util::Rng rng(seed);
+    Tensor t(shape);
+    for (std::int64_t i = 0; i < t.numel(); ++i)
+        t[i] = static_cast<float>(rng.uniform(-1.0, 1.0));
+    return t;
+}
+
+void expect_bitwise_equal(const Tensor& a, const Tensor& b, const char* what,
+                          unsigned threads) {
+    ASSERT_EQ(a.numel(), b.numel()) << what;
+    EXPECT_EQ(std::memcmp(a.data(), b.data(),
+                          static_cast<std::size_t>(a.numel()) * sizeof(float)),
+              0)
+        << what << " differs at threads=" << threads;
+}
+
+/// Forward + backward of one quantized conv layer; returns (y, gx, gw, gb).
+struct ConvResult {
+    Tensor y, gx, gw, gb;
+};
+
+ConvResult run_conv(unsigned threads, bool per_channel) {
+    runtime::set_num_threads(threads);
+    util::Rng rng(5);
+    ApproxConv2d conv(3, 8, 3, 1, 1, rng);
+    conv.set_per_channel_weights(per_channel);
+    conv.set_multiplier(diff_config("mul6u_rm4", 2));
+    conv.set_mode(ComputeMode::kQuantized);
+    conv.zero_grad();
+
+    const Tensor x = random_tensor(Shape{2, 3, 10, 10}, 11);
+    ConvResult r;
+    r.y = conv.forward(x);
+    const Tensor gy = random_tensor(r.y.shape(), 13);
+    r.gx = conv.backward(gy);
+    r.gw = conv.weight.grad;
+    r.gb = conv.bias.grad;
+    return r;
+}
+
+TEST_F(DeterminismTest, QuantizedConvForwardBackwardBitwiseEqual) {
+    for (const bool per_channel : {false, true}) {
+        const ConvResult ref = run_conv(1, per_channel);
+        for (const unsigned t : kThreadCounts) {
+            const ConvResult got = run_conv(t, per_channel);
+            expect_bitwise_equal(got.y, ref.y, "conv y", t);
+            expect_bitwise_equal(got.gx, ref.gx, "conv gx", t);
+            expect_bitwise_equal(got.gw, ref.gw, "conv gw", t);
+            expect_bitwise_equal(got.gb, ref.gb, "conv gb", t);
+        }
+    }
+}
+
+ConvResult run_linear(unsigned threads) {
+    runtime::set_num_threads(threads);
+    util::Rng rng(7);
+    ApproxLinear linear(24, 10, rng);
+    linear.set_multiplier(diff_config("mul6u_rm4", 2));
+    linear.set_mode(ComputeMode::kQuantized);
+    linear.zero_grad();
+
+    const Tensor x = random_tensor(Shape{16, 24}, 17);
+    ConvResult r;
+    r.y = linear.forward(x);
+    const Tensor gy = random_tensor(r.y.shape(), 19);
+    r.gx = linear.backward(gy);
+    r.gw = linear.weight.grad;
+    r.gb = linear.bias.grad;
+    return r;
+}
+
+TEST_F(DeterminismTest, QuantizedLinearForwardBackwardBitwiseEqual) {
+    const ConvResult ref = run_linear(1);
+    for (const unsigned t : kThreadCounts) {
+        const ConvResult got = run_linear(t);
+        expect_bitwise_equal(got.y, ref.y, "linear y", t);
+        expect_bitwise_equal(got.gx, ref.gx, "linear gx", t);
+        expect_bitwise_equal(got.gw, ref.gw, "linear gw", t);
+        expect_bitwise_equal(got.gb, ref.gb, "linear gb", t);
+    }
+}
+
+ConvResult run_depthwise(unsigned threads, ComputeMode mode) {
+    runtime::set_num_threads(threads);
+    util::Rng rng(9);
+    DepthwiseConv2d conv(6, 3, 1, 1, rng);
+    conv.set_multiplier(diff_config("mul6u_rm4", 2));
+    conv.set_mode(mode);
+    conv.zero_grad();
+
+    const Tensor x = random_tensor(Shape{2, 6, 9, 9}, 23);
+    ConvResult r;
+    r.y = conv.forward(x);
+    const Tensor gy = random_tensor(r.y.shape(), 29);
+    r.gx = conv.backward(gy);
+    r.gw = conv.weight.grad;
+    r.gb = conv.bias.grad;
+    return r;
+}
+
+TEST_F(DeterminismTest, DepthwiseForwardBackwardBitwiseEqual) {
+    for (const auto mode : {ComputeMode::kFloat, ComputeMode::kQuantized}) {
+        const ConvResult ref = run_depthwise(1, mode);
+        for (const unsigned t : kThreadCounts) {
+            const ConvResult got = run_depthwise(t, mode);
+            expect_bitwise_equal(got.y, ref.y, "depthwise y", t);
+            expect_bitwise_equal(got.gx, ref.gx, "depthwise gx", t);
+            expect_bitwise_equal(got.gw, ref.gw, "depthwise gw", t);
+            expect_bitwise_equal(got.gb, ref.gb, "depthwise gb", t);
+        }
+    }
+}
+
+TEST_F(DeterminismTest, GradientTablesBitwiseEqual) {
+    auto& reg = appmult::Registry::instance();
+    const auto& lut = reg.lut("mul7u_rm6");
+    runtime::set_num_threads(1);
+    const core::GradLut ref = core::build_difference_grad(lut, 4);
+    for (const unsigned t : kThreadCounts) {
+        runtime::set_num_threads(t);
+        const core::GradLut got = core::build_difference_grad(lut, 4);
+        ASSERT_EQ(got.dw_table().size(), ref.dw_table().size());
+        EXPECT_EQ(std::memcmp(got.dw_table().data(), ref.dw_table().data(),
+                              ref.dw_table().size() * sizeof(float)),
+                  0)
+            << "d_dw threads=" << t;
+        EXPECT_EQ(std::memcmp(got.dx_table().data(), ref.dx_table().data(),
+                              ref.dx_table().size() * sizeof(float)),
+                  0)
+            << "d_dx threads=" << t;
+    }
+}
+
+data::DatasetPair tiny_data() {
+    data::SyntheticConfig config;
+    config.num_classes = 4;
+    config.height = config.width = 8;
+    config.train_samples = 64;
+    config.test_samples = 32;
+    config.noise_stddev = 0.25f;
+    config.max_shift = 1;
+    config.seed = 9;
+    return data::make_synthetic(config);
+}
+
+models::ModelConfig tiny_lenet_config() {
+    models::ModelConfig mc;
+    mc.in_size = 8;
+    mc.num_classes = 4;
+    mc.width_mult = 0.25f;
+    return mc;
+}
+
+TEST_F(DeterminismTest, HwsSweepSelectionBitwiseEqual) {
+    const auto pair = tiny_data();
+    auto& reg = appmult::Registry::instance();
+    const auto& lut = reg.lut("mul6u_rm4");
+
+    train::HwsSearchConfig config;
+    config.candidates = {1, 4, 16};
+    config.epochs = 1;
+    config.lenet = tiny_lenet_config();
+    config.train.epochs = 1;
+    config.train.batch_size = 16;
+    config.train.lr = 3e-3;
+
+    runtime::set_num_threads(1);
+    const auto ref = train::search_hws(lut, pair.train, config);
+    for (const unsigned t : kThreadCounts) {
+        runtime::set_num_threads(t);
+        const auto got = train::search_hws(lut, pair.train, config);
+        EXPECT_EQ(got.best_hws, ref.best_hws) << "threads=" << t;
+        EXPECT_EQ(got.best_loss, ref.best_loss) << "threads=" << t;
+        ASSERT_EQ(got.losses.size(), ref.losses.size());
+        for (std::size_t i = 0; i < ref.losses.size(); ++i) {
+            EXPECT_EQ(got.losses[i].first, ref.losses[i].first);
+            EXPECT_EQ(got.losses[i].second, ref.losses[i].second)
+                << "candidate " << ref.losses[i].first << " threads=" << t;
+        }
+    }
+}
+
+Tensor int_inference_logits(unsigned threads, nn::Sequential& model,
+                            const data::Dataset& calib, const Tensor& images) {
+    runtime::set_num_threads(threads);
+    approx::IntInferenceEngine engine(model, calib, 32);
+    return engine.forward(images);
+}
+
+TEST_F(DeterminismTest, IntInferenceLogitsBitwiseEqual) {
+    const auto pair = tiny_data();
+    runtime::set_num_threads(1);
+    auto model = models::make_lenet(tiny_lenet_config());
+    model->set_training(false);
+    const Tensor images = random_tensor(Shape{4, 3, 8, 8}, 31);
+
+    const Tensor ref = int_inference_logits(1, *model, pair.train, images);
+    for (const unsigned t : kThreadCounts) {
+        const Tensor got = int_inference_logits(t, *model, pair.train, images);
+        expect_bitwise_equal(got, ref, "int logits", t);
+    }
+}
+
+} // namespace

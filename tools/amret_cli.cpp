@@ -163,7 +163,9 @@ void usage() {
         "  lut     <name> --out f.bin   export product LUT\n"
         "  grad    <name> [--hws N] --out f.bin  export gradient tables\n"
         "  synth   --bits B --nmed P [--out f.v] approximate synthesis\n"
-        "  profile <name>               structural error profile\n",
+        "  profile <name>               structural error profile\n"
+        "global flags:\n"
+        "  --threads N                  worker threads (0 = auto; env AMRET_THREADS)\n",
         stderr);
 }
 
@@ -178,6 +180,9 @@ int main(int argc, char** argv) {
     const std::string command = args.positional()[0];
     const std::string name = args.positional().size() > 1 ? args.positional()[1] : "";
     const std::string out = args.get("out", "");
+    // 0 keeps the runtime default (AMRET_THREADS env, else hardware threads).
+    const long threads = args.get_int("threads", 0, "AMRET_THREADS");
+    if (threads > 0) runtime::set_num_threads(static_cast<unsigned>(threads));
 
     if (command == "list") return cmd_list();
     if (command == "info") return cmd_info(name);
