@@ -1,0 +1,41 @@
+#!/usr/bin/env bash
+# One-command CI gate: release build, tier-1 tests, static verification of
+# every registered multiplier, and (when clang-tidy is available) lint.
+#
+#   scripts/check.sh            # build + ctest + amret_cli check [+ lint]
+#   scripts/check.sh --no-lint  # skip the clang-tidy pass even if available
+#
+# Exits nonzero on the first failing stage.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+run_lint=1
+for arg in "$@"; do
+  case "$arg" in
+    --no-lint) run_lint=0 ;;
+    *) echo "unknown option: $arg" >&2; exit 2 ;;
+  esac
+done
+
+jobs=$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 4)
+
+echo "=== configure + build (release) ==="
+cmake --preset release
+cmake --build --preset release -j "$jobs"
+
+echo "=== tier-1 tests ==="
+ctest --preset release -j "$jobs"
+
+echo "=== static verification of the multiplier registry ==="
+./build/tools/amret_cli check
+
+if [ "$run_lint" -eq 1 ] && command -v clang-tidy >/dev/null 2>&1; then
+  echo "=== clang-tidy (lint preset) ==="
+  cmake --preset lint
+  cmake --build --preset lint -j "$jobs"
+else
+  echo "=== clang-tidy not available or skipped; lint stage omitted ==="
+fi
+
+echo "all checks passed"

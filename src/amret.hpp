@@ -44,6 +44,10 @@
 #include "train/hws_search.hpp"        // LeNet-based HWS sweep
 #include "train/pipeline.hpp"          // Fig. 1 retraining flow
 #include "train/trainer.hpp"           // training loop
+#include "verify/diagnostics.hpp"     // typed static-analysis findings
+#include "verify/lut_check.hpp"        // product/gradient LUT invariants
+#include "verify/netlist_check.hpp"    // netlist structural checks
+#include "verify/verify.hpp"           // whole-registry verification
 #include "util/args.hpp"
 #include "util/logging.hpp"
 #include "util/rng.hpp"

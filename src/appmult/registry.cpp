@@ -134,18 +134,40 @@ std::string cache_path_for(const MultiplierInfo& info) {
 
 } // namespace
 
+namespace {
+
+/// Structural gate run on every circuit entering the registry: topological
+/// order (the invariant sim/STA/techmap rely on) and the multiplier port
+/// contract. Generators violating it are bugs, cached files violating it
+/// are corruption; both must not reach simulation silently.
+bool circuit_is_well_formed(const netlist::Netlist& nl, unsigned bits) {
+    return nl.is_topologically_ordered() &&
+           nl.num_inputs() == 2 * static_cast<std::size_t>(bits) &&
+           nl.num_outputs() == 2 * static_cast<std::size_t>(bits);
+}
+
+} // namespace
+
 void Registry::build_circuit(Entry& e) {
     if (e.circuit.has_value()) return;
     if (e.info.construction == Construction::kSpec) {
         e.circuit = multgen::build_netlist(e.info.spec);
+        if (!circuit_is_well_formed(*e.circuit, e.info.bits))
+            throw std::runtime_error("registry: generated netlist for '" +
+                                     e.info.name + "' is malformed");
         return;
     }
     const std::string cache = cache_path_for(e.info);
     if (!cache.empty()) {
         if (auto cached = netlist::load_netlist(cache)) {
-            util::log_debug("loaded ", e.info.name, " from cache");
-            e.circuit = std::move(*cached);
-            return;
+            if (circuit_is_well_formed(*cached, e.info.bits)) {
+                util::log_debug("loaded ", e.info.name, " from cache");
+                e.circuit = std::move(*cached);
+                return;
+            }
+            // A corrupt cache is recoverable: drop it and resynthesize.
+            util::log_warn("cached netlist for ", e.info.name,
+                           " is malformed; resynthesizing");
         }
     }
     util::log_info("synthesizing ", e.info.name, " (ALS, NMED budget ",
@@ -160,6 +182,9 @@ void Registry::build_circuit(Entry& e) {
     util::log_info("  ", e.info.name, ": ", result.moves, " rewrites, area ",
                    result.area_before_um2, " -> ", result.area_after_um2,
                    " um^2, NMED ", result.metrics.nmed);
+    if (!circuit_is_well_formed(result.netlist, e.info.bits))
+        throw std::runtime_error("registry: synthesized netlist for '" +
+                                 e.info.name + "' is malformed");
     if (!cache.empty()) netlist::save_netlist(result.netlist, cache);
     e.circuit = std::move(result.netlist);
 }
@@ -210,6 +235,10 @@ const ErrorMetrics& Registry::error(const std::string& name) {
 void Registry::register_spec(const std::string& name,
                              const multgen::MultiplierSpec& spec,
                              unsigned default_hws) {
+    if (name.empty())
+        throw std::invalid_argument("register_spec: multiplier name is empty");
+    if (const std::string problem = multgen::validate_spec(spec); !problem.empty())
+        throw std::invalid_argument("register_spec('" + name + "'): " + problem);
     const std::lock_guard<std::recursive_mutex> lock(mutex_);
     MultiplierInfo info = spec_entry(name, spec, default_hws, "user-defined");
     if (!contains(name)) order_.push_back(name);

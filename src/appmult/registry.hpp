@@ -75,7 +75,12 @@ public:
     const ErrorMetrics& error(const std::string& name);
 
     /// Registers a user-defined multiplier built from \p spec; replaces any
-    /// existing entry with the same name and clears its caches.
+    /// existing entry with the same name and clears its caches. Throws
+    /// std::invalid_argument when the name is empty or the spec violates its
+    /// structural bounds (multgen::validate_spec); lazily built circuits are
+    /// additionally structure-checked and a malformed generator result (or a
+    /// corrupt cache file that cannot be resynthesized) raises
+    /// std::runtime_error instead of reaching simulation.
     void register_spec(const std::string& name, const multgen::MultiplierSpec& spec,
                        unsigned default_hws);
 

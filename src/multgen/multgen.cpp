@@ -27,6 +27,33 @@ bool MultiplierSpec::keeps_pp(unsigned i, unsigned j) const {
     return true;
 }
 
+std::string validate_spec(const MultiplierSpec& spec) {
+    if (spec.bits < 2 || spec.bits > 12)
+        return "bits = " + std::to_string(spec.bits) + " outside the supported 2..12 range";
+    const unsigned out_bits = 2 * spec.bits;
+    if (spec.truncate_columns > out_bits)
+        return "truncate_columns = " + std::to_string(spec.truncate_columns) +
+               " exceeds the " + std::to_string(out_bits) + " product columns";
+    if (spec.or_compress_columns > out_bits)
+        return "or_compress_columns = " + std::to_string(spec.or_compress_columns) +
+               " exceeds the " + std::to_string(out_bits) + " product columns";
+    for (const unsigned row : spec.perforated_rows) {
+        if (row >= spec.bits)
+            return "perforated row " + std::to_string(row) + " outside the " +
+                   std::to_string(spec.bits) + " partial-product rows";
+    }
+    if (spec.broken_row_start > spec.bits)
+        return "broken_row_start = " + std::to_string(spec.broken_row_start) +
+               " outside the " + std::to_string(spec.bits) + " partial-product rows";
+    if (spec.broken_col_keep > spec.bits)
+        return "broken_col_keep = " + std::to_string(spec.broken_col_keep) +
+               " outside the " + std::to_string(spec.bits) + " partial-product columns";
+    if (spec.compensation >= (std::uint64_t{1} << out_bits))
+        return "compensation constant does not fit the " + std::to_string(out_bits) +
+               "-bit product";
+    return {};
+}
+
 Netlist build_netlist(const MultiplierSpec& spec) {
     const unsigned b = spec.bits;
     assert(b >= 2 && b <= 12);

@@ -55,6 +55,14 @@ struct MultiplierSpec {
     [[nodiscard]] bool keeps_pp(unsigned i, unsigned j) const;
 };
 
+/// Static validation of a spec before any netlist is built: width in the
+/// supported 2..12 range, truncation/compression column counts within the
+/// 2B product columns, perforated and broken-array rows within the B
+/// partial-product rows, and the compensation constant within 2^(2B).
+/// Returns an empty string when the spec is well formed, otherwise a
+/// human-readable description of the first violation.
+std::string validate_spec(const MultiplierSpec& spec);
+
 /// Builds the gate-level netlist for \p spec. Inputs are named
 /// w0..w{B-1}, x0..x{B-1} (W bits first, LSB-first), outputs y0..y{2B-1}.
 netlist::Netlist build_netlist(const MultiplierSpec& spec);

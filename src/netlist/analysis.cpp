@@ -1,10 +1,15 @@
 #include "netlist/analysis.hpp"
 
 #include <algorithm>
+#include <stdexcept>
 
 namespace amret::netlist {
 
 double critical_path_ps(const Netlist& netlist) {
+    if (!netlist.is_topologically_ordered())
+        throw std::invalid_argument(
+            "critical_path_ps: netlist is cyclic or malformed (fanins must "
+            "strictly precede their gate); run verify::check_netlist for details");
     const auto fanout = netlist.fanout_counts();
     std::vector<double> arrival(netlist.num_nodes(), 0.0);
     double worst = 0.0;

@@ -10,6 +10,17 @@ Netlist::Netlist() {
     nodes_.push_back(Node{CellType::kConst1, kNullNet, kNullNet});
 }
 
+Netlist Netlist::from_raw_parts(std::vector<Node> nodes, std::vector<NetId> inputs,
+                                std::vector<std::string> input_names,
+                                std::vector<OutputPort> outputs) {
+    Netlist nl;
+    nl.nodes_ = std::move(nodes);
+    nl.inputs_ = std::move(inputs);
+    nl.input_names_ = std::move(input_names);
+    nl.outputs_ = std::move(outputs);
+    return nl;
+}
+
 NetId Netlist::add_input(std::string name) {
     const NetId id = static_cast<NetId>(nodes_.size());
     nodes_.push_back(Node{CellType::kInput, kNullNet, kNullNet});
@@ -102,6 +113,28 @@ std::size_t Netlist::sweep() {
     for (auto& in : inputs_) in = remap[in];
     for (auto& port : outputs_) port.net = remap[port.net];
     return removed;
+}
+
+bool Netlist::is_topologically_ordered() const {
+    if (nodes_.size() < 2 || nodes_[0].type != CellType::kConst0 ||
+        nodes_[1].type != CellType::kConst1) {
+        return false;
+    }
+    for (NetId id = 0; id < nodes_.size(); ++id) {
+        const Node& n = nodes_[id];
+        const int arity = cell_info(n.type).arity;
+        if (arity >= 1 && n.fanin0 >= id) return false;
+        if (arity == 2 && n.fanin1 >= id) return false;
+        // sim reads any non-null fanin1, even on one-input gates.
+        if (arity == 1 && n.fanin1 != kNullNet && n.fanin1 >= id) return false;
+    }
+    for (const NetId in : inputs_) {
+        if (in >= nodes_.size() || nodes_[in].type != CellType::kInput) return false;
+    }
+    for (const auto& port : outputs_) {
+        if (port.net >= nodes_.size()) return false;
+    }
+    return true;
 }
 
 std::size_t Netlist::gate_count() const {

@@ -40,6 +40,15 @@ class Netlist {
 public:
     Netlist();
 
+    /// Unchecked construction from raw parts. The result may violate every
+    /// invariant the class otherwise maintains (topological order, fanin
+    /// arity, input bookkeeping); run verify::check_netlist on it before
+    /// handing it to sim/analysis/techmap. Intended for deserializers,
+    /// fuzzing, and the verifier's own fault-injection tests.
+    static Netlist from_raw_parts(std::vector<Node> nodes, std::vector<NetId> inputs,
+                                  std::vector<std::string> input_names,
+                                  std::vector<OutputPort> outputs);
+
     /// Adds a primary input and returns its net.
     NetId add_input(std::string name);
 
@@ -63,6 +72,7 @@ public:
     [[nodiscard]] const std::vector<NetId>& inputs() const { return inputs_; }
     [[nodiscard]] const std::vector<OutputPort>& outputs() const { return outputs_; }
     [[nodiscard]] const std::string& input_name(std::size_t i) const { return input_names_[i]; }
+    [[nodiscard]] const std::vector<std::string>& input_names() const { return input_names_; }
 
     /// Redirects every use of \p victim (in gates and outputs) to
     /// \p replacement. Requires replacement < victim so topological order is
@@ -77,6 +87,12 @@ public:
     /// Removes gates not reachable from any output. Inputs and constants are
     /// always kept. Returns the number of gates removed.
     std::size_t sweep();
+
+    /// True when every node's fanins are in range and strictly precede it —
+    /// the invariant simulation, timing analysis, and techmap rely on. A
+    /// netlist built through add_input/add_gate always satisfies it; one from
+    /// from_raw_parts (or a corrupted cache file) may not. O(nodes).
+    [[nodiscard]] bool is_topologically_ordered() const;
 
     /// Number of logic gates (excludes constants and inputs).
     [[nodiscard]] std::size_t gate_count() const;

@@ -2,10 +2,22 @@
 
 #include <bit>
 #include <cassert>
+#include <stdexcept>
 
 namespace amret::netlist {
 
 namespace {
+
+/// Both simulators walk nodes in id order and index value[] by fanin, so a
+/// cyclic or out-of-range netlist would read garbage (or out of bounds)
+/// instead of failing. Reject it up front with a pointed diagnostic.
+void require_well_formed(const Netlist& netlist, const char* fn) {
+    if (!netlist.is_topologically_ordered())
+        throw std::invalid_argument(
+            std::string(fn) +
+            ": netlist is cyclic or malformed (fanins must strictly precede "
+            "their gate); run verify::check_netlist for details");
+}
 
 // Pattern words for input bits 0..5 within one 64-lane word: input bit k of
 // pattern (word*64 + lane) equals bit k of the lane index for k < 6.
@@ -17,6 +29,7 @@ constexpr std::uint64_t kLanePattern[6] = {
 } // namespace
 
 ExhaustiveSimResult simulate_exhaustive(const Netlist& netlist) {
+    require_well_formed(netlist, "simulate_exhaustive");
     const std::size_t n_in = netlist.num_inputs();
     assert(n_in >= 1 && n_in <= 24);
     assert(netlist.num_outputs() <= 64);
@@ -91,6 +104,7 @@ std::vector<std::uint64_t> eval_all_patterns(const Netlist& netlist) {
 }
 
 std::uint64_t eval_pattern(const Netlist& netlist, std::uint64_t pattern) {
+    require_well_formed(netlist, "eval_pattern");
     const std::size_t n_nodes = netlist.num_nodes();
     std::vector<std::uint64_t> value(n_nodes, 0);
     std::vector<std::int32_t> input_index(n_nodes, -1);

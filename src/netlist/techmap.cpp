@@ -1,11 +1,16 @@
 #include "netlist/techmap.hpp"
 
 #include <cassert>
+#include <stdexcept>
 #include <vector>
 
 namespace amret::netlist {
 
 Netlist map_to_nand(const Netlist& input, TechmapStats* stats) {
+    if (!input.is_topologically_ordered())
+        throw std::invalid_argument(
+            "map_to_nand: netlist is cyclic or malformed (fanins must strictly "
+            "precede their gate); run verify::check_netlist for details");
     Netlist out;
     std::vector<NetId> remap(input.num_nodes(), kNullNet);
     remap[0] = out.const0();

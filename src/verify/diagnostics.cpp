@@ -1,0 +1,50 @@
+#include "verify/diagnostics.hpp"
+
+#include <sstream>
+
+namespace amret::verify {
+
+const char* severity_name(Severity severity) {
+    switch (severity) {
+        case Severity::kError: return "error";
+        case Severity::kWarning: return "warning";
+        case Severity::kNote: return "note";
+    }
+    return "?";
+}
+
+bool has_errors(const Diagnostics& diags) {
+    for (const auto& d : diags) {
+        if (d.severity == Severity::kError) return true;
+    }
+    return false;
+}
+
+std::size_t count(const Diagnostics& diags, Severity severity) {
+    std::size_t n = 0;
+    for (const auto& d : diags) {
+        if (d.severity == severity) ++n;
+    }
+    return n;
+}
+
+std::string to_string(const Diagnostic& diag) {
+    std::ostringstream os;
+    os << severity_name(diag.severity) << "[" << diag.check << "]";
+    if (diag.object != kNoObject) os << " @" << diag.object;
+    os << ": " << diag.message;
+    return os.str();
+}
+
+std::string summarize(const Diagnostics& diags) {
+    const std::size_t errors = count(diags, Severity::kError);
+    const std::size_t warnings = count(diags, Severity::kWarning);
+    if (errors == 0 && warnings == 0) return "clean";
+    std::ostringstream os;
+    os << errors << (errors == 1 ? " error" : " errors");
+    if (warnings != 0)
+        os << ", " << warnings << (warnings == 1 ? " warning" : " warnings");
+    return os.str();
+}
+
+} // namespace amret::verify

@@ -1,0 +1,52 @@
+/// \file diagnostics.hpp
+/// \brief Typed diagnostics produced by the static analyzers in src/verify.
+///
+/// Every check reports findings as a flat list of Diagnostic values instead
+/// of throwing or logging: callers (tests, `amret_cli check`, the registry
+/// gate) decide what an error means for them. `check` codes are stable
+/// kebab-case strings so tests and CI greps can match on them.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace amret::verify {
+
+/// How bad a finding is. Errors make `amret_cli check` exit nonzero;
+/// warnings (e.g. dead gates) are reported but do not fail the gate.
+enum class Severity {
+    kError,
+    kWarning,
+    kNote,
+};
+
+/// Sentinel for diagnostics about a whole artifact rather than one object.
+inline constexpr std::uint64_t kNoObject = ~std::uint64_t{0};
+
+/// One finding of a static check.
+struct Diagnostic {
+    Severity severity = Severity::kError;
+    std::string check;               ///< stable code, e.g. "combinational-cycle"
+    std::uint64_t object = kNoObject;///< NetId or LUT index the finding anchors to
+    std::string message;
+};
+
+using Diagnostics = std::vector<Diagnostic>;
+
+/// Short lowercase name ("error", "warning", "note").
+const char* severity_name(Severity severity);
+
+/// True if any diagnostic has Severity::kError.
+bool has_errors(const Diagnostics& diags);
+
+/// Number of diagnostics at exactly \p severity.
+std::size_t count(const Diagnostics& diags, Severity severity);
+
+/// One-line rendering: "error[combinational-cycle] net 17: ...".
+std::string to_string(const Diagnostic& diag);
+
+/// "clean" or e.g. "2 errors, 1 warning".
+std::string summarize(const Diagnostics& diags);
+
+} // namespace amret::verify

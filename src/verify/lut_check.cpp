@@ -1,0 +1,304 @@
+#include "verify/lut_check.hpp"
+
+#include "netlist/sim.hpp"
+#include "runtime/parallel.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+namespace amret::verify {
+
+namespace {
+
+using appmult::AppMultLut;
+using core::GradientMode;
+using core::GradLut;
+
+void add(Diagnostics& diags, Severity severity, std::string check,
+         std::uint64_t object, std::string message) {
+    diags.push_back(Diagnostic{severity, std::move(check), object, std::move(message)});
+}
+
+/// Tolerance for comparing a float table entry against the double-precision
+/// reference: a few ulps at the largest 8-bit gradient magnitude, far below
+/// any real corruption.
+constexpr double kTolerance = 1e-3;
+
+/// Naive reference for the Eq. (4) window average at position \p x. Written
+/// independently of core/smoothing.cpp (direct summation instead of prefix
+/// sums) so a bug there cannot cancel out here.
+double ref_smooth_at(const std::vector<double>& row, std::size_t x, unsigned hws) {
+    double sum = 0.0;
+    for (std::size_t d = x - hws; d <= x + hws; ++d) sum += row[d];
+    return sum / (2.0 * hws + 1.0);
+}
+
+/// Naive reference for one gradient row: Eq. (5) central difference of the
+/// smoothed row in the interior, Eq. (6) boundary estimate elsewhere.
+std::vector<double> ref_grad_row(const std::vector<double>& row, unsigned hws) {
+    const std::size_t n = row.size();
+    const auto [mn, mx] = std::minmax_element(row.begin(), row.end());
+    const double edge = (*mx - *mn) / static_cast<double>(n);
+    std::vector<double> grad(n, edge);
+    // Eq. (5) needs S(x-1) and S(x+1), both inside the smoothable band
+    // [hws, n-1-hws].
+    for (std::size_t x = hws + 1; x + hws + 1 < n; ++x) {
+        grad[x] = (ref_smooth_at(row, x + 1, hws) - ref_smooth_at(row, x - 1, hws)) / 2.0;
+    }
+    return grad;
+}
+
+struct Mismatch {
+    std::uint64_t index;
+    double expected;
+    double actual;
+};
+
+/// Renders up to kMaxReported mismatches as diagnostics plus a summary note.
+void report_mismatches(Diagnostics& diags, const std::vector<Mismatch>& mismatches,
+                       const char* check, const char* table, unsigned bits) {
+    constexpr std::size_t kMaxReported = 4;
+    for (std::size_t i = 0; i < mismatches.size() && i < kMaxReported; ++i) {
+        const Mismatch& m = mismatches[i];
+        std::ostringstream os;
+        os << table << "(w=" << (m.index >> bits)
+           << ", x=" << (m.index & ((std::uint64_t{1} << bits) - 1))
+           << ") = " << m.actual << ", expected " << m.expected;
+        add(diags, Severity::kError, check, m.index, os.str());
+    }
+    if (mismatches.size() > kMaxReported)
+        add(diags, Severity::kNote, check, kNoObject,
+            std::to_string(mismatches.size() - kMaxReported) +
+                " further mismatches in " + table + " omitted");
+}
+
+/// Scans one table for non-finite entries.
+void check_finite(Diagnostics& diags, const std::vector<float>& table,
+                  const char* name, unsigned bits) {
+    constexpr std::size_t kMaxReported = 4;
+    std::size_t found = 0;
+    for (std::size_t i = 0; i < table.size(); ++i) {
+        if (std::isfinite(table[i])) continue;
+        if (++found <= kMaxReported) {
+            std::ostringstream os;
+            os << name << "(w=" << (i >> bits)
+               << ", x=" << (i & ((std::size_t{1} << bits) - 1)) << ") is "
+               << (std::isnan(table[i]) ? "NaN" : "Inf");
+            add(diags, Severity::kError,
+                std::isnan(table[i]) ? "nan-entry" : "inf-entry", i, os.str());
+        }
+    }
+    if (found > kMaxReported)
+        add(diags, Severity::kNote, "nan-entry", kNoObject,
+            std::to_string(found - kMaxReported) + " further non-finite entries in " +
+                name + " omitted");
+}
+
+/// Row-parallel diff of one gradient table against the naive reference.
+/// `transpose == false` checks ∂AM/∂X (rows of the LUT, W fixed);
+/// `transpose == true` checks ∂AM/∂W (columns of the LUT, X fixed).
+std::vector<Mismatch> diff_against_reference(const AppMultLut& lut,
+                                             const std::vector<float>& table,
+                                             unsigned hws, bool transpose) {
+    const unsigned bits = lut.bits();
+    const std::uint64_t n = lut.domain();
+    const auto rows = static_cast<std::int64_t>(n);
+    const std::int64_t grain = runtime::grain_for(rows, 4);
+    const auto chunks = static_cast<std::size_t>(runtime::chunk_count(0, rows, grain));
+    std::vector<std::vector<Mismatch>> scratch(chunks);
+
+    runtime::parallel_for_chunks(0, rows, grain,
+                                 [&](std::int64_t fb, std::int64_t fe, std::size_t chunk) {
+        std::vector<double> row(n);
+        for (std::int64_t fi = fb; fi < fe; ++fi) {
+            const auto fixed = static_cast<std::uint64_t>(fi);
+            for (std::uint64_t v = 0; v < n; ++v)
+                row[v] = transpose ? static_cast<double>(lut(v, fixed))
+                                   : static_cast<double>(lut(fixed, v));
+            const std::vector<double> ref = ref_grad_row(row, hws);
+            for (std::uint64_t v = 0; v < n; ++v) {
+                const std::uint64_t idx =
+                    transpose ? ((v << bits) | fixed) : ((fixed << bits) | v);
+                const double actual = static_cast<double>(table[idx]);
+                if (std::abs(actual - ref[v]) > kTolerance)
+                    scratch[chunk].push_back(Mismatch{idx, ref[v], actual});
+            }
+        }
+    });
+
+    std::vector<Mismatch> merged;
+    for (const auto& part : scratch)
+        merged.insert(merged.end(), part.begin(), part.end());
+    return merged;
+}
+
+bool lut_is_exact(const AppMultLut& lut) {
+    const std::uint64_t n = lut.domain();
+    for (std::uint64_t w = 0; w < n; ++w) {
+        for (std::uint64_t x = 0; x < n; ++x) {
+            if (static_cast<std::uint64_t>(lut(w, x)) != w * x) return false;
+        }
+    }
+    return true;
+}
+
+} // namespace
+
+Diagnostics check_product_lut(const AppMultLut& lut) {
+    Diagnostics diags;
+    if (lut.empty()) {
+        add(diags, Severity::kError, "lut-empty", kNoObject, "product LUT is empty");
+        return diags;
+    }
+    const unsigned bits = lut.bits();
+    if (bits < 2 || bits > 8) {
+        add(diags, Severity::kError, "lut-bits", kNoObject,
+            "product LUT width " + std::to_string(bits) +
+                " outside the supported 2..8 range");
+        return diags;
+    }
+    const std::size_t expected = std::size_t{1} << (2 * bits);
+    if (lut.table().size() != expected) {
+        add(diags, Severity::kError, "lut-dim", kNoObject,
+            "product LUT has " + std::to_string(lut.table().size()) +
+                " entries, expected 2^" + std::to_string(2 * bits) + " = " +
+                std::to_string(expected));
+        return diags;
+    }
+    constexpr std::size_t kMaxReported = 4;
+    std::size_t found = 0;
+    const auto limit = static_cast<std::int64_t>(expected);
+    for (std::size_t i = 0; i < expected; ++i) {
+        const std::int32_t v = lut.table()[i];
+        if (v >= 0 && v < limit) continue;
+        if (++found <= kMaxReported)
+            add(diags, Severity::kError, "lut-range", i,
+                "product " + std::to_string(v) + " outside [0, 2^" +
+                    std::to_string(2 * bits) + ")");
+    }
+    if (found > kMaxReported)
+        add(diags, Severity::kNote, "lut-range", kNoObject,
+            std::to_string(found - kMaxReported) + " further out-of-range entries omitted");
+    return diags;
+}
+
+Diagnostics check_lut_matches_netlist(const AppMultLut& lut,
+                                      const netlist::Netlist& nl) {
+    Diagnostics diags = check_product_lut(lut);
+    const unsigned bits = lut.bits();
+    if (has_errors(diags)) return diags;
+    if (nl.num_inputs() != 2 * static_cast<std::size_t>(bits) ||
+        nl.num_outputs() != 2 * static_cast<std::size_t>(bits)) {
+        add(diags, Severity::kError, "port-width", kNoObject,
+            "netlist port counts do not match a " + std::to_string(bits) +
+                "-bit multiplier; cannot cross-check the LUT");
+        return diags;
+    }
+    if (!nl.is_topologically_ordered()) {
+        add(diags, Severity::kError, "topo-order", kNoObject,
+            "netlist is malformed; cannot cross-check the LUT");
+        return diags;
+    }
+
+    // Pattern index bit k drives input k: w bits first, then x bits.
+    const std::vector<std::uint64_t> outputs = netlist::eval_all_patterns(nl);
+    const std::uint64_t n = lut.domain();
+    constexpr std::size_t kMaxReported = 4;
+    std::size_t found = 0;
+    for (std::uint64_t x = 0; x < n; ++x) {
+        for (std::uint64_t w = 0; w < n; ++w) {
+            const std::uint64_t circuit = outputs[(x << bits) | w];
+            const auto modeled = static_cast<std::uint64_t>(lut(w, x));
+            if (circuit == modeled) continue;
+            if (++found <= kMaxReported)
+                add(diags, Severity::kError, "lut-netlist-mismatch", (w << bits) | x,
+                    "AM(w=" + std::to_string(w) + ", x=" + std::to_string(x) +
+                        "): LUT says " + std::to_string(modeled) +
+                        ", circuit computes " + std::to_string(circuit));
+        }
+    }
+    if (found > kMaxReported)
+        add(diags, Severity::kNote, "lut-netlist-mismatch", kNoObject,
+            std::to_string(found - kMaxReported) + " further mismatches omitted");
+    return diags;
+}
+
+Diagnostics check_grad_lut(const GradLut& grad, const AppMultLut& lut,
+                           GradientMode mode, unsigned hws) {
+    Diagnostics diags;
+    if (grad.empty()) {
+        add(diags, Severity::kError, "grad-empty", kNoObject,
+            "gradient LUT is empty");
+        return diags;
+    }
+    const unsigned bits = lut.bits();
+    if (grad.bits() != bits) {
+        add(diags, Severity::kError, "grad-dim", kNoObject,
+            "gradient LUT is " + std::to_string(grad.bits()) +
+                "-bit but the product LUT is " + std::to_string(bits) + "-bit");
+        return diags;
+    }
+    const std::size_t expected = std::size_t{1} << (2 * bits);
+    if (grad.dw_table().size() != expected || grad.dx_table().size() != expected) {
+        add(diags, Severity::kError, "grad-dim", kNoObject,
+            "gradient tables have " + std::to_string(grad.dw_table().size()) +
+                " / " + std::to_string(grad.dx_table().size()) +
+                " entries, expected 2^B x 2^B = " + std::to_string(expected));
+        return diags;
+    }
+
+    check_finite(diags, grad.dw_table(), "dAM/dW", bits);
+    check_finite(diags, grad.dx_table(), "dAM/dX", bits);
+    if (has_errors(diags)) return diags; // NaN poisons every comparison below
+
+    if (mode == GradientMode::kSte) {
+        // The exact-multiplier sanity law: dAM/dX = W and dAM/dW = X.
+        std::vector<Mismatch> bad_dw, bad_dx;
+        const std::uint64_t n = lut.domain();
+        for (std::uint64_t w = 0; w < n; ++w) {
+            for (std::uint64_t x = 0; x < n; ++x) {
+                const std::uint64_t idx = (w << bits) | x;
+                if (grad.dw_table()[idx] != static_cast<float>(x))
+                    bad_dw.push_back(Mismatch{idx, static_cast<double>(x),
+                                              static_cast<double>(grad.dw_table()[idx])});
+                if (grad.dx_table()[idx] != static_cast<float>(w))
+                    bad_dx.push_back(Mismatch{idx, static_cast<double>(w),
+                                              static_cast<double>(grad.dx_table()[idx])});
+            }
+        }
+        report_mismatches(diags, bad_dw, "ste-law", "dAM/dW", bits);
+        report_mismatches(diags, bad_dx, "ste-law", "dAM/dX", bits);
+        return diags;
+    }
+    if (mode == GradientMode::kCustom) return diags; // no closed form to check
+
+    const unsigned effective_hws = (mode == GradientMode::kTrue) ? 0 : hws;
+    report_mismatches(diags,
+                      diff_against_reference(lut, grad.dx_table(), effective_hws,
+                                             /*transpose=*/false),
+                      "grad-mismatch", "dAM/dX", bits);
+    report_mismatches(diags,
+                      diff_against_reference(lut, grad.dw_table(), effective_hws,
+                                             /*transpose=*/true),
+                      "grad-mismatch", "dAM/dW", bits);
+
+    // For an exact product LUT the smoothed rows are exactly linear, so the
+    // Eq. 5 interior must reproduce the accurate gradient dAM/dX = W.
+    if (mode == GradientMode::kDifference && !has_errors(diags) && lut_is_exact(lut)) {
+        const std::uint64_t n = lut.domain();
+        std::vector<Mismatch> bad;
+        for (std::uint64_t w = 0; w < n; ++w) {
+            for (std::uint64_t x = effective_hws + 1; x + effective_hws + 1 < n; ++x) {
+                const std::uint64_t idx = (w << bits) | x;
+                const double actual = static_cast<double>(grad.dx_table()[idx]);
+                if (std::abs(actual - static_cast<double>(w)) > kTolerance)
+                    bad.push_back(Mismatch{idx, static_cast<double>(w), actual});
+            }
+        }
+        report_mismatches(diags, bad, "exact-interior-law", "dAM/dX", bits);
+    }
+    return diags;
+}
+
+} // namespace amret::verify

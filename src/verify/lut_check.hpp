@@ -1,0 +1,43 @@
+/// \file lut_check.hpp
+/// \brief Invariant verification of product LUTs and gradient LUTs.
+///
+/// The retraining framework consumes multipliers exclusively through their
+/// precomputed tables, so a silently corrupted table degrades training in
+/// exactly the way a simulation-model mismatch would — without ever
+/// crashing. These checks recompute the paper's Eqs. 4-6 with a separate
+/// naive implementation (direct window sums, no prefix-sum optimization)
+/// and diff the result against the precomputed tables, exhaustively for
+/// B <= 8. The recomputation is row-parallel via runtime::parallel_for.
+#pragma once
+
+#include "appmult/appmult.hpp"
+#include "core/grad_lut.hpp"
+#include "verify/diagnostics.hpp"
+
+namespace amret::verify {
+
+/// Product-LUT sanity: supported width, 2^(2B) entries, every product in
+/// [0, 2^(2B)), and AM(0, x) == AM(w, 0) == 0 is *not* required (approximate
+/// designs may violate it) but AM(w, x) must fit the output width.
+Diagnostics check_product_lut(const appmult::AppMultLut& lut);
+
+/// Exhaustively cross-checks \p lut against the netlist \p nl (the circuit
+/// the LUT claims to model). Catches behavioural-model/netlist divergence —
+/// the simulation-mismatch failure mode ApproxTrain warns about.
+Diagnostics check_lut_matches_netlist(const appmult::AppMultLut& lut,
+                                      const netlist::Netlist& nl);
+
+/// Verifies the gradient tables \p grad against \p lut for \p mode:
+///   - dimension checks: grad.bits() == lut.bits(), both tables 2^(2B) long,
+///   - NaN / Inf scans over ∂AM/∂W and ∂AM/∂X,
+///   - kSte: the exact-multiplier law ∂AM/∂X = W and ∂AM/∂W = X,
+///   - kDifference / kTrue: independent recomputation of Eq. 4 smoothing,
+///     Eq. 5 central difference, and Eq. 6 boundary rows, diffed entrywise
+///     (with a tolerance a few float ulps wide),
+///   - for an *exact* product LUT under kDifference, the interior of every
+///     ∂AM/∂X row must additionally equal the fixed operand W exactly.
+/// kCustom tables get only the dimension and NaN/Inf checks.
+Diagnostics check_grad_lut(const core::GradLut& grad, const appmult::AppMultLut& lut,
+                           core::GradientMode mode, unsigned hws);
+
+} // namespace amret::verify

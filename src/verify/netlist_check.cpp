@@ -1,0 +1,295 @@
+#include "verify/netlist_check.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace amret::verify {
+
+namespace {
+
+using netlist::CellType;
+using netlist::kNullNet;
+using netlist::Netlist;
+using netlist::NetId;
+
+void add(Diagnostics& diags, Severity severity, std::string check,
+         std::uint64_t object, std::string message) {
+    diags.push_back(Diagnostic{severity, std::move(check), object, std::move(message)});
+}
+
+/// True when \p id can be used as a fanin index into this netlist.
+bool in_range(const Netlist& nl, NetId id) { return id < nl.num_nodes(); }
+
+/// Per-node fanin checks: arity, range, order. Returns true when every fanin
+/// of every gate is in range, which gates the graph-level passes below.
+bool check_fanins(const Netlist& nl, Diagnostics& diags) {
+    bool all_in_range = true;
+    for (NetId id = 0; id < nl.num_nodes(); ++id) {
+        const netlist::Node& node = nl.node(id);
+        const int arity = netlist::cell_info(node.type).arity;
+        if (arity == 0) {
+            // Sources carry no fanins; a stray one is ignored by the
+            // simulator but betrays a corrupted construction.
+            if (node.fanin0 != kNullNet || node.fanin1 != kNullNet)
+                add(diags, Severity::kWarning, "source-with-fanin", id,
+                    std::string(netlist::cell_info(node.type).name) +
+                        " node carries a fanin reference");
+            continue;
+        }
+        if (node.fanin0 == kNullNet) {
+            add(diags, Severity::kError, "undriven-fanin", id,
+                "gate input 0 is unconnected");
+        } else if (!in_range(nl, node.fanin0)) {
+            add(diags, Severity::kError, "fanin-range", id,
+                "fanin0 " + std::to_string(node.fanin0) + " is out of range");
+            all_in_range = false;
+        } else if (node.fanin0 >= id) {
+            add(diags, Severity::kError, "topo-order", id,
+                "fanin0 " + std::to_string(node.fanin0) +
+                    " does not precede its gate");
+        }
+        if (arity == 2) {
+            if (node.fanin1 == kNullNet) {
+                add(diags, Severity::kError, "undriven-fanin", id,
+                    "gate input 1 is unconnected");
+            } else if (!in_range(nl, node.fanin1)) {
+                add(diags, Severity::kError, "fanin-range", id,
+                    "fanin1 " + std::to_string(node.fanin1) + " is out of range");
+                all_in_range = false;
+            } else if (node.fanin1 >= id) {
+                add(diags, Severity::kError, "topo-order", id,
+                    "fanin1 " + std::to_string(node.fanin1) +
+                        " does not precede its gate");
+            }
+        } else if (node.fanin1 != kNullNet) {
+            // The simulators dereference any non-null fanin1, so a stray
+            // value on a one-input gate is not cosmetic.
+            Severity severity = in_range(nl, node.fanin1) ? Severity::kWarning
+                                                          : Severity::kError;
+            if (!in_range(nl, node.fanin1)) all_in_range = false;
+            add(diags, severity, "stray-fanin", id,
+                "one-input gate carries fanin1 " + std::to_string(node.fanin1));
+        }
+    }
+    return all_in_range;
+}
+
+/// Iterative DFS over the fanin graph looking for a cycle; requires every
+/// fanin to be in range. Reports one witness cycle and stops.
+void check_cycles(const Netlist& nl, Diagnostics& diags) {
+    enum class Color : std::uint8_t { kWhite, kGray, kBlack };
+    std::vector<Color> color(nl.num_nodes(), Color::kWhite);
+    std::vector<NetId> parent(nl.num_nodes(), kNullNet);
+
+    const auto fanins_of = [&](NetId id, NetId out[2]) -> int {
+        const netlist::Node& node = nl.node(id);
+        const int arity = netlist::cell_info(node.type).arity;
+        int n = 0;
+        if (arity >= 1 && node.fanin0 != kNullNet) out[n++] = node.fanin0;
+        if (node.fanin1 != kNullNet && arity >= 1) out[n++] = node.fanin1;
+        return n;
+    };
+
+    for (NetId root = 0; root < nl.num_nodes(); ++root) {
+        if (color[root] != Color::kWhite) continue;
+        // Stack of (node, next fanin slot to visit).
+        std::vector<std::pair<NetId, int>> stack{{root, 0}};
+        color[root] = Color::kGray;
+        while (!stack.empty()) {
+            auto& [id, slot] = stack.back();
+            NetId fanins[2];
+            const int n = fanins_of(id, fanins);
+            if (slot >= n) {
+                color[id] = Color::kBlack;
+                stack.pop_back();
+                continue;
+            }
+            const NetId next = fanins[slot++];
+            if (color[next] == Color::kWhite) {
+                color[next] = Color::kGray;
+                parent[next] = id;
+                stack.emplace_back(next, 0);
+            } else if (color[next] == Color::kGray) {
+                // Found a back edge id -> next; walk parents for the witness.
+                std::ostringstream path;
+                path << "combinational cycle: " << next;
+                for (NetId walk = id; walk != next && walk != kNullNet;
+                     walk = parent[walk])
+                    path << " <- " << walk;
+                path << " <- " << next;
+                add(diags, Severity::kError, "combinational-cycle", next, path.str());
+                return;
+            }
+        }
+    }
+}
+
+void check_inputs(const Netlist& nl, Diagnostics& diags) {
+    if (nl.input_names().size() != nl.num_inputs())
+        add(diags, Severity::kError, "input-names", kNoObject,
+            std::to_string(nl.num_inputs()) + " inputs but " +
+                std::to_string(nl.input_names().size()) + " input names");
+
+    std::vector<std::uint32_t> registrations(nl.num_nodes(), 0);
+    for (const NetId in : nl.inputs()) {
+        if (!in_range(nl, in)) {
+            add(diags, Severity::kError, "input-range", in,
+                "registered input net is out of range");
+            continue;
+        }
+        if (nl.node(in).type != CellType::kInput)
+            add(diags, Severity::kError, "input-type", in,
+                "registered input net is not an input node");
+        if (++registrations[in] == 2)
+            add(diags, Severity::kError, "multiply-driven", in,
+                "net is registered as more than one primary input");
+    }
+    // An input node missing from the input list never receives a stimulus
+    // and makes the simulators index their pattern table with -1.
+    for (NetId id = 0; id < nl.num_nodes(); ++id) {
+        if (nl.node(id).type == CellType::kInput && registrations[id] == 0)
+            add(diags, Severity::kError, "orphan-input", id,
+                "input node is not registered in the input list");
+    }
+}
+
+void check_outputs(const Netlist& nl, Diagnostics& diags) {
+    std::vector<std::string> names;
+    names.reserve(nl.num_outputs());
+    for (std::size_t i = 0; i < nl.num_outputs(); ++i) {
+        const netlist::OutputPort& port = nl.outputs()[i];
+        if (!in_range(nl, port.net))
+            add(diags, Severity::kError, "dangling-output", i,
+                "output '" + port.name + "' references net " +
+                    std::to_string(port.net) + ", which does not exist");
+        if (port.name.empty())
+            add(diags, Severity::kWarning, "empty-port-name", i,
+                "output port has an empty name");
+        names.push_back(port.name);
+    }
+    std::sort(names.begin(), names.end());
+    for (std::size_t i = 1; i < names.size(); ++i) {
+        if (!names[i].empty() && names[i] == names[i - 1]) {
+            add(diags, Severity::kWarning, "duplicate-port-name", kNoObject,
+                "output name '" + names[i] + "' is used more than once");
+            break;
+        }
+    }
+}
+
+/// Gates outside the transitive fanin cone of every output. Capped so a
+/// heavily corrupted netlist does not flood the report.
+void check_dead_gates(const Netlist& nl, Diagnostics& diags) {
+    std::vector<bool> live(nl.num_nodes(), false);
+    for (const auto& port : nl.outputs()) {
+        if (in_range(nl, port.net)) live[port.net] = true;
+    }
+    // Nodes may not be topologically ordered here, so iterate to a fixed
+    // point instead of relying on one reverse sweep; the pass count is
+    // bounded by the graph's depth and cycle checks already ran.
+    bool changed = true;
+    std::size_t passes = 0;
+    while (changed && passes++ <= nl.num_nodes()) {
+        changed = false;
+        for (NetId id = static_cast<NetId>(nl.num_nodes()); id-- > 0;) {
+            if (!live[id]) continue;
+            const netlist::Node& node = nl.node(id);
+            if (netlist::cell_info(node.type).arity == 0) continue;
+            for (const NetId fanin : {node.fanin0, node.fanin1}) {
+                if (fanin != kNullNet && in_range(nl, fanin) && !live[fanin]) {
+                    live[fanin] = true;
+                    changed = true;
+                }
+            }
+        }
+    }
+
+    constexpr std::size_t kMaxReported = 8;
+    std::size_t dead = 0;
+    for (NetId id = 0; id < nl.num_nodes(); ++id) {
+        if (live[id] || netlist::cell_info(nl.node(id).type).arity == 0) continue;
+        if (++dead <= kMaxReported)
+            add(diags, Severity::kWarning, "dead-gate", id,
+                "gate drives no output (sweep() would remove it)");
+    }
+    if (dead > kMaxReported)
+        add(diags, Severity::kNote, "dead-gate", kNoObject,
+            std::to_string(dead - kMaxReported) + " further dead gates omitted");
+}
+
+void check_sim_capacity(const Netlist& nl, Diagnostics& diags) {
+    if (nl.num_inputs() == 0)
+        add(diags, Severity::kWarning, "sim-capacity", kNoObject,
+            "netlist has no primary inputs; exhaustive simulation requires "
+            "at least one");
+    if (nl.num_inputs() > 24)
+        add(diags, Severity::kError, "sim-capacity", kNoObject,
+            std::to_string(nl.num_inputs()) +
+                " inputs exceed the exhaustive simulator's 24-input limit");
+    if (nl.num_outputs() > 64)
+        add(diags, Severity::kError, "sim-capacity", kNoObject,
+            std::to_string(nl.num_outputs()) +
+                " outputs exceed the simulator's 64-output limit");
+}
+
+} // namespace
+
+Diagnostics check_netlist(const Netlist& nl) {
+    Diagnostics diags;
+    if (nl.num_nodes() < 2 || nl.node(0).type != CellType::kConst0 ||
+        nl.node(1).type != CellType::kConst1) {
+        add(diags, Severity::kError, "netlist-header", kNoObject,
+            "nodes 0 and 1 must be CONST0 and CONST1");
+        return diags; // everything below assumes the header layout
+    }
+    const bool fanins_ok = check_fanins(nl, diags);
+    check_inputs(nl, diags);
+    check_outputs(nl, diags);
+    check_sim_capacity(nl, diags);
+    if (fanins_ok) {
+        // Graph passes would index out of bounds on broken fanins.
+        check_cycles(nl, diags);
+        check_dead_gates(nl, diags);
+    }
+    return diags;
+}
+
+Diagnostics check_multiplier_netlist(const Netlist& nl, unsigned bits) {
+    Diagnostics diags = check_netlist(nl);
+    if (bits < 2 || bits > 12) {
+        add(diags, Severity::kError, "port-width", kNoObject,
+            "multiplier width " + std::to_string(bits) +
+                " outside the supported 2..12 range");
+        return diags;
+    }
+    if (nl.num_inputs() != 2 * static_cast<std::size_t>(bits))
+        add(diags, Severity::kError, "port-width", kNoObject,
+            "expected " + std::to_string(2 * bits) + " operand inputs for a " +
+                std::to_string(bits) + "-bit multiplier, found " +
+                std::to_string(nl.num_inputs()));
+    if (nl.num_outputs() != 2 * static_cast<std::size_t>(bits))
+        add(diags, Severity::kError, "port-width", kNoObject,
+            "expected " + std::to_string(2 * bits) + " product outputs for a " +
+                std::to_string(bits) + "-bit multiplier, found " +
+                std::to_string(nl.num_outputs()));
+
+    // Name convention is advisory: LUT extraction uses port *order*, so a
+    // deviation is suspicious but not fatal.
+    if (nl.input_names().size() == 2 * static_cast<std::size_t>(bits)) {
+        for (unsigned i = 0; i < 2 * bits; ++i) {
+            const std::string expected =
+                (i < bits) ? "w" + std::to_string(i) : "x" + std::to_string(i - bits);
+            if (nl.input_name(i) != expected) {
+                add(diags, Severity::kWarning, "port-names", i,
+                    "input " + std::to_string(i) + " is named '" +
+                        nl.input_name(i) + "', expected '" + expected + "'");
+                break;
+            }
+        }
+    }
+    return diags;
+}
+
+} // namespace amret::verify

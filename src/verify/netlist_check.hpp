@@ -1,0 +1,33 @@
+/// \file netlist_check.hpp
+/// \brief Structural static analysis of gate-level netlists.
+///
+/// The Netlist class maintains its invariants when built through the public
+/// API, but netlists also arrive from disk caches (`netlist::load_netlist`),
+/// from Netlist::from_raw_parts, and from external generators — and a
+/// malformed one silently corrupts simulation, timing, and every LUT derived
+/// from it. check_netlist() detects, with a typed diagnostic per finding:
+///   - missing constant header nodes,
+///   - out-of-range / undriven / stray fanins,
+///   - topological-order violations (forward or self references),
+///   - genuine combinational cycles (reported with a witness path),
+///   - multiply-driven nets (a net registered as more than one primary input),
+///   - orphaned input nodes that would never receive a stimulus,
+///   - dangling output ports and duplicate or empty port names,
+///   - unreachable (dead) gates, and
+///   - violations of the exhaustive simulator's capacity contract.
+#pragma once
+
+#include "netlist/netlist.hpp"
+#include "verify/diagnostics.hpp"
+
+namespace amret::verify {
+
+/// Structural checks applicable to any combinational netlist.
+Diagnostics check_netlist(const netlist::Netlist& nl);
+
+/// check_netlist() plus the multiplier port contract produced by
+/// multgen::build_netlist: 2B operand inputs (w then x, LSB-first) and 2B
+/// product outputs, with the conventional w*/x*/y* port names.
+Diagnostics check_multiplier_netlist(const netlist::Netlist& nl, unsigned bits);
+
+} // namespace amret::verify

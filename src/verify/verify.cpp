@@ -1,0 +1,64 @@
+#include "verify/verify.hpp"
+
+#include "core/grad_lut.hpp"
+#include "verify/lut_check.hpp"
+#include "verify/netlist_check.hpp"
+
+namespace amret::verify {
+
+namespace {
+
+void append(Diagnostics& into, Diagnostics from) {
+    into.insert(into.end(), std::make_move_iterator(from.begin()),
+                std::make_move_iterator(from.end()));
+}
+
+} // namespace
+
+Diagnostics check_multiplier(appmult::Registry& registry, const std::string& name,
+                             const CheckOptions& options) {
+    if (!registry.contains(name)) {
+        return {Diagnostic{Severity::kError, "unknown-multiplier", kNoObject,
+                           "'" + name + "' is not registered (try `amret_cli list`)"}};
+    }
+    const appmult::MultiplierInfo& info = registry.info(name);
+
+    Diagnostics diags = check_multiplier_netlist(registry.circuit(name), info.bits);
+
+    const appmult::AppMultLut& lut = registry.lut(name);
+    if (options.cross_check_netlist) {
+        append(diags, check_lut_matches_netlist(lut, registry.circuit(name)));
+    } else {
+        append(diags, check_product_lut(lut));
+    }
+    if (has_errors(diags) || !options.check_gradients) return diags;
+
+    // A corrupt product LUT would make every gradient comparison misfire, so
+    // the gradient checks only run once the LUT itself is clean.
+    const unsigned hws = options.hws == CheckOptions::kRegistryDefaultHws
+                             ? info.default_hws
+                             : options.hws;
+    append(diags, check_grad_lut(core::build_difference_grad(lut, hws), lut,
+                                 core::GradientMode::kDifference, hws));
+    append(diags, check_grad_lut(core::build_ste_grad(info.bits), lut,
+                                 core::GradientMode::kSte, hws));
+    return diags;
+}
+
+Diagnostics check_multiplier(const std::string& name, const CheckOptions& options) {
+    return check_multiplier(appmult::Registry::instance(), name, options);
+}
+
+std::vector<RegistryCheckResult> check_registry(appmult::Registry& registry,
+                                                const std::vector<std::string>& names,
+                                                const CheckOptions& options) {
+    const std::vector<std::string>& targets =
+        names.empty() ? registry.names() : names;
+    std::vector<RegistryCheckResult> results;
+    results.reserve(targets.size());
+    for (const auto& name : targets)
+        results.push_back({name, check_multiplier(registry, name, options)});
+    return results;
+}
+
+} // namespace amret::verify

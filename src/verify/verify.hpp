@@ -1,0 +1,52 @@
+/// \file verify.hpp
+/// \brief Whole-multiplier verification over the named registry.
+///
+/// Ties the structural netlist checker and the LUT verifiers together into
+/// one entry point per registered multiplier: netlist structure, product-LUT
+/// sanity, behavioural-model/netlist equivalence, and both gradient LUTs
+/// (the paper's difference-based tables at the registry's default HWS plus
+/// the STE baseline). `amret_cli check` and the test suite are thin wrappers
+/// over these functions.
+#pragma once
+
+#include "appmult/registry.hpp"
+#include "verify/diagnostics.hpp"
+
+#include <string>
+#include <vector>
+
+namespace amret::verify {
+
+/// Tuning knobs for check_multiplier(); the defaults run every check.
+struct CheckOptions {
+    /// Sentinel: use the registry entry's default HWS for the difference
+    /// gradient (entries with default 0 degrade to the raw central
+    /// difference, which is still well defined).
+    static constexpr unsigned kRegistryDefaultHws = ~0u;
+
+    unsigned hws = kRegistryDefaultHws;
+    bool check_gradients = true;     ///< verify diff + STE gradient tables
+    bool cross_check_netlist = true; ///< exhaustive LUT-vs-circuit equivalence
+};
+
+/// All checks for one registered multiplier. Unknown names yield a single
+/// "unknown-multiplier" error instead of throwing, so sweeps keep going.
+Diagnostics check_multiplier(appmult::Registry& registry, const std::string& name,
+                             const CheckOptions& options = {});
+
+/// Convenience overload over the process-wide registry.
+Diagnostics check_multiplier(const std::string& name, const CheckOptions& options = {});
+
+/// One multiplier's verification outcome inside a registry sweep.
+struct RegistryCheckResult {
+    std::string name;
+    Diagnostics diags;
+};
+
+/// Runs check_multiplier over \p names (all registered names when empty),
+/// in registry order.
+std::vector<RegistryCheckResult> check_registry(
+    appmult::Registry& registry, const std::vector<std::string>& names = {},
+    const CheckOptions& options = {});
+
+} // namespace amret::verify

@@ -1,0 +1,334 @@
+// Tests for the src/verify static-analysis layer: hand-crafted bad netlists
+// (cycle, dangling net, double driver, width mismatch) must each be caught
+// by the structural checker, deliberately corrupted gradient LUTs (flipped
+// entry, NaN entry, wrong boundary row) by the LUT verifier, and the
+// analysis entry points must fail gracefully — not loop or read out of
+// bounds — on malformed input.
+#include "appmult/registry.hpp"
+#include "core/grad_lut.hpp"
+#include "multgen/multgen.hpp"
+#include "netlist/analysis.hpp"
+#include "netlist/sim.hpp"
+#include "netlist/techmap.hpp"
+#include "verify/lut_check.hpp"
+#include "verify/netlist_check.hpp"
+#include "verify/verify.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace {
+
+using namespace amret;
+using verify::Diagnostics;
+using verify::Severity;
+
+bool has_check(const Diagnostics& diags, const std::string& check,
+               Severity severity = Severity::kError) {
+    return std::any_of(diags.begin(), diags.end(), [&](const auto& d) {
+        return d.check == check && d.severity == severity;
+    });
+}
+
+netlist::Netlist make_good_circuit() {
+    netlist::Netlist nl;
+    const auto a = nl.add_input("a");
+    const auto b = nl.add_input("b");
+    const auto g = nl.add_gate(netlist::CellType::kXor2, a, b);
+    nl.add_output("y", g);
+    return nl;
+}
+
+/// A netlist with a genuine combinational cycle: gates 4 and 5 feed each
+/// other. Built through from_raw_parts since the safe API cannot express it.
+netlist::Netlist make_cyclic_circuit() {
+    using netlist::CellType;
+    using netlist::kNullNet;
+    std::vector<netlist::Node> nodes = {
+        {CellType::kConst0, kNullNet, kNullNet},
+        {CellType::kConst1, kNullNet, kNullNet},
+        {CellType::kInput, kNullNet, kNullNet},
+        {CellType::kInput, kNullNet, kNullNet},
+        {CellType::kAnd2, 2, 5},  // reads gate 5 -> cycle 4 <-> 5
+        {CellType::kOr2, 4, 3},
+    };
+    return netlist::Netlist::from_raw_parts(std::move(nodes), {2, 3}, {"a", "b"},
+                                            {{"y", 5}});
+}
+
+TEST(NetlistCheck, CleanCircuitHasNoFindings) {
+    const Diagnostics diags = verify::check_netlist(make_good_circuit());
+    EXPECT_FALSE(verify::has_errors(diags)) << verify::summarize(diags);
+    EXPECT_EQ(verify::count(diags, Severity::kWarning), 0u);
+}
+
+TEST(NetlistCheck, DetectsCombinationalCycle) {
+    const Diagnostics diags = verify::check_netlist(make_cyclic_circuit());
+    EXPECT_TRUE(has_check(diags, "combinational-cycle"));
+    EXPECT_TRUE(has_check(diags, "topo-order"));
+}
+
+TEST(NetlistCheck, DetectsForwardReferenceWithoutCycle) {
+    using netlist::CellType;
+    using netlist::kNullNet;
+    std::vector<netlist::Node> nodes = {
+        {CellType::kConst0, kNullNet, kNullNet},
+        {CellType::kConst1, kNullNet, kNullNet},
+        {CellType::kInput, kNullNet, kNullNet},
+        {CellType::kInv, 4, kNullNet},  // forward reference, no cycle
+        {CellType::kInv, 2, kNullNet},
+    };
+    const auto nl = netlist::Netlist::from_raw_parts(std::move(nodes), {2}, {"a"},
+                                                     {{"y", 3}});
+    const Diagnostics diags = verify::check_netlist(nl);
+    EXPECT_TRUE(has_check(diags, "topo-order"));
+    EXPECT_FALSE(has_check(diags, "combinational-cycle"));
+}
+
+TEST(NetlistCheck, DetectsUndrivenFaninAndDanglingOutput) {
+    using netlist::CellType;
+    using netlist::kNullNet;
+    std::vector<netlist::Node> nodes = {
+        {CellType::kConst0, kNullNet, kNullNet},
+        {CellType::kConst1, kNullNet, kNullNet},
+        {CellType::kInput, kNullNet, kNullNet},
+        {CellType::kAnd2, 2, kNullNet},  // input 1 unconnected
+    };
+    const auto nl = netlist::Netlist::from_raw_parts(std::move(nodes), {2}, {"a"},
+                                                     {{"y", 3}, {"z", 99}});
+    const Diagnostics diags = verify::check_netlist(nl);
+    EXPECT_TRUE(has_check(diags, "undriven-fanin"));
+    EXPECT_TRUE(has_check(diags, "dangling-output"));
+}
+
+TEST(NetlistCheck, DetectsDoubleDriverAndOrphanInput) {
+    using netlist::CellType;
+    using netlist::kNullNet;
+    std::vector<netlist::Node> nodes = {
+        {CellType::kConst0, kNullNet, kNullNet},
+        {CellType::kConst1, kNullNet, kNullNet},
+        {CellType::kInput, kNullNet, kNullNet},
+        {CellType::kInput, kNullNet, kNullNet},  // never registered
+    };
+    // Net 2 is registered twice (double-driven); net 3 not at all.
+    const auto nl = netlist::Netlist::from_raw_parts(std::move(nodes), {2, 2},
+                                                     {"a", "a2"}, {{"y", 2}});
+    const Diagnostics diags = verify::check_netlist(nl);
+    EXPECT_TRUE(has_check(diags, "multiply-driven"));
+    EXPECT_TRUE(has_check(diags, "orphan-input"));
+}
+
+TEST(NetlistCheck, DetectsDeadGates) {
+    netlist::Netlist nl;
+    const auto a = nl.add_input("a");
+    const auto b = nl.add_input("b");
+    const auto used = nl.add_gate(netlist::CellType::kAnd2, a, b);
+    nl.add_gate(netlist::CellType::kOr2, a, b);  // drives nothing
+    nl.add_output("y", used);
+    const Diagnostics diags = verify::check_netlist(nl);
+    EXPECT_TRUE(has_check(diags, "dead-gate", Severity::kWarning));
+    EXPECT_FALSE(verify::has_errors(diags));
+}
+
+TEST(NetlistCheck, MultiplierWidthMismatch) {
+    const auto nl = multgen::build_netlist(multgen::exact_spec(6));
+    EXPECT_FALSE(verify::has_errors(verify::check_multiplier_netlist(nl, 6)));
+    // The same circuit audited as an 8-bit multiplier fails the port contract.
+    const Diagnostics diags = verify::check_multiplier_netlist(nl, 8);
+    EXPECT_TRUE(has_check(diags, "port-width"));
+}
+
+TEST(NetlistCheck, GeneratedMultipliersAreClean) {
+    for (const auto& spec :
+         {multgen::exact_spec(4), multgen::truncated_spec(6, 4),
+          multgen::or_compressed_spec(6, 5)}) {
+        const auto nl = multgen::build_netlist(spec);
+        const Diagnostics diags = verify::check_multiplier_netlist(nl, spec.bits);
+        EXPECT_FALSE(verify::has_errors(diags)) << verify::summarize(diags);
+    }
+}
+
+// --- graceful failure of the analysis/sim/techmap entry points (the seed
+// --- code assumed topological order and looped or read out of bounds) ------
+
+TEST(MalformedNetlist, AnalysisFailsGracefully) {
+    const auto nl = make_cyclic_circuit();
+    EXPECT_THROW(netlist::critical_path_ps(nl), std::invalid_argument);
+    EXPECT_THROW(netlist::analyze(nl), std::invalid_argument);
+    EXPECT_THROW(netlist::simulate_exhaustive(nl), std::invalid_argument);
+    EXPECT_THROW(netlist::eval_pattern(nl, 0), std::invalid_argument);
+    EXPECT_THROW(netlist::map_to_nand(nl), std::invalid_argument);
+}
+
+TEST(MalformedNetlist, WellFormedPredicate) {
+    EXPECT_TRUE(make_good_circuit().is_topologically_ordered());
+    EXPECT_FALSE(make_cyclic_circuit().is_topologically_ordered());
+}
+
+// --- gradient-LUT verifier -------------------------------------------------
+
+class GradLutCheck : public ::testing::Test {
+protected:
+    const unsigned bits_ = 6;
+    const unsigned hws_ = 2;
+    const appmult::AppMultLut lut_ =
+        appmult::AppMultLut(6, [](std::uint64_t w, std::uint64_t x) {
+            // mul6u-style truncation keeps the rows non-trivial.
+            return (w * x) & ~std::uint64_t{0x7};
+        });
+    const core::GradLut grad_ = core::build_difference_grad(lut_, hws_);
+};
+
+TEST_F(GradLutCheck, FaithfulTablesPass) {
+    const Diagnostics diags =
+        verify::check_grad_lut(grad_, lut_, core::GradientMode::kDifference, hws_);
+    EXPECT_FALSE(verify::has_errors(diags)) << verify::summarize(diags);
+}
+
+TEST_F(GradLutCheck, FlippedEntryCaught) {
+    auto dx = grad_.dx_table();
+    dx[(7u << bits_) | 20u] += 3.0f;  // interior entry, well past tolerance
+    const core::GradLut corrupted(bits_, grad_.dw_table(), std::move(dx));
+    const Diagnostics diags = verify::check_grad_lut(
+        corrupted, lut_, core::GradientMode::kDifference, hws_);
+    EXPECT_TRUE(has_check(diags, "grad-mismatch"));
+}
+
+TEST_F(GradLutCheck, NaNEntryCaught) {
+    auto dw = grad_.dw_table();
+    dw[123] = std::numeric_limits<float>::quiet_NaN();
+    const core::GradLut corrupted(bits_, std::move(dw), grad_.dx_table());
+    const Diagnostics diags = verify::check_grad_lut(
+        corrupted, lut_, core::GradientMode::kDifference, hws_);
+    EXPECT_TRUE(has_check(diags, "nan-entry"));
+}
+
+TEST_F(GradLutCheck, WrongBoundaryRowCaught) {
+    // Overwrite the Eq. 6 boundary entries of one dAM/dX row with zeros.
+    auto dx = grad_.dx_table();
+    const std::uint64_t w = 9;
+    const std::uint64_t n = lut_.domain();
+    for (std::uint64_t x = 0; x <= hws_; ++x) dx[(w << bits_) | x] = 0.0f;
+    for (std::uint64_t x = n - 1 - hws_; x < n; ++x) dx[(w << bits_) | x] = 0.0f;
+    const core::GradLut corrupted(bits_, grad_.dw_table(), std::move(dx));
+    const Diagnostics diags = verify::check_grad_lut(
+        corrupted, lut_, core::GradientMode::kDifference, hws_);
+    EXPECT_TRUE(has_check(diags, "grad-mismatch"));
+}
+
+TEST_F(GradLutCheck, DimensionMismatchCaught) {
+    const auto small = appmult::AppMultLut::exact(4);
+    const core::GradLut wrong_width = core::build_difference_grad(small, 1);
+    const Diagnostics diags = verify::check_grad_lut(
+        wrong_width, lut_, core::GradientMode::kDifference, hws_);
+    EXPECT_TRUE(has_check(diags, "grad-dim"));
+}
+
+TEST_F(GradLutCheck, SteLawHoldsAndViolationsCaught) {
+    const core::GradLut ste = core::build_ste_grad(bits_);
+    EXPECT_FALSE(verify::has_errors(
+        verify::check_grad_lut(ste, lut_, core::GradientMode::kSte, 0)));
+
+    auto dx = ste.dx_table();
+    dx[42] += 1.0f;  // dAM/dX must equal W everywhere
+    const core::GradLut corrupted(bits_, ste.dw_table(), std::move(dx));
+    const Diagnostics diags =
+        verify::check_grad_lut(corrupted, lut_, core::GradientMode::kSte, 0);
+    EXPECT_TRUE(has_check(diags, "ste-law"));
+}
+
+TEST_F(GradLutCheck, ExactMultiplierInteriorLaw) {
+    const auto exact = appmult::AppMultLut::exact(6);
+    const core::GradLut grad = core::build_difference_grad(exact, 2);
+    const Diagnostics diags =
+        verify::check_grad_lut(grad, exact, core::GradientMode::kDifference, 2);
+    EXPECT_FALSE(verify::has_errors(diags)) << verify::summarize(diags);
+}
+
+TEST_F(GradLutCheck, TrueGradientModeChecksAgainstHwsZero) {
+    const core::GradLut true_grad = core::build_true_grad(lut_);
+    // The stored hws is irrelevant for kTrue; the checker must use 0.
+    const Diagnostics diags =
+        verify::check_grad_lut(true_grad, lut_, core::GradientMode::kTrue, 4);
+    EXPECT_FALSE(verify::has_errors(diags)) << verify::summarize(diags);
+}
+
+// --- product-LUT checks ----------------------------------------------------
+
+TEST(ProductLutCheck, RangeViolationCaught) {
+    const appmult::AppMultLut bad(4, [](std::uint64_t w, std::uint64_t x) {
+        return (w == 3 && x == 3) ? std::uint64_t{1} << 20 : w * x;
+    });
+    EXPECT_TRUE(has_check(verify::check_product_lut(bad), "lut-range"));
+}
+
+TEST(ProductLutCheck, NetlistCrossCheckCatchesModelDivergence) {
+    const auto circuit = multgen::build_netlist(multgen::exact_spec(4));
+    const appmult::AppMultLut faithful = appmult::AppMultLut::exact(4);
+    EXPECT_FALSE(verify::has_errors(
+        verify::check_lut_matches_netlist(faithful, circuit)));
+
+    const appmult::AppMultLut diverged(4, [](std::uint64_t w, std::uint64_t x) {
+        return (w == 5 && x == 7) ? w * x + 1 : w * x;
+    });
+    const Diagnostics diags = verify::check_lut_matches_netlist(diverged, circuit);
+    EXPECT_TRUE(has_check(diags, "lut-netlist-mismatch"));
+}
+
+// --- registry-level sweep --------------------------------------------------
+
+TEST(RegistryCheck, SpecEntriesVerifyClean) {
+    // Spec-constructed entries only: the ALS pair would trigger synthesis,
+    // which scripts/check.sh exercises via `amret_cli check` instead.
+    for (const std::string name : {"mul6u_acc", "mul6u_rm4", "mul7u_rm6"}) {
+        const Diagnostics diags = verify::check_multiplier(name);
+        EXPECT_FALSE(verify::has_errors(diags))
+            << name << ": " << verify::summarize(diags);
+    }
+}
+
+TEST(RegistryCheck, UnknownNameIsDiagnosedNotThrown) {
+    const Diagnostics diags = verify::check_multiplier("mul9u_nope");
+    EXPECT_TRUE(has_check(diags, "unknown-multiplier"));
+}
+
+TEST(RegistryCheck, RegistrationRejectsMalformedSpecs) {
+    auto& reg = appmult::Registry::instance();
+    multgen::MultiplierSpec bad = multgen::exact_spec(8);
+    bad.perforated_rows = {99};
+    EXPECT_THROW(reg.register_spec("bad_mult", bad, 4), std::invalid_argument);
+    EXPECT_FALSE(reg.contains("bad_mult"));
+
+    multgen::MultiplierSpec wide = multgen::exact_spec(8);
+    wide.bits = 40;
+    EXPECT_THROW(reg.register_spec("wide_mult", wide, 4), std::invalid_argument);
+}
+
+TEST(RegistryCheck, SweepCoversRequestedNames) {
+    const auto results = verify::check_registry(appmult::Registry::instance(),
+                                                {"mul6u_acc", "mul6u_rm4"});
+    ASSERT_EQ(results.size(), 2u);
+    EXPECT_EQ(results[0].name, "mul6u_acc");
+    EXPECT_FALSE(verify::has_errors(results[0].diags));
+    EXPECT_FALSE(verify::has_errors(results[1].diags));
+}
+
+// --- diagnostics plumbing --------------------------------------------------
+
+TEST(Diagnostics, SummaryAndRendering) {
+    Diagnostics diags;
+    EXPECT_EQ(verify::summarize(diags), "clean");
+    diags.push_back({Severity::kError, "combinational-cycle", 17, "net loops"});
+    diags.push_back({Severity::kWarning, "dead-gate", 4, "unused"});
+    EXPECT_EQ(verify::summarize(diags), "1 error, 1 warning");
+    EXPECT_TRUE(verify::has_errors(diags));
+    const std::string line = verify::to_string(diags[0]);
+    EXPECT_NE(line.find("error"), std::string::npos);
+    EXPECT_NE(line.find("combinational-cycle"), std::string::npos);
+    EXPECT_NE(line.find("17"), std::string::npos);
+}
+
+} // namespace

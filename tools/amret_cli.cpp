@@ -10,10 +10,14 @@
 ///   synth   --bits B --nmed P [--out f.v]  run approximate synthesis
 ///   profile <name>                structural error profile (zero rows, bias,
 ///                                 magnitude-conditioned error)
+///   check   [name...]             static verification: netlist structure,
+///                                 LUT/netlist equivalence, gradient-LUT
+///                                 invariants; exits nonzero on any error
 ///
 /// Examples:
 ///   amret_cli info mul7u_rm6
 ///   amret_cli synth --bits 6 --nmed 0.4 --out mult.v
+///   amret_cli check mul8u_2NDH --hws 16
 #include "amret.hpp"
 
 #include <cstdio>
@@ -154,6 +158,31 @@ int cmd_profile(const std::string& name) {
     return 0;
 }
 
+int cmd_check(const util::ArgParser& args) {
+    verify::CheckOptions options;
+    const long hws = args.get_int("hws", -1);
+    if (hws >= 0) options.hws = static_cast<unsigned>(hws);
+    options.check_gradients = !args.get_bool("skip-grad", false);
+    options.cross_check_netlist = !args.get_bool("skip-sim", false);
+
+    // Positionals after the subcommand select multipliers; none = all.
+    std::vector<std::string> names(args.positional().begin() + 1,
+                                   args.positional().end());
+    const auto results =
+        verify::check_registry(appmult::Registry::instance(), names, options);
+
+    std::size_t failed = 0;
+    for (const auto& [name, diags] : results) {
+        std::printf("%-12s %s\n", name.c_str(), verify::summarize(diags).c_str());
+        for (const auto& diag : diags)
+            std::printf("  %s\n", verify::to_string(diag).c_str());
+        if (verify::has_errors(diags)) ++failed;
+    }
+    std::printf("checked %zu multiplier%s: %zu failed\n", results.size(),
+                results.size() == 1 ? "" : "s", failed);
+    return failed == 0 ? 0 : 1;
+}
+
 void usage() {
     std::fputs(
         "usage: amret_cli <command> [args]\n"
@@ -164,6 +193,8 @@ void usage() {
         "  grad    <name> [--hws N] --out f.bin  export gradient tables\n"
         "  synth   --bits B --nmed P [--out f.v] approximate synthesis\n"
         "  profile <name>               structural error profile\n"
+        "  check   [name...] [--hws N] [--skip-grad] [--skip-sim]\n"
+        "                               static verification (exit 1 on errors)\n"
         "global flags:\n"
         "  --threads N                  worker threads (0 = auto; env AMRET_THREADS)\n",
         stderr);
@@ -194,6 +225,7 @@ int main(int argc, char** argv) {
         return cmd_synth(static_cast<unsigned>(args.get_int("bits", 6)),
                          args.get_double("nmed", 0.4), out);
     if (command == "profile") return cmd_profile(name);
+    if (command == "check") return cmd_check(args);
     usage();
     return 1;
 }
