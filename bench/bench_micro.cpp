@@ -4,14 +4,30 @@
 ///        gradient-table construction, exhaustive netlist simulation, and
 ///        the float conv used for pretraining. Quantifies the Sec. V-B
 ///        runtime-overhead observation (ours ~1.4-2.6x STE) at kernel level.
+///
+/// Besides the google-benchmark suite, two standalone modes:
+///   --quick       tiny min-time smoke run (CI crash detection)
+///   --tile-sweep  P/O/K tile-size sweep plus an old-vs-new LUT-GEMM
+///                 comparison (pre-refactor row-streaming kernel vs the
+///                 tiled src/kernels one), CSVs written to results/.
 #include "amret.hpp"
-#include "approx/lut_gemm.hpp"
 
 #include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <string>
+#include <vector>
 
 namespace {
 
 using namespace amret;
+
+void fill_codes(std::vector<std::uint16_t>& v, const appmult::AppMultLut& lut,
+                util::Rng& rng) {
+    for (auto& c : v) c = static_cast<std::uint16_t>(rng.uniform_u64(lut.domain()));
+}
 
 void BM_LutForwardGemm(benchmark::State& state) {
     const unsigned bits = static_cast<unsigned>(state.range(0));
@@ -20,10 +36,10 @@ void BM_LutForwardGemm(benchmark::State& state) {
     util::Rng rng(1);
     std::vector<std::uint16_t> wq(static_cast<std::size_t>(o * k));
     std::vector<std::uint16_t> xq(static_cast<std::size_t>(p * k));
-    for (auto& v : wq) v = static_cast<std::uint16_t>(rng.uniform_u64(lut.domain()));
-    for (auto& v : xq) v = static_cast<std::uint16_t>(rng.uniform_u64(lut.domain()));
+    fill_codes(wq, lut, rng);
+    fill_codes(xq, lut, rng);
 
-    approx::LutGemmArgs args;
+    kernels::LutGemmArgs args;
     args.bits = bits;
     args.lut = lut.table().data();
     args.wq = wq.data();
@@ -32,8 +48,10 @@ void BM_LutForwardGemm(benchmark::State& state) {
     args.p = p;
     args.k = k;
     std::vector<float> y(static_cast<std::size_t>(p * o));
+    kernels::Workspace ws;
     for (auto _ : state) {
-        approx::lut_forward(args, nullptr, y.data());
+        ws.reset();
+        kernels::lut_forward(args, nullptr, y.data(), ws);
         benchmark::DoNotOptimize(y.data());
     }
     state.SetItemsProcessed(state.iterations() * o * p * k);
@@ -49,11 +67,11 @@ void BM_LutBackwardGemm(benchmark::State& state) {
     std::vector<std::uint16_t> wq(static_cast<std::size_t>(o * k));
     std::vector<std::uint16_t> xq(static_cast<std::size_t>(p * k));
     std::vector<float> gyp(static_cast<std::size_t>(p * o));
-    for (auto& v : wq) v = static_cast<std::uint16_t>(rng.uniform_u64(lut.domain()));
-    for (auto& v : xq) v = static_cast<std::uint16_t>(rng.uniform_u64(lut.domain()));
+    fill_codes(wq, lut, rng);
+    fill_codes(xq, lut, rng);
     for (auto& v : gyp) v = static_cast<float>(rng.normal());
 
-    approx::LutGemmArgs args;
+    kernels::LutGemmArgs args;
     args.bits = bits;
     args.lut = lut.table().data();
     args.wq = wq.data();
@@ -66,8 +84,8 @@ void BM_LutBackwardGemm(benchmark::State& state) {
     for (auto _ : state) {
         std::fill(gw.begin(), gw.end(), 0.0f);
         std::fill(gx.begin(), gx.end(), 0.0f);
-        approx::lut_backward(args, gyp.data(), grad.dw_table().data(),
-                             grad.dx_table().data(), gw.data(), gx.data());
+        kernels::lut_backward(args, gyp.data(), grad.dw_table().data(),
+                              grad.dx_table().data(), gw.data(), gx.data());
         benchmark::DoNotOptimize(gw.data());
     }
     state.SetItemsProcessed(state.iterations() * o * p * k);
@@ -142,10 +160,10 @@ void BM_LutForwardGemmThreads(benchmark::State& state) {
     util::Rng rng(1);
     std::vector<std::uint16_t> wq(static_cast<std::size_t>(o * k));
     std::vector<std::uint16_t> xq(static_cast<std::size_t>(p * k));
-    for (auto& v : wq) v = static_cast<std::uint16_t>(rng.uniform_u64(lut.domain()));
-    for (auto& v : xq) v = static_cast<std::uint16_t>(rng.uniform_u64(lut.domain()));
+    fill_codes(wq, lut, rng);
+    fill_codes(xq, lut, rng);
 
-    approx::LutGemmArgs args;
+    kernels::LutGemmArgs args;
     args.bits = bits;
     args.lut = lut.table().data();
     args.wq = wq.data();
@@ -154,8 +172,10 @@ void BM_LutForwardGemmThreads(benchmark::State& state) {
     args.p = p;
     args.k = k;
     std::vector<float> y(static_cast<std::size_t>(p * o));
+    kernels::Workspace ws;
     for (auto _ : state) {
-        approx::lut_forward(args, nullptr, y.data());
+        ws.reset();
+        kernels::lut_forward(args, nullptr, y.data(), ws);
         benchmark::DoNotOptimize(y.data());
     }
     state.SetItemsProcessed(state.iterations() * o * p * k);
@@ -189,6 +209,215 @@ void BM_SmoothRow(benchmark::State& state) {
 }
 BENCHMARK(BM_SmoothRow)->Arg(4)->Arg(32);
 
+// ------------------------------------------------------------ tile sweep --
+
+/// Pre-refactor forward kernel (the row-streaming src/approx/lut_gemm.cpp
+/// implementation, reproduced verbatim): no K blocking, no accumulator
+/// unrolling, row sums recomputed per call. Kept here as the baseline the
+/// tiled kernel is measured against.
+void lut_forward_rowstream(const kernels::LutGemmArgs& args, const float* bias,
+                           float* y) {
+    const std::int64_t o_rows = args.o, p_rows = args.p, depth = args.k;
+    const unsigned bits = args.bits;
+
+    std::vector<std::int64_t> sum_w(static_cast<std::size_t>(o_rows), 0);
+    runtime::parallel_for(0, o_rows, runtime::grain_for(o_rows, 8),
+                          [&](std::int64_t ob, std::int64_t oe) {
+        for (std::int64_t i = ob; i < oe; ++i) {
+            const std::uint16_t* row = args.wq + i * depth;
+            std::int64_t s = 0;
+            for (std::int64_t kk = 0; kk < depth; ++kk) s += row[kk];
+            sum_w[static_cast<std::size_t>(i)] = s;
+        }
+    });
+
+    runtime::parallel_for(0, p_rows, runtime::grain_for(p_rows, 4),
+                          [&](std::int64_t pb, std::int64_t pe) {
+        for (std::int64_t pp = pb; pp < pe; ++pp) {
+            const std::uint16_t* xrow = args.xq + pp * depth;
+            std::int64_t sum_x = 0;
+            for (std::int64_t kk = 0; kk < depth; ++kk) sum_x += xrow[kk];
+
+            float* yrow = y + pp * o_rows;
+            for (std::int64_t oo = 0; oo < o_rows; ++oo) {
+                const std::uint16_t* wrow = args.wq + oo * depth;
+                std::int64_t acc = 0;
+                for (std::int64_t kk = 0; kk < depth; ++kk) {
+                    acc += args.lut[(static_cast<std::uint32_t>(wrow[kk]) << bits) |
+                                    xrow[kk]];
+                }
+                const std::int32_t zw = args.row_zero_w(oo);
+                const float ss = args.row_scale_w(oo) * args.scale_x;
+                const std::int64_t kzz =
+                    depth * static_cast<std::int64_t>(zw) * args.zero_x;
+                const std::int64_t corrected =
+                    acc -
+                    static_cast<std::int64_t>(args.zero_x) *
+                        sum_w[static_cast<std::size_t>(oo)] -
+                    static_cast<std::int64_t>(zw) * sum_x + kzz;
+                yrow[oo] =
+                    ss * static_cast<float>(corrected) + (bias ? bias[oo] : 0.0f);
+            }
+        }
+    });
+}
+
+struct SweepGemm {
+    appmult::AppMultLut lut = appmult::AppMultLut::exact(8);
+    std::vector<std::uint16_t> wq, xq;
+    std::vector<float> y;
+    kernels::LutGemmArgs args;
+
+    SweepGemm(std::int64_t o, std::int64_t p, std::int64_t k) {
+        util::Rng rng(11);
+        wq.resize(static_cast<std::size_t>(o * k));
+        xq.resize(static_cast<std::size_t>(p * k));
+        y.resize(static_cast<std::size_t>(p * o));
+        fill_codes(wq, lut, rng);
+        fill_codes(xq, lut, rng);
+        args.bits = 8;
+        args.lut = lut.table().data();
+        args.wq = wq.data();
+        args.xq = xq.data();
+        args.o = o;
+        args.p = p;
+        args.k = k;
+        args.scale_w = 0.01f;
+        args.scale_x = 0.02f;
+        args.zero_w = 120;
+        args.zero_x = 130;
+    }
+};
+
+template <typename Fn>
+double time_ms(int iters, Fn&& fn) {
+    fn(); // warm up
+    util::Stopwatch sw;
+    for (int i = 0; i < iters; ++i) fn();
+    return sw.millis() / iters;
+}
+
+std::FILE* open_results_csv(const char* name, const char* header) {
+    std::filesystem::create_directories("results");
+    const std::string path = std::string("results/") + name;
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f) std::fprintf(f, "%s\n", header);
+    return f;
+}
+
+int run_tile_sweep() {
+    const int iters = 10;
+
+    // Old (row-streaming) vs new (tiled) forward over growing shapes, with a
+    // bitwise-equality check: both kernels implement the same Eq. (8)
+    // epilogue, so their outputs must memcmp equal.
+    std::FILE* cmp = open_results_csv(
+        "lut_gemm_compare.csv", "o,p,k,old_ms,new_ms,speedup,bitwise_equal");
+    if (!cmp) {
+        std::fprintf(stderr, "cannot open results/lut_gemm_compare.csv\n");
+        return 1;
+    }
+    struct Shape3 {
+        std::int64_t o, p, k;
+    };
+    const Shape3 shapes[] = {
+        {16, 256, 72}, {32, 1024, 288}, {64, 1024, 576}, {128, 2048, 288}};
+    bool all_equal = true;
+    for (const auto& s : shapes) {
+        SweepGemm g(s.o, s.p, s.k);
+        std::vector<float> y_old(g.y.size());
+        kernels::Workspace ws;
+        const double old_ms =
+            time_ms(iters, [&] { lut_forward_rowstream(g.args, nullptr, y_old.data()); });
+        const double new_ms = time_ms(iters, [&] {
+            ws.reset();
+            kernels::lut_forward(g.args, nullptr, g.y.data(), ws);
+        });
+        const bool equal =
+            std::memcmp(y_old.data(), g.y.data(), g.y.size() * sizeof(float)) == 0;
+        all_equal = all_equal && equal;
+        std::fprintf(cmp, "%lld,%lld,%lld,%.4f,%.4f,%.3f,%d\n",
+                     static_cast<long long>(s.o), static_cast<long long>(s.p),
+                     static_cast<long long>(s.k), old_ms, new_ms, old_ms / new_ms,
+                     equal ? 1 : 0);
+        std::printf("compare o=%lld p=%lld k=%lld: old %.3f ms, new %.3f ms, "
+                    "speedup %.2fx, bitwise_equal=%d\n",
+                    static_cast<long long>(s.o), static_cast<long long>(s.p),
+                    static_cast<long long>(s.k), old_ms, new_ms, old_ms / new_ms,
+                    equal ? 1 : 0);
+    }
+    std::fclose(cmp);
+
+    // P/O/K block-dimension sweep of the tiled kernel on one conv-like shape.
+    std::FILE* sweep =
+        open_results_csv("kernel_tile_sweep.csv", "tp,to,tk,ms_per_iter,gops");
+    if (!sweep) {
+        std::fprintf(stderr, "cannot open results/kernel_tile_sweep.csv\n");
+        return 1;
+    }
+    SweepGemm g(64, 1024, 576);
+    std::vector<float> y_ref(g.y.size());
+    kernels::Workspace ws;
+    ws.reset();
+    kernels::lut_forward(g.args, nullptr, y_ref.data(), ws);
+    const double ops = static_cast<double>(g.args.o * g.args.p * g.args.k);
+    for (const std::int64_t tp : {4, 8, 16}) {
+        for (const std::int64_t to : {8, 16, 32, 64}) {
+            for (const std::int64_t tk : {64, 128, 256, 576}) {
+                const kernels::TileConfig tile{tp, to, tk};
+                const double ms = time_ms(iters, [&] {
+                    ws.reset();
+                    kernels::lut_forward(g.args, nullptr, g.y.data(), ws, tile);
+                });
+                if (std::memcmp(y_ref.data(), g.y.data(),
+                                g.y.size() * sizeof(float)) != 0) {
+                    std::fprintf(stderr, "tile (%lld,%lld,%lld) changed results\n",
+                                 static_cast<long long>(tp),
+                                 static_cast<long long>(to),
+                                 static_cast<long long>(tk));
+                    return 1;
+                }
+                std::fprintf(sweep, "%lld,%lld,%lld,%.4f,%.3f\n",
+                             static_cast<long long>(tp), static_cast<long long>(to),
+                             static_cast<long long>(tk), ms, ops / ms / 1e6);
+            }
+        }
+    }
+    std::fclose(sweep);
+    std::printf("tile sweep written to results/kernel_tile_sweep.csv\n");
+    if (!all_equal) {
+        std::fprintf(stderr, "old/new LUT-GEMM outputs differ\n");
+        return 1;
+    }
+    return 0;
+}
+
 } // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+    bool quick = false, tile_sweep = false;
+    std::vector<char*> passthrough;
+    passthrough.push_back(argv[0]);
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--quick") == 0) {
+            quick = true;
+        } else if (std::strcmp(argv[i], "--tile-sweep") == 0) {
+            tile_sweep = true;
+        } else {
+            passthrough.push_back(argv[i]);
+        }
+    }
+    if (tile_sweep) return run_tile_sweep();
+
+    // Smoke mode: one tiny-budget pass over every benchmark, failing only on
+    // crashes — scripts/check.sh runs this as a CI stage.
+    std::string min_time = "--benchmark_min_time=0.01";
+    if (quick) passthrough.push_back(min_time.data());
+
+    int pargc = static_cast<int>(passthrough.size());
+    benchmark::Initialize(&pargc, passthrough.data());
+    if (benchmark::ReportUnrecognizedArguments(pargc, passthrough.data())) return 1;
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    return 0;
+}

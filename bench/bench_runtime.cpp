@@ -40,7 +40,7 @@ void threads_sweep(int iters) {
     std::vector<std::uint16_t> xq(static_cast<std::size_t>(p * k));
     for (auto& v : wq) v = static_cast<std::uint16_t>(rng.uniform_u64(lut.domain()));
     for (auto& v : xq) v = static_cast<std::uint16_t>(rng.uniform_u64(lut.domain()));
-    approx::LutGemmArgs gemm;
+    kernels::LutGemmArgs gemm;
     gemm.bits = bits;
     gemm.lut = lut.table().data();
     gemm.wq = wq.data();
@@ -49,6 +49,7 @@ void threads_sweep(int iters) {
     gemm.p = p;
     gemm.k = k;
     std::vector<float> y(static_cast<std::size_t>(p * o));
+    kernels::Workspace ws;
 
     approx::ApproxConv2d conv(8, 32, 3, 1, 1, rng);
     conv.set_multiplier(approx::MultiplierConfig::exact_ste(8));
@@ -60,7 +61,11 @@ void threads_sweep(int iters) {
         std::function<void()> fn;
     };
     const Kernel kernels[] = {
-        {"lut_gemm", [&] { approx::lut_forward(gemm, nullptr, y.data()); }},
+        {"lut_gemm",
+         [&] {
+             ws.reset();
+             kernels::lut_forward(gemm, nullptr, y.data(), ws);
+         }},
         {"approx_conv", [&] { auto out = conv.forward(x); (void)out; }},
     };
     for (const auto& kernel : kernels) {

@@ -27,6 +27,20 @@ cmake --build --preset release -j "$jobs"
 echo "=== tier-1 tests ==="
 ctest --preset release -j "$jobs"
 
+echo "=== kernel property tests at the thread-count extremes ==="
+AMRET_THREADS=1 ./build/tests/test_kernels
+AMRET_THREADS=8 ./build/tests/test_kernels
+
+echo "=== bench_micro smoke (--quick; fails on crash only) ==="
+set +e
+./build/bench/bench_micro --quick > /dev/null
+bench_status=$?
+set -e
+if [ "$bench_status" -ge 128 ]; then
+  echo "bench_micro --quick crashed (exit $bench_status)" >&2
+  exit 1
+fi
+
 echo "=== static verification of the multiplier registry ==="
 ./build/tools/amret_cli check
 

@@ -15,12 +15,16 @@
 #include "approx/approx_conv.hpp"      // AppMult conv/linear layers
 #include "approx/depthwise.hpp"        // AppMult depthwise conv
 #include "approx/inference.hpp"        // integer-only deployment engine
-#include "approx/lut_gemm.hpp"         // LUT GEMM kernels
 #include "core/grad_lut.hpp"           // the paper's gradient approximation
 #include "core/hws.hpp"                // half-window-size selection
 #include "core/smoothing.hpp"          // Eq. 4-6 primitives
 #include "data/dataset.hpp"            // datasets + loader
 #include "data/shapes.hpp"             // geometric-shapes task
+#include "kernels/im2col.hpp"          // im2col/col2im planner
+#include "kernels/lut_kernels.hpp"     // tiled LUT-GEMM kernels
+#include "kernels/quantize.hpp"        // workspace-backed quantization
+#include "kernels/tuning.hpp"          // kernel tuning constants
+#include "kernels/workspace.hpp"       // bump-allocated scratch arena
 #include "explore/pareto.hpp"          // design-space exploration
 #include "models/models.hpp"           // LeNet / VGG / ResNet
 #include "multgen/addergen.hpp"        // exact + approximate adders

@@ -1,7 +1,9 @@
 #include "approx/approx_conv.hpp"
 
 #include "approx/depthwise.hpp"
-#include "approx/lut_gemm.hpp"
+#include "kernels/im2col.hpp"
+#include "kernels/lut_kernels.hpp"
+#include "kernels/tuning.hpp"
 #include "runtime/parallel.hpp"
 
 #include <cassert>
@@ -11,6 +13,7 @@ namespace amret::approx {
 using tensor::ConvGeom;
 using tensor::Shape;
 using tensor::Tensor;
+namespace tune = kernels::tune;
 
 MultiplierConfig MultiplierConfig::exact_ste(unsigned bits) {
     MultiplierConfig config;
@@ -52,57 +55,6 @@ void ApproxConv2d::load_extra_state(const float*& cursor) {
     act_observer_.set_range(lo, hi, init);
 }
 
-namespace {
-
-/// (P, O) position-major matrix -> (N, O, OH, OW) feature map.
-Tensor scatter_positions(const Tensor& po, std::int64_t n, std::int64_t o,
-                         std::int64_t oh, std::int64_t ow) {
-    Tensor y(Shape{n, o, oh, ow});
-    const std::int64_t spatial = oh * ow;
-    runtime::parallel_for(0, n * spatial, runtime::grain_for(n * spatial, 64),
-                          [&](std::int64_t pb, std::int64_t pe) {
-        for (std::int64_t p = pb; p < pe; ++p) {
-            const std::int64_t i = p / spatial, s = p % spatial;
-            const float* row = po.data() + p * o;
-            for (std::int64_t c = 0; c < o; ++c)
-                y[(i * o + c) * spatial + s] = row[c];
-        }
-    });
-    return y;
-}
-
-/// (N, O, OH, OW) feature-map gradient -> (P, O) position-major matrix.
-Tensor gather_positions(const Tensor& gy, std::int64_t n, std::int64_t o,
-                        std::int64_t oh, std::int64_t ow) {
-    Tensor gp(Shape{n * oh * ow, o});
-    const std::int64_t spatial = oh * ow;
-    runtime::parallel_for(0, n * spatial, runtime::grain_for(n * spatial, 64),
-                          [&](std::int64_t pb, std::int64_t pe) {
-        for (std::int64_t p = pb; p < pe; ++p) {
-            const std::int64_t i = p / spatial, s = p % spatial;
-            float* row = gp.data() + p * o;
-            for (std::int64_t c = 0; c < o; ++c)
-                row[c] = gy[(i * o + c) * spatial + s];
-        }
-    });
-    return gp;
-}
-
-/// Column sums of a (P, O) position-major gradient into \p bias_grad via the
-/// deterministic per-chunk reduction (chunk boundaries depend only on P).
-void accumulate_bias_grad(const Tensor& gyp, std::int64_t out_ch, float* bias_grad) {
-    runtime::parallel_accumulate(
-        0, gyp.dim(0), runtime::grain_for(gyp.dim(0), 16),
-        static_cast<std::size_t>(out_ch),
-        [&](std::int64_t pidx, float* acc) {
-            const float* row = gyp.data() + pidx * out_ch;
-            for (std::int64_t c = 0; c < out_ch; ++c) acc[c] += row[c];
-        },
-        bias_grad);
-}
-
-} // namespace
-
 Tensor ApproxConv2d::forward(const Tensor& x) {
     assert(x.rank() == 4 && x.dim(1) == in_ch_);
     geom_ = ConvGeom{x.dim(0), in_ch_, x.dim(2), x.dim(3), kernel_, stride_, pad_};
@@ -114,137 +66,139 @@ Tensor ApproxConv2d::backward(const Tensor& gy) {
 }
 
 Tensor ApproxConv2d::forward_float(const Tensor& x) {
-    cached_cols_ = tensor::im2col(x, geom_);
+    cached_cols_ = kernels::im2col(x, geom_);
     const Tensor w2d = weight.value.reshaped(Shape{out_ch_, geom_.patch()});
     Tensor po = tensor::matmul_nt(cached_cols_, w2d); // (P, O)
-    runtime::parallel_for(0, po.dim(0), runtime::grain_for(po.dim(0), 64),
+    runtime::parallel_for(0, po.dim(0),
+                          runtime::grain_for(po.dim(0), tune::kGrainCopyRows),
                           [&](std::int64_t pb, std::int64_t pe) {
         for (std::int64_t pidx = pb; pidx < pe; ++pidx) {
             float* row = po.data() + pidx * out_ch_;
             for (std::int64_t c = 0; c < out_ch_; ++c) row[c] += bias.value[c];
         }
     });
-    return scatter_positions(po, geom_.batch, out_ch_, geom_.out_h(), geom_.out_w());
+    Tensor y(Shape{geom_.batch, out_ch_, geom_.out_h(), geom_.out_w()});
+    kernels::scatter_positions(po.data(), geom_.batch, out_ch_, geom_.out_h(),
+                               geom_.out_w(), y.data());
+    return y;
 }
 
 Tensor ApproxConv2d::backward_float(const Tensor& gy) {
-    const Tensor gyp =
-        gather_positions(gy, geom_.batch, out_ch_, geom_.out_h(), geom_.out_w());
+    Tensor gyp(Shape{geom_.positions(), out_ch_});
+    kernels::gather_positions(gy.data(), geom_.batch, out_ch_, geom_.out_h(),
+                              geom_.out_w(), gyp.data());
     // Bias gradient: column sums of gyp.
-    accumulate_bias_grad(gyp, out_ch_, bias.grad.data());
+    kernels::accumulate_bias_grad(gyp.data(), geom_.positions(), out_ch_,
+                                  bias.grad.data());
     // dW = gyp^T @ cols, reshaped to (O, C, K, K).
     Tensor dw2d = tensor::matmul_tn(gyp, cached_cols_); // (O, patch)
     weight.grad.add_(dw2d.reshaped(weight.value.shape()));
     // dx = col2im(gyp @ W).
     const Tensor w2d = weight.value.reshaped(Shape{out_ch_, geom_.patch()});
     const Tensor dcols = tensor::matmul(gyp, w2d); // (P, patch)
-    return tensor::col2im(dcols, geom_);
+    return kernels::col2im(dcols, geom_);
 }
 
 Tensor ApproxConv2d::forward_quant(const Tensor& x) {
     assert(mult_.valid() && "set_multiplier() before quantized forward");
     const unsigned bits = mult_.bits();
+    const std::int64_t patch = geom_.patch();
+
+    // New allocation epoch: everything quantized-forward puts in the arena
+    // (codes, masks, columns) stays valid through the matching backward.
+    ws_.reset();
 
     // Weight quantization parameters track the current weights each step.
-    const std::int64_t patch = geom_.patch();
     quant::QuantParams wparams{};
     if (per_channel_) {
         // Each output channel (filter) gets its own affine parameters.
-        wscale_per_o_.resize(static_cast<std::size_t>(out_ch_));
-        wzero_per_o_.resize(static_cast<std::size_t>(out_ch_));
-        cached_wq_.codes.resize(static_cast<std::size_t>(out_ch_ * patch));
-        cached_wq_.in_range.resize(static_cast<std::size_t>(out_ch_ * patch));
-        const float* w = weight.value.data();
-        // Per-channel rows are independent: range scan + quantization of each
-        // filter touch only that filter's slice of the caches.
-        runtime::parallel_for(0, out_ch_, runtime::grain_for(out_ch_, 1),
-                              [&](std::int64_t ob, std::int64_t oe) {
-            for (std::int64_t o = ob; o < oe; ++o) {
-                float lo = w[o * patch], hi = w[o * patch];
-                for (std::int64_t k = 1; k < patch; ++k) {
-                    lo = std::min(lo, w[o * patch + k]);
-                    hi = std::max(hi, w[o * patch + k]);
-                }
-                const quant::QuantParams row = quant::choose_params(lo, hi, bits);
-                wscale_per_o_[static_cast<std::size_t>(o)] = row.scale;
-                wzero_per_o_[static_cast<std::size_t>(o)] =
-                    static_cast<std::int32_t>(row.zero_point);
-                for (std::int64_t k = 0; k < patch; ++k) {
-                    const float v = w[o * patch + k];
-                    cached_wq_.codes[static_cast<std::size_t>(o * patch + k)] =
-                        static_cast<std::uint16_t>(row.quantize(v));
-                    cached_wq_.in_range[static_cast<std::size_t>(o * patch + k)] =
-                        row.in_range(v) ? 1 : 0;
-                }
-            }
-        });
-        cached_wq_.params = quant::choose_params(weight.value.min(),
-                                                 weight.value.max(), bits);
+        wscale_per_o_ = ws_.alloc<float>(out_ch_);
+        wzero_per_o_ = ws_.alloc<std::int32_t>(out_ch_);
+        wq_ = kernels::quantize_weights_per_channel(weight.value.data(), out_ch_,
+                                                    patch, bits, wscale_per_o_,
+                                                    wzero_per_o_, ws_);
     } else {
         wparams = quant::choose_params(weight.value.min(), weight.value.max(), bits);
-        cached_wq_ =
-            quant::quantize_tensor(weight.value.reshaped(Shape{out_ch_, patch}), wparams);
+        wq_ = kernels::quantize_into(weight.value.data(), out_ch_ * patch, wparams,
+                                     ws_);
     }
 
     // Activation parameters: EMA-calibrated during training (standard fake
     // quantization); frozen running range in eval.
-    quant::QuantParams xparams{};
     if (training_ || !act_observer_.initialized()) act_observer_.observe(x);
-    xparams = act_observer_.params(bits);
+    const quant::QuantParams xparams = act_observer_.params(bits);
 
-    const Tensor cols = tensor::im2col(x, geom_);
-    cached_xq_ = quant::quantize_tensor(cols, xparams);
+    float* cols = ws_.alloc<float>(geom_.positions() * patch);
+    kernels::im2col(x.data(), geom_, cols);
+    xq_ = kernels::quantize_into(cols, geom_.positions() * patch, xparams, ws_);
 
-    LutGemmArgs args;
+    kernels::LutGemmArgs args;
     args.bits = bits;
     args.lut = mult_.lut->table().data();
-    args.wq = cached_wq_.codes.data();
-    args.xq = cached_xq_.codes.data();
+    args.wq = wq_.codes;
+    args.xq = xq_.codes;
     args.o = out_ch_;
     args.p = geom_.positions();
     args.k = patch;
     args.scale_x = xparams.scale;
     args.zero_x = static_cast<std::int32_t>(xparams.zero_point);
     if (per_channel_) {
-        args.scale_w_per_o = wscale_per_o_.data();
-        args.zero_w_per_o = wzero_per_o_.data();
+        args.scale_w_per_o = wscale_per_o_;
+        args.zero_w_per_o = wzero_per_o_;
     } else {
         args.scale_w = wparams.scale;
         args.zero_w = static_cast<std::int32_t>(wparams.zero_point);
     }
 
     Tensor po(Shape{args.p, args.o});
-    lut_forward(args, bias.value.data(), po.data());
-    return scatter_positions(po, geom_.batch, out_ch_, geom_.out_h(), geom_.out_w());
+    kernels::lut_forward(args, bias.value.data(), po.data(), ws_);
+    Tensor y(Shape{geom_.batch, out_ch_, geom_.out_h(), geom_.out_w()});
+    kernels::scatter_positions(po.data(), geom_.batch, out_ch_, geom_.out_h(),
+                               geom_.out_w(), y.data());
+    return y;
 }
 
 Tensor ApproxConv2d::backward_quant(const Tensor& gy) {
-    const Tensor gyp =
-        gather_positions(gy, geom_.batch, out_ch_, geom_.out_h(), geom_.out_w());
-    accumulate_bias_grad(gyp, out_ch_, bias.grad.data());
+    const std::int64_t p = geom_.positions(), patch = geom_.patch();
+    float* gyp = ws_.alloc<float>(p * out_ch_);
+    kernels::gather_positions(gy.data(), geom_.batch, out_ch_, geom_.out_h(),
+                              geom_.out_w(), gyp);
+    kernels::accumulate_bias_grad(gyp, p, out_ch_, bias.grad.data());
 
-    LutGemmArgs args;
+    kernels::LutGemmArgs args;
     args.bits = mult_.bits();
     args.lut = mult_.lut->table().data();
-    args.wq = cached_wq_.codes.data();
-    args.xq = cached_xq_.codes.data();
+    args.wq = wq_.codes;
+    args.xq = xq_.codes;
     args.o = out_ch_;
-    args.p = geom_.positions();
-    args.k = geom_.patch();
-    args.scale_x = cached_xq_.params.scale;
-    args.zero_x = static_cast<std::int32_t>(cached_xq_.params.zero_point);
+    args.p = p;
+    args.k = patch;
+    args.scale_x = xq_.params.scale;
+    args.zero_x = static_cast<std::int32_t>(xq_.params.zero_point);
     if (per_channel_) {
-        args.scale_w_per_o = wscale_per_o_.data();
-        args.zero_w_per_o = wzero_per_o_.data();
+        args.scale_w_per_o = wscale_per_o_;
+        args.zero_w_per_o = wzero_per_o_;
     } else {
-        args.scale_w = cached_wq_.params.scale;
-        args.zero_w = static_cast<std::int32_t>(cached_wq_.params.zero_point);
+        args.scale_w = wq_.params.scale;
+        args.zero_w = static_cast<std::int32_t>(wq_.params.zero_point);
     }
 
-    Tensor gw_raw(Shape{args.o, args.k});
-    Tensor gx_raw(Shape{args.p, args.k});
-    lut_backward(args, gyp.data(), mult_.grad->dw_table().data(),
-                 mult_.grad->dx_table().data(), gw_raw.data(), gx_raw.data());
+    float* gw_raw = ws_.alloc<float>(args.o * args.k);
+    float* gx_raw = ws_.alloc<float>(args.p * args.k);
+    runtime::parallel_for(0, args.o * args.k,
+                          runtime::grain_for(args.o * args.k,
+                                             tune::kGrainElementwiseWide),
+                          [&](std::int64_t b, std::int64_t e) {
+        for (std::int64_t i = b; i < e; ++i) gw_raw[i] = 0.0f;
+    });
+    runtime::parallel_for(0, args.p * args.k,
+                          runtime::grain_for(args.p * args.k,
+                                             tune::kGrainElementwiseWide),
+                          [&](std::int64_t b, std::int64_t e) {
+        for (std::int64_t i = b; i < e; ++i) gx_raw[i] = 0.0f;
+    });
+    kernels::lut_backward(args, gyp, mult_.grad->dw_table().data(),
+                          mult_.grad->dx_table().data(), gw_raw, gx_raw);
 
     // Eq. (9): fold in the quantizer derivative. dW/dw = 1/s_w inside the
     // clamp range (0 outside); dy/dY contributed s_w*s_x, so the weight
@@ -252,20 +206,25 @@ Tensor ApproxConv2d::backward_quant(const Tensor& gy) {
     // into gx_raw by the kernel (it varies per row in per-channel mode);
     // only the clamp mask remains.
     float* wg = weight.grad.data();
-    runtime::parallel_for(0, gw_raw.numel(), runtime::grain_for(gw_raw.numel(), 256),
+    runtime::parallel_for(0, args.o * args.k,
+                          runtime::grain_for(args.o * args.k,
+                                             tune::kGrainElementwise),
                           [&](std::int64_t b, std::int64_t e) {
         for (std::int64_t i = b; i < e; ++i) {
-            if (cached_wq_.in_range[static_cast<std::size_t>(i)])
-                wg[i] += args.scale_x * gw_raw[i];
+            if (wq_.in_range[i]) wg[i] += args.scale_x * gw_raw[i];
         }
     });
-    runtime::parallel_for(0, gx_raw.numel(), runtime::grain_for(gx_raw.numel(), 256),
+    runtime::parallel_for(0, args.p * args.k,
+                          runtime::grain_for(args.p * args.k,
+                                             tune::kGrainElementwise),
                           [&](std::int64_t b, std::int64_t e) {
         for (std::int64_t i = b; i < e; ++i) {
-            if (!cached_xq_.in_range[static_cast<std::size_t>(i)]) gx_raw[i] = 0.0f;
+            if (!xq_.in_range[i]) gx_raw[i] = 0.0f;
         }
     });
-    return tensor::col2im(gx_raw, geom_);
+    Tensor gx(Shape{geom_.batch, geom_.in_ch, geom_.in_h, geom_.in_w});
+    kernels::col2im(gx_raw, geom_, gx.data());
+    return gx;
 }
 
 // ----------------------------------------------------------- ApproxLinear
@@ -314,18 +273,21 @@ Tensor ApproxLinear::forward(const Tensor& x) {
 
     assert(mult_.valid());
     const unsigned bits = mult_.bits();
+    ws_.reset();
     const quant::QuantParams wparams =
         quant::choose_params(weight.value.min(), weight.value.max(), bits);
-    cached_wq_ = quant::quantize_tensor(weight.value, wparams);
+    wq_ = kernels::quantize_into(weight.value.data(),
+                                 out_features_ * in_features_, wparams, ws_);
     if (training_ || !act_observer_.initialized()) act_observer_.observe(x);
     const quant::QuantParams xparams = act_observer_.params(bits);
-    cached_xq_ = quant::quantize_tensor(x, xparams);
+    xq_ = kernels::quantize_into(x.data(), cached_batch_ * in_features_, xparams,
+                                 ws_);
 
-    LutGemmArgs args;
+    kernels::LutGemmArgs args;
     args.bits = bits;
     args.lut = mult_.lut->table().data();
-    args.wq = cached_wq_.codes.data();
-    args.xq = cached_xq_.codes.data();
+    args.wq = wq_.codes;
+    args.xq = xq_.codes;
     args.o = out_features_;
     args.p = cached_batch_;
     args.k = in_features_;
@@ -335,13 +297,14 @@ Tensor ApproxLinear::forward(const Tensor& x) {
     args.zero_x = static_cast<std::int32_t>(xparams.zero_point);
 
     Tensor y(Shape{args.p, args.o});
-    lut_forward(args, bias.value.data(), y.data());
+    kernels::lut_forward(args, bias.value.data(), y.data(), ws_);
     return y;
 }
 
 Tensor ApproxLinear::backward(const Tensor& gy) {
     assert(gy.rank() == 2 && gy.dim(0) == cached_batch_);
-    accumulate_bias_grad(gy, out_features_, bias.grad.data());
+    kernels::accumulate_bias_grad(gy.data(), cached_batch_, out_features_,
+                                  bias.grad.data());
 
     if (mode_ == ComputeMode::kFloat) {
         Tensor dw = tensor::matmul_tn(gy, cached_x_);
@@ -349,37 +312,45 @@ Tensor ApproxLinear::backward(const Tensor& gy) {
         return tensor::matmul(gy, weight.value);
     }
 
-    LutGemmArgs args;
+    kernels::LutGemmArgs args;
     args.bits = mult_.bits();
     args.lut = mult_.lut->table().data();
-    args.wq = cached_wq_.codes.data();
-    args.xq = cached_xq_.codes.data();
+    args.wq = wq_.codes;
+    args.xq = xq_.codes;
     args.o = out_features_;
     args.p = cached_batch_;
     args.k = in_features_;
-    args.scale_w = cached_wq_.params.scale;
-    args.scale_x = cached_xq_.params.scale;
-    args.zero_w = static_cast<std::int32_t>(cached_wq_.params.zero_point);
-    args.zero_x = static_cast<std::int32_t>(cached_xq_.params.zero_point);
+    args.scale_w = wq_.params.scale;
+    args.scale_x = xq_.params.scale;
+    args.zero_w = static_cast<std::int32_t>(wq_.params.zero_point);
+    args.zero_x = static_cast<std::int32_t>(xq_.params.zero_point);
 
-    Tensor gw_raw(Shape{args.o, args.k});
-    Tensor gx(Shape{args.p, args.k});
-    lut_backward(args, gy.data(), mult_.grad->dw_table().data(),
-                 mult_.grad->dx_table().data(), gw_raw.data(), gx.data());
+    float* gw_raw = ws_.alloc<float>(args.o * args.k);
+    runtime::parallel_for(0, args.o * args.k,
+                          runtime::grain_for(args.o * args.k,
+                                             tune::kGrainElementwiseWide),
+                          [&](std::int64_t b, std::int64_t e) {
+        for (std::int64_t i = b; i < e; ++i) gw_raw[i] = 0.0f;
+    });
+    Tensor gx(Shape{args.p, args.k}); // zero-initialized
+    kernels::lut_backward(args, gy.data(), mult_.grad->dw_table().data(),
+                          mult_.grad->dx_table().data(), gw_raw, gx.data());
 
     float* wg = weight.grad.data();
-    runtime::parallel_for(0, gw_raw.numel(), runtime::grain_for(gw_raw.numel(), 256),
+    runtime::parallel_for(0, args.o * args.k,
+                          runtime::grain_for(args.o * args.k,
+                                             tune::kGrainElementwise),
                           [&](std::int64_t b, std::int64_t e) {
         for (std::int64_t i = b; i < e; ++i) {
-            if (cached_wq_.in_range[static_cast<std::size_t>(i)])
-                wg[i] += args.scale_x * gw_raw[i];
+            if (wq_.in_range[i]) wg[i] += args.scale_x * gw_raw[i];
         }
     });
     // The s_w factor of the activation gradient is folded in by the kernel.
-    runtime::parallel_for(0, gx.numel(), runtime::grain_for(gx.numel(), 256),
+    runtime::parallel_for(0, gx.numel(),
+                          runtime::grain_for(gx.numel(), tune::kGrainElementwise),
                           [&](std::int64_t b, std::int64_t e) {
         for (std::int64_t i = b; i < e; ++i) {
-            if (!cached_xq_.in_range[static_cast<std::size_t>(i)]) gx[i] = 0.0f;
+            if (!xq_.in_range[i]) gx[i] = 0.0f;
         }
     });
     return gx;

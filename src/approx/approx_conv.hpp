@@ -19,6 +19,8 @@
 
 #include "appmult/appmult.hpp"
 #include "core/grad_lut.hpp"
+#include "kernels/quantize.hpp"
+#include "kernels/workspace.hpp"
 #include "nn/module.hpp"
 #include "quant/quant.hpp"
 
@@ -97,13 +99,17 @@ private:
     MultiplierConfig mult_;
     quant::EmaObserver act_observer_;
 
-    // forward caches
+    // forward caches. Quant-mode scratch (codes, masks, columns, raw
+    // gradients) lives in the per-layer workspace arena: reset at the start
+    // of each quantized forward, buffers remain valid through the matching
+    // backward (DESIGN.md §10).
     tensor::ConvGeom geom_;
-    tensor::Tensor cached_cols_;          // float mode: (P, patch)
-    quant::QuantizedTensor cached_xq_;    // quant mode: codes of cols
-    quant::QuantizedTensor cached_wq_;    // quant mode: codes of weights
-    std::vector<float> wscale_per_o_;     // per-channel mode row scales
-    std::vector<std::int32_t> wzero_per_o_;
+    tensor::Tensor cached_cols_;           // float mode: (P, patch)
+    kernels::Workspace ws_;                // quant mode scratch arena
+    kernels::QuantView xq_;                // quant mode: codes of cols
+    kernels::QuantView wq_;                // quant mode: codes of weights
+    float* wscale_per_o_ = nullptr;        // per-channel row scales (ws_-backed)
+    std::int32_t* wzero_per_o_ = nullptr;  // per-channel row zeros (ws_-backed)
 };
 
 /// Fully connected layer with the same two modes (provided for completeness;
@@ -140,8 +146,9 @@ private:
     quant::EmaObserver act_observer_;
 
     tensor::Tensor cached_x_;
-    quant::QuantizedTensor cached_xq_;
-    quant::QuantizedTensor cached_wq_;
+    kernels::Workspace ws_; // quant mode scratch arena (DESIGN.md §10)
+    kernels::QuantView xq_;
+    kernels::QuantView wq_;
     std::int64_t cached_batch_ = 0;
 };
 

@@ -1,7 +1,10 @@
 #include "approx/depthwise.hpp"
 
+#include "kernels/im2col.hpp"
+#include "kernels/lut_kernels.hpp"
 #include "runtime/parallel.hpp"
 
+#include <algorithm>
 #include <cassert>
 
 namespace amret::approx {
@@ -9,6 +12,7 @@ namespace amret::approx {
 using tensor::ConvGeom;
 using tensor::Shape;
 using tensor::Tensor;
+namespace tune = kernels::tune;
 
 DepthwiseConv2d::DepthwiseConv2d(std::int64_t channels, std::int64_t kernel,
                                  std::int64_t stride, std::int64_t pad,
@@ -41,37 +45,6 @@ void DepthwiseConv2d::load_extra_state(const float*& cursor) {
     act_observer_.set_range(lo, hi, init);
 }
 
-namespace {
-
-/// im2col of a single channel of x into rows of `out` starting at row0.
-void channel_im2col(const Tensor& x, std::int64_t channel, const ConvGeom& geom,
-                    Tensor& out, std::int64_t row0) {
-    const std::int64_t oh = geom.out_h(), ow = geom.out_w();
-    const std::int64_t patch = geom.kernel * geom.kernel;
-    const std::int64_t total_ch = x.dim(1);
-    for (std::int64_t n = 0; n < geom.batch; ++n) {
-        const float* px = x.data() + (n * total_ch + channel) * geom.in_h * geom.in_w;
-        for (std::int64_t oy = 0; oy < oh; ++oy) {
-            for (std::int64_t ox = 0; ox < ow; ++ox) {
-                float* row = out.data() + (row0 + (n * oh + oy) * ow + ox) * patch;
-                std::int64_t idx = 0;
-                for (std::int64_t ky = 0; ky < geom.kernel; ++ky) {
-                    const std::int64_t iy = oy * geom.stride + ky - geom.pad;
-                    for (std::int64_t kx = 0; kx < geom.kernel; ++kx, ++idx) {
-                        const std::int64_t ix = ox * geom.stride + kx - geom.pad;
-                        row[idx] = (iy >= 0 && iy < geom.in_h && ix >= 0 &&
-                                    ix < geom.in_w)
-                                       ? px[iy * geom.in_w + ix]
-                                       : 0.0f;
-                    }
-                }
-            }
-        }
-    }
-}
-
-} // namespace
-
 Tensor DepthwiseConv2d::forward(const Tensor& x) {
     assert(x.rank() == 4 && x.dim(1) == channels_);
     batch_ = x.dim(0);
@@ -79,11 +52,16 @@ Tensor DepthwiseConv2d::forward(const Tensor& x) {
     const std::int64_t positions = geom_.positions();
     const std::int64_t patch = kernel_ * kernel_;
 
-    cached_cols_ = Tensor(Shape{channels_ * positions, patch});
+    // New allocation epoch; the columns (and quant-mode codes/masks below)
+    // stay valid through the matching backward.
+    ws_.reset();
+    cols_ = ws_.alloc<float>(channels_ * positions * patch);
     // Each channel fills its own row block [c * positions, (c+1) * positions).
-    runtime::parallel_for(0, channels_, 1, [&](std::int64_t cb, std::int64_t ce) {
+    runtime::parallel_for(0, channels_, tune::kGrainChannel,
+                          [&](std::int64_t cb, std::int64_t ce) {
         for (std::int64_t c = cb; c < ce; ++c)
-            channel_im2col(x, c, geom_, cached_cols_, c * positions);
+            kernels::im2col_channel(x.data(), channels_, c, geom_,
+                                    cols_ + c * positions * patch);
     });
 
     return mode_ == ComputeMode::kFloat ? forward_float(x) : forward_quant(x);
@@ -95,11 +73,12 @@ Tensor DepthwiseConv2d::forward_float(const Tensor& x) {
     const std::int64_t oh = geom_.out_h(), ow = geom_.out_w();
     Tensor y(Shape{batch_, channels_, oh, ow});
     const std::int64_t spatial = oh * ow;
-    runtime::parallel_for(0, channels_, 1, [&](std::int64_t cb, std::int64_t ce) {
+    runtime::parallel_for(0, channels_, tune::kGrainChannel,
+                          [&](std::int64_t cb, std::int64_t ce) {
         for (std::int64_t c = cb; c < ce; ++c) {
             const float* wrow = weight.value.data() + c * patch;
             for (std::int64_t p = 0; p < positions; ++p) {
-                const float* row = cached_cols_.data() + (c * positions + p) * patch;
+                const float* row = cols_ + (c * positions + p) * patch;
                 float acc = bias.value[c];
                 for (std::int64_t k = 0; k < patch; ++k) acc += wrow[k] * row[k];
                 const std::int64_t n = p / spatial, s = p % spatial;
@@ -119,41 +98,53 @@ Tensor DepthwiseConv2d::forward_quant(const Tensor& x) {
 
     const auto wparams =
         quant::choose_params(weight.value.min(), weight.value.max(), bits);
-    cached_wq_ = quant::quantize_tensor(
-        weight.value.reshaped(Shape{channels_, patch}), wparams);
+    wq_ = kernels::quantize_into(weight.value.data(), channels_ * patch, wparams,
+                                 ws_);
     if (training_ || !act_observer_.initialized()) act_observer_.observe(x);
     const auto xparams = act_observer_.params(bits);
-    cached_xq_ = quant::quantize_tensor(cached_cols_, xparams);
+    xq_ = kernels::quantize_into(cols_, channels_ * positions * patch, xparams,
+                                 ws_);
 
-    const std::int32_t zw = static_cast<std::int32_t>(wparams.zero_point);
-    const std::int32_t zx = static_cast<std::int32_t>(xparams.zero_point);
-    const float ss = wparams.scale * xparams.scale;
-    const std::int32_t* table = mult_.lut->table().data();
+    // Each channel is an independent O = 1 LUT GEMM over its column block.
+    // Scratch is preallocated per chunk (channels here, grain 1) so the
+    // concurrent chunks never touch the single-threaded workspace.
+    const kernels::TileConfig tile;
+    const std::int64_t chunks =
+        runtime::chunk_count(0, channels_, tune::kGrainChannel);
+    std::int64_t* sum_w_buf = ws_.alloc<std::int64_t>(chunks);
+    std::int64_t* sum_x_buf = ws_.alloc<std::int64_t>(chunks * positions);
+    std::int64_t* acc_buf = ws_.alloc<std::int64_t>(chunks * tile.acc_elems());
+    float* po_buf = ws_.alloc<float>(chunks * positions);
 
     const std::int64_t oh = geom_.out_h(), ow = geom_.out_w();
     const std::int64_t spatial = oh * ow;
     Tensor y(Shape{batch_, channels_, oh, ow});
-    runtime::parallel_for(0, channels_, 1, [&](std::int64_t cb, std::int64_t ce) {
+    runtime::parallel_for_chunks(0, channels_, tune::kGrainChannel,
+                                 [&](std::int64_t cb, std::int64_t ce,
+                                     std::size_t chunk) {
+        const auto ci = static_cast<std::int64_t>(chunk);
+        kernels::LutGemmScratch scratch{sum_w_buf + ci,
+                                        sum_x_buf + ci * positions,
+                                        acc_buf + ci * tile.acc_elems()};
+        float* po = po_buf + ci * positions;
         for (std::int64_t c = cb; c < ce; ++c) {
-            const std::uint16_t* wrow = cached_wq_.codes.data() + c * patch;
-            std::int64_t sum_w = 0;
-            for (std::int64_t k = 0; k < patch; ++k) sum_w += wrow[k];
+            kernels::LutGemmArgs args;
+            args.bits = bits;
+            args.lut = mult_.lut->table().data();
+            args.wq = wq_.codes + c * patch;
+            args.xq = xq_.codes + c * positions * patch;
+            args.o = 1;
+            args.p = positions;
+            args.k = patch;
+            args.scale_w = wparams.scale;
+            args.scale_x = xparams.scale;
+            args.zero_w = static_cast<std::int32_t>(wparams.zero_point);
+            args.zero_x = static_cast<std::int32_t>(xparams.zero_point);
+            kernels::lut_forward_serial(args, bias.value.data() + c, po, tile,
+                                        scratch);
             for (std::int64_t p = 0; p < positions; ++p) {
-                const std::uint16_t* xrow =
-                    cached_xq_.codes.data() + (c * positions + p) * patch;
-                std::int64_t acc = 0, sum_x = 0;
-                for (std::int64_t k = 0; k < patch; ++k) {
-                    acc +=
-                        table[(static_cast<std::uint32_t>(wrow[k]) << bits) | xrow[k]];
-                    sum_x += xrow[k];
-                }
-                const std::int64_t corrected =
-                    acc - static_cast<std::int64_t>(zx) * sum_w -
-                    static_cast<std::int64_t>(zw) * sum_x +
-                    patch * static_cast<std::int64_t>(zw) * zx;
                 const std::int64_t n = p / spatial, s = p % spatial;
-                y[(n * channels_ + c) * spatial + s] =
-                    ss * static_cast<float>(corrected) + bias.value[c];
+                y[(n * channels_ + c) * spatial + s] = po[p];
             }
         }
     });
@@ -164,47 +155,51 @@ Tensor DepthwiseConv2d::backward(const Tensor& gy) {
     const std::int64_t positions = geom_.positions();
     const std::int64_t patch = kernel_ * kernel_;
     const std::int64_t spatial = geom_.out_h() * geom_.out_w();
+    const std::int64_t image = geom_.in_h * geom_.in_w;
     assert(gy.numel() == batch_ * channels_ * spatial);
 
-    Tensor dcols(Shape{channels_ * positions, patch});
+    float* dcols = ws_.alloc<float>(channels_ * positions * patch);
     const bool quantized = mode_ == ComputeMode::kQuantized;
     const float* grad_w_lut = quantized ? mult_.grad->dw_table().data() : nullptr;
     const float* grad_x_lut = quantized ? mult_.grad->dx_table().data() : nullptr;
     const unsigned bits = quantized ? mult_.bits() : 0;
-    const float zw = quantized ? cached_wq_.params.zero_point : 0.0f;
-    const float zx = quantized ? cached_xq_.params.zero_point : 0.0f;
-    const float sw = quantized ? cached_wq_.params.scale : 0.0f;
-    const float sx = quantized ? cached_xq_.params.scale : 0.0f;
+    const float zw = quantized ? wq_.params.zero_point : 0.0f;
+    const float zx = quantized ? xq_.params.zero_point : 0.0f;
+    const float sw = quantized ? wq_.params.scale : 0.0f;
+    const float sx = quantized ? xq_.params.scale : 0.0f;
 
+    // The gradient loop stays fused (gw / bias / dcols in one pass) rather
+    // than re-seating on the generic lut_backward: the generic kernel skips
+    // zero upstream gradients, while this loop writes drow[k] even for
+    // g == 0 — folding through col2im, that distinction can surface as a
+    // signed-zero difference, and the golden tests pin bitwise identity.
     // All writes are per-channel slices (gw row, bias.grad[c], dcols rows),
     // so channels parallelize without any reduction.
-    runtime::parallel_for(0, channels_, 1, [&](std::int64_t cb, std::int64_t ce) {
+    runtime::parallel_for(0, channels_, tune::kGrainChannel,
+                          [&](std::int64_t cb, std::int64_t ce) {
     for (std::int64_t c = cb; c < ce; ++c) {
         float* gwrow = weight.grad.data() + c * patch;
         const float* wrow_f = weight.value.data() + c * patch;
-        const std::uint16_t* wrow_q =
-            quantized ? cached_wq_.codes.data() + c * patch : nullptr;
+        const std::uint16_t* wrow_q = quantized ? wq_.codes + c * patch : nullptr;
         for (std::int64_t p = 0; p < positions; ++p) {
             const std::int64_t n = p / spatial, s = p % spatial;
             const float g = gy[(n * channels_ + c) * spatial + s];
             bias.grad[c] += g;
-            float* drow = dcols.data() + (c * positions + p) * patch;
+            float* drow = dcols + (c * positions + p) * patch;
             if (!quantized) {
-                const float* crow = cached_cols_.data() + (c * positions + p) * patch;
+                const float* crow = cols_ + (c * positions + p) * patch;
                 for (std::int64_t k = 0; k < patch; ++k) {
                     gwrow[k] += g * crow[k];
                     drow[k] = g * wrow_f[k];
                 }
             } else {
-                const std::uint16_t* xrow =
-                    cached_xq_.codes.data() + (c * positions + p) * patch;
+                const std::uint16_t* xrow = xq_.codes + (c * positions + p) * patch;
                 for (std::int64_t k = 0; k < patch; ++k) {
                     const std::uint32_t idx =
                         (static_cast<std::uint32_t>(wrow_q[k]) << bits) | xrow[k];
-                    if (cached_wq_.in_range[static_cast<std::size_t>(c * patch + k)])
+                    if (wq_.in_range[c * patch + k])
                         gwrow[k] += g * sx * (grad_w_lut[idx] - zx);
-                    const bool x_ok = cached_xq_.in_range[static_cast<std::size_t>(
-                        (c * positions + p) * patch + k)];
+                    const bool x_ok = xq_.in_range[(c * positions + p) * patch + k];
                     drow[k] = x_ok ? g * sw * (grad_x_lut[idx] - zw) : 0.0f;
                 }
             }
@@ -212,19 +207,24 @@ Tensor DepthwiseConv2d::backward(const Tensor& gy) {
     }
     });
 
-    // Fold dcols back per channel; each channel writes its own gx slices.
+    // Fold dcols back per channel; each channel folds its contiguous column
+    // block into its own scratch image and copies the result into its gx
+    // slices (disjoint writes).
+    const std::int64_t chunks =
+        runtime::chunk_count(0, channels_, tune::kGrainChannel);
+    float* fold_buf = ws_.alloc<float>(chunks * batch_ * image);
     Tensor gx(Shape{batch_, channels_, geom_.in_h, geom_.in_w});
-    runtime::parallel_for(0, channels_, 1, [&](std::int64_t cb, std::int64_t ce) {
+    runtime::parallel_for_chunks(0, channels_, tune::kGrainChannel,
+                                 [&](std::int64_t cb, std::int64_t ce,
+                                     std::size_t chunk) {
+        float* chan_gx = fold_buf + static_cast<std::int64_t>(chunk) * batch_ * image;
         for (std::int64_t c = cb; c < ce; ++c) {
-            Tensor chan_cols(Shape{positions, patch});
-            std::copy(dcols.data() + c * positions * patch,
-                      dcols.data() + (c + 1) * positions * patch, chan_cols.data());
-            const Tensor chan_gx = tensor::col2im(chan_cols, geom_); // (N,1,H,W)
+            std::fill(chan_gx, chan_gx + batch_ * image, 0.0f);
+            kernels::col2im(dcols + c * positions * patch, geom_, chan_gx);
             for (std::int64_t n = 0; n < batch_; ++n) {
-                const float* src = chan_gx.data() + n * geom_.in_h * geom_.in_w;
-                float* dst =
-                    gx.data() + (n * channels_ + c) * geom_.in_h * geom_.in_w;
-                std::copy(src, src + geom_.in_h * geom_.in_w, dst);
+                const float* src = chan_gx + n * image;
+                float* dst = gx.data() + (n * channels_ + c) * image;
+                std::copy(src, src + image, dst);
             }
         }
     });

@@ -55,9 +55,12 @@ private:
 
     tensor::ConvGeom geom_; ///< per-channel geometry (in_ch = 1)
     std::int64_t batch_ = 0;
-    tensor::Tensor cached_cols_;       // float: (C*P, K*K)
-    quant::QuantizedTensor cached_xq_; // quant: codes of cols
-    quant::QuantizedTensor cached_wq_; // quant: codes of (C, K*K)
+    // Forward caches live in the workspace arena: reset at the start of
+    // forward(), valid through the matching backward (DESIGN.md §10).
+    kernels::Workspace ws_;
+    float* cols_ = nullptr; // (C*P, K*K) channel-blocked columns (ws_-backed)
+    kernels::QuantView xq_; // quant: codes of cols
+    kernels::QuantView wq_; // quant: codes of (C, K*K)
 };
 
 } // namespace amret::approx

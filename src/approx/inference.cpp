@@ -1,6 +1,7 @@
 #include "approx/inference.hpp"
 
-#include "approx/lut_gemm.hpp"
+#include "kernels/im2col.hpp"
+#include "kernels/lut_kernels.hpp"
 #include "nn/loss.hpp"
 #include "runtime/parallel.hpp"
 
@@ -11,49 +12,14 @@
 
 namespace amret::approx {
 
-FixedPointMultiplier quantize_multiplier(double m) {
-    assert(m > 0.0);
-    FixedPointMultiplier fpm;
-    if (m >= 1.0) {
-        // Rare (s_in*s_w > s_out); fold powers of two into a negative shift.
-        int up = 0;
-        while (m >= 1.0) {
-            m /= 2.0;
-            ++up;
-        }
-        fpm = quantize_multiplier(m);
-        fpm.shift -= up;
-        return fpm;
-    }
-    int shift = 0;
-    while (m < 0.5) {
-        m *= 2.0;
-        ++shift;
-    }
-    // m in [0.5, 1): mult in [2^30, 2^31).
-    fpm.mult = static_cast<std::int32_t>(std::lround(m * (1ll << 31)));
-    if (fpm.mult == (1ll << 31)) {
-        fpm.mult /= 2;
-        --shift;
-    }
-    fpm.shift = shift + 31;
-    return fpm;
-}
-
-std::int32_t fixed_point_rescale(std::int64_t v, const FixedPointMultiplier& fpm) {
-    const __int128 prod = static_cast<__int128>(v) * fpm.mult;
-    if (fpm.shift <= 0) {
-        return static_cast<std::int32_t>(prod << (-fpm.shift));
-    }
-    const __int128 rounding = __int128{1} << (fpm.shift - 1);
-    return static_cast<std::int32_t>((prod + rounding) >> fpm.shift);
-}
+namespace tune = kernels::tune;
 
 // ---------------------------------------------------------------- ops ----
 
 struct IntInferenceEngine::Op {
     virtual ~Op() = default;
-    virtual QTensor run(const QTensor& in) const = 0;
+    /// \p ws is the engine's scratch arena, reset before each op.
+    virtual QTensor run(const QTensor& in, kernels::Workspace& ws) const = 0;
     /// Float twin used during calibration; updates recorded ranges.
     virtual tensor::Tensor run_float(const tensor::Tensor& in) = 0;
 };
@@ -75,6 +41,7 @@ struct ConvOp final : IntInferenceEngine::Op {
 
     // Compiled integer parameters (filled by finalize()).
     std::vector<std::uint16_t> wq;
+    std::vector<std::int64_t> sum_w; ///< hoisted weight row sums (static)
     std::vector<std::int32_t> bias_int;
     std::int32_t zero_w = 0;
     float out_scale = 1.0f;
@@ -86,7 +53,7 @@ struct ConvOp final : IntInferenceEngine::Op {
 
     tensor::Tensor run_float(const tensor::Tensor& x) override {
         tensor::ConvGeom geom{x.dim(0), in_ch, x.dim(2), x.dim(3), kernel, stride, pad};
-        const tensor::Tensor cols = tensor::im2col(x, geom);
+        const tensor::Tensor cols = kernels::im2col(x, geom);
         tensor::Tensor po = tensor::matmul_nt(
             cols, folded_w.reshaped(tensor::Shape{out_ch, geom.patch()}));
         for (std::int64_t p = 0; p < po.dim(0); ++p)
@@ -125,6 +92,17 @@ struct ConvOp final : IntInferenceEngine::Op {
             wq[static_cast<std::size_t>(i)] =
                 static_cast<std::uint16_t>(wp.quantize(folded_w[i]));
 
+        // Weights are static after compilation, so the Eq. (8) weight row
+        // sums are hoisted here instead of being recomputed every batch.
+        const std::int64_t patch = folded_w.numel() / out_ch;
+        sum_w.assign(static_cast<std::size_t>(out_ch), 0);
+        for (std::int64_t o = 0; o < out_ch; ++o) {
+            std::int64_t s = 0;
+            for (std::int64_t k = 0; k < patch; ++k)
+                s += wq[static_cast<std::size_t>(o * patch + k)];
+            sum_w[static_cast<std::size_t>(o)] = s;
+        }
+
         // Output activations must index the *next* layer's LUT, so they are
         // quantized to the network-wide activation width.
         out_qmax = static_cast<std::int32_t>((1u << act_bits) - 1);
@@ -140,41 +118,16 @@ struct ConvOp final : IntInferenceEngine::Op {
                 std::lround(static_cast<double>(folded_b[o]) / acc_scale));
     }
 
-    QTensor run(const QTensor& x) const override {
+    QTensor run(const QTensor& x, kernels::Workspace& ws) const override {
         tensor::ConvGeom geom{x.n, in_ch, x.h, x.w, kernel, stride, pad};
         const std::int64_t patch = geom.patch();
         const std::int64_t positions = geom.positions();
         const std::int64_t oh = geom.out_h(), ow = geom.out_w();
 
         // uint8 im2col with zero-point padding (exact hardware behaviour).
-        // Batch images fill disjoint row blocks, so they run in parallel.
-        std::vector<std::uint16_t> cols(static_cast<std::size_t>(positions * patch));
-        const auto zin = static_cast<std::uint16_t>(x.zero);
-        runtime::parallel_for(0, x.n, 1, [&](std::int64_t nb, std::int64_t ne) {
-            for (std::int64_t n = nb; n < ne; ++n) {
-                for (std::int64_t oy = 0; oy < oh; ++oy) {
-                    for (std::int64_t ox = 0; ox < ow; ++ox) {
-                        std::uint16_t* row =
-                            cols.data() + ((n * oh + oy) * ow + ox) * patch;
-                        std::int64_t idx = 0;
-                        for (std::int64_t c = 0; c < in_ch; ++c) {
-                            for (std::int64_t ky = 0; ky < kernel; ++ky) {
-                                const std::int64_t iy = oy * stride + ky - pad;
-                                for (std::int64_t kx = 0; kx < kernel; ++kx, ++idx) {
-                                    const std::int64_t ix = ox * stride + kx - pad;
-                                    row[idx] =
-                                        (iy >= 0 && iy < x.h && ix >= 0 && ix < x.w)
-                                            ? x.data[((n * in_ch + c) * x.h + iy) *
-                                                         x.w +
-                                                     ix]
-                                            : zin;
-                                }
-                            }
-                        }
-                    }
-                }
-            }
-        });
+        std::uint16_t* cols = ws.alloc<std::uint16_t>(positions * patch);
+        kernels::im2col_u8(x.data.data(), geom,
+                           static_cast<std::uint16_t>(x.zero), cols);
 
         QTensor y;
         y.n = x.n;
@@ -185,45 +138,47 @@ struct ConvOp final : IntInferenceEngine::Op {
         y.zero = out_zero;
         y.data.resize(static_cast<std::size_t>(y.numel()));
 
-        const std::int32_t* table = lut->table().data();
-        std::vector<std::int64_t> sum_w(static_cast<std::size_t>(out_ch), 0);
-        runtime::parallel_for(0, out_ch, runtime::grain_for(out_ch, 8),
-                              [&](std::int64_t ob, std::int64_t oe) {
-            for (std::int64_t o = ob; o < oe; ++o) {
-                std::int64_t s = 0;
-                for (std::int64_t k = 0; k < patch; ++k) s += wq[o * patch + k];
-                sum_w[static_cast<std::size_t>(o)] = s;
-            }
-        });
+        kernels::LutGemmArgs args;
+        args.bits = bits;
+        args.lut = lut->table().data();
+        args.wq = wq.data();
+        args.xq = cols;
+        args.o = out_ch;
+        args.p = positions;
+        args.k = patch;
+        args.zero_w = zero_w;
+        args.zero_x = x.zero;
+        args.sum_w = sum_w.data(); // hoisted at finalize()
 
-        // Each output position writes a disjoint set of y elements, so the
-        // integer GEMM parallelizes over positions without any reduction.
+        // Tiled integer GEMM with the requantization epilogue. Every value
+        // in the epilogue is integer arithmetic, so tiling/blocking cannot
+        // change results; each position row writes disjoint y elements.
+        const kernels::TileConfig tile;
+        std::int64_t* sum_x = ws.alloc<std::int64_t>(positions);
+        const std::int64_t grain =
+            runtime::grain_for(positions, tune::kGrainGemmRows);
+        const std::int64_t chunks = runtime::chunk_count(0, positions, grain);
+        std::int64_t* acc = ws.alloc<std::int64_t>(chunks * tile.acc_elems());
         const std::int64_t spatial = oh * ow;
-        runtime::parallel_for(0, positions, runtime::grain_for(positions, 4),
-                              [&](std::int64_t pb, std::int64_t pe) {
-            for (std::int64_t p = pb; p < pe; ++p) {
-                const std::uint16_t* xrow = cols.data() + p * patch;
-                std::int64_t sum_x = 0;
-                for (std::int64_t k = 0; k < patch; ++k) sum_x += xrow[k];
-                for (std::int64_t o = 0; o < out_ch; ++o) {
-                    const std::uint16_t* wrow = wq.data() + o * patch;
-                    std::int64_t acc = 0;
-                    for (std::int64_t k = 0; k < patch; ++k)
-                        acc += table[(static_cast<std::uint32_t>(wrow[k]) << bits) |
-                                     xrow[k]];
-                    acc -= static_cast<std::int64_t>(x.zero) *
-                           sum_w[static_cast<std::size_t>(o)];
-                    acc -= static_cast<std::int64_t>(zero_w) * sum_x;
-                    acc += patch * static_cast<std::int64_t>(zero_w) * x.zero;
-                    acc += bias_int[static_cast<std::size_t>(o)];
-                    std::int32_t v = fixed_point_rescale(acc, requant) + out_zero;
+        runtime::parallel_for_chunks(0, positions, grain,
+                                     [&](std::int64_t pb, std::int64_t pe,
+                                         std::size_t chunk) {
+            kernels::lut_row_sums_x(args, pb, pe, sum_x);
+            kernels::lut_gemm_tile(
+                args, pb, pe, args.sum_w, sum_x, tile,
+                acc + static_cast<std::int64_t>(chunk) * tile.acc_elems(),
+                [&](std::int64_t pp, std::int64_t oo, std::int64_t corrected) {
+                    const std::int64_t a = corrected +
+                                           bias_int[static_cast<std::size_t>(oo)];
+                    std::int32_t v = quant::fixed_point_rescale(a, requant) +
+                                     out_zero;
                     if (relu) v = std::max(v, out_zero);
                     v = std::clamp(v, 0, out_qmax);
-                    const std::int64_t n = p / spatial, s = p % spatial;
-                    y.data[(n * out_ch + o) * spatial + s] =
+                    const std::int64_t n = pp / spatial, s = pp % spatial;
+                    y.data[static_cast<std::size_t>((n * out_ch + oo) * spatial +
+                                                    s)] =
                         static_cast<std::uint8_t>(v);
-                }
-            }
+                });
         });
         return y;
     }
@@ -237,7 +192,7 @@ struct MaxPoolOp final : IntInferenceEngine::Op {
         return pool.forward(x);
     }
 
-    QTensor run(const QTensor& x) const override {
+    QTensor run(const QTensor& x, kernels::Workspace&) const override {
         QTensor y;
         y.n = x.n;
         y.c = x.c;
@@ -276,7 +231,7 @@ struct AvgPoolOp final : IntInferenceEngine::Op {
         return pool.forward(x);
     }
 
-    QTensor run(const QTensor& x) const override {
+    QTensor run(const QTensor& x, kernels::Workspace&) const override {
         QTensor y;
         y.n = x.n;
         y.c = x.c;
@@ -473,7 +428,10 @@ QTensor IntInferenceEngine::quantize_input(const tensor::Tensor& images) const {
 
 tensor::Tensor IntInferenceEngine::forward(const tensor::Tensor& images) {
     QTensor q = quantize_input(images);
-    for (const auto& op : ops_) q = op->run(q);
+    for (const auto& op : ops_) {
+        ws_.reset();
+        q = op->run(q, ws_);
+    }
 
     // Dequantize and run the float head.
     tensor::Tensor features(tensor::Shape{q.n, q.c * q.h * q.w});

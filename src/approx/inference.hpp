@@ -22,6 +22,7 @@
 
 #include "approx/approx_conv.hpp"
 #include "data/dataset.hpp"
+#include "kernels/workspace.hpp"
 #include "nn/layers.hpp"
 #include "nn/module.hpp"
 
@@ -76,19 +77,15 @@ private:
     unsigned act_bits_ = 8; ///< network-wide activation width (min LUT width)
     float input_scale_ = 1.0f;
     std::int32_t input_zero_ = 0;
+    kernels::Workspace ws_; ///< per-op scratch arena, reset before each op
 
     QTensor quantize_input(const tensor::Tensor& images) const;
 };
 
-/// Fixed-point representation of a positive real multiplier m < 1:
-/// m ~= mult * 2^-shift with mult in [2^30, 2^31). Exposed for testing.
-struct FixedPointMultiplier {
-    std::int32_t mult = 0;
-    int shift = 0;
-};
-FixedPointMultiplier quantize_multiplier(double m);
-
-/// Applies the fixed-point multiplier with rounding: (v * mult) >> shift.
-std::int32_t fixed_point_rescale(std::int64_t v, const FixedPointMultiplier& fpm);
+/// The fixed-point requantization helpers now live in src/quant
+/// (quant::FixedPointMultiplier et al.); aliases kept for compatibility.
+using FixedPointMultiplier = quant::FixedPointMultiplier;
+using quant::fixed_point_rescale;
+using quant::quantize_multiplier;
 
 } // namespace amret::approx

@@ -1,5 +1,6 @@
 #include "core/grad_lut.hpp"
 
+#include "kernels/tuning.hpp"
 #include "runtime/parallel.hpp"
 
 #include <cassert>
@@ -62,7 +63,7 @@ GradLut build_ste_grad(unsigned bits) {
     const std::uint64_t n = std::uint64_t{1} << bits;
     std::vector<float> d_dw(n * n), d_dx(n * n);
     const auto rows = static_cast<std::int64_t>(n);
-    runtime::parallel_for(0, rows, runtime::grain_for(rows, 8),
+    runtime::parallel_for(0, rows, runtime::grain_for(rows, kernels::tune::kGrainSumRows),
                           [&](std::int64_t wb, std::int64_t we) {
         for (std::int64_t wi = wb; wi < we; ++wi) {
             const auto w = static_cast<std::uint64_t>(wi);
@@ -86,7 +87,7 @@ void fill_from_rows(const appmult::AppMultLut& lut, unsigned hws, bool transpose
     const auto rows = static_cast<std::int64_t>(n);
     // Each `fixed` row writes a disjoint slice of `out`; the scratch row
     // buffer lives inside the chunk so chunks never share state.
-    runtime::parallel_for(0, rows, runtime::grain_for(rows, 4),
+    runtime::parallel_for(0, rows, runtime::grain_for(rows, kernels::tune::kGrainLutRows),
                           [&](std::int64_t fb, std::int64_t fe) {
         std::vector<double> row(n);
         for (std::int64_t fi = fb; fi < fe; ++fi) {
@@ -151,7 +152,7 @@ GenericGradTables build_difference_grad_generic(
 
     const auto rows = static_cast<std::int64_t>(n);
     // d/dx rows: w fixed. Each wi writes its own d_dx row.
-    runtime::parallel_for(0, rows, runtime::grain_for(rows, 4),
+    runtime::parallel_for(0, rows, runtime::grain_for(rows, kernels::tune::kGrainLutRows),
                           [&](std::int64_t wb, std::int64_t we) {
         std::vector<double> row(n);
         for (std::int64_t wv = wb; wv < we; ++wv) {
@@ -165,7 +166,7 @@ GenericGradTables build_difference_grad_generic(
         }
     });
     // d/dw rows: x fixed. Each xi writes its own d_dw column.
-    runtime::parallel_for(0, rows, runtime::grain_for(rows, 4),
+    runtime::parallel_for(0, rows, runtime::grain_for(rows, kernels::tune::kGrainLutRows),
                           [&](std::int64_t xb, std::int64_t xe) {
         std::vector<double> row(n);
         for (std::int64_t xv = xb; xv < xe; ++xv) {
@@ -188,7 +189,7 @@ GradLut build_blended_grad(const appmult::AppMultLut& lut, unsigned hws,
     const GradLut ste = build_ste_grad(lut.bits());
     std::vector<float> dw(diff.dw_table().size()), dx(diff.dx_table().size());
     const auto total = static_cast<std::int64_t>(dw.size());
-    runtime::parallel_for(0, total, runtime::grain_for(total, 1024),
+    runtime::parallel_for(0, total, runtime::grain_for(total, kernels::tune::kGrainElementwiseWide),
                           [&](std::int64_t b, std::int64_t e) {
         for (std::int64_t iv = b; iv < e; ++iv) {
             const auto i = static_cast<std::size_t>(iv);

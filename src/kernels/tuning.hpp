@@ -1,0 +1,57 @@
+/// \file tuning.hpp
+/// \brief Named tuning constants for the LUT-kernel layer.
+///
+/// Every grain and tile dimension used by the hot paths lives here, so
+/// tuning happens in one place instead of as magic numbers scattered over
+/// the consumers. Two rules keep the determinism contract intact:
+///   - parallel_for grains over *disjoint-write* loops may change freely
+///     (chunking never changes what a chunk computes);
+///   - grains feeding parallel_accumulate (kGrainBiasRows) change the
+///     chunk-reduction association order and therefore the float results —
+///     treat them as part of the numerical contract, not free tuning knobs.
+/// Tile dimensions (kTileP/kTileO/kTileK) only re-block integer-accumulated
+/// or order-preserving loops, so they are always safe to tune (see
+/// lut_kernels.hpp).
+#pragma once
+
+#include <cstdint>
+
+namespace amret::kernels::tune {
+
+/// Per-channel / per-filter loops (one channel is already a big work item).
+inline constexpr std::int64_t kGrainChannel = 1;
+
+/// Position-row loops of a LUT GEMM (forward rows, gx rows).
+inline constexpr std::int64_t kGrainGemmRows = 4;
+
+/// Row-sum / LUT-table-row scans.
+inline constexpr std::int64_t kGrainSumRows = 8;
+
+/// Gradient-LUT row fills and per-row LUT invariant checks (each row is a
+/// 2^B-entry scan plus a difference-gradient pass).
+inline constexpr std::int64_t kGrainLutRows = 4;
+
+/// Bias-gradient accumulation rows. Feeds parallel_accumulate: changing it
+/// changes the reduction association order and thus float results.
+inline constexpr std::int64_t kGrainBiasRows = 16;
+
+/// Position-row layout transforms (scatter/gather, bias add).
+inline constexpr std::int64_t kGrainCopyRows = 64;
+
+/// Elementwise mask / scale loops.
+inline constexpr std::int64_t kGrainElementwise = 256;
+
+/// Wide elementwise loops (quantization, input conversion).
+inline constexpr std::int64_t kGrainElementwiseWide = 1024;
+
+/// LUT-GEMM tile block dims; the int64 accumulator tile is kTileP x kTileO.
+/// Tuned from bench_micro --tile-sweep (results/kernel_tile_sweep.csv): the
+/// random product-LUT lookups dominate, so wide K blocks win (K splitting
+/// only adds accumulator-tile traffic) and large P/O tiles amortize the
+/// epilogue. kTileK still bounds the operand rows touched per accumulator
+/// pass for very deep reductions (patch > 1024).
+inline constexpr std::int64_t kTileP = 16;
+inline constexpr std::int64_t kTileO = 64;
+inline constexpr std::int64_t kTileK = 1024;
+
+} // namespace amret::kernels::tune

@@ -1,0 +1,54 @@
+#include "kernels/workspace.hpp"
+
+#include <algorithm>
+
+namespace amret::kernels {
+
+namespace {
+constexpr std::size_t kMinSlabBytes = 1u << 16; // 64 KiB
+}
+
+std::size_t Workspace::capacity() const {
+    std::size_t total = 0;
+    for (const Slab& s : slabs_) total += s.size;
+    return total;
+}
+
+void Workspace::reset() {
+    if (slabs_.size() > 1) {
+        // Coalesce: one slab big enough for everything the last epoch used,
+        // so the next epoch allocates nothing.
+        const std::size_t want = std::max(capacity(), used_);
+        slabs_.clear();
+        slabs_.push_back(Slab{std::make_unique<std::byte[]>(want), want});
+    }
+    cursor_ = 0;
+    used_ = 0;
+}
+
+void* Workspace::raw_alloc(std::size_t bytes, std::size_t align) {
+    if (bytes == 0) bytes = 1; // keep returned pointers distinct
+    if (!slabs_.empty()) {
+        Slab& top = slabs_.back();
+        const std::size_t base = reinterpret_cast<std::size_t>(top.data.get());
+        const std::size_t aligned = (base + cursor_ + align - 1) & ~(align - 1);
+        const std::size_t offset = aligned - base;
+        if (offset + bytes <= top.size) {
+            used_ += (offset - cursor_) + bytes; // padding + payload
+            cursor_ = offset + bytes;
+            return reinterpret_cast<void*>(aligned);
+        }
+    }
+    // Chain a new slab; old slabs stay alive so earlier pointers remain valid.
+    const std::size_t want =
+        std::max({kMinSlabBytes, bytes + align, capacity() * 2});
+    slabs_.push_back(Slab{std::make_unique<std::byte[]>(want), want});
+    Slab& top = slabs_.back();
+    const std::size_t base = reinterpret_cast<std::size_t>(top.data.get());
+    const std::size_t aligned = (base + align - 1) & ~(align - 1);
+    cursor_ = (aligned - base) + bytes;
+    used_ += cursor_;
+    return reinterpret_cast<void*>(aligned);
+}
+
+} // namespace amret::kernels

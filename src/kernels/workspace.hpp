@@ -1,0 +1,69 @@
+/// \file workspace.hpp
+/// \brief Bump-allocated scratch arena for the kernel layer.
+///
+/// Every quantized layer call used to allocate fresh std::vector scratch
+/// (im2col columns, quantized codes, row sums, raw gradients) per batch.
+/// A Workspace replaces those with bump allocations out of a slab that is
+/// reused across batches, so steady-state training/inference performs no
+/// heap allocation in the kernel hot path.
+///
+/// Lifetime rules (see DESIGN.md §10):
+///   - reset() at the start of a layer's forward; every alloc() between two
+///     resets stays valid until the next reset, so buffers allocated in
+///     forward (quantized operands, masks) remain valid for the matching
+///     backward, which allocates its own scratch on top.
+///   - alloc() must be called from one thread (the layer entry point);
+///     the returned buffers may then be read/written by parallel chunks.
+///   - Growth never invalidates earlier allocations: a full slab is kept
+///     and a larger one is chained; reset() coalesces to a single slab at
+///     the high-water mark, so steady state is one allocation-free slab.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+namespace amret::kernels {
+
+class Workspace {
+public:
+    Workspace() = default;
+    Workspace(const Workspace&) = delete;
+    Workspace& operator=(const Workspace&) = delete;
+
+    /// Starts a fresh allocation epoch. Previously returned pointers become
+    /// invalid; capacity is retained (coalesced into one slab).
+    void reset();
+
+    /// Bump-allocates \p n elements of T, aligned to alignof(T) (at least 8
+    /// for cross-type reuse). Contents are uninitialized.
+    template <typename T>
+    T* alloc(std::int64_t n) {
+        static_assert(alignof(T) <= 64, "over-aligned types unsupported");
+        return static_cast<T*>(
+            raw_alloc(static_cast<std::size_t>(n) * sizeof(T),
+                      alignof(T) < 8 ? 8 : alignof(T)));
+    }
+
+    /// Bytes handed out since the last reset().
+    [[nodiscard]] std::size_t used() const { return used_; }
+    /// Total bytes owned across slabs.
+    [[nodiscard]] std::size_t capacity() const;
+    /// Number of slabs currently owned (1 in steady state).
+    [[nodiscard]] std::size_t slab_count() const { return slabs_.size(); }
+
+private:
+    struct Slab {
+        std::unique_ptr<std::byte[]> data;
+        std::size_t size = 0;
+    };
+
+    void* raw_alloc(std::size_t bytes, std::size_t align);
+
+    std::vector<Slab> slabs_;
+    std::size_t cursor_ = 0; ///< offset into the last slab
+    std::size_t used_ = 0;   ///< bytes handed out this epoch (incl. padding)
+};
+
+} // namespace amret::kernels

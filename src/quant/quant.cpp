@@ -1,6 +1,7 @@
 #include "quant/quant.hpp"
 
 #include <algorithm>
+#include <cassert>
 #include <cmath>
 #include <vector>
 
@@ -96,6 +97,47 @@ tensor::Tensor fake_quantize(const tensor::Tensor& t, const QuantParams& params)
     for (std::int64_t i = 0; i < out.numel(); ++i)
         out[i] = params.dequantize(params.quantize(out[i]));
     return out;
+}
+
+FixedPointMultiplier quantize_multiplier(double m) {
+    assert(m > 0.0);
+    FixedPointMultiplier fpm;
+    if (m >= 1.0) {
+        // Rare (s_in*s_w > s_out); fold powers of two into a negative shift.
+        int up = 0;
+        while (m >= 1.0) {
+            m /= 2.0;
+            ++up;
+        }
+        fpm = quantize_multiplier(m);
+        fpm.shift -= up;
+        return fpm;
+    }
+    int shift = 0;
+    while (m < 0.5) {
+        m *= 2.0;
+        ++shift;
+    }
+    // m in [0.5, 1): mult in [2^30, 2^31). Renormalize BEFORE narrowing to
+    // int32 — lround can land exactly on 2^31 for m just below 1.0, which
+    // would wrap to INT32_MIN and flip the sign of every rescale.
+    std::int64_t mant = std::lround(m * (1ll << 31));
+    if (mant == (1ll << 31)) {
+        mant /= 2;
+        --shift;
+    }
+    fpm.mult = static_cast<std::int32_t>(mant);
+    fpm.shift = shift + 31;
+    return fpm;
+}
+
+std::int32_t fixed_point_rescale(std::int64_t v, const FixedPointMultiplier& fpm) {
+    const __int128 prod = static_cast<__int128>(v) * fpm.mult;
+    if (fpm.shift <= 0) {
+        return static_cast<std::int32_t>(prod << (-fpm.shift));
+    }
+    const __int128 rounding = __int128{1} << (fpm.shift - 1);
+    return static_cast<std::int32_t>((prod + rounding) >> fpm.shift);
 }
 
 } // namespace amret::quant

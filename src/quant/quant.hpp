@@ -107,4 +107,17 @@ QuantizedTensor quantize_tensor(const tensor::Tensor& t, const QuantParams& para
 /// as the reference for the exact-multiplier integer path).
 tensor::Tensor fake_quantize(const tensor::Tensor& t, const QuantParams& params);
 
+/// Fixed-point representation of a positive real multiplier m < 1:
+/// m ~= mult * 2^-shift with mult in [2^30, 2^31). Used by the integer
+/// inference path to requantize accumulators (M = s_in*s_w/s_out per Jacob
+/// et al., CVPR'18) without float arithmetic.
+struct FixedPointMultiplier {
+    std::int32_t mult = 0;
+    int shift = 0;
+};
+FixedPointMultiplier quantize_multiplier(double m);
+
+/// Applies the fixed-point multiplier with rounding: (v * mult) >> shift.
+std::int32_t fixed_point_rescale(std::int64_t v, const FixedPointMultiplier& fpm);
+
 } // namespace amret::quant

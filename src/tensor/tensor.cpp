@@ -166,68 +166,4 @@ Tensor matmul_nt(const Tensor& a, const Tensor& b) {
     return c;
 }
 
-Tensor im2col(const Tensor& x, const ConvGeom& geom) {
-    assert(x.rank() == 4);
-    assert(x.dim(0) == geom.batch && x.dim(1) == geom.in_ch &&
-           x.dim(2) == geom.in_h && x.dim(3) == geom.in_w);
-    const std::int64_t oh = geom.out_h(), ow = geom.out_w();
-    const std::int64_t patch = geom.patch();
-    Tensor cols(Shape{geom.positions(), patch});
-    const float* px = x.data();
-    float* pc = cols.data();
-
-    for (std::int64_t n = 0; n < geom.batch; ++n) {
-        for (std::int64_t oy = 0; oy < oh; ++oy) {
-            for (std::int64_t ox = 0; ox < ow; ++ox) {
-                float* row = pc + ((n * oh + oy) * ow + ox) * patch;
-                std::int64_t idx = 0;
-                for (std::int64_t c = 0; c < geom.in_ch; ++c) {
-                    for (std::int64_t ky = 0; ky < geom.kernel; ++ky) {
-                        const std::int64_t iy = oy * geom.stride + ky - geom.pad;
-                        for (std::int64_t kx = 0; kx < geom.kernel; ++kx, ++idx) {
-                            const std::int64_t ix = ox * geom.stride + kx - geom.pad;
-                            row[idx] =
-                                (iy >= 0 && iy < geom.in_h && ix >= 0 && ix < geom.in_w)
-                                    ? px[((n * geom.in_ch + c) * geom.in_h + iy) * geom.in_w + ix]
-                                    : 0.0f;
-                        }
-                    }
-                }
-            }
-        }
-    }
-    return cols;
-}
-
-Tensor col2im(const Tensor& cols, const ConvGeom& geom) {
-    assert(cols.rank() == 2);
-    assert(cols.dim(0) == geom.positions() && cols.dim(1) == geom.patch());
-    const std::int64_t oh = geom.out_h(), ow = geom.out_w();
-    Tensor x(Shape{geom.batch, geom.in_ch, geom.in_h, geom.in_w});
-    const float* pc = cols.data();
-    float* px = x.data();
-
-    for (std::int64_t n = 0; n < geom.batch; ++n) {
-        for (std::int64_t oy = 0; oy < oh; ++oy) {
-            for (std::int64_t ox = 0; ox < ow; ++ox) {
-                const float* row = pc + ((n * oh + oy) * ow + ox) * geom.patch();
-                std::int64_t idx = 0;
-                for (std::int64_t c = 0; c < geom.in_ch; ++c) {
-                    for (std::int64_t ky = 0; ky < geom.kernel; ++ky) {
-                        const std::int64_t iy = oy * geom.stride + ky - geom.pad;
-                        for (std::int64_t kx = 0; kx < geom.kernel; ++kx, ++idx) {
-                            const std::int64_t ix = ox * geom.stride + kx - geom.pad;
-                            if (iy >= 0 && iy < geom.in_h && ix >= 0 && ix < geom.in_w) {
-                                px[((n * geom.in_ch + c) * geom.in_h + iy) * geom.in_w + ix] +=
-                                    row[idx];
-                            }
-                        }
-                    }
-                }
-            }
-        }
-    }
-    return x;
-}
-
 } // namespace amret::tensor

@@ -2,9 +2,10 @@
 /// \brief Dense row-major float tensor used by the retraining framework.
 ///
 /// A deliberately small tensor: contiguous float storage, shape metadata,
-/// and the handful of kernels the DNN stack needs (GEMM, im2col, reductions,
+/// and the handful of kernels the DNN stack needs (GEMM, reductions,
 /// elementwise ops). NCHW layout throughout. Substitutes the role PyTorch
-/// plays in the paper's framework.
+/// plays in the paper's framework. The conv layout transforms (im2col /
+/// col2im) live in src/kernels.
 #pragma once
 
 #include "util/rng.hpp"
@@ -97,13 +98,8 @@ struct ConvGeom {
     [[nodiscard]] std::int64_t positions() const { return batch * out_h() * out_w(); }
 };
 
-/// Unfolds x (N, C, H, W) into a (positions, patch) matrix; each row is the
-/// receptive field of one output pixel (zero-padded). Row-major patches are
-/// ordered c-major then kernel row/col, matching weight layout (O, C, K, K).
-Tensor im2col(const Tensor& x, const ConvGeom& geom);
-
-/// Transpose of im2col: folds (positions, patch) gradients back to the input
-/// shape, accumulating overlapping contributions.
-Tensor col2im(const Tensor& cols, const ConvGeom& geom);
+// The im2col / col2im planners moved to src/kernels (kernels::im2col,
+// kernels::col2im): they are layout transforms of the kernel layer, shared
+// by the float, fake-quant and integer-inference paths.
 
 } // namespace amret::tensor

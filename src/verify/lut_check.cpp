@@ -1,6 +1,7 @@
 #include "verify/lut_check.hpp"
 
 #include "netlist/sim.hpp"
+#include "kernels/tuning.hpp"
 #include "runtime/parallel.hpp"
 
 #include <algorithm>
@@ -104,7 +105,7 @@ std::vector<Mismatch> diff_against_reference(const AppMultLut& lut,
     const unsigned bits = lut.bits();
     const std::uint64_t n = lut.domain();
     const auto rows = static_cast<std::int64_t>(n);
-    const std::int64_t grain = runtime::grain_for(rows, 4);
+    const std::int64_t grain = runtime::grain_for(rows, kernels::tune::kGrainLutRows);
     const auto chunks = static_cast<std::size_t>(runtime::chunk_count(0, rows, grain));
     std::vector<std::vector<Mismatch>> scratch(chunks);
 

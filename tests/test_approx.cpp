@@ -3,7 +3,8 @@
 // integer path must equal a float convolution over fake-quantized tensors,
 // in both forward and backward — this pins Eq. (8) and Eq. (9) end to end.
 #include "approx/approx_conv.hpp"
-#include "approx/lut_gemm.hpp"
+#include "kernels/im2col.hpp"
+#include "kernels/lut_kernels.hpp"
 #include "appmult/registry.hpp"
 #include "models/models.hpp"
 
@@ -47,7 +48,7 @@ TEST(LutGemm, ForwardMatchesDequantizedDotProduct) {
     std::vector<std::uint16_t> wq = {1, 2, 3, 4, 5, 0, 15, 7, 9, 3, 8, 8, 8, 8, 8};
     std::vector<std::uint16_t> xq = {3, 1, 4, 1, 5, 9, 2, 6, 5, 3};
 
-    approx::LutGemmArgs args;
+    kernels::LutGemmArgs args;
     args.bits = bits;
     args.lut = lut.table().data();
     args.wq = wq.data();
@@ -61,7 +62,8 @@ TEST(LutGemm, ForwardMatchesDequantizedDotProduct) {
     args.zero_x = 4;
 
     std::vector<float> y(static_cast<std::size_t>(P * O));
-    approx::lut_forward(args, nullptr, y.data());
+    kernels::Workspace ws;
+    kernels::lut_forward(args, nullptr, y.data(), ws);
 
     for (std::int64_t p = 0; p < P; ++p) {
         for (std::int64_t o = 0; o < O; ++o) {
@@ -82,7 +84,7 @@ TEST(LutGemm, ForwardAddsBias) {
     const auto lut = appmult::AppMultLut::exact(bits);
     std::vector<std::uint16_t> wq = {0};
     std::vector<std::uint16_t> xq = {0};
-    approx::LutGemmArgs args;
+    kernels::LutGemmArgs args;
     args.bits = bits;
     args.lut = lut.table().data();
     args.wq = wq.data();
@@ -90,7 +92,8 @@ TEST(LutGemm, ForwardAddsBias) {
     args.o = args.p = args.k = 1;
     const float bias = 2.75f;
     float y = 0.0f;
-    approx::lut_forward(args, &bias, &y);
+    kernels::Workspace ws;
+    kernels::lut_forward(args, &bias, &y, ws);
     EXPECT_FLOAT_EQ(y, 2.75f);
 }
 
@@ -103,7 +106,7 @@ TEST(LutGemm, BackwardSteMatchesDequantizedOperands) {
     std::vector<std::uint16_t> xq = {5, 5, 5, 5, 0, 1, 2, 3, 15, 14, 13, 12};
     std::vector<float> gyp = {1.0f, -2.0f, 0.5f, 0.0f, 3.0f, 1.0f};
 
-    approx::LutGemmArgs args;
+    kernels::LutGemmArgs args;
     args.bits = bits;
     args.lut = lut.table().data();
     args.wq = wq.data();
@@ -116,8 +119,8 @@ TEST(LutGemm, BackwardSteMatchesDequantizedOperands) {
 
     std::vector<float> gw(static_cast<std::size_t>(O * K), 0.0f);
     std::vector<float> gx(static_cast<std::size_t>(P * K), 0.0f);
-    approx::lut_backward(args, gyp.data(), grad.dw_table().data(),
-                         grad.dx_table().data(), gw.data(), gx.data());
+    kernels::lut_backward(args, gyp.data(), grad.dw_table().data(),
+                          grad.dx_table().data(), gw.data(), gx.data());
 
     // STE raw sums: gw[o,k] = sum_p gyp * (Xq - Zx); gx[p,k] = sum_o gyp * (Wq - Zw).
     for (std::int64_t o = 0; o < O; ++o)
@@ -159,7 +162,7 @@ ConvRefResult fake_quant_conv_reference(const Tensor& x, const Tensor& w,
     const Tensor fqx = quant::fake_quantize(x, xp);
 
     tensor::ConvGeom geom{x.dim(0), x.dim(1), x.dim(2), x.dim(3), kernel, stride, pad};
-    const Tensor cols = tensor::im2col(fqx, geom);
+    const Tensor cols = kernels::im2col(fqx, geom);
     const std::int64_t out_ch = w.dim(0);
     const Tensor w2d = fqw.reshaped(Shape{out_ch, geom.patch()});
     Tensor po = tensor::matmul_nt(cols, w2d);
@@ -178,7 +181,7 @@ ConvRefResult fake_quant_conv_reference(const Tensor& x, const Tensor& w,
             }
 
     ref.gw = tensor::matmul_tn(gyp, cols).reshaped(w.shape());
-    ref.gx = tensor::col2im(tensor::matmul(gyp, w2d), geom);
+    ref.gx = kernels::col2im(tensor::matmul(gyp, w2d), geom);
     ref.gb = Tensor(Shape{out_ch});
     for (std::int64_t p = 0; p < gyp.dim(0); ++p)
         for (std::int64_t o = 0; o < out_ch; ++o) ref.gb[o] += gyp[p * out_ch + o];
@@ -426,7 +429,7 @@ TEST(PerChannel, ExactPathEqualsPerChannelFakeQuantReference) {
     const auto xp = quant::choose_params(x.min(), x.max(), 8);
     const Tensor fqx = quant::fake_quantize(x, xp);
     tensor::ConvGeom geom{2, 3, 5, 5, 3, 1, 1};
-    const Tensor cols = tensor::im2col(fqx, geom);
+    const Tensor cols = kernels::im2col(fqx, geom);
     Tensor po = tensor::matmul_nt(cols, fqw.reshaped(Shape{5, 27}));
     for (std::int64_t p = 0; p < po.dim(0); ++p)
         for (std::int64_t o = 0; o < 5; ++o) po[p * 5 + o] += conv.bias.value[o];
@@ -508,7 +511,7 @@ TEST(PerChannel, BackwardStaysConsistentWithFakeQuantReference) {
     for (std::int64_t o = 0; o < 3; ++o)
         for (std::int64_t s = 0; s < 25; ++s) gyp[s * 3 + o] = gy[o * 25 + s];
     const Tensor ref_gx =
-        tensor::col2im(tensor::matmul(gyp, fqw.reshaped(Shape{3, 18})), geom);
+        kernels::col2im(tensor::matmul(gyp, fqw.reshaped(Shape{3, 18})), geom);
     for (std::int64_t i = 0; i < gx.numel(); ++i)
         ASSERT_NEAR(gx[i], ref_gx[i], 2e-3f) << i;
 }

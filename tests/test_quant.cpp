@@ -159,4 +159,60 @@ TEST(PercentileObserver, ParamsCoverClippedRange) {
     EXPECT_NEAR(p.dequantize(p.quantize(0.0f)), 0.0f, 1e-5f);
 }
 
+// ------------------------------------------------ fixed-point requantize --
+// Boundary behaviour of the Sec. IV integer requantization helpers, now
+// owned by src/quant (the integer inference engine consumes them).
+
+TEST(FixedPoint, HalfMultiplierRoundsHalfUp) {
+    const quant::FixedPointMultiplier fpm = quant::quantize_multiplier(0.5);
+    EXPECT_EQ(fpm.mult, std::int32_t{1} << 30);
+    EXPECT_EQ(fpm.shift, 31);
+    EXPECT_EQ(quant::fixed_point_rescale(5, fpm), 3);   // 2.5 -> 3
+    EXPECT_EQ(quant::fixed_point_rescale(-5, fpm), -2); // -2.5 -> -2 (half up)
+    EXPECT_EQ(quant::fixed_point_rescale(4, fpm), 2);
+    EXPECT_EQ(quant::fixed_point_rescale(-4, fpm), -2);
+}
+
+TEST(FixedPoint, UnitMultiplierIsIdentity) {
+    const quant::FixedPointMultiplier fpm = quant::quantize_multiplier(1.0);
+    for (const std::int64_t v : {std::int64_t{0}, std::int64_t{1}, std::int64_t{-1},
+                                 std::int64_t{123456789}, std::int64_t{-987654321}})
+        EXPECT_EQ(quant::fixed_point_rescale(v, fpm), static_cast<std::int32_t>(v))
+            << v;
+}
+
+TEST(FixedPoint, JustBelowOneRenormalizesMantissa) {
+    // lround(m * 2^31) lands exactly on 2^31 here; the fold must renormalize
+    // the mantissa back into [2^30, 2^31) instead of overflowing int32.
+    const quant::FixedPointMultiplier fpm = quant::quantize_multiplier(1.0 - 1e-12);
+    EXPECT_EQ(fpm.mult, std::int32_t{1} << 30);
+    EXPECT_EQ(fpm.shift, 30);
+    EXPECT_EQ(quant::fixed_point_rescale(7, fpm), 7);
+}
+
+TEST(FixedPoint, AboveOneFoldsPowersOfTwoIntoShift) {
+    const quant::FixedPointMultiplier two = quant::quantize_multiplier(2.0);
+    EXPECT_EQ(quant::fixed_point_rescale(3, two), 6);
+    EXPECT_EQ(quant::fixed_point_rescale(-3, two), -6);
+    const quant::FixedPointMultiplier eight = quant::quantize_multiplier(8.0);
+    EXPECT_EQ(quant::fixed_point_rescale(5, eight), 40);
+}
+
+TEST(FixedPoint, TinyMultiplierStaysNormalized) {
+    // Small scale ratios keep a normalized mantissa in [2^30, 2^31); the
+    // magnitude lives entirely in the shift, so precision never degrades.
+    const double m = std::ldexp(1.3, -24); // ~7.7e-8
+    const quant::FixedPointMultiplier fpm = quant::quantize_multiplier(m);
+    EXPECT_GE(fpm.mult, std::int32_t{1} << 30);
+    EXPECT_LT(static_cast<std::int64_t>(fpm.mult), std::int64_t{1} << 31);
+    const std::int64_t v = 100000000;
+    EXPECT_EQ(quant::fixed_point_rescale(v, fpm),
+              static_cast<std::int32_t>(std::llround(static_cast<double>(v) * m)));
+    // Float-subnormal-adjacent magnitude: still a normalized mantissa, with
+    // the decades of magnitude absorbed by the shift.
+    const quant::FixedPointMultiplier tiny = quant::quantize_multiplier(1.5e-38);
+    EXPECT_GE(tiny.mult, std::int32_t{1} << 30);
+    EXPECT_GT(tiny.shift, 150);
+}
+
 } // namespace

@@ -1,4 +1,7 @@
 // Tests for the tensor kernels: GEMM variants, im2col/col2im, reductions.
+// (im2col/col2im now live in src/kernels but are tested here alongside the
+// GEMMs they feed.)
+#include "kernels/im2col.hpp"
 #include "tensor/tensor.hpp"
 
 #include <gtest/gtest.h>
@@ -108,7 +111,7 @@ TEST(Im2col, IdentityKernelReproducesInput) {
     util::Rng rng(7);
     const Tensor x = Tensor::randn(Shape{2, 3, 4, 4}, rng);
     ConvGeom geom{2, 3, 4, 4, /*kernel=*/1, /*stride=*/1, /*pad=*/0};
-    const Tensor cols = tensor::im2col(x, geom);
+    const Tensor cols = kernels::im2col(x, geom);
     EXPECT_EQ(cols.dim(0), 2 * 16);
     EXPECT_EQ(cols.dim(1), 3);
     // Row (n, y, x) col c equals x[n, c, y, x].
@@ -123,7 +126,7 @@ TEST(Im2col, IdentityKernelReproducesInput) {
 TEST(Im2col, PaddingProducesZeros) {
     const Tensor x = Tensor::full(Shape{1, 1, 2, 2}, 1.0f);
     ConvGeom geom{1, 1, 2, 2, 3, 1, 1};
-    const Tensor cols = tensor::im2col(x, geom);
+    const Tensor cols = kernels::im2col(x, geom);
     // Top-left output position: kernel row 0 fully in padding.
     EXPECT_FLOAT_EQ(cols[0], 0.0f);
     EXPECT_FLOAT_EQ(cols[4], 1.0f); // center tap = x[0,0]
@@ -142,9 +145,9 @@ TEST(Im2col, Col2imIsAdjoint) {
     util::Rng rng(8);
     ConvGeom geom{2, 3, 5, 5, 3, 2, 1};
     const Tensor v = Tensor::randn(Shape{2, 3, 5, 5}, rng);
-    const Tensor iv = tensor::im2col(v, geom);
+    const Tensor iv = kernels::im2col(v, geom);
     const Tensor u = Tensor::randn(iv.shape(), rng);
-    const Tensor cu = tensor::col2im(u, geom);
+    const Tensor cu = kernels::col2im(u, geom);
 
     double lhs = 0.0, rhs = 0.0;
     for (std::int64_t i = 0; i < u.numel(); ++i)
@@ -161,7 +164,7 @@ TEST(Im2col, ConvViaGemmMatchesDirectConv) {
     const Tensor wt = Tensor::randn(Shape{o, c, k, k}, rng);
     ConvGeom geom{n, c, h, w, k, 1, 1};
 
-    const Tensor cols = tensor::im2col(x, geom);
+    const Tensor cols = kernels::im2col(x, geom);
     const Tensor w2d = wt.reshaped(Shape{o, c * k * k});
     const Tensor y = tensor::matmul_nt(cols, w2d); // (P, O)
 

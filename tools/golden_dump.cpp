@@ -1,0 +1,157 @@
+/// \file golden_dump.cpp
+/// \brief Prints the golden FNV-1a hashes pinned by tests/test_kernels.cpp.
+///
+/// The kernel-layer golden test asserts that ApproxConv2d / ApproxLinear /
+/// DepthwiseConv2d / IntInferenceEngine outputs are bitwise-identical to the
+/// pre-refactor implementations on fixed seeds. This tool regenerates the
+/// expected hashes; run it on a known-good build and paste its output into
+/// the kGolden table of test_kernels.cpp if a deliberate numerical change is
+/// ever made (the determinism contract makes the hashes thread-count
+/// independent, so one table covers AMRET_THREADS = 1/2/8).
+#include "amret.hpp"
+
+#include <cinttypes>
+#include <cstdio>
+
+namespace {
+
+using namespace amret;
+
+std::uint64_t fnv1a(const float* data, std::int64_t n) {
+    std::uint64_t h = 1469598103934665603ull;
+    const auto* bytes = reinterpret_cast<const unsigned char*>(data);
+    for (std::int64_t i = 0; i < n * 4; ++i) {
+        h ^= bytes[i];
+        h *= 1099511628211ull;
+    }
+    return h;
+}
+
+std::uint64_t hash_tensor(const tensor::Tensor& t) { return fnv1a(t.data(), t.numel()); }
+
+approx::MultiplierConfig make_config(const std::string& name) {
+    auto& reg = appmult::Registry::instance();
+    approx::MultiplierConfig config;
+    config.lut = std::make_shared<appmult::AppMultLut>(reg.lut(name));
+    config.grad = std::make_shared<core::GradLut>(
+        core::build_difference_grad(reg.lut(name), 8));
+    return config;
+}
+
+void print(const char* key, std::uint64_t h) {
+    std::printf("{\"%s\", 0x%016" PRIx64 "ull},\n", key, h);
+}
+
+void dump_conv(const char* tag, const std::string& mult, bool per_channel) {
+    util::Rng wrng(101);
+    approx::ApproxConv2d conv(3, 8, 3, 1, 1, wrng);
+    conv.set_multiplier(make_config(mult));
+    conv.set_mode(approx::ComputeMode::kQuantized);
+    conv.set_per_channel_weights(per_channel);
+    util::Rng xrng(202);
+    const tensor::Tensor x = tensor::Tensor::randn(tensor::Shape{2, 3, 8, 8}, xrng);
+    const tensor::Tensor y = conv.forward(x);
+    util::Rng grng(303);
+    const tensor::Tensor gy = tensor::Tensor::randn(y.shape(), grng);
+    const tensor::Tensor gx = conv.backward(gy);
+    std::printf("// %s\n", tag);
+    print((std::string(tag) + ".y").c_str(), hash_tensor(y));
+    print((std::string(tag) + ".gx").c_str(), hash_tensor(gx));
+    print((std::string(tag) + ".gw").c_str(), hash_tensor(conv.weight.grad));
+    print((std::string(tag) + ".gb").c_str(), hash_tensor(conv.bias.grad));
+}
+
+void dump_float_conv() {
+    util::Rng wrng(111);
+    approx::ApproxConv2d conv(3, 8, 3, 2, 1, wrng);
+    conv.set_mode(approx::ComputeMode::kFloat);
+    util::Rng xrng(212);
+    const tensor::Tensor x = tensor::Tensor::randn(tensor::Shape{2, 3, 9, 9}, xrng);
+    const tensor::Tensor y = conv.forward(x);
+    util::Rng grng(313);
+    const tensor::Tensor gy = tensor::Tensor::randn(y.shape(), grng);
+    const tensor::Tensor gx = conv.backward(gy);
+    std::printf("// float conv\n");
+    print("fconv.y", hash_tensor(y));
+    print("fconv.gx", hash_tensor(gx));
+    print("fconv.gw", hash_tensor(conv.weight.grad));
+    print("fconv.gb", hash_tensor(conv.bias.grad));
+}
+
+void dump_linear() {
+    util::Rng wrng(404);
+    approx::ApproxLinear linear(24, 10, wrng);
+    linear.set_multiplier(make_config("mul8u_2NDH"));
+    linear.set_mode(approx::ComputeMode::kQuantized);
+    util::Rng xrng(505);
+    const tensor::Tensor x = tensor::Tensor::randn(tensor::Shape{5, 24}, xrng);
+    const tensor::Tensor y = linear.forward(x);
+    util::Rng grng(606);
+    const tensor::Tensor gy = tensor::Tensor::randn(y.shape(), grng);
+    const tensor::Tensor gx = linear.backward(gy);
+    std::printf("// linear\n");
+    print("linear.y", hash_tensor(y));
+    print("linear.gx", hash_tensor(gx));
+    print("linear.gw", hash_tensor(linear.weight.grad));
+    print("linear.gb", hash_tensor(linear.bias.grad));
+}
+
+void dump_depthwise() {
+    util::Rng wrng(707);
+    approx::DepthwiseConv2d dw(6, 3, 1, 1, wrng);
+    dw.set_multiplier(make_config("mul6u_rm4"));
+    dw.set_mode(approx::ComputeMode::kQuantized);
+    util::Rng xrng(808);
+    const tensor::Tensor x = tensor::Tensor::randn(tensor::Shape{2, 6, 8, 8}, xrng);
+    const tensor::Tensor y = dw.forward(x);
+    util::Rng grng(909);
+    const tensor::Tensor gy = tensor::Tensor::randn(y.shape(), grng);
+    const tensor::Tensor gx = dw.backward(gy);
+    std::printf("// depthwise\n");
+    print("dw.y", hash_tensor(y));
+    print("dw.gx", hash_tensor(gx));
+    print("dw.gw", hash_tensor(dw.weight.grad));
+    print("dw.gb", hash_tensor(dw.bias.grad));
+}
+
+void dump_engine() {
+    data::SyntheticConfig dc;
+    dc.num_classes = 4;
+    dc.height = dc.width = 8;
+    dc.train_samples = 64;
+    dc.test_samples = 16;
+    dc.noise_stddev = 0.3f;
+    dc.seed = 77;
+    const auto pair = data::make_synthetic(dc);
+
+    util::Rng rng(1010);
+    nn::Sequential model;
+    auto* conv = model.emplace<approx::ApproxConv2d>(3, 4, 3, 1, 1, rng);
+    model.emplace<nn::ReLU>();
+    model.emplace<nn::MaxPool2d>(2);
+    model.emplace<nn::Flatten>();
+    model.emplace<nn::Linear>(4 * 4 * 4, 4, rng);
+    approx::MultiplierConfig config = make_config("mul8u_17C8");
+    conv->set_multiplier(config);
+    model.set_training(false);
+
+    approx::IntInferenceEngine engine(model, pair.train, 48);
+    util::Rng xrng(1111);
+    const tensor::Tensor images =
+        tensor::Tensor::randn(tensor::Shape{3, 3, 8, 8}, xrng);
+    const tensor::Tensor logits = engine.forward(images);
+    std::printf("// int inference engine\n");
+    print("engine.logits", hash_tensor(logits));
+}
+
+} // namespace
+
+int main() {
+    dump_conv("conv_pt", "mul8u_rm8", false);
+    dump_conv("conv_pc", "mul7u_rm6", true);
+    dump_float_conv();
+    dump_linear();
+    dump_depthwise();
+    dump_engine();
+    return 0;
+}
