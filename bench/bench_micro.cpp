@@ -127,8 +127,9 @@ void BM_FloatConvForward(benchmark::State& state) {
     approx::ApproxConv2d conv(8, 16, 3, 1, 1, rng);
     conv.set_mode(approx::ComputeMode::kFloat);
     const tensor::Tensor x = tensor::Tensor::randn(tensor::Shape{4, 8, 16, 16}, rng);
+    nn::Context ctx;
     for (auto _ : state) {
-        auto y = conv.forward(x);
+        auto y = conv.forward(x, ctx);
         benchmark::DoNotOptimize(y.data());
     }
 }
@@ -140,8 +141,9 @@ void BM_QuantConvForward(benchmark::State& state) {
     conv.set_multiplier(approx::MultiplierConfig::exact_ste(8));
     conv.set_mode(approx::ComputeMode::kQuantized);
     const tensor::Tensor x = tensor::Tensor::randn(tensor::Shape{4, 8, 16, 16}, rng);
+    nn::Context ctx;
     for (auto _ : state) {
-        auto y = conv.forward(x);
+        auto y = conv.forward(x, ctx);
         benchmark::DoNotOptimize(y.data());
     }
 }
@@ -190,8 +192,9 @@ void BM_QuantConvForwardThreads(benchmark::State& state) {
     conv.set_multiplier(approx::MultiplierConfig::exact_ste(8));
     conv.set_mode(approx::ComputeMode::kQuantized);
     const tensor::Tensor x = tensor::Tensor::randn(tensor::Shape{8, 8, 32, 32}, rng);
+    nn::Context ctx;
     for (auto _ : state) {
-        auto y = conv.forward(x);
+        auto y = conv.forward(x, ctx);
         benchmark::DoNotOptimize(y.data());
     }
     runtime::set_num_threads(1);

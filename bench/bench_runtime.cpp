@@ -11,6 +11,7 @@
 #include "bench_common.hpp"
 
 #include <cstdio>
+#include <filesystem>
 
 using namespace amret;
 
@@ -66,7 +67,12 @@ void threads_sweep(int iters) {
              ws.reset();
              kernels::lut_forward(gemm, nullptr, y.data(), ws);
          }},
-        {"approx_conv", [&] { auto out = conv.forward(x); (void)out; }},
+        {"approx_conv",
+         [&] {
+             nn::Context ctx;
+             auto out = conv.forward(x, ctx);
+             (void)out;
+         }},
     };
     for (const auto& kernel : kernels) {
         double base_ms = 0.0;
@@ -80,10 +86,63 @@ void threads_sweep(int iters) {
     }
 }
 
+/// Microbatch-count sweep: one LeNet training epoch per K at a fixed thread
+/// count, so the CSV isolates how much trainer-level data parallelism buys
+/// on top of (serialized-when-nested) kernel-level parallelism.
+int run_microbatch_sweep(const util::ArgParser& args) {
+    const auto threads = static_cast<unsigned>(args.get_int("threads", 8));
+    const int epochs = static_cast<int>(args.get_int("epochs", 1));
+    runtime::set_num_threads(threads);
+
+    data::SyntheticConfig dc;
+    dc.num_classes = 10;
+    dc.height = dc.width = 16;
+    dc.train_samples = 512;
+    dc.test_samples = 64;
+    dc.seed = 5;
+    const auto pair = data::make_synthetic(dc);
+
+    std::filesystem::create_directories("results");
+    std::FILE* csv = std::fopen("results/trainer_scaling.csv", "w");
+    if (!csv) {
+        std::fprintf(stderr, "cannot open results/trainer_scaling.csv\n");
+        return 1;
+    }
+    std::fprintf(csv, "microbatches,threads,epoch_s,speedup\n");
+
+    double base_s = 0.0;
+    for (const int k : {1, 2, 4, 8}) {
+        models::ModelConfig mc;
+        mc.in_size = 16;
+        mc.width_mult = 0.5f;
+        auto model = models::make_lenet(mc);
+
+        train::TrainConfig tc;
+        tc.epochs = epochs;
+        tc.batch_size = 64;
+        tc.microbatches = k;
+        train::Trainer trainer(*model, pair.train, pair.test, tc);
+        util::Stopwatch sw;
+        trainer.train_only(epochs);
+        const double epoch_s = sw.seconds() / epochs;
+        if (k == 1) base_s = epoch_s;
+        std::fprintf(csv, "%d,%u,%.4f,%.3f\n", k, threads, epoch_s,
+                     base_s / epoch_s);
+        std::printf("{\"bench\": \"trainer\", \"microbatches\": %d, "
+                    "\"threads\": %u, \"epoch_s\": %.4f, \"speedup\": %.3f}\n",
+                    k, threads, epoch_s, base_s / epoch_s);
+    }
+    std::fclose(csv);
+    std::printf("microbatch sweep written to results/trainer_scaling.csv\n");
+    runtime::set_num_threads(1);
+    return 0;
+}
+
 } // namespace
 
 int main(int argc, char** argv) {
     const util::ArgParser args(argc, argv);
+    if (args.get_bool("microbatch-sweep", false)) return run_microbatch_sweep(args);
 
     std::printf("threads-vs-throughput sweep (JSON rows)\n");
     threads_sweep(static_cast<int>(args.get_int("sweep-iters", 20)));

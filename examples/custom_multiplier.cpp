@@ -58,7 +58,8 @@ int main() {
     conv.set_multiplier(config);
     conv.set_mode(approx::ComputeMode::kQuantized);
     const tensor::Tensor x = tensor::Tensor::randn(tensor::Shape{1, 3, 8, 8}, rng);
-    const tensor::Tensor y = conv.forward(x);
+    nn::Context ctx;
+    const tensor::Tensor y = conv.forward(x, ctx);
     std::printf("quantized forward through the custom multiplier: output %s, "
                 "mean %.4f\n",
                 y.shape_str().c_str(), y.mean());

@@ -31,6 +31,12 @@ echo "=== kernel property tests at the thread-count extremes ==="
 AMRET_THREADS=1 ./build/tests/test_kernels
 AMRET_THREADS=8 ./build/tests/test_kernels
 
+echo "=== microbatch-parallel trainer under ThreadSanitizer ==="
+cmake --preset tsan
+cmake --build --preset tsan -j "$jobs" --target test_train_parallel
+AMRET_THREADS=8 TSAN_OPTIONS=halt_on_error=1 \
+  ./build-tsan/tests/test_train_parallel --gtest_filter='TrainerDeterminism.*'
+
 echo "=== bench_micro smoke (--quick; fails on crash only) ==="
 set +e
 ./build/bench/bench_micro --quick > /dev/null

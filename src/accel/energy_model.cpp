@@ -40,7 +40,10 @@ NetworkWorkload analyze_workload(nn::Module& model, std::int64_t in_channels,
     const bool was_training = model.training();
     model.set_training(false);
     const tensor::Tensor probe(tensor::Shape{1, in_channels, in_size, in_size});
-    model.forward(probe);
+    // The probe context holds each layer's recorded geometry until the MAC
+    // counts are read back below.
+    nn::Context probe_ctx;
+    model.forward(probe, probe_ctx);
     model.set_training(was_training);
 
     NetworkWorkload workload;
@@ -48,21 +51,21 @@ NetworkWorkload analyze_workload(nn::Module& model, std::int64_t in_channels,
         if (auto* conv = dynamic_cast<approx::ApproxConv2d*>(&m)) {
             LayerWorkload layer;
             layer.name = "ApproxConv2d";
-            layer.macs = conv->last_forward_macs();
+            layer.macs = conv->last_forward_macs(probe_ctx);
             layer.params = conv->weight.value.numel() + conv->bias.value.numel();
             workload.layers.push_back(layer);
             workload.total_macs += layer.macs;
         } else if (auto* linear = dynamic_cast<approx::ApproxLinear*>(&m)) {
             LayerWorkload layer;
             layer.name = "ApproxLinear";
-            layer.macs = linear->last_forward_macs();
+            layer.macs = linear->last_forward_macs(probe_ctx);
             layer.params = linear->weight.value.numel() + linear->bias.value.numel();
             workload.layers.push_back(layer);
             workload.total_macs += layer.macs;
         } else if (auto* dw = dynamic_cast<approx::DepthwiseConv2d*>(&m)) {
             LayerWorkload layer;
             layer.name = "DepthwiseConv2d";
-            layer.macs = dw->last_forward_macs();
+            layer.macs = dw->last_forward_macs(probe_ctx);
             layer.params = dw->weight.value.numel() + dw->bias.value.numel();
             workload.layers.push_back(layer);
             workload.total_macs += layer.macs;

@@ -55,20 +55,45 @@ void ApproxConv2d::load_extra_state(const float*& cursor) {
     act_observer_.set_range(lo, hi, init);
 }
 
-Tensor ApproxConv2d::forward(const Tensor& x) {
+nn::BatchCoupling ApproxConv2d::coupling() const {
+    // The quantized training forward updates the activation observer's EMA,
+    // a batch-level statistic that must fold exactly once per step; compute
+    // itself is per-sample. Float mode (and frozen eval) is sample-local.
+    return mode_ == ComputeMode::kQuantized && training_
+               ? nn::BatchCoupling::kStatsCoupled
+               : nn::BatchCoupling::kSampleLocal;
+}
+
+void ApproxConv2d::batch_pre_pass(const Tensor& x) {
+    if (mode_ == ComputeMode::kQuantized &&
+        (training_ || !act_observer_.initialized()))
+        act_observer_.observe(x);
+}
+
+std::int64_t ApproxConv2d::last_forward_macs(const nn::Context& ctx) const {
+    const State* st = ctx.peek<State>(*this);
+    if (!st || st->geom.batch == 0) return 0;
+    return st->geom.positions() * st->geom.patch() * out_ch_;
+}
+
+Tensor ApproxConv2d::forward(const Tensor& x, nn::Context& ctx) {
     assert(x.rank() == 4 && x.dim(1) == in_ch_);
-    geom_ = ConvGeom{x.dim(0), in_ch_, x.dim(2), x.dim(3), kernel_, stride_, pad_};
-    return mode_ == ComputeMode::kFloat ? forward_float(x) : forward_quant(x);
+    State& st = ctx.state<State>(*this);
+    st.geom = ConvGeom{x.dim(0), in_ch_, x.dim(2), x.dim(3), kernel_, stride_, pad_};
+    return mode_ == ComputeMode::kFloat ? forward_float(x, st, ctx)
+                                        : forward_quant(x, st, ctx);
 }
 
-Tensor ApproxConv2d::backward(const Tensor& gy) {
-    return mode_ == ComputeMode::kFloat ? backward_float(gy) : backward_quant(gy);
+Tensor ApproxConv2d::backward(const Tensor& gy, nn::Context& ctx) {
+    State& st = ctx.state<State>(*this);
+    return mode_ == ComputeMode::kFloat ? backward_float(gy, st, ctx)
+                                        : backward_quant(gy, st, ctx);
 }
 
-Tensor ApproxConv2d::forward_float(const Tensor& x) {
-    cached_cols_ = kernels::im2col(x, geom_);
-    const Tensor w2d = weight.value.reshaped(Shape{out_ch_, geom_.patch()});
-    Tensor po = tensor::matmul_nt(cached_cols_, w2d); // (P, O)
+Tensor ApproxConv2d::forward_float(const Tensor& x, State& st, nn::Context&) {
+    st.cols = kernels::im2col(x, st.geom);
+    const Tensor w2d = weight.value.reshaped(Shape{out_ch_, st.geom.patch()});
+    Tensor po = tensor::matmul_nt(st.cols, w2d); // (P, O)
     runtime::parallel_for(0, po.dim(0),
                           runtime::grain_for(po.dim(0), tune::kGrainCopyRows),
                           [&](std::int64_t pb, std::int64_t pe) {
@@ -77,114 +102,117 @@ Tensor ApproxConv2d::forward_float(const Tensor& x) {
             for (std::int64_t c = 0; c < out_ch_; ++c) row[c] += bias.value[c];
         }
     });
-    Tensor y(Shape{geom_.batch, out_ch_, geom_.out_h(), geom_.out_w()});
-    kernels::scatter_positions(po.data(), geom_.batch, out_ch_, geom_.out_h(),
-                               geom_.out_w(), y.data());
+    Tensor y(Shape{st.geom.batch, out_ch_, st.geom.out_h(), st.geom.out_w()});
+    kernels::scatter_positions(po.data(), st.geom.batch, out_ch_, st.geom.out_h(),
+                               st.geom.out_w(), y.data());
     return y;
 }
 
-Tensor ApproxConv2d::backward_float(const Tensor& gy) {
-    Tensor gyp(Shape{geom_.positions(), out_ch_});
-    kernels::gather_positions(gy.data(), geom_.batch, out_ch_, geom_.out_h(),
-                              geom_.out_w(), gyp.data());
+Tensor ApproxConv2d::backward_float(const Tensor& gy, State& st, nn::Context& ctx) {
+    Tensor gyp(Shape{st.geom.positions(), out_ch_});
+    kernels::gather_positions(gy.data(), st.geom.batch, out_ch_, st.geom.out_h(),
+                              st.geom.out_w(), gyp.data());
     // Bias gradient: column sums of gyp.
-    kernels::accumulate_bias_grad(gyp.data(), geom_.positions(), out_ch_,
-                                  bias.grad.data());
+    kernels::accumulate_bias_grad(gyp.data(), st.geom.positions(), out_ch_,
+                                  ctx.grad(bias).data());
     // dW = gyp^T @ cols, reshaped to (O, C, K, K).
-    Tensor dw2d = tensor::matmul_tn(gyp, cached_cols_); // (O, patch)
-    weight.grad.add_(dw2d.reshaped(weight.value.shape()));
+    Tensor dw2d = tensor::matmul_tn(gyp, st.cols); // (O, patch)
+    ctx.grad(weight).add_(dw2d.reshaped(weight.value.shape()));
     // dx = col2im(gyp @ W).
-    const Tensor w2d = weight.value.reshaped(Shape{out_ch_, geom_.patch()});
+    const Tensor w2d = weight.value.reshaped(Shape{out_ch_, st.geom.patch()});
     const Tensor dcols = tensor::matmul(gyp, w2d); // (P, patch)
-    return kernels::col2im(dcols, geom_);
+    return kernels::col2im(dcols, st.geom);
 }
 
-Tensor ApproxConv2d::forward_quant(const Tensor& x) {
+Tensor ApproxConv2d::forward_quant(const Tensor& x, State& st, nn::Context& ctx) {
     assert(mult_.valid() && "set_multiplier() before quantized forward");
     const unsigned bits = mult_.bits();
-    const std::int64_t patch = geom_.patch();
+    const std::int64_t patch = st.geom.patch();
 
     // New allocation epoch: everything quantized-forward puts in the arena
     // (codes, masks, columns) stays valid through the matching backward.
-    ws_.reset();
+    st.ws.reset();
 
     // Weight quantization parameters track the current weights each step.
     quant::QuantParams wparams{};
     if (per_channel_) {
         // Each output channel (filter) gets its own affine parameters.
-        wscale_per_o_ = ws_.alloc<float>(out_ch_);
-        wzero_per_o_ = ws_.alloc<std::int32_t>(out_ch_);
-        wq_ = kernels::quantize_weights_per_channel(weight.value.data(), out_ch_,
-                                                    patch, bits, wscale_per_o_,
-                                                    wzero_per_o_, ws_);
+        st.wscale_per_o = st.ws.alloc<float>(out_ch_);
+        st.wzero_per_o = st.ws.alloc<std::int32_t>(out_ch_);
+        st.wq = kernels::quantize_weights_per_channel(weight.value.data(), out_ch_,
+                                                      patch, bits, st.wscale_per_o,
+                                                      st.wzero_per_o, st.ws);
     } else {
         wparams = quant::choose_params(weight.value.min(), weight.value.max(), bits);
-        wq_ = kernels::quantize_into(weight.value.data(), out_ch_ * patch, wparams,
-                                     ws_);
+        st.wq = kernels::quantize_into(weight.value.data(), out_ch_ * patch, wparams,
+                                       st.ws);
     }
 
     // Activation parameters: EMA-calibrated during training (standard fake
-    // quantization); frozen running range in eval.
-    if (training_ || !act_observer_.initialized()) act_observer_.observe(x);
+    // quantization); frozen running range in eval. Frozen contexts rely on
+    // batch_pre_pass having fed the observer the full batch already.
+    if ((training_ && !ctx.observers_frozen()) || !act_observer_.initialized())
+        act_observer_.observe(x);
     const quant::QuantParams xparams = act_observer_.params(bits);
 
-    float* cols = ws_.alloc<float>(geom_.positions() * patch);
-    kernels::im2col(x.data(), geom_, cols);
-    xq_ = kernels::quantize_into(cols, geom_.positions() * patch, xparams, ws_);
+    float* cols = st.ws.alloc<float>(st.geom.positions() * patch);
+    kernels::im2col(x.data(), st.geom, cols);
+    st.xq = kernels::quantize_into(cols, st.geom.positions() * patch, xparams,
+                                   st.ws);
 
     kernels::LutGemmArgs args;
     args.bits = bits;
     args.lut = mult_.lut->table().data();
-    args.wq = wq_.codes;
-    args.xq = xq_.codes;
+    args.wq = st.wq.codes;
+    args.xq = st.xq.codes;
     args.o = out_ch_;
-    args.p = geom_.positions();
+    args.p = st.geom.positions();
     args.k = patch;
     args.scale_x = xparams.scale;
     args.zero_x = static_cast<std::int32_t>(xparams.zero_point);
     if (per_channel_) {
-        args.scale_w_per_o = wscale_per_o_;
-        args.zero_w_per_o = wzero_per_o_;
+        args.scale_w_per_o = st.wscale_per_o;
+        args.zero_w_per_o = st.wzero_per_o;
     } else {
         args.scale_w = wparams.scale;
         args.zero_w = static_cast<std::int32_t>(wparams.zero_point);
     }
 
     Tensor po(Shape{args.p, args.o});
-    kernels::lut_forward(args, bias.value.data(), po.data(), ws_);
-    Tensor y(Shape{geom_.batch, out_ch_, geom_.out_h(), geom_.out_w()});
-    kernels::scatter_positions(po.data(), geom_.batch, out_ch_, geom_.out_h(),
-                               geom_.out_w(), y.data());
+    kernels::lut_forward(args, bias.value.data(), po.data(), st.ws);
+    Tensor y(Shape{st.geom.batch, out_ch_, st.geom.out_h(), st.geom.out_w()});
+    kernels::scatter_positions(po.data(), st.geom.batch, out_ch_, st.geom.out_h(),
+                               st.geom.out_w(), y.data());
     return y;
 }
 
-Tensor ApproxConv2d::backward_quant(const Tensor& gy) {
-    const std::int64_t p = geom_.positions(), patch = geom_.patch();
-    float* gyp = ws_.alloc<float>(p * out_ch_);
-    kernels::gather_positions(gy.data(), geom_.batch, out_ch_, geom_.out_h(),
-                              geom_.out_w(), gyp);
-    kernels::accumulate_bias_grad(gyp, p, out_ch_, bias.grad.data());
+Tensor ApproxConv2d::backward_quant(const Tensor& gy, State& st, nn::Context& ctx) {
+    const std::int64_t p = st.geom.positions(), patch = st.geom.patch();
+    float* gyp = st.ws.alloc<float>(p * out_ch_);
+    kernels::gather_positions(gy.data(), st.geom.batch, out_ch_, st.geom.out_h(),
+                              st.geom.out_w(), gyp);
+    kernels::accumulate_bias_grad(gyp, p, out_ch_, ctx.grad(bias).data());
 
     kernels::LutGemmArgs args;
     args.bits = mult_.bits();
     args.lut = mult_.lut->table().data();
-    args.wq = wq_.codes;
-    args.xq = xq_.codes;
+    args.wq = st.wq.codes;
+    args.xq = st.xq.codes;
     args.o = out_ch_;
     args.p = p;
     args.k = patch;
-    args.scale_x = xq_.params.scale;
-    args.zero_x = static_cast<std::int32_t>(xq_.params.zero_point);
+    args.scale_x = st.xq.params.scale;
+    args.zero_x = static_cast<std::int32_t>(st.xq.params.zero_point);
     if (per_channel_) {
-        args.scale_w_per_o = wscale_per_o_;
-        args.zero_w_per_o = wzero_per_o_;
+        args.scale_w_per_o = st.wscale_per_o;
+        args.zero_w_per_o = st.wzero_per_o;
     } else {
-        args.scale_w = wq_.params.scale;
-        args.zero_w = static_cast<std::int32_t>(wq_.params.zero_point);
+        args.scale_w = st.wq.params.scale;
+        args.zero_w = static_cast<std::int32_t>(st.wq.params.zero_point);
     }
 
-    float* gw_raw = ws_.alloc<float>(args.o * args.k);
-    float* gx_raw = ws_.alloc<float>(args.p * args.k);
+    float* gw_raw = st.ws.alloc<float>(args.o * args.k);
+    float* gx_raw = st.ws.alloc<float>(args.p * args.k);
     runtime::parallel_for(0, args.o * args.k,
                           runtime::grain_for(args.o * args.k,
                                              tune::kGrainElementwiseWide),
@@ -205,13 +233,13 @@ Tensor ApproxConv2d::backward_quant(const Tensor& gy) {
     // gradient scale is s_x. The activation gradient's s_w factor was folded
     // into gx_raw by the kernel (it varies per row in per-channel mode);
     // only the clamp mask remains.
-    float* wg = weight.grad.data();
+    float* wg = ctx.grad(weight).data();
     runtime::parallel_for(0, args.o * args.k,
                           runtime::grain_for(args.o * args.k,
                                              tune::kGrainElementwise),
                           [&](std::int64_t b, std::int64_t e) {
         for (std::int64_t i = b; i < e; ++i) {
-            if (wq_.in_range[i]) wg[i] += args.scale_x * gw_raw[i];
+            if (st.wq.in_range[i]) wg[i] += args.scale_x * gw_raw[i];
         }
     });
     runtime::parallel_for(0, args.p * args.k,
@@ -219,11 +247,11 @@ Tensor ApproxConv2d::backward_quant(const Tensor& gy) {
                                              tune::kGrainElementwise),
                           [&](std::int64_t b, std::int64_t e) {
         for (std::int64_t i = b; i < e; ++i) {
-            if (!xq_.in_range[i]) gx_raw[i] = 0.0f;
+            if (!st.xq.in_range[i]) gx_raw[i] = 0.0f;
         }
     });
-    Tensor gx(Shape{geom_.batch, geom_.in_ch, geom_.in_h, geom_.in_w});
-    kernels::col2im(gx_raw, geom_, gx.data());
+    Tensor gx(Shape{st.geom.batch, st.geom.in_ch, st.geom.in_h, st.geom.in_w});
+    kernels::col2im(gx_raw, st.geom, gx.data());
     return gx;
 }
 
@@ -259,11 +287,29 @@ void ApproxLinear::load_extra_state(const float*& cursor) {
     act_observer_.set_range(lo, hi, init);
 }
 
-Tensor ApproxLinear::forward(const Tensor& x) {
+nn::BatchCoupling ApproxLinear::coupling() const {
+    return mode_ == ComputeMode::kQuantized && training_
+               ? nn::BatchCoupling::kStatsCoupled
+               : nn::BatchCoupling::kSampleLocal;
+}
+
+void ApproxLinear::batch_pre_pass(const Tensor& x) {
+    if (mode_ == ComputeMode::kQuantized &&
+        (training_ || !act_observer_.initialized()))
+        act_observer_.observe(x);
+}
+
+std::int64_t ApproxLinear::last_forward_macs(const nn::Context& ctx) const {
+    const State* st = ctx.peek<State>(*this);
+    return st ? st->batch * in_features_ * out_features_ : 0;
+}
+
+Tensor ApproxLinear::forward(const Tensor& x, nn::Context& ctx) {
     assert(x.rank() == 2 && x.dim(1) == in_features_);
-    cached_batch_ = x.dim(0);
+    State& st = ctx.state<State>(*this);
+    st.batch = x.dim(0);
     if (mode_ == ComputeMode::kFloat) {
-        cached_x_ = x;
+        st.x = x;
         Tensor y = tensor::matmul_nt(x, weight.value);
         for (std::int64_t i = 0; i < y.dim(0); ++i)
             for (std::int64_t j = 0; j < out_features_; ++j)
@@ -273,23 +319,24 @@ Tensor ApproxLinear::forward(const Tensor& x) {
 
     assert(mult_.valid());
     const unsigned bits = mult_.bits();
-    ws_.reset();
+    st.ws.reset();
     const quant::QuantParams wparams =
         quant::choose_params(weight.value.min(), weight.value.max(), bits);
-    wq_ = kernels::quantize_into(weight.value.data(),
-                                 out_features_ * in_features_, wparams, ws_);
-    if (training_ || !act_observer_.initialized()) act_observer_.observe(x);
+    st.wq = kernels::quantize_into(weight.value.data(),
+                                   out_features_ * in_features_, wparams, st.ws);
+    if ((training_ && !ctx.observers_frozen()) || !act_observer_.initialized())
+        act_observer_.observe(x);
     const quant::QuantParams xparams = act_observer_.params(bits);
-    xq_ = kernels::quantize_into(x.data(), cached_batch_ * in_features_, xparams,
-                                 ws_);
+    st.xq = kernels::quantize_into(x.data(), st.batch * in_features_, xparams,
+                                   st.ws);
 
     kernels::LutGemmArgs args;
     args.bits = bits;
     args.lut = mult_.lut->table().data();
-    args.wq = wq_.codes;
-    args.xq = xq_.codes;
+    args.wq = st.wq.codes;
+    args.xq = st.xq.codes;
     args.o = out_features_;
-    args.p = cached_batch_;
+    args.p = st.batch;
     args.k = in_features_;
     args.scale_w = wparams.scale;
     args.scale_x = xparams.scale;
@@ -297,35 +344,36 @@ Tensor ApproxLinear::forward(const Tensor& x) {
     args.zero_x = static_cast<std::int32_t>(xparams.zero_point);
 
     Tensor y(Shape{args.p, args.o});
-    kernels::lut_forward(args, bias.value.data(), y.data(), ws_);
+    kernels::lut_forward(args, bias.value.data(), y.data(), st.ws);
     return y;
 }
 
-Tensor ApproxLinear::backward(const Tensor& gy) {
-    assert(gy.rank() == 2 && gy.dim(0) == cached_batch_);
-    kernels::accumulate_bias_grad(gy.data(), cached_batch_, out_features_,
-                                  bias.grad.data());
+Tensor ApproxLinear::backward(const Tensor& gy, nn::Context& ctx) {
+    State& st = ctx.state<State>(*this);
+    assert(gy.rank() == 2 && gy.dim(0) == st.batch);
+    kernels::accumulate_bias_grad(gy.data(), st.batch, out_features_,
+                                  ctx.grad(bias).data());
 
     if (mode_ == ComputeMode::kFloat) {
-        Tensor dw = tensor::matmul_tn(gy, cached_x_);
-        weight.grad.add_(dw);
+        Tensor dw = tensor::matmul_tn(gy, st.x);
+        ctx.grad(weight).add_(dw);
         return tensor::matmul(gy, weight.value);
     }
 
     kernels::LutGemmArgs args;
     args.bits = mult_.bits();
     args.lut = mult_.lut->table().data();
-    args.wq = wq_.codes;
-    args.xq = xq_.codes;
+    args.wq = st.wq.codes;
+    args.xq = st.xq.codes;
     args.o = out_features_;
-    args.p = cached_batch_;
+    args.p = st.batch;
     args.k = in_features_;
-    args.scale_w = wq_.params.scale;
-    args.scale_x = xq_.params.scale;
-    args.zero_w = static_cast<std::int32_t>(wq_.params.zero_point);
-    args.zero_x = static_cast<std::int32_t>(xq_.params.zero_point);
+    args.scale_w = st.wq.params.scale;
+    args.scale_x = st.xq.params.scale;
+    args.zero_w = static_cast<std::int32_t>(st.wq.params.zero_point);
+    args.zero_x = static_cast<std::int32_t>(st.xq.params.zero_point);
 
-    float* gw_raw = ws_.alloc<float>(args.o * args.k);
+    float* gw_raw = st.ws.alloc<float>(args.o * args.k);
     runtime::parallel_for(0, args.o * args.k,
                           runtime::grain_for(args.o * args.k,
                                              tune::kGrainElementwiseWide),
@@ -336,13 +384,13 @@ Tensor ApproxLinear::backward(const Tensor& gy) {
     kernels::lut_backward(args, gy.data(), mult_.grad->dw_table().data(),
                           mult_.grad->dx_table().data(), gw_raw, gx.data());
 
-    float* wg = weight.grad.data();
+    float* wg = ctx.grad(weight).data();
     runtime::parallel_for(0, args.o * args.k,
                           runtime::grain_for(args.o * args.k,
                                              tune::kGrainElementwise),
                           [&](std::int64_t b, std::int64_t e) {
         for (std::int64_t i = b; i < e; ++i) {
-            if (wq_.in_range[i]) wg[i] += args.scale_x * gw_raw[i];
+            if (st.wq.in_range[i]) wg[i] += args.scale_x * gw_raw[i];
         }
     });
     // The s_w factor of the activation gradient is folded in by the kernel.
@@ -350,7 +398,7 @@ Tensor ApproxLinear::backward(const Tensor& gy) {
                           runtime::grain_for(gx.numel(), tune::kGrainElementwise),
                           [&](std::int64_t b, std::int64_t e) {
         for (std::int64_t i = b; i < e; ++i) {
-            if (!xq_.in_range[i]) gx[i] = 0.0f;
+            if (!st.xq.in_range[i]) gx[i] = 0.0f;
         }
     });
     return gx;

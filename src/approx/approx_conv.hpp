@@ -15,6 +15,11 @@
 /// With the *exact* multiplier LUT and the STE GradLut, the quantized path
 /// is mathematically identical to a fake-quantized float convolution; the
 /// test suite pins this equivalence.
+///
+/// Per-invocation state (geometry, im2col columns, the scratch arena with
+/// quantized codes/masks) lives in the caller's nn::Context; the layer
+/// itself keeps only weights, the multiplier config, and the activation
+/// observer (persistent calibration state).
 #pragma once
 
 #include "appmult/appmult.hpp"
@@ -52,8 +57,10 @@ public:
     ApproxConv2d(std::int64_t in_ch, std::int64_t out_ch, std::int64_t kernel,
                  std::int64_t stride, std::int64_t pad, util::Rng& rng);
 
-    tensor::Tensor forward(const tensor::Tensor& x) override;
-    tensor::Tensor backward(const tensor::Tensor& gy) override;
+    tensor::Tensor forward(const tensor::Tensor& x, nn::Context& ctx) override;
+    tensor::Tensor backward(const tensor::Tensor& gy, nn::Context& ctx) override;
+    [[nodiscard]] nn::BatchCoupling coupling() const override;
+    void batch_pre_pass(const tensor::Tensor& x) override;
     void collect_params(std::vector<nn::Param*>& out) override;
     void save_extra_state(std::vector<float>& out) const override;
     void load_extra_state(const float*& cursor) override;
@@ -81,35 +88,39 @@ public:
     [[nodiscard]] std::int64_t stride() const { return stride_; }
     [[nodiscard]] std::int64_t padding() const { return pad_; }
 
-    /// Multiplications executed by the most recent forward call
-    /// (positions x patch x out_channels); 0 before any forward.
-    [[nodiscard]] std::int64_t last_forward_macs() const {
-        return geom_.batch == 0 ? 0 : geom_.positions() * geom_.patch() * out_ch_;
-    }
+    /// Multiplications executed by the most recent forward call through
+    /// \p ctx (positions x patch x out_channels); 0 before any forward.
+    [[nodiscard]] std::int64_t last_forward_macs(const nn::Context& ctx) const;
 
 private:
-    tensor::Tensor forward_float(const tensor::Tensor& x);
-    tensor::Tensor forward_quant(const tensor::Tensor& x);
-    tensor::Tensor backward_float(const tensor::Tensor& gy);
-    tensor::Tensor backward_quant(const tensor::Tensor& gy);
+    // Per-invocation state (nn::Context slot). Quant-mode scratch (codes,
+    // masks, columns, raw gradients) lives in the embedded workspace arena:
+    // reset at the start of each quantized forward, buffers remain valid
+    // through the matching backward (DESIGN.md §10/§11).
+    struct State {
+        tensor::ConvGeom geom;
+        tensor::Tensor cols;                  // float mode: (P, patch)
+        kernels::Workspace ws;                // quant mode scratch arena
+        kernels::QuantView xq;                // quant mode: codes of cols
+        kernels::QuantView wq;                // quant mode: codes of weights
+        float* wscale_per_o = nullptr;        // per-channel row scales (ws-backed)
+        std::int32_t* wzero_per_o = nullptr;  // per-channel row zeros (ws-backed)
+    };
+
+    tensor::Tensor forward_float(const tensor::Tensor& x, State& st,
+                                 nn::Context& ctx);
+    tensor::Tensor forward_quant(const tensor::Tensor& x, State& st,
+                                 nn::Context& ctx);
+    tensor::Tensor backward_float(const tensor::Tensor& gy, State& st,
+                                  nn::Context& ctx);
+    tensor::Tensor backward_quant(const tensor::Tensor& gy, State& st,
+                                  nn::Context& ctx);
 
     std::int64_t in_ch_, out_ch_, kernel_, stride_, pad_;
     ComputeMode mode_ = ComputeMode::kFloat;
     bool per_channel_ = false;
     MultiplierConfig mult_;
     quant::EmaObserver act_observer_;
-
-    // forward caches. Quant-mode scratch (codes, masks, columns, raw
-    // gradients) lives in the per-layer workspace arena: reset at the start
-    // of each quantized forward, buffers remain valid through the matching
-    // backward (DESIGN.md §10).
-    tensor::ConvGeom geom_;
-    tensor::Tensor cached_cols_;           // float mode: (P, patch)
-    kernels::Workspace ws_;                // quant mode scratch arena
-    kernels::QuantView xq_;                // quant mode: codes of cols
-    kernels::QuantView wq_;                // quant mode: codes of weights
-    float* wscale_per_o_ = nullptr;        // per-channel row scales (ws_-backed)
-    std::int32_t* wzero_per_o_ = nullptr;  // per-channel row zeros (ws_-backed)
 };
 
 /// Fully connected layer with the same two modes (provided for completeness;
@@ -119,8 +130,10 @@ class ApproxLinear : public nn::Module {
 public:
     ApproxLinear(std::int64_t in_features, std::int64_t out_features, util::Rng& rng);
 
-    tensor::Tensor forward(const tensor::Tensor& x) override;
-    tensor::Tensor backward(const tensor::Tensor& gy) override;
+    tensor::Tensor forward(const tensor::Tensor& x, nn::Context& ctx) override;
+    tensor::Tensor backward(const tensor::Tensor& gy, nn::Context& ctx) override;
+    [[nodiscard]] nn::BatchCoupling coupling() const override;
+    void batch_pre_pass(const tensor::Tensor& x) override;
     void collect_params(std::vector<nn::Param*>& out) override;
     void save_extra_state(std::vector<float>& out) const override;
     void load_extra_state(const float*& cursor) override;
@@ -134,22 +147,23 @@ public:
     nn::Param weight; ///< (out, in)
     nn::Param bias;   ///< (out)
 
-    /// Multiplications executed by the most recent forward call.
-    [[nodiscard]] std::int64_t last_forward_macs() const {
-        return cached_batch_ * in_features_ * out_features_;
-    }
+    /// Multiplications executed by the most recent forward call through
+    /// \p ctx.
+    [[nodiscard]] std::int64_t last_forward_macs(const nn::Context& ctx) const;
 
 private:
+    struct State {
+        tensor::Tensor x;       // float mode cache
+        kernels::Workspace ws;  // quant mode scratch arena (DESIGN.md §10)
+        kernels::QuantView xq;
+        kernels::QuantView wq;
+        std::int64_t batch = 0;
+    };
+
     std::int64_t in_features_, out_features_;
     ComputeMode mode_ = ComputeMode::kFloat;
     MultiplierConfig mult_;
     quant::EmaObserver act_observer_;
-
-    tensor::Tensor cached_x_;
-    kernels::Workspace ws_; // quant mode scratch arena (DESIGN.md §10)
-    kernels::QuantView xq_;
-    kernels::QuantView wq_;
-    std::int64_t cached_batch_ = 0;
 };
 
 /// Applies \p config and \p mode to every approximate layer in \p root.

@@ -9,7 +9,8 @@
 ///
 /// Quantized mode follows the same Eq. (7)/(8)/(9) scheme as ApproxConv2d:
 /// LUT products forward, gradient-LUT backward, clamp-aware STE through the
-/// quantizers.
+/// quantizers. Per-invocation state (columns, codes, the arena) lives in
+/// the caller's nn::Context.
 #pragma once
 
 #include "approx/approx_conv.hpp"
@@ -23,8 +24,10 @@ public:
     DepthwiseConv2d(std::int64_t channels, std::int64_t kernel, std::int64_t stride,
                     std::int64_t pad, util::Rng& rng);
 
-    tensor::Tensor forward(const tensor::Tensor& x) override;
-    tensor::Tensor backward(const tensor::Tensor& gy) override;
+    tensor::Tensor forward(const tensor::Tensor& x, nn::Context& ctx) override;
+    tensor::Tensor backward(const tensor::Tensor& gy, nn::Context& ctx) override;
+    [[nodiscard]] nn::BatchCoupling coupling() const override;
+    void batch_pre_pass(const tensor::Tensor& x) override;
     void collect_params(std::vector<nn::Param*>& out) override;
     void save_extra_state(std::vector<float>& out) const override;
     void load_extra_state(const float*& cursor) override;
@@ -38,29 +41,31 @@ public:
     nn::Param weight; ///< (C, K, K)
     nn::Param bias;   ///< (C)
 
-    [[nodiscard]] std::int64_t last_forward_macs() const {
-        return geom_.batch == 0
-                   ? 0
-                   : geom_.positions() * kernel_ * kernel_ * channels_;
-    }
+    /// Multiplications executed by the most recent forward call through
+    /// \p ctx.
+    [[nodiscard]] std::int64_t last_forward_macs(const nn::Context& ctx) const;
 
 private:
-    tensor::Tensor forward_float(const tensor::Tensor& x);
-    tensor::Tensor forward_quant(const tensor::Tensor& x);
+    // Per-invocation state (nn::Context slot). Forward caches live in the
+    // embedded workspace arena: reset at the start of forward(), valid
+    // through the matching backward (DESIGN.md §10/§11).
+    struct State {
+        tensor::ConvGeom geom;  ///< per-channel geometry (in_ch = 1)
+        std::int64_t batch = 0;
+        kernels::Workspace ws;
+        float* cols = nullptr;  ///< (C*P, K*K) channel-blocked columns (ws-backed)
+        kernels::QuantView xq;  ///< quant: codes of cols
+        kernels::QuantView wq;  ///< quant: codes of (C, K*K)
+    };
+
+    tensor::Tensor forward_float(const tensor::Tensor& x, State& st);
+    tensor::Tensor forward_quant(const tensor::Tensor& x, State& st,
+                                 nn::Context& ctx);
 
     std::int64_t channels_, kernel_, stride_, pad_;
     ComputeMode mode_ = ComputeMode::kFloat;
     MultiplierConfig mult_;
     quant::EmaObserver act_observer_;
-
-    tensor::ConvGeom geom_; ///< per-channel geometry (in_ch = 1)
-    std::int64_t batch_ = 0;
-    // Forward caches live in the workspace arena: reset at the start of
-    // forward(), valid through the matching backward (DESIGN.md §10).
-    kernels::Workspace ws_;
-    float* cols_ = nullptr; // (C*P, K*K) channel-blocked columns (ws_-backed)
-    kernels::QuantView xq_; // quant: codes of cols
-    kernels::QuantView wq_; // quant: codes of (C, K*K)
 };
 
 } // namespace amret::approx

@@ -188,8 +188,9 @@ struct MaxPoolOp final : IntInferenceEngine::Op {
     std::int64_t kernel = 2;
 
     tensor::Tensor run_float(const tensor::Tensor& x) override {
+        nn::Context ctx;
         nn::MaxPool2d pool(kernel);
-        return pool.forward(x);
+        return pool.forward(x, ctx);
     }
 
     QTensor run(const QTensor& x, kernels::Workspace&) const override {
@@ -223,12 +224,13 @@ struct AvgPoolOp final : IntInferenceEngine::Op {
     bool global = false;
 
     tensor::Tensor run_float(const tensor::Tensor& x) override {
+        nn::Context ctx;
         if (global) {
             nn::GlobalAvgPool pool;
-            return pool.forward(x);
+            return pool.forward(x, ctx);
         }
         nn::AvgPool2d pool(kernel);
-        return pool.forward(x);
+        return pool.forward(x, ctx);
     }
 
     QTensor run(const QTensor& x, kernels::Workspace&) const override {

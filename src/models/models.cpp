@@ -149,18 +149,18 @@ BasicBlock::BasicBlock(std::int64_t in_ch, std::int64_t out_ch, std::int64_t str
     }
 }
 
-tensor::Tensor BasicBlock::forward(const tensor::Tensor& x) {
-    tensor::Tensor branch = branch_.forward(x);
-    tensor::Tensor identity = downsample_ ? downsample_->forward(x) : x;
+tensor::Tensor BasicBlock::forward(const tensor::Tensor& x, nn::Context& ctx) {
+    tensor::Tensor branch = branch_.forward(x, ctx);
+    tensor::Tensor identity = downsample_ ? downsample_->forward(x, ctx) : x;
     branch.add_(identity);
-    return relu_out_.forward(branch);
+    return relu_out_.forward(branch, ctx);
 }
 
-tensor::Tensor BasicBlock::backward(const tensor::Tensor& gy) {
-    const tensor::Tensor gsum = relu_out_.backward(gy);
-    tensor::Tensor gx = branch_.backward(gsum);
+tensor::Tensor BasicBlock::backward(const tensor::Tensor& gy, nn::Context& ctx) {
+    const tensor::Tensor gsum = relu_out_.backward(gy, ctx);
+    tensor::Tensor gx = branch_.backward(gsum, ctx);
     if (downsample_) {
-        gx.add_(downsample_->backward(gsum));
+        gx.add_(downsample_->backward(gsum, ctx));
     } else {
         gx.add_(gsum);
     }
@@ -202,18 +202,18 @@ Bottleneck::Bottleneck(std::int64_t in_ch, std::int64_t mid_ch, std::int64_t str
     }
 }
 
-tensor::Tensor Bottleneck::forward(const tensor::Tensor& x) {
-    tensor::Tensor branch = branch_.forward(x);
-    tensor::Tensor identity = downsample_ ? downsample_->forward(x) : x;
+tensor::Tensor Bottleneck::forward(const tensor::Tensor& x, nn::Context& ctx) {
+    tensor::Tensor branch = branch_.forward(x, ctx);
+    tensor::Tensor identity = downsample_ ? downsample_->forward(x, ctx) : x;
     branch.add_(identity);
-    return relu_out_.forward(branch);
+    return relu_out_.forward(branch, ctx);
 }
 
-tensor::Tensor Bottleneck::backward(const tensor::Tensor& gy) {
-    const tensor::Tensor gsum = relu_out_.backward(gy);
-    tensor::Tensor gx = branch_.backward(gsum);
+tensor::Tensor Bottleneck::backward(const tensor::Tensor& gy, nn::Context& ctx) {
+    const tensor::Tensor gsum = relu_out_.backward(gy, ctx);
+    tensor::Tensor gx = branch_.backward(gsum, ctx);
     if (downsample_) {
-        gx.add_(downsample_->backward(gsum));
+        gx.add_(downsample_->backward(gsum, ctx));
     } else {
         gx.add_(gsum);
     }

@@ -43,14 +43,16 @@ std::unique_ptr<nn::Sequential> make_resnet(int depth, const ModelConfig& config
 /// + pointwise 1x1, both approximate-multiplier layers). CIFAR-scale.
 std::unique_ptr<nn::Sequential> make_mobilenet(const ModelConfig& config);
 
-/// Residual block with two 3x3 convolutions (ResNet18/34).
+/// Residual block with two 3x3 convolutions (ResNet18/34). Inherits the
+/// kBatchCoupled default (the branch contains BatchNorm), so the microbatch
+/// trainer runs residual blocks on the full batch (DESIGN.md §11).
 class BasicBlock : public nn::Module {
 public:
     BasicBlock(std::int64_t in_ch, std::int64_t out_ch, std::int64_t stride,
                util::Rng& rng);
 
-    tensor::Tensor forward(const tensor::Tensor& x) override;
-    tensor::Tensor backward(const tensor::Tensor& gy) override;
+    tensor::Tensor forward(const tensor::Tensor& x, nn::Context& ctx) override;
+    tensor::Tensor backward(const tensor::Tensor& gy, nn::Context& ctx) override;
     void collect_params(std::vector<nn::Param*>& out) override;
     void set_training(bool training) override;
     void visit(const std::function<void(nn::Module&)>& fn) override;
@@ -70,8 +72,8 @@ public:
     Bottleneck(std::int64_t in_ch, std::int64_t mid_ch, std::int64_t stride,
                util::Rng& rng);
 
-    tensor::Tensor forward(const tensor::Tensor& x) override;
-    tensor::Tensor backward(const tensor::Tensor& gy) override;
+    tensor::Tensor forward(const tensor::Tensor& x, nn::Context& ctx) override;
+    tensor::Tensor backward(const tensor::Tensor& gy, nn::Context& ctx) override;
     void collect_params(std::vector<nn::Param*>& out) override;
     void set_training(bool training) override;
     void visit(const std::function<void(nn::Module&)>& fn) override;

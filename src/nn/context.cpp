@@ -1,0 +1,23 @@
+#include "nn/context.hpp"
+
+#include "nn/module.hpp"
+
+namespace amret::nn {
+
+tensor::Tensor& Context::grad(Param& p) {
+    if (!shadow_grads_) return p.grad;
+    auto [it, inserted] = shadows_.try_emplace(&p);
+    if (inserted) it->second = tensor::Tensor(p.value.shape());
+    return it->second;
+}
+
+const tensor::Tensor* Context::shadow(const Param& p) const {
+    const auto it = shadows_.find(&p);
+    return it == shadows_.end() ? nullptr : &it->second;
+}
+
+void Context::zero_shadows() {
+    for (auto& [param, shadow] : shadows_) shadow.fill(0.0f);
+}
+
+} // namespace amret::nn

@@ -1,0 +1,117 @@
+/// \file context.hpp
+/// \brief Per-invocation execution state for the layer stack.
+///
+/// A Context carries everything a forward/backward pair needs that is not
+/// part of the model itself: activation/tape slots (one typed slot per
+/// module), a scratch Workspace per (layer, context) pair, the RNG stream
+/// used by stochastic layers (Dropout), and — when enabled — per-context
+/// gradient shadows that let several backward passes run concurrently
+/// through one shared model without racing on Param::grad.
+///
+/// Modules own only persistent state (weights, BatchNorm running stats,
+/// quantization observer ranges); anything produced by a forward call and
+/// consumed by the matching backward lives in the Context. Two invocations
+/// with two Contexts therefore never alias, which is what makes the
+/// microbatch-parallel trainer and concurrent evaluation sound
+/// (DESIGN.md §11).
+///
+/// Lifetime: slots are created lazily on first access and reused across
+/// steps, so a long-lived Context reaches an allocation-free steady state
+/// (the embedded Workspaces follow the §10 arena rules per layer). A
+/// Context must only be used by one thread at a time.
+#pragma once
+
+#include "kernels/workspace.hpp"
+#include "tensor/tensor.hpp"
+#include "util/rng.hpp"
+
+#include <cassert>
+#include <memory>
+#include <typeinfo>
+#include <unordered_map>
+
+namespace amret::nn {
+
+class Module;
+struct Param;
+
+class Context {
+public:
+    Context() = default;
+    Context(const Context&) = delete;
+    Context& operator=(const Context&) = delete;
+
+    /// Typed per-module state slot, default-constructed on first access.
+    /// Each module keys its own slot with `ctx.state<State>(*this)`; the
+    /// slot persists across steps so embedded buffers/arenas are reused.
+    template <typename T>
+    T& state(const Module& m) {
+        auto& slot = slots_[&m];
+        if (!slot) slot = std::make_unique<Holder<T>>();
+        assert(typeid(*slot) == typeid(Holder<T>) &&
+               "module registered two different state types in one context");
+        return static_cast<Holder<T>*>(slot.get())->value;
+    }
+
+    /// Read-only view of a module's slot; nullptr if the module has not run
+    /// in this context yet.
+    template <typename T>
+    [[nodiscard]] const T* peek(const Module& m) const {
+        const auto it = slots_.find(&m);
+        if (it == slots_.end()) return nullptr;
+        const auto* holder = dynamic_cast<const Holder<T>*>(it->second.get());
+        return holder ? &holder->value : nullptr;
+    }
+
+    /// Context-level scratch arena for callers outside the layer stack
+    /// (layers embed their own Workspace in their state slot).
+    [[nodiscard]] kernels::Workspace& workspace() { return workspace_; }
+
+    /// RNG stream for stochastic layers (Dropout). The trainer reseeds this
+    /// per (step, microbatch) via util::Rng::split so runs are reproducible
+    /// at any thread count.
+    [[nodiscard]] util::Rng& rng() { return rng_; }
+    void seed_rng(const util::Rng& rng) { rng_ = rng; }
+
+    /// When frozen, quantization observers must not update their running
+    /// ranges during forward. The microbatch trainer freezes worker
+    /// contexts and feeds observers the full batch once via
+    /// Module::batch_pre_pass, so EMA state updates exactly once per step.
+    void set_observers_frozen(bool frozen) { observers_frozen_ = frozen; }
+    [[nodiscard]] bool observers_frozen() const { return observers_frozen_; }
+
+    /// Enables gradient shadowing: grad(p) returns a per-context shadow
+    /// tensor instead of p.grad, so concurrent backward passes never race.
+    /// The owner reduces shadows into Param::grad in a fixed order.
+    void set_shadow_grads(bool enabled) { shadow_grads_ = enabled; }
+    [[nodiscard]] bool shadow_grads() const { return shadow_grads_; }
+
+    /// Accumulation target for \p p's gradient in this context: p.grad when
+    /// shadowing is off, otherwise a lazily allocated zero-initialized
+    /// shadow of the same shape.
+    [[nodiscard]] tensor::Tensor& grad(Param& p);
+
+    /// The shadow accumulated for \p p, or nullptr if none exists.
+    [[nodiscard]] const tensor::Tensor* shadow(const Param& p) const;
+
+    /// Zeroes every existing shadow (keeps allocations).
+    void zero_shadows();
+
+private:
+    struct Slot {
+        virtual ~Slot() = default;
+    };
+    template <typename T>
+    struct Holder final : Slot {
+        T value;
+    };
+
+    std::unordered_map<const Module*, std::unique_ptr<Slot>> slots_;
+    std::unordered_map<const Param*, tensor::Tensor> shadows_;
+    kernels::Workspace workspace_;
+    util::Rng rng_;
+    bool observers_frozen_ = false;
+    bool shadow_grads_ = false;
+};
+
+} // namespace amret::nn

@@ -16,9 +16,9 @@ Linear::Linear(std::int64_t in_features, std::int64_t out_features, util::Rng& r
              Tensor::he_init(Shape{out_features, in_features}, in_features, rng)),
       bias("linear.bias", Tensor::zeros(Shape{out_features})) {}
 
-Tensor Linear::forward(const Tensor& x) {
+Tensor Linear::forward(const Tensor& x, Context& ctx) {
     assert(x.rank() == 2 && x.dim(1) == weight.value.dim(1));
-    cached_x_ = x;
+    ctx.state<State>(*this).x = x;
     Tensor y = tensor::matmul_nt(x, weight.value); // (N, out)
     const std::int64_t n = y.dim(0), out = y.dim(1);
     for (std::int64_t i = 0; i < n; ++i)
@@ -26,14 +26,16 @@ Tensor Linear::forward(const Tensor& x) {
     return y;
 }
 
-Tensor Linear::backward(const Tensor& gy) {
-    assert(gy.rank() == 2 && gy.dim(0) == cached_x_.dim(0));
+Tensor Linear::backward(const Tensor& gy, Context& ctx) {
+    const State& st = ctx.state<State>(*this);
+    assert(gy.rank() == 2 && gy.dim(0) == st.x.dim(0));
     // dW = gy^T x, db = column sums, dx = gy W.
-    Tensor dw = tensor::matmul_tn(gy, cached_x_); // (out, in)
-    weight.grad.add_(dw);
+    Tensor dw = tensor::matmul_tn(gy, st.x); // (out, in)
+    ctx.grad(weight).add_(dw);
+    Tensor& bg = ctx.grad(bias);
     const std::int64_t n = gy.dim(0), out = gy.dim(1);
     for (std::int64_t i = 0; i < n; ++i)
-        for (std::int64_t j = 0; j < out; ++j) bias.grad[j] += gy[i * out + j];
+        for (std::int64_t j = 0; j < out; ++j) bg[j] += gy[i * out + j];
     return tensor::matmul(gy, weight.value); // (N, in)
 }
 
@@ -53,7 +55,7 @@ BatchNorm2d::BatchNorm2d(std::int64_t channels, float momentum, float eps)
       running_mean_(Shape{channels}),
       running_var_(Tensor::full(Shape{channels}, 1.0f)) {}
 
-Tensor BatchNorm2d::forward(const Tensor& x) {
+Tensor BatchNorm2d::forward(const Tensor& x, Context& ctx) {
     assert(x.rank() == 4 && x.dim(1) == channels_);
     const std::int64_t n = x.dim(0), c = channels_, h = x.dim(2), w = x.dim(3);
     const std::int64_t spatial = h * w;
@@ -61,11 +63,12 @@ Tensor BatchNorm2d::forward(const Tensor& x) {
     Tensor y(x.shape());
 
     if (training_) {
-        cached_n_ = n;
-        cached_h_ = h;
-        cached_w_ = w;
-        cached_xhat_ = Tensor(x.shape());
-        cached_invstd_ = Tensor(Shape{c});
+        State& st = ctx.state<State>(*this);
+        st.n = n;
+        st.h = h;
+        st.w = w;
+        st.xhat = Tensor(x.shape());
+        st.invstd = Tensor(Shape{c});
         for (std::int64_t ch = 0; ch < c; ++ch) {
             double mean = 0.0;
             for (std::int64_t i = 0; i < n; ++i) {
@@ -89,11 +92,11 @@ Tensor BatchNorm2d::forward(const Tensor& x) {
                                (1.0f - momentum_) * static_cast<float>(var);
 
             const float invstd = 1.0f / std::sqrt(static_cast<float>(var) + eps_);
-            cached_invstd_[ch] = invstd;
+            st.invstd[ch] = invstd;
             const float g = gamma.value[ch], b = beta.value[ch];
             for (std::int64_t i = 0; i < n; ++i) {
                 const float* px = x.data() + (i * c + ch) * spatial;
-                float* ph = cached_xhat_.data() + (i * c + ch) * spatial;
+                float* ph = st.xhat.data() + (i * c + ch) * spatial;
                 float* py = y.data() + (i * c + ch) * spatial;
                 for (std::int64_t s = 0; s < spatial; ++s) {
                     const float xh = (px[s] - static_cast<float>(mean)) * invstd;
@@ -118,11 +121,14 @@ Tensor BatchNorm2d::forward(const Tensor& x) {
     return y;
 }
 
-Tensor BatchNorm2d::backward(const Tensor& gy) {
+Tensor BatchNorm2d::backward(const Tensor& gy, Context& ctx) {
     assert(training_ && "backward through BatchNorm requires training mode");
-    const std::int64_t n = cached_n_, c = channels_, spatial = cached_h_ * cached_w_;
+    const State& st = ctx.state<State>(*this);
+    const std::int64_t n = st.n, c = channels_, spatial = st.h * st.w;
     const auto per_channel = static_cast<float>(n * spatial);
     Tensor gx(gy.shape());
+    Tensor& gg = ctx.grad(gamma);
+    Tensor& gb = ctx.grad(beta);
 
     for (std::int64_t ch = 0; ch < c; ++ch) {
         // Standard batchnorm backward in terms of xhat:
@@ -130,21 +136,21 @@ Tensor BatchNorm2d::backward(const Tensor& gy) {
         double sum_gy = 0.0, sum_gyxh = 0.0;
         for (std::int64_t i = 0; i < n; ++i) {
             const float* pg = gy.data() + (i * c + ch) * spatial;
-            const float* ph = cached_xhat_.data() + (i * c + ch) * spatial;
+            const float* ph = st.xhat.data() + (i * c + ch) * spatial;
             for (std::int64_t s = 0; s < spatial; ++s) {
                 sum_gy += pg[s];
                 sum_gyxh += static_cast<double>(pg[s]) * ph[s];
             }
         }
-        gamma.grad[ch] += static_cast<float>(sum_gyxh);
-        beta.grad[ch] += static_cast<float>(sum_gy);
+        gg[ch] += static_cast<float>(sum_gyxh);
+        gb[ch] += static_cast<float>(sum_gy);
 
         const float g = gamma.value[ch];
-        const float invstd = cached_invstd_[ch];
+        const float invstd = st.invstd[ch];
         const float k = g * invstd / per_channel;
         for (std::int64_t i = 0; i < n; ++i) {
             const float* pg = gy.data() + (i * c + ch) * spatial;
-            const float* ph = cached_xhat_.data() + (i * c + ch) * spatial;
+            const float* ph = st.xhat.data() + (i * c + ch) * spatial;
             float* px = gx.data() + (i * c + ch) * spatial;
             for (std::int64_t s = 0; s < spatial; ++s) {
                 px[s] = k * (per_channel * pg[s] - static_cast<float>(sum_gy) -
@@ -172,40 +178,43 @@ void BatchNorm2d::load_extra_state(const float*& cursor) {
 
 // ------------------------------------------------------------------ ReLU --
 
-Tensor ReLU::forward(const Tensor& x) {
+Tensor ReLU::forward(const Tensor& x, Context& ctx) {
     Tensor y = x;
-    mask_.resize(static_cast<std::size_t>(x.numel()));
+    auto& mask = ctx.state<State>(*this).mask;
+    mask.resize(static_cast<std::size_t>(x.numel()));
     for (std::int64_t i = 0; i < y.numel(); ++i) {
         const bool pos = y[i] > 0.0f;
-        mask_[static_cast<std::size_t>(i)] = pos ? 1 : 0;
+        mask[static_cast<std::size_t>(i)] = pos ? 1 : 0;
         if (!pos) y[i] = 0.0f;
     }
     return y;
 }
 
-Tensor ReLU::backward(const Tensor& gy) {
-    assert(static_cast<std::size_t>(gy.numel()) == mask_.size());
+Tensor ReLU::backward(const Tensor& gy, Context& ctx) {
+    const auto& mask = ctx.state<State>(*this).mask;
+    assert(static_cast<std::size_t>(gy.numel()) == mask.size());
     Tensor gx = gy;
     for (std::int64_t i = 0; i < gx.numel(); ++i)
-        if (!mask_[static_cast<std::size_t>(i)]) gx[i] = 0.0f;
+        if (!mask[static_cast<std::size_t>(i)]) gx[i] = 0.0f;
     return gx;
 }
 
 // ------------------------------------------------------------- MaxPool2d --
 
-Tensor MaxPool2d::forward(const Tensor& x) {
+Tensor MaxPool2d::forward(const Tensor& x, Context& ctx) {
     assert(x.rank() == 4);
     const std::int64_t n = x.dim(0), c = x.dim(1), h = x.dim(2), w = x.dim(3);
     assert(h % kernel_ == 0 && w % kernel_ == 0);
     const std::int64_t oh = h / kernel_, ow = w / kernel_;
-    in_shape_ = x.shape();
+    State& st = ctx.state<State>(*this);
+    st.in_shape = x.shape();
     Tensor y(Shape{n, c, oh, ow});
-    argmax_.assign(static_cast<std::size_t>(y.numel()), 0);
+    st.argmax.assign(static_cast<std::size_t>(y.numel()), 0);
 
     for (std::int64_t i = 0; i < n * c; ++i) {
         const float* px = x.data() + i * h * w;
         float* py = y.data() + i * oh * ow;
-        std::int64_t* pa = argmax_.data() + i * oh * ow;
+        std::int64_t* pa = st.argmax.data() + i * oh * ow;
         for (std::int64_t oy = 0; oy < oh; ++oy) {
             for (std::int64_t ox = 0; ox < ow; ++ox) {
                 float best = -std::numeric_limits<float>::infinity();
@@ -228,15 +237,16 @@ Tensor MaxPool2d::forward(const Tensor& x) {
     return y;
 }
 
-Tensor MaxPool2d::backward(const Tensor& gy) {
-    const std::int64_t n = in_shape_[0], c = in_shape_[1], h = in_shape_[2],
-                       w = in_shape_[3];
+Tensor MaxPool2d::backward(const Tensor& gy, Context& ctx) {
+    const State& st = ctx.state<State>(*this);
+    const std::int64_t n = st.in_shape[0], c = st.in_shape[1], h = st.in_shape[2],
+                       w = st.in_shape[3];
     const std::int64_t oh = h / kernel_, ow = w / kernel_;
     assert(gy.numel() == n * c * oh * ow);
-    Tensor gx(in_shape_);
+    Tensor gx(st.in_shape);
     for (std::int64_t i = 0; i < n * c; ++i) {
         const float* pg = gy.data() + i * oh * ow;
-        const std::int64_t* pa = argmax_.data() + i * oh * ow;
+        const std::int64_t* pa = st.argmax.data() + i * oh * ow;
         float* px = gx.data() + i * h * w;
         for (std::int64_t s = 0; s < oh * ow; ++s) px[pa[s]] += pg[s];
     }
@@ -245,12 +255,12 @@ Tensor MaxPool2d::backward(const Tensor& gy) {
 
 // ------------------------------------------------------------- AvgPool2d --
 
-Tensor AvgPool2d::forward(const Tensor& x) {
+Tensor AvgPool2d::forward(const Tensor& x, Context& ctx) {
     assert(x.rank() == 4);
     const std::int64_t n = x.dim(0), c = x.dim(1), h = x.dim(2), w = x.dim(3);
     assert(h % kernel_ == 0 && w % kernel_ == 0);
     const std::int64_t oh = h / kernel_, ow = w / kernel_;
-    in_shape_ = x.shape();
+    ctx.state<State>(*this).in_shape = x.shape();
     Tensor y(Shape{n, c, oh, ow});
     const float inv = 1.0f / static_cast<float>(kernel_ * kernel_);
     for (std::int64_t i = 0; i < n * c; ++i) {
@@ -269,12 +279,13 @@ Tensor AvgPool2d::forward(const Tensor& x) {
     return y;
 }
 
-Tensor AvgPool2d::backward(const Tensor& gy) {
-    const std::int64_t n = in_shape_[0], c = in_shape_[1], h = in_shape_[2],
-                       w = in_shape_[3];
+Tensor AvgPool2d::backward(const Tensor& gy, Context& ctx) {
+    const State& st = ctx.state<State>(*this);
+    const std::int64_t n = st.in_shape[0], c = st.in_shape[1], h = st.in_shape[2],
+                       w = st.in_shape[3];
     const std::int64_t oh = h / kernel_, ow = w / kernel_;
     assert(gy.numel() == n * c * oh * ow);
-    Tensor gx(in_shape_);
+    Tensor gx(st.in_shape);
     const float inv = 1.0f / static_cast<float>(kernel_ * kernel_);
     for (std::int64_t i = 0; i < n * c; ++i) {
         const float* pg = gy.data() + i * oh * ow;
@@ -293,35 +304,38 @@ Tensor AvgPool2d::backward(const Tensor& gy) {
 
 // --------------------------------------------------------------- Dropout --
 
-Tensor Dropout::forward(const Tensor& x) {
+Tensor Dropout::forward(const Tensor& x, Context& ctx) {
+    auto& mask = ctx.state<State>(*this).mask;
     if (!training_ || p_ <= 0.0f) {
-        mask_.assign(static_cast<std::size_t>(x.numel()), 1.0f);
+        mask.assign(static_cast<std::size_t>(x.numel()), 1.0f);
         return x;
     }
     Tensor y = x;
-    mask_.resize(static_cast<std::size_t>(x.numel()));
+    mask.resize(static_cast<std::size_t>(x.numel()));
     const float keep_scale = 1.0f / (1.0f - p_);
+    util::Rng& rng = ctx.rng();
     for (std::int64_t i = 0; i < y.numel(); ++i) {
-        const float m = rng_.bernoulli(p_) ? 0.0f : keep_scale;
-        mask_[static_cast<std::size_t>(i)] = m;
+        const float m = rng.bernoulli(p_) ? 0.0f : keep_scale;
+        mask[static_cast<std::size_t>(i)] = m;
         y[i] *= m;
     }
     return y;
 }
 
-Tensor Dropout::backward(const Tensor& gy) {
-    assert(static_cast<std::size_t>(gy.numel()) == mask_.size());
+Tensor Dropout::backward(const Tensor& gy, Context& ctx) {
+    const auto& mask = ctx.state<State>(*this).mask;
+    assert(static_cast<std::size_t>(gy.numel()) == mask.size());
     Tensor gx = gy;
     for (std::int64_t i = 0; i < gx.numel(); ++i)
-        gx[i] *= mask_[static_cast<std::size_t>(i)];
+        gx[i] *= mask[static_cast<std::size_t>(i)];
     return gx;
 }
 
 // --------------------------------------------------------- GlobalAvgPool --
 
-Tensor GlobalAvgPool::forward(const Tensor& x) {
+Tensor GlobalAvgPool::forward(const Tensor& x, Context& ctx) {
     assert(x.rank() == 4);
-    in_shape_ = x.shape();
+    ctx.state<State>(*this).in_shape = x.shape();
     const std::int64_t n = x.dim(0), c = x.dim(1), spatial = x.dim(2) * x.dim(3);
     Tensor y(Shape{n, c});
     for (std::int64_t i = 0; i < n * c; ++i) {
@@ -333,9 +347,10 @@ Tensor GlobalAvgPool::forward(const Tensor& x) {
     return y;
 }
 
-Tensor GlobalAvgPool::backward(const Tensor& gy) {
-    const std::int64_t spatial = in_shape_[2] * in_shape_[3];
-    Tensor gx(in_shape_);
+Tensor GlobalAvgPool::backward(const Tensor& gy, Context& ctx) {
+    const State& st = ctx.state<State>(*this);
+    const std::int64_t spatial = st.in_shape[2] * st.in_shape[3];
+    Tensor gx(st.in_shape);
     const float inv = 1.0f / static_cast<float>(spatial);
     for (std::int64_t i = 0; i < gy.numel(); ++i) {
         float* p = gx.data() + i * spatial;
@@ -347,12 +362,14 @@ Tensor GlobalAvgPool::backward(const Tensor& gy) {
 
 // --------------------------------------------------------------- Flatten --
 
-Tensor Flatten::forward(const Tensor& x) {
-    in_shape_ = x.shape();
+Tensor Flatten::forward(const Tensor& x, Context& ctx) {
+    ctx.state<State>(*this).in_shape = x.shape();
     const std::int64_t n = x.dim(0);
     return x.reshaped(Shape{n, x.numel() / n});
 }
 
-Tensor Flatten::backward(const Tensor& gy) { return gy.reshaped(in_shape_); }
+Tensor Flatten::backward(const Tensor& gy, Context& ctx) {
+    return gy.reshaped(ctx.state<State>(*this).in_shape);
+}
 
 } // namespace amret::nn

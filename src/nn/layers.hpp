@@ -5,6 +5,10 @@
 /// is an ApproxConv2d that can run in float, quantized-exact, or quantized-
 /// approximate mode, matching the paper's flow where conv layers are the
 /// approximated ones and everything else stays float.
+///
+/// All per-invocation state (cached activations, pooling argmax indices,
+/// dropout masks) lives in the caller's nn::Context; the layer objects hold
+/// only parameters and persistent statistics, so they are re-entrant.
 #pragma once
 
 #include "nn/module.hpp"
@@ -18,8 +22,11 @@ class Linear : public Module {
 public:
     Linear(std::int64_t in_features, std::int64_t out_features, util::Rng& rng);
 
-    tensor::Tensor forward(const tensor::Tensor& x) override;
-    tensor::Tensor backward(const tensor::Tensor& gy) override;
+    tensor::Tensor forward(const tensor::Tensor& x, Context& ctx) override;
+    tensor::Tensor backward(const tensor::Tensor& gy, Context& ctx) override;
+    [[nodiscard]] BatchCoupling coupling() const override {
+        return BatchCoupling::kSampleLocal;
+    }
     void collect_params(std::vector<Param*>& out) override;
     [[nodiscard]] std::string name() const override { return "Linear"; }
 
@@ -27,7 +34,9 @@ public:
     Param bias;   ///< (out)
 
 private:
-    tensor::Tensor cached_x_;
+    struct State {
+        tensor::Tensor x;
+    };
 };
 
 /// 2-D batch normalization over (N, C, H, W) with running statistics.
@@ -36,8 +45,14 @@ public:
     explicit BatchNorm2d(std::int64_t channels, float momentum = 0.9f,
                          float eps = 1e-5f);
 
-    tensor::Tensor forward(const tensor::Tensor& x) override;
-    tensor::Tensor backward(const tensor::Tensor& gy) override;
+    tensor::Tensor forward(const tensor::Tensor& x, Context& ctx) override;
+    tensor::Tensor backward(const tensor::Tensor& gy, Context& ctx) override;
+    /// Training-mode statistics mix the whole batch; eval uses the frozen
+    /// running estimates and is per-sample.
+    [[nodiscard]] BatchCoupling coupling() const override {
+        return training_ ? BatchCoupling::kBatchCoupled
+                         : BatchCoupling::kSampleLocal;
+    }
     void collect_params(std::vector<Param*>& out) override;
     void save_extra_state(std::vector<float>& out) const override;
     void load_extra_state(const float*& cursor) override;
@@ -50,24 +65,31 @@ public:
     [[nodiscard]] const tensor::Tensor& running_var() const { return running_var_; }
 
 private:
+    struct State {
+        tensor::Tensor xhat;
+        tensor::Tensor invstd; // (C)
+        std::int64_t n = 0, h = 0, w = 0;
+    };
+
     std::int64_t channels_;
     float momentum_, eps_;
     tensor::Tensor running_mean_, running_var_;
-    // Caches for backward (training mode).
-    tensor::Tensor cached_xhat_;
-    tensor::Tensor cached_invstd_; // (C)
-    std::int64_t cached_n_ = 0, cached_h_ = 0, cached_w_ = 0;
 };
 
 /// Elementwise max(x, 0).
 class ReLU : public Module {
 public:
-    tensor::Tensor forward(const tensor::Tensor& x) override;
-    tensor::Tensor backward(const tensor::Tensor& gy) override;
+    tensor::Tensor forward(const tensor::Tensor& x, Context& ctx) override;
+    tensor::Tensor backward(const tensor::Tensor& gy, Context& ctx) override;
+    [[nodiscard]] BatchCoupling coupling() const override {
+        return BatchCoupling::kSampleLocal;
+    }
     [[nodiscard]] std::string name() const override { return "ReLU"; }
 
 private:
-    std::vector<std::uint8_t> mask_;
+    struct State {
+        std::vector<std::uint8_t> mask;
+    };
 };
 
 /// Non-overlapping max pooling with kernel == stride.
@@ -75,14 +97,20 @@ class MaxPool2d : public Module {
 public:
     explicit MaxPool2d(std::int64_t kernel = 2) : kernel_(kernel) {}
 
-    tensor::Tensor forward(const tensor::Tensor& x) override;
-    tensor::Tensor backward(const tensor::Tensor& gy) override;
+    tensor::Tensor forward(const tensor::Tensor& x, Context& ctx) override;
+    tensor::Tensor backward(const tensor::Tensor& gy, Context& ctx) override;
+    [[nodiscard]] BatchCoupling coupling() const override {
+        return BatchCoupling::kSampleLocal;
+    }
     [[nodiscard]] std::string name() const override { return "MaxPool2d"; }
 
 private:
+    struct State {
+        tensor::Shape in_shape;
+        std::vector<std::int64_t> argmax;
+    };
+
     std::int64_t kernel_;
-    tensor::Shape in_shape_;
-    std::vector<std::int64_t> argmax_;
 };
 
 /// Non-overlapping average pooling with kernel == stride.
@@ -90,52 +118,74 @@ class AvgPool2d : public Module {
 public:
     explicit AvgPool2d(std::int64_t kernel = 2) : kernel_(kernel) {}
 
-    tensor::Tensor forward(const tensor::Tensor& x) override;
-    tensor::Tensor backward(const tensor::Tensor& gy) override;
+    tensor::Tensor forward(const tensor::Tensor& x, Context& ctx) override;
+    tensor::Tensor backward(const tensor::Tensor& gy, Context& ctx) override;
+    [[nodiscard]] BatchCoupling coupling() const override {
+        return BatchCoupling::kSampleLocal;
+    }
     [[nodiscard]] std::string name() const override { return "AvgPool2d"; }
 
 private:
+    struct State {
+        tensor::Shape in_shape;
+    };
+
     std::int64_t kernel_;
-    tensor::Shape in_shape_;
 };
 
 /// Inverted dropout: active in training mode only; scales kept activations
-/// by 1/(1-p) so evaluation needs no correction.
+/// by 1/(1-p) so evaluation needs no correction. Randomness comes from the
+/// Context's RNG stream, so reproducibility is controlled by the caller
+/// (the trainer reseeds per step/microbatch).
 class Dropout : public Module {
 public:
-    explicit Dropout(float p = 0.5f, std::uint64_t seed = 17)
-        : p_(p), rng_(seed) {}
+    explicit Dropout(float p = 0.5f) : p_(p) {}
 
-    tensor::Tensor forward(const tensor::Tensor& x) override;
-    tensor::Tensor backward(const tensor::Tensor& gy) override;
+    tensor::Tensor forward(const tensor::Tensor& x, Context& ctx) override;
+    tensor::Tensor backward(const tensor::Tensor& gy, Context& ctx) override;
+    [[nodiscard]] BatchCoupling coupling() const override {
+        return BatchCoupling::kSampleLocal;
+    }
     [[nodiscard]] std::string name() const override { return "Dropout"; }
 
 private:
+    struct State {
+        std::vector<float> mask;
+    };
+
     float p_;
-    util::Rng rng_;
-    std::vector<float> mask_;
 };
 
 /// Global average pooling (N, C, H, W) -> (N, C).
 class GlobalAvgPool : public Module {
 public:
-    tensor::Tensor forward(const tensor::Tensor& x) override;
-    tensor::Tensor backward(const tensor::Tensor& gy) override;
+    tensor::Tensor forward(const tensor::Tensor& x, Context& ctx) override;
+    tensor::Tensor backward(const tensor::Tensor& gy, Context& ctx) override;
+    [[nodiscard]] BatchCoupling coupling() const override {
+        return BatchCoupling::kSampleLocal;
+    }
     [[nodiscard]] std::string name() const override { return "GlobalAvgPool"; }
 
 private:
-    tensor::Shape in_shape_;
+    struct State {
+        tensor::Shape in_shape;
+    };
 };
 
 /// Collapses all non-batch dimensions: (N, ...) -> (N, prod).
 class Flatten : public Module {
 public:
-    tensor::Tensor forward(const tensor::Tensor& x) override;
-    tensor::Tensor backward(const tensor::Tensor& gy) override;
+    tensor::Tensor forward(const tensor::Tensor& x, Context& ctx) override;
+    tensor::Tensor backward(const tensor::Tensor& gy, Context& ctx) override;
+    [[nodiscard]] BatchCoupling coupling() const override {
+        return BatchCoupling::kSampleLocal;
+    }
     [[nodiscard]] std::string name() const override { return "Flatten"; }
 
 private:
-    tensor::Shape in_shape_;
+    struct State {
+        tensor::Shape in_shape;
+    };
 };
 
 } // namespace amret::nn

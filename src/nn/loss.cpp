@@ -8,12 +8,13 @@ namespace amret::nn {
 
 using tensor::Tensor;
 
-double SoftmaxCrossEntropy::forward(const Tensor& logits, const std::vector<int>& labels) {
+SoftmaxCeResult softmax_cross_entropy(const Tensor& logits,
+                                      const std::vector<int>& labels) {
     assert(logits.rank() == 2);
     const std::int64_t n = logits.dim(0), c = logits.dim(1);
     assert(labels.size() == static_cast<std::size_t>(n));
-    probs_ = Tensor(logits.shape());
-    labels_ = labels;
+    SoftmaxCeResult result;
+    result.probs = Tensor(logits.shape());
 
     double total = 0.0;
     for (std::int64_t i = 0; i < n; ++i) {
@@ -24,7 +25,7 @@ double SoftmaxCrossEntropy::forward(const Tensor& logits, const std::vector<int>
         for (std::int64_t j = 0; j < c; ++j)
             denom += std::exp(static_cast<double>(row[j]) - mx);
         const double log_denom = std::log(denom);
-        float* prow = probs_.data() + i * c;
+        float* prow = result.probs.data() + i * c;
         for (std::int64_t j = 0; j < c; ++j)
             prow[j] = static_cast<float>(
                 std::exp(static_cast<double>(row[j]) - mx - log_denom));
@@ -32,16 +33,19 @@ double SoftmaxCrossEntropy::forward(const Tensor& logits, const std::vector<int>
         assert(label >= 0 && label < c);
         total += -(static_cast<double>(row[label]) - mx - log_denom);
     }
-    return total / static_cast<double>(n);
+    result.loss = total / static_cast<double>(n);
+    return result;
 }
 
-Tensor SoftmaxCrossEntropy::backward() const {
-    const std::int64_t n = probs_.dim(0), c = probs_.dim(1);
-    Tensor grad = probs_;
+Tensor softmax_cross_entropy_grad(const Tensor& probs,
+                                  const std::vector<int>& labels) {
+    const std::int64_t n = probs.dim(0), c = probs.dim(1);
+    assert(labels.size() == static_cast<std::size_t>(n));
+    Tensor grad = probs;
     const float inv_n = 1.0f / static_cast<float>(n);
     for (std::int64_t i = 0; i < n; ++i) {
         float* row = grad.data() + i * c;
-        row[labels_[static_cast<std::size_t>(i)]] -= 1.0f;
+        row[labels[static_cast<std::size_t>(i)]] -= 1.0f;
         for (std::int64_t j = 0; j < c; ++j) row[j] *= inv_n;
     }
     return grad;

@@ -1,5 +1,9 @@
 /// \file loss.hpp
 /// \brief Softmax cross-entropy loss and classification metrics.
+///
+/// The loss is a pair of stateless free functions (forward returns the
+/// probabilities the gradient needs), so it is re-entrant by construction —
+/// concurrent trainer workers share nothing.
 #pragma once
 
 #include "tensor/tensor.hpp"
@@ -9,22 +13,20 @@
 
 namespace amret::nn {
 
-/// Numerically stable softmax cross-entropy over logits (N, C).
-class SoftmaxCrossEntropy {
-public:
-    /// Mean loss over the batch; caches softmax probabilities.
-    double forward(const tensor::Tensor& logits, const std::vector<int>& labels);
-
-    /// Gradient w.r.t. the logits of the last forward call.
-    [[nodiscard]] tensor::Tensor backward() const;
-
-    /// Probabilities from the last forward (N, C).
-    [[nodiscard]] const tensor::Tensor& probs() const { return probs_; }
-
-private:
-    tensor::Tensor probs_;
-    std::vector<int> labels_;
+/// Result of a softmax cross-entropy forward pass.
+struct SoftmaxCeResult {
+    double loss = 0.0;     ///< mean loss over the batch
+    tensor::Tensor probs;  ///< softmax probabilities (N, C)
 };
+
+/// Numerically stable softmax cross-entropy over logits (N, C).
+SoftmaxCeResult softmax_cross_entropy(const tensor::Tensor& logits,
+                                      const std::vector<int>& labels);
+
+/// Gradient w.r.t. the logits, from the probabilities returned by
+/// softmax_cross_entropy (mean reduction: each row scaled by 1/N).
+tensor::Tensor softmax_cross_entropy_grad(const tensor::Tensor& probs,
+                                          const std::vector<int>& labels);
 
 /// Fraction of rows whose true label is among the top-k logits.
 double topk_accuracy(const tensor::Tensor& logits, const std::vector<int>& labels,

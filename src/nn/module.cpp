@@ -1,18 +1,27 @@
 #include "nn/module.hpp"
 
+#include <algorithm>
+
 namespace amret::nn {
 
-tensor::Tensor Sequential::forward(const tensor::Tensor& x) {
+tensor::Tensor Sequential::forward(const tensor::Tensor& x, Context& ctx) {
     tensor::Tensor cur = x;
-    for (auto& child : children_) cur = child->forward(cur);
+    for (auto& child : children_) cur = child->forward(cur, ctx);
     return cur;
 }
 
-tensor::Tensor Sequential::backward(const tensor::Tensor& gy) {
+tensor::Tensor Sequential::backward(const tensor::Tensor& gy, Context& ctx) {
     tensor::Tensor cur = gy;
     for (auto it = children_.rbegin(); it != children_.rend(); ++it)
-        cur = (*it)->backward(cur);
+        cur = (*it)->backward(cur, ctx);
     return cur;
+}
+
+BatchCoupling Sequential::coupling() const {
+    BatchCoupling strongest = BatchCoupling::kSampleLocal;
+    for (const auto& child : children_)
+        strongest = std::max(strongest, child->coupling());
+    return strongest;
 }
 
 void Sequential::collect_params(std::vector<Param*>& out) {

@@ -1,12 +1,19 @@
 /// \file module.hpp
-/// \brief Layer abstraction: explicit forward/backward with cached state.
+/// \brief Layer abstraction: explicit forward/backward over a re-entrant
+///        per-invocation Context.
 ///
 /// amret uses layer-local backpropagation (as in classic frameworks) rather
-/// than a tape: each Module caches what it needs during forward and returns
-/// the input gradient from backward. Parameters expose value and gradient
-/// tensors that optimizers update in place.
+/// than a tape: forward stores what the matching backward needs in the
+/// caller-supplied nn::Context, and backward returns the input gradient.
+/// Modules themselves hold only persistent state — parameters, BatchNorm
+/// running statistics, observer ranges — so one model instance can run any
+/// number of concurrent forward/backward pairs as long as each uses its own
+/// Context (DESIGN.md §11). Parameters expose value and gradient tensors
+/// that optimizers update in place; under Context gradient shadowing the
+/// accumulation target is per-context instead.
 #pragma once
 
+#include "nn/context.hpp"
 #include "tensor/tensor.hpp"
 
 #include <functional>
@@ -29,17 +36,48 @@ struct Param {
     void zero_grad() { grad.fill(0.0f); }
 };
 
+/// How a layer's training-mode forward couples samples across the batch.
+/// The microbatch executor uses this to decide which layers may run on
+/// batch slices in parallel and which must see the whole batch at once.
+/// Ordered by strength so containers can take the max over children.
+enum class BatchCoupling {
+    /// Output row i depends only on input row i — safe to slice.
+    kSampleLocal = 0,
+    /// Per-sample compute, but a batch-level statistic must update exactly
+    /// once per step (quantization observers): run batch_pre_pass on the
+    /// full batch, then forward slices with observers frozen.
+    kStatsCoupled = 1,
+    /// Forward mixes samples (BatchNorm batch statistics) or the coupling
+    /// is unknown (composite blocks): must run on the full batch.
+    kBatchCoupled = 2,
+};
+
 /// Base class for all layers and containers.
 class Module {
 public:
     virtual ~Module() = default;
 
-    /// Computes the layer output; must cache anything backward needs.
-    virtual tensor::Tensor forward(const tensor::Tensor& x) = 0;
+    /// Computes the layer output. Anything the matching backward needs is
+    /// stored in \p ctx (never in the module), so concurrent invocations
+    /// with distinct contexts are safe.
+    virtual tensor::Tensor forward(const tensor::Tensor& x, Context& ctx) = 0;
 
-    /// Propagates the output gradient; accumulates into parameter grads and
-    /// returns the input gradient. Must follow a matching forward call.
-    virtual tensor::Tensor backward(const tensor::Tensor& gy) = 0;
+    /// Propagates the output gradient; accumulates into parameter grads
+    /// (via ctx.grad(param), which may shadow) and returns the input
+    /// gradient. Must follow a matching forward on the same \p ctx.
+    virtual tensor::Tensor backward(const tensor::Tensor& gy, Context& ctx) = 0;
+
+    /// Batch-coupling class of this module in its current mode. The safe
+    /// default is kBatchCoupled (run on the full batch); sample-local
+    /// layers override this as an explicit promise.
+    [[nodiscard]] virtual BatchCoupling coupling() const {
+        return BatchCoupling::kBatchCoupled;
+    }
+
+    /// For kStatsCoupled modules: consumes the full-batch input once per
+    /// step (observer EMA updates) before sliced forwards run with
+    /// observers frozen. Default: nothing.
+    virtual void batch_pre_pass(const tensor::Tensor& x) { (void)x; }
 
     /// Appends pointers to this module's parameters (and its children's).
     virtual void collect_params(std::vector<Param*>& out) { (void)out; }
@@ -103,8 +141,9 @@ public:
 
     void append(std::unique_ptr<Module> m) { children_.push_back(std::move(m)); }
 
-    tensor::Tensor forward(const tensor::Tensor& x) override;
-    tensor::Tensor backward(const tensor::Tensor& gy) override;
+    tensor::Tensor forward(const tensor::Tensor& x, Context& ctx) override;
+    tensor::Tensor backward(const tensor::Tensor& gy, Context& ctx) override;
+    [[nodiscard]] BatchCoupling coupling() const override;
     void collect_params(std::vector<Param*>& out) override;
     void set_training(bool training) override;
     void visit(const std::function<void(Module&)>& fn) override;

@@ -41,6 +41,67 @@ void Adam::step(const std::vector<Param*>& params) {
     }
 }
 
+void Sgd::save_state(const std::vector<Param*>& params,
+                     std::vector<float>& out) const {
+    // Layout: per param (in params order), numel velocity floats. Params
+    // never stepped yet serialize as zeros, matching a fresh slot.
+    for (const Param* p : params) {
+        const auto it = velocity_.find(const_cast<Param*>(p));
+        for (std::int64_t i = 0; i < p->value.numel(); ++i)
+            out.push_back(it != velocity_.end() ? it->second[i] : 0.0f);
+    }
+}
+
+bool Sgd::load_state(const std::vector<Param*>& params,
+                     const std::vector<float>& data) {
+    if (data.empty()) return true;
+    std::size_t expected = 0;
+    for (const Param* p : params)
+        expected += static_cast<std::size_t>(p->value.numel());
+    if (data.size() != expected) return false;
+    velocity_.clear();
+    const float* cursor = data.data();
+    for (Param* p : params) {
+        tensor::Tensor vel(p->value.shape());
+        for (std::int64_t i = 0; i < vel.numel(); ++i) vel[i] = *cursor++;
+        velocity_.emplace(p, std::move(vel));
+    }
+    return true;
+}
+
+void Adam::save_state(const std::vector<Param*>& params,
+                      std::vector<float>& out) const {
+    // Layout: step counter (exact in float up to 2^24 steps), then per
+    // param (in params order) the m moments followed by the v moments.
+    out.push_back(static_cast<float>(t_));
+    for (const Param* p : params) {
+        const auto it = state_.find(const_cast<Param*>(p));
+        for (std::int64_t i = 0; i < p->value.numel(); ++i)
+            out.push_back(it != state_.end() ? it->second.m[i] : 0.0f);
+        for (std::int64_t i = 0; i < p->value.numel(); ++i)
+            out.push_back(it != state_.end() ? it->second.v[i] : 0.0f);
+    }
+}
+
+bool Adam::load_state(const std::vector<Param*>& params,
+                      const std::vector<float>& data) {
+    if (data.empty()) return true;
+    std::size_t expected = 1;
+    for (const Param* p : params)
+        expected += 2 * static_cast<std::size_t>(p->value.numel());
+    if (data.size() != expected) return false;
+    state_.clear();
+    const float* cursor = data.data();
+    t_ = static_cast<long>(*cursor++);
+    for (Param* p : params) {
+        State s{tensor::Tensor(p->value.shape()), tensor::Tensor(p->value.shape())};
+        for (std::int64_t i = 0; i < s.m.numel(); ++i) s.m[i] = *cursor++;
+        for (std::int64_t i = 0; i < s.v.numel(); ++i) s.v[i] = *cursor++;
+        state_.emplace(p, std::move(s));
+    }
+    return true;
+}
+
 double paper_lr_schedule(double base_lr, int epoch, int total_epochs) {
     if (total_epochs <= 0) return base_lr;
     const int third = (epoch * 3) / total_epochs; // 0, 1, 2

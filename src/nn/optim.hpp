@@ -18,6 +18,24 @@ public:
     /// Applies one update using each parameter's accumulated gradient.
     virtual void step(const std::vector<Param*>& params) = 0;
 
+    /// Appends the optimizer's slot state (moments, step counter) to \p out
+    /// in \p params order, for checkpointing. Stateless optimizers append
+    /// nothing.
+    virtual void save_state(const std::vector<Param*>& params,
+                            std::vector<float>& out) const {
+        (void)params;
+        (void)out;
+    }
+
+    /// Restores state written by save_state against the same parameter
+    /// list. Returns false (leaving the optimizer fresh) on a size
+    /// mismatch; an empty \p data always succeeds as "start fresh".
+    virtual bool load_state(const std::vector<Param*>& params,
+                            const std::vector<float>& data) {
+        (void)params;
+        return data.empty();
+    }
+
     void set_lr(double lr) { lr_ = lr; }
     [[nodiscard]] double lr() const { return lr_; }
 
@@ -32,6 +50,10 @@ public:
         : Optimizer(lr), momentum_(momentum), weight_decay_(weight_decay) {}
 
     void step(const std::vector<Param*>& params) override;
+    void save_state(const std::vector<Param*>& params,
+                    std::vector<float>& out) const override;
+    bool load_state(const std::vector<Param*>& params,
+                    const std::vector<float>& data) override;
 
 private:
     double momentum_, weight_decay_;
@@ -47,6 +69,10 @@ public:
           weight_decay_(weight_decay) {}
 
     void step(const std::vector<Param*>& params) override;
+    void save_state(const std::vector<Param*>& params,
+                    std::vector<float>& out) const override;
+    bool load_state(const std::vector<Param*>& params,
+                    const std::vector<float>& data) override;
 
 private:
     struct State {

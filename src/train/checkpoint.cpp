@@ -7,7 +7,8 @@ namespace amret::train {
 
 namespace {
 
-constexpr char kMagic[8] = {'A', 'M', 'C', 'K', 'P', 'T', '1', 0};
+constexpr char kMagicV1[8] = {'A', 'M', 'C', 'K', 'P', 'T', '1', 0};
+constexpr char kMagicV2[8] = {'A', 'M', 'C', 'K', 'P', 'T', '2', 0};
 
 void write_u64(std::ostream& os, std::uint64_t v) {
     os.write(reinterpret_cast<const char*>(&v), sizeof(v));
@@ -18,64 +19,108 @@ bool read_u64(std::istream& is, std::uint64_t& v) {
     return static_cast<bool>(is);
 }
 
+void write_snapshot(std::ostream& os, const ModelSnapshot& snap) {
+    write_u64(os, snap.params.size());
+    for (const auto& tensor : snap.params) {
+        write_u64(os, tensor.shape().size());
+        for (const auto dim : tensor.shape())
+            write_u64(os, static_cast<std::uint64_t>(dim));
+        os.write(reinterpret_cast<const char*>(tensor.data()),
+                 static_cast<std::streamsize>(tensor.numel() * sizeof(float)));
+    }
+    write_u64(os, snap.extra.size());
+    os.write(reinterpret_cast<const char*>(snap.extra.data()),
+             static_cast<std::streamsize>(snap.extra.size() * sizeof(float)));
+}
+
+bool read_snapshot(std::istream& is, ModelSnapshot& snap) {
+    std::uint64_t n_params = 0;
+    if (!read_u64(is, n_params) || n_params > (1u << 20)) return false;
+    snap.params.reserve(n_params);
+    for (std::uint64_t i = 0; i < n_params; ++i) {
+        std::uint64_t rank = 0;
+        if (!read_u64(is, rank) || rank > 8) return false;
+        tensor::Shape shape(rank);
+        std::uint64_t numel = 1;
+        for (auto& dim : shape) {
+            std::uint64_t v = 0;
+            if (!read_u64(is, v) || v > (1u << 28)) return false;
+            dim = static_cast<std::int64_t>(v);
+            numel *= v;
+        }
+        if (numel > (1u << 28)) return false;
+        tensor::Tensor t(shape);
+        is.read(reinterpret_cast<char*>(t.data()),
+                static_cast<std::streamsize>(numel * sizeof(float)));
+        if (!is) return false;
+        snap.params.push_back(std::move(t));
+    }
+
+    std::uint64_t n_extra = 0;
+    if (!read_u64(is, n_extra) || n_extra > (1u << 24)) return false;
+    snap.extra.resize(n_extra);
+    is.read(reinterpret_cast<char*>(snap.extra.data()),
+            static_cast<std::streamsize>(n_extra * sizeof(float)));
+    return static_cast<bool>(is);
+}
+
+/// Reads and validates the magic; returns the version byte ('1' or '2'),
+/// or 0 on failure.
+char read_magic(std::istream& is) {
+    char magic[8];
+    is.read(magic, sizeof(magic));
+    if (!is || std::string(magic, 6) != std::string(kMagicV1, 6)) return 0;
+    return magic[6] == '1' || magic[6] == '2' ? magic[6] : 0;
+}
+
 } // namespace
 
 bool save_checkpoint(const ModelSnapshot& snap, const std::string& path) {
     std::ofstream f(path, std::ios::binary);
     if (!f) return false;
-    f.write(kMagic, sizeof(kMagic));
-
-    write_u64(f, snap.params.size());
-    for (const auto& tensor : snap.params) {
-        write_u64(f, tensor.shape().size());
-        for (const auto dim : tensor.shape())
-            write_u64(f, static_cast<std::uint64_t>(dim));
-        f.write(reinterpret_cast<const char*>(tensor.data()),
-                static_cast<std::streamsize>(tensor.numel() * sizeof(float)));
-    }
-    write_u64(f, snap.extra.size());
-    f.write(reinterpret_cast<const char*>(snap.extra.data()),
-            static_cast<std::streamsize>(snap.extra.size() * sizeof(float)));
+    f.write(kMagicV1, sizeof(kMagicV1));
+    write_snapshot(f, snap);
     return static_cast<bool>(f);
 }
 
 std::optional<ModelSnapshot> load_checkpoint(const std::string& path) {
     std::ifstream f(path, std::ios::binary);
-    if (!f) return std::nullopt;
-    char magic[8];
-    f.read(magic, sizeof(magic));
-    if (!f || std::string(magic, 6) != std::string(kMagic, 6)) return std::nullopt;
-
+    if (!f || read_magic(f) == 0) return std::nullopt;
     ModelSnapshot snap;
-    std::uint64_t n_params = 0;
-    if (!read_u64(f, n_params) || n_params > (1u << 20)) return std::nullopt;
-    snap.params.reserve(n_params);
-    for (std::uint64_t i = 0; i < n_params; ++i) {
-        std::uint64_t rank = 0;
-        if (!read_u64(f, rank) || rank > 8) return std::nullopt;
-        tensor::Shape shape(rank);
-        std::uint64_t numel = 1;
-        for (auto& dim : shape) {
-            std::uint64_t v = 0;
-            if (!read_u64(f, v) || v > (1u << 28)) return std::nullopt;
-            dim = static_cast<std::int64_t>(v);
-            numel *= v;
-        }
-        if (numel > (1u << 28)) return std::nullopt;
-        tensor::Tensor t(shape);
-        f.read(reinterpret_cast<char*>(t.data()),
-               static_cast<std::streamsize>(numel * sizeof(float)));
-        if (!f) return std::nullopt;
-        snap.params.push_back(std::move(t));
-    }
-
-    std::uint64_t n_extra = 0;
-    if (!read_u64(f, n_extra) || n_extra > (1u << 24)) return std::nullopt;
-    snap.extra.resize(n_extra);
-    f.read(reinterpret_cast<char*>(snap.extra.data()),
-           static_cast<std::streamsize>(n_extra * sizeof(float)));
-    if (!f) return std::nullopt;
+    if (!read_snapshot(f, snap)) return std::nullopt;
     return snap;
+}
+
+bool save_train_checkpoint(const TrainCheckpoint& ck, const std::string& path) {
+    std::ofstream f(path, std::ios::binary);
+    if (!f) return false;
+    f.write(kMagicV2, sizeof(kMagicV2));
+    write_snapshot(f, ck.model);
+    write_u64(f, ck.optimizer.size());
+    f.write(reinterpret_cast<const char*>(ck.optimizer.data()),
+            static_cast<std::streamsize>(ck.optimizer.size() * sizeof(float)));
+    write_u64(f, ck.next_epoch);
+    return static_cast<bool>(f);
+}
+
+std::optional<TrainCheckpoint> load_train_checkpoint(const std::string& path) {
+    std::ifstream f(path, std::ios::binary);
+    if (!f) return std::nullopt;
+    const char version = read_magic(f);
+    if (version == 0) return std::nullopt;
+
+    TrainCheckpoint ck;
+    if (!read_snapshot(f, ck.model)) return std::nullopt;
+    if (version == '1') return ck; // weights only: fresh optimizer, epoch 0
+
+    std::uint64_t n_opt = 0;
+    if (!read_u64(f, n_opt) || n_opt > (1u << 26)) return std::nullopt;
+    ck.optimizer.resize(n_opt);
+    f.read(reinterpret_cast<char*>(ck.optimizer.data()),
+           static_cast<std::streamsize>(n_opt * sizeof(float)));
+    if (!f) return std::nullopt;
+    if (!read_u64(f, ck.next_epoch)) return std::nullopt;
+    return ck;
 }
 
 bool save_model(nn::Module& model, const std::string& path) {

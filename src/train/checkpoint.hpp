@@ -1,10 +1,19 @@
 /// \file checkpoint.hpp
-/// \brief Disk persistence for model state (parameters + running statistics).
+/// \brief Disk persistence for model and training state.
 ///
 /// Lets long retraining sweeps resume and lets examples ship trained
 /// checkpoints: the ModelSnapshot captured by train::snapshot() is written
 /// with shape information so loads are validated against the receiving
 /// model's architecture.
+///
+/// Two on-disk versions share the "AMCKPT" magic:
+///   v1 ("AMCKPT1"): model snapshot only (params + extra state).
+///   v2 ("AMCKPT2"): the v1 payload followed by optimizer slot state and
+///                   the next-epoch cursor, so Trainer::resume_from can
+///                   continue a run mid-way.
+/// Both loaders accept both versions: loading a v1 file as a
+/// TrainCheckpoint yields empty optimizer state and next_epoch 0 (train
+/// from scratch with the stored weights).
 #pragma once
 
 #include "train/trainer.hpp"
@@ -14,12 +23,19 @@
 
 namespace amret::train {
 
-/// Writes \p snap to \p path; returns false on I/O failure.
+/// Writes \p snap to \p path (v1 format); returns false on I/O failure.
 bool save_checkpoint(const ModelSnapshot& snap, const std::string& path);
 
-/// Reads a checkpoint written by save_checkpoint; nullopt on failure or
-/// corrupt content.
+/// Reads the model snapshot from a v1 or v2 checkpoint; nullopt on failure
+/// or corrupt content. Trailing v2 training state is ignored.
 std::optional<ModelSnapshot> load_checkpoint(const std::string& path);
+
+/// Writes a full training checkpoint (v2 format).
+bool save_train_checkpoint(const TrainCheckpoint& ck, const std::string& path);
+
+/// Reads a v2 training checkpoint; a v1 file loads with empty optimizer
+/// state and next_epoch 0. Nullopt on failure or corrupt content.
+std::optional<TrainCheckpoint> load_train_checkpoint(const std::string& path);
 
 /// Convenience: snapshot \p model and write it.
 bool save_model(nn::Module& model, const std::string& path);

@@ -25,7 +25,12 @@ core::HwsSelection search_hws(const appmult::AppMultLut& lut,
         mc.grad = std::make_shared<core::GradLut>(core::build_difference_grad(lut, hws));
         approx::configure_approx_layers(*model, mc, approx::ComputeMode::kQuantized);
 
-        Trainer trainer(*model, train_set, train_set, config.train);
+        // The sweep is already candidate-parallel (outer parallel_for below);
+        // trainer-level microbatching inside a candidate would only stack a
+        // second region on the same pool, so it is pinned off here.
+        TrainConfig tc = config.train;
+        tc.microbatches = 1;
+        Trainer trainer(*model, train_set, train_set, tc);
         const auto stats = trainer.train_only(config.epochs);
         const double loss = stats.empty() ? 0.0 : stats.back().loss;
         util::log_debug("hws=", hws, " loss=", loss);

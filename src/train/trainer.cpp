@@ -1,11 +1,70 @@
 #include "train/trainer.hpp"
 
+#include "runtime/parallel.hpp"
+#include "train/checkpoint.hpp"
 #include "util/logging.hpp"
+#include "util/rng.hpp"
 #include "util/stopwatch.hpp"
 
+#include <algorithm>
 #include <cassert>
 
 namespace amret::train {
+
+namespace {
+
+/// Expands nested Sequentials into a flat execution list. Composite blocks
+/// (residual blocks) stay single units and inherit Module's kBatchCoupled
+/// default, so the microbatch executor runs them on the full batch.
+void flatten_units(nn::Module& m, std::vector<nn::Module*>& out) {
+    if (auto* seq = dynamic_cast<nn::Sequential*>(&m)) {
+        for (std::size_t i = 0; i < seq->size(); ++i)
+            flatten_units(*seq->child(i), out);
+        return;
+    }
+    out.push_back(&m);
+}
+
+/// Copies row range m of K (contiguous batch slices, [m*n/k, (m+1)*n/k))
+/// into parts[m]. Slices may be empty when n < k.
+void split_rows(const tensor::Tensor& full, std::int64_t k,
+                std::vector<tensor::Tensor>& parts) {
+    const std::int64_t n = full.dim(0);
+    const std::int64_t stride = n > 0 ? full.numel() / n : 0;
+    tensor::Shape shape = full.shape();
+    for (std::int64_t m = 0; m < k; ++m) {
+        const std::int64_t r0 = m * n / k;
+        const std::int64_t r1 = (m + 1) * n / k;
+        shape[0] = r1 - r0;
+        tensor::Tensor part(shape);
+        std::copy(full.data() + r0 * stride, full.data() + r1 * stride,
+                  part.data());
+        parts[m] = std::move(part);
+    }
+}
+
+/// Concatenates batch slices back into one tensor (inverse of split_rows;
+/// empty slices contribute nothing).
+tensor::Tensor concat_rows(const std::vector<tensor::Tensor>& parts) {
+    std::int64_t rows = 0;
+    const tensor::Tensor* proto = nullptr;
+    for (const auto& p : parts) {
+        rows += p.dim(0);
+        if (proto == nullptr && p.dim(0) > 0) proto = &p;
+    }
+    assert(proto != nullptr && "concat of all-empty slices");
+    tensor::Shape shape = proto->shape();
+    shape[0] = rows;
+    tensor::Tensor full(shape);
+    float* dst = full.data();
+    for (const auto& p : parts) {
+        std::copy(p.data(), p.data() + p.numel(), dst);
+        dst += p.numel();
+    }
+    return full;
+}
+
+} // namespace
 
 ModelSnapshot snapshot(nn::Module& model) {
     ModelSnapshot snap;
@@ -34,14 +93,15 @@ EpochStats evaluate(nn::Module& model, const data::Dataset& dataset,
 
     data::DataLoader loader(dataset, batch_size, /*shuffle=*/false, /*seed=*/0);
     loader.start_epoch();
-    nn::SoftmaxCrossEntropy loss_fn;
+    nn::Context ctx;
     EpochStats stats;
     std::int64_t total = 0;
     data::Batch batch;
     while (loader.next(batch)) {
-        const tensor::Tensor logits = model.forward(batch.images);
+        const tensor::Tensor logits = model.forward(batch.images, ctx);
         const auto n = static_cast<std::int64_t>(batch.labels.size());
-        stats.loss += loss_fn.forward(logits, batch.labels) * static_cast<double>(n);
+        const auto ce = nn::softmax_cross_entropy(logits, batch.labels);
+        stats.loss += ce.loss * static_cast<double>(n);
         stats.top1 += nn::top1_accuracy(logits, batch.labels) * static_cast<double>(n);
         stats.top5 += nn::top5_accuracy(logits, batch.labels) * static_cast<double>(n);
         total += n;
@@ -57,13 +117,145 @@ EpochStats evaluate(nn::Module& model, const data::Dataset& dataset,
 
 Trainer::Trainer(nn::Module& model, const data::Dataset& train_set,
                  const data::Dataset& test_set, TrainConfig config)
-    : model_(model), train_set_(train_set), test_set_(test_set), config_(config) {
+    : model_(model), train_set_(train_set), test_set_(test_set),
+      config_(config) {
     if (config_.optimizer == TrainConfig::Opt::kAdam) {
         optimizer_ = std::make_unique<nn::Adam>(config_.lr, 0.9, 0.999, 1e-8,
                                                 config_.weight_decay);
     } else {
         optimizer_ = std::make_unique<nn::Sgd>(config_.lr, 0.9, config_.weight_decay);
     }
+    params_ = model_.params();
+    config_.microbatches = std::max(1, config_.microbatches);
+    if (config_.microbatches > 1) {
+        // Worker contexts shadow their gradient writes (reduced in fixed
+        // order after backward) and never advance observer EMAs — the bulk
+        // batch_pre_pass does that exactly once per step.
+        workers_.reserve(static_cast<std::size_t>(config_.microbatches));
+        for (int m = 0; m < config_.microbatches; ++m) {
+            auto ctx = std::make_unique<nn::Context>();
+            ctx->set_shadow_grads(true);
+            ctx->set_observers_frozen(true);
+            workers_.push_back(std::move(ctx));
+        }
+    }
+    flatten_units(model_, units_);
+    ran_split_.assign(units_.size(), false);
+}
+
+tensor::Tensor Trainer::forward_microbatched(const tensor::Tensor& images) {
+    const auto k = static_cast<std::int64_t>(workers_.size());
+    tensor::Tensor full = images;
+    std::vector<tensor::Tensor> parts(static_cast<std::size_t>(k));
+    bool split = false;
+    for (std::size_t i = 0; i < units_.size(); ++i) {
+        nn::Module* unit = units_[i];
+        const nn::BatchCoupling coupling = unit->coupling();
+        const bool use_split = coupling != nn::BatchCoupling::kBatchCoupled;
+        ran_split_[i] = use_split;
+        if (!use_split) {
+            if (split) {
+                full = concat_rows(parts);
+                split = false;
+            }
+            full = unit->forward(full, bulk_ctx_);
+            continue;
+        }
+        if (coupling == nn::BatchCoupling::kStatsCoupled) {
+            // Batch statistics (observer EMA) must fold exactly once per
+            // step and see the whole batch, before the frozen slices run.
+            if (split) {
+                full = concat_rows(parts);
+                split = false;
+            }
+            unit->batch_pre_pass(full);
+        }
+        if (!split) {
+            split_rows(full, k, parts);
+            split = true;
+        }
+        // One chunk per microbatch (grain 1): chunking depends only on
+        // (0, k, 1), and worker m always computes slice m with its own
+        // context, so the result is the same for any thread count. Kernel
+        // parallel regions inside the unit serialize (nested region).
+        runtime::parallel_for(0, k, 1, [&](std::int64_t b, std::int64_t e) {
+            for (std::int64_t m = b; m < e; ++m) {
+                auto& part = parts[static_cast<std::size_t>(m)];
+                if (part.dim(0) == 0) continue;
+                part = unit->forward(part, *workers_[static_cast<std::size_t>(m)]);
+            }
+        });
+    }
+    return split ? concat_rows(parts) : full;
+}
+
+void Trainer::backward_microbatched(const tensor::Tensor& gy) {
+    const auto k = static_cast<std::int64_t>(workers_.size());
+    tensor::Tensor full = gy;
+    std::vector<tensor::Tensor> parts(static_cast<std::size_t>(k));
+    bool split = false;
+    for (std::size_t i = units_.size(); i-- > 0;) {
+        nn::Module* unit = units_[i];
+        if (!ran_split_[i]) {
+            if (split) {
+                full = concat_rows(parts);
+                split = false;
+            }
+            full = unit->backward(full, bulk_ctx_);
+            continue;
+        }
+        if (!split) {
+            split_rows(full, k, parts);
+            split = true;
+        }
+        runtime::parallel_for(0, k, 1, [&](std::int64_t b, std::int64_t e) {
+            for (std::int64_t m = b; m < e; ++m) {
+                auto& part = parts[static_cast<std::size_t>(m)];
+                if (part.dim(0) == 0) continue;
+                part = unit->backward(part, *workers_[static_cast<std::size_t>(m)]);
+            }
+        });
+    }
+    // The input gradient (full or parts) is discarded.
+}
+
+void Trainer::train_step(const data::Batch& batch, const util::Rng& step_rng,
+                         EpochStats& stats) {
+    model_.zero_grad();
+    bulk_ctx_.seed_rng(step_rng.split(0));
+
+    tensor::Tensor logits;
+    if (workers_.empty()) {
+        logits = model_.forward(batch.images, bulk_ctx_);
+    } else {
+        for (std::size_t m = 0; m < workers_.size(); ++m) {
+            workers_[m]->seed_rng(step_rng.split(m + 1));
+            workers_[m]->zero_shadows();
+        }
+        logits = forward_microbatched(batch.images);
+    }
+
+    const auto n = static_cast<std::int64_t>(batch.labels.size());
+    const auto ce = nn::softmax_cross_entropy(logits, batch.labels);
+    stats.loss += ce.loss * static_cast<double>(n);
+    stats.top1 += nn::top1_accuracy(logits, batch.labels) * static_cast<double>(n);
+    stats.top5 += nn::top5_accuracy(logits, batch.labels) * static_cast<double>(n);
+
+    const tensor::Tensor gy = nn::softmax_cross_entropy_grad(ce.probs, batch.labels);
+    if (workers_.empty()) {
+        model_.backward(gy, bulk_ctx_);
+    } else {
+        backward_microbatched(gy);
+        // Reduce gradient shadows in ascending microbatch order — a fixed
+        // association independent of which pool thread ran which slice, so
+        // the summed gradients are bitwise-identical at any AMRET_THREADS.
+        for (nn::Param* p : params_) {
+            for (auto& worker : workers_) {
+                if (const tensor::Tensor* s = worker->shadow(*p)) p->grad.add_(*s);
+            }
+        }
+    }
+    optimizer_->step(params_);
 }
 
 EpochStats Trainer::run_epoch(int epoch_index, int total_epochs) {
@@ -73,27 +265,23 @@ EpochStats Trainer::run_epoch(int epoch_index, int total_epochs) {
             nn::paper_lr_schedule(config_.lr, epoch_index, total_epochs));
     }
 
+    // Per-epoch streams come from Rng::split, not seed + epoch: additive
+    // seeds make epoch e of run(seed) replay epoch e-1 of run(seed + 1),
+    // correlating runs that should be independent.
+    const util::Rng epoch_rng =
+        util::Rng(config_.seed).split(static_cast<std::uint64_t>(epoch_index) + 1);
     data::DataLoader loader(train_set_, config_.batch_size, /*shuffle=*/true,
-                            config_.seed + static_cast<std::uint64_t>(epoch_index));
+                            epoch_rng.split(0)());
     loader.start_epoch();
-    nn::SoftmaxCrossEntropy loss_fn;
-    const auto params = model_.params();
 
     EpochStats stats;
     std::int64_t total = 0;
+    std::uint64_t step = 0;
     data::Batch batch;
     while (loader.next(batch)) {
-        model_.zero_grad();
-        const tensor::Tensor logits = model_.forward(batch.images);
-        const auto n = static_cast<std::int64_t>(batch.labels.size());
-        const double loss = loss_fn.forward(logits, batch.labels);
-        stats.loss += loss * static_cast<double>(n);
-        stats.top1 += nn::top1_accuracy(logits, batch.labels) * static_cast<double>(n);
-        stats.top5 += nn::top5_accuracy(logits, batch.labels) * static_cast<double>(n);
-        total += n;
-
-        model_.backward(loss_fn.backward());
-        optimizer_->step(params);
+        train_step(batch, epoch_rng.split(step + 1), stats);
+        total += static_cast<std::int64_t>(batch.labels.size());
+        ++step;
     }
     if (total > 0) {
         stats.loss /= static_cast<double>(total);
@@ -103,14 +291,42 @@ EpochStats Trainer::run_epoch(int epoch_index, int total_epochs) {
     return stats;
 }
 
+void Trainer::save_epoch_checkpoint(int next_epoch) {
+    TrainCheckpoint ck;
+    ck.model = snapshot(model_);
+    optimizer_->save_state(params_, ck.optimizer);
+    ck.next_epoch = static_cast<std::uint64_t>(next_epoch);
+    if (!save_train_checkpoint(ck, checkpoint_path_)) {
+        util::log_info("warning: failed to write checkpoint ", checkpoint_path_);
+    }
+}
+
+bool Trainer::resume_from(const std::string& path) {
+    const auto ck = load_train_checkpoint(path);
+    if (!ck) return false;
+    if (ck->model.params.size() != params_.size()) return false;
+    for (std::size_t i = 0; i < params_.size(); ++i) {
+        if (params_[i]->value.shape() != ck->model.params[i].shape()) return false;
+    }
+    std::vector<float> probe;
+    model_.visit([&](nn::Module& m) { m.save_extra_state(probe); });
+    if (probe.size() != ck->model.extra.size()) return false;
+    if (!optimizer_->load_state(params_, ck->optimizer)) return false;
+
+    restore(model_, ck->model);
+    start_epoch_ = ck->next_epoch;
+    return true;
+}
+
 History Trainer::run() {
     History history;
     util::Stopwatch sw;
-    for (int e = 0; e < config_.epochs; ++e) {
+    for (int e = static_cast<int>(start_epoch_); e < config_.epochs; ++e) {
         const EpochStats tr = run_epoch(e, config_.epochs);
         const EpochStats te = evaluate(model_, test_set_, config_.batch_size);
         history.train.push_back(tr);
         history.test.push_back(te);
+        if (!checkpoint_path_.empty()) save_epoch_checkpoint(e + 1);
         if (config_.verbose) {
             util::log_info("epoch ", e + 1, "/", config_.epochs, " loss=", tr.loss,
                            " train@1=", tr.top1, " test@1=", te.top1, " (",

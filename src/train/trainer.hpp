@@ -1,8 +1,17 @@
 /// \file trainer.hpp
 /// \brief Gradient-descent training loop, evaluation, model snapshots.
+///
+/// The Trainer owns all per-invocation execution state: one bulk
+/// nn::Context for batch-coupled layers plus one context per microbatch
+/// worker. With config.microbatches == 1 every step runs the classic bulk
+/// path; with K > 1 sample-local layer spans run as K concurrent batch
+/// slices on the runtime thread pool, with gradients accumulated into
+/// per-worker shadows and reduced in fixed microbatch order so results are
+/// bitwise-identical at any AMRET_THREADS setting (DESIGN.md §11).
 #pragma once
 
 #include "data/dataset.hpp"
+#include "nn/context.hpp"
 #include "nn/loss.hpp"
 #include "nn/module.hpp"
 #include "nn/optim.hpp"
@@ -18,11 +27,17 @@ namespace amret::train {
 struct TrainConfig {
     int epochs = 30;
     std::int64_t batch_size = 64;
+    /// Microbatch count K. 1 = bulk (legacy numerics); K > 1 splits each
+    /// batch into K slices run concurrently through sample-local layers.
+    /// Results are thread-count-invariant for a fixed K, but different K
+    /// values associate the gradient reductions differently and therefore
+    /// produce (equally valid) different floating-point trajectories.
+    int microbatches = 1;
     double lr = 1e-3;
     bool paper_lr_schedule = true; ///< 1e-3 / 5e-4 / 2.5e-4 thirds
     enum class Opt { kAdam, kSgd } optimizer = Opt::kAdam;
     double weight_decay = 0.0;
-    std::uint64_t seed = 7;   ///< shuffling seed
+    std::uint64_t seed = 7;   ///< shuffling / dropout master seed
     bool verbose = false;     ///< per-epoch log lines
 };
 
@@ -53,6 +68,15 @@ struct ModelSnapshot {
     std::vector<float> extra;
 };
 
+/// A resumable training state: model snapshot, optimizer slot state (Adam
+/// moments / SGD velocity and the step counter), and the index of the next
+/// epoch to run. Persisted by save_train_checkpoint (checkpoint.hpp).
+struct TrainCheckpoint {
+    ModelSnapshot model;
+    std::vector<float> optimizer;
+    std::uint64_t next_epoch = 0;
+};
+
 /// Captures all learnable and running state of \p model.
 ModelSnapshot snapshot(nn::Module& model);
 
@@ -60,31 +84,62 @@ ModelSnapshot snapshot(nn::Module& model);
 void restore(nn::Module& model, const ModelSnapshot& snap);
 
 /// Evaluates \p model on \p dataset (eval mode; restores train mode after).
+/// Uses a local Context, so it is safe to call concurrently with other
+/// evaluations of the same model.
 EpochStats evaluate(nn::Module& model, const data::Dataset& dataset,
                     std::int64_t batch_size = 128);
 
-/// Mini-batch training driver.
+/// Mini-batch training driver with optional deterministic microbatch data
+/// parallelism (see TrainConfig::microbatches).
 class Trainer {
 public:
     Trainer(nn::Module& model, const data::Dataset& train_set,
             const data::Dataset& test_set, TrainConfig config);
 
     /// Trains for config.epochs, evaluating on the test split after each
-    /// epoch, and returns the full history.
+    /// epoch, and returns the full history. If a checkpoint path is set,
+    /// a TrainCheckpoint is written after every epoch; if resume_from()
+    /// loaded a checkpoint, training continues at its next_epoch.
     History run();
 
     /// Trains for \p epochs without test evaluation; returns per-epoch train
     /// stats (used by the HWS search, which ranks by training loss).
     std::vector<EpochStats> train_only(int epochs);
 
+    /// Enables end-of-epoch checkpointing to \p path during run().
+    void set_checkpoint_path(std::string path) {
+        checkpoint_path_ = std::move(path);
+    }
+
+    /// Loads a TrainCheckpoint and primes the trainer to continue from it.
+    /// Returns false (state untouched) if the file is missing/corrupt or
+    /// does not match the model/optimizer.
+    bool resume_from(const std::string& path);
+
 private:
     EpochStats run_epoch(int epoch_index, int total_epochs);
+    void train_step(const data::Batch& batch, const util::Rng& step_rng,
+                    EpochStats& stats);
+    tensor::Tensor forward_microbatched(const tensor::Tensor& images);
+    void backward_microbatched(const tensor::Tensor& gy);
+    void save_epoch_checkpoint(int next_epoch);
 
     nn::Module& model_;
     const data::Dataset& train_set_;
     const data::Dataset& test_set_;
     TrainConfig config_;
     std::unique_ptr<nn::Optimizer> optimizer_;
+
+    // Execution state (tentpole): all per-invocation layer state lives in
+    // these contexts, never in the model.
+    nn::Context bulk_ctx_; ///< batch-coupled spans + the K == 1 fast path
+    std::vector<std::unique_ptr<nn::Context>> workers_; ///< one per microbatch
+    std::vector<nn::Module*> units_;  ///< flattened layer sequence
+    std::vector<bool> ran_split_;     ///< per unit: last forward used slices
+    std::vector<nn::Param*> params_;
+
+    std::string checkpoint_path_;
+    std::uint64_t start_epoch_ = 0;
 };
 
 } // namespace amret::train

@@ -193,16 +193,17 @@ class ExactPathEquivalence : public ::testing::TestWithParam<unsigned> {};
 TEST_P(ExactPathEquivalence, QuantizedConvEqualsFakeQuantReference) {
     const unsigned bits = GetParam();
     util::Rng rng(21);
+    nn::Context ctx;
     ApproxConv2d conv(3, 4, 3, 1, 1, rng);
     conv.set_multiplier(MultiplierConfig::exact_ste(bits));
     conv.set_mode(ComputeMode::kQuantized);
     conv.set_training(true);
 
     const Tensor x = Tensor::randn(Shape{2, 3, 5, 5}, rng);
-    const Tensor y = conv.forward(x);
+    const Tensor y = conv.forward(x, ctx);
     Tensor gy = Tensor::randn(y.shape(), rng);
     conv.zero_grad();
-    const Tensor gx = conv.backward(gy);
+    const Tensor gx = conv.backward(gy, ctx);
 
     const auto ref = fake_quant_conv_reference(x, conv.weight.value, conv.bias.value,
                                                gy, bits, 3, 1, 1);
@@ -221,15 +222,16 @@ INSTANTIATE_TEST_SUITE_P(Widths, ExactPathEquivalence, ::testing::Values(6u, 7u,
 
 TEST(ApproxConv, FloatModeGradCheck) {
     util::Rng rng(22);
+    nn::Context ctx;
     ApproxConv2d conv(2, 3, 3, 1, 1, rng);
     conv.set_mode(ComputeMode::kFloat);
     Tensor x = Tensor::randn(Shape{1, 2, 4, 4}, rng);
 
-    Tensor y = conv.forward(x);
+    Tensor y = conv.forward(x, ctx);
     const Tensor proj = Tensor::randn(y.shape(), rng);
     conv.zero_grad();
-    conv.forward(x);
-    const Tensor gx = conv.backward(proj);
+    conv.forward(x, ctx);
+    const Tensor gx = conv.backward(proj, ctx);
 
     const float eps = 1e-2f;
     for (std::int64_t idx : {0, 5, 13, 31}) {
@@ -237,21 +239,22 @@ TEST(ApproxConv, FloatModeGradCheck) {
         xp[idx] += eps;
         xm[idx] -= eps;
         const double numeric =
-            (dot(conv.forward(xp), proj) - dot(conv.forward(xm), proj)) / (2.0 * eps);
+            (dot(conv.forward(xp, ctx), proj) - dot(conv.forward(xm, ctx), proj)) / (2.0 * eps);
         EXPECT_NEAR(gx[idx], numeric, 2e-2);
     }
 }
 
 TEST(ApproxConv, StrideTwoQuantEquivalence) {
     util::Rng rng(23);
+    nn::Context ctx;
     ApproxConv2d conv(2, 3, 3, 2, 1, rng);
     conv.set_multiplier(MultiplierConfig::exact_ste(8));
     conv.set_mode(ComputeMode::kQuantized);
     const Tensor x = Tensor::randn(Shape{1, 2, 6, 6}, rng);
-    const Tensor y = conv.forward(x);
+    const Tensor y = conv.forward(x, ctx);
     Tensor gy = Tensor::randn(y.shape(), rng);
     conv.zero_grad();
-    const Tensor gx = conv.backward(gy);
+    const Tensor gx = conv.backward(gy, ctx);
     const auto ref = fake_quant_conv_reference(x, conv.weight.value, conv.bias.value,
                                                gy, 8, 3, 2, 1);
     for (std::int64_t i = 0; i < y.numel(); ++i) ASSERT_NEAR(y[i], ref.y[i], 2e-3f);
@@ -260,15 +263,16 @@ TEST(ApproxConv, StrideTwoQuantEquivalence) {
 
 TEST(ApproxConv, ApproximateLutChangesForward) {
     util::Rng rng(24);
+    nn::Context ctx;
     ApproxConv2d conv(2, 3, 3, 1, 1, rng);
     const Tensor x = Tensor::randn(Shape{1, 2, 5, 5}, rng);
 
     conv.set_multiplier(MultiplierConfig::exact_ste(7));
     conv.set_mode(ComputeMode::kQuantized);
-    const Tensor y_exact = conv.forward(x);
+    const Tensor y_exact = conv.forward(x, ctx);
 
     conv.set_multiplier(approx_config("mul7u_rm6", core::GradientMode::kSte, 0));
-    const Tensor y_approx = conv.forward(x);
+    const Tensor y_approx = conv.forward(x, ctx);
 
     double max_diff = 0.0;
     for (std::int64_t i = 0; i < y_exact.numel(); ++i)
@@ -279,24 +283,25 @@ TEST(ApproxConv, ApproximateLutChangesForward) {
 
 TEST(ApproxConv, GradientLutChangesBackwardNotForward) {
     util::Rng rng(25);
+    nn::Context ctx;
     ApproxConv2d conv(2, 2, 3, 1, 1, rng);
     const Tensor x = Tensor::randn(Shape{1, 2, 5, 5}, rng);
 
     conv.set_multiplier(approx_config("mul7u_rm6", core::GradientMode::kSte, 0));
     conv.set_mode(ComputeMode::kQuantized);
-    const Tensor y1 = conv.forward(x);
+    const Tensor y1 = conv.forward(x, ctx);
     Tensor gy(y1.shape());
     gy.fill(1.0f);
     conv.zero_grad();
-    conv.backward(gy);
+    conv.backward(gy, ctx);
     const Tensor gw_ste = conv.weight.grad;
 
     approx::set_gradient_luts(
         conv, std::make_shared<core::GradLut>(core::build_difference_grad(
                   appmult::Registry::instance().lut("mul7u_rm6"), 2)));
-    const Tensor y2 = conv.forward(x);
+    const Tensor y2 = conv.forward(x, ctx);
     conv.zero_grad();
-    conv.backward(gy);
+    conv.backward(gy, ctx);
     const Tensor gw_diff = conv.weight.grad;
 
     for (std::int64_t i = 0; i < y1.numel(); ++i) ASSERT_FLOAT_EQ(y1[i], y2[i]);
@@ -308,18 +313,19 @@ TEST(ApproxConv, GradientLutChangesBackwardNotForward) {
 
 TEST(ApproxConv, EvalModeFreezesObserver) {
     util::Rng rng(26);
+    nn::Context ctx;
     ApproxConv2d conv(1, 1, 3, 1, 1, rng);
     conv.set_multiplier(MultiplierConfig::exact_ste(8));
     conv.set_mode(ComputeMode::kQuantized);
     conv.set_training(true);
     const Tensor x_small = Tensor::randn(Shape{1, 1, 4, 4}, rng, 0.1f);
-    conv.forward(x_small);
+    conv.forward(x_small, ctx);
 
     std::vector<float> state_before;
     conv.save_extra_state(state_before);
     conv.set_training(false);
     const Tensor x_big = Tensor::randn(Shape{1, 1, 4, 4}, rng, 10.0f);
-    conv.forward(x_big);
+    conv.forward(x_big, ctx);
     std::vector<float> state_after;
     conv.save_extra_state(state_after);
     EXPECT_EQ(state_before, state_after);
@@ -327,11 +333,12 @@ TEST(ApproxConv, EvalModeFreezesObserver) {
 
 TEST(ApproxLinear, QuantizedEqualsFakeQuantReference) {
     util::Rng rng(27);
+    nn::Context ctx;
     ApproxLinear lin(6, 4, rng);
     lin.set_multiplier(MultiplierConfig::exact_ste(8));
     lin.set_mode(ComputeMode::kQuantized);
     const Tensor x = Tensor::randn(Shape{3, 6}, rng);
-    const Tensor y = lin.forward(x);
+    const Tensor y = lin.forward(x, ctx);
 
     const auto wp = quant::choose_params(lin.weight.value.min(),
                                          lin.weight.value.max(), 8);
@@ -346,10 +353,11 @@ TEST(ApproxLinear, QuantizedEqualsFakeQuantReference) {
 
 TEST(ApproxLinear, FloatModeMatchesManual) {
     util::Rng rng(28);
+    nn::Context ctx;
     ApproxLinear lin(3, 2, rng);
     lin.set_mode(ComputeMode::kFloat);
     const Tensor x = Tensor::randn(Shape{2, 3}, rng);
-    const Tensor y = lin.forward(x);
+    const Tensor y = lin.forward(x, ctx);
     Tensor ref = tensor::matmul_nt(x, lin.weight.value);
     for (std::int64_t i = 0; i < 2; ++i)
         for (std::int64_t j = 0; j < 2; ++j) ref[i * 2 + j] += lin.bias.value[j];
@@ -400,6 +408,7 @@ TEST(PerChannel, ExactPathEqualsPerChannelFakeQuantReference) {
     // Per-channel weight quantization with the exact LUT must equal a float
     // conv over per-channel fake-quantized weights.
     util::Rng rng(31);
+    nn::Context ctx;
     ApproxConv2d conv(3, 5, 3, 1, 1, rng);
     // Spread the filter magnitudes so per-channel actually differs from
     // per-tensor.
@@ -412,7 +421,7 @@ TEST(PerChannel, ExactPathEqualsPerChannelFakeQuantReference) {
     conv.set_per_channel_weights(true);
 
     const Tensor x = Tensor::randn(Shape{2, 3, 5, 5}, rng);
-    const Tensor y = conv.forward(x);
+    const Tensor y = conv.forward(x, ctx);
 
     // Reference: fake-quantize each filter independently, then float conv.
     Tensor fqw = conv.weight.value;
@@ -444,6 +453,7 @@ TEST(PerChannel, ImprovesQuantizationOfSpreadFilters) {
     // When filter magnitudes differ wildly, per-channel quantization must
     // represent the small filters far better than per-tensor.
     util::Rng rng(32);
+    nn::Context ctx;
     ApproxConv2d per_tensor(2, 4, 3, 1, 1, rng);
     for (std::int64_t k = 0; k < 18; ++k) {
         per_tensor.weight.value[0 * 18 + k] *= 0.02f; // tiny filter
@@ -466,9 +476,9 @@ TEST(PerChannel, ImprovesQuantizationOfSpreadFilters) {
     ref.set_mode(ComputeMode::kFloat);
 
     const Tensor x = Tensor::randn(Shape{1, 2, 6, 6}, rng);
-    const Tensor y_ref = ref.forward(x);
-    const Tensor y_pt = per_tensor.forward(x);
-    const Tensor y_pc = per_channel.forward(x);
+    const Tensor y_ref = ref.forward(x, ctx);
+    const Tensor y_pt = per_tensor.forward(x, ctx);
+    const Tensor y_pc = per_channel.forward(x, ctx);
 
     // Compare error on the tiny filter's output channel (channel 0).
     double err_pt = 0.0, err_pc = 0.0;
@@ -481,6 +491,7 @@ TEST(PerChannel, ImprovesQuantizationOfSpreadFilters) {
 
 TEST(PerChannel, BackwardStaysConsistentWithFakeQuantReference) {
     util::Rng rng(33);
+    nn::Context ctx;
     ApproxConv2d conv(2, 3, 3, 1, 1, rng);
     for (std::int64_t k = 0; k < 18; ++k) conv.weight.value[k] *= 0.1f;
     conv.set_multiplier(MultiplierConfig::exact_ste(8));
@@ -488,10 +499,10 @@ TEST(PerChannel, BackwardStaysConsistentWithFakeQuantReference) {
     conv.set_per_channel_weights(true);
 
     const Tensor x = Tensor::randn(Shape{1, 2, 5, 5}, rng);
-    const Tensor y = conv.forward(x);
+    const Tensor y = conv.forward(x, ctx);
     Tensor gy = Tensor::randn(y.shape(), rng);
     conv.zero_grad();
-    const Tensor gx = conv.backward(gy);
+    const Tensor gx = conv.backward(gy, ctx);
 
     // The input gradient with the exact multiplier + STE equals the float
     // backward through the per-channel fake-quantized weights.

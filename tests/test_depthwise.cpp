@@ -51,9 +51,10 @@ Tensor naive_depthwise(const Tensor& x, const Tensor& w, const Tensor& b,
 
 TEST(Depthwise, FloatForwardMatchesNaive) {
     util::Rng rng(51);
+    nn::Context ctx;
     DepthwiseConv2d dw(3, 3, 1, 1, rng);
     const Tensor x = Tensor::randn(Shape{2, 3, 5, 5}, rng);
-    const Tensor y = dw.forward(x);
+    const Tensor y = dw.forward(x, ctx);
     const Tensor ref = naive_depthwise(x, dw.weight.value, dw.bias.value, 3, 1, 1);
     ASSERT_EQ(y.shape(), ref.shape());
     for (std::int64_t i = 0; i < y.numel(); ++i) ASSERT_NEAR(y[i], ref[i], 1e-4f);
@@ -61,9 +62,10 @@ TEST(Depthwise, FloatForwardMatchesNaive) {
 
 TEST(Depthwise, StrideTwoShapes) {
     util::Rng rng(52);
+    nn::Context ctx;
     DepthwiseConv2d dw(4, 3, 2, 1, rng);
     const Tensor x = Tensor::randn(Shape{1, 4, 8, 8}, rng);
-    const Tensor y = dw.forward(x);
+    const Tensor y = dw.forward(x, ctx);
     EXPECT_EQ(y.shape(), (Shape{1, 4, 4, 4}));
     const Tensor ref = naive_depthwise(x, dw.weight.value, dw.bias.value, 3, 2, 1);
     for (std::int64_t i = 0; i < y.numel(); ++i) ASSERT_NEAR(y[i], ref[i], 1e-4f);
@@ -71,13 +73,14 @@ TEST(Depthwise, StrideTwoShapes) {
 
 TEST(Depthwise, FloatGradCheck) {
     util::Rng rng(53);
+    nn::Context ctx;
     DepthwiseConv2d dw(2, 3, 1, 1, rng);
     Tensor x = Tensor::randn(Shape{1, 2, 4, 4}, rng);
-    Tensor y = dw.forward(x);
+    Tensor y = dw.forward(x, ctx);
     const Tensor proj = Tensor::randn(y.shape(), rng);
     dw.zero_grad();
-    dw.forward(x);
-    const Tensor gx = dw.backward(proj);
+    dw.forward(x, ctx);
+    const Tensor gx = dw.backward(proj, ctx);
 
     const float eps = 1e-2f;
     for (std::int64_t idx : {0, 7, 15, 31}) {
@@ -85,19 +88,19 @@ TEST(Depthwise, FloatGradCheck) {
         xp[idx] += eps;
         xm[idx] -= eps;
         const double numeric =
-            (dot(dw.forward(xp), proj) - dot(dw.forward(xm), proj)) / (2.0 * eps);
+            (dot(dw.forward(xp, ctx), proj) - dot(dw.forward(xm, ctx), proj)) / (2.0 * eps);
         EXPECT_NEAR(gx[idx], numeric, 2e-2) << idx;
     }
     // Weight gradient probe.
     dw.zero_grad();
-    dw.forward(x);
-    dw.backward(proj);
+    dw.forward(x, ctx);
+    dw.backward(proj, ctx);
     for (std::int64_t idx : {0, 5, 11}) {
         const float keep = dw.weight.value[idx];
         dw.weight.value[idx] = keep + eps;
-        const double fp = dot(dw.forward(x), proj);
+        const double fp = dot(dw.forward(x, ctx), proj);
         dw.weight.value[idx] = keep - eps;
-        const double fm = dot(dw.forward(x), proj);
+        const double fm = dot(dw.forward(x, ctx), proj);
         dw.weight.value[idx] = keep;
         EXPECT_NEAR(dw.weight.grad[idx], (fp - fm) / (2.0 * eps), 2e-2) << idx;
     }
@@ -105,11 +108,12 @@ TEST(Depthwise, FloatGradCheck) {
 
 TEST(Depthwise, QuantExactMatchesFakeQuantReference) {
     util::Rng rng(54);
+    nn::Context ctx;
     DepthwiseConv2d dw(3, 3, 1, 1, rng);
     dw.set_multiplier(MultiplierConfig::exact_ste(8));
     dw.set_mode(ComputeMode::kQuantized);
     const Tensor x = Tensor::randn(Shape{2, 3, 5, 5}, rng);
-    const Tensor y = dw.forward(x);
+    const Tensor y = dw.forward(x, ctx);
 
     const auto wp = quant::choose_params(dw.weight.value.min(),
                                          dw.weight.value.max(), 8);
@@ -122,18 +126,19 @@ TEST(Depthwise, QuantExactMatchesFakeQuantReference) {
 
 TEST(Depthwise, ApproximateLutChangesOutput) {
     util::Rng rng(55);
+    nn::Context ctx;
     DepthwiseConv2d dw(2, 3, 1, 1, rng);
     const Tensor x = Tensor::randn(Shape{1, 2, 6, 6}, rng);
     dw.set_multiplier(MultiplierConfig::exact_ste(7));
     dw.set_mode(ComputeMode::kQuantized);
-    const Tensor y_exact = dw.forward(x);
+    const Tensor y_exact = dw.forward(x, ctx);
 
     auto& reg = appmult::Registry::instance();
     MultiplierConfig config;
     config.lut = std::make_shared<appmult::AppMultLut>(reg.lut("mul7u_rm6"));
     config.grad = std::make_shared<core::GradLut>(core::build_ste_grad(7));
     dw.set_multiplier(config);
-    const Tensor y_approx = dw.forward(x);
+    const Tensor y_approx = dw.forward(x, ctx);
     double diff = 0.0;
     for (std::int64_t i = 0; i < y_exact.numel(); ++i)
         diff += std::abs(static_cast<double>(y_exact[i]) - y_approx[i]);
@@ -147,11 +152,12 @@ TEST(Mobilenet, ForwardBackwardShapes) {
     mc.width_mult = 0.125f;
     auto net = models::make_mobilenet(mc);
     util::Rng rng(56);
+    nn::Context ctx;
     const Tensor x = Tensor::randn(Shape{2, 3, 8, 8}, rng);
-    const Tensor y = net->forward(x);
+    const Tensor y = net->forward(x, ctx);
     EXPECT_EQ(y.shape(), (Shape{2, 5}));
     net->zero_grad();
-    const Tensor gx = net->backward(Tensor::randn(y.shape(), rng));
+    const Tensor gx = net->backward(Tensor::randn(y.shape(), rng), ctx);
     EXPECT_EQ(gx.shape(), x.shape());
 }
 

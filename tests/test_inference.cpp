@@ -113,8 +113,9 @@ TEST(IntInference, LogitsCorrelateWithFloatModel) {
     loader.start_epoch();
     data::Batch batch;
     ASSERT_TRUE(loader.next(batch));
+    nn::Context ctx;
     const tensor::Tensor int_logits = engine.forward(batch.images);
-    const tensor::Tensor fq_logits = trained.model->forward(batch.images);
+    const tensor::Tensor fq_logits = trained.model->forward(batch.images, ctx);
     ASSERT_EQ(int_logits.shape(), fq_logits.shape());
 
     double dot = 0.0, na = 0.0, nb = 0.0;

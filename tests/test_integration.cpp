@@ -201,8 +201,8 @@ TEST(Integration, ShapesTaskTrainsWithAugmentationAndAppMult) {
     aug.hflip_prob = 0.5f;
     aug.noise_stddev = 0.05f;
     loader.set_augmentation(aug);
-    nn::SoftmaxCrossEntropy loss_fn;
     nn::Adam adam(3e-3);
+    nn::Context ctx;
     const auto params = model->params();
     double first_loss = 0.0, last_loss = 0.0;
     for (int epoch = 0; epoch < 3; ++epoch) {
@@ -212,10 +212,12 @@ TEST(Integration, ShapesTaskTrainsWithAugmentationAndAppMult) {
         int batches = 0;
         while (loader.next(batch)) {
             model->zero_grad();
-            const auto logits = model->forward(batch.images);
-            total += loss_fn.forward(logits, batch.labels);
+            const auto logits = model->forward(batch.images, ctx);
+            const auto ce = nn::softmax_cross_entropy(logits, batch.labels);
+            total += ce.loss;
             ++batches;
-            model->backward(loss_fn.backward());
+            model->backward(nn::softmax_cross_entropy_grad(ce.probs, batch.labels),
+                            ctx);
             adam.step(params);
         }
         const double mean = total / batches;
@@ -270,13 +272,14 @@ TEST(Integration, TechmappedMultiplierStillDrivesTraining) {
     EXPECT_GT(hw_mapped.area_um2, hw_direct.area_um2);
 
     util::Rng rng(91);
+    nn::Context ctx;
     approx::ApproxConv2d conv(2, 3, 3, 1, 1, rng);
     approx::MultiplierConfig config;
     config.lut = std::make_shared<appmult::AppMultLut>(lut_mapped);
     config.grad = std::make_shared<core::GradLut>(core::build_ste_grad(6));
     conv.set_multiplier(config);
     conv.set_mode(approx::ComputeMode::kQuantized);
-    const auto y = conv.forward(tensor::Tensor::randn(tensor::Shape{1, 2, 5, 5}, rng));
+    const auto y = conv.forward(tensor::Tensor::randn(tensor::Shape{1, 2, 5, 5}, rng), ctx);
     EXPECT_EQ(y.dim(1), 3);
 }
 

@@ -24,13 +24,14 @@ ModelConfig slim_config(std::int64_t in_size = 8, int classes = 10) {
 void expect_forward_backward_shapes(nn::Module& model, std::int64_t in_size,
                                     int classes) {
     util::Rng rng(31);
+    nn::Context ctx;
     const Tensor x = Tensor::randn(Shape{2, 3, in_size, in_size}, rng);
-    const Tensor y = model.forward(x);
+    const Tensor y = model.forward(x, ctx);
     ASSERT_EQ(y.rank(), 2u);
     EXPECT_EQ(y.dim(0), 2);
     EXPECT_EQ(y.dim(1), classes);
     model.zero_grad();
-    const Tensor gx = model.backward(Tensor::randn(y.shape(), rng));
+    const Tensor gx = model.backward(Tensor::randn(y.shape(), rng), ctx);
     EXPECT_EQ(gx.shape(), x.shape());
     // Gradients must reach the first conv.
     bool found_nonzero = false;

@@ -30,12 +30,13 @@ double dot(const Tensor& a, const Tensor& b) {
 /// break far more than 10% of probes.
 void gradcheck(Module& module, Tensor x, double tol = 2e-2) {
     util::Rng rng(99);
-    Tensor y = module.forward(x);
+    nn::Context ctx;
+    Tensor y = module.forward(x, ctx);
     const Tensor proj = Tensor::randn(y.shape(), rng);
 
     module.zero_grad();
-    module.forward(x);
-    const Tensor gx = module.backward(proj);
+    module.forward(x, ctx);
+    const Tensor gx = module.backward(proj, ctx);
 
     const float eps = 1e-2f;
     int probes = 0, outliers = 0;
@@ -46,8 +47,8 @@ void gradcheck(Module& module, Tensor x, double tol = 2e-2) {
         Tensor xp = x, xm = x;
         xp[idx] += eps;
         xm[idx] -= eps;
-        const double fp = dot(module.forward(xp), proj);
-        const double fm = dot(module.forward(xm), proj);
+        const double fp = dot(module.forward(xp, ctx), proj);
+        const double fm = dot(module.forward(xm, ctx), proj);
         const double numeric = (fp - fm) / (2.0 * eps);
         ++probes;
         if (std::abs(gx[idx] - numeric) > tol * std::max(1.0, std::abs(numeric)))
@@ -55,16 +56,16 @@ void gradcheck(Module& module, Tensor x, double tol = 2e-2) {
     }
     // Parameter gradients (recompute analytic after the perturbing forwards).
     module.zero_grad();
-    module.forward(x);
-    module.backward(proj);
+    module.forward(x, ctx);
+    module.backward(proj, ctx);
     for (nn::Param* p : module.params()) {
         for (std::int64_t i = 0; i < std::min<std::int64_t>(p->value.numel(), 20); ++i) {
             const std::int64_t idx = (i * 104729) % p->value.numel();
             const float keep = p->value[idx];
             p->value[idx] = keep + eps;
-            const double fp = dot(module.forward(x), proj);
+            const double fp = dot(module.forward(x, ctx), proj);
             p->value[idx] = keep - eps;
-            const double fm = dot(module.forward(x), proj);
+            const double fm = dot(module.forward(x, ctx), proj);
             p->value[idx] = keep;
             const double numeric = (fp - fm) / (2.0 * eps);
             ++probes;
@@ -83,7 +84,8 @@ TEST(Linear, ForwardMatchesManual) {
     lin.weight.value = Tensor::from({1, 2, 3, 4, 5, 6}).reshaped(Shape{2, 3});
     lin.bias.value = Tensor::from({0.5f, -0.5f});
     const Tensor x = Tensor::from({1, 0, -1}).reshaped(Shape{1, 3});
-    const Tensor y = lin.forward(x);
+    nn::Context ctx;
+    const Tensor y = lin.forward(x, ctx);
     EXPECT_FLOAT_EQ(y[0], 1.0f - 3.0f + 0.5f);
     EXPECT_FLOAT_EQ(y[1], 4.0f - 6.0f - 0.5f);
 }
@@ -97,10 +99,11 @@ TEST(Linear, GradCheck) {
 TEST(ReLU, ForwardAndBackward) {
     nn::ReLU relu;
     const Tensor x = Tensor::from({-1, 0, 2});
-    const Tensor y = relu.forward(x);
+    nn::Context ctx;
+    const Tensor y = relu.forward(x, ctx);
     EXPECT_FLOAT_EQ(y[0], 0.0f);
     EXPECT_FLOAT_EQ(y[2], 2.0f);
-    const Tensor g = relu.backward(Tensor::from({5, 5, 5}));
+    const Tensor g = relu.backward(Tensor::from({5, 5, 5}), ctx);
     EXPECT_FLOAT_EQ(g[0], 0.0f);
     EXPECT_FLOAT_EQ(g[1], 0.0f); // x == 0 blocks gradient
     EXPECT_FLOAT_EQ(g[2], 5.0f);
@@ -112,7 +115,8 @@ TEST(BatchNorm, NormalizesInTraining) {
     bn.set_training(true);
     Tensor x = Tensor::randn(Shape{8, 4, 3, 3}, rng, 3.0f);
     for (std::int64_t i = 0; i < x.numel(); ++i) x[i] += 5.0f;
-    const Tensor y = bn.forward(x);
+    nn::Context ctx;
+    const Tensor y = bn.forward(x, ctx);
     EXPECT_NEAR(y.mean(), 0.0f, 1e-4f);
     EXPECT_NEAR(y.rms(), 1.0f, 1e-2f);
 }
@@ -122,9 +126,10 @@ TEST(BatchNorm, EvalUsesRunningStats) {
     nn::BatchNorm2d bn(2, /*momentum=*/0.0f); // running stats = last batch
     bn.set_training(true);
     const Tensor x = Tensor::randn(Shape{16, 2, 4, 4}, rng, 2.0f);
-    bn.forward(x);
+    nn::Context ctx;
+    bn.forward(x, ctx);
     bn.set_training(false);
-    const Tensor y = bn.forward(x);
+    const Tensor y = bn.forward(x, ctx);
     EXPECT_NEAR(y.mean(), 0.0f, 0.05f);
     EXPECT_NEAR(y.rms(), 1.0f, 0.05f);
 }
@@ -140,7 +145,8 @@ TEST(BatchNorm, ExtraStateRoundTrip) {
     util::Rng rng(6);
     nn::BatchNorm2d bn(3);
     bn.set_training(true);
-    bn.forward(Tensor::randn(Shape{4, 3, 2, 2}, rng, 2.0f));
+    nn::Context ctx;
+    bn.forward(Tensor::randn(Shape{4, 3, 2, 2}, rng, 2.0f), ctx);
     std::vector<float> state;
     bn.save_extra_state(state);
     ASSERT_EQ(state.size(), 6u);
@@ -162,10 +168,12 @@ TEST(MaxPool, ForwardSelectsMaxAndRoutesGradient) {
     x[1] = 7;
     x[2] = 3;
     x[3] = 2;
-    const Tensor y = pool.forward(x);
+    nn::Context ctx;
+    const Tensor y = pool.forward(x, ctx);
     ASSERT_EQ(y.numel(), 1);
     EXPECT_FLOAT_EQ(y[0], 7.0f);
-    const Tensor g = pool.backward(Tensor::from({10}).reshaped(Shape{1, 1, 1, 1}));
+    const Tensor g =
+        pool.backward(Tensor::from({10}).reshaped(Shape{1, 1, 1, 1}), ctx);
     EXPECT_FLOAT_EQ(g[1], 10.0f);
     EXPECT_FLOAT_EQ(g[0], 0.0f);
 }
@@ -180,7 +188,8 @@ TEST(GlobalAvgPool, ForwardAndGradCheck) {
     util::Rng rng(8);
     nn::GlobalAvgPool gap;
     Tensor x = Tensor::full(Shape{2, 3, 4, 4}, 2.0f);
-    const Tensor y = gap.forward(x);
+    nn::Context ctx;
+    const Tensor y = gap.forward(x, ctx);
     EXPECT_EQ(y.shape(), (Shape{2, 3}));
     EXPECT_FLOAT_EQ(y[0], 2.0f);
     gradcheck(gap, Tensor::randn(Shape{2, 3, 4, 4}, rng));
@@ -190,9 +199,10 @@ TEST(Flatten, RoundTrip) {
     nn::Flatten fl;
     util::Rng rng(9);
     const Tensor x = Tensor::randn(Shape{2, 3, 4, 4}, rng);
-    const Tensor y = fl.forward(x);
+    nn::Context ctx;
+    const Tensor y = fl.forward(x, ctx);
     EXPECT_EQ(y.shape(), (Shape{2, 48}));
-    const Tensor g = fl.backward(y);
+    const Tensor g = fl.backward(y, ctx);
     EXPECT_EQ(g.shape(), x.shape());
     for (std::int64_t i = 0; i < x.numel(); ++i) EXPECT_FLOAT_EQ(g[i], x[i]);
 }
@@ -218,12 +228,50 @@ TEST(Sequential, VisitReachesAllChildren) {
     EXPECT_EQ(count, 3); // container + two children
 }
 
+TEST(Coupling, LayersDeclareBatchCoupling) {
+    util::Rng rng(13);
+    nn::ReLU relu;
+    EXPECT_EQ(relu.coupling(), nn::BatchCoupling::kSampleLocal);
+
+    nn::BatchNorm2d bn(2);
+    bn.set_training(true);
+    EXPECT_EQ(bn.coupling(), nn::BatchCoupling::kBatchCoupled);
+    bn.set_training(false);
+    EXPECT_EQ(bn.coupling(), nn::BatchCoupling::kSampleLocal);
+
+    // A container is as coupled as its most coupled child.
+    nn::Sequential seq;
+    seq.emplace<nn::Linear>(2, 2, rng);
+    seq.emplace<nn::ReLU>();
+    EXPECT_EQ(seq.coupling(), nn::BatchCoupling::kSampleLocal);
+    seq.emplace<nn::BatchNorm2d>(2);
+    seq.set_training(true);
+    EXPECT_EQ(seq.coupling(), nn::BatchCoupling::kBatchCoupled);
+}
+
+TEST(Context, GradShadowingKeepsParamGradUntouched) {
+    nn::Param p("p", Tensor::from({1.0f, 2.0f}));
+    p.zero_grad();
+    nn::Context ctx;
+    ctx.set_shadow_grads(true);
+    ctx.grad(p)[0] += 3.0f;
+    EXPECT_FLOAT_EQ(p.grad[0], 0.0f);
+    ASSERT_NE(ctx.shadow(p), nullptr);
+    EXPECT_FLOAT_EQ((*ctx.shadow(p))[0], 3.0f);
+    ctx.zero_shadows();
+    EXPECT_FLOAT_EQ((*ctx.shadow(p))[0], 0.0f);
+
+    nn::Context direct;
+    direct.grad(p)[0] += 5.0f;
+    EXPECT_FLOAT_EQ(p.grad[0], 5.0f);
+    EXPECT_EQ(direct.shadow(p), nullptr);
+}
+
 TEST(SoftmaxXent, KnownValues) {
-    nn::SoftmaxCrossEntropy loss;
     Tensor logits(Shape{1, 3}); // all zeros -> uniform softmax
-    const double l = loss.forward(logits, {1});
-    EXPECT_NEAR(l, std::log(3.0), 1e-6);
-    const Tensor g = loss.backward();
+    const auto res = nn::softmax_cross_entropy(logits, {1});
+    EXPECT_NEAR(res.loss, std::log(3.0), 1e-6);
+    const Tensor g = nn::softmax_cross_entropy_grad(res.probs, {1});
     EXPECT_NEAR(g[0], 1.0 / 3.0, 1e-6);
     EXPECT_NEAR(g[1], 1.0 / 3.0 - 1.0, 1e-6);
 }
@@ -232,27 +280,24 @@ TEST(SoftmaxXent, GradientMatchesFiniteDifference) {
     util::Rng rng(12);
     Tensor logits = Tensor::randn(Shape{4, 5}, rng);
     const std::vector<int> labels = {0, 3, 2, 4};
-    nn::SoftmaxCrossEntropy loss;
-    loss.forward(logits, labels);
-    const Tensor g = loss.backward();
+    const auto res = nn::softmax_cross_entropy(logits, labels);
+    const Tensor g = nn::softmax_cross_entropy_grad(res.probs, labels);
     const float eps = 1e-3f;
     for (std::int64_t i = 0; i < logits.numel(); ++i) {
         Tensor lp = logits, lm = logits;
         lp[i] += eps;
         lm[i] -= eps;
-        nn::SoftmaxCrossEntropy tmp;
-        const double numeric =
-            (tmp.forward(lp, labels) - tmp.forward(lm, labels)) / (2.0 * eps);
+        const double numeric = (nn::softmax_cross_entropy(lp, labels).loss -
+                                nn::softmax_cross_entropy(lm, labels).loss) /
+                               (2.0 * eps);
         EXPECT_NEAR(g[i], numeric, 1e-3);
     }
 }
 
 TEST(SoftmaxXent, NumericallyStableForLargeLogits) {
-    nn::SoftmaxCrossEntropy loss;
     Tensor logits = Tensor::from({1000.0f, 0.0f}).reshaped(Shape{1, 2});
-    const double l = loss.forward(logits, {0});
-    EXPECT_NEAR(l, 0.0, 1e-6);
-    EXPECT_TRUE(std::isfinite(loss.forward(logits, {1})));
+    EXPECT_NEAR(nn::softmax_cross_entropy(logits, {0}).loss, 0.0, 1e-6);
+    EXPECT_TRUE(std::isfinite(nn::softmax_cross_entropy(logits, {1}).loss));
 }
 
 TEST(Metrics, TopKAccuracy) {
@@ -314,6 +359,76 @@ TEST(Optim, PaperLrSchedule) {
     EXPECT_DOUBLE_EQ(nn::paper_lr_schedule(1e-3, 29, 30), 2.5e-4);
 }
 
+TEST(Optim, SgdStateRoundTrip) {
+    nn::Param p("p", Tensor::from({10.0f, -6.0f}));
+    nn::Sgd a(0.1, 0.9);
+    // Build up velocity, snapshot, continue in a fresh optimizer loaded from
+    // the snapshot: both trajectories must match exactly.
+    for (int i = 0; i < 5; ++i) {
+        p.zero_grad();
+        p.grad[0] = 2.0f * p.value[0];
+        p.grad[1] = 2.0f * p.value[1];
+        a.step({&p});
+    }
+    std::vector<float> state;
+    a.save_state({&p}, state);
+    ASSERT_EQ(state.size(), 2u);
+    const Tensor saved_value = p.value;
+
+    nn::Sgd b(0.1, 0.9);
+    ASSERT_TRUE(b.load_state({&p}, state));
+    p.zero_grad();
+    p.grad[0] = 2.0f * p.value[0];
+    p.grad[1] = 2.0f * p.value[1];
+    a.step({&p});
+    const Tensor after_a = p.value;
+
+    p.value = saved_value;
+    p.zero_grad();
+    p.grad[0] = 2.0f * p.value[0];
+    p.grad[1] = 2.0f * p.value[1];
+    b.step({&p});
+    EXPECT_FLOAT_EQ(p.value[0], after_a[0]);
+    EXPECT_FLOAT_EQ(p.value[1], after_a[1]);
+}
+
+TEST(Optim, AdamStateRoundTrip) {
+    nn::Param p("p", Tensor::from({4.0f, -3.0f}));
+    nn::Adam a(0.05);
+    for (int i = 0; i < 7; ++i) {
+        p.zero_grad();
+        p.grad[0] = 2.0f * p.value[0];
+        p.grad[1] = 2.0f * p.value[1];
+        a.step({&p});
+    }
+    std::vector<float> state;
+    a.save_state({&p}, state);
+    ASSERT_EQ(state.size(), 1u + 4u); // t + m,v per element
+    EXPECT_FLOAT_EQ(state[0], 7.0f);
+    const Tensor saved_value = p.value;
+
+    nn::Adam b(0.05);
+    ASSERT_TRUE(b.load_state({&p}, state));
+    p.zero_grad();
+    p.grad[0] = 2.0f * p.value[0];
+    p.grad[1] = 2.0f * p.value[1];
+    a.step({&p});
+    const Tensor after_a = p.value;
+
+    p.value = saved_value;
+    p.zero_grad();
+    p.grad[0] = 2.0f * p.value[0];
+    p.grad[1] = 2.0f * p.value[1];
+    b.step({&p});
+    EXPECT_FLOAT_EQ(p.value[0], after_a[0]);
+    EXPECT_FLOAT_EQ(p.value[1], after_a[1]);
+
+    // Size mismatch is rejected without touching the fresh state.
+    nn::Adam c(0.05);
+    std::vector<float> wrong(3, 0.0f);
+    EXPECT_FALSE(c.load_state({&p}, wrong));
+}
+
 } // namespace
 
 namespace {
@@ -325,10 +440,12 @@ TEST(AvgPool, ForwardAveragesAndBackwardSpreads) {
     x[1] = 3;
     x[2] = 5;
     x[3] = 7;
-    const Tensor y = pool.forward(x);
+    nn::Context ctx;
+    const Tensor y = pool.forward(x, ctx);
     ASSERT_EQ(y.numel(), 1);
     EXPECT_FLOAT_EQ(y[0], 4.0f);
-    const Tensor g = pool.backward(Tensor::from({8}).reshaped(Shape{1, 1, 1, 1}));
+    const Tensor g =
+        pool.backward(Tensor::from({8}).reshaped(Shape{1, 1, 1, 1}), ctx);
     for (std::int64_t i = 0; i < 4; ++i) EXPECT_FLOAT_EQ(g[i], 2.0f);
 }
 
@@ -343,15 +460,18 @@ TEST(Dropout, EvalModeIsIdentity) {
     drop.set_training(false);
     util::Rng rng(42);
     const Tensor x = Tensor::randn(Shape{64}, rng);
-    const Tensor y = drop.forward(x);
+    nn::Context ctx;
+    const Tensor y = drop.forward(x, ctx);
     for (std::int64_t i = 0; i < x.numel(); ++i) EXPECT_FLOAT_EQ(y[i], x[i]);
 }
 
 TEST(Dropout, TrainingPreservesExpectation) {
-    nn::Dropout drop(0.5f, 7);
+    nn::Dropout drop(0.5f);
     drop.set_training(true);
     const Tensor x = Tensor::full(Shape{20000}, 1.0f);
-    const Tensor y = drop.forward(x);
+    nn::Context ctx;
+    ctx.seed_rng(util::Rng(7)); // mask stream comes from the context
+    const Tensor y = drop.forward(x, ctx);
     // Inverted dropout: E[y] == x. Half the entries are 0, half are 2.
     EXPECT_NEAR(y.mean(), 1.0f, 0.05f);
     int zeros = 0;
@@ -361,12 +481,14 @@ TEST(Dropout, TrainingPreservesExpectation) {
 }
 
 TEST(Dropout, BackwardUsesSameMask) {
-    nn::Dropout drop(0.5f, 9);
+    nn::Dropout drop(0.5f);
     drop.set_training(true);
     const Tensor x = Tensor::full(Shape{256}, 1.0f);
-    const Tensor y = drop.forward(x);
+    nn::Context ctx;
+    ctx.seed_rng(util::Rng(9));
+    const Tensor y = drop.forward(x, ctx);
     Tensor gy = Tensor::full(Shape{256}, 1.0f);
-    const Tensor gx = drop.backward(gy);
+    const Tensor gx = drop.backward(gy, ctx);
     for (std::int64_t i = 0; i < 256; ++i) EXPECT_FLOAT_EQ(gx[i], y[i]);
 }
 
@@ -375,7 +497,8 @@ TEST(Dropout, ZeroRateIsIdentityInTraining) {
     drop.set_training(true);
     util::Rng rng(43);
     const Tensor x = Tensor::randn(Shape{32}, rng);
-    const Tensor y = drop.forward(x);
+    nn::Context ctx;
+    const Tensor y = drop.forward(x, ctx);
     for (std::int64_t i = 0; i < x.numel(); ++i) EXPECT_FLOAT_EQ(y[i], x[i]);
 }
 

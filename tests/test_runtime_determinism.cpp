@@ -69,6 +69,7 @@ struct ConvResult {
 };
 
 ConvResult run_conv(unsigned threads, bool per_channel) {
+nn::Context ctx;
     runtime::set_num_threads(threads);
     util::Rng rng(5);
     ApproxConv2d conv(3, 8, 3, 1, 1, rng);
@@ -79,9 +80,9 @@ ConvResult run_conv(unsigned threads, bool per_channel) {
 
     const Tensor x = random_tensor(Shape{2, 3, 10, 10}, 11);
     ConvResult r;
-    r.y = conv.forward(x);
+    r.y = conv.forward(x, ctx);
     const Tensor gy = random_tensor(r.y.shape(), 13);
-    r.gx = conv.backward(gy);
+    r.gx = conv.backward(gy, ctx);
     r.gw = conv.weight.grad;
     r.gb = conv.bias.grad;
     return r;
@@ -101,6 +102,7 @@ TEST_F(DeterminismTest, QuantizedConvForwardBackwardBitwiseEqual) {
 }
 
 ConvResult run_linear(unsigned threads) {
+nn::Context ctx;
     runtime::set_num_threads(threads);
     util::Rng rng(7);
     ApproxLinear linear(24, 10, rng);
@@ -110,9 +112,9 @@ ConvResult run_linear(unsigned threads) {
 
     const Tensor x = random_tensor(Shape{16, 24}, 17);
     ConvResult r;
-    r.y = linear.forward(x);
+    r.y = linear.forward(x, ctx);
     const Tensor gy = random_tensor(r.y.shape(), 19);
-    r.gx = linear.backward(gy);
+    r.gx = linear.backward(gy, ctx);
     r.gw = linear.weight.grad;
     r.gb = linear.bias.grad;
     return r;
@@ -130,6 +132,7 @@ TEST_F(DeterminismTest, QuantizedLinearForwardBackwardBitwiseEqual) {
 }
 
 ConvResult run_depthwise(unsigned threads, ComputeMode mode) {
+nn::Context ctx;
     runtime::set_num_threads(threads);
     util::Rng rng(9);
     DepthwiseConv2d conv(6, 3, 1, 1, rng);
@@ -139,9 +142,9 @@ ConvResult run_depthwise(unsigned threads, ComputeMode mode) {
 
     const Tensor x = random_tensor(Shape{2, 6, 9, 9}, 23);
     ConvResult r;
-    r.y = conv.forward(x);
+    r.y = conv.forward(x, ctx);
     const Tensor gy = random_tensor(r.y.shape(), 29);
-    r.gx = conv.backward(gy);
+    r.gx = conv.backward(gy, ctx);
     r.gw = conv.weight.grad;
     r.gb = conv.bias.grad;
     return r;

@@ -146,6 +146,7 @@ TEST(SignedBridge, DrivesQuantizedConvLikeExactPath) {
     // quantized conv must match the stock exact-STE configuration bit for
     // bit (same LUT contents, same kernels).
     util::Rng rng(71);
+    nn::Context ctx;
     approx::ApproxConv2d conv_a(2, 3, 3, 1, 1, rng);
     approx::ApproxConv2d conv_b(2, 3, 3, 1, 1, rng);
     conv_b.weight.value = conv_a.weight.value;
@@ -162,8 +163,8 @@ TEST(SignedBridge, DrivesQuantizedConvLikeExactPath) {
     conv_b.set_mode(approx::ComputeMode::kQuantized);
 
     const tensor::Tensor x = tensor::Tensor::randn(tensor::Shape{1, 2, 5, 5}, rng);
-    const tensor::Tensor ya = conv_a.forward(x);
-    const tensor::Tensor yb = conv_b.forward(x);
+    const tensor::Tensor ya = conv_a.forward(x, ctx);
+    const tensor::Tensor yb = conv_b.forward(x, ctx);
     for (std::int64_t i = 0; i < ya.numel(); ++i) ASSERT_FLOAT_EQ(ya[i], yb[i]);
 }
 
@@ -173,6 +174,7 @@ TEST(SignedBridge, ApproximateSignedMultiplierTrains) {
     const auto bridged = appmult::to_unsigned_equivalent(signed_lut);
 
     util::Rng rng(72);
+    nn::Context ctx;
     approx::ApproxConv2d conv(2, 3, 3, 1, 1, rng);
     approx::MultiplierConfig config;
     config.lut = std::make_shared<appmult::AppMultLut>(bridged);
@@ -182,11 +184,11 @@ TEST(SignedBridge, ApproximateSignedMultiplierTrains) {
     conv.set_mode(approx::ComputeMode::kQuantized);
 
     const tensor::Tensor x = tensor::Tensor::randn(tensor::Shape{1, 2, 6, 6}, rng);
-    const tensor::Tensor y = conv.forward(x);
+    const tensor::Tensor y = conv.forward(x, ctx);
     tensor::Tensor gy(y.shape());
     gy.fill(1.0f);
     conv.zero_grad();
-    const tensor::Tensor gx = conv.backward(gy);
+    const tensor::Tensor gx = conv.backward(gy, ctx);
     EXPECT_GT(conv.weight.grad.rms(), 0.0f);
     EXPECT_GT(gx.rms(), 0.0f);
 }

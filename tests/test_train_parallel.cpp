@@ -1,0 +1,277 @@
+// Tests for the re-entrant execution contexts and the deterministic
+// microbatch-parallel trainer (DESIGN.md §11). The determinism contract:
+// for a FIXED microbatch count K, training is bitwise-identical at any
+// AMRET_THREADS setting. Each test compares a normally-scheduled run
+// against the same run under runtime::SerialGuard (chunks forced inline,
+// ascending order); the threads1/threads8 re-runs registered in
+// CMakeLists.txt then give thread-count invariance by transitivity.
+#include "amret.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstring>
+#include <optional>
+#include <thread>
+
+namespace {
+
+using namespace amret;
+using tensor::Shape;
+using tensor::Tensor;
+
+void expect_bitwise_equal(const Tensor& a, const Tensor& b, const char* what) {
+    ASSERT_EQ(a.shape(), b.shape()) << what;
+    EXPECT_EQ(std::memcmp(a.data(), b.data(),
+                          static_cast<std::size_t>(a.numel()) * sizeof(float)),
+              0)
+        << what;
+}
+
+void expect_snapshots_equal(const train::ModelSnapshot& a,
+                            const train::ModelSnapshot& b, const char* what) {
+    ASSERT_EQ(a.params.size(), b.params.size()) << what;
+    for (std::size_t i = 0; i < a.params.size(); ++i)
+        expect_bitwise_equal(a.params[i], b.params[i], what);
+    ASSERT_EQ(a.extra.size(), b.extra.size()) << what;
+    EXPECT_EQ(std::memcmp(a.extra.data(), b.extra.data(),
+                          a.extra.size() * sizeof(float)),
+              0)
+        << what << " (extra state)";
+}
+
+data::DatasetPair tiny_data() {
+    data::SyntheticConfig config;
+    config.num_classes = 4;
+    config.height = config.width = 8;
+    config.train_samples = 64;
+    config.test_samples = 32;
+    config.noise_stddev = 0.25f;
+    config.seed = 13;
+    return data::make_synthetic(config);
+}
+
+models::ModelConfig tiny_lenet_config() {
+    models::ModelConfig mc;
+    mc.in_size = 8;
+    mc.num_classes = 4;
+    mc.width_mult = 0.25f;
+    return mc;
+}
+
+train::TrainConfig tiny_train_config(int microbatches) {
+    train::TrainConfig tc;
+    tc.epochs = 2;
+    tc.batch_size = 32;
+    tc.microbatches = microbatches;
+    tc.lr = 3e-3;
+    tc.paper_lr_schedule = false;
+    tc.seed = 11;
+    return tc;
+}
+
+/// One full training run (quantized LeNet: BatchNorm spans run bulk,
+/// everything else splits); optionally forced serial. Returns the final
+/// model snapshot and the history through \p hist.
+train::ModelSnapshot run_training(int microbatches, bool force_serial,
+                                  train::History& hist) {
+    const auto pair = tiny_data();
+    auto model = models::make_lenet(tiny_lenet_config());
+    approx::configure_approx_layers(*model, approx::MultiplierConfig::exact_ste(7),
+                                    approx::ComputeMode::kQuantized);
+    train::Trainer trainer(*model, pair.train, pair.test,
+                           tiny_train_config(microbatches));
+    std::optional<runtime::SerialGuard> guard;
+    if (force_serial) guard.emplace();
+    hist = trainer.run();
+    return train::snapshot(*model);
+}
+
+TEST(TrainerDeterminism, ParallelMatchesSerialGuardAtEveryMicrobatchCount) {
+    for (const int k : {1, 2, 4}) {
+        train::History hist_par, hist_ser;
+        const auto par = run_training(k, false, hist_par);
+        const auto ser = run_training(k, true, hist_ser);
+        expect_snapshots_equal(par, ser,
+                               ("microbatches=" + std::to_string(k)).c_str());
+        ASSERT_EQ(hist_par.train.size(), hist_ser.train.size());
+        for (std::size_t e = 0; e < hist_par.train.size(); ++e) {
+            EXPECT_EQ(hist_par.train[e].loss, hist_ser.train[e].loss) << e;
+            EXPECT_EQ(hist_par.train[e].top1, hist_ser.train[e].top1) << e;
+            EXPECT_EQ(hist_par.test[e].top1, hist_ser.test[e].top1) << e;
+        }
+    }
+}
+
+TEST(TrainerDeterminism, EmptyTrailingMicrobatchesAreHandled) {
+    // More microbatches than samples per batch slice: trailing slices are
+    // empty and must be skipped symmetrically in forward and backward.
+    train::History hist_par, hist_ser;
+    const auto par = run_training(8, false, hist_par);
+    const auto ser = run_training(8, true, hist_ser);
+    expect_snapshots_equal(par, ser, "microbatches=8");
+}
+
+// ---------------------------------------------------------- re-entrancy --
+
+/// BatchNorm-free quantized model: safe for concurrent passes because every
+/// per-invocation buffer lives in the caller's Context and the frozen
+/// observers make forward read-only on the module.
+std::unique_ptr<nn::Sequential> make_reentrant_model(util::Rng& rng) {
+    auto model = std::make_unique<nn::Sequential>();
+    auto* conv = model->emplace<approx::ApproxConv2d>(3, 4, 3, 1, 1, rng);
+    model->emplace<nn::ReLU>();
+    model->emplace<nn::MaxPool2d>(2);
+    model->emplace<nn::Flatten>();
+    model->emplace<nn::Linear>(4 * 4 * 4, 4, rng);
+    conv->set_multiplier(approx::MultiplierConfig::exact_ste(8));
+    conv->set_mode(approx::ComputeMode::kQuantized);
+    return model;
+}
+
+struct PassResult {
+    Tensor y, gx;
+    std::vector<Tensor> shadows;
+};
+
+PassResult run_pass(nn::Module& model, const Tensor& x, const Tensor& gy) {
+    nn::Context ctx;
+    ctx.set_shadow_grads(true);
+    ctx.set_observers_frozen(true);
+    PassResult r;
+    r.y = model.forward(x, ctx);
+    r.gx = model.backward(gy, ctx);
+    for (nn::Param* p : model.params()) {
+        const Tensor* s = ctx.shadow(*p);
+        r.shadows.push_back(s ? *s : Tensor(p->value.shape()));
+    }
+    return r;
+}
+
+TEST(TrainerDeterminism, ConcurrentPassesThroughSharedModelMatchSerial) {
+    util::Rng rng(41);
+    auto model = make_reentrant_model(rng);
+    // Initialize the activation observer once, then freeze via eval mode.
+    {
+        nn::Context warmup;
+        model->forward(Tensor::randn(Shape{2, 3, 8, 8}, rng), warmup);
+    }
+    model->set_training(false);
+
+    const Tensor x1 = Tensor::randn(Shape{2, 3, 8, 8}, rng);
+    const Tensor x2 = Tensor::randn(Shape{2, 3, 8, 8}, rng);
+    const Tensor gy1 = Tensor::randn(Shape{2, 4}, rng);
+    const Tensor gy2 = Tensor::randn(Shape{2, 4}, rng);
+
+    const PassResult ref1 = run_pass(*model, x1, gy1);
+    const PassResult ref2 = run_pass(*model, x2, gy2);
+
+    PassResult got1, got2;
+    std::thread t1([&] { got1 = run_pass(*model, x1, gy1); });
+    std::thread t2([&] { got2 = run_pass(*model, x2, gy2); });
+    t1.join();
+    t2.join();
+
+    expect_bitwise_equal(got1.y, ref1.y, "pass1 y");
+    expect_bitwise_equal(got1.gx, ref1.gx, "pass1 gx");
+    expect_bitwise_equal(got2.y, ref2.y, "pass2 y");
+    expect_bitwise_equal(got2.gx, ref2.gx, "pass2 gx");
+    ASSERT_EQ(got1.shadows.size(), ref1.shadows.size());
+    for (std::size_t i = 0; i < ref1.shadows.size(); ++i) {
+        expect_bitwise_equal(got1.shadows[i], ref1.shadows[i], "pass1 shadow");
+        expect_bitwise_equal(got2.shadows[i], ref2.shadows[i], "pass2 shadow");
+    }
+    // Shadowing left the shared parameter gradients untouched.
+    for (nn::Param* p : model->params()) EXPECT_EQ(p->grad.rms(), 0.0f);
+}
+
+// ----------------------------------------------------- checkpoint resume --
+
+class TempCheckpoint {
+public:
+    explicit TempCheckpoint(const char* name)
+        : path_(std::string(::testing::TempDir()) + name) {}
+    ~TempCheckpoint() { std::remove(path_.c_str()); }
+    [[nodiscard]] const std::string& path() const { return path_; }
+
+private:
+    std::string path_;
+};
+
+TEST(CheckpointResume, ResumedRunBitwiseMatchesUninterrupted) {
+    const auto pair = tiny_data();
+
+    // Reference: 4 uninterrupted epochs.
+    auto model_a = models::make_lenet(tiny_lenet_config());
+    auto tc = tiny_train_config(2);
+    tc.epochs = 4;
+    train::Trainer trainer_a(*model_a, pair.train, pair.test, tc);
+    trainer_a.run();
+    const auto full = train::snapshot(*model_a);
+
+    // Interrupted: 2 epochs with checkpointing...
+    TempCheckpoint ckpt("amret_resume_test.ckpt");
+    auto model_b = models::make_lenet(tiny_lenet_config());
+    auto tc_half = tc;
+    tc_half.epochs = 2;
+    train::Trainer trainer_b(*model_b, pair.train, pair.test, tc_half);
+    trainer_b.set_checkpoint_path(ckpt.path());
+    trainer_b.run();
+
+    // ...then a fresh trainer resumes epochs 2..3 from the file.
+    auto model_c = models::make_lenet(tiny_lenet_config());
+    train::Trainer trainer_c(*model_c, pair.train, pair.test, tc);
+    ASSERT_TRUE(trainer_c.resume_from(ckpt.path()));
+    const auto hist_c = trainer_c.run();
+    EXPECT_EQ(hist_c.train.size(), 2u); // only the remaining epochs ran
+
+    expect_snapshots_equal(train::snapshot(*model_c), full, "resumed vs full");
+}
+
+TEST(CheckpointResume, V2RoundTripPreservesOptimizerAndEpoch) {
+    util::Rng rng(61);
+    train::TrainCheckpoint ck;
+    ck.model.params.push_back(Tensor::randn(Shape{3, 2}, rng));
+    ck.model.extra = {0.5f, -1.25f};
+    ck.optimizer = {1.0f, 2.0f, 3.0f};
+    ck.next_epoch = 7;
+
+    TempCheckpoint ckpt("amret_v2_roundtrip.ckpt");
+    ASSERT_TRUE(train::save_train_checkpoint(ck, ckpt.path()));
+    const auto back = train::load_train_checkpoint(ckpt.path());
+    ASSERT_TRUE(back.has_value());
+    expect_bitwise_equal(back->model.params[0], ck.model.params[0], "param");
+    EXPECT_EQ(back->model.extra, ck.model.extra);
+    EXPECT_EQ(back->optimizer, ck.optimizer);
+    EXPECT_EQ(back->next_epoch, 7u);
+}
+
+TEST(CheckpointResume, V1FilesLoadAsWeightsOnlyCheckpoints) {
+    const auto pair = tiny_data();
+    auto model = models::make_lenet(tiny_lenet_config());
+    TempCheckpoint ckpt("amret_v1_compat.ckpt");
+    ASSERT_TRUE(train::save_checkpoint(train::snapshot(*model), ckpt.path()));
+
+    const auto ck = train::load_train_checkpoint(ckpt.path());
+    ASSERT_TRUE(ck.has_value());
+    EXPECT_TRUE(ck->optimizer.empty());
+    EXPECT_EQ(ck->next_epoch, 0u);
+
+    // resume_from accepts a v1 file: weights restored, fresh optimizer.
+    train::Trainer trainer(*model, pair.train, pair.test, tiny_train_config(1));
+    EXPECT_TRUE(trainer.resume_from(ckpt.path()));
+}
+
+TEST(CheckpointResume, RejectsMismatchedArchitecture) {
+    const auto pair = tiny_data();
+    auto model = models::make_lenet(tiny_lenet_config());
+    TempCheckpoint ckpt("amret_mismatch.ckpt");
+    train::TrainCheckpoint ck;
+    ck.model.params.push_back(Tensor(Shape{1}));
+    ASSERT_TRUE(train::save_train_checkpoint(ck, ckpt.path()));
+
+    train::Trainer trainer(*model, pair.train, pair.test, tiny_train_config(1));
+    EXPECT_FALSE(trainer.resume_from(ckpt.path()));
+}
+
+} // namespace

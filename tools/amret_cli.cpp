@@ -158,6 +158,71 @@ int cmd_profile(const std::string& name) {
     return 0;
 }
 
+/// Trains a model on the synthetic task with optional mid-run resume.
+/// `--checkpoint f.ckpt` writes a v2 TrainCheckpoint (weights + optimizer
+/// slots + epoch cursor) after every epoch; `--resume` loads it back and
+/// continues at the recorded epoch, so an interrupted run finishes with the
+/// exact trajectory of an uninterrupted one.
+int cmd_train(const util::ArgParser& args) {
+    data::SyntheticConfig dc;
+    dc.num_classes = 10;
+    dc.height = dc.width = 16;
+    dc.train_samples = args.get_int("train-samples", 512);
+    dc.test_samples = args.get_int("test-samples", 128);
+    dc.seed = static_cast<std::uint64_t>(args.get_int("data-seed", 5));
+    const auto pair = data::make_synthetic(dc);
+
+    models::ModelConfig mc;
+    mc.in_size = 16;
+    mc.width_mult = static_cast<float>(args.get_double("width-mult", 0.5));
+    auto model = train::make_model(args.get("model", "lenet"), mc);
+
+    const std::string mult = args.get("mult", "");
+    if (!mult.empty()) {
+        auto& reg = appmult::Registry::instance();
+        if (!reg.contains(mult)) {
+            std::fprintf(stderr, "unknown multiplier: %s\n", mult.c_str());
+            return 1;
+        }
+        approx::MultiplierConfig config;
+        config.lut = std::make_shared<appmult::AppMultLut>(reg.lut(mult));
+        config.grad = std::make_shared<core::GradLut>(core::build_difference_grad(
+            *config.lut, static_cast<unsigned>(args.get_int(
+                             "hws", static_cast<long>(reg.info(mult).default_hws)))));
+        approx::configure_approx_layers(*model, config,
+                                        approx::ComputeMode::kQuantized);
+    }
+
+    train::TrainConfig tc;
+    tc.epochs = static_cast<int>(args.get_int("epochs", 5));
+    tc.batch_size = args.get_int("batch", 64);
+    tc.microbatches = static_cast<int>(args.get_int("microbatches", 1));
+    tc.lr = args.get_double("lr", 1e-3);
+    tc.seed = static_cast<std::uint64_t>(args.get_int("seed", 7));
+    tc.verbose = true;
+
+    train::Trainer trainer(*model, pair.train, pair.test, tc);
+    const std::string ckpt = args.get("checkpoint", "");
+    if (!ckpt.empty()) trainer.set_checkpoint_path(ckpt);
+    if (args.get_bool("resume", false)) {
+        if (ckpt.empty()) {
+            std::fprintf(stderr, "--resume requires --checkpoint <file>\n");
+            return 1;
+        }
+        if (trainer.resume_from(ckpt))
+            std::printf("resumed from %s\n", ckpt.c_str());
+        else
+            std::printf("no usable checkpoint at %s, training from scratch\n",
+                        ckpt.c_str());
+    }
+    const auto history = trainer.run();
+    if (history.test.empty()) return 0;
+    std::printf("final: loss %.4f  top1 %.3f  top5 %.3f\n",
+                history.test.back().loss, history.test.back().top1,
+                history.test.back().top5);
+    return 0;
+}
+
 int cmd_check(const util::ArgParser& args) {
     verify::CheckOptions options;
     const long hws = args.get_int("hws", -1);
@@ -195,6 +260,10 @@ void usage() {
         "  profile <name>               structural error profile\n"
         "  check   [name...] [--hws N] [--skip-grad] [--skip-sim]\n"
         "                               static verification (exit 1 on errors)\n"
+        "  train   [--model lenet] [--mult name] [--epochs N] [--batch N]\n"
+        "          [--microbatches K] [--checkpoint f.ckpt] [--resume]\n"
+        "                               train on the synthetic task; the\n"
+        "                               checkpoint enables mid-run resume\n"
         "global flags:\n"
         "  --threads N                  worker threads (0 = auto; env AMRET_THREADS)\n",
         stderr);
@@ -226,6 +295,7 @@ int main(int argc, char** argv) {
                          args.get_double("nmed", 0.4), out);
     if (command == "profile") return cmd_profile(name);
     if (command == "check") return cmd_check(args);
+    if (command == "train") return cmd_train(args);
     usage();
     return 1;
 }

@@ -50,10 +50,11 @@ void dump_conv(const char* tag, const std::string& mult, bool per_channel) {
     conv.set_per_channel_weights(per_channel);
     util::Rng xrng(202);
     const tensor::Tensor x = tensor::Tensor::randn(tensor::Shape{2, 3, 8, 8}, xrng);
-    const tensor::Tensor y = conv.forward(x);
+    nn::Context ctx;
+    const tensor::Tensor y = conv.forward(x, ctx);
     util::Rng grng(303);
     const tensor::Tensor gy = tensor::Tensor::randn(y.shape(), grng);
-    const tensor::Tensor gx = conv.backward(gy);
+    const tensor::Tensor gx = conv.backward(gy, ctx);
     std::printf("// %s\n", tag);
     print((std::string(tag) + ".y").c_str(), hash_tensor(y));
     print((std::string(tag) + ".gx").c_str(), hash_tensor(gx));
@@ -67,10 +68,11 @@ void dump_float_conv() {
     conv.set_mode(approx::ComputeMode::kFloat);
     util::Rng xrng(212);
     const tensor::Tensor x = tensor::Tensor::randn(tensor::Shape{2, 3, 9, 9}, xrng);
-    const tensor::Tensor y = conv.forward(x);
+    nn::Context ctx;
+    const tensor::Tensor y = conv.forward(x, ctx);
     util::Rng grng(313);
     const tensor::Tensor gy = tensor::Tensor::randn(y.shape(), grng);
-    const tensor::Tensor gx = conv.backward(gy);
+    const tensor::Tensor gx = conv.backward(gy, ctx);
     std::printf("// float conv\n");
     print("fconv.y", hash_tensor(y));
     print("fconv.gx", hash_tensor(gx));
@@ -85,10 +87,11 @@ void dump_linear() {
     linear.set_mode(approx::ComputeMode::kQuantized);
     util::Rng xrng(505);
     const tensor::Tensor x = tensor::Tensor::randn(tensor::Shape{5, 24}, xrng);
-    const tensor::Tensor y = linear.forward(x);
+    nn::Context ctx;
+    const tensor::Tensor y = linear.forward(x, ctx);
     util::Rng grng(606);
     const tensor::Tensor gy = tensor::Tensor::randn(y.shape(), grng);
-    const tensor::Tensor gx = linear.backward(gy);
+    const tensor::Tensor gx = linear.backward(gy, ctx);
     std::printf("// linear\n");
     print("linear.y", hash_tensor(y));
     print("linear.gx", hash_tensor(gx));
@@ -103,10 +106,11 @@ void dump_depthwise() {
     dw.set_mode(approx::ComputeMode::kQuantized);
     util::Rng xrng(808);
     const tensor::Tensor x = tensor::Tensor::randn(tensor::Shape{2, 6, 8, 8}, xrng);
-    const tensor::Tensor y = dw.forward(x);
+    nn::Context ctx;
+    const tensor::Tensor y = dw.forward(x, ctx);
     util::Rng grng(909);
     const tensor::Tensor gy = tensor::Tensor::randn(y.shape(), grng);
-    const tensor::Tensor gx = dw.backward(gy);
+    const tensor::Tensor gx = dw.backward(gy, ctx);
     std::printf("// depthwise\n");
     print("dw.y", hash_tensor(y));
     print("dw.gx", hash_tensor(gx));
