@@ -1,6 +1,7 @@
 #include "bench_common.hpp"
 
 #include <cmath>
+#include <cstdio>
 #include <filesystem>
 #include <fstream>
 #include <sstream>
@@ -98,6 +99,30 @@ std::string results_dir() {
     return "results";
 }
 
+ObsSession::ObsSession(const util::ArgParser& args)
+    : trace_path_(args.get("trace", "")),
+      profile_(args.get_bool("profile", false, "AMRET_PROFILE")) {
+    if (!trace_path_.empty() || profile_) obs::trace_start();
+}
+
+ObsSession::~ObsSession() {
+    if (obs::trace_enabled()) {
+        obs::trace_stop();
+        if (profile_) std::fputs(obs::profile_table().c_str(), stdout);
+        if (!trace_path_.empty()) {
+            if (obs::write_chrome_trace(trace_path_))
+                std::printf("wrote %s (load in ui.perfetto.dev)\n",
+                            trace_path_.c_str());
+            else
+                std::fprintf(stderr, "cannot write %s\n", trace_path_.c_str());
+        }
+    }
+    if (profile_) {
+        const std::string counters = obs::counters_table();
+        if (!counters.empty()) std::fputs(counters.c_str(), stdout);
+    }
+}
+
 namespace {
 
 std::optional<std::vector<SweepRow>> load_cached(const std::string& path,
@@ -155,7 +180,7 @@ std::vector<SweepRow> run_or_load_sweep(const SweepConfig& config,
 
     auto& reg = appmult::Registry::instance();
     std::vector<SweepRow> rows(multipliers.size());
-    util::Stopwatch total;
+    obs::TimedSpan total("bench.sweep");
 
     // Average the whole sweep over independent repetitions: each repetition
     // regenerates the dataset and the model initialization with shifted
@@ -184,7 +209,7 @@ std::vector<SweepRow> run_or_load_sweep(const SweepConfig& config,
             row.bits = bits;
             row.hws = bench_hws(name);
 
-            util::Stopwatch sw;
+            obs::TimedSpan sw("bench.sweep.mult");
             const auto ste = pipeline.retrain(lut, core::build_ste_grad(bits));
             const auto ours =
                 pipeline.retrain(lut, core::build_difference_grad(lut, row.hws));

@@ -83,4 +83,21 @@ void print_table2(const std::vector<SweepRow>& rows, const std::string& title);
 /// results/ directory (created on demand).
 std::string results_dir();
 
+/// Observability bracket for a bench main(): starts tracing when the run
+/// asks for it (`--trace f.json`, `--profile`, or AMRET_PROFILE=1) and, on
+/// destruction, prints the hierarchical profile + counter tables and writes
+/// the Perfetto-loadable trace file. Construct one right after the
+/// ArgParser; a run without those flags costs nothing.
+class ObsSession {
+public:
+    explicit ObsSession(const util::ArgParser& args);
+    ~ObsSession();
+    ObsSession(const ObsSession&) = delete;
+    ObsSession& operator=(const ObsSession&) = delete;
+
+private:
+    std::string trace_path_;
+    bool profile_ = false;
+};
+
 } // namespace amret::bench

@@ -295,7 +295,7 @@ struct SweepGemm {
 template <typename Fn>
 double time_ms(int iters, Fn&& fn) {
     fn(); // warm up
-    util::Stopwatch sw;
+    obs::TimedSpan sw("bench.tile_sweep.timed");
     for (int i = 0; i < iters; ++i) fn();
     return sw.millis() / iters;
 }
@@ -398,7 +398,10 @@ int run_tile_sweep() {
 } // namespace
 
 int main(int argc, char** argv) {
-    bool quick = false, tile_sweep = false;
+    // Flags are parsed by hand (not util::ArgParser) because unknown flags
+    // must pass through to google-benchmark untouched.
+    bool quick = false, tile_sweep = false, profile = false;
+    std::string trace_path;
     std::vector<char*> passthrough;
     passthrough.push_back(argv[0]);
     for (int i = 1; i < argc; ++i) {
@@ -406,21 +409,51 @@ int main(int argc, char** argv) {
             quick = true;
         } else if (std::strcmp(argv[i], "--tile-sweep") == 0) {
             tile_sweep = true;
+        } else if (std::strcmp(argv[i], "--profile") == 0) {
+            profile = true;
+        } else if (std::strcmp(argv[i], "--trace") == 0 && i + 1 < argc) {
+            trace_path = argv[++i];
         } else {
             passthrough.push_back(argv[i]);
         }
     }
-    if (tile_sweep) return run_tile_sweep();
+    if (profile || !trace_path.empty()) obs::trace_start();
 
-    // Smoke mode: one tiny-budget pass over every benchmark, failing only on
-    // crashes — scripts/check.sh runs this as a CI stage.
-    std::string min_time = "--benchmark_min_time=0.01";
-    if (quick) passthrough.push_back(min_time.data());
+    int rc = 0;
+    if (tile_sweep) {
+        rc = run_tile_sweep();
+    } else {
+        // Smoke mode: one tiny-budget pass over every benchmark, failing only
+        // on crashes — scripts/check.sh and CI run this as a smoke stage.
+        std::string min_time = "--benchmark_min_time=0.01";
+        if (quick) passthrough.push_back(min_time.data());
 
-    int pargc = static_cast<int>(passthrough.size());
-    benchmark::Initialize(&pargc, passthrough.data());
-    if (benchmark::ReportUnrecognizedArguments(pargc, passthrough.data())) return 1;
-    benchmark::RunSpecifiedBenchmarks();
-    benchmark::Shutdown();
-    return 0;
+        int pargc = static_cast<int>(passthrough.size());
+        benchmark::Initialize(&pargc, passthrough.data());
+        if (benchmark::ReportUnrecognizedArguments(pargc, passthrough.data())) {
+            rc = 1;
+        } else {
+            benchmark::RunSpecifiedBenchmarks();
+            benchmark::Shutdown();
+        }
+    }
+
+    if (obs::trace_enabled()) {
+        obs::trace_stop();
+        if (profile) std::fputs(obs::profile_table().c_str(), stdout);
+        if (!trace_path.empty()) {
+            if (obs::write_chrome_trace(trace_path)) {
+                std::printf("wrote %s (load in ui.perfetto.dev)\n",
+                            trace_path.c_str());
+            } else {
+                std::fprintf(stderr, "cannot write %s\n", trace_path.c_str());
+                rc = 1;
+            }
+        }
+    }
+    if (profile) {
+        const std::string counters = obs::counters_table();
+        if (!counters.empty()) std::fputs(counters.c_str(), stdout);
+    }
+    return rc;
 }

@@ -22,7 +22,7 @@ template <typename Fn>
 double time_kernel_ms(unsigned threads, int iters, Fn&& fn) {
     runtime::set_num_threads(threads);
     fn(); // warm up (resolves the pool, faults in buffers)
-    util::Stopwatch sw;
+    obs::TimedSpan sw("bench.kernel");
     for (int i = 0; i < iters; ++i) fn();
     const double ms = sw.millis() / iters;
     runtime::set_num_threads(1);
@@ -122,7 +122,7 @@ int run_microbatch_sweep(const util::ArgParser& args) {
         tc.batch_size = 64;
         tc.microbatches = k;
         train::Trainer trainer(*model, pair.train, pair.test, tc);
-        util::Stopwatch sw;
+        obs::TimedSpan sw("bench.microbatch_epoch");
         trainer.train_only(epochs);
         const double epoch_s = sw.seconds() / epochs;
         if (k == 1) base_s = epoch_s;
@@ -142,6 +142,7 @@ int run_microbatch_sweep(const util::ArgParser& args) {
 
 int main(int argc, char** argv) {
     const util::ArgParser args(argc, argv);
+    bench::ObsSession obs_session(args);
     if (args.get_bool("microbatch-sweep", false)) return run_microbatch_sweep(args);
 
     std::printf("threads-vs-throughput sweep (JSON rows)\n");
@@ -169,19 +170,23 @@ int main(int argc, char** argv) {
         const auto& lut = reg.lut(name);
         const unsigned hws = bench::bench_hws(name);
 
-        util::Stopwatch sw;
+        obs::TimedSpan sw_ste_build("bench.grad_build.ste");
         const auto ste_grad = core::build_ste_grad(bits);
-        const double build_ste_ms = sw.millis();
-        sw.restart();
+        sw_ste_build.stop();
+        const double build_ste_ms = sw_ste_build.millis();
+        obs::TimedSpan sw_ours_build("bench.grad_build.ours");
         const auto our_grad = core::build_difference_grad(lut, hws);
-        const double build_ours_ms = sw.millis();
+        sw_ours_build.stop();
+        const double build_ours_ms = sw_ours_build.millis();
 
-        sw.restart();
+        obs::TimedSpan sw_ste("bench.retrain.ste");
         pipeline.retrain(lut, ste_grad);
-        const double train_ste_s = sw.seconds();
-        sw.restart();
+        sw_ste.stop();
+        const double train_ste_s = sw_ste.seconds();
+        obs::TimedSpan sw_ours("bench.retrain.ours");
         pipeline.retrain(lut, our_grad);
-        const double train_ours_s = sw.seconds();
+        sw_ours.stop();
+        const double train_ours_s = sw_ours.seconds();
 
         table.add_row({name, util::TablePrinter::num(build_ste_ms, 2),
                        util::TablePrinter::num(build_ours_ms, 2),

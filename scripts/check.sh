@@ -1,61 +1,120 @@
 #!/usr/bin/env bash
-# One-command CI gate: release build, tier-1 tests, static verification of
-# every registered multiplier, and (when clang-tidy is available) lint.
+# One-command CI gate: release build, tier-1 tests, kernel tests at the
+# thread-count extremes, TSan over the parallel trainer + obs, bench smoke,
+# static verification of every registered multiplier, and (when the tools
+# are available) clang-format + clang-tidy.
 #
-#   scripts/check.sh            # build + ctest + amret_cli check [+ lint]
+#   scripts/check.sh            # all stages, interactive output
+#   scripts/check.sh --ci       # GitHub Actions mode: ::group:: stage
+#                               # folding, ::error:: annotations, no colors
 #   scripts/check.sh --no-lint  # skip the clang-tidy pass even if available
 #
+# Build parallelism: CMAKE_BUILD_PARALLEL_LEVEL when set, else nproc.
 # Exits nonzero on the first failing stage.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
+ci_mode=0
 run_lint=1
 for arg in "$@"; do
   case "$arg" in
+    --ci) ci_mode=1 ;;
     --no-lint) run_lint=0 ;;
     *) echo "unknown option: $arg" >&2; exit 2 ;;
   esac
 done
 
-jobs=$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 4)
+jobs=${CMAKE_BUILD_PARALLEL_LEVEL:-$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 4)}
 
-echo "=== configure + build (release) ==="
+current_stage=""
+
+begin_stage() {
+  current_stage="$1"
+  if [ "$ci_mode" -eq 1 ]; then
+    echo "::group::$current_stage"
+  else
+    echo "=== $current_stage ==="
+  fi
+}
+
+end_stage() {
+  if [ "$ci_mode" -eq 1 ]; then
+    echo "::endgroup::"
+  fi
+}
+
+on_error() {
+  if [ "$ci_mode" -eq 1 ]; then
+    echo "::endgroup::"
+    echo "::error::stage failed: ${current_stage:-startup}"
+  else
+    echo "stage failed: ${current_stage:-startup}" >&2
+  fi
+}
+trap on_error ERR
+
+begin_stage "configure + build (release)"
 cmake --preset release
 cmake --build --preset release -j "$jobs"
+end_stage
 
-echo "=== tier-1 tests ==="
+# New-code formatting contract (.clang-format). Scoped to the files written
+# against it; the older tree predates the config and is left untouched.
+if command -v clang-format >/dev/null 2>&1; then
+  begin_stage "clang-format (src/obs, trace_report, test_obs)"
+  clang-format --dry-run --Werror \
+    src/obs/*.hpp src/obs/*.cpp tools/trace_report.cpp tests/test_obs.cpp
+  end_stage
+else
+  echo "clang-format not available; format stage omitted"
+fi
+
+begin_stage "tier-1 tests"
 ctest --preset release -j "$jobs"
+end_stage
 
-echo "=== kernel property tests at the thread-count extremes ==="
+begin_stage "kernel property tests at the thread-count extremes"
 AMRET_THREADS=1 ./build/tests/test_kernels
 AMRET_THREADS=8 ./build/tests/test_kernels
+end_stage
 
-echo "=== microbatch-parallel trainer under ThreadSanitizer ==="
+begin_stage "parallel trainer + obs under ThreadSanitizer"
 cmake --preset tsan
-cmake --build --preset tsan -j "$jobs" --target test_train_parallel
+cmake --build --preset tsan -j "$jobs" --target test_train_parallel test_obs
 AMRET_THREADS=8 TSAN_OPTIONS=halt_on_error=1 \
   ./build-tsan/tests/test_train_parallel --gtest_filter='TrainerDeterminism.*'
+AMRET_THREADS=8 TSAN_OPTIONS=halt_on_error=1 ./build-tsan/tests/test_obs
+end_stage
 
-echo "=== bench_micro smoke (--quick; fails on crash only) ==="
+begin_stage "bench_micro smoke (--quick; fails on crash only)"
 set +e
 ./build/bench/bench_micro --quick > /dev/null
 bench_status=$?
 set -e
 if [ "$bench_status" -ge 128 ]; then
   echo "bench_micro --quick crashed (exit $bench_status)" >&2
-  exit 1
+  false
 fi
+end_stage
 
-echo "=== static verification of the multiplier registry ==="
+begin_stage "traced training round-trip"
+./build/tools/amret_cli train --epochs 1 --trace build/train_trace.json \
+  > /dev/null
+./build/tools/trace_report build/train_trace.json --top 5 > /dev/null
+end_stage
+
+begin_stage "static verification of the multiplier registry"
 ./build/tools/amret_cli check
+end_stage
 
 if [ "$run_lint" -eq 1 ] && command -v clang-tidy >/dev/null 2>&1; then
-  echo "=== clang-tidy (lint preset) ==="
+  begin_stage "clang-tidy (lint preset)"
   cmake --preset lint
   cmake --build --preset lint -j "$jobs"
+  end_stage
 else
-  echo "=== clang-tidy not available or skipped; lint stage omitted ==="
+  echo "clang-tidy not available or skipped; lint stage omitted"
 fi
 
 echo "all checks passed"

@@ -37,6 +37,9 @@
 #include "netlist/sim.hpp"             // exhaustive simulation
 #include "netlist/techmap.hpp"         // NAND/INV technology mapping
 #include "nn/layers.hpp"               // float layers
+#include "obs/obs.hpp"                 // counters + gauges
+#include "obs/report.hpp"              // trace loading + self-time folding
+#include "obs/trace.hpp"               // scoped-span tracer
 #include "nn/loss.hpp"                 // loss + metrics
 #include "nn/module.hpp"               // module base
 #include "nn/optim.hpp"                // SGD / Adam

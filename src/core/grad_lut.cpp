@@ -1,6 +1,8 @@
 #include "core/grad_lut.hpp"
 
 #include "kernels/tuning.hpp"
+#include "obs/obs.hpp"
+#include "obs/trace.hpp"
 #include "runtime/parallel.hpp"
 
 #include <cassert>
@@ -60,6 +62,8 @@ GradLut GradLut::load(const std::string& path) {
 }
 
 GradLut build_ste_grad(unsigned bits) {
+    AMRET_OBS_SPAN("core.grad_lut.build_ste");
+    AMRET_OBS_COUNT("core.grad_lut.builds", 1);
     const std::uint64_t n = std::uint64_t{1} << bits;
     std::vector<float> d_dw(n * n), d_dx(n * n);
     const auto rows = static_cast<std::int64_t>(n);
@@ -109,6 +113,8 @@ void fill_from_rows(const appmult::AppMultLut& lut, unsigned hws, bool transpose
 } // namespace
 
 GradLut build_difference_grad(const appmult::AppMultLut& lut, unsigned hws) {
+    AMRET_OBS_SPAN("core.grad_lut.build_difference");
+    AMRET_OBS_COUNT("core.grad_lut.builds", 1);
     const std::uint64_t n = lut.domain();
     std::vector<float> d_dw(n * n), d_dx(n * n);
     fill_from_rows(lut, hws, /*transpose=*/false, d_dx); // rows: W fixed, vary X
@@ -138,6 +144,8 @@ GradLut build_custom_grad(
 GenericGradTables build_difference_grad_generic(
     std::int64_t lo, std::size_t n,
     const std::function<double(std::int64_t, std::int64_t)>& fn, unsigned hws) {
+    AMRET_OBS_SPAN("core.grad_lut.build_difference_generic");
+    AMRET_OBS_COUNT("core.grad_lut.builds", 1);
     GenericGradTables tables;
     tables.lo = lo;
     tables.n = n;

@@ -1,5 +1,8 @@
 #include "explore/pareto.hpp"
 
+#include "obs/obs.hpp"
+#include "obs/trace.hpp"
+
 #include <algorithm>
 #include <limits>
 #include <sstream>
@@ -39,8 +42,10 @@ std::vector<multgen::MultiplierSpec> standard_candidates(unsigned bits) {
 std::vector<DesignPoint> evaluate_designs(
     const std::vector<multgen::MultiplierSpec>& candidates, double nmed_limit,
     const AccuracyFn& accuracy) {
+    AMRET_OBS_SPAN("explore.evaluate_designs");
     std::vector<DesignPoint> points;
     for (const auto& spec : candidates) {
+        AMRET_OBS_COUNT("explore.candidates.evaluated", 1);
         DesignPoint point;
         point.spec = spec;
         point.name = describe_spec(spec);

@@ -1,6 +1,8 @@
 #include "kernels/im2col.hpp"
 
 #include "kernels/tuning.hpp"
+#include "obs/obs.hpp"
+#include "obs/trace.hpp"
 #include "runtime/parallel.hpp"
 
 #include <cassert>
@@ -47,6 +49,8 @@ void unfold_image(const TIn* px, std::int64_t channels, std::int64_t ch_stride,
 } // namespace
 
 void im2col(const float* x, const ConvGeom& geom, float* cols) {
+    AMRET_OBS_SPAN("kernels.im2col");
+    AMRET_OBS_COUNT("kernels.im2col.images", geom.batch);
     const std::int64_t image = geom.in_ch * geom.in_h * geom.in_w;
     const std::int64_t rows_per_image = geom.out_h() * geom.out_w();
     runtime::parallel_for(0, geom.batch, tune::kGrainChannel,
@@ -79,6 +83,8 @@ void im2col_channel(const float* x, std::int64_t total_ch, std::int64_t channel,
 
 void im2col_u8(const std::uint8_t* x, const ConvGeom& geom,
                std::uint16_t zero_point, std::uint16_t* cols) {
+    AMRET_OBS_SPAN("kernels.im2col");
+    AMRET_OBS_COUNT("kernels.im2col.images", geom.batch);
     const std::int64_t image = geom.in_ch * geom.in_h * geom.in_w;
     const std::int64_t rows_per_image = geom.out_h() * geom.out_w();
     runtime::parallel_for(0, geom.batch, tune::kGrainChannel,
@@ -90,6 +96,8 @@ void im2col_u8(const std::uint8_t* x, const ConvGeom& geom,
 }
 
 void col2im(const float* cols, const ConvGeom& geom, float* x) {
+    AMRET_OBS_SPAN("kernels.col2im");
+    AMRET_OBS_COUNT("kernels.col2im.images", geom.batch);
     const std::int64_t oh = geom.out_h(), ow = geom.out_w();
     const std::int64_t patch = geom.patch();
     const std::int64_t image = geom.in_ch * geom.in_h * geom.in_w;

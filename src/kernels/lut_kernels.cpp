@@ -1,5 +1,7 @@
 #include "kernels/lut_kernels.hpp"
 
+#include "obs/obs.hpp"
+#include "obs/trace.hpp"
 #include "runtime/parallel.hpp"
 
 namespace amret::kernels {
@@ -28,6 +30,13 @@ void lut_row_sums_w(const LutGemmArgs& args, std::int64_t* sum_w) {
 
 void lut_forward(const LutGemmArgs& args, const float* bias, float* y,
                  Workspace& ws, const TileConfig& tile) {
+    AMRET_OBS_SPAN("kernels.lut_forward");
+    AMRET_OBS_COUNT("kernels.gemm.rows", args.p);
+    AMRET_OBS_COUNT("kernels.gemm.tiles",
+                    runtime::chunk_count(0, args.p,
+                                         runtime::grain_for(args.p,
+                                                            tune::kGrainGemmRows)) *
+                        ((args.o + tile.to - 1) / tile.to));
     // Row sums for the Eq. (8) zero-point correction terms. Weight sums may
     // be hoisted by the caller (args.sum_w); activation sums are per call.
     const std::int64_t* sum_w = args.sum_w;
@@ -60,6 +69,8 @@ void lut_forward(const LutGemmArgs& args, const float* bias, float* y,
 
 void lut_forward_serial(const LutGemmArgs& args, const float* bias, float* y,
                         const TileConfig& tile, const LutGemmScratch& scratch) {
+    AMRET_OBS_SPAN("kernels.lut_forward_serial");
+    AMRET_OBS_COUNT("kernels.gemm.rows", args.p);
     const std::int64_t* sum_w = args.sum_w;
     if (sum_w == nullptr) {
         for (std::int64_t i = 0; i < args.o; ++i) {
@@ -94,6 +105,8 @@ void accumulate_bias_grad(const float* gyp, std::int64_t p, std::int64_t o,
 void lut_backward(const LutGemmArgs& args, const float* gyp,
                   const float* grad_w_lut, const float* grad_x_lut,
                   float* gw_raw, float* gx_raw, const TileConfig& tile) {
+    AMRET_OBS_SPAN("kernels.lut_backward");
+    AMRET_OBS_COUNT("kernels.gemm.backward_rows", args.p);
     const std::int64_t o_rows = args.o, p_rows = args.p, depth = args.k;
     const unsigned bits = args.bits;
     const float zx = static_cast<float>(args.zero_x);

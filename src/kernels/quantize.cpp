@@ -1,6 +1,8 @@
 #include "kernels/quantize.hpp"
 
 #include "kernels/tuning.hpp"
+#include "obs/obs.hpp"
+#include "obs/trace.hpp"
 #include "runtime/parallel.hpp"
 
 #include <algorithm>
@@ -9,6 +11,8 @@ namespace amret::kernels {
 
 QuantView quantize_into(const float* src, std::int64_t n,
                         const quant::QuantParams& params, Workspace& ws) {
+    AMRET_OBS_SPAN("kernels.quantize");
+    AMRET_OBS_COUNT("kernels.quantize.elems", n);
     QuantView view;
     view.params = params;
     view.size = n;
@@ -30,6 +34,8 @@ QuantView quantize_weights_per_channel(const float* w, std::int64_t o,
                                        std::int64_t patch, unsigned bits,
                                        float* scale_per_o,
                                        std::int32_t* zero_per_o, Workspace& ws) {
+    AMRET_OBS_SPAN("kernels.quantize");
+    AMRET_OBS_COUNT("kernels.quantize.elems", o * patch);
     QuantView view;
     view.size = o * patch;
     view.codes = ws.alloc<std::uint16_t>(view.size);

@@ -1,5 +1,7 @@
 #include "nn/loss.hpp"
 
+#include "obs/trace.hpp"
+
 #include <algorithm>
 #include <cassert>
 #include <cmath>
@@ -10,6 +12,7 @@ using tensor::Tensor;
 
 SoftmaxCeResult softmax_cross_entropy(const Tensor& logits,
                                       const std::vector<int>& labels) {
+    AMRET_OBS_SPAN("nn.loss.softmax_ce");
     assert(logits.rank() == 2);
     const std::int64_t n = logits.dim(0), c = logits.dim(1);
     assert(labels.size() == static_cast<std::size_t>(n));

@@ -1,10 +1,13 @@
 #include "nn/optim.hpp"
 
+#include "obs/trace.hpp"
+
 #include <cmath>
 
 namespace amret::nn {
 
 void Sgd::step(const std::vector<Param*>& params) {
+    AMRET_OBS_SPAN("nn.optim.step");
     for (Param* p : params) {
         auto [it, inserted] = velocity_.try_emplace(p, p->value.shape());
         tensor::Tensor& vel = it->second;
@@ -20,6 +23,7 @@ void Sgd::step(const std::vector<Param*>& params) {
 }
 
 void Adam::step(const std::vector<Param*>& params) {
+    AMRET_OBS_SPAN("nn.optim.step");
     ++t_;
     const double bc1 = 1.0 - std::pow(beta1_, t_);
     const double bc2 = 1.0 - std::pow(beta2_, t_);

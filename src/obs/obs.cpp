@@ -1,0 +1,106 @@
+#include "obs/obs.hpp"
+
+#include "util/table.hpp"
+
+#include <map>
+#include <memory>
+#include <mutex>
+
+namespace amret::obs {
+
+namespace {
+
+/// Name-keyed registries. Entries are never removed, so references handed
+/// out by counter()/gauge() stay valid for the process lifetime.
+struct Registry {
+    std::mutex mutex;
+    std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters;
+    std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges;
+};
+
+Registry& registry() {
+    static Registry* r = new Registry(); // leaked: usable during static dtors
+    return *r;
+}
+
+std::atomic<std::size_t> g_next_thread_slot{0};
+
+} // namespace
+
+std::size_t thread_shard() {
+    thread_local const std::size_t slot =
+        g_next_thread_slot.fetch_add(1, std::memory_order_relaxed) %
+        kCounterShards;
+    return slot;
+}
+
+Counter& counter(std::string_view name) {
+    Registry& r = registry();
+    std::lock_guard<std::mutex> lock(r.mutex);
+    auto it = r.counters.find(name);
+    if (it == r.counters.end()) {
+        it = r.counters
+                 .emplace(std::string(name),
+                          std::make_unique<Counter>(std::string(name)))
+                 .first;
+    }
+    return *it->second;
+}
+
+Gauge& gauge(std::string_view name) {
+    Registry& r = registry();
+    std::lock_guard<std::mutex> lock(r.mutex);
+    auto it = r.gauges.find(name);
+    if (it == r.gauges.end()) {
+        it = r.gauges
+                 .emplace(std::string(name),
+                          std::make_unique<Gauge>(std::string(name)))
+                 .first;
+    }
+    return *it->second;
+}
+
+std::vector<std::pair<std::string, std::int64_t>> counters_snapshot() {
+    Registry& r = registry();
+    std::lock_guard<std::mutex> lock(r.mutex);
+    std::vector<std::pair<std::string, std::int64_t>> out;
+    out.reserve(r.counters.size());
+    for (const auto& [name, c] : r.counters) out.emplace_back(name, c->value());
+    return out; // std::map iteration is already name-sorted
+}
+
+std::vector<std::pair<std::string, std::int64_t>> gauges_snapshot() {
+    Registry& r = registry();
+    std::lock_guard<std::mutex> lock(r.mutex);
+    std::vector<std::pair<std::string, std::int64_t>> out;
+    out.reserve(r.gauges.size());
+    for (const auto& [name, g] : r.gauges) out.emplace_back(name, g->value());
+    return out;
+}
+
+void reset_counters() {
+    Registry& r = registry();
+    std::lock_guard<std::mutex> lock(r.mutex);
+    for (auto& [name, c] : r.counters) c->reset();
+    for (auto& [name, g] : r.gauges) g->set(0);
+}
+
+std::string counters_table() {
+    const auto counters = counters_snapshot();
+    const auto gauges = gauges_snapshot();
+    util::TablePrinter table({"Counter", "Value"});
+    std::size_t rows = 0;
+    for (const auto& [name, v] : counters) {
+        if (v == 0) continue;
+        table.add_row({name, std::to_string(v)});
+        ++rows;
+    }
+    for (const auto& [name, v] : gauges) {
+        if (v == 0) continue;
+        table.add_row({name + " (gauge)", std::to_string(v)});
+        ++rows;
+    }
+    return rows == 0 ? std::string() : table.str();
+}
+
+} // namespace amret::obs

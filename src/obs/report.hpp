@@ -1,0 +1,48 @@
+/// \file report.hpp
+/// \brief Offline trace analysis: load Chrome trace JSON, fold self time.
+///
+/// The loader understands the trace-event JSON written by
+/// obs::write_chrome_trace (and any other writer of the common
+/// `{"traceEvents": [{"ph":"X", ...}]}` shape); tools/trace_report is a thin
+/// CLI over these functions.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace amret::obs {
+
+/// One "X" (complete) event loaded from a trace file.
+struct TraceRecord {
+    std::string name;
+    double ts_us = 0.0;  ///< start timestamp, microseconds
+    double dur_us = 0.0; ///< duration, microseconds
+    double cpu_ms = 0.0; ///< optional args.cpu_ms (0 when absent)
+    std::int64_t tid = 0;
+};
+
+/// Parses \p path as Chrome trace-event JSON and returns its complete
+/// ("ph":"X") events. On failure returns an empty vector and, when \p error
+/// is non-null, stores a one-line reason.
+std::vector<TraceRecord> load_chrome_trace(const std::string& path,
+                                           std::string* error = nullptr);
+
+/// Aggregated per-name timing of a folded trace.
+struct FoldedSpan {
+    std::string name;
+    std::uint64_t count = 0;
+    double total_ms = 0.0;
+    double self_ms = 0.0; ///< total minus time spent in nested spans
+    double cpu_ms = 0.0;
+};
+
+/// Folds records into per-name totals with self time computed from interval
+/// nesting per thread, sorted by descending self time.
+std::vector<FoldedSpan> fold_spans(const std::vector<TraceRecord>& records);
+
+/// Renders the top \p top_n folded spans as a plain-text table.
+std::string fold_report(const std::vector<TraceRecord>& records,
+                        std::size_t top_n = 20);
+
+} // namespace amret::obs

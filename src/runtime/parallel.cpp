@@ -1,5 +1,7 @@
 #include "runtime/parallel.hpp"
 
+#include "obs/obs.hpp"
+#include "obs/trace.hpp"
 #include "runtime/thread_pool.hpp"
 
 #include <algorithm>
@@ -98,8 +100,16 @@ void parallel_for_chunks(
     const std::function<void(std::int64_t, std::int64_t, std::size_t)>& fn) {
     const std::int64_t chunks = chunk_count(begin, end, grain);
     if (chunks == 0) return;
+    AMRET_OBS_COUNT("runtime.parallel_for.calls", 1);
+    AMRET_OBS_COUNT("runtime.parallel_for.chunks", chunks);
+    // Region span on the calling thread; per-chunk spans land on whichever
+    // worker ran the chunk, giving the trace its thread attribution. Spans
+    // read clocks only — chunk decomposition and execution order never
+    // depend on them (determinism contract, DESIGN.md §12).
+    AMRET_OBS_SPAN("runtime.parallel_for");
     const std::int64_t g = std::max<std::int64_t>(1, grain);
     auto run_chunk = [&](std::size_t c) {
+        AMRET_OBS_SPAN("runtime.chunk");
         const std::int64_t b = begin + static_cast<std::int64_t>(c) * g;
         fn(b, std::min(end, b + g), c);
     };

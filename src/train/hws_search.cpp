@@ -2,6 +2,8 @@
 
 #include "approx/approx_conv.hpp"
 #include "core/grad_lut.hpp"
+#include "obs/obs.hpp"
+#include "obs/trace.hpp"
 #include "runtime/parallel.hpp"
 #include "util/logging.hpp"
 
@@ -15,6 +17,8 @@ core::HwsSelection search_hws(const appmult::AppMultLut& lut,
     const auto shared_lut = std::make_shared<appmult::AppMultLut>(lut);
 
     auto loss_for_hws = [&](unsigned hws) -> double {
+        AMRET_OBS_SPAN("train.hws.candidate");
+        AMRET_OBS_COUNT("train.hws.candidates", 1);
         // Fresh LeNet with identical initialization for every candidate so
         // the comparison isolates the gradient table. Each candidate owns its
         // model, gradient table, and trainer (with its own seeded loader), so
@@ -41,6 +45,7 @@ core::HwsSelection search_hws(const appmult::AppMultLut& lut,
     // self-contained, so the losses are identical at any thread count), then
     // replay the cached losses through select_hws so tie-breaking follows the
     // serial candidate order and the selected HWS is unchanged.
+    AMRET_OBS_SPAN("train.hws.search");
     const auto n_cand = static_cast<std::int64_t>(config.candidates.size());
     std::vector<double> losses(config.candidates.size(), 0.0);
     runtime::parallel_for(0, n_cand, 1, [&](std::int64_t cb, std::int64_t ce) {

@@ -1,10 +1,11 @@
 #include "train/trainer.hpp"
 
+#include "obs/obs.hpp"
+#include "obs/trace.hpp"
 #include "runtime/parallel.hpp"
 #include "train/checkpoint.hpp"
 #include "util/logging.hpp"
 #include "util/rng.hpp"
-#include "util/stopwatch.hpp"
 
 #include <algorithm>
 #include <cassert>
@@ -88,6 +89,7 @@ void restore(nn::Module& model, const ModelSnapshot& snap) {
 
 EpochStats evaluate(nn::Module& model, const data::Dataset& dataset,
                     std::int64_t batch_size) {
+    AMRET_OBS_SPAN("train.eval");
     const bool was_training = model.training();
     model.set_training(false);
 
@@ -180,6 +182,7 @@ tensor::Tensor Trainer::forward_microbatched(const tensor::Tensor& images) {
         // parallel regions inside the unit serialize (nested region).
         runtime::parallel_for(0, k, 1, [&](std::int64_t b, std::int64_t e) {
             for (std::int64_t m = b; m < e; ++m) {
+                AMRET_OBS_SPAN("train.microbatch.forward");
                 auto& part = parts[static_cast<std::size_t>(m)];
                 if (part.dim(0) == 0) continue;
                 part = unit->forward(part, *workers_[static_cast<std::size_t>(m)]);
@@ -210,6 +213,7 @@ void Trainer::backward_microbatched(const tensor::Tensor& gy) {
         }
         runtime::parallel_for(0, k, 1, [&](std::int64_t b, std::int64_t e) {
             for (std::int64_t m = b; m < e; ++m) {
+                AMRET_OBS_SPAN("train.microbatch.backward");
                 auto& part = parts[static_cast<std::size_t>(m)];
                 if (part.dim(0) == 0) continue;
                 part = unit->backward(part, *workers_[static_cast<std::size_t>(m)]);
@@ -221,18 +225,25 @@ void Trainer::backward_microbatched(const tensor::Tensor& gy) {
 
 void Trainer::train_step(const data::Batch& batch, const util::Rng& step_rng,
                          EpochStats& stats) {
+    AMRET_OBS_SPAN("train.step");
+    AMRET_OBS_COUNT("train.steps", 1);
+    AMRET_OBS_COUNT("train.samples",
+                    static_cast<std::int64_t>(batch.labels.size()));
     model_.zero_grad();
     bulk_ctx_.seed_rng(step_rng.split(0));
 
     tensor::Tensor logits;
-    if (workers_.empty()) {
-        logits = model_.forward(batch.images, bulk_ctx_);
-    } else {
-        for (std::size_t m = 0; m < workers_.size(); ++m) {
-            workers_[m]->seed_rng(step_rng.split(m + 1));
-            workers_[m]->zero_shadows();
+    {
+        AMRET_OBS_SPAN("train.forward");
+        if (workers_.empty()) {
+            logits = model_.forward(batch.images, bulk_ctx_);
+        } else {
+            for (std::size_t m = 0; m < workers_.size(); ++m) {
+                workers_[m]->seed_rng(step_rng.split(m + 1));
+                workers_[m]->zero_shadows();
+            }
+            logits = forward_microbatched(batch.images);
         }
-        logits = forward_microbatched(batch.images);
     }
 
     const auto n = static_cast<std::int64_t>(batch.labels.size());
@@ -242,16 +253,20 @@ void Trainer::train_step(const data::Batch& batch, const util::Rng& step_rng,
     stats.top5 += nn::top5_accuracy(logits, batch.labels) * static_cast<double>(n);
 
     const tensor::Tensor gy = nn::softmax_cross_entropy_grad(ce.probs, batch.labels);
-    if (workers_.empty()) {
-        model_.backward(gy, bulk_ctx_);
-    } else {
-        backward_microbatched(gy);
-        // Reduce gradient shadows in ascending microbatch order — a fixed
-        // association independent of which pool thread ran which slice, so
-        // the summed gradients are bitwise-identical at any AMRET_THREADS.
-        for (nn::Param* p : params_) {
-            for (auto& worker : workers_) {
-                if (const tensor::Tensor* s = worker->shadow(*p)) p->grad.add_(*s);
+    {
+        AMRET_OBS_SPAN("train.backward");
+        if (workers_.empty()) {
+            model_.backward(gy, bulk_ctx_);
+        } else {
+            backward_microbatched(gy);
+            // Reduce gradient shadows in ascending microbatch order — a fixed
+            // association independent of which pool thread ran which slice, so
+            // the summed gradients are bitwise-identical at any AMRET_THREADS.
+            AMRET_OBS_SPAN("train.grad_reduce");
+            for (nn::Param* p : params_) {
+                for (auto& worker : workers_) {
+                    if (const tensor::Tensor* s = worker->shadow(*p)) p->grad.add_(*s);
+                }
             }
         }
     }
@@ -259,6 +274,7 @@ void Trainer::train_step(const data::Batch& batch, const util::Rng& step_rng,
 }
 
 EpochStats Trainer::run_epoch(int epoch_index, int total_epochs) {
+    AMRET_OBS_SPAN("train.epoch");
     model_.set_training(true);
     if (config_.paper_lr_schedule) {
         optimizer_->set_lr(
@@ -320,7 +336,7 @@ bool Trainer::resume_from(const std::string& path) {
 
 History Trainer::run() {
     History history;
-    util::Stopwatch sw;
+    obs::TimedSpan run_span("train.run");
     for (int e = static_cast<int>(start_epoch_); e < config_.epochs; ++e) {
         const EpochStats tr = run_epoch(e, config_.epochs);
         const EpochStats te = evaluate(model_, test_set_, config_.batch_size);
@@ -330,7 +346,7 @@ History Trainer::run() {
         if (config_.verbose) {
             util::log_info("epoch ", e + 1, "/", config_.epochs, " loss=", tr.loss,
                            " train@1=", tr.top1, " test@1=", te.top1, " (",
-                           sw.seconds(), "s)");
+                           run_span.seconds(), "s)");
         }
     }
     return history;

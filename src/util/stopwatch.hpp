@@ -1,5 +1,11 @@
 /// \file stopwatch.hpp
-/// \brief Wall-clock timing helper for benches and training progress.
+/// \brief Wall-clock timing helper.
+///
+/// Deprecated for instrumented code: hot paths, benches and training
+/// progress should use obs::TimedSpan (src/obs/trace.hpp) instead, which
+/// measures the same wall clock but also lands the interval in the trace /
+/// profile when one is being recorded. Stopwatch remains for contexts that
+/// must not depend on src/obs.
 #pragma once
 
 #include <chrono>

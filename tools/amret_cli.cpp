@@ -215,7 +215,31 @@ int cmd_train(const util::ArgParser& args) {
             std::printf("no usable checkpoint at %s, training from scratch\n",
                         ckpt.c_str());
     }
+
+    // Tracing only reads clocks — it never alters chunking, RNG streams, or
+    // arithmetic — so a traced run trains bitwise-identical weights.
+    const std::string trace_path = args.get("trace", "");
+    const bool profile = args.get_bool("profile", false);
+    if (!trace_path.empty() || profile) obs::trace_start();
+
     const auto history = trainer.run();
+
+    if (obs::trace_enabled()) {
+        obs::trace_stop();
+        if (profile) std::fputs(obs::profile_table().c_str(), stdout);
+        if (!trace_path.empty()) {
+            if (obs::write_chrome_trace(trace_path))
+                std::printf("wrote %s (%zu spans; load in ui.perfetto.dev)\n",
+                            trace_path.c_str(), obs::trace_events().size());
+            else
+                std::fprintf(stderr, "cannot write %s\n", trace_path.c_str());
+        }
+    }
+    if (profile) {
+        const std::string counters = obs::counters_table();
+        if (!counters.empty()) std::fputs(counters.c_str(), stdout);
+    }
+
     if (history.test.empty()) return 0;
     std::printf("final: loss %.4f  top1 %.3f  top5 %.3f\n",
                 history.test.back().loss, history.test.back().top1,
@@ -262,8 +286,12 @@ void usage() {
         "                               static verification (exit 1 on errors)\n"
         "  train   [--model lenet] [--mult name] [--epochs N] [--batch N]\n"
         "          [--microbatches K] [--checkpoint f.ckpt] [--resume]\n"
+        "          [--trace out.json] [--profile]\n"
         "                               train on the synthetic task; the\n"
-        "                               checkpoint enables mid-run resume\n"
+        "                               checkpoint enables mid-run resume;\n"
+        "                               --trace writes a Perfetto-loadable\n"
+        "                               span trace, --profile prints the\n"
+        "                               hierarchical time table\n"
         "global flags:\n"
         "  --threads N                  worker threads (0 = auto; env AMRET_THREADS)\n",
         stderr);
