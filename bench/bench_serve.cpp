@@ -1,0 +1,246 @@
+/// \file bench_serve.cpp
+/// \brief Closed-loop serving benchmark: coalesced vs unbatched.
+///
+/// Drives the batching inference server with the same client population and
+/// model mix twice — once with micro-batch coalescing enabled (max_batch N,
+/// deadline D) and once degraded to max_batch = 1 — and compares tail
+/// latency and throughput at that fixed offered load. The model registry is
+/// shared and pre-warmed across the two passes, so neither pays lazy-load
+/// cost and the comparison isolates the coalescer.
+///
+/// Outputs:
+///   results/serve_latency.csv   latency CDF per mode (mode, pct, us) plus
+///                               a summary row per mode
+///   BENCH_serve.json            machine-readable summary at the repo root
+///                               (per-mode qps/p50/p95/p99/reject rate/mean
+///                               batch and the coalescing speedup ratios)
+///
+/// Flags: --quick (CI-sized run), --duration S, --clients N, --workers N,
+/// --max-batch N, --deadline-us U, --queue-depth N, --rate R (per-client
+/// req/s, 0 = closed-loop max), --bursty, --train-epochs N, plus the common
+/// --trace/--profile observability flags.
+#include "bench_common.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+using namespace amret;
+
+namespace {
+
+struct ModeResult {
+    std::string name;
+    serve::LoadGenReport report;
+    serve::ServerStats stats;
+};
+
+ModeResult run_mode(const std::string& name, serve::ModelRegistry& registry,
+                    const serve::ServeConfig& sc,
+                    const std::vector<serve::ModelSpec>& hot,
+                    const std::vector<serve::ModelSpec>& cold,
+                    const std::vector<tensor::Tensor>& samples,
+                    const serve::LoadGenConfig& lc) {
+    serve::InferenceServer server(registry, sc);
+    ModeResult mode;
+    mode.name = name;
+    mode.report = serve::run_loadgen(server, hot, cold, samples, lc);
+    server.stop(true);
+    mode.stats = server.stats();
+    return mode;
+}
+
+void print_mode(const ModeResult& m) {
+    std::printf("%-10s %8.0f qps  p50 %7.0f  p95 %7.0f  p99 %7.0f us  "
+                "mean batch %.2f  reject %.1f%%\n",
+                m.name.c_str(), m.report.qps, m.report.p50_us, m.report.p95_us,
+                m.report.p99_us, m.stats.mean_batch(),
+                100.0 * m.report.reject_rate);
+}
+
+void append_json_mode(std::FILE* f, const ModeResult& m, bool last) {
+    std::fprintf(f,
+                 "  \"%s\": {\"qps\": %.1f, \"p50_us\": %.0f, \"p95_us\": "
+                 "%.0f, \"p99_us\": %.0f, \"mean_us\": %.0f, \"reject_rate\": "
+                 "%.4f, \"mean_batch\": %.2f, \"total\": %lld, \"ok\": "
+                 "%lld}%s\n",
+                 m.name.c_str(), m.report.qps, m.report.p50_us, m.report.p95_us,
+                 m.report.p99_us, m.report.mean_us, m.report.reject_rate,
+                 m.stats.mean_batch(), static_cast<long long>(m.report.total),
+                 static_cast<long long>(m.report.ok), last ? "" : ",");
+}
+
+} // namespace
+
+int main(int argc, char** argv) {
+    const util::ArgParser args(argc, argv);
+    const bench::ObsSession obs_session(args);
+    const bool quick = args.get_bool("quick", false);
+    const double duration_s = args.get_double("duration", quick ? 1.5 : 4.0);
+    const int train_epochs =
+        static_cast<int>(args.get_int("train-epochs", quick ? 1 : 3));
+    const long threads = args.get_int("threads", 0, "AMRET_THREADS");
+    if (threads > 0) runtime::set_num_threads(static_cast<unsigned>(threads));
+
+    // --- one tiny trained snapshot shared by every served variant ---------
+    data::SyntheticConfig dc;
+    dc.num_classes = 6;
+    dc.height = dc.width = 8;
+    dc.train_samples = 240;
+    dc.test_samples = 120;
+    dc.noise_stddev = 0.3f;
+    dc.seed = 77;
+    const auto pair = data::make_synthetic(dc);
+
+    models::ModelConfig mc;
+    mc.in_size = 8;
+    mc.num_classes = 6;
+    mc.width_mult = 0.5f;
+
+    auto& mult_reg = appmult::Registry::instance();
+    const std::vector<std::string> mult_names{"mul8u_acc", "mul7u_rm6"};
+
+    std::printf("bench_serve: training snapshot (lenet, %d epochs) ...\n",
+                train_epochs);
+    auto model = train::make_model("lenet", mc);
+    {
+        approx::MultiplierConfig config;
+        config.lut = std::make_shared<appmult::AppMultLut>(
+            mult_reg.lut(mult_names[0]));
+        config.grad = std::make_shared<core::GradLut>(
+            core::build_ste_grad(mult_reg.info(mult_names[0]).bits));
+        approx::configure_approx_layers(*model, config,
+                                        approx::ComputeMode::kQuantized);
+    }
+    train::TrainConfig tc;
+    tc.epochs = train_epochs;
+    tc.batch_size = 24;
+    tc.lr = 3e-3;
+    train::Trainer trainer(*model, pair.train, pair.test, tc);
+    trainer.train_only(train_epochs);
+    const auto snap = train::snapshot(*model);
+
+    serve::ModelRegistry registry(
+        [&](const serve::ModelSpec& spec) {
+            auto m = train::make_model(spec.model, mc);
+            approx::MultiplierConfig config;
+            config.lut = std::make_shared<appmult::AppMultLut>(
+                mult_reg.lut(spec.multiplier));
+            config.grad = std::make_shared<core::GradLut>(
+                core::build_ste_grad(mult_reg.info(spec.multiplier).bits));
+            approx::configure_approx_layers(*m, config,
+                                            approx::ComputeMode::kQuantized);
+            train::restore(*m, snap);
+            m->set_training(false);
+            return std::make_shared<approx::IntInferenceEngine>(*m, pair.train,
+                                                                64);
+        },
+        4);
+
+    std::vector<serve::ModelSpec> hot{{"lenet", mult_names[0], "v0"}};
+    std::vector<serve::ModelSpec> cold{{"lenet", mult_names[1], "v0"}};
+    for (const auto& spec : hot) registry.acquire(spec); // pre-warm both
+    for (const auto& spec : cold) registry.acquire(spec);
+
+    std::vector<tensor::Tensor> samples;
+    const std::int64_t sample_numel = pair.test.sample_numel();
+    for (std::int64_t i = 0; i < std::min<std::int64_t>(16, pair.test.size());
+         ++i) {
+        tensor::Tensor t(tensor::Shape{1, pair.test.channels, pair.test.height,
+                                       pair.test.width});
+        std::copy_n(pair.test.images.data() + i * sample_numel, sample_numel,
+                    t.data());
+        samples.push_back(std::move(t));
+    }
+
+    serve::ServeConfig sc;
+    sc.workers = static_cast<std::size_t>(args.get_int("workers", 2));
+    sc.queue_depth = static_cast<std::size_t>(args.get_int("queue-depth", 512));
+    sc.max_batch = args.get_int("max-batch", 16);
+    sc.deadline_us = args.get_int("deadline-us", 1000);
+    sc.model_concurrency = args.get_int("model-concurrency", 2);
+
+    serve::LoadGenConfig lc;
+    lc.clients = static_cast<std::size_t>(args.get_int("clients", 24));
+    lc.duration_ms = static_cast<std::int64_t>(duration_s * 1000.0);
+    lc.rate_per_client = args.get_double("rate", 0.0);
+    lc.bursty = args.get_bool("bursty", false);
+    lc.hot_fraction = args.get_double("hot-fraction", 0.9);
+
+    std::printf("offered load: %zu closed-loop clients, %.1f s per pass, "
+                "hot fraction %.2f\n",
+                lc.clients, duration_s, lc.hot_fraction);
+
+    // --- pass 1: coalesced; pass 2: same load, max_batch = 1 --------------
+    const ModeResult coalesced =
+        run_mode("coalesced", registry, sc, hot, cold, samples, lc);
+    serve::ServeConfig sc1 = sc;
+    sc1.max_batch = 1;
+    sc1.deadline_us = 0;
+    const ModeResult unbatched =
+        run_mode("unbatched", registry, sc1, hot, cold, samples, lc);
+
+    print_mode(coalesced);
+    print_mode(unbatched);
+
+    const double p99_speedup =
+        coalesced.report.p99_us > 0.0
+            ? unbatched.report.p99_us / coalesced.report.p99_us
+            : 0.0;
+    const double qps_speedup = unbatched.report.qps > 0.0
+                                   ? coalesced.report.qps / unbatched.report.qps
+                                   : 0.0;
+    std::printf("coalescing speedup: p99 %.2fx, qps %.2fx\n", p99_speedup,
+                qps_speedup);
+
+    // --- results/serve_latency.csv: summary + latency CDF per mode --------
+    const std::string csv_path = bench::results_dir() + "/serve_latency.csv";
+    {
+        std::ofstream csv(csv_path);
+        csv << "mode,pct,latency_us\n";
+        for (const ModeResult* m : {&coalesced, &unbatched}) {
+            const auto& lat = m->report.latencies_us;
+            if (lat.empty()) continue;
+            for (int pct = 1; pct <= 100; ++pct) {
+                std::size_t idx =
+                    static_cast<std::size_t>(pct) * lat.size() / 100;
+                idx = std::min(idx == 0 ? 0 : idx - 1, lat.size() - 1);
+                csv << m->name << ',' << pct << ',' << lat[idx] << '\n';
+            }
+        }
+    }
+    std::printf("wrote %s\n", csv_path.c_str());
+
+    // --- BENCH_serve.json at the repo root --------------------------------
+    const char* json_path = "BENCH_serve.json";
+    if (std::FILE* f = std::fopen(json_path, "w")) {
+        std::fprintf(f, "{\n");
+        std::fprintf(f,
+                     "  \"bench\": \"serve\", \"quick\": %s, \"clients\": %zu, "
+                     "\"duration_s\": %.1f, \"max_batch\": %lld, "
+                     "\"deadline_us\": %lld, \"workers\": %zu,\n",
+                     quick ? "true" : "false", lc.clients, duration_s,
+                     static_cast<long long>(sc.max_batch),
+                     static_cast<long long>(sc.deadline_us), sc.workers);
+        append_json_mode(f, coalesced, false);
+        append_json_mode(f, unbatched, false);
+        std::fprintf(f,
+                     "  \"p99_speedup\": %.3f, \"qps_speedup\": %.3f, "
+                     "\"coalescing_wins\": %s\n}\n",
+                     p99_speedup, qps_speedup,
+                     p99_speedup > 1.0 && qps_speedup > 1.0 ? "true" : "false");
+        std::fclose(f);
+        std::printf("wrote %s\n", json_path);
+    } else {
+        std::fprintf(stderr, "cannot write %s\n", json_path);
+        return 1;
+    }
+
+    if (coalesced.report.ok == 0 || unbatched.report.ok == 0) {
+        std::fprintf(stderr, "bench_serve: a pass served zero requests\n");
+        return 1;
+    }
+    return 0;
+}

@@ -1,8 +1,9 @@
 #!/usr/bin/env bash
 # One-command CI gate: release build, tier-1 tests, kernel tests at the
-# thread-count extremes, TSan over the parallel trainer + obs, bench smoke,
-# static verification of every registered multiplier, and (when the tools
-# are available) clang-format + clang-tidy.
+# thread-count extremes, TSan over the parallel trainer + obs + serve, bench
+# smoke, a loaded run of the batching inference server, static verification
+# of every registered multiplier, and (when the tools are available)
+# clang-format + clang-tidy.
 #
 #   scripts/check.sh            # all stages, interactive output
 #   scripts/check.sh --ci       # GitHub Actions mode: ::group:: stage
@@ -79,12 +80,14 @@ AMRET_THREADS=1 ./build/tests/test_kernels
 AMRET_THREADS=8 ./build/tests/test_kernels
 end_stage
 
-begin_stage "parallel trainer + obs under ThreadSanitizer"
+begin_stage "parallel trainer + obs + serve under ThreadSanitizer"
 cmake --preset tsan
-cmake --build --preset tsan -j "$jobs" --target test_train_parallel test_obs
+cmake --build --preset tsan -j "$jobs" \
+  --target test_train_parallel test_obs test_serve
 AMRET_THREADS=8 TSAN_OPTIONS=halt_on_error=1 \
   ./build-tsan/tests/test_train_parallel --gtest_filter='TrainerDeterminism.*'
 AMRET_THREADS=8 TSAN_OPTIONS=halt_on_error=1 ./build-tsan/tests/test_obs
+AMRET_THREADS=8 TSAN_OPTIONS=halt_on_error=1 ./build-tsan/tests/test_serve
 end_stage
 
 begin_stage "bench_micro smoke (--quick; fails on crash only)"
@@ -102,6 +105,13 @@ begin_stage "traced training round-trip"
 ./build/tools/amret_cli train --epochs 1 --trace build/train_trace.json \
   > /dev/null
 ./build/tools/trace_report build/train_trace.json --top 5 > /dev/null
+end_stage
+
+# Exits nonzero on a reject storm or when nothing is served, so a batching
+# or admission regression fails the gate, not just the latency numbers.
+begin_stage "serve smoke (batching inference server under load)"
+./build/tools/amret_cli serve --duration 2 --train-epochs 1 --clients 8 \
+  --max-reject-rate 0.5
 end_stage
 
 begin_stage "static verification of the multiplier registry"

@@ -46,6 +46,9 @@
 #include "quant/quant.hpp"             // Eq. 7/8 quantization
 #include "runtime/parallel.hpp"        // deterministic parallel_for
 #include "runtime/thread_pool.hpp"     // fixed-size worker pool
+#include "serve/loadgen.hpp"           // closed-loop load generator
+#include "serve/registry.hpp"          // multi-model LRU registry
+#include "serve/serve.hpp"             // batching inference server
 #include "tensor/tensor.hpp"           // dense tensors
 #include "train/checkpoint.hpp"        // model persistence
 #include "train/hws_search.hpp"        // LeNet-based HWS sweep

@@ -126,8 +126,8 @@ struct ConvOp final : IntInferenceEngine::Op {
 
         // uint8 im2col with zero-point padding (exact hardware behaviour).
         std::uint16_t* cols = ws.alloc<std::uint16_t>(positions * patch);
-        kernels::im2col_u8(x.data.data(), geom,
-                           static_cast<std::uint16_t>(x.zero), cols);
+        kernels::im2col_u8(x.data, geom, static_cast<std::uint16_t>(x.zero),
+                           cols);
 
         QTensor y;
         y.n = x.n;
@@ -136,7 +136,7 @@ struct ConvOp final : IntInferenceEngine::Op {
         y.w = ow;
         y.scale = out_scale;
         y.zero = out_zero;
-        y.data.resize(static_cast<std::size_t>(y.numel()));
+        y.data = ws.alloc<std::uint8_t>(y.numel());
 
         kernels::LutGemmArgs args;
         args.bits = bits;
@@ -175,8 +175,7 @@ struct ConvOp final : IntInferenceEngine::Op {
                     if (relu) v = std::max(v, out_zero);
                     v = std::clamp(v, 0, out_qmax);
                     const std::int64_t n = pp / spatial, s = pp % spatial;
-                    y.data[static_cast<std::size_t>((n * out_ch + oo) * spatial +
-                                                    s)] =
+                    y.data[(n * out_ch + oo) * spatial + s] =
                         static_cast<std::uint8_t>(v);
                 });
         });
@@ -193,7 +192,7 @@ struct MaxPoolOp final : IntInferenceEngine::Op {
         return pool.forward(x, ctx);
     }
 
-    QTensor run(const QTensor& x, kernels::Workspace&) const override {
+    QTensor run(const QTensor& x, kernels::Workspace& ws) const override {
         QTensor y;
         y.n = x.n;
         y.c = x.c;
@@ -201,10 +200,10 @@ struct MaxPoolOp final : IntInferenceEngine::Op {
         y.w = x.w / kernel;
         y.scale = x.scale;
         y.zero = x.zero;
-        y.data.resize(static_cast<std::size_t>(y.numel()));
+        y.data = ws.alloc<std::uint8_t>(y.numel());
         for (std::int64_t i = 0; i < x.n * x.c; ++i) {
-            const std::uint8_t* px = x.data.data() + i * x.h * x.w;
-            std::uint8_t* py = y.data.data() + i * y.h * y.w;
+            const std::uint8_t* px = x.data + i * x.h * x.w;
+            std::uint8_t* py = y.data + i * y.h * y.w;
             for (std::int64_t oy = 0; oy < y.h; ++oy)
                 for (std::int64_t ox = 0; ox < y.w; ++ox) {
                     std::uint8_t best = 0;
@@ -233,7 +232,7 @@ struct AvgPoolOp final : IntInferenceEngine::Op {
         return pool.forward(x, ctx);
     }
 
-    QTensor run(const QTensor& x, kernels::Workspace&) const override {
+    QTensor run(const QTensor& x, kernels::Workspace& ws) const override {
         QTensor y;
         y.n = x.n;
         y.c = x.c;
@@ -241,13 +240,13 @@ struct AvgPoolOp final : IntInferenceEngine::Op {
         y.w = global ? 1 : x.w / kernel;
         y.scale = x.scale;
         y.zero = x.zero;
-        y.data.resize(static_cast<std::size_t>(y.numel()));
+        y.data = ws.alloc<std::uint8_t>(y.numel());
         const std::int64_t kh = global ? x.h : kernel;
         const std::int64_t kw = global ? x.w : kernel;
         const std::int64_t window = kh * kw;
         for (std::int64_t i = 0; i < x.n * x.c; ++i) {
-            const std::uint8_t* px = x.data.data() + i * x.h * x.w;
-            std::uint8_t* py = y.data.data() + i * y.h * y.w;
+            const std::uint8_t* px = x.data + i * x.h * x.w;
+            std::uint8_t* py = y.data + i * y.h * y.w;
             for (std::int64_t oy = 0; oy < y.h; ++oy)
                 for (std::int64_t ox = 0; ox < y.w; ++ox) {
                     std::int64_t acc = 0;
@@ -405,7 +404,8 @@ IntInferenceEngine::IntInferenceEngine(nn::Sequential& model,
 
 IntInferenceEngine::~IntInferenceEngine() = default;
 
-QTensor IntInferenceEngine::quantize_input(const tensor::Tensor& images) const {
+QTensor IntInferenceEngine::quantize_input(const tensor::Tensor& images,
+                                           kernels::Workspace& ws) const {
     QTensor q;
     q.n = images.dim(0);
     q.c = images.dim(1);
@@ -413,7 +413,7 @@ QTensor IntInferenceEngine::quantize_input(const tensor::Tensor& images) const {
     q.w = images.dim(3);
     q.scale = input_scale_;
     q.zero = input_zero_;
-    q.data.resize(static_cast<std::size_t>(q.numel()));
+    q.data = ws.alloc<std::uint8_t>(q.numel());
     const float qmax = static_cast<float>((1u << act_bits_) - 1);
     runtime::parallel_for(0, images.numel(),
                           runtime::grain_for(images.numel(), 1024),
@@ -421,39 +421,63 @@ QTensor IntInferenceEngine::quantize_input(const tensor::Tensor& images) const {
         for (std::int64_t i = b; i < e; ++i) {
             const float v = std::nearbyint(images[i] / input_scale_ +
                                            static_cast<float>(input_zero_));
-            q.data[static_cast<std::size_t>(i)] =
-                static_cast<std::uint8_t>(std::clamp(v, 0.0f, qmax));
+            q.data[i] = static_cast<std::uint8_t>(std::clamp(v, 0.0f, qmax));
         }
     });
     return q;
 }
 
 tensor::Tensor IntInferenceEngine::forward(const tensor::Tensor& images) {
-    QTensor q = quantize_input(images);
-    for (const auto& op : ops_) {
-        ws_.reset();
-        q = op->run(q, ws_);
-    }
+    tensor::Tensor logits;
+    forward_into(images, ws_, logits);
+    return logits;
+}
 
-    // Dequantize and run the float head.
-    tensor::Tensor features(tensor::Shape{q.n, q.c * q.h * q.w});
-    for (std::int64_t i = 0; i < features.numel(); ++i)
-        features[i] = q.scale * (static_cast<float>(q.data[static_cast<std::size_t>(i)]) -
-                                 static_cast<float>(q.zero));
+void IntInferenceEngine::forward_into(const tensor::Tensor& images,
+                                      kernels::Workspace& ws,
+                                      tensor::Tensor& logits) const {
+    // One epoch per call: every intermediate activation and kernel scratch
+    // buffer bumps out of \p ws, so a steady-state caller (e.g. a serving
+    // worker reusing its workspace) allocates nothing on the heap.
+    ws.reset();
+    QTensor q = quantize_input(images, ws);
+    for (const auto& op : ops_) q = op->run(q, ws);
 
-    tensor::Tensor cur = features;
-    for (const auto& layer : head_chain_) {
-        tensor::Tensor y = tensor::matmul_nt(cur, layer.weight);
+    const std::int64_t classes = num_classes();
+    if (logits.rank() != 2 || logits.dim(0) != q.n || logits.dim(1) != classes)
+        logits = tensor::Tensor(tensor::Shape{q.n, classes});
+
+    // Dequantize and run the float head. Each output row is an independent
+    // fixed-order dot-product chain, so batched logits match single-sample
+    // calls bitwise.
+    std::int64_t cur_dim = q.c * q.h * q.w;
+    float* cur = ws.alloc<float>(q.n * cur_dim);
+    for (std::int64_t i = 0; i < q.n * cur_dim; ++i)
+        cur[i] = q.scale * (static_cast<float>(q.data[i]) -
+                            static_cast<float>(q.zero));
+
+    for (std::size_t li = 0; li < head_chain_.size(); ++li) {
+        const HeadLayer& layer = head_chain_[li];
         const std::int64_t out = layer.weight.dim(0);
-        for (std::int64_t n = 0; n < y.dim(0); ++n)
+        assert(layer.weight.dim(1) == cur_dim);
+        float* next = li + 1 == head_chain_.size()
+                          ? logits.data()
+                          : ws.alloc<float>(q.n * out);
+        const float* w = layer.weight.data();
+        for (std::int64_t n = 0; n < q.n; ++n)
             for (std::int64_t o = 0; o < out; ++o) {
-                float v = y[n * out + o] + layer.bias[o];
+                const float* arow = cur + n * cur_dim;
+                const float* brow = w + o * cur_dim;
+                float acc = 0.0f;
+                for (std::int64_t k = 0; k < cur_dim; ++k)
+                    acc += arow[k] * brow[k];
+                float v = acc + layer.bias[o];
                 if (layer.relu) v = std::max(v, 0.0f);
-                y[n * out + o] = v;
+                next[n * out + o] = v;
             }
-        cur = y;
+        cur = next;
+        cur_dim = out;
     }
-    return cur;
 }
 
 double IntInferenceEngine::evaluate(const data::Dataset& dataset,

@@ -32,9 +32,12 @@
 
 namespace amret::approx {
 
-/// A uint8 activation tensor with its affine interpretation.
+/// A uint8 activation tensor with its affine interpretation. The storage is
+/// a view into a kernels::Workspace arena (valid until that workspace's next
+/// reset/trim), so chaining ops through one arena performs no heap
+/// allocation in steady state.
 struct QTensor {
-    std::vector<std::uint8_t> data;
+    std::uint8_t* data = nullptr; ///< workspace-backed, not owned
     std::int64_t n = 0, c = 0, h = 0, w = 0; ///< NCHW dims (h=w=1 for flat)
     float scale = 1.0f;
     std::int32_t zero = 0;
@@ -54,13 +57,32 @@ public:
     ~IntInferenceEngine(); // out-of-line: Op is incomplete here
 
     /// Runs integer-only inference; returns float logits (N, classes).
+    /// Thin wrapper over forward_into() using the engine's own workspace —
+    /// NOT safe to call concurrently on one engine (use forward_into with a
+    /// per-caller workspace for that).
     tensor::Tensor forward(const tensor::Tensor& images);
+
+    /// Runs integer-only inference with caller-provided scratch and output.
+    /// All engine state is immutable after construction, so concurrent calls
+    /// on one shared engine are safe as long as each caller brings its own
+    /// \p ws. \p logits is shaped to (N, classes) in place and reused when it
+    /// already matches, so a steady-state caller performs no heap allocation.
+    /// Every kernel in the path is row-independent (integer ops + fixed-order
+    /// float dot products in the head), so batched rows are bitwise-identical
+    /// to single-sample calls on the same inputs.
+    void forward_into(const tensor::Tensor& images, kernels::Workspace& ws,
+                      tensor::Tensor& logits) const;
 
     /// Top-1 accuracy over a dataset.
     double evaluate(const data::Dataset& dataset, std::int64_t batch_size = 64);
 
     /// Number of compiled integer ops (fused convs + pools).
     [[nodiscard]] std::size_t num_ops() const { return ops_.size(); }
+
+    /// Output width of the float classifier head.
+    [[nodiscard]] std::int64_t num_classes() const {
+        return head_chain_.back().weight.dim(0);
+    }
 
     struct Op; // public so op implementations can derive in the .cpp
 
@@ -77,9 +99,10 @@ private:
     unsigned act_bits_ = 8; ///< network-wide activation width (min LUT width)
     float input_scale_ = 1.0f;
     std::int32_t input_zero_ = 0;
-    kernels::Workspace ws_; ///< per-op scratch arena, reset before each op
+    kernels::Workspace ws_; ///< scratch arena backing the forward() wrapper
 
-    QTensor quantize_input(const tensor::Tensor& images) const;
+    QTensor quantize_input(const tensor::Tensor& images,
+                           kernels::Workspace& ws) const;
 };
 
 /// The fixed-point requantization helpers now live in src/quant

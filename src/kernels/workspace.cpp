@@ -26,6 +26,19 @@ void Workspace::reset() {
     used_ = 0;
 }
 
+void Workspace::trim(std::size_t keep_bytes) {
+    if (capacity() <= keep_bytes) {
+        reset();
+        return;
+    }
+    slabs_.clear();
+    if (keep_bytes > 0)
+        slabs_.push_back(
+            Slab{std::make_unique<std::byte[]>(keep_bytes), keep_bytes});
+    cursor_ = 0;
+    used_ = 0;
+}
+
 void* Workspace::raw_alloc(std::size_t bytes, std::size_t align) {
     if (bytes == 0) bytes = 1; // keep returned pointers distinct
     if (!slabs_.empty()) {

@@ -36,6 +36,14 @@ public:
     /// invalid; capacity is retained (coalesced into one slab).
     void reset();
 
+    /// Starts a fresh epoch like reset(), but also releases capacity above
+    /// \p keep_bytes (0 releases everything). Long-lived processes — e.g. an
+    /// inference server after a traffic burst — call this from idle paths to
+    /// shed slab memory back to a low-water size; the arena simply regrows on
+    /// the next demand spike. Like reset(), it invalidates all outstanding
+    /// allocations.
+    void trim(std::size_t keep_bytes);
+
     /// Bump-allocates \p n elements of T, aligned to alignof(T) (at least 8
     /// for cross-type reuse). Contents are uninitialized.
     template <typename T>

@@ -1,0 +1,140 @@
+#include "serve/loadgen.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <random>
+#include <stdexcept>
+#include <thread>
+
+namespace amret::serve {
+
+namespace {
+
+/// Nearest-rank percentile over a sorted sample (p in [0, 1]).
+double percentile(const std::vector<std::int64_t>& sorted, double p) {
+    if (sorted.empty()) return 0.0;
+    const auto n = static_cast<double>(sorted.size());
+    std::size_t idx = static_cast<std::size_t>(std::ceil(p * n));
+    idx = std::min(std::max<std::size_t>(idx, 1), sorted.size()) - 1;
+    return static_cast<double>(sorted[idx]);
+}
+
+struct ClientTally {
+    std::int64_t total = 0, ok = 0, rejected = 0, timeouts = 0, errors = 0;
+    std::vector<std::int64_t> latencies_us;
+};
+
+} // namespace
+
+LoadGenReport run_loadgen(InferenceServer& server,
+                          const std::vector<ModelSpec>& hot,
+                          const std::vector<ModelSpec>& cold,
+                          const std::vector<tensor::Tensor>& samples,
+                          const LoadGenConfig& config) {
+    if (hot.empty()) throw std::invalid_argument("loadgen: empty hot set");
+    if (samples.empty()) throw std::invalid_argument("loadgen: no samples");
+    if (config.clients < 1) throw std::invalid_argument("loadgen: 0 clients");
+
+    using Clock = std::chrono::steady_clock;
+    const Clock::time_point start = Clock::now();
+    const Clock::time_point deadline =
+        start + std::chrono::milliseconds(config.duration_ms);
+    const std::int64_t cycle_ms = config.burst_on_ms + config.burst_off_ms;
+
+    std::vector<ClientTally> tallies(config.clients);
+    std::vector<std::thread> clients;
+    clients.reserve(config.clients);
+    for (std::size_t ci = 0; ci < config.clients; ++ci) {
+        clients.emplace_back([&, ci] {
+            ClientTally& tally = tallies[ci];
+            std::mt19937_64 rng(config.seed + ci);
+            std::uniform_real_distribution<double> coin(0.0, 1.0);
+            std::exponential_distribution<double> think(
+                config.rate_per_client > 0.0 ? config.rate_per_client : 1.0);
+
+            while (Clock::now() < deadline) {
+                if (config.bursty && cycle_ms > 0) {
+                    const std::int64_t elapsed_ms =
+                        std::chrono::duration_cast<std::chrono::milliseconds>(
+                            Clock::now() - start)
+                            .count();
+                    if (elapsed_ms % cycle_ms >= config.burst_on_ms) {
+                        // Off phase: idle until the next on phase (or the
+                        // run deadline, whichever is sooner).
+                        const std::int64_t wait_ms =
+                            cycle_ms - elapsed_ms % cycle_ms;
+                        std::this_thread::sleep_until(std::min(
+                            deadline,
+                            Clock::now() +
+                                std::chrono::milliseconds(wait_ms)));
+                        continue;
+                    }
+                }
+
+                const bool pick_hot =
+                    cold.empty() || coin(rng) < config.hot_fraction;
+                const std::vector<ModelSpec>& pool = pick_hot ? hot : cold;
+                const ModelSpec& spec =
+                    pool[rng() % pool.size()];
+                const tensor::Tensor& sample =
+                    samples[rng() % samples.size()];
+
+                ++tally.total;
+                Result result = server.submit(spec, sample).get();
+                switch (result.status) {
+                case Status::kOk:
+                    ++tally.ok;
+                    tally.latencies_us.push_back(result.total_us);
+                    break;
+                case Status::kRejected: ++tally.rejected; break;
+                case Status::kTimeout: ++tally.timeouts; break;
+                default: ++tally.errors; break;
+                }
+
+                if (config.rate_per_client > 0.0) {
+                    const double think_s = think(rng);
+                    std::this_thread::sleep_for(
+                        std::chrono::duration<double>(think_s));
+                }
+            }
+        });
+    }
+    for (std::thread& t : clients) t.join();
+    const double duration_s =
+        std::chrono::duration<double>(Clock::now() - start).count();
+
+    LoadGenReport report;
+    report.duration_s = duration_s;
+    for (ClientTally& tally : tallies) {
+        report.total += tally.total;
+        report.ok += tally.ok;
+        report.rejected += tally.rejected;
+        report.timeouts += tally.timeouts;
+        report.errors += tally.errors;
+        report.latencies_us.insert(report.latencies_us.end(),
+                                   tally.latencies_us.begin(),
+                                   tally.latencies_us.end());
+    }
+    std::sort(report.latencies_us.begin(), report.latencies_us.end());
+    if (!report.latencies_us.empty()) {
+        std::int64_t sum = 0;
+        for (const std::int64_t l : report.latencies_us) sum += l;
+        report.mean_us = static_cast<double>(sum) /
+                         static_cast<double>(report.latencies_us.size());
+    }
+    report.p50_us = percentile(report.latencies_us, 0.50);
+    report.p95_us = percentile(report.latencies_us, 0.95);
+    report.p99_us = percentile(report.latencies_us, 0.99);
+    report.qps = duration_s > 0.0
+                     ? static_cast<double>(report.ok) / duration_s
+                     : 0.0;
+    report.reject_rate =
+        report.total > 0
+            ? static_cast<double>(report.rejected) /
+                  static_cast<double>(report.total)
+            : 0.0;
+    return report;
+}
+
+} // namespace amret::serve

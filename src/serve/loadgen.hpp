@@ -1,0 +1,64 @@
+/// \file loadgen.hpp
+/// \brief Closed-loop load generator for the batching inference server.
+///
+/// Drives an InferenceServer with N client threads, each submitting one
+/// request at a time and blocking on its future (closed loop). Arrival
+/// shaping is optional: a per-client Poisson rate inserts exponential think
+/// times between requests, and bursty mode alternates on/off phases so the
+/// coalescer sees queue spikes followed by idle gaps. Each request picks a
+/// model from the hot set with probability `hot_fraction`, otherwise from
+/// the cold set — exercising registry hits, lazy loads and LRU churn.
+///
+/// Shared by `amret_cli serve` (smoke run) and bench/bench_serve.cpp
+/// (coalesced-vs-unbatched comparison); all randomness is seeded, so a
+/// fixed config replays the same request schedule.
+#pragma once
+
+#include "serve/serve.hpp"
+
+#include <cstdint>
+#include <vector>
+
+namespace amret::serve {
+
+/// Load shape. Defaults describe a modest closed-loop burst test.
+struct LoadGenConfig {
+    std::size_t clients = 8;        ///< concurrent closed-loop clients
+    std::int64_t duration_ms = 2000; ///< wall-clock run length
+    /// Target request rate per client in req/s via exponential think times;
+    /// 0 = no think time (each client submits as fast as results return).
+    double rate_per_client = 0.0;
+    bool bursty = false;          ///< alternate on/off phases
+    std::int64_t burst_on_ms = 200;
+    std::int64_t burst_off_ms = 200;
+    double hot_fraction = 0.9;    ///< probability of picking a hot model
+    std::uint64_t seed = 42;      ///< base RNG seed (client i uses seed + i)
+};
+
+/// Aggregated outcome of one load-gen run.
+struct LoadGenReport {
+    std::int64_t total = 0;    ///< requests submitted
+    std::int64_t ok = 0;
+    std::int64_t rejected = 0;
+    std::int64_t timeouts = 0;
+    std::int64_t errors = 0;   ///< kError/kBadRequest/kLoadFailed/kShutdown
+    double duration_s = 0.0;
+    double qps = 0.0;          ///< served (kOk) per second
+    double mean_us = 0.0;      ///< over served requests
+    double p50_us = 0.0;
+    double p95_us = 0.0;
+    double p99_us = 0.0;
+    double reject_rate = 0.0;  ///< rejected / total
+    std::vector<std::int64_t> latencies_us; ///< served-request totals, sorted
+};
+
+/// Runs the closed loop against \p server until config.duration_ms elapses.
+/// \p hot / \p cold are the model mixes (cold may be empty — then every
+/// request is hot); \p samples are the candidate inputs, picked uniformly.
+LoadGenReport run_loadgen(InferenceServer& server,
+                          const std::vector<ModelSpec>& hot,
+                          const std::vector<ModelSpec>& cold,
+                          const std::vector<tensor::Tensor>& samples,
+                          const LoadGenConfig& config);
+
+} // namespace amret::serve

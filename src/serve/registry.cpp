@@ -1,0 +1,142 @@
+#include "serve/registry.hpp"
+
+#include "obs/obs.hpp"
+#include "obs/trace.hpp"
+
+#include <cstdio>
+#include <stdexcept>
+
+namespace amret::serve {
+
+namespace {
+
+/// FNV-1a over a byte range, continuing from \p h.
+std::uint64_t fnv1a(std::uint64_t h, const std::string& s) {
+    for (const char ch : s) {
+        h ^= static_cast<std::uint8_t>(ch);
+        h *= 1099511628211ull;
+    }
+    // Field separator so ("ab","c") and ("a","bc") hash differently.
+    h ^= 0u;
+    h *= 1099511628211ull;
+    return h;
+}
+
+} // namespace
+
+std::string ModelSpec::key() const {
+    std::uint64_t h = 1469598103934665603ull;
+    h = fnv1a(h, model);
+    h = fnv1a(h, multiplier);
+    h = fnv1a(h, checkpoint);
+    char buf[17];
+    std::snprintf(buf, sizeof(buf), "%016llx",
+                  static_cast<unsigned long long>(h));
+    return std::string(buf);
+}
+
+ModelRegistry::ModelRegistry(Loader loader, std::size_t capacity)
+    : loader_(std::move(loader)), capacity_(capacity) {
+    if (!loader_) throw std::invalid_argument("ModelRegistry: null loader");
+    if (capacity_ < 1) throw std::invalid_argument("ModelRegistry: capacity < 1");
+}
+
+void ModelRegistry::touch_locked(Entry& entry, const std::string& key) {
+    auto it = entries_.find(key);
+    if (it == entries_.end() || it->second.get() != &entry)
+        return; // evicted while we were loading; nothing to touch
+    lru_.splice(lru_.begin(), lru_, entry.lru_it);
+    entry.lru_it = lru_.begin();
+}
+
+void ModelRegistry::evict_over_capacity_locked() {
+    while (entries_.size() > capacity_) {
+        const std::string victim = lru_.back();
+        lru_.pop_back();
+        entries_.erase(victim);
+        ++evictions_;
+        AMRET_OBS_COUNT("serve.registry.evictions", 1);
+    }
+}
+
+std::shared_ptr<Resident> ModelRegistry::acquire(const ModelSpec& spec) {
+    const std::string key = spec.key();
+
+    std::shared_ptr<Entry> entry;
+    bool created = false;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        auto it = entries_.find(key);
+        if (it != entries_.end()) {
+            entry = it->second;
+        } else {
+            entry = std::make_shared<Entry>();
+            entry->resident = std::make_shared<Resident>();
+            entry->resident->spec = spec;
+            entry->resident->key = key;
+            lru_.push_front(key);
+            entry->lru_it = lru_.begin();
+            entries_.emplace(key, entry);
+            created = true;
+        }
+    }
+
+    // Single-flight load: the creator (or whoever gets the lock first)
+    // performs the load; concurrent acquirers of the same cold spec block
+    // here and then see loaded == true.
+    {
+        std::lock_guard<std::mutex> load_lock(entry->load_mutex);
+        if (!entry->loaded) {
+            AMRET_OBS_SPAN("serve.registry.load");
+            std::shared_ptr<approx::IntInferenceEngine> engine;
+            try {
+                engine = loader_(spec);
+                if (!engine)
+                    throw std::runtime_error("model loader returned null for " +
+                                             key);
+            } catch (...) {
+                // Drop the placeholder so a later acquire retries the load.
+                std::lock_guard<std::mutex> lock(mutex_);
+                auto it = entries_.find(key);
+                if (it != entries_.end() && it->second == entry) {
+                    lru_.erase(entry->lru_it);
+                    entries_.erase(it);
+                }
+                throw;
+            }
+            entry->resident->engine = std::move(engine);
+            entry->loaded = true;
+            std::lock_guard<std::mutex> lock(mutex_);
+            ++loads_;
+            AMRET_OBS_COUNT("serve.registry.loads", 1);
+            evict_over_capacity_locked();
+        } else if (!created) {
+            std::lock_guard<std::mutex> lock(mutex_);
+            ++hits_;
+            AMRET_OBS_COUNT("serve.registry.hits", 1);
+        }
+    }
+
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        touch_locked(*entry, key);
+    }
+    return entry->resident;
+}
+
+RegistryStats ModelRegistry::stats() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    RegistryStats s;
+    s.loads = loads_;
+    s.hits = hits_;
+    s.evictions = evictions_;
+    s.resident = entries_.size();
+    return s;
+}
+
+std::vector<std::string> ModelRegistry::resident_keys() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return {lru_.begin(), lru_.end()};
+}
+
+} // namespace amret::serve

@@ -13,6 +13,9 @@
 ///   check   [name...]             static verification: netlist structure,
 ///                                 LUT/netlist equivalence, gradient-LUT
 ///                                 invariants; exits nonzero on any error
+///   serve   [--duration S ...]    smoke-run the batching inference server
+///                                 under closed-loop load (exit 1 on a
+///                                 reject storm)
 ///
 /// Examples:
 ///   amret_cli info mul7u_rm6
@@ -20,6 +23,7 @@
 ///   amret_cli check mul8u_2NDH --hws 16
 #include "amret.hpp"
 
+#include <algorithm>
 #include <cstdio>
 #include <fstream>
 #include <iostream>
@@ -247,6 +251,166 @@ int cmd_train(const util::ArgParser& args) {
     return 0;
 }
 
+/// Smoke-runs the batching inference server end to end: trains a tiny LeNet
+/// on the synthetic task once, registers one deployable model per requested
+/// multiplier (all sharing the trained weights), then drives the server with
+/// the closed-loop load generator and prints latency/QPS/batching stats.
+/// Exits nonzero on a reject storm (reject rate above --max-reject-rate) or
+/// when nothing was served, so CI can gate on it.
+int cmd_serve(const util::ArgParser& args) {
+    const double duration_s = args.get_double("duration", 2.0);
+    const double max_reject = args.get_double("max-reject-rate", 0.5);
+
+    std::vector<std::string> mult_names;
+    {
+        std::string mults = args.get("mults", "mul8u_acc,mul7u_rm6");
+        std::size_t pos = 0;
+        while (pos <= mults.size()) {
+            const std::size_t comma = mults.find(',', pos);
+            const std::string name =
+                mults.substr(pos, comma == std::string::npos ? std::string::npos
+                                                             : comma - pos);
+            if (!name.empty()) mult_names.push_back(name);
+            if (comma == std::string::npos) break;
+            pos = comma + 1;
+        }
+    }
+    auto& mult_reg = appmult::Registry::instance();
+    for (const auto& name : mult_names) {
+        if (!mult_reg.contains(name)) {
+            std::fprintf(stderr, "unknown multiplier: %s (try `amret_cli list`)\n",
+                         name.c_str());
+            return 1;
+        }
+    }
+    if (mult_names.empty()) {
+        std::fprintf(stderr, "serve: --mults must name at least one multiplier\n");
+        return 1;
+    }
+
+    // One tiny trained snapshot shared by every served model variant.
+    data::SyntheticConfig dc;
+    dc.num_classes = 6;
+    dc.height = dc.width = 8;
+    dc.train_samples = 240;
+    dc.test_samples = 120;
+    dc.noise_stddev = 0.3f;
+    dc.seed = 77;
+    const auto pair = data::make_synthetic(dc);
+
+    models::ModelConfig mc;
+    mc.in_size = 8;
+    mc.num_classes = 6;
+    mc.width_mult = 0.5f;
+
+    std::printf("training snapshot (lenet, %s, %ld epochs) ...\n",
+                mult_names[0].c_str(), args.get_int("train-epochs", 3));
+    auto model = train::make_model("lenet", mc);
+    {
+        approx::MultiplierConfig config;
+        config.lut = std::make_shared<appmult::AppMultLut>(
+            mult_reg.lut(mult_names[0]));
+        config.grad = std::make_shared<core::GradLut>(
+            core::build_ste_grad(mult_reg.info(mult_names[0]).bits));
+        approx::configure_approx_layers(*model, config,
+                                        approx::ComputeMode::kQuantized);
+    }
+    train::TrainConfig tc;
+    tc.epochs = static_cast<int>(args.get_int("train-epochs", 3));
+    tc.batch_size = 24;
+    tc.lr = 3e-3;
+    train::Trainer trainer(*model, pair.train, pair.test, tc);
+    trainer.train_only(tc.epochs);
+    const auto snap = train::snapshot(*model);
+
+    serve::ModelRegistry registry(
+        [&](const serve::ModelSpec& spec) {
+            auto m = train::make_model(spec.model, mc);
+            approx::MultiplierConfig config;
+            config.lut = std::make_shared<appmult::AppMultLut>(
+                mult_reg.lut(spec.multiplier));
+            config.grad = std::make_shared<core::GradLut>(
+                core::build_ste_grad(mult_reg.info(spec.multiplier).bits));
+            approx::configure_approx_layers(*m, config,
+                                            approx::ComputeMode::kQuantized);
+            train::restore(*m, snap);
+            m->set_training(false);
+            return std::make_shared<approx::IntInferenceEngine>(*m, pair.train,
+                                                                64);
+        },
+        static_cast<std::size_t>(args.get_int("registry-capacity", 4)));
+
+    serve::ServeConfig sc;
+    sc.workers = static_cast<std::size_t>(args.get_int("workers", 2));
+    sc.queue_depth = static_cast<std::size_t>(args.get_int("queue-depth", 256));
+    sc.max_batch = args.get_int("max-batch", 8);
+    sc.deadline_us = args.get_int("deadline-us", 2000);
+    sc.queue_timeout_us = args.get_int("queue-timeout-us", 0);
+    sc.model_concurrency = args.get_int("model-concurrency", 2);
+    serve::InferenceServer server(registry, sc);
+
+    std::vector<serve::ModelSpec> hot{{"lenet", mult_names[0], "v0"}};
+    std::vector<serve::ModelSpec> cold;
+    for (std::size_t i = 1; i < mult_names.size(); ++i)
+        cold.push_back({"lenet", mult_names[i], "v0"});
+
+    std::vector<tensor::Tensor> samples;
+    const std::int64_t sample_numel = pair.test.sample_numel();
+    for (std::int64_t i = 0; i < std::min<std::int64_t>(16, pair.test.size());
+         ++i) {
+        tensor::Tensor t(tensor::Shape{1, pair.test.channels, pair.test.height,
+                                       pair.test.width});
+        std::copy_n(pair.test.images.data() + i * sample_numel, sample_numel,
+                    t.data());
+        samples.push_back(std::move(t));
+    }
+
+    serve::LoadGenConfig lc;
+    lc.clients = static_cast<std::size_t>(args.get_int("clients", 8));
+    lc.duration_ms = static_cast<std::int64_t>(duration_s * 1000.0);
+    lc.rate_per_client = args.get_double("rate", 0.0);
+    lc.bursty = args.get_bool("bursty", false);
+    lc.hot_fraction = args.get_double("hot-fraction", 0.9);
+
+    std::printf("serving for %.1f s (%zu clients, %zu workers, max_batch %lld, "
+                "deadline %lld us) ...\n",
+                duration_s, lc.clients, sc.workers,
+                static_cast<long long>(sc.max_batch),
+                static_cast<long long>(sc.deadline_us));
+    const auto report = serve::run_loadgen(server, hot, cold, samples, lc);
+    server.stop(true);
+    const auto stats = server.stats();
+    const auto rstats = registry.stats();
+
+    std::printf("requests: %lld total, %lld ok, %lld rejected, %lld timeout, "
+                "%lld error\n",
+                static_cast<long long>(report.total),
+                static_cast<long long>(report.ok),
+                static_cast<long long>(report.rejected),
+                static_cast<long long>(report.timeouts),
+                static_cast<long long>(report.errors));
+    std::printf("latency:  p50 %.0f us  p95 %.0f us  p99 %.0f us  mean %.0f us\n",
+                report.p50_us, report.p95_us, report.p99_us, report.mean_us);
+    std::printf("throughput: %.0f qps   mean batch %.2f (%lld batches)\n",
+                report.qps, stats.mean_batch(),
+                static_cast<long long>(stats.batches));
+    std::printf("registry: %lld loads, %lld hits, %lld evictions, %zu resident\n",
+                static_cast<long long>(rstats.loads),
+                static_cast<long long>(rstats.hits),
+                static_cast<long long>(rstats.evictions), rstats.resident);
+
+    if (report.ok == 0) {
+        std::fprintf(stderr, "serve: no request was served\n");
+        return 1;
+    }
+    if (report.reject_rate > max_reject) {
+        std::fprintf(stderr, "serve: reject storm (%.1f%% > %.1f%%)\n",
+                     100.0 * report.reject_rate, 100.0 * max_reject);
+        return 1;
+    }
+    return 0;
+}
+
 int cmd_check(const util::ArgParser& args) {
     verify::CheckOptions options;
     const long hws = args.get_int("hws", -1);
@@ -292,6 +456,13 @@ void usage() {
         "                               --trace writes a Perfetto-loadable\n"
         "                               span trace, --profile prints the\n"
         "                               hierarchical time table\n"
+        "  serve   [--duration S] [--clients N] [--workers N] [--max-batch N]\n"
+        "          [--deadline-us U] [--queue-depth N] [--queue-timeout-us U]\n"
+        "          [--mults a,b,...] [--rate R] [--bursty] [--hot-fraction F]\n"
+        "          [--train-epochs N] [--max-reject-rate F]\n"
+        "                               smoke-run the batching inference\n"
+        "                               server under closed-loop load; exits\n"
+        "                               nonzero on a reject storm\n"
         "global flags:\n"
         "  --threads N                  worker threads (0 = auto; env AMRET_THREADS)\n",
         stderr);
@@ -324,6 +495,7 @@ int main(int argc, char** argv) {
     if (command == "profile") return cmd_profile(name);
     if (command == "check") return cmd_check(args);
     if (command == "train") return cmd_train(args);
+    if (command == "serve") return cmd_serve(args);
     usage();
     return 1;
 }
