@@ -118,13 +118,22 @@ begin_stage "static verification of the multiplier registry"
 ./build/tools/amret_cli check
 end_stage
 
-if [ "$run_lint" -eq 1 ] && command -v clang-tidy >/dev/null 2>&1; then
-  begin_stage "clang-tidy (lint preset)"
-  cmake --preset lint
-  cmake --build --preset lint -j "$jobs"
+# Proves accumulator/rescale/LUT-index bounds for the deployable integer
+# graphs; exits nonzero when any config is unprovable. Certificates land in
+# results/ (uploaded as CI artifacts by bench-smoke).
+begin_stage "static overflow certificates (analyze-static)"
+mkdir -p results
+./build/tools/amret_cli analyze-static --models lenet,vgg11 --out-dir results
+end_stage
+
+if [ "$run_lint" -eq 1 ]; then
+  begin_stage "lint gate (invariants + clang-tidy when available)"
+  scripts/lint.sh
   end_stage
 else
-  echo "clang-tidy not available or skipped; lint stage omitted"
+  begin_stage "lint gate (invariants only; --no-lint)"
+  scripts/lint.sh --invariants-only
+  end_stage
 fi
 
 echo "all checks passed"

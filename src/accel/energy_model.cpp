@@ -105,6 +105,14 @@ EnergyReport estimate_energy(const NetworkWorkload& workload,
     return report;
 }
 
+netlist::HardwareReport discount_constant_gates(netlist::HardwareReport report,
+                                                std::size_t constant_gates,
+                                                double constant_area_um2) {
+    report.gates -= std::min(report.gates, constant_gates);
+    report.area_um2 = std::max(0.0, report.area_um2 - constant_area_um2);
+    return report;
+}
+
 double energy_ratio(const NetworkWorkload& workload,
                     const netlist::HardwareReport& approx,
                     const netlist::HardwareReport& baseline,

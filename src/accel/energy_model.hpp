@@ -68,6 +68,15 @@ EnergyReport estimate_energy(const NetworkWorkload& workload,
                              const netlist::HardwareReport& multiplier,
                              const AcceleratorConfig& config = {});
 
+/// Hardware report with provably-constant (don't-care) gates discounted:
+/// gate count and area shrink by what the bit-level netlist dataflow
+/// (verify::analyze_error_bounds) proved input-independent — area a
+/// synthesizer could reclaim. Delay and power are left untouched
+/// (conservative: constant gates still sit on the die until resynthesis).
+netlist::HardwareReport discount_constant_gates(netlist::HardwareReport report,
+                                                std::size_t constant_gates,
+                                                double constant_area_um2);
+
 /// Relative energy of an approximate multiplier versus a baseline on the
 /// same workload (ratio of mult_energy_nj).
 double energy_ratio(const NetworkWorkload& workload,

@@ -8,6 +8,9 @@
 
 #include "accel/energy_model.hpp"      // accelerator-level energy model
 #include "als/als.hpp"                 // approximate logic synthesis
+#include "analysis/certificate.hpp"    // safety certificates + cache
+#include "analysis/graph.hpp"          // static integer-graph analyzer
+#include "analysis/interval.hpp"       // interval / ternary lattices
 #include "appmult/appmult.hpp"         // multiplier LUTs + error metrics
 #include "appmult/registry.hpp"        // Table I named multipliers
 #include "appmult/error_stats.hpp"     // structural error analysis
@@ -54,6 +57,7 @@
 #include "train/hws_search.hpp"        // LeNet-based HWS sweep
 #include "train/pipeline.hpp"          // Fig. 1 retraining flow
 #include "train/trainer.hpp"           // training loop
+#include "verify/bit_bounds.hpp"       // netlist error-bound dataflow
 #include "verify/diagnostics.hpp"     // typed static-analysis findings
 #include "verify/lut_check.hpp"        // product/gradient LUT invariants
 #include "verify/netlist_check.hpp"    // netlist structural checks

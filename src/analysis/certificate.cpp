@@ -1,0 +1,213 @@
+#include "analysis/certificate.hpp"
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+namespace amret::analysis {
+
+namespace {
+
+void json_escape_into(std::ostream& os, const std::string& s) {
+    for (char ch : s) {
+        switch (ch) {
+            case '"': os << "\\\""; break;
+            case '\\': os << "\\\\"; break;
+            case '\n': os << "\\n"; break;
+            case '\t': os << "\\t"; break;
+            default:
+                if (static_cast<unsigned char>(ch) < 0x20) {
+                    char buf[8];
+                    std::snprintf(buf, sizeof(buf), "\\u%04x", ch);
+                    os << buf;
+                } else {
+                    os << ch;
+                }
+        }
+    }
+}
+
+void interval_json(std::ostream& os, const char* name, const Interval& v) {
+    os << '"' << name << "\": {\"lo\": " << v.lo << ", \"hi\": " << v.hi
+       << ", \"overflowed\": " << (v.overflowed ? "true" : "false") << '}';
+}
+
+/// Extracts the value after `"field":` in a flat JSON document; empty when
+/// absent. Good enough for the disk cache's summary fields — full parse-back
+/// is deliberately out of scope.
+std::string scan_field(const std::string& json, const std::string& field) {
+    const std::string needle = "\"" + field + "\":";
+    const std::size_t pos = json.find(needle);
+    if (pos == std::string::npos) return "";
+    std::size_t i = pos + needle.size();
+    while (i < json.size() && (json[i] == ' ' || json[i] == '\t')) ++i;
+    std::size_t end = i;
+    if (end < json.size() && json[end] == '"') {
+        ++i;
+        end = json.find('"', i);
+        return end == std::string::npos ? "" : json.substr(i, end - i);
+    }
+    while (end < json.size() && json[end] != ',' && json[end] != '\n' &&
+           json[end] != '}')
+        ++end;
+    return json.substr(i, end - i);
+}
+
+} // namespace
+
+std::string Certificate::to_json() const {
+    std::ostringstream os;
+    os << "{\n";
+    os << "  \"version\": " << kVersion << ",\n";
+    os << "  \"key\": \"" << key << "\",\n";
+    os << "  \"model\": \"";
+    json_escape_into(os, model);
+    os << "\",\n  \"multiplier\": \"";
+    json_escape_into(os, multiplier);
+    os << "\",\n  \"checkpoint\": \"";
+    json_escape_into(os, checkpoint);
+    os << "\",\n";
+    os << "  \"hws\": " << hws << ",\n";
+    os << "  \"act_bits\": " << act_bits << ",\n";
+    os << "  \"safe\": " << (safe ? "true" : "false") << ",\n";
+
+    os << "  \"ops\": [\n";
+    for (std::size_t i = 0; i < ops.size(); ++i) {
+        const OpCertificate& op = ops[i];
+        os << "    {\"label\": \"";
+        json_escape_into(os, op.label);
+        os << "\", \"kind\": \"" << op.kind << "\", \"k\": " << op.k << ",\n     ";
+        interval_json(os, "acc", op.acc);
+        os << ",\n     ";
+        interval_json(os, "pre_rescale", op.pre_rescale);
+        os << ",\n     ";
+        interval_json(os, "rescaled", op.rescaled);
+        os << ",\n     ";
+        interval_json(os, "out_codes", op.out_codes);
+        os << ",\n     \"headroom_bits\": " << op.headroom_bits << '}';
+        os << (i + 1 < ops.size() ? ",\n" : "\n");
+    }
+    os << "  ],\n";
+
+    os << "  \"netlist\": ";
+    if (!netlist.present) {
+        os << "null,\n";
+    } else {
+        char mask[19];
+        std::snprintf(mask, sizeof(mask), "0x%llx",
+                      static_cast<unsigned long long>(netlist.support_mask));
+        os << "{\"proven\": " << (netlist.proven ? "true" : "false")
+           << ", \"error_lo\": " << netlist.error_lo
+           << ", \"error_hi\": " << netlist.error_hi << ", \"support_mask\": \""
+           << mask << "\", \"constant_gates\": " << netlist.constant_gates
+           << ", \"constant_area_um2\": " << netlist.constant_area_um2 << "},\n";
+    }
+
+    os << "  \"diagnostics\": [\n";
+    for (std::size_t i = 0; i < diags.size(); ++i) {
+        os << "    {\"severity\": \"" << verify::severity_name(diags[i].severity)
+           << "\", \"check\": \"";
+        json_escape_into(os, diags[i].check);
+        os << "\", \"message\": \"";
+        json_escape_into(os, diags[i].message);
+        os << "\"}" << (i + 1 < diags.size() ? ",\n" : "\n");
+    }
+    os << "  ]\n}\n";
+    return os.str();
+}
+
+std::string Certificate::summary() const {
+    if (!safe) return "UNSAFE: " + verify::summarize(diags);
+    int min_headroom = 31;
+    for (const OpCertificate& op : ops)
+        if (op.kind == "conv") min_headroom = std::min(min_headroom, op.headroom_bits);
+    std::string s = "safe, " + std::to_string(ops.size()) + " ops, min headroom " +
+                    std::to_string(min_headroom) + " bits";
+    const std::size_t warnings = verify::count(diags, verify::Severity::kWarning);
+    if (warnings != 0) s += ", " + std::to_string(warnings) + " warning(s)";
+    return s;
+}
+
+CertificateCache& CertificateCache::instance() {
+    static CertificateCache cache;
+    return cache;
+}
+
+std::shared_ptr<const Certificate> CertificateCache::lookup(const std::string& key) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = map_.find(key);
+    if (it != map_.end()) {
+        ++hits_;
+        return it->second;
+    }
+    if (auto disk = load_from_disk_locked(key)) {
+        ++hits_;
+        map_.emplace(key, disk);
+        return disk;
+    }
+    ++misses_;
+    return nullptr;
+}
+
+std::shared_ptr<const Certificate> CertificateCache::load_from_disk_locked(
+    const std::string& key) {
+    if (dir_.empty()) return nullptr;
+    std::ifstream f(dir_ + "/" + key + ".json");
+    if (!f) return nullptr;
+    std::ostringstream buf;
+    buf << f.rdbuf();
+    const std::string json = buf.str();
+    // Trust only the summary fields, and only for the current format version
+    // — a stale or foreign file is a miss, not a wrong verdict.
+    if (scan_field(json, "version") != std::to_string(Certificate::kVersion) ||
+        scan_field(json, "key") != key)
+        return nullptr;
+    const std::string safe = scan_field(json, "safe");
+    if (safe != "true" && safe != "false") return nullptr;
+    auto cert = std::make_shared<Certificate>();
+    cert->key = key;
+    cert->model = scan_field(json, "model");
+    cert->multiplier = scan_field(json, "multiplier");
+    cert->safe = safe == "true";
+    return cert;
+}
+
+void CertificateCache::store(std::shared_ptr<const Certificate> cert) {
+    if (!cert || cert->key.empty()) return;
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++stores_;
+    map_[cert->key] = cert;
+    if (!dir_.empty()) {
+        std::ofstream f(dir_ + "/" + cert->key + ".json");
+        if (f) f << cert->to_json();
+    }
+}
+
+void CertificateCache::set_directory(const std::string& dir) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    dir_ = dir;
+    if (!dir_.empty()) {
+        std::error_code ec;
+        std::filesystem::create_directories(dir_, ec); // best-effort
+    }
+}
+
+bool CertificateCache::first_warning(const std::string& key) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return warned_.insert(key).second;
+}
+
+CertificateCache::Stats CertificateCache::stats() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return Stats{hits_, misses_, stores_};
+}
+
+void CertificateCache::clear() {
+    std::lock_guard<std::mutex> lock(mutex_);
+    map_.clear();
+    warned_.clear();
+    hits_ = misses_ = stores_ = 0;
+}
+
+} // namespace amret::analysis

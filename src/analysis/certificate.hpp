@@ -1,0 +1,125 @@
+/// \file certificate.hpp
+/// \brief Machine-checkable safety certificates and their content-addressed
+///        cache (DESIGN.md §14).
+///
+/// A Certificate records what the static graph analyzer proved about one
+/// compiled integer inference graph: per-op accumulator intervals, rescale
+/// input/output bounds with int32/int64 headroom, LUT index bounds, and the
+/// bit-level error band of the active multiplier's netlist when available.
+/// `safe` means "no diagnostic of Severity::kError" — every potential
+/// overflow or unprovable bound is an error. Certificates serialize to JSON
+/// (CI artifacts) and are cached content-addressed by the graph digest, so
+/// re-loading an identical engine (e.g. after a serve-registry eviction)
+/// reuses the proof instead of re-deriving it.
+#pragma once
+
+#include "analysis/interval.hpp"
+#include "verify/diagnostics.hpp"
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+namespace amret::analysis {
+
+/// Proven bounds for one op of the graph.
+struct OpCertificate {
+    std::string label;
+    std::string kind;            ///< "conv", "maxpool", "avgpool", "gavgpool"
+    std::int64_t k = 0;          ///< reduction depth (conv only)
+    Interval acc;                ///< raw int64 LUT accumulator
+    Interval pre_rescale;        ///< corrected accumulator + bias (rescale input)
+    Interval rescaled;           ///< fixed-point rescale output + output zero
+    Interval out_codes;          ///< activation codes leaving the op
+    int headroom_bits = 0;       ///< log2 margin between |rescaled| and INT32_MAX
+};
+
+/// Bit-level netlist error bounds of the active multiplier (from the
+/// src/verify bit-bounds analyzer); optional because hand-built graphs may
+/// not have a netlist.
+struct NetlistBoundsSummary {
+    bool present = false;
+    bool proven = false;
+    std::int64_t error_lo = 0;       ///< static bound on (approx - exact)
+    std::int64_t error_hi = 0;
+    std::uint64_t support_mask = 0;  ///< product bits that may differ
+    std::size_t constant_gates = 0;  ///< provably constant (don't-care) gates
+    double constant_area_um2 = 0.0;  ///< area those gates occupy
+};
+
+/// The machine-checkable result of one analyze_graph() run.
+struct Certificate {
+    static constexpr int kVersion = 1;
+
+    std::string key;        ///< 16-hex content digest of the analyzed graph
+    std::string model;      ///< identity metadata (may be empty)
+    std::string multiplier;
+    std::string checkpoint;
+    unsigned hws = 0;
+    unsigned act_bits = 8;
+    bool safe = false;
+
+    std::vector<OpCertificate> ops;
+    NetlistBoundsSummary netlist;
+    verify::Diagnostics diags;
+
+    /// Pretty-printed JSON document (stable field order; suitable as a CI
+    /// artifact and for the disk cache).
+    [[nodiscard]] std::string to_json() const;
+
+    /// One-line human summary ("safe, 4 ops, min headroom 18 bits" /
+    /// "UNSAFE: 2 errors").
+    [[nodiscard]] std::string summary() const;
+};
+
+/// Process-wide content-addressed certificate store, mirroring the serve
+/// registry's keying discipline. Optionally write-through to a directory of
+/// `<key>.json` files so separate processes (CLI runs, CI stages) share
+/// results; disk entries are trusted only for the `safe` verdict + summary
+/// fields, never re-materialized into full certificates.
+class CertificateCache {
+public:
+    CertificateCache() = default;
+
+    static CertificateCache& instance();
+
+    /// In-memory (then disk, if a directory is attached) lookup by key.
+    /// Returns nullptr on a miss.
+    std::shared_ptr<const Certificate> lookup(const std::string& key);
+
+    /// Stores \p cert in memory and, when a directory is attached, writes
+    /// `<dir>/<key>.json`.
+    void store(std::shared_ptr<const Certificate> cert);
+
+    /// Attaches a write-through directory (created if missing). Empty
+    /// detaches.
+    void set_directory(const std::string& dir);
+
+    /// True exactly once per key — backs the engine's warn-once policy.
+    bool first_warning(const std::string& key);
+
+    struct Stats {
+        std::int64_t hits = 0;
+        std::int64_t misses = 0;
+        std::int64_t stores = 0;
+    };
+    [[nodiscard]] Stats stats() const;
+
+    /// Drops every in-memory entry (tests).
+    void clear();
+
+private:
+    std::shared_ptr<const Certificate> load_from_disk_locked(const std::string& key);
+
+    mutable std::mutex mutex_;
+    std::unordered_map<std::string, std::shared_ptr<const Certificate>> map_;
+    std::unordered_set<std::string> warned_;
+    std::string dir_;
+    std::int64_t hits_ = 0, misses_ = 0, stores_ = 0;
+};
+
+} // namespace amret::analysis

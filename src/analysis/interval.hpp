@@ -1,0 +1,247 @@
+/// \file interval.hpp
+/// \brief The shared dataflow lattices of the static analyzers (DESIGN.md §14).
+///
+/// Two lattices, both header-only so `src/verify` (bit-level netlist
+/// analyzer) and `src/analysis` (integer-graph analyzer) can share them
+/// without a link-level cycle:
+///
+///   - Interval: closed int64 ranges [lo, hi] with *checked* arithmetic.
+///     Every operation that could wrap int64 instead poisons the result
+///     (`overflowed` is sticky), so a bound that cannot be represented is
+///     reported as "unprovable" rather than silently wrapping — the analyzer
+///     never derives a certificate from an overflowed bound. This makes the
+///     transfer functions sound by construction: the concrete value set is
+///     always contained in the abstract interval, or the interval is poisoned.
+///
+///   - Tern: the three-valued constant lattice {0, 1, X} used for bit-level
+///     forward dataflow over gate netlists. Gate transfer functions are
+///     the optimal (most precise) abstractions of the boolean cells:
+///     AND(0, X) = 0, XOR(X, anything) = X, etc.
+#pragma once
+
+#include "netlist/cells.hpp"
+
+#include <algorithm>
+#include <cstdint>
+#include <limits>
+#include <string>
+
+namespace amret::analysis {
+
+// ------------------------------------------------------------ Interval ----
+
+/// Closed integer interval with overflow-poisoning arithmetic.
+struct Interval {
+    std::int64_t lo = 0;
+    std::int64_t hi = 0;
+    /// Sticky: set when a bound computation wrapped int64. A poisoned
+    /// interval proves nothing; checks against it must fail.
+    bool overflowed = false;
+
+    static Interval point(std::int64_t v) { return Interval{v, v, false}; }
+    static Interval range(std::int64_t lo, std::int64_t hi) {
+        return lo <= hi ? Interval{lo, hi, false} : Interval{hi, lo, false};
+    }
+    static Interval top() {
+        return Interval{std::numeric_limits<std::int64_t>::min(),
+                        std::numeric_limits<std::int64_t>::max(), true};
+    }
+
+    [[nodiscard]] bool contains(std::int64_t v) const {
+        return !overflowed && lo <= v && v <= hi;
+    }
+    [[nodiscard]] bool contains(const Interval& other) const {
+        return !overflowed && !other.overflowed && lo <= other.lo && other.hi <= hi;
+    }
+    /// Largest absolute value the interval admits (int64 max when poisoned).
+    [[nodiscard]] std::int64_t max_abs() const {
+        if (overflowed) return std::numeric_limits<std::int64_t>::max();
+        const std::int64_t alo = lo == std::numeric_limits<std::int64_t>::min()
+                                     ? std::numeric_limits<std::int64_t>::max()
+                                     : std::abs(lo);
+        return std::max(alo, std::abs(hi));
+    }
+    /// True when every value fits an int32 (the narrowing-safety predicate).
+    [[nodiscard]] bool fits_int32() const {
+        return !overflowed && lo >= std::numeric_limits<std::int32_t>::min() &&
+               hi <= std::numeric_limits<std::int32_t>::max();
+    }
+
+    [[nodiscard]] std::string to_string() const {
+        if (overflowed) return "[int64-overflow]";
+        return "[" + std::to_string(lo) + ", " + std::to_string(hi) + "]";
+    }
+};
+
+namespace detail {
+inline bool add_ovf(std::int64_t a, std::int64_t b, std::int64_t* out) {
+    return __builtin_add_overflow(a, b, out);
+}
+inline bool mul_ovf(std::int64_t a, std::int64_t b, std::int64_t* out) {
+    return __builtin_mul_overflow(a, b, out);
+}
+} // namespace detail
+
+/// a + b with poisoning.
+inline Interval add(const Interval& a, const Interval& b) {
+    Interval r;
+    r.overflowed = a.overflowed || b.overflowed ||
+                   detail::add_ovf(a.lo, b.lo, &r.lo) ||
+                   detail::add_ovf(a.hi, b.hi, &r.hi);
+    return r.overflowed ? Interval::top() : r;
+}
+
+/// a + c with poisoning.
+inline Interval add(const Interval& a, std::int64_t c) {
+    return add(a, Interval::point(c));
+}
+
+/// a - b with poisoning ([a.lo - b.hi, a.hi - b.lo]).
+inline Interval sub(const Interval& a, const Interval& b) {
+    Interval nb{0, 0, b.overflowed};
+    nb.overflowed = nb.overflowed ||
+                    __builtin_sub_overflow(std::int64_t{0}, b.hi, &nb.lo) ||
+                    __builtin_sub_overflow(std::int64_t{0}, b.lo, &nb.hi);
+    if (nb.overflowed) return Interval::top();
+    return add(a, nb);
+}
+
+/// a * c (scalar) with poisoning.
+inline Interval mul(const Interval& a, std::int64_t c) {
+    if (a.overflowed) return Interval::top();
+    std::int64_t x = 0, y = 0;
+    if (detail::mul_ovf(a.lo, c, &x) || detail::mul_ovf(a.hi, c, &y))
+        return Interval::top();
+    return Interval::range(x, y);
+}
+
+/// a * b (both intervals) with poisoning; evaluates all four corner products.
+inline Interval mul(const Interval& a, const Interval& b) {
+    if (a.overflowed || b.overflowed) return Interval::top();
+    std::int64_t c[4];
+    if (detail::mul_ovf(a.lo, b.lo, &c[0]) || detail::mul_ovf(a.lo, b.hi, &c[1]) ||
+        detail::mul_ovf(a.hi, b.lo, &c[2]) || detail::mul_ovf(a.hi, b.hi, &c[3]))
+        return Interval::top();
+    return Interval{*std::min_element(c, c + 4), *std::max_element(c, c + 4), false};
+}
+
+/// Least upper bound (interval hull).
+inline Interval join(const Interval& a, const Interval& b) {
+    if (a.overflowed || b.overflowed) return Interval::top();
+    return Interval{std::min(a.lo, b.lo), std::max(a.hi, b.hi), false};
+}
+
+/// Meet with a clamp range: the abstraction of std::clamp(v, lo, hi).
+/// Clamping is total, so the result is never empty and never poisoned.
+inline Interval clamp(const Interval& a, std::int64_t lo, std::int64_t hi) {
+    if (a.overflowed) return Interval{lo, hi, false};
+    return Interval{std::clamp(a.lo, lo, hi), std::clamp(a.hi, lo, hi), false};
+}
+
+/// Abstraction of quant::fixed_point_rescale over \p a: the product runs in
+/// __int128 (cannot overflow for int64 × int32), so the transfer function is
+/// exact interval arithmetic on ((v * mult + rounding) >> shift) evaluated at
+/// the endpoints — the expression is monotone in v for mult > 0. The int64
+/// bounds of the *result* may still not be representable (shift <= 0 blowup);
+/// then the interval is poisoned.
+inline Interval rescale(const Interval& a, std::int32_t mult, int shift) {
+    if (a.overflowed || mult <= 0) return Interval::top();
+    const auto apply = [&](std::int64_t v) -> __int128 {
+        const __int128 prod = static_cast<__int128>(v) * mult;
+        if (shift <= 0) {
+            // prod << -shift: widen and detect loss against int64.
+            if (-shift >= 64) return static_cast<__int128>(1) << 100; // poison
+            return prod << (-shift);
+        }
+        const __int128 rounding = static_cast<__int128>(1) << (shift - 1);
+        return (prod + rounding) >> shift;
+    };
+    const __int128 lo = apply(a.lo), hi = apply(a.hi);
+    const auto in64 = [](__int128 v) {
+        return v >= std::numeric_limits<std::int64_t>::min() &&
+               v <= std::numeric_limits<std::int64_t>::max();
+    };
+    if (!in64(lo) || !in64(hi)) return Interval::top();
+    return Interval::range(static_cast<std::int64_t>(lo),
+                           static_cast<std::int64_t>(hi));
+}
+
+// ---------------------------------------------------------------- Tern ----
+
+/// Three-valued bit lattice: known 0, known 1, or unknown (X).
+enum class Tern : std::uint8_t { kZero = 0, kOne = 1, kUnknown = 2 };
+
+inline Tern tern_of(bool b) { return b ? Tern::kOne : Tern::kZero; }
+
+inline Tern tern_not(Tern a) {
+    if (a == Tern::kUnknown) return Tern::kUnknown;
+    return a == Tern::kOne ? Tern::kZero : Tern::kOne;
+}
+
+inline Tern tern_and(Tern a, Tern b) {
+    if (a == Tern::kZero || b == Tern::kZero) return Tern::kZero;
+    if (a == Tern::kOne && b == Tern::kOne) return Tern::kOne;
+    return Tern::kUnknown;
+}
+
+inline Tern tern_or(Tern a, Tern b) {
+    if (a == Tern::kOne || b == Tern::kOne) return Tern::kOne;
+    if (a == Tern::kZero && b == Tern::kZero) return Tern::kZero;
+    return Tern::kUnknown;
+}
+
+inline Tern tern_xor(Tern a, Tern b) {
+    if (a == Tern::kUnknown || b == Tern::kUnknown) return Tern::kUnknown;
+    return tern_of(a != b);
+}
+
+/// Optimal ternary abstraction of every netlist cell (the boolean transfer
+/// function lifted to {0, 1, X}; constant-dominating inputs are exploited,
+/// e.g. AND(0, X) = 0, OR(1, X) = 1, ANDN(X, 1) = 0).
+inline Tern tern_eval(netlist::CellType type, Tern a, Tern b) {
+    using netlist::CellType;
+    switch (type) {
+        case CellType::kConst0: return Tern::kZero;
+        case CellType::kConst1: return Tern::kOne;
+        case CellType::kInput:  return Tern::kUnknown;
+        case CellType::kBuf:    return a;
+        case CellType::kInv:    return tern_not(a);
+        case CellType::kAnd2:   return tern_and(a, b);
+        case CellType::kOr2:    return tern_or(a, b);
+        case CellType::kNand2:  return tern_not(tern_and(a, b));
+        case CellType::kNor2:   return tern_not(tern_or(a, b));
+        case CellType::kXor2:   return tern_xor(a, b);
+        case CellType::kXnor2:  return tern_not(tern_xor(a, b));
+        case CellType::kAndN2:  return tern_and(a, tern_not(b));
+    }
+    return Tern::kUnknown;
+}
+
+/// Interval of the unsigned word spelled by \p n ternary bits (LSB-first):
+/// lo counts only known-one bits, hi additionally sets every unknown bit.
+/// Sound (the word's value set is within [lo, hi]) but not tight — bit
+/// correlations are deliberately dropped by this lattice.
+inline Interval word_interval(const Tern* bits, std::size_t n) {
+    std::int64_t lo = 0, hi = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+        const std::int64_t w = std::int64_t{1} << i;
+        if (bits[i] == Tern::kOne) lo += w;
+        if (bits[i] != Tern::kZero) hi += w;
+    }
+    return Interval{lo, hi, false};
+}
+
+/// Bit i of every value in [lo, hi] (lo, hi >= 0) as a ternary: bits above
+/// the most significant differing position are shared by the whole interval;
+/// everything at or below it is unknown.
+inline Tern interval_bit(std::int64_t lo, std::int64_t hi, unsigned bit) {
+    const std::uint64_t ulo = static_cast<std::uint64_t>(lo);
+    const std::uint64_t diff = ulo ^ static_cast<std::uint64_t>(hi);
+    if (diff != 0) {
+        const unsigned msb = 63u - static_cast<unsigned>(__builtin_clzll(diff));
+        if (bit <= msb) return Tern::kUnknown;
+    }
+    return tern_of(((ulo >> bit) & 1u) != 0);
+}
+
+} // namespace amret::analysis

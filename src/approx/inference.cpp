@@ -8,7 +8,10 @@
 #include <algorithm>
 #include <cassert>
 #include <cmath>
+#include <cstdio>
+#include <cstdlib>
 #include <stdexcept>
+#include <string>
 
 namespace amret::approx {
 
@@ -43,6 +46,7 @@ struct ConvOp final : IntInferenceEngine::Op {
     std::vector<std::uint16_t> wq;
     std::vector<std::int64_t> sum_w; ///< hoisted weight row sums (static)
     std::vector<std::int32_t> bias_int;
+    std::vector<std::int64_t> bias_raw; ///< pre-narrowing bias, for the analyzer
     std::int32_t zero_w = 0;
     float out_scale = 1.0f;
     std::int32_t out_zero = 0;
@@ -113,9 +117,15 @@ struct ConvOp final : IntInferenceEngine::Op {
         const double acc_scale = static_cast<double>(in_scale) * wp.scale;
         requant = quantize_multiplier(acc_scale / out_scale);
         bias_int.resize(static_cast<std::size_t>(out_ch));
-        for (std::int64_t o = 0; o < out_ch; ++o)
-            bias_int[static_cast<std::size_t>(o)] = static_cast<std::int32_t>(
-                std::lround(static_cast<double>(folded_b[o]) / acc_scale));
+        bias_raw.resize(static_cast<std::size_t>(out_ch));
+        for (std::int64_t o = 0; o < out_ch; ++o) {
+            // Keep the pre-narrowing value: the static analyzer proves the
+            // int32 cast below lossless (or reports "bias-overflow").
+            bias_raw[static_cast<std::size_t>(o)] =
+                std::lround(static_cast<double>(folded_b[o]) / acc_scale);
+            bias_int[static_cast<std::size_t>(o)] =
+                static_cast<std::int32_t>(bias_raw[static_cast<std::size_t>(o)]);
+        }
     }
 
     QTensor run(const QTensor& x, kernels::Workspace& ws) const override {
@@ -263,11 +273,21 @@ struct AvgPoolOp final : IntInferenceEngine::Op {
 
 } // namespace
 
+SafetyPolicy safety_policy_from_env() {
+    const char* env = std::getenv("AMRET_ANALYZE");
+    if (env == nullptr) return SafetyPolicy::kWarn;
+    const std::string value(env);
+    if (value == "off") return SafetyPolicy::kOff;
+    if (value == "enforce") return SafetyPolicy::kEnforce;
+    return SafetyPolicy::kWarn;
+}
+
 // ------------------------------------------------------------- engine ----
 
 IntInferenceEngine::IntInferenceEngine(nn::Sequential& model,
                                        const data::Dataset& calibration,
-                                       std::int64_t calib_samples) {
+                                       std::int64_t calib_samples,
+                                       SafetyPolicy safety) {
     // --- 1. Fuse and collect ops ------------------------------------------
     std::vector<std::pair<tensor::Tensor, tensor::Tensor>> head_linears;
     std::vector<bool> head_relu;
@@ -400,6 +420,74 @@ IntInferenceEngine::IntInferenceEngine(nn::Sequential& model,
         }
         // Pool ops keep scale/zero.
     }
+
+    // --- 4. Static overflow proof ------------------------------------------
+    if (safety == SafetyPolicy::kOff) return;
+    const analysis::GraphDesc desc = describe();
+    const std::string key = analysis::digest_key(desc);
+    auto& cache = analysis::CertificateCache::instance();
+    certificate_ = cache.lookup(key);
+    if (certificate_ == nullptr) {
+        auto cert =
+            std::make_shared<analysis::Certificate>(analysis::analyze_graph(desc));
+        cache.store(cert);
+        certificate_ = std::move(cert);
+    }
+    if (!certificate_->safe) {
+        if (safety == SafetyPolicy::kEnforce)
+            throw std::runtime_error(
+                "static analysis rejected the compiled integer graph (" + key +
+                "): " + certificate_->summary());
+        if (cache.first_warning(key))
+            std::fprintf(stderr,
+                         "[amret] warning: integer graph %s is not proven "
+                         "overflow-free: %s\n",
+                         key.c_str(), certificate_->summary().c_str());
+    }
+}
+
+analysis::GraphDesc IntInferenceEngine::describe() const {
+    analysis::GraphDesc desc;
+    desc.act_bits = act_bits_;
+    desc.ops.reserve(ops_.size());
+    std::size_t conv_index = 0, pool_index = 0;
+    for (const auto& op : ops_) {
+        analysis::OpDesc d;
+        if (const auto* conv = dynamic_cast<const ConvOp*>(op.get())) {
+            d.kind = analysis::OpDesc::Kind::kConv;
+            d.label = "conv" + std::to_string(conv_index++);
+            d.conv.bits = conv->bits;
+            d.conv.relu = conv->relu;
+            d.conv.out_ch = conv->out_ch;
+            d.conv.k = conv->out_ch > 0
+                           ? static_cast<std::int64_t>(conv->wq.size()) / conv->out_ch
+                           : 0;
+            d.conv.lut = conv->lut;
+            d.conv.wq = conv->wq;
+            d.conv.sum_w = conv->sum_w;
+            d.conv.bias_raw = conv->bias_raw;
+            d.conv.zero_w = conv->zero_w;
+            d.conv.zero_x = conv->in_zero;
+            d.conv.requant = conv->requant;
+            d.conv.out_zero = conv->out_zero;
+            d.conv.out_qmax = conv->out_qmax;
+        } else if (const auto* avg = dynamic_cast<const AvgPoolOp*>(op.get())) {
+            d.kind = analysis::OpDesc::Kind::kPool;
+            d.label = "pool" + std::to_string(pool_index++);
+            d.pool.kind = avg->global ? analysis::PoolOpDesc::Kind::kGlobalAvg
+                                      : analysis::PoolOpDesc::Kind::kAvg;
+            d.pool.kernel = avg->kernel;
+        } else if (const auto* mp = dynamic_cast<const MaxPoolOp*>(op.get())) {
+            d.kind = analysis::OpDesc::Kind::kPool;
+            d.label = "pool" + std::to_string(pool_index++);
+            d.pool.kind = analysis::PoolOpDesc::Kind::kMax;
+            d.pool.kernel = mp->kernel;
+        } else {
+            continue; // unreachable: the constructor only builds these ops
+        }
+        desc.ops.push_back(std::move(d));
+    }
+    return desc;
 }
 
 IntInferenceEngine::~IntInferenceEngine() = default;

@@ -20,6 +20,7 @@
 /// alignment, which is out of scope here).
 #pragma once
 
+#include "analysis/graph.hpp"
 #include "approx/approx_conv.hpp"
 #include "data/dataset.hpp"
 #include "kernels/workspace.hpp"
@@ -31,6 +32,17 @@
 #include <vector>
 
 namespace amret::approx {
+
+/// What the engine does with the static-analysis verdict at compile time.
+enum class SafetyPolicy {
+    kOff,     ///< skip analysis entirely
+    kWarn,    ///< analyze; warn once per graph key when unprovable
+    kEnforce, ///< analyze; refuse to construct an unprovable graph
+};
+
+/// Policy from the AMRET_ANALYZE environment variable ("off" / "warn" /
+/// "enforce"; default warn) — the engine constructor's default.
+SafetyPolicy safety_policy_from_env();
 
 /// A uint8 activation tensor with its affine interpretation. The storage is
 /// a view into a kernels::Workspace arena (valid until that workspace's next
@@ -51,9 +63,13 @@ public:
     /// Compiles \p model (see the supported topology above). \p calibration
     /// provides activations for range calibration; \p calib_samples bounds
     /// how many are used. The model itself is not modified.
-    /// Throws std::invalid_argument on unsupported layers.
+    /// Throws std::invalid_argument on unsupported layers. Unless \p safety
+    /// is kOff, the compiled graph is run through the static overflow
+    /// analyzer (cached by graph digest); kEnforce throws std::runtime_error
+    /// when the proof fails, kWarn warns once per graph key.
     IntInferenceEngine(nn::Sequential& model, const data::Dataset& calibration,
-                       std::int64_t calib_samples = 128);
+                       std::int64_t calib_samples = 128,
+                       SafetyPolicy safety = safety_policy_from_env());
     ~IntInferenceEngine(); // out-of-line: Op is incomplete here
 
     /// Runs integer-only inference; returns float logits (N, classes).
@@ -79,6 +95,17 @@ public:
     /// Number of compiled integer ops (fused convs + pools).
     [[nodiscard]] std::size_t num_ops() const { return ops_.size(); }
 
+    /// Plain-data description of the compiled integer graph for the static
+    /// analyzer (identity metadata left empty; callers that know the model /
+    /// multiplier names fill them in).
+    [[nodiscard]] analysis::GraphDesc describe() const;
+
+    /// The safety certificate derived (or cache-hit) at construction;
+    /// nullptr when the policy was kOff.
+    [[nodiscard]] std::shared_ptr<const analysis::Certificate> certificate() const {
+        return certificate_;
+    }
+
     /// Output width of the float classifier head.
     [[nodiscard]] std::int64_t num_classes() const {
         return head_chain_.back().weight.dim(0);
@@ -96,6 +123,7 @@ private:
 
     std::vector<std::unique_ptr<Op>> ops_;
     std::vector<HeadLayer> head_chain_;
+    std::shared_ptr<const analysis::Certificate> certificate_;
     unsigned act_bits_ = 8; ///< network-wide activation width (min LUT width)
     float input_scale_ = 1.0f;
     std::int32_t input_zero_ = 0;

@@ -1,0 +1,148 @@
+#include "verify/bit_bounds.hpp"
+
+#include "netlist/cells.hpp"
+#include "verify/netlist_check.hpp"
+
+#include <algorithm>
+#include <string>
+
+namespace amret::verify {
+
+namespace {
+
+using analysis::Interval;
+using analysis::Tern;
+
+void add(Diagnostics& diags, Severity severity, const char* check,
+         std::uint64_t object, std::string message) {
+    diags.push_back(Diagnostic{severity, check, object, std::move(message)});
+}
+
+bool is_gate(netlist::CellType type) {
+    return type != netlist::CellType::kConst0 &&
+           type != netlist::CellType::kConst1 &&
+           type != netlist::CellType::kInput;
+}
+
+/// One ternary forward pass in node order. Input nets must already be
+/// assigned in \p value; every other node is overwritten.
+void propagate(const netlist::Netlist& nl, std::vector<Tern>& value) {
+    const std::size_t n = nl.num_nodes();
+    for (netlist::NetId id = 0; id < n; ++id) {
+        const netlist::Node& node = nl.node(id);
+        if (node.type == netlist::CellType::kInput) continue;
+        const Tern a = node.fanin0 == netlist::kNullNet ? Tern::kUnknown
+                                                        : value[node.fanin0];
+        const Tern b = node.fanin1 == netlist::kNullNet ? Tern::kUnknown
+                                                        : value[node.fanin1];
+        value[id] = analysis::tern_eval(node.type, a, b);
+    }
+}
+
+} // namespace
+
+std::vector<netlist::NetId> find_constant_gates(const netlist::Netlist& nl) {
+    if (!nl.is_topologically_ordered()) return {};
+    std::vector<Tern> value(nl.num_nodes(), Tern::kUnknown);
+    for (netlist::NetId in : nl.inputs())
+        if (in < value.size()) value[in] = Tern::kUnknown;
+    propagate(nl, value);
+    std::vector<netlist::NetId> constant;
+    for (netlist::NetId id = 0; id < nl.num_nodes(); ++id)
+        if (is_gate(nl.node(id).type) && value[id] != Tern::kUnknown)
+            constant.push_back(id);
+    return constant;
+}
+
+double gate_area_um2(const netlist::Netlist& nl,
+                     const std::vector<netlist::NetId>& gates) {
+    double area = 0.0;
+    for (netlist::NetId id : gates)
+        if (id < nl.num_nodes()) area += netlist::cell_info(nl.node(id).type).area_um2;
+    return area;
+}
+
+BitBoundsResult analyze_error_bounds(const netlist::Netlist& nl, unsigned bits,
+                                     const BitBoundsOptions& options) {
+    BitBoundsResult result;
+    result.diags = check_multiplier_netlist(nl, bits);
+    if (bits == 0 || bits > 16) {
+        add(result.diags, Severity::kError, "bit-bounds-width", kNoObject,
+            "operand width " + std::to_string(bits) +
+                " outside the analyzable range [1, 16]");
+    }
+    if (has_errors(result.diags)) {
+        add(result.diags, Severity::kNote, "bit-bounds-skipped", kNoObject,
+            "error-bound dataflow skipped: netlist failed structural checks");
+        return result;
+    }
+
+    result.constant_gates = find_constant_gates(nl);
+    result.constant_area_um2 = gate_area_um2(nl, result.constant_gates);
+
+    // Cube enumeration: fix the top s bits of each operand, leave the low f
+    // unknown. The structural checks above guarantee 2B inputs (w then x,
+    // LSB-first) and 2B outputs.
+    const unsigned s = std::min(options.split_bits, bits);
+    const unsigned f = bits - s;
+    const std::uint64_t free_mask = (std::uint64_t{1} << f) - 1;
+    const std::uint64_t prefixes = std::uint64_t{1} << s;
+    const std::vector<netlist::NetId>& ins = nl.inputs();
+    const std::vector<netlist::OutputPort>& outs = nl.outputs();
+
+    std::vector<Tern> value(nl.num_nodes(), Tern::kUnknown);
+    std::vector<Tern> out_bits(outs.size(), Tern::kUnknown);
+    Interval band;
+    bool first = true;
+
+    for (std::uint64_t wp = 0; wp < prefixes; ++wp) {
+        for (std::uint64_t xp = 0; xp < prefixes; ++xp) {
+            for (unsigned i = 0; i < bits; ++i) {
+                const Tern wb = i < f ? Tern::kUnknown
+                                      : analysis::tern_of(((wp >> (i - f)) & 1u) != 0);
+                const Tern xb = i < f ? Tern::kUnknown
+                                      : analysis::tern_of(((xp >> (i - f)) & 1u) != 0);
+                value[ins[i]] = wb;
+                value[ins[bits + i]] = xb;
+            }
+            propagate(nl, value);
+            for (std::size_t i = 0; i < outs.size(); ++i)
+                out_bits[i] = value[outs[i].net];
+
+            const Interval approx =
+                analysis::word_interval(out_bits.data(), out_bits.size());
+            const std::int64_t wlo = static_cast<std::int64_t>(wp << f);
+            const std::int64_t xlo = static_cast<std::int64_t>(xp << f);
+            const Interval exact = Interval::range(
+                wlo * xlo, (wlo | static_cast<std::int64_t>(free_mask)) *
+                               (xlo | static_cast<std::int64_t>(free_mask)));
+            const Interval cube_err = analysis::sub(approx, exact);
+            band = first ? cube_err : analysis::join(band, cube_err);
+            first = false;
+
+            for (unsigned bit = 0; bit < outs.size() && bit < 64; ++bit) {
+                const Tern e = analysis::interval_bit(exact.lo, exact.hi, bit);
+                const Tern a = out_bits[bit];
+                const bool proven_equal =
+                    a != Tern::kUnknown && e != Tern::kUnknown && a == e;
+                if (!proven_equal) result.support_mask |= std::uint64_t{1} << bit;
+            }
+            ++result.cubes;
+        }
+    }
+
+    result.error = band;
+    result.proven = !first && !band.overflowed;
+    if (!result.proven) {
+        add(result.diags, Severity::kError, "bit-bounds-unprovable", kNoObject,
+            "error band could not be derived (interval overflow)");
+        return result;
+    }
+    add(result.diags, Severity::kNote, "bit-bounds", kNoObject,
+        "static error band " + band.to_string() + " over " +
+            std::to_string(result.cubes) + " cubes, " +
+            std::to_string(result.constant_gates.size()) + " constant gate(s)");
+    return result;
+}
+
+} // namespace amret::verify

@@ -1,0 +1,75 @@
+/// \file bit_bounds.hpp
+/// \brief Bit-level forward dataflow over multiplier netlists: static error
+///        bounds without exhaustive simulation (DESIGN.md §14).
+///
+/// Propagates the ternary constant lattice {0, 1, X} through the gate DAG
+/// under a family of input *cubes*: the top `split_bits` of each operand are
+/// fixed per cube, the low bits stay unknown. Each cube yields
+///   - an interval for the approximate product (word_interval over the
+///     ternary output bits), and
+///   - the exact-product interval of the cube's operand ranges,
+/// whose difference bounds the multiplier's error on that cube. The join
+/// over all cubes is a sound static band on (approx - exact) for *every*
+/// input pair — derived from the netlist structure, not from simulating all
+/// 2^2B patterns. Tests cross-check the band against the exhaustive LUT.
+///
+/// The same all-X propagation pass detects gates whose output is provably
+/// constant regardless of inputs (don't-cares left behind by approximate
+/// synthesis); their count and area feed the src/accel area estimates.
+#pragma once
+
+#include "analysis/interval.hpp"
+#include "netlist/netlist.hpp"
+#include "verify/diagnostics.hpp"
+
+#include <cstdint>
+#include <vector>
+
+namespace amret::verify {
+
+/// Tuning knobs for analyze_error_bounds().
+struct BitBoundsOptions {
+    /// Top bits of each operand fixed per cube; 4^split_bits cubes total.
+    /// Higher = tighter band, more work. Capped at the operand width (at
+    /// which point every cube is a single input pair and the bounds are
+    /// exact).
+    unsigned split_bits = 6;
+};
+
+/// Outcome of the bit-level dataflow over one multiplier netlist.
+struct BitBoundsResult {
+    Diagnostics diags;
+    /// True when the band below was actually derived (structure checks
+    /// passed and no interval poisoned). When false, `error` is top and
+    /// proves nothing.
+    bool proven = false;
+    /// Static bound on (approximate product - exact product).
+    analysis::Interval error = analysis::Interval::top();
+    /// Product bits that may differ from the exact multiplier (bit i set =>
+    /// output bit i is not proven equal). Over-approximate.
+    std::uint64_t support_mask = 0;
+    /// Gates whose output is provably constant for every input.
+    std::vector<netlist::NetId> constant_gates;
+    /// Placed area of those gates (reclaimable by a synthesizer).
+    double constant_area_um2 = 0.0;
+    /// Number of input cubes analyzed.
+    std::size_t cubes = 0;
+};
+
+/// Runs the ternary dataflow over \p nl, which must satisfy the multiplier
+/// port contract for \p bits (2B operand inputs w then x, LSB-first; 2B
+/// product outputs). Structural violations become the usual typed
+/// diagnostics and an unproven result — never an exception.
+BitBoundsResult analyze_error_bounds(const netlist::Netlist& nl, unsigned bits,
+                                     const BitBoundsOptions& options = {});
+
+/// All-X ternary pass alone: gates whose output is constant for every input
+/// assignment. Requires a topologically ordered netlist (returns empty
+/// otherwise).
+std::vector<netlist::NetId> find_constant_gates(const netlist::Netlist& nl);
+
+/// Total placed area of \p gates within \p nl.
+double gate_area_um2(const netlist::Netlist& nl,
+                     const std::vector<netlist::NetId>& gates);
+
+} // namespace amret::verify

@@ -1,8 +1,12 @@
 #include "verify/verify.hpp"
 
 #include "core/grad_lut.hpp"
+#include "verify/bit_bounds.hpp"
 #include "verify/lut_check.hpp"
 #include "verify/netlist_check.hpp"
+
+#include <algorithm>
+#include <limits>
 
 namespace amret::verify {
 
@@ -11,6 +15,42 @@ namespace {
 void append(Diagnostics& into, Diagnostics from) {
     into.insert(into.end(), std::make_move_iterator(from.begin()),
                 std::make_move_iterator(from.end()));
+}
+
+/// Static error band from the netlist, cross-checked against the exhaustive
+/// LUT: every observed (approx - exact) must fall inside the derived band,
+/// or the band (i.e. the dataflow) is wrong. Only runs on structurally clean
+/// netlists, so the structural re-check inside analyze_error_bounds cannot
+/// duplicate diagnostics.
+Diagnostics check_error_band(const netlist::Netlist& circuit,
+                             const appmult::AppMultLut& lut,
+                             const CheckOptions& options) {
+    BitBoundsOptions bounds_options;
+    bounds_options.split_bits = options.bit_bounds_split;
+    BitBoundsResult bounds =
+        analyze_error_bounds(circuit, lut.bits(), bounds_options);
+    if (!bounds.proven) return std::move(bounds.diags);
+
+    const std::int64_t n = static_cast<std::int64_t>(lut.domain());
+    std::int64_t observed_lo = std::numeric_limits<std::int64_t>::max();
+    std::int64_t observed_hi = std::numeric_limits<std::int64_t>::min();
+    for (std::int64_t w = 0; w < n; ++w) {
+        for (std::int64_t x = 0; x < n; ++x) {
+            const std::int64_t approx =
+                lut.table()[static_cast<std::size_t>((w << lut.bits()) | x)];
+            const std::int64_t err = approx - w * x;
+            observed_lo = std::min(observed_lo, err);
+            observed_hi = std::max(observed_hi, err);
+        }
+    }
+    if (!bounds.error.contains(analysis::Interval::range(observed_lo, observed_hi))) {
+        bounds.diags.push_back(Diagnostic{
+            Severity::kError, "bit-bounds-containment", kNoObject,
+            "observed LUT error [" + std::to_string(observed_lo) + ", " +
+                std::to_string(observed_hi) + "] escapes the static band " +
+                bounds.error.to_string()});
+    }
+    return std::move(bounds.diags);
 }
 
 } // namespace
@@ -31,6 +71,8 @@ Diagnostics check_multiplier(appmult::Registry& registry, const std::string& nam
     } else {
         append(diags, check_product_lut(lut));
     }
+    if (!has_errors(diags) && options.check_error_bounds)
+        append(diags, check_error_band(registry.circuit(name), lut, options));
     if (has_errors(diags) || !options.check_gradients) return diags;
 
     // A corrupt product LUT would make every gradient comparison misfire, so

@@ -27,6 +27,10 @@ struct CheckOptions {
     unsigned hws = kRegistryDefaultHws;
     bool check_gradients = true;     ///< verify diff + STE gradient tables
     bool cross_check_netlist = true; ///< exhaustive LUT-vs-circuit equivalence
+    bool check_error_bounds = true;  ///< derive static error band from the
+                                     ///< netlist and contain the LUT's
+                                     ///< observed error in it
+    unsigned bit_bounds_split = 6;   ///< cube split depth for the band
 };
 
 /// All checks for one registered multiplier. Unknown names yield a single

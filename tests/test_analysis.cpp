@@ -1,0 +1,325 @@
+// Static graph analyzer: interval soundness on a hand-built conv graph,
+// digest/cache behaviour, certificate JSON, engine integration, and the
+// seeded-mutation contract — every corrupted config must fail with a typed
+// diagnostic, never a crash or a silently-safe certificate.
+#include "analysis/certificate.hpp"
+#include "analysis/graph.hpp"
+#include "appmult/appmult.hpp"
+#include "approx/inference.hpp"
+#include "models/models.hpp"
+#include "quant/quant.hpp"
+#include "train/pipeline.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <memory>
+
+namespace {
+
+using namespace amret;
+using analysis::Certificate;
+using analysis::GraphDesc;
+using analysis::Interval;
+using analysis::OpDesc;
+using analysis::PoolOpDesc;
+
+bool has_check(const verify::Diagnostics& diags, const std::string& check) {
+    for (const auto& d : diags)
+        if (d.check == check) return true;
+    return false;
+}
+
+/// Hand-built two-channel conv + maxpool graph with controlled magnitudes:
+/// exact 8-bit LUT, k = 4, small weight codes, requant multiplying by 512
+/// (mult = 2^30, shift = 21) so corrupt-LUT mutations visibly escape int32.
+GraphDesc small_graph() {
+    GraphDesc g;
+    g.act_bits = 8;
+
+    OpDesc conv;
+    conv.kind = OpDesc::Kind::kConv;
+    conv.label = "conv0";
+    conv.conv.bits = 8;
+    conv.conv.relu = false;
+    conv.conv.out_ch = 2;
+    conv.conv.k = 4;
+    conv.conv.lut =
+        std::make_shared<appmult::AppMultLut>(appmult::AppMultLut::exact(8));
+    conv.conv.wq = {1, 2, 3, 4, 5, 6, 7, 8};
+    conv.conv.sum_w = {10, 26};
+    conv.conv.bias_raw = {100, -100};
+    conv.conv.zero_w = 2;
+    conv.conv.zero_x = 3;
+    conv.conv.requant = quant::quantize_multiplier(512.0);
+    conv.conv.out_zero = 5;
+    conv.conv.out_qmax = 255;
+    g.ops.push_back(conv);
+
+    OpDesc pool;
+    pool.kind = OpDesc::Kind::kPool;
+    pool.label = "pool0";
+    pool.pool.kind = PoolOpDesc::Kind::kMax;
+    pool.pool.kernel = 2;
+    g.ops.push_back(pool);
+    return g;
+}
+
+// --- baseline soundness ----------------------------------------------------
+
+TEST(GraphAnalysis, SmallGraphProvesSafe) {
+    const Certificate cert = analysis::analyze_graph(small_graph());
+    EXPECT_TRUE(cert.safe) << verify::summarize(cert.diags);
+    ASSERT_EQ(cert.ops.size(), 2u);
+    EXPECT_EQ(cert.ops[0].kind, "conv");
+    EXPECT_EQ(cert.ops[1].kind, "maxpool");
+
+    // The accumulator bound must contain the best hand-derivable bound:
+    // each channel sums k = 4 exact products of its codes with x <= 255.
+    EXPECT_FALSE(cert.ops[0].acc.overflowed);
+    EXPECT_GE(cert.ops[0].acc.lo, 0);
+    EXPECT_LE(cert.ops[0].acc.hi, 26 * 255); // channel 1: (5+6+7+8)*255
+    EXPECT_GT(cert.ops[0].headroom_bits, 0);
+
+    // Codes leaving the graph stay in the activation domain.
+    EXPECT_GE(cert.ops[1].out_codes.lo, 0);
+    EXPECT_LE(cert.ops[1].out_codes.hi, 255);
+}
+
+TEST(GraphAnalysis, ReluFloorsOutputAtZeroPoint) {
+    GraphDesc g = small_graph();
+    g.ops[0].conv.relu = true;
+    const Certificate cert = analysis::analyze_graph(g);
+    ASSERT_TRUE(cert.safe);
+    EXPECT_GE(cert.ops[0].out_codes.lo, 5); // out_zero
+}
+
+// --- digesting -------------------------------------------------------------
+
+TEST(GraphAnalysis, DigestIsStableAndStructural) {
+    const GraphDesc g = small_graph();
+    GraphDesc same = g;
+    same.model = "renamed";        // identity metadata is not structural
+    same.multiplier = "whatever";
+    same.hws = 99;
+    EXPECT_EQ(analysis::digest(g), analysis::digest(same));
+    EXPECT_EQ(analysis::digest_key(g).size(), 16u);
+
+    GraphDesc changed = g;
+    changed.ops[0].conv.wq[3] = 9;
+    EXPECT_NE(analysis::digest(g), analysis::digest(changed));
+
+    GraphDesc shifted = g;
+    shifted.ops[0].conv.requant.shift -= 1;
+    EXPECT_NE(analysis::digest(g), analysis::digest(shifted));
+}
+
+// --- seeded mutations ------------------------------------------------------
+// Each mutation mirrors a realistic compilation corruption; the analyzer
+// must reject it with the matching typed check code.
+
+TEST(GraphMutation, OversizedReductionDepthIsUnprovable) {
+    GraphDesc g = small_graph();
+    g.ops[0].conv.k = std::int64_t{1} << 52;
+    g.ops[0].conv.wq.clear();     // codes unknown => worst-case analysis
+    g.ops[0].conv.sum_w.clear();
+    g.ops[0].conv.bias_raw.clear();
+    const Certificate cert = analysis::analyze_graph(g);
+    EXPECT_FALSE(cert.safe);
+    EXPECT_TRUE(has_check(cert.diags, "acc-overflow"))
+        << verify::summarize(cert.diags);
+}
+
+TEST(GraphMutation, CorruptedLutRowOverflowsRescale) {
+    GraphDesc g = small_graph();
+    // Row w = 7 replaced by INT32_MAX-scale garbage (a flipped-bit LUT file);
+    // channel 1 uses code 7, so its accumulator explodes past int32 * 512.
+    g.ops[0].conv.lut = std::make_shared<appmult::AppMultLut>(
+        8, [](std::uint64_t w, std::uint64_t x) -> std::uint64_t {
+            return w == 7 ? 0x7FFFFFFFu : w * x;
+        });
+    const Certificate cert = analysis::analyze_graph(g);
+    EXPECT_FALSE(cert.safe);
+    EXPECT_TRUE(has_check(cert.diags, "rescale-overflow"))
+        << verify::summarize(cert.diags);
+}
+
+TEST(GraphMutation, ShrunkenRescaleShiftOverflowsInt32) {
+    GraphDesc g = small_graph();
+    g.ops[0].conv.requant.shift -= 30;
+    const Certificate cert = analysis::analyze_graph(g);
+    EXPECT_FALSE(cert.safe);
+    EXPECT_TRUE(has_check(cert.diags, "rescale-overflow"))
+        << verify::summarize(cert.diags);
+}
+
+TEST(GraphMutation, NarrowedLutWidthBreaksIndexBounds) {
+    GraphDesc g = small_graph();
+    // A 7-bit LUT under 8-bit activations: codes up to 255 index past it.
+    g.ops[0].conv.bits = 7;
+    g.ops[0].conv.lut =
+        std::make_shared<appmult::AppMultLut>(appmult::AppMultLut::exact(7));
+    const Certificate cert = analysis::analyze_graph(g);
+    EXPECT_FALSE(cert.safe);
+    EXPECT_TRUE(has_check(cert.diags, "lut-index-bounds"))
+        << verify::summarize(cert.diags);
+}
+
+TEST(GraphMutation, HugeBiasIsCaughtBeforeNarrowing) {
+    GraphDesc g = small_graph();
+    g.ops[0].conv.bias_raw = {std::int64_t{1} << 40, 0};
+    const Certificate cert = analysis::analyze_graph(g);
+    EXPECT_FALSE(cert.safe);
+    EXPECT_TRUE(has_check(cert.diags, "bias-overflow"))
+        << verify::summarize(cert.diags);
+}
+
+TEST(GraphMutation, NonPositiveRequantMantissaIsRejected) {
+    GraphDesc g = small_graph();
+    g.ops[0].conv.requant.mult = 0;
+    const Certificate cert = analysis::analyze_graph(g);
+    EXPECT_FALSE(cert.safe);
+    EXPECT_TRUE(has_check(cert.diags, "requant-mult"));
+}
+
+TEST(GraphMutation, MalformedDescriptionDegradesToDiagnostics) {
+    GraphDesc g = small_graph();
+    g.ops[0].conv.wq.resize(3); // not out_ch * k
+    const Certificate cert = analysis::analyze_graph(g);
+    EXPECT_FALSE(cert.safe);
+    EXPECT_TRUE(has_check(cert.diags, "desc-inconsistent"));
+
+    GraphDesc wide = small_graph();
+    wide.act_bits = 16;
+    const Certificate cert2 = analysis::analyze_graph(wide);
+    EXPECT_FALSE(cert2.safe);
+    EXPECT_TRUE(has_check(cert2.diags, "act-width"));
+}
+
+// --- certificates + cache --------------------------------------------------
+
+TEST(CertificateTest, JsonCarriesTheVerdict) {
+    const Certificate cert = analysis::analyze_graph(small_graph());
+    const std::string json = cert.to_json();
+    EXPECT_NE(json.find("\"version\": 1"), std::string::npos);
+    EXPECT_NE(json.find("\"key\": \"" + cert.key + "\""), std::string::npos);
+    EXPECT_NE(json.find("\"safe\": true"), std::string::npos);
+    EXPECT_NE(json.find("\"ops\""), std::string::npos);
+    EXPECT_NE(json.find("\"headroom_bits\""), std::string::npos);
+    EXPECT_NE(cert.summary().find("safe"), std::string::npos);
+}
+
+TEST(CertificateTest, CacheHitsByContentKey) {
+    analysis::CertificateCache cache; // local instance, not the singleton
+    auto cert = std::make_shared<Certificate>(analysis::analyze_graph(small_graph()));
+    EXPECT_EQ(cache.lookup(cert->key), nullptr);
+    cache.store(cert);
+    const auto hit = cache.lookup(cert->key);
+    ASSERT_NE(hit, nullptr);
+    EXPECT_EQ(hit->key, cert->key);
+    EXPECT_TRUE(hit->safe);
+    const auto stats = cache.stats();
+    EXPECT_EQ(stats.hits, 1);
+    EXPECT_EQ(stats.misses, 1);
+    EXPECT_EQ(stats.stores, 1);
+
+    EXPECT_TRUE(cache.first_warning(cert->key));
+    EXPECT_FALSE(cache.first_warning(cert->key)); // warn-once contract
+}
+
+TEST(CertificateTest, DiskCacheRoundTripsTheVerdict) {
+    const auto dir = std::filesystem::temp_directory_path() / "amret_cert_test";
+    std::filesystem::remove_all(dir);
+    auto cert = std::make_shared<Certificate>(analysis::analyze_graph(small_graph()));
+    cert->model = "unit";
+    {
+        analysis::CertificateCache writer;
+        writer.set_directory(dir.string());
+        writer.store(cert);
+    }
+    analysis::CertificateCache reader; // fresh memory, same directory
+    reader.set_directory(dir.string());
+    const auto loaded = reader.lookup(cert->key);
+    ASSERT_NE(loaded, nullptr);
+    EXPECT_TRUE(loaded->safe);
+    EXPECT_EQ(loaded->model, "unit");
+    EXPECT_EQ(reader.lookup("0000000000000000"), nullptr); // unknown key: miss
+    std::filesystem::remove_all(dir);
+}
+
+// --- engine integration ----------------------------------------------------
+
+TEST(EngineIntegration, CompiledLenetCarriesASafeCertificate) {
+    data::SyntheticConfig dc;
+    dc.num_classes = 4;
+    dc.height = dc.width = 8;
+    dc.train_samples = 48;
+    dc.test_samples = 16;
+    dc.seed = 21;
+    const auto pair = data::make_synthetic(dc);
+
+    models::ModelConfig mc;
+    mc.in_size = 8;
+    mc.num_classes = 4;
+    mc.width_mult = 0.5f;
+    auto model = train::make_model("lenet", mc);
+
+    approx::IntInferenceEngine engine(*model, pair.train, 32,
+                                      approx::SafetyPolicy::kWarn);
+    const auto cert = engine.certificate();
+    ASSERT_NE(cert, nullptr);
+    EXPECT_TRUE(cert->safe) << verify::summarize(cert->diags);
+    EXPECT_EQ(cert->ops.size(), engine.num_ops());
+
+    // The description round-trips through the digest: an identically
+    // compiled engine hits the cache instead of re-deriving the proof.
+    const auto before = analysis::CertificateCache::instance().stats();
+    auto model2 = train::make_model("lenet", mc);
+    approx::IntInferenceEngine engine2(*model2, pair.train, 32,
+                                       approx::SafetyPolicy::kEnforce);
+    const auto after = analysis::CertificateCache::instance().stats();
+    EXPECT_EQ(after.hits, before.hits + 1);
+    ASSERT_NE(engine2.certificate(), nullptr);
+    EXPECT_EQ(engine2.certificate()->key, cert->key);
+
+    // kOff skips analysis entirely.
+    auto model3 = train::make_model("lenet", mc);
+    approx::IntInferenceEngine engine3(*model3, pair.train, 32,
+                                       approx::SafetyPolicy::kOff);
+    EXPECT_EQ(engine3.certificate(), nullptr);
+}
+
+TEST(EngineIntegration, DescribeMatchesCompiledOps) {
+    data::SyntheticConfig dc;
+    dc.num_classes = 4;
+    dc.height = dc.width = 8;
+    dc.train_samples = 32;
+    dc.test_samples = 8;
+    dc.seed = 22;
+    const auto pair = data::make_synthetic(dc);
+
+    models::ModelConfig mc;
+    mc.in_size = 8;
+    mc.num_classes = 4;
+    mc.width_mult = 0.5f;
+    auto model = train::make_model("lenet", mc);
+    approx::IntInferenceEngine engine(*model, pair.train, 16,
+                                      approx::SafetyPolicy::kOff);
+
+    const GraphDesc desc = engine.describe();
+    ASSERT_EQ(desc.ops.size(), engine.num_ops());
+    for (const OpDesc& op : desc.ops) {
+        if (op.kind != OpDesc::Kind::kConv) continue;
+        EXPECT_GT(op.conv.out_ch, 0);
+        EXPECT_GT(op.conv.k, 0);
+        ASSERT_NE(op.conv.lut, nullptr);
+        EXPECT_EQ(op.conv.wq.size(),
+                  static_cast<std::size_t>(op.conv.out_ch * op.conv.k));
+        EXPECT_EQ(op.conv.sum_w.size(), static_cast<std::size_t>(op.conv.out_ch));
+        EXPECT_EQ(op.conv.bias_raw.size(),
+                  static_cast<std::size_t>(op.conv.out_ch));
+    }
+}
+
+} // namespace

@@ -1,0 +1,232 @@
+/// \file test_bit_bounds.cpp
+/// \brief Bit-level netlist dataflow (verify/bit_bounds): the static error
+///        band must contain the exhaustively observed error for every
+///        spec-built registry multiplier, degenerate to exact bounds at full
+///        cube split, detect provably-constant gates, and degrade malformed
+///        netlists to typed diagnostics. ALS-synthesized entries are covered
+///        by `amret_cli check` / `analyze-static`, which run the same
+///        containment cross-check inside check_multiplier.
+#include "accel/energy_model.hpp"
+#include "appmult/appmult.hpp"
+#include "appmult/registry.hpp"
+#include "multgen/multgen.hpp"
+#include "netlist/analysis.hpp"
+#include "netlist/netlist.hpp"
+#include "netlist/sim.hpp"
+#include "verify/bit_bounds.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace {
+
+using namespace amret;
+
+bool has_check(const verify::Diagnostics& diags, const std::string& check) {
+    for (const auto& d : diags)
+        if (d.check == check) return true;
+    return false;
+}
+
+/// Exhaustive ground truth for a multiplier netlist: observed error range of
+/// (approx - exact) and the OR of product bits that ever differ.
+struct Observed {
+    std::int64_t err_lo = 0;
+    std::int64_t err_hi = 0;
+    std::uint64_t diff_bits = 0;
+};
+
+Observed observe(const netlist::Netlist& nl, unsigned bits) {
+    Observed obs;
+    bool first = true;
+    const std::uint64_t domain = std::uint64_t{1} << bits;
+    for (std::uint64_t w = 0; w < domain; ++w) {
+        for (std::uint64_t x = 0; x < domain; ++x) {
+            const std::uint64_t approx =
+                netlist::eval_pattern(nl, w | (x << bits));
+            const std::uint64_t exact = w * x;
+            const std::int64_t err = static_cast<std::int64_t>(approx) -
+                                     static_cast<std::int64_t>(exact);
+            obs.err_lo = first ? err : std::min(obs.err_lo, err);
+            obs.err_hi = first ? err : std::max(obs.err_hi, err);
+            obs.diff_bits |= approx ^ exact;
+            first = false;
+        }
+    }
+    return obs;
+}
+
+// --- band containment across the registry ----------------------------------
+
+TEST(BandContainment, SpecRegistryEntriesContainObservedError) {
+    auto& reg = appmult::Registry::instance();
+    for (const std::string& name : reg.names()) {
+        const appmult::MultiplierInfo& info = reg.info(name);
+        if (info.construction != appmult::Construction::kSpec) continue;
+        const netlist::Netlist& nl = reg.circuit(name);
+        const verify::BitBoundsResult r =
+            verify::analyze_error_bounds(nl, info.bits);
+        ASSERT_TRUE(r.proven) << name << ": " << verify::summarize(r.diags);
+        EXPECT_FALSE(verify::has_errors(r.diags)) << name;
+
+        const Observed obs = observe(nl, info.bits);
+        EXPECT_LE(r.error.lo, obs.err_lo)
+            << name << ": band floor above observed minimum error";
+        EXPECT_GE(r.error.hi, obs.err_hi)
+            << name << ": band ceiling below observed maximum error";
+        // Support is over-approximate: every bit that ever differs must be
+        // flagged, extra flagged bits are allowed.
+        EXPECT_EQ(obs.diff_bits & ~r.support_mask, 0u)
+            << name << ": a differing product bit escaped the support mask";
+    }
+}
+
+TEST(BandContainment, ExactMultiplierBandContainsZero) {
+    const auto nl = multgen::build_netlist(multgen::exact_spec(8));
+    const verify::BitBoundsResult r = verify::analyze_error_bounds(nl, 8);
+    ASSERT_TRUE(r.proven) << verify::summarize(r.diags);
+    EXPECT_LE(r.error.lo, 0);
+    EXPECT_GE(r.error.hi, 0);
+    EXPECT_TRUE(has_check(r.diags, "bit-bounds"));
+}
+
+// --- full split: cubes are single input pairs, bounds become exact ---------
+
+TEST(FullSplit, ExactMultiplierHasZeroBandAndEmptySupport) {
+    const auto nl = multgen::build_netlist(multgen::exact_spec(4));
+    verify::BitBoundsOptions opts;
+    opts.split_bits = 4;
+    const verify::BitBoundsResult r = verify::analyze_error_bounds(nl, 4, opts);
+    ASSERT_TRUE(r.proven) << verify::summarize(r.diags);
+    EXPECT_EQ(r.cubes, 256u);
+    EXPECT_EQ(r.error.lo, 0);
+    EXPECT_EQ(r.error.hi, 0);
+    EXPECT_EQ(r.support_mask, 0u);
+}
+
+TEST(FullSplit, TruncatedMultiplierBandMatchesObservedExactly) {
+    const auto nl = multgen::build_netlist(multgen::truncated_spec(4, 4));
+    verify::BitBoundsOptions opts;
+    opts.split_bits = 4;
+    const verify::BitBoundsResult r = verify::analyze_error_bounds(nl, 4, opts);
+    ASSERT_TRUE(r.proven) << verify::summarize(r.diags);
+
+    const Observed obs = observe(nl, 4);
+    EXPECT_EQ(r.error.lo, obs.err_lo);
+    EXPECT_EQ(r.error.hi, obs.err_hi);
+    EXPECT_EQ(r.support_mask, obs.diff_bits);
+    EXPECT_LT(obs.err_lo, 0) << "truncation should actually lose product mass";
+}
+
+TEST(FullSplit, CoarserSplitStaysSoundButWider) {
+    const auto nl = multgen::build_netlist(multgen::truncated_spec(4, 4));
+    verify::BitBoundsOptions coarse;
+    coarse.split_bits = 1;
+    verify::BitBoundsOptions fine;
+    fine.split_bits = 4;
+    const auto rc = verify::analyze_error_bounds(nl, 4, coarse);
+    const auto rf = verify::analyze_error_bounds(nl, 4, fine);
+    ASSERT_TRUE(rc.proven);
+    ASSERT_TRUE(rf.proven);
+    EXPECT_LE(rc.error.lo, rf.error.lo);
+    EXPECT_GE(rc.error.hi, rf.error.hi);
+    EXPECT_EQ(rc.cubes, 4u);
+    EXPECT_EQ(rf.cubes, 256u);
+}
+
+// --- constant-gate (don't-care) detection ----------------------------------
+
+TEST(ConstantGates, CraftedDeadGatesAreFoundAndPriced) {
+    netlist::Netlist nl;
+    const auto a = nl.add_input("a");
+    const auto b = nl.add_input("b");
+    // Both provably constant regardless of (a, b).
+    const auto dead0 = nl.add_gate(netlist::CellType::kAnd2, a, nl.const0());
+    const auto dead1 = nl.add_gate(netlist::CellType::kOr2, b, nl.const1());
+    const auto live = nl.add_gate(netlist::CellType::kXor2, a, b);
+    nl.add_output("y0", dead0);
+    nl.add_output("y1", dead1);
+    nl.add_output("y2", live);
+
+    const auto constant = verify::find_constant_gates(nl);
+    ASSERT_EQ(constant.size(), 2u);
+    EXPECT_EQ(constant[0], dead0);
+    EXPECT_EQ(constant[1], dead1);
+    EXPECT_GT(verify::gate_area_um2(nl, constant), 0.0);
+}
+
+TEST(ConstantGates, ExactArrayHasNone) {
+    const auto nl = multgen::build_netlist(multgen::exact_spec(6));
+    EXPECT_TRUE(verify::find_constant_gates(nl).empty());
+}
+
+TEST(ConstantGates, NonTopologicalNetlistReturnsEmpty) {
+    // Gate at node 2 reads node 3 (forward reference): not a topological
+    // order, so the dataflow must refuse rather than read uninitialized
+    // state.
+    std::vector<netlist::Node> nodes(4);
+    nodes[0].type = netlist::CellType::kConst0;
+    nodes[1].type = netlist::CellType::kConst1;
+    nodes[2] = {netlist::CellType::kAnd2, 3, 1};
+    nodes[3] = {netlist::CellType::kInput, netlist::kNullNet, netlist::kNullNet};
+    auto nl = netlist::Netlist::from_raw_parts(
+        std::move(nodes), {3}, {"a"}, {{"y", 2}});
+    ASSERT_FALSE(nl.is_topologically_ordered());
+    EXPECT_TRUE(verify::find_constant_gates(nl).empty());
+}
+
+// --- malformed inputs degrade to typed diagnostics -------------------------
+
+TEST(BitBoundsDiagnostics, MalformedNetlistIsSkippedNotAnalyzed) {
+    std::vector<netlist::Node> nodes(4);
+    nodes[0].type = netlist::CellType::kConst0;
+    nodes[1].type = netlist::CellType::kConst1;
+    nodes[2] = {netlist::CellType::kAnd2, 3, 1};
+    nodes[3] = {netlist::CellType::kInput, netlist::kNullNet, netlist::kNullNet};
+    const auto nl = netlist::Netlist::from_raw_parts(
+        std::move(nodes), {3}, {"a"}, {{"y", 2}});
+    const verify::BitBoundsResult r = verify::analyze_error_bounds(nl, 4);
+    EXPECT_FALSE(r.proven);
+    EXPECT_TRUE(verify::has_errors(r.diags));
+    EXPECT_TRUE(has_check(r.diags, "bit-bounds-skipped"));
+    EXPECT_TRUE(r.error.overflowed) << "unproven band must stay poisoned";
+}
+
+TEST(BitBoundsDiagnostics, UnanalyzableWidthIsRejected) {
+    const auto nl = multgen::build_netlist(multgen::exact_spec(4));
+    const verify::BitBoundsResult r0 = verify::analyze_error_bounds(nl, 0);
+    EXPECT_FALSE(r0.proven);
+    EXPECT_TRUE(has_check(r0.diags, "bit-bounds-width"));
+    const verify::BitBoundsResult r17 = verify::analyze_error_bounds(nl, 17);
+    EXPECT_FALSE(r17.proven);
+    EXPECT_TRUE(has_check(r17.diags, "bit-bounds-width"));
+}
+
+// --- accel area discount ----------------------------------------------------
+
+TEST(AccelDiscount, ConstantGatesShrinkAreaAndGateCount) {
+    netlist::HardwareReport report;
+    report.area_um2 = 100.0;
+    report.delay_ps = 250.0;
+    report.power_uw = 40.0;
+    report.gates = 80;
+    const auto discounted = accel::discount_constant_gates(report, 5, 12.5);
+    EXPECT_EQ(discounted.gates, 75u);
+    EXPECT_DOUBLE_EQ(discounted.area_um2, 87.5);
+    EXPECT_DOUBLE_EQ(discounted.delay_ps, 250.0);
+    EXPECT_DOUBLE_EQ(discounted.power_uw, 40.0);
+}
+
+TEST(AccelDiscount, ClampsAtZeroInsteadOfUnderflowing) {
+    netlist::HardwareReport report;
+    report.area_um2 = 10.0;
+    report.gates = 3;
+    const auto discounted = accel::discount_constant_gates(report, 7, 99.0);
+    EXPECT_EQ(discounted.gates, 0u);
+    EXPECT_DOUBLE_EQ(discounted.area_um2, 0.0);
+}
+
+} // namespace

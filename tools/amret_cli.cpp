@@ -12,7 +12,12 @@
 ///                                 magnitude-conditioned error)
 ///   check   [name...]             static verification: netlist structure,
 ///                                 LUT/netlist equivalence, gradient-LUT
-///                                 invariants; exits nonzero on any error
+///                                 invariants, netlist error bounds; exits
+///                                 nonzero on any error
+///   analyze-static [--models ...] prove the integer inference pipeline
+///                                 overflow-free per model x multiplier,
+///                                 writing safety certificates; exits
+///                                 nonzero on any unprovable config
 ///   serve   [--duration S ...]    smoke-run the batching inference server
 ///                                 under closed-loop load (exit 1 on a
 ///                                 reject storm)
@@ -27,6 +32,7 @@
 #include <cstdio>
 #include <fstream>
 #include <iostream>
+#include <unordered_map>
 
 using namespace amret;
 
@@ -411,6 +417,143 @@ int cmd_serve(const util::ArgParser& args) {
     return 0;
 }
 
+std::vector<std::string> split_list(const std::string& csv) {
+    std::vector<std::string> items;
+    std::size_t pos = 0;
+    while (pos <= csv.size()) {
+        const std::size_t comma = csv.find(',', pos);
+        const std::string item =
+            csv.substr(pos, comma == std::string::npos ? std::string::npos
+                                                       : comma - pos);
+        if (!item.empty()) items.push_back(item);
+        if (comma == std::string::npos) break;
+        pos = comma + 1;
+    }
+    return items;
+}
+
+/// Statically proves the integer deployment pipeline overflow-free for each
+/// model x multiplier config: compiles an IntInferenceEngine against the
+/// synthetic calibration set, runs the interval analyzer over the compiled
+/// graph, embeds the multiplier's bit-level netlist error bounds, and writes
+/// one certificate JSON per config (plus the content-addressed cache entry).
+/// Exits nonzero when any config cannot be proven safe.
+int cmd_analyze_static(const util::ArgParser& args) {
+    const std::string out_dir = args.get("out-dir", "results");
+    analysis::CertificateCache::instance().set_directory(out_dir);
+
+    const std::vector<std::string> model_names =
+        split_list(args.get("models", "lenet,vgg11"));
+    auto& reg = appmult::Registry::instance();
+    std::vector<std::string> mult_names = split_list(args.get("mults", ""));
+    if (mult_names.empty()) mult_names = reg.names();
+    for (const auto& name : mult_names) {
+        if (!reg.contains(name)) {
+            std::fprintf(stderr, "unknown multiplier: %s (try `amret_cli list`)\n",
+                         name.c_str());
+            return 1;
+        }
+    }
+
+    data::SyntheticConfig dc;
+    dc.num_classes = 10;
+    dc.height = dc.width = 16;
+    dc.train_samples = 64;
+    dc.test_samples = 16;
+    dc.seed = 11;
+    const auto pair = data::make_synthetic(dc);
+
+    // The netlist error band only depends on the multiplier, not the model —
+    // derive it once per multiplier.
+    std::unordered_map<std::string, analysis::NetlistBoundsSummary> bounds_by_mult;
+    for (const auto& mult : mult_names) {
+        const verify::BitBoundsResult bounds =
+            verify::analyze_error_bounds(reg.circuit(mult), reg.info(mult).bits);
+        analysis::NetlistBoundsSummary summary;
+        summary.present = true;
+        summary.proven = bounds.proven;
+        summary.error_lo = bounds.error.lo;
+        summary.error_hi = bounds.error.hi;
+        summary.support_mask = bounds.support_mask;
+        summary.constant_gates = bounds.constant_gates.size();
+        summary.constant_area_um2 = bounds.constant_area_um2;
+        bounds_by_mult.emplace(mult, summary);
+    }
+
+    std::size_t unsafe = 0;
+    for (const auto& model_name : model_names) {
+        for (const auto& mult : mult_names) {
+            models::ModelConfig mc;
+            mc.in_size = 16;
+            mc.num_classes = 10;
+            mc.width_mult = static_cast<float>(args.get_double("width-mult", 0.25));
+            std::unique_ptr<nn::Sequential> model;
+            try {
+                model = train::make_model(model_name, mc);
+            } catch (const std::exception& e) {
+                std::fprintf(stderr, "unknown model: %s (%s)\n", model_name.c_str(),
+                             e.what());
+                return 1;
+            }
+            approx::MultiplierConfig config;
+            config.lut = std::make_shared<appmult::AppMultLut>(reg.lut(mult));
+            config.grad = std::make_shared<core::GradLut>(core::build_difference_grad(
+                *config.lut, reg.info(mult).default_hws));
+            approx::configure_approx_layers(*model, config,
+                                            approx::ComputeMode::kQuantized);
+
+            analysis::GraphDesc desc;
+            try {
+                // Analysis runs explicitly below so the certificate carries
+                // the model/multiplier identity the engine cannot know.
+                approx::IntInferenceEngine engine(*model, pair.train, 32,
+                                                  approx::SafetyPolicy::kOff);
+                desc = engine.describe();
+            } catch (const std::exception& e) {
+                std::fprintf(stderr, "%-10s x %-12s cannot compile: %s\n",
+                             model_name.c_str(), mult.c_str(), e.what());
+                ++unsafe;
+                continue;
+            }
+            desc.model = model_name;
+            desc.multiplier = mult;
+            desc.hws = reg.info(mult).default_hws;
+
+            const std::string key = analysis::digest_key(desc);
+            auto& cache = analysis::CertificateCache::instance();
+            std::shared_ptr<const analysis::Certificate> cert = cache.lookup(key);
+            if (cert == nullptr || cert->ops.empty()) {
+                auto fresh = std::make_shared<analysis::Certificate>(
+                    analysis::analyze_graph(desc));
+                fresh->netlist = bounds_by_mult.at(mult);
+                if (!fresh->netlist.proven) {
+                    fresh->diags.push_back(verify::Diagnostic{
+                        verify::Severity::kError, "netlist-bounds", verify::kNoObject,
+                        "multiplier netlist error bounds unprovable"});
+                    fresh->safe = false;
+                }
+                cache.store(fresh);
+                cert = fresh;
+            }
+            std::printf("%-10s x %-12s %s  %s\n", model_name.c_str(), mult.c_str(),
+                        key.c_str(), cert->summary().c_str());
+            for (const auto& diag : cert->diags)
+                if (diag.severity != verify::Severity::kNote)
+                    std::printf("  %s\n", verify::to_string(diag).c_str());
+            if (!cert->safe) ++unsafe;
+
+            std::ofstream f(out_dir + "/cert_" + model_name + "_" + mult + ".json");
+            if (f) f << cert->to_json();
+        }
+    }
+    const auto stats = analysis::CertificateCache::instance().stats();
+    std::printf("analyzed %zu config(s): %zu unsafe (cache: %lld hit, %lld miss)\n",
+                model_names.size() * mult_names.size(), unsafe,
+                static_cast<long long>(stats.hits),
+                static_cast<long long>(stats.misses));
+    return unsafe == 0 ? 0 : 1;
+}
+
 int cmd_check(const util::ArgParser& args) {
     verify::CheckOptions options;
     const long hws = args.get_int("hws", -1);
@@ -448,6 +591,11 @@ void usage() {
         "  profile <name>               structural error profile\n"
         "  check   [name...] [--hws N] [--skip-grad] [--skip-sim]\n"
         "                               static verification (exit 1 on errors)\n"
+        "  analyze-static [--models a,b] [--mults a,b] [--out-dir results]\n"
+        "          [--width-mult F]     prove the integer inference pipeline\n"
+        "                               overflow-free per model x multiplier;\n"
+        "                               writes certificate JSONs, exits 1 on\n"
+        "                               any unprovable config\n"
         "  train   [--model lenet] [--mult name] [--epochs N] [--batch N]\n"
         "          [--microbatches K] [--checkpoint f.ckpt] [--resume]\n"
         "          [--trace out.json] [--profile]\n"
@@ -494,6 +642,7 @@ int main(int argc, char** argv) {
                          args.get_double("nmed", 0.4), out);
     if (command == "profile") return cmd_profile(name);
     if (command == "check") return cmd_check(args);
+    if (command == "analyze-static") return cmd_analyze_static(args);
     if (command == "train") return cmd_train(args);
     if (command == "serve") return cmd_serve(args);
     usage();
