@@ -78,16 +78,19 @@ end_stage
 begin_stage "kernel property tests at the thread-count extremes"
 AMRET_THREADS=1 ./build/tests/test_kernels
 AMRET_THREADS=8 ./build/tests/test_kernels
+AMRET_THREADS=1 ./build/tests/test_layout
+AMRET_THREADS=8 ./build/tests/test_layout
 end_stage
 
-begin_stage "parallel trainer + obs + serve under ThreadSanitizer"
+begin_stage "parallel trainer + obs + serve + layout under ThreadSanitizer"
 cmake --preset tsan
 cmake --build --preset tsan -j "$jobs" \
-  --target test_train_parallel test_obs test_serve
+  --target test_train_parallel test_obs test_serve test_layout
 AMRET_THREADS=8 TSAN_OPTIONS=halt_on_error=1 \
   ./build-tsan/tests/test_train_parallel --gtest_filter='TrainerDeterminism.*'
 AMRET_THREADS=8 TSAN_OPTIONS=halt_on_error=1 ./build-tsan/tests/test_obs
 AMRET_THREADS=8 TSAN_OPTIONS=halt_on_error=1 ./build-tsan/tests/test_serve
+AMRET_THREADS=8 TSAN_OPTIONS=halt_on_error=1 ./build-tsan/tests/test_layout
 end_stage
 
 begin_stage "bench_micro smoke (--quick; fails on crash only)"
@@ -99,6 +102,13 @@ if [ "$bench_status" -ge 128 ]; then
   echo "bench_micro --quick crashed (exit $bench_status)" >&2
   false
 fi
+end_stage
+
+# Blocked-vs-scalar kernel throughput with bitwise-equality gating: a layout
+# regression that changes results fails here; perf numbers only report
+# (machine-dependent). Artifact: results/BENCH_kernels.json.
+begin_stage "kernel throughput report (bench_micro --kernels-json)"
+./build/bench/bench_micro --kernels-json
 end_stage
 
 begin_stage "traced training round-trip"

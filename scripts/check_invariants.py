@@ -1,7 +1,7 @@
 #!/usr/bin/env python3
 """Project-specific lint: invariants clang-tidy has no checker for.
 
-Three rules, each scoped to where the invariant actually holds meaning:
+Four rules, each scoped to where the invariant actually holds meaning:
 
   kernel-alloc     src/kernels must stay allocation-free (Workspace-only):
                    the inner loops run per batch inside parallel workers, and
@@ -18,6 +18,15 @@ Three rules, each scoped to where the invariant actually holds meaning:
   rng-discipline   No rand()/srand()/std::random_device/time-seeded engines
                    outside util::Rng: every random stream must be derived
                    from an explicit seed, or determinism tests lose meaning.
+
+  panel-indexing   No raw indexing into blocked panel code buffers
+                   (`*_panels[...]`, `panel_offset(...)`) outside
+                   src/kernels: the panel interleave is a kernel-private
+                   contract (layout.hpp); consumers go through the blocked
+                   kernels or the unpack_* helpers so a layout change cannot
+                   silently corrupt a caller. The analyzer's independent
+                   re-derivation and deliberate test corruptions carry
+                   explicit `// invariant-ok:` marks.
 
 A line ending in `// invariant-ok: <reason>` is exempt from all rules.
 Exit status: 0 clean, 1 violations, 2 usage error.
@@ -47,6 +56,7 @@ RNG_TIME_SEED = re.compile(
     r"(mt19937|minstd_rand|default_random_engine)[^;]*\("
     r"[^;)]*(time\s*\(|::now\s*\()"
 )
+PANEL_INDEX = re.compile(r"\bpanel_offset\s*\(|\b\w*_panels\s*\[|\bpanels\s*\[")
 
 
 def strip_comments_and_strings(line: str) -> str:
@@ -134,12 +144,24 @@ def main():
             findings,
         )
 
+    for path in iter_source(["src", "tools", "tests", "bench"]):
+        if path.relative_to(ROOT).as_posix().startswith("src/kernels/"):
+            continue
+        check_file(
+            path,
+            [("panel-indexing", PANEL_INDEX,
+              "raw panel-buffer indexing outside src/kernels; go through the "
+              "blocked kernels or the unpack_* helpers (kernels/layout.hpp)")],
+            findings,
+        )
+
     if findings:
         print(f"{len(findings)} invariant violation(s):")
         for f in findings:
             print(f)
         return 1
-    print("invariants clean (kernel-alloc, mutable-static, rng-discipline)")
+    print("invariants clean (kernel-alloc, mutable-static, rng-discipline, "
+          "panel-indexing)")
     return 0
 
 

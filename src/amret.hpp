@@ -24,6 +24,7 @@
 #include "data/dataset.hpp"            // datasets + loader
 #include "data/shapes.hpp"             // geometric-shapes task
 #include "kernels/im2col.hpp"          // im2col/col2im planner
+#include "kernels/layout.hpp"          // blocked panel layouts + fused im2col
 #include "kernels/lut_kernels.hpp"     // tiled LUT-GEMM kernels
 #include "kernels/quantize.hpp"        // workspace-backed quantization
 #include "kernels/tuning.hpp"          // kernel tuning constants

@@ -99,6 +99,8 @@ std::uint64_t digest(const GraphDesc& graph) {
         h = fnv_vector(h, c.wq);
         h = fnv_vector(h, c.sum_w);
         h = fnv_vector(h, c.bias_raw);
+        // panel_tr/panel_tk/wq_panels are deliberately not hashed: they are a
+        // repacking of wq under a tuning choice (see ConvOpDesc).
         if (c.lut && !c.lut->empty()) {
             h = fnv_value(h, c.lut->bits());
             h = fnv_vector(h, c.lut->table());
@@ -174,6 +176,78 @@ Interval analyze_conv(const OpDesc& op, std::size_t op_index, Interval x_codes,
             add(diags, Severity::kError, "lut-index-bounds", obj,
                 op.label + ": weight code " + std::to_string(wq_max) +
                     " exceeds the LUT operand domain");
+        }
+    }
+
+    // --- blocked-panel cross-check ------------------------------------------
+    // The engine's blocked kernel reads wq_panels, not wq, so the interval
+    // proof over wq only covers the deployed path if the panels really are a
+    // faithful repacking. The indexing below is re-derived from the layout
+    // contract (panel (rb, kb) at (rb*kb_n + kb)*tr*tk, slot kk*tr + rr,
+    // codes pre-shifted by bits) independently of kernels/layout.cpp, so a
+    // packer bug cannot vouch for itself.
+    if (!c.wq_panels.empty()) {
+        if (!has_wq || c.panel_tr <= 0 || c.panel_tk <= 0) {
+            add(diags, Severity::kError, "desc-inconsistent", obj,
+                op.label + ": panel codes present without wq or valid tile dims");
+            return fallback_out;
+        }
+        const std::int64_t tr = c.panel_tr, tk = c.panel_tk;
+        const std::int64_t rb_n = (c.out_ch + tr - 1) / tr;
+        const std::int64_t kb_n = (c.k + tk - 1) / tk;
+        if (c.wq_panels.size() !=
+            static_cast<std::size_t>(rb_n * kb_n * tr * tk)) {
+            add(diags, Severity::kError, "desc-inconsistent", obj,
+                op.label + ": wq_panels has " + std::to_string(c.wq_panels.size()) +
+                    " slots, expected " + std::to_string(rb_n * kb_n * tr * tk) +
+                    " for " + std::to_string(tr) + "x" + std::to_string(tk) +
+                    " panels");
+            return fallback_out;
+        }
+        std::int64_t pack_bad = -1;
+        for (std::int64_t o = 0; o < c.out_ch && pack_bad < 0; ++o) {
+            const std::int64_t rb = o / tr, rr = o % tr;
+            for (std::int64_t kk = 0; kk < c.k; ++kk) {
+                const std::int64_t kb = kk / tk, kr = kk % tk;
+                const std::int64_t idx =
+                    (rb * kb_n + kb) * tr * tk + kr * tr + rr;
+                const std::uint32_t expect =
+                    static_cast<std::uint32_t>(c.wq[static_cast<std::size_t>(
+                        o * c.k + kk)])
+                    << c.bits;
+                if (c.wq_panels[static_cast<std::size_t>( // invariant-ok: analyzer re-derives the interleave independently
+                        idx)] != expect) {
+                    pack_bad = o;
+                    break;
+                }
+            }
+        }
+        if (pack_bad >= 0) {
+            add(diags, Severity::kError, "panel-pack-mismatch", obj,
+                op.label + ": blocked weight panels disagree with the row-major "
+                           "codes at output channel " + std::to_string(pack_bad));
+        } else if (!c.sum_w.empty()) {
+            // Header check: the hoisted Eq. (8) sums the blocked epilogue
+            // consumes must equal the per-channel reduction of the packed
+            // codes (recomputed here from the panels, not copied from wq).
+            for (std::int64_t o = 0; o < c.out_ch; ++o) {
+                const std::int64_t rb = o / tr, rr = o % tr;
+                std::int64_t s = 0;
+                for (std::int64_t kk = 0; kk < c.k; ++kk) {
+                    const std::int64_t kb = kk / tk, kr = kk % tk;
+                    s += c.wq_panels[static_cast<std::size_t>( // invariant-ok: analyzer re-derives the interleave independently
+                             (rb * kb_n + kb) * tr * tk + kr * tr + rr)] >>
+                         c.bits;
+                }
+                if (s != c.sum_w[static_cast<std::size_t>(o)]) {
+                    add(diags, Severity::kError, "panel-sum-mismatch", obj,
+                        op.label + ": panel header sum " + std::to_string(s) +
+                            " != hoisted sum_w " +
+                            std::to_string(c.sum_w[static_cast<std::size_t>(o)]) +
+                            " at output channel " + std::to_string(o));
+                    break;
+                }
+            }
         }
     }
 

@@ -48,6 +48,18 @@ struct ConvOpDesc {
     quant::FixedPointMultiplier requant;
     std::int32_t out_zero = 0;
     std::int32_t out_qmax = 255;
+
+    // Blocked-layout view of the same weights (kernels/layout.hpp panels).
+    // Derived data, EXCLUDED from the content digest: the panels are a
+    // repacking of wq and the tile dims are a tuning choice, not a semantic
+    // parameter — two engines that differ only in blocking share a
+    // certificate. When wq_panels is non-empty the analyzer independently
+    // re-derives the panel indexing and cross-checks it against wq / sum_w
+    // ("panel-pack-mismatch" / "panel-sum-mismatch"), so the certificate
+    // also covers the fused blocked path the engine actually runs.
+    std::int64_t panel_tr = 0;            ///< rows per weight panel (0 = scalar)
+    std::int64_t panel_tk = 0;            ///< depth per weight panel
+    std::vector<std::uint32_t> wq_panels; ///< pre-shifted (w << bits) panel codes
 };
 
 /// Integer pooling op (scale/zero preserved; no multiplies).

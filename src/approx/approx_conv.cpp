@@ -155,31 +155,73 @@ Tensor ApproxConv2d::forward_quant(const Tensor& x, State& st, nn::Context& ctx)
         act_observer_.observe(x);
     const quant::QuantParams xparams = act_observer_.params(bits);
 
-    float* cols = st.ws.alloc<float>(st.geom.positions() * patch);
-    kernels::im2col(x.data(), st.geom, cols);
-    st.xq = kernels::quantize_into(cols, st.geom.positions() * patch, xparams,
-                                   st.ws);
+    // Blocked layout (default): weight codes are re-packed into pre-shifted
+    // panels and the activation codes are produced by the fused
+    // im2col+quantize packer — the full (P, patch) float column buffer never
+    // exists. The fused quantizer and the blocked kernels are bitwise-
+    // identical to the scalar path (tests/test_layout.cpp), so both modes
+    // train identically.
+    st.blocked = kernels::layout_mode() != kernels::LayoutMode::kScalar;
+    const std::int64_t positions = st.geom.positions();
+    Tensor po(Shape{positions, out_ch_});
+    if (st.blocked) {
+        const kernels::Tuning& tiles = kernels::Tuning::current();
+        st.wpan = kernels::pack_quantized_weights(
+            st.wq, bits,
+            kernels::make_panel_plan(out_ch_, patch, tiles.to, tiles.tk),
+            st.ws);
+        const kernels::QuantPanels xq = kernels::quantize_conv_panels(
+            x.data(), st.geom, xparams,
+            kernels::make_panel_plan(positions, patch, tiles.tp, tiles.tk),
+            st.ws);
+        st.xpan = xq.panels;
+        st.xq = kernels::QuantView{nullptr, xq.in_range, xparams,
+                                   positions * patch};
 
-    kernels::LutGemmArgs args;
-    args.bits = bits;
-    args.lut = mult_.lut->table().data();
-    args.wq = st.wq.codes;
-    args.xq = st.xq.codes;
-    args.o = out_ch_;
-    args.p = st.geom.positions();
-    args.k = patch;
-    args.scale_x = xparams.scale;
-    args.zero_x = static_cast<std::int32_t>(xparams.zero_point);
-    if (per_channel_) {
-        args.scale_w_per_o = st.wscale_per_o;
-        args.zero_w_per_o = st.wzero_per_o;
+        kernels::BlockedGemmArgs args;
+        args.bits = bits;
+        args.lut = mult_.lut->table().data();
+        args.w = st.wpan;
+        args.x = st.xpan;
+        args.o = out_ch_;
+        args.p = positions;
+        args.k = patch;
+        args.scale_x = xparams.scale;
+        args.zero_x = static_cast<std::int32_t>(xparams.zero_point);
+        if (per_channel_) {
+            args.scale_w_per_o = st.wscale_per_o;
+            args.zero_w_per_o = st.wzero_per_o;
+        } else {
+            args.scale_w = wparams.scale;
+            args.zero_w = static_cast<std::int32_t>(wparams.zero_point);
+        }
+        kernels::lut_forward_blocked(args, bias.value.data(), po.data(),
+                                     st.ws);
     } else {
-        args.scale_w = wparams.scale;
-        args.zero_w = static_cast<std::int32_t>(wparams.zero_point);
-    }
+        float* cols = st.ws.alloc<float>(positions * patch);
+        kernels::im2col(x.data(), st.geom, cols);
+        st.xq = kernels::quantize_into(cols, positions * patch, xparams,
+                                       st.ws);
 
-    Tensor po(Shape{args.p, args.o});
-    kernels::lut_forward(args, bias.value.data(), po.data(), st.ws);
+        kernels::LutGemmArgs args;
+        args.bits = bits;
+        args.lut = mult_.lut->table().data();
+        args.wq = st.wq.codes;
+        args.xq = st.xq.codes;
+        args.o = out_ch_;
+        args.p = positions;
+        args.k = patch;
+        args.scale_x = xparams.scale;
+        args.zero_x = static_cast<std::int32_t>(xparams.zero_point);
+        if (per_channel_) {
+            args.scale_w_per_o = st.wscale_per_o;
+            args.zero_w_per_o = st.wzero_per_o;
+        } else {
+            args.scale_w = wparams.scale;
+            args.zero_w = static_cast<std::int32_t>(wparams.zero_point);
+        }
+        kernels::lut_forward(args, bias.value.data(), po.data(), st.ws);
+    }
     Tensor y(Shape{st.geom.batch, out_ch_, st.geom.out_h(), st.geom.out_w()});
     kernels::scatter_positions(po.data(), st.geom.batch, out_ch_, st.geom.out_h(),
                                st.geom.out_w(), y.data());
@@ -193,40 +235,63 @@ Tensor ApproxConv2d::backward_quant(const Tensor& gy, State& st, nn::Context& ct
                               st.geom.out_w(), gyp);
     kernels::accumulate_bias_grad(gyp, p, out_ch_, ctx.grad(bias).data());
 
-    kernels::LutGemmArgs args;
-    args.bits = mult_.bits();
-    args.lut = mult_.lut->table().data();
-    args.wq = st.wq.codes;
-    args.xq = st.xq.codes;
-    args.o = out_ch_;
-    args.p = p;
-    args.k = patch;
-    args.scale_x = st.xq.params.scale;
-    args.zero_x = static_cast<std::int32_t>(st.xq.params.zero_point);
-    if (per_channel_) {
-        args.scale_w_per_o = st.wscale_per_o;
-        args.zero_w_per_o = st.wzero_per_o;
-    } else {
-        args.scale_w = st.wq.params.scale;
-        args.zero_w = static_cast<std::int32_t>(st.wq.params.zero_point);
-    }
-
-    float* gw_raw = st.ws.alloc<float>(args.o * args.k);
-    float* gx_raw = st.ws.alloc<float>(args.p * args.k);
-    runtime::parallel_for(0, args.o * args.k,
-                          runtime::grain_for(args.o * args.k,
+    const float scale_x = st.xq.params.scale;
+    float* gw_raw = st.ws.alloc<float>(out_ch_ * patch);
+    float* gx_raw = st.ws.alloc<float>(p * patch);
+    runtime::parallel_for(0, out_ch_ * patch,
+                          runtime::grain_for(out_ch_ * patch,
                                              tune::kGrainElementwiseWide),
                           [&](std::int64_t b, std::int64_t e) {
         for (std::int64_t i = b; i < e; ++i) gw_raw[i] = 0.0f;
     });
-    runtime::parallel_for(0, args.p * args.k,
-                          runtime::grain_for(args.p * args.k,
+    runtime::parallel_for(0, p * patch,
+                          runtime::grain_for(p * patch,
                                              tune::kGrainElementwiseWide),
                           [&](std::int64_t b, std::int64_t e) {
         for (std::int64_t i = b; i < e; ++i) gx_raw[i] = 0.0f;
     });
-    kernels::lut_backward(args, gyp, mult_.grad->dw_table().data(),
-                          mult_.grad->dx_table().data(), gw_raw, gx_raw);
+    if (st.blocked) {
+        kernels::BlockedGemmArgs args;
+        args.bits = mult_.bits();
+        args.lut = mult_.lut->table().data();
+        args.w = st.wpan;
+        args.x = st.xpan;
+        args.o = out_ch_;
+        args.p = p;
+        args.k = patch;
+        args.scale_x = scale_x;
+        args.zero_x = static_cast<std::int32_t>(st.xq.params.zero_point);
+        if (per_channel_) {
+            args.scale_w_per_o = st.wscale_per_o;
+            args.zero_w_per_o = st.wzero_per_o;
+        } else {
+            args.scale_w = st.wq.params.scale;
+            args.zero_w = static_cast<std::int32_t>(st.wq.params.zero_point);
+        }
+        kernels::lut_backward_blocked(args, gyp, mult_.grad->dw_table().data(),
+                                      mult_.grad->dx_table().data(), gw_raw,
+                                      gx_raw, st.ws);
+    } else {
+        kernels::LutGemmArgs args;
+        args.bits = mult_.bits();
+        args.lut = mult_.lut->table().data();
+        args.wq = st.wq.codes;
+        args.xq = st.xq.codes;
+        args.o = out_ch_;
+        args.p = p;
+        args.k = patch;
+        args.scale_x = scale_x;
+        args.zero_x = static_cast<std::int32_t>(st.xq.params.zero_point);
+        if (per_channel_) {
+            args.scale_w_per_o = st.wscale_per_o;
+            args.zero_w_per_o = st.wzero_per_o;
+        } else {
+            args.scale_w = st.wq.params.scale;
+            args.zero_w = static_cast<std::int32_t>(st.wq.params.zero_point);
+        }
+        kernels::lut_backward(args, gyp, mult_.grad->dw_table().data(),
+                              mult_.grad->dx_table().data(), gw_raw, gx_raw);
+    }
 
     // Eq. (9): fold in the quantizer derivative. dW/dw = 1/s_w inside the
     // clamp range (0 outside); dy/dY contributed s_w*s_x, so the weight
@@ -234,16 +299,16 @@ Tensor ApproxConv2d::backward_quant(const Tensor& gy, State& st, nn::Context& ct
     // into gx_raw by the kernel (it varies per row in per-channel mode);
     // only the clamp mask remains.
     float* wg = ctx.grad(weight).data();
-    runtime::parallel_for(0, args.o * args.k,
-                          runtime::grain_for(args.o * args.k,
+    runtime::parallel_for(0, out_ch_ * patch,
+                          runtime::grain_for(out_ch_ * patch,
                                              tune::kGrainElementwise),
                           [&](std::int64_t b, std::int64_t e) {
         for (std::int64_t i = b; i < e; ++i) {
-            if (st.wq.in_range[i]) wg[i] += args.scale_x * gw_raw[i];
+            if (st.wq.in_range[i]) wg[i] += scale_x * gw_raw[i];
         }
     });
-    runtime::parallel_for(0, args.p * args.k,
-                          runtime::grain_for(args.p * args.k,
+    runtime::parallel_for(0, p * patch,
+                          runtime::grain_for(p * patch,
                                              tune::kGrainElementwise),
                           [&](std::int64_t b, std::int64_t e) {
         for (std::int64_t i = b; i < e; ++i) {
@@ -327,24 +392,56 @@ Tensor ApproxLinear::forward(const Tensor& x, nn::Context& ctx) {
     if ((training_ && !ctx.observers_frozen()) || !act_observer_.initialized())
         act_observer_.observe(x);
     const quant::QuantParams xparams = act_observer_.params(bits);
-    st.xq = kernels::quantize_into(x.data(), st.batch * in_features_, xparams,
-                                   st.ws);
 
-    kernels::LutGemmArgs args;
-    args.bits = bits;
-    args.lut = mult_.lut->table().data();
-    args.wq = st.wq.codes;
-    args.xq = st.xq.codes;
-    args.o = out_features_;
-    args.p = st.batch;
-    args.k = in_features_;
-    args.scale_w = wparams.scale;
-    args.scale_x = xparams.scale;
-    args.zero_w = static_cast<std::int32_t>(wparams.zero_point);
-    args.zero_x = static_cast<std::int32_t>(xparams.zero_point);
+    st.blocked = kernels::layout_mode() != kernels::LayoutMode::kScalar;
+    Tensor y(Shape{st.batch, out_features_});
+    if (st.blocked) {
+        const kernels::Tuning& tiles = kernels::Tuning::current();
+        st.wpan = kernels::pack_quantized_weights(
+            st.wq, bits,
+            kernels::make_panel_plan(out_features_, in_features_, tiles.to,
+                                     tiles.tk),
+            st.ws);
+        const kernels::QuantPanels xq = kernels::quantize_panels(
+            x.data(), xparams,
+            kernels::make_panel_plan(st.batch, in_features_, tiles.tp,
+                                     tiles.tk),
+            st.ws);
+        st.xpan = xq.panels;
+        st.xq = kernels::QuantView{nullptr, xq.in_range, xparams,
+                                   st.batch * in_features_};
 
-    Tensor y(Shape{args.p, args.o});
-    kernels::lut_forward(args, bias.value.data(), y.data(), st.ws);
+        kernels::BlockedGemmArgs args;
+        args.bits = bits;
+        args.lut = mult_.lut->table().data();
+        args.w = st.wpan;
+        args.x = st.xpan;
+        args.o = out_features_;
+        args.p = st.batch;
+        args.k = in_features_;
+        args.scale_w = wparams.scale;
+        args.scale_x = xparams.scale;
+        args.zero_w = static_cast<std::int32_t>(wparams.zero_point);
+        args.zero_x = static_cast<std::int32_t>(xparams.zero_point);
+        kernels::lut_forward_blocked(args, bias.value.data(), y.data(), st.ws);
+    } else {
+        st.xq = kernels::quantize_into(x.data(), st.batch * in_features_,
+                                       xparams, st.ws);
+
+        kernels::LutGemmArgs args;
+        args.bits = bits;
+        args.lut = mult_.lut->table().data();
+        args.wq = st.wq.codes;
+        args.xq = st.xq.codes;
+        args.o = out_features_;
+        args.p = st.batch;
+        args.k = in_features_;
+        args.scale_w = wparams.scale;
+        args.scale_x = xparams.scale;
+        args.zero_w = static_cast<std::int32_t>(wparams.zero_point);
+        args.zero_x = static_cast<std::int32_t>(xparams.zero_point);
+        kernels::lut_forward(args, bias.value.data(), y.data(), st.ws);
+    }
     return y;
 }
 
@@ -360,37 +457,55 @@ Tensor ApproxLinear::backward(const Tensor& gy, nn::Context& ctx) {
         return tensor::matmul(gy, weight.value);
     }
 
-    kernels::LutGemmArgs args;
-    args.bits = mult_.bits();
-    args.lut = mult_.lut->table().data();
-    args.wq = st.wq.codes;
-    args.xq = st.xq.codes;
-    args.o = out_features_;
-    args.p = st.batch;
-    args.k = in_features_;
-    args.scale_w = st.wq.params.scale;
-    args.scale_x = st.xq.params.scale;
-    args.zero_w = static_cast<std::int32_t>(st.wq.params.zero_point);
-    args.zero_x = static_cast<std::int32_t>(st.xq.params.zero_point);
-
-    float* gw_raw = st.ws.alloc<float>(args.o * args.k);
-    runtime::parallel_for(0, args.o * args.k,
-                          runtime::grain_for(args.o * args.k,
-                                             tune::kGrainElementwiseWide),
+    const float scale_x = st.xq.params.scale;
+    const std::int64_t nw = out_features_ * in_features_;
+    float* gw_raw = st.ws.alloc<float>(nw);
+    runtime::parallel_for(0, nw,
+                          runtime::grain_for(nw, tune::kGrainElementwiseWide),
                           [&](std::int64_t b, std::int64_t e) {
         for (std::int64_t i = b; i < e; ++i) gw_raw[i] = 0.0f;
     });
-    Tensor gx(Shape{args.p, args.k}); // zero-initialized
-    kernels::lut_backward(args, gy.data(), mult_.grad->dw_table().data(),
-                          mult_.grad->dx_table().data(), gw_raw, gx.data());
+    Tensor gx(Shape{st.batch, in_features_}); // zero-initialized
+    if (st.blocked) {
+        kernels::BlockedGemmArgs args;
+        args.bits = mult_.bits();
+        args.lut = mult_.lut->table().data();
+        args.w = st.wpan;
+        args.x = st.xpan;
+        args.o = out_features_;
+        args.p = st.batch;
+        args.k = in_features_;
+        args.scale_w = st.wq.params.scale;
+        args.scale_x = scale_x;
+        args.zero_w = static_cast<std::int32_t>(st.wq.params.zero_point);
+        args.zero_x = static_cast<std::int32_t>(st.xq.params.zero_point);
+        kernels::lut_backward_blocked(args, gy.data(),
+                                      mult_.grad->dw_table().data(),
+                                      mult_.grad->dx_table().data(), gw_raw,
+                                      gx.data(), st.ws);
+    } else {
+        kernels::LutGemmArgs args;
+        args.bits = mult_.bits();
+        args.lut = mult_.lut->table().data();
+        args.wq = st.wq.codes;
+        args.xq = st.xq.codes;
+        args.o = out_features_;
+        args.p = st.batch;
+        args.k = in_features_;
+        args.scale_w = st.wq.params.scale;
+        args.scale_x = scale_x;
+        args.zero_w = static_cast<std::int32_t>(st.wq.params.zero_point);
+        args.zero_x = static_cast<std::int32_t>(st.xq.params.zero_point);
+        kernels::lut_backward(args, gy.data(), mult_.grad->dw_table().data(),
+                              mult_.grad->dx_table().data(), gw_raw, gx.data());
+    }
 
     float* wg = ctx.grad(weight).data();
-    runtime::parallel_for(0, args.o * args.k,
-                          runtime::grain_for(args.o * args.k,
-                                             tune::kGrainElementwise),
+    runtime::parallel_for(0, nw,
+                          runtime::grain_for(nw, tune::kGrainElementwise),
                           [&](std::int64_t b, std::int64_t e) {
         for (std::int64_t i = b; i < e; ++i) {
-            if (st.wq.in_range[i]) wg[i] += args.scale_x * gw_raw[i];
+            if (st.wq.in_range[i]) wg[i] += scale_x * gw_raw[i];
         }
     });
     // The s_w factor of the activation gradient is folded in by the kernel.

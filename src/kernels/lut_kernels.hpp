@@ -24,10 +24,12 @@
 /// and any tile configuration.
 #pragma once
 
+#include "kernels/layout.hpp"
 #include "kernels/tuning.hpp"
 #include "kernels/workspace.hpp"
 
 #include <algorithm>
+#include <cassert>
 #include <cstdint>
 
 namespace amret::kernels {
@@ -62,12 +64,14 @@ struct LutGemmArgs {
     }
 };
 
-/// P/O/K block dimensions of the tiled kernels. Defaults come from
-/// tuning.hpp; bench_micro --tile-sweep measures alternatives.
+/// P/O/K block dimensions of the tiled kernels. Defaults come from the
+/// runtime Tuning picks (AMRET_TILES env override, then the persistent
+/// auto-tuner file, then the tune::kTile* constants); bench_micro
+/// --tile-sweep measures alternatives and writes the tuner file.
 struct TileConfig {
-    std::int64_t tp = tune::kTileP;
-    std::int64_t to = tune::kTileO;
-    std::int64_t tk = tune::kTileK;
+    std::int64_t tp = Tuning::current().tp;
+    std::int64_t to = Tuning::current().to;
+    std::int64_t tk = Tuning::current().tk;
 
     /// Accumulator tile elements a caller must provide as scratch.
     [[nodiscard]] std::int64_t acc_elems() const { return tp * to; }
@@ -179,5 +183,106 @@ void lut_backward(const LutGemmArgs& args, const float* gyp,
                   const float* grad_w_lut, const float* grad_x_lut,
                   float* gw_raw, float* gx_raw,
                   const TileConfig& tile = TileConfig{});
+
+// ----------------------------------------------------------------------
+// Blocked-layout kernels (PR 8). Operands come pre-tiled as panels
+// (layout.hpp) with the Eq. (8) row sums hoisted into the panel headers;
+// the scalar kernels above are retained as the bitwise oracle and every
+// blocked kernel memcmp-matches them (tests/test_layout.cpp):
+//   - forward accumulates in int64, so the panel loop order is exact;
+//   - the blocked backward preserves the scalar accumulation orders
+//     element-for-element (gx: ascending o; gw: ascending p) and evaluates
+//     the identical float expressions, so the float sums match bit for bit.
+// ----------------------------------------------------------------------
+
+/// One LUT GEMM over blocked operands. Both panels must share the same
+/// depth blocking (same tk and logical depth k).
+struct BlockedGemmArgs {
+    unsigned bits = 8;
+    const std::int32_t* lut = nullptr; ///< product LUT, 2^(2*bits) entries
+    WeightPanels w;                    ///< plan.rows = o, pre-shifted codes
+    ActPanels x;                       ///< plan.rows = p
+    std::int64_t o = 0;
+    std::int64_t p = 0;
+    std::int64_t k = 0;
+    float scale_w = 1.0f, scale_x = 1.0f;
+    std::int32_t zero_w = 0, zero_x = 0;
+    const float* scale_w_per_o = nullptr;
+    const std::int32_t* zero_w_per_o = nullptr;
+
+    [[nodiscard]] float row_scale_w(std::int64_t oo) const {
+        return scale_w_per_o ? scale_w_per_o[oo] : scale_w;
+    }
+    [[nodiscard]] std::int32_t row_zero_w(std::int64_t oo) const {
+        return zero_w_per_o ? zero_w_per_o[oo] : zero_w;
+    }
+};
+
+/// Blocked integer GEMM core over position row-blocks [rb0, rb1) of
+/// a.x.plan. \p acc must hold a.x.plan.tr * a.w.plan.tr int64s. Serial —
+/// callers own the parallel decomposition (blocks write disjoint rows).
+///
+/// Inner loop: for a fixed depth index the activation panel column and the
+/// accumulator row are walked at unit stride, and each pre-shifted weight
+/// code pins one product-LUT row (`lut + wcode`) that consecutive activation
+/// codes index directly — the layout refactor's cache contract.
+template <class Epilogue>
+void lut_gemm_blocked_tile(const BlockedGemmArgs& a, std::int64_t rb0,
+                           std::int64_t rb1, std::int64_t* acc, Epilogue&& epi) {
+    const PanelPlan& xp = a.x.plan;
+    const PanelPlan& wp = a.w.plan;
+    assert(xp.depth == wp.depth && xp.tk == wp.tk && "mismatched depth blocking");
+    const std::int64_t tp = xp.tr, to = wp.tr;
+    const std::int64_t oblocks = wp.row_blocks();
+    const std::int64_t kblocks = xp.depth_blocks();
+    for (std::int64_t rb = rb0; rb < rb1; ++rb) {
+        const std::int64_t pr = xp.block_rows(rb);
+        const std::int64_t pbase = rb * tp;
+        for (std::int64_t ob = 0; ob < oblocks; ++ob) {
+            const std::int64_t orr = wp.block_rows(ob);
+            const std::int64_t obase = ob * to;
+            std::fill(acc, acc + orr * tp, std::int64_t{0});
+            for (std::int64_t kb = 0; kb < kblocks; ++kb) {
+                const std::int64_t kr = xp.block_depth(kb);
+                const std::uint16_t* xpan = a.x.codes + xp.panel_offset(rb, kb);
+                const std::uint32_t* wpan = a.w.codes + wp.panel_offset(ob, kb);
+                for (std::int64_t kk = 0; kk < kr; ++kk) {
+                    const std::uint16_t* xv = xpan + kk * tp;
+                    const std::uint32_t* wv = wpan + kk * to;
+                    for (std::int64_t oo = 0; oo < orr; ++oo) {
+                        const std::int32_t* lrow = a.lut + wv[oo];
+                        std::int64_t* arow = acc + oo * tp;
+                        for (std::int64_t pp = 0; pp < pr; ++pp)
+                            arow[pp] += lrow[xv[pp]];
+                    }
+                }
+            }
+            for (std::int64_t pp = 0; pp < pr; ++pp) {
+                const std::int64_t sx = a.x.sum_x[pbase + pp];
+                for (std::int64_t oo = 0; oo < orr; ++oo) {
+                    const std::int32_t zw = a.row_zero_w(obase + oo);
+                    const std::int64_t corrected =
+                        acc[oo * tp + pp] -
+                        static_cast<std::int64_t>(a.zero_x) * a.w.sum_w[obase + oo] -
+                        static_cast<std::int64_t>(zw) * sx +
+                        a.k * static_cast<std::int64_t>(zw) * a.zero_x;
+                    epi(pbase + pp, obase + oo, corrected);
+                }
+            }
+        }
+    }
+}
+
+/// Blocked forward into a (P, O) float matrix; bitwise-identical to
+/// lut_forward over the same codes. Parallel over position row-blocks.
+void lut_forward_blocked(const BlockedGemmArgs& args, const float* bias,
+                         float* y, Workspace& ws);
+
+/// Blocked backward; bitwise-identical to lut_backward over the same codes
+/// (gw_raw / gx_raw row-major, zero-initialized by the caller). Scratch for
+/// the per-row nonzero-gradient compaction comes from \p ws.
+void lut_backward_blocked(const BlockedGemmArgs& args, const float* gyp,
+                          const float* grad_w_lut, const float* grad_x_lut,
+                          float* gw_raw, float* gx_raw, Workspace& ws);
 
 } // namespace amret::kernels

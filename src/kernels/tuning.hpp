@@ -50,8 +50,57 @@ inline constexpr std::int64_t kGrainElementwiseWide = 1024;
 /// only adds accumulator-tile traffic) and large P/O tiles amortize the
 /// epilogue. kTileK still bounds the operand rows touched per accumulator
 /// pass for very deep reductions (patch > 1024).
+///
+/// These are the COMPILED FALLBACKS only: TileConfig now defaults to
+/// kernels::Tuning::current(), which resolves AMRET_TILES, then the
+/// persistent auto-tuner output (results/kernel_tuning.json, written by
+/// bench_micro --tile-sweep), and only then these constants.
 inline constexpr std::int64_t kTileP = 16;
 inline constexpr std::int64_t kTileO = 64;
 inline constexpr std::int64_t kTileK = 1024;
 
 } // namespace amret::kernels::tune
+
+namespace amret::kernels {
+
+/// Runtime tile/layout picks for the LUT-GEMM family. Resolution order:
+///   1. AMRET_TILES=PxOxK (e.g. "16x64x1024") — explicit override;
+///   2. the persistent auto-tuner file written by bench_micro --tile-sweep
+///      (results/kernel_tuning.json, or the path in AMRET_TUNING_FILE);
+///   3. the compiled tune::kTile* defaults.
+/// Tile dimensions only re-block integer-accumulated or order-preserving
+/// loops (see lut_kernels.hpp), so any resolved pick is numerically safe.
+struct Tuning {
+    std::int64_t tp = tune::kTileP;
+    std::int64_t to = tune::kTileO;
+    std::int64_t tk = tune::kTileK;
+
+    /// The process-wide picks (resolved once, cached; thread-safe).
+    static const Tuning& current();
+    /// Uncached resolution (env + file + defaults) — what current() caches.
+    static Tuning resolve();
+    /// Test/tool hook: overrides current() process-wide. Call only while no
+    /// kernels are running (tests and bench set it between measurements).
+    static void set_for_test(const Tuning& t);
+    /// Removes a set_for_test override.
+    static void clear_test_override();
+};
+
+/// Which kernel data layout the quantized layers and the inference engine
+/// run. The scalar row-major path is retained as the bitwise oracle; the
+/// blocked paths are memcmp-identical to it by construction (int64 forward,
+/// order-preserving float backward).
+enum class LayoutMode {
+    kScalar,      ///< PR-3 row-major codes (the oracle)
+    kBlocked,     ///< panelized codes, NCHW activations between engine ops
+    kBlockedNhwc, ///< panelized codes + NHWC-interleaved engine activations
+};
+
+/// Process-wide layout mode: AMRET_LAYOUT=scalar|blocked|blocked-nhwc
+/// (default blocked), resolved once; set_layout_mode overrides (tests/bench,
+/// call only between kernel invocations).
+LayoutMode layout_mode();
+void set_layout_mode(LayoutMode mode);
+void clear_layout_mode_override();
+
+} // namespace amret::kernels

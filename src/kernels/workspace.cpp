@@ -1,5 +1,7 @@
 #include "kernels/workspace.hpp"
 
+#include "obs/obs.hpp"
+
 #include <algorithm>
 
 namespace amret::kernels {
@@ -14,7 +16,29 @@ std::size_t Workspace::capacity() const {
     return total;
 }
 
+void Workspace::note_epoch_end() {
+    if (plan_key_ == 0 || used_ == 0) return;
+    // Fixed-size direct-mapped table: a serve worker cycles through a handful
+    // of engines, so collisions just merge two plans' marks (conservatively
+    // keeping the larger) instead of growing a map in the kernel layer.
+    PlanStat& slot = plans_[plan_key_ % kPlanSlots];
+    if (slot.key != plan_key_) {
+        slot.key = plan_key_;
+        slot.high_water = used_;
+    } else {
+        slot.high_water = std::max(slot.high_water, used_);
+    }
+}
+
+std::size_t Workspace::plan_high_water() const {
+    std::size_t hw = 0;
+    for (const PlanStat& s : plans_) hw = std::max(hw, s.high_water);
+    return hw;
+}
+
 void Workspace::reset() {
+    note_epoch_end();
+    plan_key_ = 0;
     if (slabs_.size() > 1) {
         // Coalesce: one slab big enough for everything the last epoch used,
         // so the next epoch allocates nothing.
@@ -26,15 +50,31 @@ void Workspace::reset() {
     used_ = 0;
 }
 
+void Workspace::begin(std::uint64_t plan_key) {
+    reset();
+    plan_key_ = plan_key;
+}
+
 void Workspace::trim(std::size_t keep_bytes) {
-    if (capacity() <= keep_bytes) {
-        reset();
+    note_epoch_end();
+    plan_key_ = 0;
+    // Never trim below the hot working set: alternating models through one
+    // worker used to release-then-regrow the slab every idle gap when the
+    // low-water mark was sized for the smaller model.
+    const std::size_t keep = std::max(keep_bytes, plan_high_water());
+    if (capacity() <= keep) {
+        if (slabs_.size() > 1) {
+            const std::size_t want = std::max(capacity(), used_);
+            slabs_.clear();
+            slabs_.push_back(Slab{std::make_unique<std::byte[]>(want), want});
+        }
+        cursor_ = 0;
+        used_ = 0;
         return;
     }
     slabs_.clear();
-    if (keep_bytes > 0)
-        slabs_.push_back(
-            Slab{std::make_unique<std::byte[]>(keep_bytes), keep_bytes});
+    if (keep > 0)
+        slabs_.push_back(Slab{std::make_unique<std::byte[]>(keep), keep});
     cursor_ = 0;
     used_ = 0;
 }
@@ -51,6 +91,10 @@ void* Workspace::raw_alloc(std::size_t bytes, std::size_t align) {
             cursor_ = offset + bytes;
             return reinterpret_cast<void*>(aligned);
         }
+        // An existing arena had to grow mid-epoch: in steady state this never
+        // fires, so the counter directly surfaces trim() thrash under mixed
+        // model load.
+        AMRET_OBS_COUNT("kernels.workspace.regrow", 1);
     }
     // Chain a new slab; old slabs stay alive so earlier pointers remain valid.
     const std::size_t want =

@@ -36,13 +36,28 @@ public:
     /// invalid; capacity is retained (coalesced into one slab).
     void reset();
 
+    /// Starts a fresh epoch attributed to a layout plan: the finishing
+    /// epoch's bytes are recorded as the high-water mark of the plan it ran
+    /// under, and subsequent allocations are attributed to \p plan_key.
+    /// Key 0 means "untracked" (reset() is begin(0) without re-keying).
+    /// Callers that serve multiple models through one arena (src/serve
+    /// workers) key each forward by the engine's layout-plan digest so
+    /// trim() can tell hot working sets from one-off bursts.
+    void begin(std::uint64_t plan_key);
+
     /// Starts a fresh epoch like reset(), but also releases capacity above
-    /// \p keep_bytes (0 releases everything). Long-lived processes — e.g. an
-    /// inference server after a traffic burst — call this from idle paths to
-    /// shed slab memory back to a low-water size; the arena simply regrows on
-    /// the next demand spike. Like reset(), it invalidates all outstanding
+    /// max(\p keep_bytes, plan_high_water()) — the recorded per-plan
+    /// high-water keeps the arena large enough for every layout plan it
+    /// recently served, so alternating hot/cold models no longer thrash
+    /// (release, regrow, release...) around a low-water mark smaller than
+    /// the hot working set. With no recorded plans this is the old
+    /// behaviour: capacity drops to exactly \p keep_bytes (0 releases
+    /// everything). Like reset(), it invalidates all outstanding
     /// allocations.
     void trim(std::size_t keep_bytes);
+
+    /// Largest epoch (bytes) recorded across the tracked layout plans.
+    [[nodiscard]] std::size_t plan_high_water() const;
 
     /// Bump-allocates \p n elements of T, aligned to alignof(T) (at least 8
     /// for cross-type reuse). Contents are uninitialized.
@@ -67,11 +82,23 @@ private:
         std::size_t size = 0;
     };
 
+    /// Per-layout-plan usage record (direct-mapped, fixed size — the kernel
+    /// layer must not grow containers on the trim/serve path).
+    struct PlanStat {
+        std::uint64_t key = 0;
+        std::size_t high_water = 0;
+    };
+    static constexpr std::size_t kPlanSlots = 8;
+
     void* raw_alloc(std::size_t bytes, std::size_t align);
+    /// Folds the finishing epoch's usage into its plan's high-water record.
+    void note_epoch_end();
 
     std::vector<Slab> slabs_;
     std::size_t cursor_ = 0; ///< offset into the last slab
     std::size_t used_ = 0;   ///< bytes handed out this epoch (incl. padding)
+    std::uint64_t plan_key_ = 0;         ///< plan of the current epoch (0 = untracked)
+    PlanStat plans_[kPlanSlots] = {};    ///< per-plan high-water table
 };
 
 } // namespace amret::kernels

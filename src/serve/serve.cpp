@@ -405,8 +405,12 @@ void InferenceServer::worker_loop(Worker& self) {
             std::unique_lock<std::mutex> lock(dispatch_mutex_);
             if (dispatch_.empty() && !coalescer_done_ &&
                 self.ws.capacity() > config_.workspace_low_water) {
-                // Going idle after a burst: shed slab memory to the
-                // low-water mark. The arena regrows on the next spike.
+                // Going idle after a burst: shed slab memory. The arena
+                // keeps max(low_water, hottest engine plan high-water) —
+                // forward_into opens each epoch under the engine's layout
+                // plan key, so under mixed-model load the hot model's
+                // working set survives the trim instead of thrashing
+                // (regrowth events are counted in kernels.workspace.regrow).
                 lock.unlock();
                 self.ws.trim(config_.workspace_low_water);
                 AMRET_OBS_COUNT("serve.workspace_trims", 1);

@@ -27,20 +27,23 @@ void flatten_units(nn::Module& m, std::vector<nn::Module*>& out) {
 }
 
 /// Copies row range m of K (contiguous batch slices, [m*n/k, (m+1)*n/k))
-/// into parts[m]. Slices may be empty when n < k.
+/// into stage[m]. Slices may be empty when n < k. Each slice buffer is
+/// reused when its shape already matches — per-boundary stage vectors see
+/// the same shapes every step, so steady-state slicing allocates nothing.
 void split_rows(const tensor::Tensor& full, std::int64_t k,
-                std::vector<tensor::Tensor>& parts) {
+                std::vector<tensor::Tensor>& stage) {
     const std::int64_t n = full.dim(0);
     const std::int64_t stride = n > 0 ? full.numel() / n : 0;
     tensor::Shape shape = full.shape();
+    stage.resize(static_cast<std::size_t>(k));
     for (std::int64_t m = 0; m < k; ++m) {
         const std::int64_t r0 = m * n / k;
         const std::int64_t r1 = (m + 1) * n / k;
         shape[0] = r1 - r0;
-        tensor::Tensor part(shape);
+        tensor::Tensor& part = stage[static_cast<std::size_t>(m)];
+        if (part.shape() != shape) part = tensor::Tensor(shape);
         std::copy(full.data() + r0 * stride, full.data() + r1 * stride,
                   part.data());
-        parts[m] = std::move(part);
     }
 }
 
@@ -149,7 +152,10 @@ tensor::Tensor Trainer::forward_microbatched(const tensor::Tensor& images) {
     const auto k = static_cast<std::int64_t>(workers_.size());
     tensor::Tensor full = images;
     std::vector<tensor::Tensor> parts(static_cast<std::size_t>(k));
+    if (mb_stage_fwd_.size() != units_.size()) mb_stage_fwd_.resize(units_.size());
     bool split = false;
+    bool fresh = false; // parts not yet written since the last split boundary
+    std::size_t boundary = 0;
     for (std::size_t i = 0; i < units_.size(); ++i) {
         nn::Module* unit = units_[i];
         const nn::BatchCoupling coupling = unit->coupling();
@@ -173,9 +179,16 @@ tensor::Tensor Trainer::forward_microbatched(const tensor::Tensor& images) {
             unit->batch_pre_pass(full);
         }
         if (!split) {
-            split_rows(full, k, parts);
+            // Slices land in this boundary's persistent stage; the first
+            // split unit reads them from there (and writes its outputs into
+            // parts), so the staged buffers survive for the next step.
+            split_rows(full, k, mb_stage_fwd_[i]);
             split = true;
+            fresh = true;
+            boundary = i;
         }
+        const std::vector<tensor::Tensor>& stage = mb_stage_fwd_[boundary];
+        const bool from_stage = fresh;
         // One chunk per microbatch (grain 1): chunking depends only on
         // (0, k, 1), and worker m always computes slice m with its own
         // context, so the result is the same for any thread count. Kernel
@@ -184,10 +197,16 @@ tensor::Tensor Trainer::forward_microbatched(const tensor::Tensor& images) {
             for (std::int64_t m = b; m < e; ++m) {
                 AMRET_OBS_SPAN("train.microbatch.forward");
                 auto& part = parts[static_cast<std::size_t>(m)];
-                if (part.dim(0) == 0) continue;
-                part = unit->forward(part, *workers_[static_cast<std::size_t>(m)]);
+                const tensor::Tensor& src =
+                    from_stage ? stage[static_cast<std::size_t>(m)] : part;
+                if (src.dim(0) == 0) {
+                    if (from_stage) part = src; // carry the empty slice
+                    continue;
+                }
+                part = unit->forward(src, *workers_[static_cast<std::size_t>(m)]);
             }
         });
+        fresh = false;
     }
     return split ? concat_rows(parts) : full;
 }
@@ -196,7 +215,10 @@ void Trainer::backward_microbatched(const tensor::Tensor& gy) {
     const auto k = static_cast<std::int64_t>(workers_.size());
     tensor::Tensor full = gy;
     std::vector<tensor::Tensor> parts(static_cast<std::size_t>(k));
+    if (mb_stage_bwd_.size() != units_.size()) mb_stage_bwd_.resize(units_.size());
     bool split = false;
+    bool fresh = false;
+    std::size_t boundary = 0;
     for (std::size_t i = units_.size(); i-- > 0;) {
         nn::Module* unit = units_[i];
         if (!ran_split_[i]) {
@@ -208,17 +230,27 @@ void Trainer::backward_microbatched(const tensor::Tensor& gy) {
             continue;
         }
         if (!split) {
-            split_rows(full, k, parts);
+            split_rows(full, k, mb_stage_bwd_[i]);
             split = true;
+            fresh = true;
+            boundary = i;
         }
+        const std::vector<tensor::Tensor>& stage = mb_stage_bwd_[boundary];
+        const bool from_stage = fresh;
         runtime::parallel_for(0, k, 1, [&](std::int64_t b, std::int64_t e) {
             for (std::int64_t m = b; m < e; ++m) {
                 AMRET_OBS_SPAN("train.microbatch.backward");
                 auto& part = parts[static_cast<std::size_t>(m)];
-                if (part.dim(0) == 0) continue;
-                part = unit->backward(part, *workers_[static_cast<std::size_t>(m)]);
+                const tensor::Tensor& src =
+                    from_stage ? stage[static_cast<std::size_t>(m)] : part;
+                if (src.dim(0) == 0) {
+                    if (from_stage) part = src; // carry the empty slice
+                    continue;
+                }
+                part = unit->backward(src, *workers_[static_cast<std::size_t>(m)]);
             }
         });
+        fresh = false;
     }
     // The input gradient (full or parts) is discarded.
 }

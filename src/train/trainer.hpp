@@ -137,6 +137,12 @@ private:
     std::vector<nn::Module*> units_;  ///< flattened layer sequence
     std::vector<bool> ran_split_;     ///< per unit: last forward used slices
     std::vector<nn::Param*> params_;
+    /// Per-split-boundary staging slices (indexed by unit), reused across
+    /// steps: the boundary shapes repeat every step, so after the first step
+    /// microbatch slicing performs no heap allocation — the trainer-side
+    /// analogue of the kernels' workspace-arena reuse.
+    std::vector<std::vector<tensor::Tensor>> mb_stage_fwd_;
+    std::vector<std::vector<tensor::Tensor>> mb_stage_bwd_;
 
     std::string checkpoint_path_;
     std::uint64_t start_epoch_ = 0;
