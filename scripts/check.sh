@@ -82,15 +82,16 @@ AMRET_THREADS=1 ./build/tests/test_layout
 AMRET_THREADS=8 ./build/tests/test_layout
 end_stage
 
-begin_stage "parallel trainer + obs + serve + layout under ThreadSanitizer"
+begin_stage "parallel trainer + obs + serve + layout + assignment under ThreadSanitizer"
 cmake --preset tsan
 cmake --build --preset tsan -j "$jobs" \
-  --target test_train_parallel test_obs test_serve test_layout
+  --target test_train_parallel test_obs test_serve test_layout test_assignment
 AMRET_THREADS=8 TSAN_OPTIONS=halt_on_error=1 \
   ./build-tsan/tests/test_train_parallel --gtest_filter='TrainerDeterminism.*'
 AMRET_THREADS=8 TSAN_OPTIONS=halt_on_error=1 ./build-tsan/tests/test_obs
 AMRET_THREADS=8 TSAN_OPTIONS=halt_on_error=1 ./build-tsan/tests/test_serve
 AMRET_THREADS=8 TSAN_OPTIONS=halt_on_error=1 ./build-tsan/tests/test_layout
+AMRET_THREADS=8 TSAN_OPTIONS=halt_on_error=1 ./build-tsan/tests/test_assignment
 end_stage
 
 begin_stage "bench_micro smoke (--quick; fails on crash only)"
@@ -134,6 +135,31 @@ end_stage
 begin_stage "static overflow certificates (analyze-static)"
 mkdir -p results
 ./build/tools/amret_cli analyze-static --models lenet,vgg11 --out-dir results
+end_stage
+
+# Tiny 2-layer x 3-multiplier sensitivity sweep: the mixed-precision DSE
+# must produce a Pareto front where a mixed assignment dominates the best
+# uniform, the emitted assignment must train and prove safe, and a second
+# run must resume entirely from the content-addressed cache.
+begin_stage "mixed-precision exploration smoke (explore + resume-from-cache)"
+rm -rf build/dse_cache
+./build/tools/amret_cli explore --train-samples 256 --test-samples 96 \
+  --baseline-epochs 2 --retrain-epochs 1 --cache-dir build/dse_cache \
+  --out-dir results --emit-best results/best_assignment.json \
+  --require-mixed-dominates
+resume_line=$(./build/tools/amret_cli explore --train-samples 256 \
+  --test-samples 96 --baseline-epochs 2 --retrain-epochs 1 \
+  --cache-dir build/dse_cache --out-dir results --require-mixed-dominates \
+  | grep "from cache")
+echo "$resume_line"
+case "$resume_line" in
+  *" 0 retrained"*) ;;
+  *) echo "explore did not resume from the result cache" >&2; false ;;
+esac
+./build/tools/amret_cli train --assignment results/best_assignment.json \
+  --epochs 1 > /dev/null
+./build/tools/amret_cli analyze-static --models lenet \
+  --assignment results/best_assignment.json --out-dir results
 end_stage
 
 if [ "$run_lint" -eq 1 ]; then

@@ -1,7 +1,7 @@
 #!/usr/bin/env python3
 """Project-specific lint: invariants clang-tidy has no checker for.
 
-Four rules, each scoped to where the invariant actually holds meaning:
+Five rules, each scoped to where the invariant actually holds meaning:
 
   kernel-alloc     src/kernels must stay allocation-free (Workspace-only):
                    the inner loops run per batch inside parallel workers, and
@@ -27,6 +27,16 @@ Four rules, each scoped to where the invariant actually holds meaning:
                    silently corrupt a caller. The analyzer's independent
                    re-derivation and deliberate test corruptions carry
                    explicit `// invariant-ok:` marks.
+
+  registry-discipline
+                   No direct appmult::Registry lookups in layer/engine code
+                   (src/nn, src/approx, src/serve, src/train, src/models):
+                   layers and engines consume multiplier artifacts through
+                   approx::MultiplierCache / MultiplierAssignment so N layers
+                   sharing a multiplier share one LUT build and every config
+                   is content-addressed. The cache itself (assignment.cpp)
+                   is the sanctioned escape hatch and carries
+                   `// invariant-ok:` marks.
 
 A line ending in `// invariant-ok: <reason>` is exempt from all rules.
 Exit status: 0 clean, 1 violations, 2 usage error.
@@ -57,6 +67,7 @@ RNG_TIME_SEED = re.compile(
     r"[^;)]*(time\s*\(|::now\s*\()"
 )
 PANEL_INDEX = re.compile(r"\bpanel_offset\s*\(|\b\w*_panels\s*\[|\bpanels\s*\[")
+REGISTRY_LOOKUP = re.compile(r"\bRegistry::instance\s*\(")
 
 
 def strip_comments_and_strings(line: str) -> str:
@@ -155,13 +166,24 @@ def main():
             findings,
         )
 
+    for path in iter_source(["src/nn", "src/approx", "src/serve", "src/train",
+                             "src/models"]):
+        check_file(
+            path,
+            [("registry-discipline", REGISTRY_LOOKUP,
+              "direct appmult::Registry lookup in layer/engine code; go "
+              "through approx::MultiplierCache / MultiplierAssignment "
+              "(approx/assignment.hpp)")],
+            findings,
+        )
+
     if findings:
         print(f"{len(findings)} invariant violation(s):")
         for f in findings:
             print(f)
         return 1
     print("invariants clean (kernel-alloc, mutable-static, rng-discipline, "
-          "panel-indexing)")
+          "panel-indexing, registry-discipline)")
     return 0
 
 

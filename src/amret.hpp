@@ -16,6 +16,7 @@
 #include "appmult/error_stats.hpp"     // structural error analysis
 #include "appmult/signed_mult.hpp"     // signed AppMult adapter
 #include "approx/approx_conv.hpp"      // AppMult conv/linear layers
+#include "approx/assignment.hpp"       // per-layer multiplier assignments
 #include "approx/depthwise.hpp"        // AppMult depthwise conv
 #include "approx/inference.hpp"        // integer-only deployment engine
 #include "core/grad_lut.hpp"           // the paper's gradient approximation
@@ -29,6 +30,7 @@
 #include "kernels/quantize.hpp"        // workspace-backed quantization
 #include "kernels/tuning.hpp"          // kernel tuning constants
 #include "kernels/workspace.hpp"       // bump-allocated scratch arena
+#include "explore/dse.hpp"             // mixed-precision assignment search
 #include "explore/pareto.hpp"          // design-space exploration
 #include "models/models.hpp"           // LeNet / VGG / ResNet
 #include "multgen/addergen.hpp"        // exact + approximate adders

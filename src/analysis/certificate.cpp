@@ -67,6 +67,8 @@ std::string Certificate::to_json() const {
     json_escape_into(os, multiplier);
     os << "\",\n  \"checkpoint\": \"";
     json_escape_into(os, checkpoint);
+    os << "\",\n  \"assignment\": \"";
+    json_escape_into(os, assignment);
     os << "\",\n";
     os << "  \"hws\": " << hws << ",\n";
     os << "  \"act_bits\": " << act_bits << ",\n";
@@ -77,7 +79,9 @@ std::string Certificate::to_json() const {
         const OpCertificate& op = ops[i];
         os << "    {\"label\": \"";
         json_escape_into(os, op.label);
-        os << "\", \"kind\": \"" << op.kind << "\", \"k\": " << op.k << ",\n     ";
+        os << "\", \"kind\": \"" << op.kind << "\", \"multiplier\": \"";
+        json_escape_into(os, op.multiplier);
+        os << "\", \"k\": " << op.k << ",\n     ";
         interval_json(os, "acc", op.acc);
         os << ",\n     ";
         interval_json(os, "pre_rescale", op.pre_rescale);
@@ -169,6 +173,7 @@ std::shared_ptr<const Certificate> CertificateCache::load_from_disk_locked(
     cert->key = key;
     cert->model = scan_field(json, "model");
     cert->multiplier = scan_field(json, "multiplier");
+    cert->assignment = scan_field(json, "assignment");
     cert->safe = safe == "true";
     return cert;
 }

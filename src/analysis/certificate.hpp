@@ -30,6 +30,7 @@ namespace amret::analysis {
 struct OpCertificate {
     std::string label;
     std::string kind;            ///< "conv", "maxpool", "avgpool", "gavgpool"
+    std::string multiplier;      ///< per-op multiplier name (conv only; may be "")
     std::int64_t k = 0;          ///< reduction depth (conv only)
     Interval acc;                ///< raw int64 LUT accumulator
     Interval pre_rescale;        ///< corrected accumulator + bias (rescale input)
@@ -59,6 +60,7 @@ struct Certificate {
     std::string model;      ///< identity metadata (may be empty)
     std::string multiplier;
     std::string checkpoint;
+    std::string assignment; ///< MultiplierAssignment::key() ("" = uniform)
     unsigned hws = 0;
     unsigned act_bits = 8;
     bool safe = false;

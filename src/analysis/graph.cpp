@@ -405,6 +405,7 @@ Certificate analyze_graph(const GraphDesc& graph) {
     cert.model = graph.model;
     cert.multiplier = graph.multiplier;
     cert.checkpoint = graph.checkpoint;
+    cert.assignment = graph.assignment;
     cert.hws = graph.hws;
     cert.act_bits = graph.act_bits;
 
@@ -429,6 +430,7 @@ Certificate analyze_graph(const GraphDesc& graph) {
         op_cert.label = op.label.empty() ? ("op" + std::to_string(i)) : op.label;
         if (op.kind == OpDesc::Kind::kConv) {
             op_cert.kind = "conv";
+            op_cert.multiplier = op.conv.multiplier;
             codes = analyze_conv(op, i, codes, cert.diags, op_cert);
         } else {
             switch (op.pool.kind) {

@@ -34,6 +34,13 @@ namespace amret::analysis {
 /// Static parameters of one compiled conv (or linear-as-1x1-conv) op — the
 /// exact values the integer kernel consumes at run time.
 struct ConvOpDesc {
+    // Identity metadata (EXCLUDED from the content digest, like the panel
+    // fields below): which assignment entry produced this op. The digest
+    // already covers the multiplier's *semantics* through the LUT contents,
+    // so renaming a registry entry does not invalidate certificates.
+    std::string multiplier; ///< registry name of this op's multiplier ("" = unknown)
+    unsigned hws = 0;       ///< gradient HWS of this op's assignment entry
+
     unsigned bits = 8;          ///< LUT operand width
     bool relu = false;
     std::int64_t out_ch = 0;
@@ -83,8 +90,10 @@ struct OpDesc {
 struct GraphDesc {
     // Identity metadata (not part of the content digest).
     std::string model;
-    std::string multiplier;
+    std::string multiplier; ///< uniform configs; "mixed" under an assignment
     std::string checkpoint;
+    std::string assignment; ///< MultiplierAssignment::key() of the deployed
+                            ///< config ("" = uniform default; caller-filled)
     unsigned hws = 0; ///< gradient HWS of the deployed config (metadata only;
                       ///< the integer forward path does not consume it)
 

@@ -36,10 +36,16 @@ namespace amret::approx {
 /// Execution mode of an approximate layer.
 enum class ComputeMode { kFloat, kQuantized };
 
-/// Shared multiplier configuration: product LUT + gradient LUT.
+/// Shared multiplier configuration: product LUT + gradient LUT, plus the
+/// identity metadata (registry name, gradient HWS/mode) that per-layer
+/// assignments thread through to engine descriptions and certificates.
+/// An empty name means an ad-hoc config (hand-built LUTs, exact_ste()).
 struct MultiplierConfig {
     std::shared_ptr<const appmult::AppMultLut> lut;
     std::shared_ptr<const core::GradLut> grad;
+    std::string name;                                   ///< registry name, "" = ad-hoc
+    unsigned hws = 0;                                   ///< gradient half-window size
+    core::GradientMode grad_mode = core::GradientMode::kSte;
 
     [[nodiscard]] bool valid() const {
         return lut && grad && !lut->empty() && lut->bits() == grad->bits();

@@ -1,0 +1,166 @@
+/// \file assignment.hpp
+/// \brief Per-layer multiplier assignments and the shared multiplier-artifact
+///        cache (DESIGN.md §16).
+///
+/// The paper retrains a network against one approximate multiplier; HEAM and
+/// the hardware-driven co-optimization line of work show the interesting
+/// accuracy/area trade-offs come from assigning *different* multipliers (and
+/// gradient HWS values) per layer. MultiplierAssignment is the first-class
+/// value for that: a model-wide default LayerChoice plus sparse per-layer
+/// overrides, addressed by the approximate layer's position in the model's
+/// deterministic visit order (the same order configure_approx_layers walks).
+///
+/// Assignments are content-addressed: digest() is an FNV-1a hash over the
+/// canonical form (overrides equal to the default are dropped at insertion,
+/// so "uniform via explicit entries" and "uniform via default" share a
+/// digest). The 16-hex key() feeds the serve registry's model key, the
+/// analysis certificate metadata, checkpoint v3, and the DSE result cache.
+///
+/// MultiplierCache is the one sanctioned path from a multiplier *name* to
+/// the product/gradient LUT objects layers consume: it builds each artifact
+/// once per (name) / (name, mode, hws) and hands out shared_ptrs, so N
+/// layers sharing a multiplier share LUT storage and never rebuild it
+/// (obs counters `approx.mult_cache.*` make the dedup assertable). Direct
+/// appmult::Registry lookups in layer/engine/serve/train code are forbidden
+/// by the `registry-discipline` lint rule; this file is the escape hatch.
+#pragma once
+
+#include "approx/approx_conv.hpp"
+#include "core/grad_lut.hpp"
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+
+namespace amret::approx {
+
+/// One layer's multiplier choice: a registry name plus the gradient
+/// configuration used when retraining that layer.
+struct LayerChoice {
+    std::string multiplier;  ///< appmult registry name
+    unsigned hws = 0;        ///< gradient half-window size (0 = registry default)
+    core::GradientMode grad = core::GradientMode::kDifference;
+
+    bool operator==(const LayerChoice& other) const = default;
+};
+
+/// Ordered per-approx-layer multiplier configuration with a model-wide
+/// default. Layer indices count approximate layers (ApproxConv2d /
+/// ApproxLinear / DepthwiseConv2d) in the model's visit order.
+class MultiplierAssignment {
+public:
+    MultiplierAssignment() = default;
+    explicit MultiplierAssignment(LayerChoice def) : default_(std::move(def)) {}
+
+    /// Uniform assignment: every layer runs \p def.
+    static MultiplierAssignment uniform(LayerChoice def) {
+        return MultiplierAssignment(std::move(def));
+    }
+
+    [[nodiscard]] const LayerChoice& fallback() const { return default_; }
+    void set_fallback(LayerChoice def);
+
+    /// Installs an override for one layer. Overrides equal to the default are
+    /// dropped (canonical form), so redundant entries do not change digest().
+    void set_layer(std::size_t layer_index, LayerChoice choice);
+
+    /// The effective choice for a layer (override or default).
+    [[nodiscard]] const LayerChoice& at(std::size_t layer_index) const;
+
+    [[nodiscard]] const std::map<std::size_t, LayerChoice>& overrides() const {
+        return overrides_;
+    }
+    [[nodiscard]] bool is_uniform() const { return overrides_.empty(); }
+    [[nodiscard]] bool empty() const { return default_.multiplier.empty(); }
+
+    /// FNV-1a content digest of the canonical form (default + sorted
+    /// overrides, each field separated; grad mode and HWS included).
+    [[nodiscard]] std::uint64_t digest() const;
+
+    /// 16-hex-digit rendering of digest() — the content-address used by the
+    /// serve registry, certificates, checkpoints, and the DSE result cache.
+    [[nodiscard]] std::string key() const;
+
+    /// JSON document (schema version 1):
+    ///   {"version": 1,
+    ///    "default": {"multiplier": "mul8u_acc", "hws": 16, "grad": "diff"},
+    ///    "layers": [{"index": 1, "multiplier": "mul8u_rm8", ...}]}
+    [[nodiscard]] std::string to_json() const;
+
+    /// Parses a to_json() document; nullopt on malformed input or an empty
+    /// default multiplier name.
+    static std::optional<MultiplierAssignment> from_json(const std::string& text);
+
+    /// Reads \p path and parses it; nullopt on I/O or parse failure.
+    static std::optional<MultiplierAssignment> load(const std::string& path);
+
+    /// Writes to_json() to \p path; false on I/O failure.
+    bool save(const std::string& path) const;
+
+    bool operator==(const MultiplierAssignment& other) const = default;
+
+private:
+    LayerChoice default_;
+    std::map<std::size_t, LayerChoice> overrides_; ///< canonical: != default_
+};
+
+/// Process-wide per-multiplier artifact cache. Product LUTs are keyed by
+/// multiplier name; gradient LUTs by (name, mode, hws). Thread-safe; builds
+/// happen under the lock (the underlying registry builders are themselves
+/// serialized, so contention is bounded by first use).
+class MultiplierCache {
+public:
+    static MultiplierCache& instance();
+
+    /// Shared product LUT for a registry name; throws std::out_of_range on
+    /// unknown names.
+    std::shared_ptr<const appmult::AppMultLut> lut(const std::string& name);
+
+    /// Shared gradient LUT for (name, mode, hws). \p hws == 0 resolves to the
+    /// registry's default HWS for the multiplier.
+    std::shared_ptr<const core::GradLut> grad(const std::string& name,
+                                              core::GradientMode mode,
+                                              unsigned hws);
+
+    /// Full MultiplierConfig for one LayerChoice (LUT + grad + identity
+    /// metadata with the HWS resolved).
+    MultiplierConfig config(const LayerChoice& choice);
+
+    /// Resolves hws == 0 to the registry default for \p name.
+    [[nodiscard]] unsigned resolve_hws(const std::string& name, unsigned hws) const;
+
+    struct Stats {
+        std::int64_t lut_builds = 0;
+        std::int64_t grad_builds = 0;
+        std::int64_t hits = 0;
+    };
+    [[nodiscard]] Stats stats() const;
+
+    /// Drops every cached artifact (tests).
+    void clear();
+
+private:
+    MultiplierCache() = default;
+
+    mutable std::mutex mutex_;
+    std::unordered_map<std::string, std::shared_ptr<const appmult::AppMultLut>> luts_;
+    std::unordered_map<std::string, std::shared_ptr<const core::GradLut>> grads_;
+    Stats stats_;
+};
+
+/// Applies \p assignment to every approximate layer of \p root in visit
+/// order: layer i gets MultiplierCache::config(assignment.at(i)) and \p mode.
+/// Returns the number of approximate layers configured. Throws
+/// std::out_of_range when the assignment names an unknown multiplier.
+std::size_t apply_assignment(nn::Module& root,
+                             const MultiplierAssignment& assignment,
+                             ComputeMode mode);
+
+/// Number of approximate layers apply_assignment would configure.
+std::size_t count_approx_layers(nn::Module& root);
+
+} // namespace amret::approx

@@ -33,6 +33,8 @@ namespace {
 struct ConvOp final : IntInferenceEngine::Op {
     // Static configuration.
     std::shared_ptr<const appmult::AppMultLut> lut;
+    std::string mult_name; ///< assignment identity metadata ("" = ad-hoc)
+    unsigned mult_hws = 0;
     unsigned bits = 8;
     std::int64_t in_ch = 0, out_ch = 0, kernel = 3, stride = 1, pad = 1;
     bool relu = false;
@@ -443,6 +445,8 @@ IntInferenceEngine::IntInferenceEngine(nn::Sequential& model,
             if (conv->multiplier().valid()) {
                 op->lut = conv->multiplier().lut;
                 op->bits = conv->multiplier().bits();
+                op->mult_name = conv->multiplier().name;
+                op->mult_hws = conv->multiplier().hws;
             } else {
                 op->lut = std::make_shared<appmult::AppMultLut>(
                     appmult::AppMultLut::exact(8));
@@ -595,6 +599,8 @@ analysis::GraphDesc IntInferenceEngine::describe() const {
         if (const auto* conv = dynamic_cast<const ConvOp*>(op.get())) {
             d.kind = analysis::OpDesc::Kind::kConv;
             d.label = "conv" + std::to_string(conv_index++);
+            d.conv.multiplier = conv->mult_name;
+            d.conv.hws = conv->mult_hws;
             d.conv.bits = conv->bits;
             d.conv.relu = conv->relu;
             d.conv.out_ch = conv->out_ch;

@@ -1,0 +1,488 @@
+#include "explore/dse.hpp"
+
+#include "accel/energy_model.hpp"
+#include "appmult/registry.hpp"
+#include "obs/obs.hpp"
+#include "obs/trace.hpp"
+#include "runtime/parallel.hpp"
+#include "util/logging.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <stdexcept>
+
+namespace amret::explore {
+
+namespace {
+
+/// Fresh model at the DSE topology with the run's fixed init seed, so every
+/// candidate starts from bitwise-identical weights.
+std::unique_ptr<nn::Sequential> fresh_model(const DseConfig& config) {
+    return models::make_lenet(config.model);
+}
+
+approx::LayerChoice baseline_choice(const DseConfig& config) {
+    approx::LayerChoice choice;
+    choice.multiplier = config.candidates.front();
+    return choice;
+}
+
+/// Per-layer hardware cost tables, precomputed once so the parallel sweep
+/// never touches the registry.
+struct CostModel {
+    std::size_t layers = 0;
+    std::map<std::string, double> area_um2; ///< per multiplier instance
+    /// energy[name][layer] = multiplier energy of that layer's MACs (nJ).
+    std::map<std::string, std::vector<double>> energy_nj;
+
+    [[nodiscard]] double area(const approx::MultiplierAssignment& a) const {
+        double total = 0.0;
+        for (std::size_t l = 0; l < layers; ++l)
+            total += area_um2.at(a.at(l).multiplier);
+        return total;
+    }
+    [[nodiscard]] double energy(const approx::MultiplierAssignment& a) const {
+        double total = 0.0;
+        for (std::size_t l = 0; l < layers; ++l)
+            total += energy_nj.at(a.at(l).multiplier)[l];
+        return total;
+    }
+};
+
+CostModel build_cost_model(nn::Module& model, const DseConfig& config) {
+    const auto workload = accel::analyze_workload(model, config.model.in_channels,
+                                                  config.model.in_size);
+    auto& reg = appmult::Registry::instance();
+    CostModel cost;
+    cost.layers = workload.layers.size();
+    for (const auto& name : config.candidates) {
+        const auto& hw = reg.hardware(name);
+        cost.area_um2[name] = hw.area_um2;
+        auto& per_layer = cost.energy_nj[name];
+        per_layer.reserve(workload.layers.size());
+        for (const auto& layer : workload.layers) {
+            accel::NetworkWorkload single;
+            single.layers.push_back(layer);
+            single.total_macs = layer.macs;
+            per_layer.push_back(
+                accel::estimate_energy(single, hw).mult_energy_nj);
+        }
+    }
+    return cost;
+}
+
+/// Short retrain from the baseline snapshot, then test accuracy. Each call
+/// owns its model and trainer, so calls are safe to run concurrently.
+double retrain_accuracy(const approx::MultiplierAssignment& assignment,
+                        const train::ModelSnapshot& snapshot,
+                        const data::DatasetPair& dataset,
+                        const DseConfig& config) {
+    AMRET_OBS_SPAN("explore.dse.evaluate");
+    auto model = fresh_model(config);
+    train::restore(*model, snapshot);
+    approx::apply_assignment(*model, assignment, approx::ComputeMode::kQuantized);
+    if (config.retrain_epochs > 0) {
+        // The sweep is candidate-parallel (outer parallel_for); microbatching
+        // inside a candidate would stack a second region on the same pool.
+        train::TrainConfig tc = config.train;
+        tc.microbatches = 1;
+        train::Trainer trainer(*model, dataset.train, dataset.test, tc);
+        trainer.train_only(config.retrain_epochs);
+    }
+    return train::evaluate(*model, dataset.test).top1;
+}
+
+/// Eval-only accuracy of the baseline snapshot under \p assignment.
+double probe_accuracy(const approx::MultiplierAssignment& assignment,
+                      const train::ModelSnapshot& snapshot,
+                      const data::DatasetPair& dataset,
+                      const DseConfig& config) {
+    AMRET_OBS_SPAN("explore.dse.probe");
+    auto model = fresh_model(config);
+    train::restore(*model, snapshot);
+    approx::apply_assignment(*model, assignment, approx::ComputeMode::kQuantized);
+    return train::evaluate(*model, dataset.test).top1;
+}
+
+std::string cache_path(const DseConfig& config, const std::string& key) {
+    return config.cache_dir + "/dse_" + key + ".json";
+}
+
+/// Reads a cached accuracy; nullopt when missing or malformed. The cache
+/// record is keyed by the assignment content digest, so a hit is exact.
+std::optional<double> cache_lookup(const DseConfig& config,
+                                   const std::string& key) {
+    if (config.cache_dir.empty()) return std::nullopt;
+    std::ifstream f(cache_path(config, key));
+    if (!f) return std::nullopt;
+    std::stringstream buf;
+    buf << f.rdbuf();
+    const std::string text = buf.str();
+    const auto pos = text.find("\"accuracy\":");
+    if (pos == std::string::npos) return std::nullopt;
+    const char* start = text.c_str() + pos + 11;
+    char* end = nullptr;
+    const double value = std::strtod(start, &end);
+    if (end == start || value < 0.0 || value > 1.0) return std::nullopt;
+    return value;
+}
+
+void cache_store(const DseConfig& config, const SweepPoint& point) {
+    if (config.cache_dir.empty()) return;
+    std::error_code ec;
+    std::filesystem::create_directories(config.cache_dir, ec); // best-effort
+    std::ofstream f(cache_path(config, point.key));
+    if (!f) return;
+    char num[64];
+    f << "{\n  \"schema\": \"amret-dse-cache-v1\",\n";
+    f << "  \"key\": \"" << point.key << "\",\n";
+    std::snprintf(num, sizeof(num), "%.6f", point.accuracy);
+    f << "  \"accuracy\": " << num << ",\n";
+    std::snprintf(num, sizeof(num), "%.3f", point.area_um2);
+    f << "  \"area_um2\": " << num << ",\n";
+    std::snprintf(num, sizeof(num), "%.6f", point.energy_nj);
+    f << "  \"energy_nj\": " << num << ",\n";
+    f << "  \"assignment\": " << point.assignment.to_json() << "\n}\n";
+}
+
+/// Enumerates the assignments to evaluate: the full |candidates|^L grid when
+/// small enough, otherwise every uniform plus a sensitivity-ordered beam.
+std::vector<approx::MultiplierAssignment> enumerate_assignments(
+    const DseConfig& config, std::size_t layers,
+    const std::vector<double>& layer_sensitivity,
+    const std::vector<std::vector<double>>& probe_acc) {
+    const std::size_t n_cand = config.candidates.size();
+    const approx::LayerChoice base = baseline_choice(config);
+
+    auto make_choice = [&](std::size_t c) {
+        approx::LayerChoice choice = base;
+        choice.multiplier = config.candidates[c];
+        return choice;
+    };
+
+    // Grid size with overflow guard.
+    std::size_t grid = 1;
+    bool exhaustive = true;
+    for (std::size_t l = 0; l < layers; ++l) {
+        grid *= n_cand;
+        if (grid > config.max_grid) {
+            exhaustive = false;
+            break;
+        }
+    }
+
+    std::vector<approx::MultiplierAssignment> out;
+    if (exhaustive) {
+        for (std::size_t i = 0; i < grid; ++i) {
+            approx::MultiplierAssignment a(base);
+            std::size_t rest = i;
+            for (std::size_t l = 0; l < layers; ++l) {
+                a.set_layer(l, make_choice(rest % n_cand));
+                rest /= n_cand;
+            }
+            out.push_back(std::move(a));
+        }
+        return out;
+    }
+
+    // Every uniform is always evaluated (they anchor the comparison).
+    for (std::size_t c = 0; c < n_cand; ++c)
+        out.push_back(approx::MultiplierAssignment::uniform(make_choice(c)));
+
+    // Beam over layers in descending sensitivity order, scored with the
+    // additive probe model: score(a) = sum_l probe_acc[l][choice_l].
+    std::vector<std::size_t> order(layers);
+    for (std::size_t l = 0; l < layers; ++l) order[l] = l;
+    std::stable_sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+        return layer_sensitivity[a] > layer_sensitivity[b];
+    });
+
+    struct BeamEntry {
+        approx::MultiplierAssignment assignment;
+        double score = 0.0;
+    };
+    std::vector<BeamEntry> beam{{approx::MultiplierAssignment(base), 0.0}};
+    for (const std::size_t layer : order) {
+        std::vector<BeamEntry> next;
+        next.reserve(beam.size() * n_cand);
+        for (const auto& entry : beam) {
+            for (std::size_t c = 0; c < n_cand; ++c) {
+                BeamEntry expanded = entry;
+                expanded.assignment.set_layer(layer, make_choice(c));
+                expanded.score += probe_acc[layer][c];
+                next.push_back(std::move(expanded));
+            }
+        }
+        std::stable_sort(next.begin(), next.end(),
+                         [](const BeamEntry& a, const BeamEntry& b) {
+                             return a.score > b.score;
+                         });
+        if (next.size() > config.beam_width) next.resize(config.beam_width);
+        beam = std::move(next);
+    }
+    for (auto& entry : beam) out.push_back(std::move(entry.assignment));
+
+    // Dedup by digest, keeping first occurrence (enumeration order).
+    std::vector<approx::MultiplierAssignment> unique;
+    std::vector<std::uint64_t> seen;
+    for (auto& a : out) {
+        const std::uint64_t d = a.digest();
+        if (std::find(seen.begin(), seen.end(), d) != seen.end()) continue;
+        seen.push_back(d);
+        unique.push_back(std::move(a));
+    }
+    return unique;
+}
+
+void compute_front(DseResult& result) {
+    const auto& points = result.points;
+    for (std::size_t i = 0; i < points.size(); ++i) {
+        bool dominated = false;
+        for (std::size_t j = 0; j < points.size() && !dominated; ++j) {
+            if (i == j) continue;
+            const bool no_worse = points[j].area_um2 <= points[i].area_um2 &&
+                                  points[j].accuracy >= points[i].accuracy;
+            const bool better = points[j].area_um2 < points[i].area_um2 ||
+                                points[j].accuracy > points[i].accuracy;
+            dominated = no_worse && better;
+        }
+        if (!dominated) result.front.push_back(i);
+    }
+    std::sort(result.front.begin(), result.front.end(),
+              [&](std::size_t a, std::size_t b) {
+                  return points[a].area_um2 < points[b].area_um2;
+              });
+    for (const std::size_t i : result.front)
+        result.points[i].on_front = true;
+
+    auto better_point = [&](std::size_t a, std::size_t b) {
+        if (points[a].accuracy != points[b].accuracy)
+            return points[a].accuracy > points[b].accuracy;
+        return points[a].area_um2 < points[b].area_um2;
+    };
+    for (std::size_t i = 0; i < points.size(); ++i) {
+        auto& best = points[i].mixed ? result.best_mixed : result.best_uniform;
+        if (best == DseResult::npos || better_point(i, best)) best = i;
+    }
+
+    if (result.best_uniform == DseResult::npos) return;
+    const auto& bu = points[result.best_uniform];
+    for (std::size_t i = 0; i < points.size(); ++i) {
+        if (!points[i].mixed) continue;
+        const bool no_worse = points[i].accuracy >= bu.accuracy &&
+                              points[i].area_um2 <= bu.area_um2;
+        const bool better = points[i].accuracy > bu.accuracy ||
+                            points[i].area_um2 < bu.area_um2;
+        if (no_worse && better) {
+            result.mixed_dominates = true;
+            break;
+        }
+    }
+}
+
+} // namespace
+
+DseResult run_dse(const data::DatasetPair& dataset, const DseConfig& config) {
+    AMRET_OBS_SPAN("explore.dse.run");
+    if (config.candidates.empty())
+        throw std::invalid_argument("run_dse: empty candidate list");
+    auto& reg = appmult::Registry::instance();
+    for (const auto& name : config.candidates) {
+        if (!reg.contains(name))
+            throw std::invalid_argument("run_dse: unknown multiplier " + name);
+        reg.lut(name); // prewarm outside the parallel regions
+    }
+
+    DseResult result;
+    const approx::LayerChoice base = baseline_choice(config);
+
+    // 1. Uniform baseline: train once, snapshot, measure accuracy.
+    auto baseline = fresh_model(config);
+    result.layer_count = approx::count_approx_layers(*baseline);
+    const CostModel cost = build_cost_model(*baseline, config);
+    approx::apply_assignment(*baseline, approx::MultiplierAssignment(base),
+                             approx::ComputeMode::kQuantized);
+    {
+        AMRET_OBS_SPAN("explore.dse.baseline");
+        train::TrainConfig tc = config.train;
+        tc.microbatches = 1;
+        train::Trainer trainer(*baseline, dataset.train, dataset.test, tc);
+        trainer.train_only(config.baseline_epochs);
+    }
+    const train::ModelSnapshot snapshot = train::snapshot(*baseline);
+    result.baseline_accuracy = train::evaluate(*baseline, dataset.test).top1;
+    if (config.verbose)
+        util::log_info("dse: baseline ", base.multiplier, " acc=",
+                       result.baseline_accuracy);
+
+    // 2. Sensitivity probes: one-layer swaps, candidate-parallel.
+    const std::size_t layers = result.layer_count;
+    const std::size_t n_cand = config.candidates.size();
+    result.probes.resize(layers * n_cand);
+    // probe_acc[l][c]: eval-only accuracy with layer l swapped to candidate c
+    // (candidate 0 is the baseline itself).
+    std::vector<std::vector<double>> probe_acc(
+        layers, std::vector<double>(n_cand, result.baseline_accuracy));
+    runtime::parallel_for(
+        0, static_cast<std::int64_t>(layers * n_cand), 1,
+        [&](std::int64_t pb, std::int64_t pe) {
+            for (std::int64_t p = pb; p < pe; ++p) {
+                const auto layer = static_cast<std::size_t>(p) / n_cand;
+                const auto cand = static_cast<std::size_t>(p) % n_cand;
+                auto& probe = result.probes[static_cast<std::size_t>(p)];
+                probe.layer = layer;
+                probe.multiplier = config.candidates[cand];
+                if (cand == 0) {
+                    probe.accuracy = result.baseline_accuracy;
+                    probe.drop = 0.0;
+                    continue;
+                }
+                approx::LayerChoice choice = base;
+                choice.multiplier = config.candidates[cand];
+                approx::MultiplierAssignment a(base);
+                a.set_layer(layer, choice);
+                probe.accuracy = probe_accuracy(a, snapshot, dataset, config);
+                probe.drop = result.baseline_accuracy - probe.accuracy;
+                probe_acc[layer][cand] = probe.accuracy;
+            }
+        });
+    result.layer_sensitivity.assign(layers, 0.0);
+    for (const auto& probe : result.probes)
+        result.layer_sensitivity[probe.layer] =
+            std::max(result.layer_sensitivity[probe.layer], probe.drop);
+    if (config.verbose) {
+        for (std::size_t l = 0; l < layers; ++l)
+            util::log_info("dse: layer ", l, " sensitivity=",
+                           result.layer_sensitivity[l]);
+    }
+
+    // 3. Enumerate, then filter by area budget and shard ownership.
+    auto assignments = enumerate_assignments(config, layers,
+                                             result.layer_sensitivity, probe_acc);
+    std::vector<approx::MultiplierAssignment> selected;
+    for (auto& a : assignments) {
+        if (config.area_budget_um2 > 0.0 && cost.area(a) > config.area_budget_um2)
+            continue;
+        if (config.shard_count > 1 &&
+            a.digest() % config.shard_count != config.shard_index) {
+            ++result.sharded_out;
+            continue;
+        }
+        selected.push_back(std::move(a));
+    }
+    if (config.verbose)
+        util::log_info("dse: evaluating ", selected.size(), " of ",
+                       assignments.size(), " assignments (",
+                       result.sharded_out, " on other shards)");
+
+    // 4. Evaluate: cache hit or short retrain, candidate-parallel.
+    result.points.resize(selected.size());
+    std::vector<char> cached(selected.size(), 0);
+    for (std::size_t i = 0; i < selected.size(); ++i) {
+        auto& point = result.points[i];
+        point.assignment = std::move(selected[i]);
+        point.key = point.assignment.key();
+        point.mixed = !point.assignment.is_uniform();
+        point.area_um2 = cost.area(point.assignment);
+        point.energy_nj = cost.energy(point.assignment);
+        if (const auto hit = cache_lookup(config, point.key)) {
+            point.accuracy = *hit;
+            point.from_cache = true;
+            cached[i] = 1;
+            ++result.cache_hits;
+            AMRET_OBS_COUNT("explore.dse.cache_hits", 1);
+        }
+    }
+    runtime::parallel_for(
+        0, static_cast<std::int64_t>(result.points.size()), 1,
+        [&](std::int64_t ib, std::int64_t ie) {
+            for (std::int64_t i = ib; i < ie; ++i) {
+                auto& point = result.points[static_cast<std::size_t>(i)];
+                if (cached[static_cast<std::size_t>(i)]) continue;
+                point.accuracy =
+                    retrain_accuracy(point.assignment, snapshot, dataset, config);
+                cache_store(config, point);
+                AMRET_OBS_COUNT("explore.dse.evaluations", 1);
+            }
+        });
+    result.evaluations = result.points.size() - result.cache_hits;
+
+    // 5. Pareto front + domination verdict.
+    compute_front(result);
+    if (config.verbose && result.best_uniform != DseResult::npos) {
+        const auto& bu = result.points[result.best_uniform];
+        util::log_info("dse: best uniform ", bu.key, " acc=", bu.accuracy,
+                       " area=", bu.area_um2,
+                       result.mixed_dominates ? " (dominated by mixed)"
+                                              : " (undominated)");
+    }
+    return result;
+}
+
+bool write_pareto_csv(const DseResult& result, const std::string& path) {
+    std::ofstream f(path);
+    if (!f) return false;
+    f << "key,kind,accuracy,area_um2,energy_nj,on_front\n";
+    char num[64];
+    for (const auto& point : result.points) {
+        f << point.key << ',' << (point.mixed ? "mixed" : "uniform") << ',';
+        std::snprintf(num, sizeof(num), "%.6f", point.accuracy);
+        f << num << ',';
+        std::snprintf(num, sizeof(num), "%.3f", point.area_um2);
+        f << num << ',';
+        std::snprintf(num, sizeof(num), "%.6f", point.energy_nj);
+        f << num << ',' << (point.on_front ? 1 : 0) << '\n';
+    }
+    return static_cast<bool>(f);
+}
+
+bool write_bench_json(const DseResult& result, const std::string& path) {
+    std::ofstream f(path);
+    if (!f) return false;
+    char num[64];
+    auto emit_point = [&](const SweepPoint& point) {
+        f << "{\"key\": \"" << point.key << "\", \"mixed\": "
+          << (point.mixed ? "true" : "false") << ", \"accuracy\": ";
+        std::snprintf(num, sizeof(num), "%.6f", point.accuracy);
+        f << num << ", \"area_um2\": ";
+        std::snprintf(num, sizeof(num), "%.3f", point.area_um2);
+        f << num << ", \"energy_nj\": ";
+        std::snprintf(num, sizeof(num), "%.6f", point.energy_nj);
+        f << num << "}";
+    };
+    f << "{\n  \"schema\": \"amret-bench-explore-v1\",\n";
+    std::snprintf(num, sizeof(num), "%.6f", result.baseline_accuracy);
+    f << "  \"baseline_accuracy\": " << num << ",\n";
+    f << "  \"layers\": " << result.layer_count << ",\n";
+    f << "  \"points\": " << result.points.size() << ",\n";
+    f << "  \"front_size\": " << result.front.size() << ",\n";
+    f << "  \"evaluations\": " << result.evaluations << ",\n";
+    f << "  \"cache_hits\": " << result.cache_hits << ",\n";
+    f << "  \"sharded_out\": " << result.sharded_out << ",\n";
+    f << "  \"mixed_dominates\": "
+      << (result.mixed_dominates ? "true" : "false") << ",\n";
+    if (result.best_uniform != DseResult::npos) {
+        f << "  \"best_uniform\": ";
+        emit_point(result.points[result.best_uniform]);
+        f << ",\n";
+    }
+    if (result.best_mixed != DseResult::npos) {
+        f << "  \"best_mixed\": ";
+        emit_point(result.points[result.best_mixed]);
+        f << ",\n";
+    }
+    f << "  \"front\": [";
+    for (std::size_t i = 0; i < result.front.size(); ++i) {
+        if (i) f << ", ";
+        emit_point(result.points[result.front[i]]);
+    }
+    f << "]\n}\n";
+    return static_cast<bool>(f);
+}
+
+} // namespace amret::explore

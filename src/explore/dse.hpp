@@ -1,0 +1,109 @@
+/// \file dse.hpp
+/// \brief Sensitivity-guided mixed-precision design-space exploration.
+///
+/// Searches the (multiplier x layer) grid for per-layer assignments that
+/// beat the best uniform configuration on the accuracy-vs-area front. The
+/// driver follows the HEAM-style recipe on top of this repo's stack:
+///   1. train a uniform baseline and snapshot it,
+///   2. probe per-layer sensitivity by swapping one layer at a time to each
+///      candidate multiplier and measuring the accuracy drop (no retraining;
+///      candidate-parallel),
+///   3. enumerate assignments — the full grid when it is small, otherwise a
+///      beam ordered by descending layer sensitivity scored with the
+///      additive probe model,
+///   4. retrain every surviving assignment briefly from the baseline
+///      snapshot and evaluate it; results are content-addressed by the
+///      assignment digest in an on-disk cache so interrupted sweeps resume
+///      without recomputing, and a shard filter (digest mod shard_count)
+///      partitions the sweep across processes,
+///   5. emit the Pareto front (accuracy up, area down) as CSV plus a
+///      BENCH_explore.json summary.
+///
+/// Area is the sum of per-layer multiplier instances (weight-stationary
+/// array template, one dedicated multiplier per layer engine); energy uses
+/// accel::estimate_energy per layer workload.
+#pragma once
+
+#include "approx/assignment.hpp"
+#include "data/dataset.hpp"
+#include "models/models.hpp"
+#include "train/trainer.hpp"
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace amret::explore {
+
+/// Tuning knobs of one DSE run.
+struct DseConfig {
+    /// Candidate multiplier registry names. candidates[0] is the baseline
+    /// (uniform default) the sensitivity probes measure against.
+    std::vector<std::string> candidates;
+    models::ModelConfig model;   ///< LeNet topology for the sweep
+    train::TrainConfig train;    ///< shared training hyper-parameters
+    int baseline_epochs = 2;     ///< uniform baseline training length
+    int retrain_epochs = 1;      ///< per-assignment short retrain length
+    double area_budget_um2 = 0.0; ///< skip assignments above this (0 = off)
+    std::size_t max_grid = 64;   ///< exhaustive when |candidates|^L <= this
+    std::size_t beam_width = 4;  ///< beam survivors per layer step otherwise
+    std::size_t shard_count = 1; ///< sweep partition count
+    std::size_t shard_index = 0; ///< this process's partition
+    std::string cache_dir;       ///< content-addressed result cache ("" = off)
+    bool verbose = false;
+};
+
+/// One sensitivity probe: accuracy change when a single layer is swapped
+/// from the baseline multiplier to \p multiplier (no retraining).
+struct SensitivityProbe {
+    std::size_t layer = 0;
+    std::string multiplier;
+    double accuracy = 0.0;      ///< swapped-model test accuracy
+    double drop = 0.0;          ///< baseline accuracy - accuracy
+};
+
+/// One evaluated assignment.
+struct SweepPoint {
+    approx::MultiplierAssignment assignment;
+    std::string key;            ///< assignment content key (16 hex)
+    double accuracy = 0.0;      ///< test top-1 after the short retrain
+    double area_um2 = 0.0;      ///< sum of per-layer multiplier areas
+    double energy_nj = 0.0;     ///< per-inference multiplier energy
+    bool mixed = false;         ///< has at least one per-layer override
+    bool from_cache = false;    ///< accuracy came from the result cache
+    bool on_front = false;      ///< Pareto-optimal in this run
+};
+
+/// Everything a DSE run produced.
+struct DseResult {
+    static constexpr std::size_t npos = static_cast<std::size_t>(-1);
+
+    double baseline_accuracy = 0.0;
+    std::size_t layer_count = 0;
+    std::vector<SensitivityProbe> probes;
+    std::vector<double> layer_sensitivity; ///< max probe drop per layer
+    std::vector<SweepPoint> points;        ///< evaluated, enumeration order
+    std::vector<std::size_t> front;        ///< indices into points, area asc.
+    std::size_t best_uniform = npos;       ///< max accuracy, tie -> min area
+    std::size_t best_mixed = npos;
+    /// True when some mixed point matches-or-beats the best uniform on
+    /// accuracy at strictly lower area (or beats it at equal area).
+    bool mixed_dominates = false;
+    std::size_t evaluations = 0;  ///< assignments retrained this run
+    std::size_t cache_hits = 0;   ///< assignments answered from the cache
+    std::size_t sharded_out = 0;  ///< assignments owned by other shards
+};
+
+/// Runs the full exploration described above. Throws std::invalid_argument
+/// on an empty candidate list or an unknown multiplier name.
+DseResult run_dse(const data::DatasetPair& dataset, const DseConfig& config);
+
+/// Writes every evaluated point as CSV
+/// (key,kind,accuracy,area_um2,energy_nj,on_front); false on I/O failure.
+bool write_pareto_csv(const DseResult& result, const std::string& path);
+
+/// Writes the BENCH_explore.json summary (schema amret-bench-explore-v1);
+/// false on I/O failure.
+bool write_bench_json(const DseResult& result, const std::string& path);
+
+} // namespace amret::explore

@@ -29,6 +29,7 @@ std::string ModelSpec::key() const {
     h = fnv1a(h, model);
     h = fnv1a(h, multiplier);
     h = fnv1a(h, checkpoint);
+    h = fnv1a(h, assignment);
     char buf[17];
     std::snprintf(buf, sizeof(buf), "%016llx",
                   static_cast<unsigned long long>(h));

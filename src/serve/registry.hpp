@@ -32,14 +32,18 @@ namespace amret::serve {
 
 /// Identity of one deployable model. `multiplier` is a registry name
 /// (empty = exact 8-bit); `checkpoint` names the weight snapshot (a file
-/// path or version tag) so retrained weights get a distinct key.
+/// path or version tag) so retrained weights get a distinct key;
+/// `assignment` is the per-layer MultiplierAssignment content key
+/// (approx::MultiplierAssignment::key(); empty = uniform `multiplier`
+/// everywhere) so two mixed configs of one model never alias in the LRU.
 struct ModelSpec {
     std::string model;      ///< architecture name ("lenet", "vgg11", ...)
     std::string multiplier; ///< AppMult registry name, "" = exact
     std::string checkpoint; ///< weight snapshot id, "" = default
+    std::string assignment{}; ///< per-layer assignment digest, "" = uniform
 
-    /// Content hash of the triple: 16 hex digits of FNV-1a(model \0
-    /// multiplier \0 checkpoint).
+    /// Content hash of the spec: 16 hex digits of FNV-1a(model \0
+    /// multiplier \0 checkpoint \0 assignment).
     [[nodiscard]] std::string key() const;
 
     bool operator==(const ModelSpec& other) const = default;

@@ -9,6 +9,7 @@ namespace {
 
 constexpr char kMagicV1[8] = {'A', 'M', 'C', 'K', 'P', 'T', '1', 0};
 constexpr char kMagicV2[8] = {'A', 'M', 'C', 'K', 'P', 'T', '2', 0};
+constexpr char kMagicV3[8] = {'A', 'M', 'C', 'K', 'P', 'T', '3', 0};
 
 void write_u64(std::ostream& os, std::uint64_t v) {
     os.write(reinterpret_cast<const char*>(&v), sizeof(v));
@@ -64,13 +65,14 @@ bool read_snapshot(std::istream& is, ModelSnapshot& snap) {
     return static_cast<bool>(is);
 }
 
-/// Reads and validates the magic; returns the version byte ('1' or '2'),
-/// or 0 on failure.
+/// Reads and validates the magic; returns the version byte ('1', '2', or
+/// '3'), or 0 on failure.
 char read_magic(std::istream& is) {
     char magic[8];
     is.read(magic, sizeof(magic));
     if (!is || std::string(magic, 6) != std::string(kMagicV1, 6)) return 0;
-    return magic[6] == '1' || magic[6] == '2' ? magic[6] : 0;
+    return magic[6] == '1' || magic[6] == '2' || magic[6] == '3' ? magic[6]
+                                                                 : 0;
 }
 
 } // namespace
@@ -91,15 +93,22 @@ std::optional<ModelSnapshot> load_checkpoint(const std::string& path) {
     return snap;
 }
 
-bool save_train_checkpoint(const TrainCheckpoint& ck, const std::string& path) {
+bool save_train_checkpoint(const TrainCheckpoint& ck, const std::string& path,
+                           int version) {
+    if (version != 2 && version != 3) return false;
     std::ofstream f(path, std::ios::binary);
     if (!f) return false;
-    f.write(kMagicV2, sizeof(kMagicV2));
+    f.write(version == 3 ? kMagicV3 : kMagicV2, sizeof(kMagicV3));
     write_snapshot(f, ck.model);
     write_u64(f, ck.optimizer.size());
     f.write(reinterpret_cast<const char*>(ck.optimizer.data()),
             static_cast<std::streamsize>(ck.optimizer.size() * sizeof(float)));
     write_u64(f, ck.next_epoch);
+    if (version == 3) {
+        write_u64(f, ck.assignment_json.size());
+        f.write(ck.assignment_json.data(),
+                static_cast<std::streamsize>(ck.assignment_json.size()));
+    }
     return static_cast<bool>(f);
 }
 
@@ -120,6 +129,14 @@ std::optional<TrainCheckpoint> load_train_checkpoint(const std::string& path) {
            static_cast<std::streamsize>(n_opt * sizeof(float)));
     if (!f) return std::nullopt;
     if (!read_u64(f, ck.next_epoch)) return std::nullopt;
+    if (version == '2') return ck; // pre-assignment: uniform default
+
+    std::uint64_t n_json = 0;
+    if (!read_u64(f, n_json) || n_json > (1u << 20)) return std::nullopt;
+    ck.assignment_json.resize(n_json);
+    f.read(ck.assignment_json.data(),
+           static_cast<std::streamsize>(n_json));
+    if (!f) return std::nullopt;
     return ck;
 }
 

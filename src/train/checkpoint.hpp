@@ -6,14 +6,19 @@
 /// with shape information so loads are validated against the receiving
 /// model's architecture.
 ///
-/// Two on-disk versions share the "AMCKPT" magic:
+/// Three on-disk versions share the "AMCKPT" magic:
 ///   v1 ("AMCKPT1"): model snapshot only (params + extra state).
 ///   v2 ("AMCKPT2"): the v1 payload followed by optimizer slot state and
 ///                   the next-epoch cursor, so Trainer::resume_from can
 ///                   continue a run mid-way.
-/// Both loaders accept both versions: loading a v1 file as a
+///   v3 ("AMCKPT3"): the v2 payload followed by the per-layer multiplier
+///                   assignment JSON (MultiplierAssignment::to_json()), so
+///                   a resumed run can rebuild the exact mixed-precision
+///                   configuration it was trained under.
+/// All loaders accept every version: loading a v1 file as a
 /// TrainCheckpoint yields empty optimizer state and next_epoch 0 (train
-/// from scratch with the stored weights).
+/// from scratch with the stored weights); v1/v2 files load with an empty
+/// assignment_json, meaning the uniform model-wide default.
 #pragma once
 
 #include "train/trainer.hpp"
@@ -30,11 +35,16 @@ bool save_checkpoint(const ModelSnapshot& snap, const std::string& path);
 /// or corrupt content. Trailing v2 training state is ignored.
 std::optional<ModelSnapshot> load_checkpoint(const std::string& path);
 
-/// Writes a full training checkpoint (v2 format).
-bool save_train_checkpoint(const TrainCheckpoint& ck, const std::string& path);
+/// Writes a full training checkpoint. \p version selects the on-disk
+/// format (3 = current, 2 = legacy without the assignment record — used by
+/// migration tests); other values fail.
+bool save_train_checkpoint(const TrainCheckpoint& ck, const std::string& path,
+                           int version = 3);
 
-/// Reads a v2 training checkpoint; a v1 file loads with empty optimizer
-/// state and next_epoch 0. Nullopt on failure or corrupt content.
+/// Reads a v1/v2/v3 training checkpoint; a v1 file loads with empty
+/// optimizer state and next_epoch 0, and pre-v3 files load with empty
+/// assignment_json (uniform default). Nullopt on failure or corrupt
+/// content.
 std::optional<TrainCheckpoint> load_train_checkpoint(const std::string& path);
 
 /// Convenience: snapshot \p model and write it.

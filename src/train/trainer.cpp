@@ -344,6 +344,7 @@ void Trainer::save_epoch_checkpoint(int next_epoch) {
     ck.model = snapshot(model_);
     optimizer_->save_state(params_, ck.optimizer);
     ck.next_epoch = static_cast<std::uint64_t>(next_epoch);
+    ck.assignment_json = assignment_json_;
     if (!save_train_checkpoint(ck, checkpoint_path_)) {
         util::log_info("warning: failed to write checkpoint ", checkpoint_path_);
     }
@@ -363,6 +364,7 @@ bool Trainer::resume_from(const std::string& path) {
 
     restore(model_, ck->model);
     start_epoch_ = ck->next_epoch;
+    loaded_assignment_json_ = ck->assignment_json;
     return true;
 }
 

@@ -69,12 +69,17 @@ struct ModelSnapshot {
 };
 
 /// A resumable training state: model snapshot, optimizer slot state (Adam
-/// moments / SGD velocity and the step counter), and the index of the next
-/// epoch to run. Persisted by save_train_checkpoint (checkpoint.hpp).
+/// moments / SGD velocity and the step counter), the index of the next
+/// epoch to run, and (v3) the per-layer multiplier assignment the run was
+/// configured with. Persisted by save_train_checkpoint (checkpoint.hpp).
 struct TrainCheckpoint {
     ModelSnapshot model;
     std::vector<float> optimizer;
     std::uint64_t next_epoch = 0;
+    /// approx::MultiplierAssignment::to_json() of the training configuration
+    /// ("" = uniform default / pre-v3 checkpoint). Metadata: loaders never
+    /// apply it to the model; callers re-apply it (amret_cli train).
+    std::string assignment_json;
 };
 
 /// Captures all learnable and running state of \p model.
@@ -116,6 +121,18 @@ public:
     /// does not match the model/optimizer.
     bool resume_from(const std::string& path);
 
+    /// Records the multiplier-assignment JSON embedded in every checkpoint
+    /// this trainer writes (checkpoint v3 metadata).
+    void set_assignment_json(std::string json) {
+        assignment_json_ = std::move(json);
+    }
+
+    /// The assignment JSON carried by the last successfully loaded
+    /// checkpoint ("" for v1/v2 files — the uniform default).
+    [[nodiscard]] const std::string& loaded_assignment_json() const {
+        return loaded_assignment_json_;
+    }
+
 private:
     EpochStats run_epoch(int epoch_index, int total_epochs);
     void train_step(const data::Batch& batch, const util::Rng& step_rng,
@@ -145,6 +162,8 @@ private:
     std::vector<std::vector<tensor::Tensor>> mb_stage_bwd_;
 
     std::string checkpoint_path_;
+    std::string assignment_json_;        ///< embedded in written checkpoints
+    std::string loaded_assignment_json_; ///< carried by the resumed checkpoint
     std::uint64_t start_epoch_ = 0;
 };
 

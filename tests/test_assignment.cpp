@@ -1,0 +1,443 @@
+// Tests for per-layer multiplier assignments (DESIGN.md §16): canonical
+// content digests, JSON round-trips, the shared MultiplierCache dedup
+// contract, bitwise equivalence between mixed and uniform configurations,
+// checkpoint v2 -> v3 migration, serve-registry aliasing, and the analyzer
+// on per-layer configs. Registered at AMRET_THREADS=1 and 8 (and under
+// TSan in check.sh), so the determinism checks double as race detectors.
+#include "amret.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+namespace {
+
+using namespace amret;
+using approx::LayerChoice;
+using approx::MultiplierAssignment;
+using approx::MultiplierCache;
+
+LayerChoice choice(const std::string& mult, unsigned hws = 0,
+                   core::GradientMode grad = core::GradientMode::kDifference) {
+    LayerChoice c;
+    c.multiplier = mult;
+    c.hws = hws;
+    c.grad = grad;
+    return c;
+}
+
+data::DatasetPair tiny_data() {
+    data::SyntheticConfig config;
+    config.num_classes = 4;
+    config.height = config.width = 8;
+    config.train_samples = 64;
+    config.test_samples = 32;
+    config.noise_stddev = 0.25f;
+    config.seed = 13;
+    return data::make_synthetic(config);
+}
+
+models::ModelConfig tiny_lenet_config() {
+    models::ModelConfig mc;
+    mc.in_size = 8;
+    mc.num_classes = 4;
+    mc.width_mult = 0.25f;
+    return mc;
+}
+
+train::TrainConfig tiny_train_config() {
+    train::TrainConfig tc;
+    tc.epochs = 2;
+    tc.batch_size = 32;
+    tc.microbatches = 1;
+    tc.lr = 3e-3;
+    tc.paper_lr_schedule = false;
+    tc.seed = 11;
+    return tc;
+}
+
+void expect_snapshots_equal(const train::ModelSnapshot& a,
+                            const train::ModelSnapshot& b, const char* what) {
+    ASSERT_EQ(a.params.size(), b.params.size()) << what;
+    for (std::size_t i = 0; i < a.params.size(); ++i) {
+        ASSERT_EQ(a.params[i].shape(), b.params[i].shape()) << what;
+        EXPECT_EQ(std::memcmp(a.params[i].data(), b.params[i].data(),
+                              static_cast<std::size_t>(a.params[i].numel()) *
+                                  sizeof(float)),
+                  0)
+            << what << " (param " << i << ")";
+    }
+    ASSERT_EQ(a.extra.size(), b.extra.size()) << what;
+    EXPECT_EQ(std::memcmp(a.extra.data(), b.extra.data(),
+                          a.extra.size() * sizeof(float)),
+              0)
+        << what << " (extra state)";
+}
+
+/// Trains a tiny LeNet for two epochs under \p assignment and returns the
+/// final snapshot. Fresh model + trainer per call, same seeds throughout.
+train::ModelSnapshot train_under(const MultiplierAssignment& assignment,
+                                 const data::DatasetPair& pair) {
+    auto model = models::make_lenet(tiny_lenet_config());
+    approx::apply_assignment(*model, assignment, approx::ComputeMode::kQuantized);
+    train::Trainer trainer(*model, pair.train, pair.test, tiny_train_config());
+    trainer.train_only(tiny_train_config().epochs);
+    return train::snapshot(*model);
+}
+
+// --- digest canonical form -------------------------------------------------
+
+TEST(AssignmentDigest, UniformViaEntriesMatchesUniformViaDefault) {
+    const MultiplierAssignment implicit =
+        MultiplierAssignment::uniform(choice("mul8u_2NDH"));
+    MultiplierAssignment redundant(choice("mul8u_2NDH"));
+    redundant.set_layer(0, choice("mul8u_2NDH"));
+    redundant.set_layer(1, choice("mul8u_2NDH"));
+    EXPECT_TRUE(redundant.is_uniform()) << "redundant overrides must drop";
+    EXPECT_EQ(redundant.digest(), implicit.digest());
+    EXPECT_EQ(redundant.key(), implicit.key());
+    EXPECT_EQ(implicit.key().size(), 16u);
+}
+
+TEST(AssignmentDigest, OverridesAndFieldsChangeTheDigest) {
+    const MultiplierAssignment base(choice("mul8u_acc"));
+    MultiplierAssignment mixed = base;
+    mixed.set_layer(1, choice("mul8u_rm8"));
+    EXPECT_FALSE(mixed.is_uniform());
+    EXPECT_NE(mixed.digest(), base.digest());
+
+    MultiplierAssignment other_layer = base;
+    other_layer.set_layer(0, choice("mul8u_rm8"));
+    EXPECT_NE(other_layer.digest(), mixed.digest());
+
+    MultiplierAssignment other_hws = base;
+    other_hws.set_layer(1, choice("mul8u_rm8", 4));
+    EXPECT_NE(other_hws.digest(), mixed.digest());
+
+    MultiplierAssignment other_grad = base;
+    other_grad.set_layer(1, choice("mul8u_rm8", 0, core::GradientMode::kSte));
+    EXPECT_NE(other_grad.digest(), mixed.digest());
+}
+
+TEST(AssignmentDigest, SetFallbackRecanonicalizes) {
+    MultiplierAssignment a(choice("mul8u_acc"));
+    a.set_layer(0, choice("mul8u_rm8"));
+    a.set_layer(1, choice("mul8u_acc")); // equal to default, dropped
+    EXPECT_EQ(a.overrides().size(), 1u);
+    a.set_fallback(choice("mul8u_rm8")); // layer-0 override now redundant
+    EXPECT_TRUE(a.is_uniform());
+    EXPECT_EQ(a.digest(),
+              MultiplierAssignment::uniform(choice("mul8u_rm8")).digest());
+}
+
+// --- JSON round-trip -------------------------------------------------------
+
+TEST(AssignmentJson, RoundTripsThroughTextAndDisk) {
+    MultiplierAssignment a(choice("mul8u_acc", 16));
+    a.set_layer(1, choice("mul8u_rm8", 4, core::GradientMode::kSte));
+    a.set_layer(3, choice("mul8u_2NDH"));
+
+    const auto parsed = MultiplierAssignment::from_json(a.to_json());
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_EQ(*parsed, a);
+    EXPECT_EQ(parsed->digest(), a.digest());
+
+    const std::string path = testing::TempDir() + "assignment_roundtrip.json";
+    ASSERT_TRUE(a.save(path));
+    const auto loaded = MultiplierAssignment::load(path);
+    ASSERT_TRUE(loaded.has_value());
+    EXPECT_EQ(*loaded, a);
+    std::remove(path.c_str());
+}
+
+TEST(AssignmentJson, RejectsMalformedDocuments) {
+    EXPECT_FALSE(MultiplierAssignment::from_json("").has_value());
+    EXPECT_FALSE(MultiplierAssignment::from_json("{}").has_value());
+    EXPECT_FALSE(MultiplierAssignment::from_json(
+                     R"({"default": {"multiplier": ""}})")
+                     .has_value());
+    EXPECT_FALSE(MultiplierAssignment::load("/nonexistent/assignment.json")
+                     .has_value());
+}
+
+// --- shared artifact cache -------------------------------------------------
+
+TEST(MultiplierCacheTest, SharedMultiplierBuildsEachArtifactOnce) {
+    auto& cache = MultiplierCache::instance();
+    cache.clear();
+    obs::reset_counters();
+
+    // Two approx layers share one multiplier: one LUT build, one grad build.
+    auto model = models::make_lenet(tiny_lenet_config());
+    const std::size_t layers = approx::count_approx_layers(*model);
+    ASSERT_GE(layers, 2u);
+    const std::size_t configured = approx::apply_assignment(
+        *model, MultiplierAssignment::uniform(choice("mul8u_2NDH")),
+        approx::ComputeMode::kQuantized);
+    EXPECT_EQ(configured, layers);
+
+    const auto stats = cache.stats();
+    EXPECT_EQ(stats.lut_builds, 1);
+    EXPECT_EQ(stats.grad_builds, 1);
+    EXPECT_GE(stats.hits, static_cast<std::int64_t>(layers - 1));
+    EXPECT_EQ(obs::counter("approx.mult_cache.lut_builds").value(), 1);
+    EXPECT_EQ(obs::counter("approx.mult_cache.grad_builds").value(), 1);
+
+    // A second model reuses everything: zero further builds.
+    auto model2 = models::make_lenet(tiny_lenet_config());
+    approx::apply_assignment(*model2,
+                             MultiplierAssignment::uniform(choice("mul8u_2NDH")),
+                             approx::ComputeMode::kQuantized);
+    EXPECT_EQ(cache.stats().lut_builds, 1);
+    EXPECT_EQ(cache.stats().grad_builds, 1);
+
+    // Layers actually share storage, not copies.
+    const appmult::AppMultLut* seen = nullptr;
+    model->visit([&](nn::Module& m) {
+        if (auto* conv = dynamic_cast<approx::ApproxConv2d*>(&m)) {
+            if (seen == nullptr)
+                seen = conv->multiplier().lut.get();
+            else
+                EXPECT_EQ(conv->multiplier().lut.get(), seen);
+        }
+    });
+    ASSERT_NE(seen, nullptr);
+}
+
+TEST(MultiplierCacheTest, DistinctHwsShareTheProductLut) {
+    auto& cache = MultiplierCache::instance();
+    cache.clear();
+    const auto g4 = cache.grad("mul8u_2NDH", core::GradientMode::kDifference, 4);
+    const auto g8 = cache.grad("mul8u_2NDH", core::GradientMode::kDifference, 8);
+    EXPECT_NE(g4.get(), g8.get());
+    EXPECT_EQ(cache.stats().grad_builds, 2);
+    EXPECT_EQ(cache.stats().lut_builds, 1) << "grads share one product LUT";
+
+    // hws 0 resolves to the registry default, aliasing an explicit request.
+    const unsigned def = cache.resolve_hws("mul8u_2NDH", 0);
+    const auto gd = cache.grad("mul8u_2NDH", core::GradientMode::kDifference, 0);
+    const auto ge =
+        cache.grad("mul8u_2NDH", core::GradientMode::kDifference, def);
+    EXPECT_EQ(gd.get(), ge.get());
+}
+
+TEST(MultiplierCacheTest, UnknownNameThrows) {
+    EXPECT_THROW(MultiplierCache::instance().lut("mul8u_nope"),
+                 std::out_of_range);
+    MultiplierAssignment bad(choice("mul8u_nope"));
+    auto model = models::make_lenet(tiny_lenet_config());
+    EXPECT_THROW(approx::apply_assignment(*model, bad,
+                                          approx::ComputeMode::kQuantized),
+                 std::out_of_range);
+}
+
+// --- mixed vs uniform equivalence ------------------------------------------
+
+TEST(AssignmentTraining, ExplicitUniformMatchesImplicitUniformBitwise) {
+    const auto pair = tiny_data();
+
+    // Same per-layer configuration expressed two ways: as the model-wide
+    // default, and as explicit overrides of a *different* default. Training
+    // must be bitwise identical — layers read only their resolved choice.
+    const MultiplierAssignment implicit =
+        MultiplierAssignment::uniform(choice("mul8u_2NDH"));
+    MultiplierAssignment exhaustive(choice("mul8u_acc"));
+    auto probe = models::make_lenet(tiny_lenet_config());
+    const std::size_t layers = approx::count_approx_layers(*probe);
+    for (std::size_t l = 0; l < layers; ++l)
+        exhaustive.set_layer(l, choice("mul8u_2NDH"));
+    ASSERT_FALSE(exhaustive.is_uniform());
+
+    expect_snapshots_equal(train_under(implicit, pair),
+                           train_under(exhaustive, pair),
+                           "explicit-uniform vs implicit-uniform");
+}
+
+TEST(AssignmentTraining, MixedTrainingIsDeterministic) {
+    const auto pair = tiny_data();
+    MultiplierAssignment mixed(choice("mul8u_acc"));
+    mixed.set_layer(1, choice("mul8u_rm8", 4));
+    // Run-to-run (and, via the threads1/threads8 re-runs, thread-count)
+    // bitwise determinism of mixed-assignment training.
+    expect_snapshots_equal(train_under(mixed, pair), train_under(mixed, pair),
+                           "mixed training repeat run");
+}
+
+// --- checkpoint v3 ---------------------------------------------------------
+
+TEST(CheckpointV3, CarriesAssignmentAndLoadsV2AsUniform) {
+    const auto pair = tiny_data();
+    MultiplierAssignment mixed(choice("mul8u_acc"));
+    mixed.set_layer(1, choice("mul8u_2NDH"));
+
+    auto model = models::make_lenet(tiny_lenet_config());
+    approx::apply_assignment(*model, mixed, approx::ComputeMode::kQuantized);
+    train::TrainCheckpoint ck;
+    ck.model = train::snapshot(*model);
+    ck.optimizer = {1.0f, 2.0f, 3.0f};
+    ck.next_epoch = 7;
+    ck.assignment_json = mixed.to_json();
+
+    const std::string v3_path = testing::TempDir() + "assignment_v3.ckpt";
+    const std::string v2_path = testing::TempDir() + "assignment_v2.ckpt";
+    ASSERT_TRUE(train::save_train_checkpoint(ck, v3_path));
+    ASSERT_TRUE(train::save_train_checkpoint(ck, v2_path, 2));
+    EXPECT_FALSE(train::save_train_checkpoint(ck, v3_path + ".bad", 1));
+
+    const auto v3 = train::load_train_checkpoint(v3_path);
+    ASSERT_TRUE(v3.has_value());
+    EXPECT_EQ(v3->next_epoch, 7u);
+    EXPECT_EQ(v3->optimizer, ck.optimizer);
+    const auto restored = MultiplierAssignment::from_json(v3->assignment_json);
+    ASSERT_TRUE(restored.has_value());
+    EXPECT_EQ(*restored, mixed);
+
+    // A v2 file round-trips everything else and yields the uniform default.
+    const auto v2 = train::load_train_checkpoint(v2_path);
+    ASSERT_TRUE(v2.has_value());
+    EXPECT_EQ(v2->next_epoch, 7u);
+    EXPECT_TRUE(v2->assignment_json.empty());
+
+    // Old model-only loader still reads both containers' snapshots.
+    EXPECT_TRUE(train::load_checkpoint(v3_path).has_value());
+    EXPECT_TRUE(train::load_checkpoint(v2_path).has_value());
+
+    std::remove(v3_path.c_str());
+    std::remove(v2_path.c_str());
+    std::remove((v3_path + ".bad").c_str());
+}
+
+TEST(CheckpointV3, TrainerEmbedsAndSurfacesTheAssignment) {
+    const auto pair = tiny_data();
+    MultiplierAssignment mixed(choice("mul8u_acc"));
+    mixed.set_layer(0, choice("mul8u_2NDH"));
+
+    const std::string path = testing::TempDir() + "assignment_trainer.ckpt";
+    {
+        auto model = models::make_lenet(tiny_lenet_config());
+        approx::apply_assignment(*model, mixed, approx::ComputeMode::kQuantized);
+        train::TrainConfig tc = tiny_train_config();
+        tc.epochs = 1;
+        train::Trainer trainer(*model, pair.train, pair.test, tc);
+        trainer.set_assignment_json(mixed.to_json());
+        trainer.set_checkpoint_path(path);
+        trainer.run();
+    }
+    {
+        auto model = models::make_lenet(tiny_lenet_config());
+        train::TrainConfig tc = tiny_train_config();
+        train::Trainer trainer(*model, pair.train, pair.test, tc);
+        ASSERT_TRUE(trainer.resume_from(path));
+        const auto restored =
+            MultiplierAssignment::from_json(trainer.loaded_assignment_json());
+        ASSERT_TRUE(restored.has_value());
+        EXPECT_EQ(*restored, mixed);
+    }
+    std::remove(path.c_str());
+}
+
+// --- serve registry aliasing -----------------------------------------------
+
+TEST(ServeAssignment, MixedAndUniformSpecsNeverAlias) {
+    MultiplierAssignment mixed(choice("mul8u_acc"));
+    mixed.set_layer(1, choice("mul8u_rm8"));
+
+    const serve::ModelSpec uniform{"lenet", "mul8u_acc", "v0", ""};
+    const serve::ModelSpec assigned{"lenet", "mul8u_acc", "v0", mixed.key()};
+    const serve::ModelSpec other{
+        "lenet", "mul8u_acc", "v0",
+        MultiplierAssignment::uniform(choice("mul8u_acc")).key()};
+    EXPECT_NE(uniform.key(), assigned.key());
+    EXPECT_NE(assigned.key(), other.key());
+
+    std::atomic<int> loads{0};
+    serve::ModelRegistry registry(
+        [&loads](const serve::ModelSpec&) {
+            loads.fetch_add(1);
+            return std::shared_ptr<approx::IntInferenceEngine>(
+                reinterpret_cast<approx::IntInferenceEngine*>(0x1),
+                [](approx::IntInferenceEngine*) {});
+        },
+        4);
+    auto r1 = registry.acquire(uniform);
+    auto r2 = registry.acquire(assigned);
+    EXPECT_NE(r1.get(), r2.get());
+    EXPECT_EQ(loads.load(), 2) << "same triple, different assignment";
+    registry.acquire(assigned);
+    EXPECT_EQ(loads.load(), 2);
+    EXPECT_EQ(registry.stats().hits, 1);
+    EXPECT_EQ(registry.stats().resident, 2u);
+}
+
+// --- analyzer on per-layer configs -----------------------------------------
+
+bool has_check(const verify::Diagnostics& diags, const std::string& check) {
+    for (const auto& d : diags)
+        if (d.check == check) return true;
+    return false;
+}
+
+TEST(AnalyzeAssignment, EngineReportsPerLayerMultipliers) {
+    const auto pair = tiny_data();
+    MultiplierAssignment mixed(choice("mul8u_acc"));
+    mixed.set_layer(1, choice("mul8u_2NDH"));
+
+    auto model = models::make_lenet(tiny_lenet_config());
+    approx::apply_assignment(*model, mixed, approx::ComputeMode::kQuantized);
+    model->set_training(false);
+    approx::IntInferenceEngine engine(*model, pair.train, 32,
+                                      approx::SafetyPolicy::kOff);
+    analysis::GraphDesc desc = engine.describe();
+    desc.assignment = mixed.key();
+
+    std::size_t conv_index = 0;
+    for (const auto& op : desc.ops) {
+        if (op.kind != analysis::OpDesc::Kind::kConv) continue;
+        EXPECT_EQ(op.conv.multiplier, mixed.at(conv_index).multiplier)
+            << "conv op " << conv_index;
+        ++conv_index;
+    }
+    EXPECT_GE(conv_index, 2u);
+
+    // The mixed config is provably safe, and the certificate carries both
+    // the assignment key and the per-op multiplier names.
+    const analysis::Certificate cert = analysis::analyze_graph(desc);
+    EXPECT_TRUE(cert.safe) << verify::summarize(cert.diags);
+    EXPECT_EQ(cert.assignment, mixed.key());
+    const std::string json = cert.to_json();
+    EXPECT_NE(json.find(mixed.key()), std::string::npos);
+    EXPECT_NE(json.find("mul8u_2NDH"), std::string::npos);
+}
+
+TEST(AnalyzeAssignment, FlagsOverflowingPerLayerConfig) {
+    const auto pair = tiny_data();
+    MultiplierAssignment mixed(choice("mul8u_acc"));
+    mixed.set_layer(1, choice("mul8u_2NDH"));
+
+    auto model = models::make_lenet(tiny_lenet_config());
+    approx::apply_assignment(*model, mixed, approx::ComputeMode::kQuantized);
+    model->set_training(false);
+    approx::IntInferenceEngine engine(*model, pair.train, 32,
+                                      approx::SafetyPolicy::kOff);
+    analysis::GraphDesc desc = engine.describe();
+
+    // Corrupt the overridden layer's requant shift: the analyzer must
+    // localize the overflow to that op with a typed diagnostic.
+    std::size_t conv_index = 0, target = desc.ops.size();
+    for (std::size_t i = 0; i < desc.ops.size(); ++i) {
+        if (desc.ops[i].kind != analysis::OpDesc::Kind::kConv) continue;
+        if (conv_index == 1) target = i;
+        ++conv_index;
+    }
+    ASSERT_LT(target, desc.ops.size());
+    desc.ops[target].conv.requant.shift -= 30;
+    const analysis::Certificate cert = analysis::analyze_graph(desc);
+    EXPECT_FALSE(cert.safe);
+    EXPECT_TRUE(has_check(cert.diags, "rescale-overflow"))
+        << verify::summarize(cert.diags);
+}
+
+} // namespace

@@ -21,6 +21,9 @@
 ///   serve   [--duration S ...]    smoke-run the batching inference server
 ///                                 under closed-loop load (exit 1 on a
 ///                                 reject storm)
+///   explore [--mults a,b ...]     sensitivity-guided mixed-precision DSE:
+///                                 per-layer multiplier assignments, Pareto
+///                                 front on accuracy vs area
 ///
 /// Examples:
 ///   amret_cli info mul7u_rm6
@@ -30,6 +33,7 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <filesystem>
 #include <fstream>
 #include <iostream>
 #include <unordered_map>
@@ -188,19 +192,38 @@ int cmd_train(const util::ArgParser& args) {
     auto model = train::make_model(args.get("model", "lenet"), mc);
 
     const std::string mult = args.get("mult", "");
-    if (!mult.empty()) {
-        auto& reg = appmult::Registry::instance();
-        if (!reg.contains(mult)) {
-            std::fprintf(stderr, "unknown multiplier: %s\n", mult.c_str());
+    const std::string assignment_path = args.get("assignment", "");
+    approx::MultiplierAssignment assignment;
+    if (!assignment_path.empty()) {
+        if (!mult.empty()) {
+            std::fprintf(stderr, "--mult and --assignment are exclusive\n");
             return 1;
         }
-        approx::MultiplierConfig config;
-        config.lut = std::make_shared<appmult::AppMultLut>(reg.lut(mult));
-        config.grad = std::make_shared<core::GradLut>(core::build_difference_grad(
-            *config.lut, static_cast<unsigned>(args.get_int(
-                             "hws", static_cast<long>(reg.info(mult).default_hws)))));
-        approx::configure_approx_layers(*model, config,
-                                        approx::ComputeMode::kQuantized);
+        const auto loaded = approx::MultiplierAssignment::load(assignment_path);
+        if (!loaded) {
+            std::fprintf(stderr, "cannot load assignment %s\n",
+                         assignment_path.c_str());
+            return 1;
+        }
+        assignment = *loaded;
+    } else if (!mult.empty()) {
+        // Uniform assignment; hws 0 resolves to the registry default.
+        approx::LayerChoice choice;
+        choice.multiplier = mult;
+        choice.hws = static_cast<unsigned>(args.get_int("hws", 0));
+        assignment = approx::MultiplierAssignment::uniform(choice);
+    }
+    if (!assignment.empty()) {
+        try {
+            const std::size_t configured = approx::apply_assignment(
+                *model, assignment, approx::ComputeMode::kQuantized);
+            std::printf("assignment %s: %zu approx layer(s)%s\n",
+                        assignment.key().c_str(), configured,
+                        assignment.is_uniform() ? " (uniform)" : " (mixed)");
+        } catch (const std::exception& e) {
+            std::fprintf(stderr, "cannot apply assignment: %s\n", e.what());
+            return 1;
+        }
     }
 
     train::TrainConfig tc;
@@ -212,6 +235,7 @@ int cmd_train(const util::ArgParser& args) {
     tc.verbose = true;
 
     train::Trainer trainer(*model, pair.train, pair.test, tc);
+    if (!assignment.empty()) trainer.set_assignment_json(assignment.to_json());
     const std::string ckpt = args.get("checkpoint", "");
     if (!ckpt.empty()) trainer.set_checkpoint_path(ckpt);
     if (args.get_bool("resume", false)) {
@@ -219,11 +243,25 @@ int cmd_train(const util::ArgParser& args) {
             std::fprintf(stderr, "--resume requires --checkpoint <file>\n");
             return 1;
         }
-        if (trainer.resume_from(ckpt))
+        if (trainer.resume_from(ckpt)) {
             std::printf("resumed from %s\n", ckpt.c_str());
-        else
+            // A v3 checkpoint remembers its multiplier assignment; restore
+            // it when the command line did not pick one explicitly.
+            if (assignment.empty() && !trainer.loaded_assignment_json().empty()) {
+                const auto stored = approx::MultiplierAssignment::from_json(
+                    trainer.loaded_assignment_json());
+                if (stored) {
+                    approx::apply_assignment(*model, *stored,
+                                             approx::ComputeMode::kQuantized);
+                    trainer.set_assignment_json(stored->to_json());
+                    std::printf("applied assignment %s from checkpoint\n",
+                                stored->key().c_str());
+                }
+            }
+        } else {
             std::printf("no usable checkpoint at %s, training from scratch\n",
                         ckpt.c_str());
+        }
     }
 
     // Tracing only reads clocks — it never alters chunking, RNG streams, or
@@ -294,6 +332,27 @@ int cmd_serve(const util::ArgParser& args) {
         return 1;
     }
 
+    // Optional per-layer assignment for the hot model; the spec carries its
+    // content key so a mixed config never aliases a uniform one in the LRU.
+    const std::string assignment_path = args.get("assignment", "");
+    approx::MultiplierAssignment assignment;
+    std::string assignment_key;
+    if (!assignment_path.empty()) {
+        const auto loaded = approx::MultiplierAssignment::load(assignment_path);
+        if (!loaded) {
+            std::fprintf(stderr, "cannot load assignment %s\n",
+                         assignment_path.c_str());
+            return 1;
+        }
+        assignment = *loaded;
+        assignment_key = assignment.key();
+        if (!mult_reg.contains(assignment.fallback().multiplier)) {
+            std::fprintf(stderr, "unknown multiplier in assignment: %s\n",
+                         assignment.fallback().multiplier.c_str());
+            return 1;
+        }
+    }
+
     // One tiny trained snapshot shared by every served model variant.
     data::SyntheticConfig dc;
     dc.num_classes = 6;
@@ -313,13 +372,12 @@ int cmd_serve(const util::ArgParser& args) {
                 mult_names[0].c_str(), args.get_int("train-epochs", 3));
     auto model = train::make_model("lenet", mc);
     {
-        approx::MultiplierConfig config;
-        config.lut = std::make_shared<appmult::AppMultLut>(
-            mult_reg.lut(mult_names[0]));
-        config.grad = std::make_shared<core::GradLut>(
-            core::build_ste_grad(mult_reg.info(mult_names[0]).bits));
-        approx::configure_approx_layers(*model, config,
-                                        approx::ComputeMode::kQuantized);
+        approx::LayerChoice choice;
+        choice.multiplier = mult_names[0];
+        choice.grad = core::GradientMode::kSte;
+        approx::apply_assignment(*model,
+                                 approx::MultiplierAssignment::uniform(choice),
+                                 approx::ComputeMode::kQuantized);
     }
     train::TrainConfig tc;
     tc.epochs = static_cast<int>(args.get_int("train-epochs", 3));
@@ -332,13 +390,17 @@ int cmd_serve(const util::ArgParser& args) {
     serve::ModelRegistry registry(
         [&](const serve::ModelSpec& spec) {
             auto m = train::make_model(spec.model, mc);
-            approx::MultiplierConfig config;
-            config.lut = std::make_shared<appmult::AppMultLut>(
-                mult_reg.lut(spec.multiplier));
-            config.grad = std::make_shared<core::GradLut>(
-                core::build_ste_grad(mult_reg.info(spec.multiplier).bits));
-            approx::configure_approx_layers(*m, config,
-                                            approx::ComputeMode::kQuantized);
+            if (!spec.assignment.empty() && spec.assignment == assignment_key) {
+                approx::apply_assignment(*m, assignment,
+                                         approx::ComputeMode::kQuantized);
+            } else {
+                approx::LayerChoice choice;
+                choice.multiplier = spec.multiplier;
+                choice.grad = core::GradientMode::kSte;
+                approx::apply_assignment(
+                    *m, approx::MultiplierAssignment::uniform(choice),
+                    approx::ComputeMode::kQuantized);
+            }
             train::restore(*m, snap);
             m->set_training(false);
             return std::make_shared<approx::IntInferenceEngine>(*m, pair.train,
@@ -355,10 +417,11 @@ int cmd_serve(const util::ArgParser& args) {
     sc.model_concurrency = args.get_int("model-concurrency", 2);
     serve::InferenceServer server(registry, sc);
 
-    std::vector<serve::ModelSpec> hot{{"lenet", mult_names[0], "v0"}};
+    std::vector<serve::ModelSpec> hot{
+        {"lenet", mult_names[0], "v0", assignment_key}};
     std::vector<serve::ModelSpec> cold;
     for (std::size_t i = 1; i < mult_names.size(); ++i)
-        cold.push_back({"lenet", mult_names[i], "v0"});
+        cold.push_back({"lenet", mult_names[i], "v0", ""});
 
     std::vector<tensor::Tensor> samples;
     const std::int64_t sample_numel = pair.test.sample_numel();
@@ -432,12 +495,119 @@ std::vector<std::string> split_list(const std::string& csv) {
     return items;
 }
 
+/// Proves one model under a per-layer multiplier assignment. The netlist
+/// error band is combined conservatively across every multiplier the
+/// assignment uses (widest band, AND of proven; no constant-gate area is
+/// claimed). Certificates are keyed by the graph digest as usual and the
+/// assignment content key is carried as identity metadata.
+int analyze_static_assignment(const util::ArgParser& args,
+                              const approx::MultiplierAssignment& assignment,
+                              const std::vector<std::string>& model_names,
+                              const data::DatasetPair& pair,
+                              const std::string& out_dir) {
+    auto& reg = appmult::Registry::instance();
+    std::vector<std::string> used{assignment.fallback().multiplier};
+    for (const auto& [index, choice] : assignment.overrides())
+        if (std::find(used.begin(), used.end(), choice.multiplier) == used.end())
+            used.push_back(choice.multiplier);
+    for (const auto& name : used) {
+        if (!reg.contains(name)) {
+            std::fprintf(stderr, "unknown multiplier in assignment: %s\n",
+                         name.c_str());
+            return 1;
+        }
+    }
+
+    analysis::NetlistBoundsSummary combined;
+    combined.present = true;
+    combined.proven = true;
+    bool first = true;
+    for (const auto& mult : used) {
+        const verify::BitBoundsResult bounds =
+            verify::analyze_error_bounds(reg.circuit(mult), reg.info(mult).bits);
+        combined.proven = combined.proven && bounds.proven;
+        combined.error_lo = first ? bounds.error.lo
+                                  : std::min(combined.error_lo, bounds.error.lo);
+        combined.error_hi = first ? bounds.error.hi
+                                  : std::max(combined.error_hi, bounds.error.hi);
+        combined.support_mask |= bounds.support_mask;
+        first = false;
+    }
+
+    const std::string akey = assignment.key();
+    std::size_t unsafe = 0;
+    for (const auto& model_name : model_names) {
+        models::ModelConfig mc;
+        mc.in_size = 16;
+        mc.num_classes = 10;
+        mc.width_mult = static_cast<float>(args.get_double("width-mult", 0.25));
+        std::unique_ptr<nn::Sequential> model;
+        try {
+            model = train::make_model(model_name, mc);
+            approx::apply_assignment(*model, assignment,
+                                     approx::ComputeMode::kQuantized);
+        } catch (const std::exception& e) {
+            std::fprintf(stderr, "cannot configure %s: %s\n", model_name.c_str(),
+                         e.what());
+            return 1;
+        }
+
+        analysis::GraphDesc desc;
+        try {
+            approx::IntInferenceEngine engine(*model, pair.train, 32,
+                                              approx::SafetyPolicy::kOff);
+            desc = engine.describe();
+        } catch (const std::exception& e) {
+            std::fprintf(stderr, "%-10s x assignment %s cannot compile: %s\n",
+                         model_name.c_str(), akey.c_str(), e.what());
+            ++unsafe;
+            continue;
+        }
+        desc.model = model_name;
+        desc.multiplier = assignment.is_uniform()
+                              ? assignment.fallback().multiplier
+                              : "mixed";
+        desc.assignment = akey;
+
+        const std::string key = analysis::digest_key(desc);
+        auto& cache = analysis::CertificateCache::instance();
+        std::shared_ptr<const analysis::Certificate> cert = cache.lookup(key);
+        if (cert == nullptr || cert->ops.empty()) {
+            auto fresh = std::make_shared<analysis::Certificate>(
+                analysis::analyze_graph(desc));
+            fresh->netlist = combined;
+            if (!fresh->netlist.proven) {
+                fresh->diags.push_back(verify::Diagnostic{
+                    verify::Severity::kError, "netlist-bounds", verify::kNoObject,
+                    "multiplier netlist error bounds unprovable"});
+                fresh->safe = false;
+            }
+            cache.store(fresh);
+            cert = fresh;
+        }
+        std::printf("%-10s x assignment %s %s  %s\n", model_name.c_str(),
+                    akey.c_str(), key.c_str(), cert->summary().c_str());
+        for (const auto& diag : cert->diags)
+            if (diag.severity != verify::Severity::kNote)
+                std::printf("  %s\n", verify::to_string(diag).c_str());
+        if (!cert->safe) ++unsafe;
+
+        std::ofstream f(out_dir + "/cert_" + model_name + "_assignment_" + akey +
+                        ".json");
+        if (f) f << cert->to_json();
+    }
+    std::printf("analyzed %zu config(s): %zu unsafe\n", model_names.size(),
+                unsafe);
+    return unsafe == 0 ? 0 : 1;
+}
+
 /// Statically proves the integer deployment pipeline overflow-free for each
 /// model x multiplier config: compiles an IntInferenceEngine against the
 /// synthetic calibration set, runs the interval analyzer over the compiled
 /// graph, embeds the multiplier's bit-level netlist error bounds, and writes
 /// one certificate JSON per config (plus the content-addressed cache entry).
-/// Exits nonzero when any config cannot be proven safe.
+/// With --assignment the multiplier grid is replaced by that one per-layer
+/// configuration. Exits nonzero when any config cannot be proven safe.
 int cmd_analyze_static(const util::ArgParser& args) {
     const std::string out_dir = args.get("out-dir", "results");
     analysis::CertificateCache::instance().set_directory(out_dir);
@@ -462,6 +632,18 @@ int cmd_analyze_static(const util::ArgParser& args) {
     dc.test_samples = 16;
     dc.seed = 11;
     const auto pair = data::make_synthetic(dc);
+
+    const std::string assignment_path = args.get("assignment", "");
+    if (!assignment_path.empty()) {
+        const auto loaded = approx::MultiplierAssignment::load(assignment_path);
+        if (!loaded) {
+            std::fprintf(stderr, "cannot load assignment %s\n",
+                         assignment_path.c_str());
+            return 1;
+        }
+        return analyze_static_assignment(args, *loaded, model_names, pair,
+                                         out_dir);
+    }
 
     // The netlist error band only depends on the multiplier, not the model —
     // derive it once per multiplier.
@@ -554,6 +736,130 @@ int cmd_analyze_static(const util::ArgParser& args) {
     return unsafe == 0 ? 0 : 1;
 }
 
+/// Mixed-precision design-space exploration: trains a uniform baseline on
+/// the synthetic task, probes per-layer sensitivity, sweeps per-layer
+/// assignments (resumable via the content-addressed cache), and emits the
+/// accuracy-vs-area Pareto front as CSV + BENCH_explore.json. `--emit-best`
+/// writes the best mixed assignment as JSON for `train/serve/analyze-static
+/// --assignment`; `--require-mixed-dominates` makes CI fail when no mixed
+/// point beats the best uniform.
+int cmd_explore(const util::ArgParser& args) {
+    explore::DseConfig config;
+    config.candidates =
+        split_list(args.get("mults", "mul8u_acc,mul8u_2NDH,mul8u_rm8"));
+    auto& reg = appmult::Registry::instance();
+    for (const auto& name : config.candidates) {
+        if (!reg.contains(name)) {
+            std::fprintf(stderr, "unknown multiplier: %s (try `amret_cli list`)\n",
+                         name.c_str());
+            return 1;
+        }
+    }
+    if (config.candidates.empty()) {
+        std::fprintf(stderr, "explore: --mults must name at least one multiplier\n");
+        return 1;
+    }
+
+    data::SyntheticConfig dc;
+    dc.num_classes = static_cast<int>(args.get_int("classes", 6));
+    dc.height = dc.width = 12;
+    dc.train_samples = args.get_int("train-samples", 384);
+    dc.test_samples = args.get_int("test-samples", 128);
+    dc.seed = static_cast<std::uint64_t>(args.get_int("data-seed", 5));
+    const auto pair = data::make_synthetic(dc);
+
+    config.model.in_size = 12;
+    config.model.num_classes = dc.num_classes;
+    config.model.width_mult = static_cast<float>(args.get_double("width-mult", 0.5));
+    config.train.batch_size = args.get_int("batch", 32);
+    config.train.lr = args.get_double("lr", 2e-3);
+    config.train.seed = static_cast<std::uint64_t>(args.get_int("seed", 7));
+    config.baseline_epochs = static_cast<int>(args.get_int("baseline-epochs", 3));
+    config.retrain_epochs = static_cast<int>(args.get_int("retrain-epochs", 1));
+    config.area_budget_um2 = args.get_double("area-budget", 0.0);
+    config.max_grid = static_cast<std::size_t>(args.get_int("max-grid", 64));
+    config.beam_width = static_cast<std::size_t>(args.get_int("beam", 4));
+    config.shard_count = static_cast<std::size_t>(args.get_int("shards", 1));
+    config.shard_index = static_cast<std::size_t>(args.get_int("shard-index", 0));
+    config.cache_dir = args.get("cache-dir", "");
+    config.verbose = true;
+    if (config.shard_index >= config.shard_count) {
+        std::fprintf(stderr, "explore: --shard-index must be < --shards\n");
+        return 1;
+    }
+
+    explore::DseResult result;
+    try {
+        result = explore::run_dse(pair, config);
+    } catch (const std::exception& e) {
+        std::fprintf(stderr, "explore: %s\n", e.what());
+        return 1;
+    }
+
+    util::TablePrinter table(
+        {"Key", "Kind", "Top1", "Area/um2", "Energy/nJ", "Front"});
+    for (const auto& point : result.points) {
+        table.add_row({point.key, point.mixed ? "mixed" : "uniform",
+                       util::TablePrinter::num(point.accuracy, 3),
+                       util::TablePrinter::num(point.area_um2, 1),
+                       util::TablePrinter::num(point.energy_nj, 3),
+                       point.on_front ? "*" : ""});
+    }
+    table.print();
+    std::printf("baseline top1 %.3f | %zu point(s), %zu on front, "
+                "%zu retrained, %zu from cache, %zu on other shards\n",
+                result.baseline_accuracy, result.points.size(),
+                result.front.size(), result.evaluations, result.cache_hits,
+                result.sharded_out);
+    if (result.best_uniform != explore::DseResult::npos) {
+        const auto& bu = result.points[result.best_uniform];
+        std::printf("best uniform: %s top1 %.3f area %.1f um^2\n", bu.key.c_str(),
+                    bu.accuracy, bu.area_um2);
+    }
+    if (result.best_mixed != explore::DseResult::npos) {
+        const auto& bm = result.points[result.best_mixed];
+        std::printf("best mixed:   %s top1 %.3f area %.1f um^2%s\n",
+                    bm.key.c_str(), bm.accuracy, bm.area_um2,
+                    result.mixed_dominates ? "  [dominates best uniform]" : "");
+    }
+
+    const std::string out_dir = args.get("out-dir", "results");
+    std::error_code ec;
+    std::filesystem::create_directories(out_dir, ec); // best-effort
+    const std::string csv = out_dir + "/pareto_explore.csv";
+    const std::string json = out_dir + "/BENCH_explore.json";
+    if (!explore::write_pareto_csv(result, csv))
+        std::fprintf(stderr, "cannot write %s\n", csv.c_str());
+    else
+        std::printf("wrote %s\n", csv.c_str());
+    if (!explore::write_bench_json(result, json))
+        std::fprintf(stderr, "cannot write %s\n", json.c_str());
+    else
+        std::printf("wrote %s\n", json.c_str());
+
+    const std::string emit = args.get("emit-best", "");
+    if (!emit.empty()) {
+        const std::size_t best = result.best_mixed != explore::DseResult::npos
+                                     ? result.best_mixed
+                                     : result.best_uniform;
+        if (best == explore::DseResult::npos ||
+            !result.points[best].assignment.save(emit)) {
+            std::fprintf(stderr, "cannot write %s\n", emit.c_str());
+            return 1;
+        }
+        std::printf("wrote %s (assignment %s)\n", emit.c_str(),
+                    result.points[best].key.c_str());
+    }
+
+    if (args.get_bool("require-mixed-dominates", false) &&
+        !result.mixed_dominates) {
+        std::fprintf(stderr,
+                     "explore: no mixed assignment dominates the best uniform\n");
+        return 1;
+    }
+    return 0;
+}
+
 int cmd_check(const util::ArgParser& args) {
     verify::CheckOptions options;
     const long hws = args.get_int("hws", -1);
@@ -592,15 +898,19 @@ void usage() {
         "  check   [name...] [--hws N] [--skip-grad] [--skip-sim]\n"
         "                               static verification (exit 1 on errors)\n"
         "  analyze-static [--models a,b] [--mults a,b] [--out-dir results]\n"
-        "          [--width-mult F]     prove the integer inference pipeline\n"
-        "                               overflow-free per model x multiplier;\n"
-        "                               writes certificate JSONs, exits 1 on\n"
-        "                               any unprovable config\n"
-        "  train   [--model lenet] [--mult name] [--epochs N] [--batch N]\n"
+        "          [--width-mult F] [--assignment f.json]\n"
+        "                               prove the integer inference pipeline\n"
+        "                               overflow-free per model x multiplier\n"
+        "                               (or per-layer assignment); writes\n"
+        "                               certificate JSONs, exits 1 on any\n"
+        "                               unprovable config\n"
+        "  train   [--model lenet] [--mult name | --assignment f.json]\n"
+        "          [--epochs N] [--batch N]\n"
         "          [--microbatches K] [--checkpoint f.ckpt] [--resume]\n"
         "          [--trace out.json] [--profile]\n"
         "                               train on the synthetic task; the\n"
-        "                               checkpoint enables mid-run resume;\n"
+        "                               checkpoint enables mid-run resume and\n"
+        "                               remembers the assignment (v3);\n"
         "                               --trace writes a Perfetto-loadable\n"
         "                               span trace, --profile prints the\n"
         "                               hierarchical time table\n"
@@ -608,9 +918,19 @@ void usage() {
         "          [--deadline-us U] [--queue-depth N] [--queue-timeout-us U]\n"
         "          [--mults a,b,...] [--rate R] [--bursty] [--hot-fraction F]\n"
         "          [--train-epochs N] [--max-reject-rate F]\n"
+        "          [--assignment f.json]\n"
         "                               smoke-run the batching inference\n"
-        "                               server under closed-loop load; exits\n"
+        "                               server under closed-loop load (the\n"
+        "                               hot model uses the assignment); exits\n"
         "                               nonzero on a reject storm\n"
+        "  explore [--mults a,b,...] [--baseline-epochs N] [--retrain-epochs N]\n"
+        "          [--area-budget A] [--beam N] [--max-grid N]\n"
+        "          [--shards N] [--shard-index I] [--cache-dir d]\n"
+        "          [--out-dir results] [--emit-best f.json]\n"
+        "          [--require-mixed-dominates]\n"
+        "                               sensitivity-guided mixed-precision\n"
+        "                               search; emits the accuracy-vs-area\n"
+        "                               Pareto front (CSV + BENCH_explore.json)\n"
         "global flags:\n"
         "  --threads N                  worker threads (0 = auto; env AMRET_THREADS)\n",
         stderr);
@@ -645,6 +965,7 @@ int main(int argc, char** argv) {
     if (command == "analyze-static") return cmd_analyze_static(args);
     if (command == "train") return cmd_train(args);
     if (command == "serve") return cmd_serve(args);
+    if (command == "explore") return cmd_explore(args);
     usage();
     return 1;
 }
