@@ -10,17 +10,27 @@
 ///   --tile-sweep    P/O/K tile-size sweep of the tiled AND blocked kernels
 ///                   plus an old-vs-new LUT-GEMM comparison (pre-refactor
 ///                   row-streaming kernel vs the tiled src/kernels one).
-///                   CSVs land in results/, and the best blocked tile pick
-///                   is persisted to results/kernel_tuning.json, which
-///                   kernels::Tuning::resolve() loads at startup — this is
-///                   the auto-tuner half of the layout refactor. Override
-///                   with AMRET_TILES=PxOxK / AMRET_TUNING_FILE.
+///                   The blocked leg is swept once per supported SIMD
+///                   dispatch level (kernels::simd): CSVs land in results/,
+///                   the portable (scalar) winner plus per-ISA refinements
+///                   are persisted to results/kernel_tuning.json in the
+///                   shape kernels::Tuning::resolve() scans, and each ISA
+///                   also gets a standalone results/kernel_tuning_<isa>.json
+///                   (usable directly via AMRET_TUNING_FILE; uploaded by the
+///                   bench-smoke workflow). Override with AMRET_TILES=PxOxK.
 ///   --kernels-json  writes results/BENCH_kernels.json: blocked-vs-scalar
 ///                   LUT-GEMM forward throughput against the PR-3
-///                   row-streaming baseline plus a quantized-conv
-///                   end-to-end number, with bitwise-equality flags.
-///                   Run by scripts/check.sh and the bench-smoke workflow.
+///                   row-streaming baseline, a "simd" section timing the
+///                   vector paths (8-bit gather leg, 4-bit nibble/pshufb
+///                   leg) per ISA against the scalar-dispatch blocked
+///                   kernel, plus a quantized-conv end-to-end number — all
+///                   with bitwise-equality flags. Run by scripts/check.sh
+///                   and the bench-smoke workflow; scripts/check_bench.py
+///                   gates the simd_vs_blocked_speedup field against the
+///                   committed baseline.
 #include "amret.hpp"
+
+#include "kernels/simd/simd.hpp"
 
 #include <benchmark/benchmark.h>
 
@@ -326,6 +336,19 @@ double time_ms_best(int iters, Fn&& fn) {
     return best;
 }
 
+/// Dispatch levels to measure: scalar (the PR-8 blocked oracle) first, then
+/// every vector level this build+machine supports. Levels the CPU lacks are
+/// simply absent — the JSON consumers treat missing ISAs as "not available
+/// here", never as a failure.
+std::vector<kernels::simd::Isa> supported_isas() {
+    std::vector<kernels::simd::Isa> v{kernels::simd::Isa::kScalar};
+    for (const auto isa :
+         {kernels::simd::Isa::kSsse3, kernels::simd::Isa::kAvx2,
+          kernels::simd::Isa::kAvx512})
+        if (kernels::simd::supported(isa)) v.push_back(isa);
+    return v;
+}
+
 std::FILE* open_results_csv(const char* name, const char* header) {
     std::filesystem::create_directories("results");
     const std::string path = std::string("results/") + name;
@@ -381,11 +404,13 @@ int run_tile_sweep() {
     // tiled row-major kernel and the blocked (panelized) kernel per config.
     // Weight panels are packed outside the timed region — weights are static
     // at deployment — while the blocked forward itself is what the tuner
-    // ranks. The best blocked pick is persisted to results/kernel_tuning.json
-    // for kernels::Tuning::resolve() to load on the next run.
+    // ranks. The blocked leg runs once per supported SIMD dispatch level
+    // (the winning tile differs between the scalar walk and the gather
+    // kernels); the scalar winner plus per-ISA refinements are persisted to
+    // results/kernel_tuning.json for kernels::Tuning::resolve().
     std::FILE* sweep = open_results_csv(
         "kernel_tile_sweep.csv",
-        "tp,to,tk,tiled_ms,tiled_gops,blocked_ms,blocked_gops");
+        "tp,to,tk,isa,tiled_ms,tiled_gops,blocked_ms,blocked_gops");
     if (!sweep) {
         std::fprintf(stderr, "cannot open results/kernel_tile_sweep.csv\n");
         return 1;
@@ -397,8 +422,12 @@ int run_tile_sweep() {
     ws.reset();
     kernels::lut_forward(g.args, nullptr, y_ref.data(), ws);
     const double ops = static_cast<double>(g.args.o * g.args.p * g.args.k);
-    kernels::Tuning best;
-    double best_ms = -1.0;
+    const std::vector<kernels::simd::Isa> isas = supported_isas();
+    struct IsaBest {
+        kernels::Tuning t;
+        double ms = -1.0;
+    };
+    IsaBest best[4];
     for (const std::int64_t tp : {4, 8, 16}) {
         for (const std::int64_t to : {8, 16, 32, 64}) {
             for (const std::int64_t tk : {64, 128, 256, 576}) {
@@ -435,41 +464,55 @@ int run_tile_sweep() {
                 bargs.scale_x = g.args.scale_x;
                 bargs.zero_w = g.args.zero_w;
                 bargs.zero_x = g.args.zero_x;
-                const double bms = time_ms(iters, [&] {
-                    ws.reset();
-                    kernels::lut_forward_blocked(bargs, nullptr, g.y.data(), ws);
-                });
-                if (std::memcmp(y_ref.data(), g.y.data(),
-                                g.y.size() * sizeof(float)) != 0) {
-                    std::fprintf(stderr,
-                                 "blocked tile (%lld,%lld,%lld) changed results\n",
+                for (const auto isa : isas) {
+                    kernels::simd::set_isa_for_test(isa);
+                    const double bms = time_ms(iters, [&] {
+                        ws.reset();
+                        kernels::lut_forward_blocked(bargs, nullptr, g.y.data(),
+                                                     ws);
+                    });
+                    kernels::simd::clear_isa_override();
+                    if (std::memcmp(y_ref.data(), g.y.data(),
+                                    g.y.size() * sizeof(float)) != 0) {
+                        std::fprintf(
+                            stderr,
+                            "blocked tile (%lld,%lld,%lld) [%s] changed results\n",
+                            static_cast<long long>(tp),
+                            static_cast<long long>(to),
+                            static_cast<long long>(tk),
+                            kernels::simd::isa_name(isa));
+                        return 1;
+                    }
+                    IsaBest& b = best[static_cast<int>(isa)];
+                    if (b.ms < 0.0 || bms < b.ms) {
+                        b.ms = bms;
+                        b.t.tp = tp;
+                        b.t.to = to;
+                        b.t.tk = tk;
+                    }
+                    std::fprintf(sweep, "%lld,%lld,%lld,%s,%.4f,%.3f,%.4f,%.3f\n",
                                  static_cast<long long>(tp),
                                  static_cast<long long>(to),
-                                 static_cast<long long>(tk));
-                    return 1;
+                                 static_cast<long long>(tk),
+                                 kernels::simd::isa_name(isa), ms,
+                                 ops / ms / 1e6, bms, ops / bms / 1e6);
                 }
-                if (best_ms < 0.0 || bms < best_ms) {
-                    best_ms = bms;
-                    best.tp = tp;
-                    best.to = to;
-                    best.tk = tk;
-                }
-                std::fprintf(sweep, "%lld,%lld,%lld,%.4f,%.3f,%.4f,%.3f\n",
-                             static_cast<long long>(tp), static_cast<long long>(to),
-                             static_cast<long long>(tk), ms, ops / ms / 1e6, bms,
-                             ops / bms / 1e6);
             }
         }
     }
     std::fclose(sweep);
     std::printf("tile sweep written to results/kernel_tile_sweep.csv\n");
 
-    // Persist the winner in the exact shape Tuning::resolve() scans for.
+    // Persist the winners in the exact shape Tuning::resolve() scans for:
+    // top-level tp/to/tk carry the portable scalar pick, the "isa" object
+    // carries one refinement block per vector level; resolve() shadows the
+    // top-level fields with the block matching kernels::simd::select().
     std::FILE* tuned = std::fopen("results/kernel_tuning.json", "w");
     if (!tuned) {
         std::fprintf(stderr, "cannot open results/kernel_tuning.json\n");
         return 1;
     }
+    const IsaBest& sb = best[static_cast<int>(kernels::simd::Isa::kScalar)];
     std::fprintf(tuned,
                  "{\n"
                  "  \"source\": \"bench_micro --tile-sweep\",\n"
@@ -477,17 +520,59 @@ int run_tile_sweep() {
                  "  \"blocked_ms\": %.4f,\n"
                  "  \"tp\": %lld,\n"
                  "  \"to\": %lld,\n"
-                 "  \"tk\": %lld\n"
-                 "}\n",
+                 "  \"tk\": %lld,\n"
+                 "  \"isa\": {\n",
                  static_cast<long long>(g.args.o), static_cast<long long>(g.args.p),
-                 static_cast<long long>(g.args.k), best_ms,
-                 static_cast<long long>(best.tp), static_cast<long long>(best.to),
-                 static_cast<long long>(best.tk));
+                 static_cast<long long>(g.args.k), sb.ms,
+                 static_cast<long long>(sb.t.tp), static_cast<long long>(sb.t.to),
+                 static_cast<long long>(sb.t.tk));
+    for (std::size_t i = 1; i < isas.size(); ++i) {
+        const IsaBest& b = best[static_cast<int>(isas[i])];
+        std::fprintf(tuned,
+                     "    \"%s\": {\"tp\": %lld, \"to\": %lld, \"tk\": %lld, "
+                     "\"blocked_ms\": %.4f}%s\n",
+                     kernels::simd::isa_name(isas[i]),
+                     static_cast<long long>(b.t.tp),
+                     static_cast<long long>(b.t.to),
+                     static_cast<long long>(b.t.tk), b.ms,
+                     i + 1 < isas.size() ? "," : "");
+    }
+    std::fprintf(tuned, "  }\n}\n");
     std::fclose(tuned);
-    std::printf("best blocked tiles %lldx%lldx%lld (%.4f ms) -> "
-                "results/kernel_tuning.json\n",
-                static_cast<long long>(best.tp), static_cast<long long>(best.to),
-                static_cast<long long>(best.tk), best_ms);
+
+    // One standalone file per level, directly loadable via AMRET_TUNING_FILE
+    // and uploaded as artifacts by the bench-smoke workflow.
+    for (const auto isa : isas) {
+        const IsaBest& b = best[static_cast<int>(isa)];
+        const std::string path = std::string("results/kernel_tuning_") +
+                                 kernels::simd::isa_name(isa) + ".json";
+        std::FILE* pf = std::fopen(path.c_str(), "w");
+        if (!pf) {
+            std::fprintf(stderr, "cannot open %s\n", path.c_str());
+            return 1;
+        }
+        std::fprintf(pf,
+                     "{\n"
+                     "  \"source\": \"bench_micro --tile-sweep\",\n"
+                     "  \"isa\": \"%s\",\n"
+                     "  \"blocked_ms\": %.4f,\n"
+                     "  \"tp\": %lld,\n"
+                     "  \"to\": %lld,\n"
+                     "  \"tk\": %lld\n"
+                     "}\n",
+                     kernels::simd::isa_name(isa), b.ms,
+                     static_cast<long long>(b.t.tp),
+                     static_cast<long long>(b.t.to),
+                     static_cast<long long>(b.t.tk));
+        std::fclose(pf);
+        std::printf("best blocked tiles [%s] %lldx%lldx%lld (%.4f ms)\n",
+                    kernels::simd::isa_name(isa),
+                    static_cast<long long>(b.t.tp),
+                    static_cast<long long>(b.t.to),
+                    static_cast<long long>(b.t.tk), b.ms);
+    }
+    std::printf("wrote results/kernel_tuning.json (+ per-ISA "
+                "results/kernel_tuning_<isa>.json)\n");
     if (!all_equal) {
         std::fprintf(stderr, "old/new LUT-GEMM outputs differ\n");
         return 1;
@@ -536,16 +621,141 @@ int run_kernels_json() {
     bargs.scale_x = g.args.scale_x;
     bargs.zero_w = g.args.zero_w;
     bargs.zero_x = g.args.zero_x;
+    // The "blocked" leg is pinned to scalar dispatch so it stays the PR-8
+    // blocked kernel — the baseline the SIMD legs below are measured against.
+    kernels::simd::set_isa_for_test(kernels::simd::Isa::kScalar);
     const double blocked_ms = time_ms_best(iters, [&] {
         ws.reset();
         kernels::lut_forward_blocked(bargs, nullptr, y_blocked.data(), ws);
     });
+    kernels::simd::clear_isa_override();
 
     const bool tiled_eq =
         std::memcmp(y_base.data(), y_tiled.data(), g.y.size() * sizeof(float)) == 0;
     const bool blocked_eq =
         std::memcmp(y_base.data(), y_blocked.data(), g.y.size() * sizeof(float)) ==
         0;
+
+    // ------------------------------------------------------- SIMD legs ----
+    // Two operand regimes hit different vector kernels: 8-bit codes run the
+    // gather path, 4-bit codes with nibble-packed activations run the
+    // pshufb path. Each leg times every supported dispatch level against
+    // the scalar-dispatch blocked kernel on the same packed operands; every
+    // vector output must memcmp-equal the scalar one (int64 accumulator).
+    const std::vector<kernels::simd::Isa> isas = supported_isas();
+    bool simd_all_eq = true;
+    double best_overall_speedup = 0.0;
+    std::string best_overall = "none";
+    std::vector<float> y_leg(g.y.size()), y_leg_ref(g.y.size());
+    auto time_leg = [&](const kernels::BlockedGemmArgs& la, float* out,
+                        kernels::simd::Isa isa) {
+        kernels::simd::set_isa_for_test(isa);
+        const double ms = time_ms_best(iters, [&] {
+            ws.reset();
+            kernels::lut_forward_blocked(la, nullptr, out, ws);
+        });
+        kernels::simd::clear_isa_override();
+        return ms;
+    };
+    // Emits the per-leg JSON object; \p oracle (when given) additionally
+    // checks the scalar-dispatch reference itself, closing the loop back to
+    // the row-streaming output.
+    auto leg_json = [&](const char* leg, const kernels::BlockedGemmArgs& la,
+                        const float* oracle) {
+        const std::size_t bytes = g.y.size() * sizeof(float);
+        const double scalar_ms = time_leg(la, y_leg_ref.data(),
+                                          kernels::simd::Isa::kScalar);
+        if (oracle != nullptr)
+            simd_all_eq = simd_all_eq &&
+                          std::memcmp(oracle, y_leg_ref.data(), bytes) == 0;
+        char buf[256];
+        std::snprintf(buf, sizeof(buf),
+                      "    \"%s\": {\n      \"scalar_ms\": %.4f,\n", leg,
+                      scalar_ms);
+        std::string j = buf;
+        const char* best_isa = "scalar";
+        double best_speedup = 0.0;
+        for (std::size_t i = 1; i < isas.size(); ++i) {
+            const char* name = kernels::simd::isa_name(isas[i]);
+            const double ms = time_leg(la, y_leg.data(), isas[i]);
+            const bool eq =
+                std::memcmp(y_leg_ref.data(), y_leg.data(), bytes) == 0;
+            simd_all_eq = simd_all_eq && eq;
+            const double speedup = scalar_ms / ms;
+            if (speedup > best_speedup) {
+                best_speedup = speedup;
+                best_isa = name;
+            }
+            std::snprintf(buf, sizeof(buf),
+                          "      \"%s_ms\": %.4f,\n"
+                          "      \"%s_speedup_vs_scalar\": %.3f,\n"
+                          "      \"%s_bitwise_equal\": %s,\n",
+                          name, ms, name, speedup, name, eq ? "true" : "false");
+            j += buf;
+            std::printf("simd %s [%s]: %.3f ms (%.2fx vs scalar blocked), "
+                        "bitwise_equal=%d\n",
+                        leg, name, ms, speedup, eq ? 1 : 0);
+        }
+        if (best_speedup > best_overall_speedup) {
+            best_overall_speedup = best_speedup;
+            best_overall = std::string(leg) + "/" + best_isa;
+        }
+        std::snprintf(buf, sizeof(buf),
+                      "      \"best_isa\": \"%s\",\n"
+                      "      \"best_speedup_vs_scalar\": %.3f\n    }",
+                      best_isa, best_speedup);
+        j += buf;
+        return j;
+    };
+
+    // 4-bit leg: same GEMM shape, 4-bit exact product LUT, activations
+    // nibble-packed at pack time (tr=16 keeps every panel pshufb-eligible).
+    const appmult::AppMultLut lut4 = appmult::AppMultLut::exact(4);
+    util::Rng rng4(12);
+    std::vector<std::uint16_t> wq4(g.wq.size()), xq4(g.xq.size());
+    fill_codes(wq4, lut4, rng4);
+    fill_codes(xq4, lut4, rng4);
+    kernels::BlockedGemmArgs bargs4;
+    bargs4.bits = 4;
+    bargs4.lut = lut4.table().data();
+    bargs4.w = kernels::pack_weight_panels(
+        wq4.data(), 4, kernels::make_panel_plan(g.args.o, g.args.k, tiles.to, tiles.tk),
+        pack_ws);
+    kernels::ActPanels x4 = kernels::pack_activation_panels(
+        xq4.data(), kernels::make_panel_plan(g.args.p, g.args.k, 16, tiles.tk),
+        pack_ws);
+    kernels::attach_packed4(x4, 4, pack_ws);
+    bargs4.x = x4;
+    bargs4.o = g.args.o;
+    bargs4.p = g.args.p;
+    bargs4.k = g.args.k;
+    bargs4.scale_w = g.args.scale_w;
+    bargs4.scale_x = g.args.scale_x;
+    bargs4.zero_w = 7;
+    bargs4.zero_x = 9;
+
+    std::string available;
+    for (const auto isa : isas) {
+        if (!available.empty()) available += ",";
+        available += kernels::simd::isa_name(isa);
+    }
+    std::string simd_json = "  \"simd\": {\n";
+    simd_json += std::string("    \"active_default\": \"") +
+                 kernels::simd::isa_name(kernels::simd::select()) + "\",\n";
+    simd_json += "    \"available_isas\": \"" + available + "\",\n";
+    simd_json += leg_json("gather_bits8", bargs, y_base.data()) + ",\n";
+    simd_json += leg_json("nibble_bits4", bargs4, nullptr) + ",\n";
+    {
+        char buf[192];
+        std::snprintf(buf, sizeof(buf),
+                      "    \"best_leg\": \"%s\",\n"
+                      "    \"simd_vs_blocked_speedup\": %.3f,\n"
+                      "    \"target_simd_vs_blocked\": 1.5,\n"
+                      "    \"bitwise_equal\": %s\n  }",
+                      best_overall.c_str(), best_overall_speedup,
+                      simd_all_eq ? "true" : "false");
+        simd_json += buf;
+    }
 
     // Quantized conv end-to-end under each engine layout mode: same seeds,
     // same forward count, so observer state evolves identically and the two
@@ -597,6 +807,7 @@ int run_kernels_json() {
         "    \"tiled_bitwise_equal\": %s,\n"
         "    \"blocked_bitwise_equal\": %s\n"
         "  },\n"
+        "%s,\n"
         "  \"conv_forward_end_to_end\": {\n"
         "    \"batch\": 8, \"in_ch\": 8, \"out_ch\": 32, \"hw\": 32,\n"
         "    \"scalar_ms\": %.4f,\n"
@@ -610,8 +821,9 @@ int run_kernels_json() {
         static_cast<long long>(tiles.tp), static_cast<long long>(tiles.to),
         static_cast<long long>(tiles.tk), rowstream_ms, tiled_ms, blocked_ms,
         rowstream_ms / tiled_ms, rowstream_ms / blocked_ms,
-        tiled_eq ? "true" : "false", blocked_eq ? "true" : "false", conv_ms[0],
-        conv_ms[1], conv_ms[0] / conv_ms[1], conv_eq ? "true" : "false");
+        tiled_eq ? "true" : "false", blocked_eq ? "true" : "false",
+        simd_json.c_str(), conv_ms[0], conv_ms[1], conv_ms[0] / conv_ms[1],
+        conv_eq ? "true" : "false");
     std::fclose(f);
 
     std::printf("lut_gemm forward (o=%lld p=%lld k=%lld): rowstream %.3f ms, "
@@ -622,8 +834,10 @@ int run_kernels_json() {
     std::printf("conv end-to-end: scalar %.3f ms, blocked %.3f ms (%.2fx), "
                 "bitwise_equal=%d\n",
                 conv_ms[0], conv_ms[1], conv_ms[0] / conv_ms[1], conv_eq ? 1 : 0);
+    std::printf("simd best: %s at %.2fx vs scalar-dispatch blocked\n",
+                best_overall.c_str(), best_overall_speedup);
     std::printf("wrote results/BENCH_kernels.json\n");
-    if (!tiled_eq || !blocked_eq || !conv_eq) {
+    if (!tiled_eq || !blocked_eq || !conv_eq || !simd_all_eq) {
         std::fprintf(stderr, "BENCH_kernels: bitwise equality violated\n");
         return 1;
     }
@@ -631,6 +845,10 @@ int run_kernels_json() {
         std::fprintf(stderr,
                      "warning: blocked forward %.2fx vs rowstream (target 1.3x)\n",
                      rowstream_ms / blocked_ms);
+    if (isas.size() > 1 && best_overall_speedup < 1.5)
+        std::fprintf(stderr,
+                     "warning: simd best %.2fx vs scalar blocked (target 1.5x)\n",
+                     best_overall_speedup);
     return 0;
 }
 

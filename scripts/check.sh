@@ -80,17 +80,35 @@ AMRET_THREADS=1 ./build/tests/test_kernels
 AMRET_THREADS=8 ./build/tests/test_kernels
 AMRET_THREADS=1 ./build/tests/test_layout
 AMRET_THREADS=8 ./build/tests/test_layout
+AMRET_THREADS=1 ./build/tests/test_simd
+AMRET_THREADS=8 ./build/tests/test_simd
 end_stage
 
-begin_stage "parallel trainer + obs + serve + layout + assignment under ThreadSanitizer"
+# Re-run the SIMD bitwise-equivalence suite with dispatch capped at each ISA
+# level this machine supports, probed through `amret_cli simd-info --check`
+# (exit 0 = supported). Unsupported legs are skipped rather than silently
+# exercising the scalar fallback.
+begin_stage "SIMD bitwise equivalence at every supported dispatch cap"
+for isa in scalar ssse3 avx2 avx512; do
+  if ./build/tools/amret_cli simd-info --check "$isa"; then
+    AMRET_SIMD="$isa" ./build/tests/test_simd
+  else
+    echo "this machine lacks $isa; skipping AMRET_SIMD=$isa leg"
+  fi
+done
+end_stage
+
+begin_stage "parallel trainer + obs + serve + layout + simd + assignment under ThreadSanitizer"
 cmake --preset tsan
 cmake --build --preset tsan -j "$jobs" \
-  --target test_train_parallel test_obs test_serve test_layout test_assignment
+  --target test_train_parallel test_obs test_serve test_layout test_simd \
+  test_assignment
 AMRET_THREADS=8 TSAN_OPTIONS=halt_on_error=1 \
   ./build-tsan/tests/test_train_parallel --gtest_filter='TrainerDeterminism.*'
 AMRET_THREADS=8 TSAN_OPTIONS=halt_on_error=1 ./build-tsan/tests/test_obs
 AMRET_THREADS=8 TSAN_OPTIONS=halt_on_error=1 ./build-tsan/tests/test_serve
 AMRET_THREADS=8 TSAN_OPTIONS=halt_on_error=1 ./build-tsan/tests/test_layout
+AMRET_THREADS=8 TSAN_OPTIONS=halt_on_error=1 ./build-tsan/tests/test_simd
 AMRET_THREADS=8 TSAN_OPTIONS=halt_on_error=1 ./build-tsan/tests/test_assignment
 end_stage
 

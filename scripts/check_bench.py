@@ -1,0 +1,108 @@
+#!/usr/bin/env python3
+"""Bench regression gate: compares the SIMD speedup reported by
+`bench_micro --kernels-json` (results/BENCH_kernels.json) against the
+committed baseline (results/BENCH_kernels.baseline.json).
+
+What gates and what doesn't:
+
+  - every `*bitwise_equal` flag in the current report must be true — a
+    false flag is a correctness bug, never machine weather;
+  - `simd.simd_vs_blocked_speedup` (best vector leg vs the scalar-dispatch
+    blocked kernel, same packed operands, best-of-N timing) may not drop
+    more than --tolerance (default 15%) below the baseline value. The ratio
+    is machine-relative — both kernels run on the same box in the same
+    process — so it transfers across runners far better than absolute ms,
+    which is why absolute timings are reported but never gated;
+  - a runner with no vector ISA at all (available_isas == "scalar") skips
+    the speedup comparison with a notice: there is nothing to regress.
+
+Exit status: 0 pass/skip, 1 regression or correctness failure, 2 usage.
+Refresh the baseline by running `bench_micro --kernels-json` on a quiet
+machine and copying the report over results/BENCH_kernels.baseline.json.
+"""
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+
+def load(path: Path):
+    try:
+        with path.open() as f:
+            return json.load(f)
+    except FileNotFoundError:
+        print(f"check_bench: {path} not found", file=sys.stderr)
+        return None
+    except json.JSONDecodeError as e:
+        print(f"check_bench: {path} is not valid JSON: {e}", file=sys.stderr)
+        return None
+
+
+def iter_bitwise_flags(node, prefix=""):
+    if isinstance(node, dict):
+        for key, val in node.items():
+            at = f"{prefix}.{key}" if prefix else key
+            if key.endswith("bitwise_equal"):
+                yield at, val
+            else:
+                yield from iter_bitwise_flags(val, at)
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--current", type=Path,
+                    default=Path("results/BENCH_kernels.json"))
+    ap.add_argument("--baseline", type=Path,
+                    default=Path("results/BENCH_kernels.baseline.json"))
+    ap.add_argument("--tolerance", type=float, default=0.15,
+                    help="allowed fractional drop below baseline (default 0.15)")
+    args = ap.parse_args()
+
+    current = load(args.current)
+    baseline = load(args.baseline)
+    if current is None or baseline is None:
+        return 1
+
+    failures = []
+    for at, val in iter_bitwise_flags(current):
+        if val is not True:
+            failures.append(f"{at} is {val!r} (must be true)")
+
+    simd = current.get("simd", {})
+    base_simd = baseline.get("simd", {})
+    cur_speedup = simd.get("simd_vs_blocked_speedup")
+    base_speedup = base_simd.get("simd_vs_blocked_speedup")
+
+    if simd.get("available_isas", "") == "scalar":
+        print("check_bench: runner supports no vector ISA; "
+              "skipping SIMD speedup comparison")
+    elif cur_speedup is None:
+        failures.append("current report has no simd.simd_vs_blocked_speedup")
+    elif base_speedup is None:
+        failures.append("baseline has no simd.simd_vs_blocked_speedup "
+                        "(regenerate results/BENCH_kernels.baseline.json)")
+    else:
+        floor = base_speedup * (1.0 - args.tolerance)
+        verdict = "ok" if cur_speedup >= floor else "REGRESSION"
+        print(f"check_bench: simd_vs_blocked_speedup {cur_speedup:.3f} "
+              f"vs baseline {base_speedup:.3f} "
+              f"(floor {floor:.3f}, tolerance {args.tolerance:.0%}): {verdict}")
+        print(f"  current best leg: {simd.get('best_leg', '?')}, "
+              f"isas: {simd.get('available_isas', '?')}")
+        if cur_speedup < floor:
+            failures.append(
+                f"simd_vs_blocked_speedup regressed to {cur_speedup:.3f} "
+                f"(baseline {base_speedup:.3f}, floor {floor:.3f})")
+
+    if failures:
+        print("check_bench: FAIL", file=sys.stderr)
+        for f in failures:
+            print(f"  - {f}", file=sys.stderr)
+        return 1
+    print("check_bench: pass")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

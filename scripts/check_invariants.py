@@ -1,7 +1,7 @@
 #!/usr/bin/env python3
 """Project-specific lint: invariants clang-tidy has no checker for.
 
-Five rules, each scoped to where the invariant actually holds meaning:
+Six rules, each scoped to where the invariant actually holds meaning:
 
   kernel-alloc     src/kernels must stay allocation-free (Workspace-only):
                    the inner loops run per batch inside parallel workers, and
@@ -27,6 +27,14 @@ Five rules, each scoped to where the invariant actually holds meaning:
                    silently corrupt a caller. The analyzer's independent
                    re-derivation and deliberate test corruptions carry
                    explicit `// invariant-ok:` marks.
+
+  simd-intrinsics  No raw vector intrinsics (`_mm*_...`, `__m128/256/512`,
+                   `*intrin.h` includes) outside src/kernels/simd/: the SIMD
+                   kernels are reachable only through the dispatch seam
+                   (kernels/simd/simd.hpp), which is what keeps the scalar
+                   blocked kernels an authoritative bitwise oracle and keeps
+                   -m<isa> flags confined to the per-ISA leaf TUs. Escape a
+                   deliberate exception with `// invariant-ok: simd`.
 
   registry-discipline
                    No direct appmult::Registry lookups in layer/engine code
@@ -68,6 +76,11 @@ RNG_TIME_SEED = re.compile(
 )
 PANEL_INDEX = re.compile(r"\bpanel_offset\s*\(|\b\w*_panels\s*\[|\bpanels\s*\[")
 REGISTRY_LOOKUP = re.compile(r"\bRegistry::instance\s*\(")
+SIMD_INTRINSIC = re.compile(
+    r"\b_mm\d*_\w+\s*\(|\b__m(?:128|256|512)i?\b"
+    r"|#\s*include\s*<(?:imm|x86|xmm|emm|pmm|tmm|smm|nmm|wmm|avx\w*|arm_neon)"
+    r"intrin"
+)
 
 
 def strip_comments_and_strings(line: str) -> str:
@@ -166,6 +179,17 @@ def main():
             findings,
         )
 
+    for path in iter_source(["src", "tools", "tests", "bench"]):
+        if path.relative_to(ROOT).as_posix().startswith("src/kernels/simd/"):
+            continue
+        check_file(
+            path,
+            [("simd-intrinsics", SIMD_INTRINSIC,
+              "raw vector intrinsics outside src/kernels/simd/; go through "
+              "the dispatch seam (kernels/simd/simd.hpp)")],
+            findings,
+        )
+
     for path in iter_source(["src/nn", "src/approx", "src/serve", "src/train",
                              "src/models"]):
         check_file(
@@ -183,7 +207,7 @@ def main():
             print(f)
         return 1
     print("invariants clean (kernel-alloc, mutable-static, rng-discipline, "
-          "panel-indexing, registry-discipline)")
+          "panel-indexing, simd-intrinsics, registry-discipline)")
     return 0
 
 

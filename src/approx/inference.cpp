@@ -195,7 +195,7 @@ struct ConvOp final : IntInferenceEngine::Op {
                 kernels::make_panel_plan(positions, patch, tiles.tp, wplan.tk);
             const kernels::ActPanels xpan = kernels::pack_im2col_panels_u8(
                 x.data, geom, x.layout, static_cast<std::uint16_t>(x.zero),
-                xplan, ws);
+                xplan, ws, bits);
 
             kernels::BlockedGemmArgs args;
             args.bits = bits;

@@ -166,6 +166,40 @@ ActPanels pack_activation_panels(const std::uint16_t* xq, const PanelPlan& plan,
     return x;
 }
 
+void attach_packed4(ActPanels& x, unsigned bits, Workspace& ws) {
+    const PanelPlan& plan = x.plan;
+    if (bits > 4 || plan.tr % 16 != 0) return;
+    AMRET_OBS_SPAN("kernels.pack_nibbles");
+    std::uint8_t* packed = ws.alloc<std::uint8_t>(plan.elems() / 2);
+    const std::int64_t tr = plan.tr, tk = plan.tk;
+    const std::int64_t half = plan.panel_elems() / 2;
+    const std::int64_t npanels = plan.row_blocks() * plan.depth_blocks();
+    runtime::parallel_for(0, npanels, runtime::grain_for(npanels, 1),
+                          [&](std::int64_t b0, std::int64_t b1) {
+        for (std::int64_t pi = b0; pi < b1; ++pi) {
+            const std::uint16_t* src = x.codes + pi * plan.panel_elems();
+            std::uint8_t* dst = packed + pi * half;
+            // Pad rows/lanes pack too (they hold code 0), so every byte of
+            // the mirror is defined and the SIMD loop needs no edge cases.
+            for (std::int64_t kk = 0; kk < tk; ++kk) {
+                const std::uint16_t* srow = src + kk * tr;
+                std::uint8_t* drow = dst + kk * (tr / 2);
+                for (std::int64_t g0 = 0; g0 < tr; g0 += 16) {
+                    std::uint8_t* gb = drow + (g0 / 16) * 8;
+                    for (int j = 0; j < 8; ++j) {
+                        assert(srow[g0 + j] < 16 && srow[g0 + 8 + j] < 16 &&
+                               "attach_packed4 requires codes < 2^bits <= 16");
+                        gb[j] = static_cast<std::uint8_t>(
+                            (srow[g0 + j] & 0x0f) |
+                            ((srow[g0 + 8 + j] & 0x0f) << 4));
+                    }
+                }
+            }
+        }
+    });
+    x.packed4 = packed;
+}
+
 void unpack_weight_panels(const WeightPanels& w, unsigned bits,
                           std::uint16_t* wq_out) {
     const PanelPlan& plan = w.plan;
@@ -201,7 +235,7 @@ ActPanels pack_im2col_panels_u8(const std::uint8_t* x,
                                 const tensor::ConvGeom& geom,
                                 ActivationLayout layout,
                                 std::uint16_t zero_point, const PanelPlan& plan,
-                                Workspace& ws) {
+                                Workspace& ws, unsigned bits) {
     AMRET_OBS_SPAN("kernels.im2col_panels");
     AMRET_OBS_COUNT("kernels.im2col.images", geom.batch);
     assert(plan.rows == geom.positions() && plan.depth == geom.patch());
@@ -234,6 +268,7 @@ ActPanels pack_im2col_panels_u8(const std::uint8_t* x,
     });
     out.codes = codes;
     out.sum_x = sums;
+    attach_packed4(out, bits, ws);
     return out;
 }
 
@@ -273,6 +308,7 @@ ActPanels quantize_im2col_panels(const float* x, const tensor::ConvGeom& geom,
     });
     out.codes = codes;
     out.sum_x = sums;
+    attach_packed4(out, params.bits, ws);
     return out;
 }
 
@@ -297,6 +333,7 @@ ActPanels quantize_into_panels(const float* src, const quant::QuantParams& param
     });
     out.codes = codes;
     out.sum_x = sums;
+    attach_packed4(out, params.bits, ws);
     return out;
 }
 

@@ -104,7 +104,21 @@ struct ActPanels {
     PanelPlan plan;
     const std::uint16_t* codes = nullptr;
     const std::int64_t* sum_x = nullptr;
+    /// Optional nibble-packed mirror of `codes` for the SIMD pshufb path
+    /// (bits <= 4): two codes per byte, plan.elems()/2 bytes, panel layout
+    /// matching `codes` at half scale. Within each 16-lane row group, byte j
+    /// holds lane g0+j in its low nibble and lane g0+8+j in its high nibble
+    /// — exactly the order one pshufb nibble-unpack restores. Attached by
+    /// the quantizing packers when the operand is <= 4-bit (or explicitly
+    /// via attach_packed4); null otherwise.
+    const std::uint8_t* packed4 = nullptr;
 };
+
+/// Builds the nibble-packed mirror of \p x when eligible (bits <= 4 and
+/// plan.tr a multiple of 16; every code must already be < 2^bits) and
+/// attaches it as x.packed4. No-op — packed4 stays null — when ineligible.
+/// Parallel over panels.
+void attach_packed4(ActPanels& x, unsigned bits, Workspace& ws);
 
 /// Packs row-major weight codes (rows = o, depth = k of \p plan) into
 /// caller storage: \p codes holds plan.elems() pre-shifted uint32 codes,
@@ -140,12 +154,13 @@ enum class ActivationLayout {
 /// zero-point-padded uint16 panels (plan rows = positions, depth = patch),
 /// computing the row-sum header on the fly. No intermediate
 /// (positions x patch) column buffer is materialized. Parallel over
-/// position blocks.
+/// position blocks. \p bits is the operand width: <= 4-bit operands also
+/// get the nibble-packed mirror for the SIMD pshufb path (attach_packed4).
 ActPanels pack_im2col_panels_u8(const std::uint8_t* x,
                                 const tensor::ConvGeom& geom,
                                 ActivationLayout layout,
                                 std::uint16_t zero_point, const PanelPlan& plan,
-                                Workspace& ws);
+                                Workspace& ws, unsigned bits = 8);
 
 /// Fused im2col + quantize + pack for the training path: gathers each float
 /// tap of the NCHW input (zero padding), quantizes it under \p params and

@@ -1,5 +1,6 @@
 #include "kernels/lut_kernels.hpp"
 
+#include "kernels/simd/simd.hpp"
 #include "obs/obs.hpp"
 #include "obs/trace.hpp"
 #include "runtime/parallel.hpp"
@@ -180,6 +181,38 @@ void lut_backward(const LutGemmArgs& args, const float* gyp,
 
 // ------------------------------------------------------ blocked kernels ----
 
+void accumulate_panel_block_scalar(const BlockedGemmArgs& a, std::int64_t rb,
+                                   std::int64_t ob, std::int64_t* acc) {
+    const PanelPlan& xp = a.x.plan;
+    const PanelPlan& wp = a.w.plan;
+    const std::int64_t tp = xp.tr, to = wp.tr;
+    const std::int64_t pr = xp.block_rows(rb);
+    const std::int64_t orr = wp.block_rows(ob);
+    const std::int64_t kblocks = xp.depth_blocks();
+    std::fill(acc, acc + orr * tp, std::int64_t{0});
+    for (std::int64_t kb = 0; kb < kblocks; ++kb) {
+        const std::int64_t kr = xp.block_depth(kb);
+        const std::uint16_t* xpan = a.x.codes + xp.panel_offset(rb, kb);
+        const std::uint32_t* wpan = a.w.codes + wp.panel_offset(ob, kb);
+        for (std::int64_t kk = 0; kk < kr; ++kk) {
+            const std::uint16_t* xv = xpan + kk * tp;
+            const std::uint32_t* wv = wpan + kk * to;
+            for (std::int64_t oo = 0; oo < orr; ++oo) {
+                const std::int32_t* lrow = a.lut + wv[oo];
+                std::int64_t* arow = acc + oo * tp;
+                for (std::int64_t pp = 0; pp < pr; ++pp)
+                    arow[pp] += lrow[xv[pp]];
+            }
+        }
+    }
+}
+
+void accumulate_panel_block(const BlockedGemmArgs& a, std::int64_t rb,
+                            std::int64_t ob, std::int64_t* acc) {
+    if (!simd::accumulate_panel(a, rb, ob, acc))
+        accumulate_panel_block_scalar(a, rb, ob, acc);
+}
+
 void lut_forward_blocked(const BlockedGemmArgs& args, const float* bias,
                          float* y, Workspace& ws) {
     AMRET_OBS_SPAN("kernels.lut_forward_blocked");
@@ -268,6 +301,27 @@ void lut_backward_blocked(const BlockedGemmArgs& args, const float* gyp,
                     const std::int64_t kb_off = kb * wp.panel_elems();
                     const std::int64_t kr = xp.block_depth(kb);
                     const std::int64_t kbase = kb * tk;
+                    // Depth indices are independent lanes, so the SIMD walk
+                    // (kernels::simd) vectorizes across kk while replaying
+                    // the compacted gradients serially per lane — same float
+                    // ops, same order, bitwise-identical.
+                    simd::GradXBlockArgs ga;
+                    ga.wcodes = args.w.codes;
+                    ga.xpan = xpan;
+                    ga.grad_x_lut = grad_x_lut;
+                    ga.off = off;
+                    ga.g = g;
+                    ga.zw = zw;
+                    ga.s = s;
+                    ga.cnt = cnt;
+                    ga.kb_off = kb_off;
+                    ga.kr = kr;
+                    ga.to = to;
+                    ga.tp = tp;
+                    ga.pr_rel = pr_rel;
+                    ga.kbase = kbase;
+                    ga.gxrow = gxrow;
+                    if (simd::grad_x_block(ga)) continue;
                     for (std::int64_t kk = 0; kk < kr; ++kk) {
                         const std::uint32_t xc = xpan[kk * tp + pr_rel];
                         const std::int64_t kk_off = kb_off + kk * to;
@@ -323,6 +377,21 @@ void lut_backward_blocked(const BlockedGemmArgs& args, const float* gyp,
                             args.w.codes + wp.panel_offset(wrb, kb);
                         const std::int64_t kr = xp.block_depth(kb);
                         const std::int64_t kbase = kb * tk;
+                        simd::GradWBlockArgs ga;
+                        ga.wpan = wpan;
+                        ga.xpan = xpan;
+                        ga.grad_w_lut = grad_w_lut;
+                        ga.pidx = pidx;
+                        ga.pg = pg;
+                        ga.cnt = cnt;
+                        ga.kr = kr;
+                        ga.to = to;
+                        ga.tp = tp;
+                        ga.orel = orel;
+                        ga.kbase = kbase;
+                        ga.zx = zx;
+                        ga.gwrow = gwrow;
+                        if (simd::grad_w_block(ga)) continue;
                         for (std::int64_t kk = 0; kk < kr; ++kk) {
                             const std::uint32_t wshift = wpan[kk * to + orel];
                             const std::uint16_t* xv = xpan + kk * tp;

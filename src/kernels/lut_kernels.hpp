@@ -218,14 +218,33 @@ struct BlockedGemmArgs {
     }
 };
 
-/// Blocked integer GEMM core over position row-blocks [rb0, rb1) of
-/// a.x.plan. \p acc must hold a.x.plan.tr * a.w.plan.tr int64s. Serial —
-/// callers own the parallel decomposition (blocks write disjoint rows).
+/// Fills the int64 accumulator tile of block (rb, ob) with the scalar panel
+/// loop: acc[oo * a.x.plan.tr + pp] = sum_k LUT[w, x] over the real rows and
+/// depth of the block (pad rows are left zero). This is the PR-8 loop and
+/// the bitwise oracle every SIMD kernel memcmps against. \p acc must hold
+/// a.x.plan.tr * a.w.plan.tr int64s.
 ///
 /// Inner loop: for a fixed depth index the activation panel column and the
 /// accumulator row are walked at unit stride, and each pre-shifted weight
 /// code pins one product-LUT row (`lut + wcode`) that consecutive activation
 /// codes index directly — the layout refactor's cache contract.
+void accumulate_panel_block_scalar(const BlockedGemmArgs& a, std::int64_t rb,
+                                   std::int64_t ob, std::int64_t* acc);
+
+/// Same contract, routed through the runtime SIMD dispatch
+/// (kernels::simd::select()): the fastest eligible vector kernel fills the
+/// tile, falling back to accumulate_panel_block_scalar when none applies.
+/// The forward accumulator is int64, so the result is bitwise-identical
+/// either way; SIMD kernels may additionally fill pad rows/lanes (callers'
+/// epilogues never read them).
+void accumulate_panel_block(const BlockedGemmArgs& a, std::int64_t rb,
+                            std::int64_t ob, std::int64_t* acc);
+
+/// Blocked integer GEMM core over position row-blocks [rb0, rb1) of
+/// a.x.plan. \p acc must hold a.x.plan.tr * a.w.plan.tr int64s. Serial —
+/// callers own the parallel decomposition (blocks write disjoint rows).
+/// The accumulation of each (rb, ob) tile runs through the SIMD dispatch
+/// seam (accumulate_panel_block); only the epilogue is inlined here.
 template <class Epilogue>
 void lut_gemm_blocked_tile(const BlockedGemmArgs& a, std::int64_t rb0,
                            std::int64_t rb1, std::int64_t* acc, Epilogue&& epi) {
@@ -234,29 +253,13 @@ void lut_gemm_blocked_tile(const BlockedGemmArgs& a, std::int64_t rb0,
     assert(xp.depth == wp.depth && xp.tk == wp.tk && "mismatched depth blocking");
     const std::int64_t tp = xp.tr, to = wp.tr;
     const std::int64_t oblocks = wp.row_blocks();
-    const std::int64_t kblocks = xp.depth_blocks();
     for (std::int64_t rb = rb0; rb < rb1; ++rb) {
         const std::int64_t pr = xp.block_rows(rb);
         const std::int64_t pbase = rb * tp;
         for (std::int64_t ob = 0; ob < oblocks; ++ob) {
             const std::int64_t orr = wp.block_rows(ob);
             const std::int64_t obase = ob * to;
-            std::fill(acc, acc + orr * tp, std::int64_t{0});
-            for (std::int64_t kb = 0; kb < kblocks; ++kb) {
-                const std::int64_t kr = xp.block_depth(kb);
-                const std::uint16_t* xpan = a.x.codes + xp.panel_offset(rb, kb);
-                const std::uint32_t* wpan = a.w.codes + wp.panel_offset(ob, kb);
-                for (std::int64_t kk = 0; kk < kr; ++kk) {
-                    const std::uint16_t* xv = xpan + kk * tp;
-                    const std::uint32_t* wv = wpan + kk * to;
-                    for (std::int64_t oo = 0; oo < orr; ++oo) {
-                        const std::int32_t* lrow = a.lut + wv[oo];
-                        std::int64_t* arow = acc + oo * tp;
-                        for (std::int64_t pp = 0; pp < pr; ++pp)
-                            arow[pp] += lrow[xv[pp]];
-                    }
-                }
-            }
+            accumulate_panel_block(a, rb, ob, acc);
             for (std::int64_t pp = 0; pp < pr; ++pp) {
                 const std::int64_t sx = a.x.sum_x[pbase + pp];
                 for (std::int64_t oo = 0; oo < orr; ++oo) {

@@ -1,0 +1,130 @@
+/// \file acc_panel_nibble.inl
+/// \brief pshufb 16-entry in-register LUT accumulation (bits <= 4).
+///
+/// Included (not compiled standalone) by lut_simd_ssse3.cpp and
+/// lut_simd_avx2.cpp: the identical SSE-width source builds once per TU, so
+/// the SSSE3 copy is legacy-encoded and the AVX2 copy VEX-encoded — no
+/// SSE/VEX transition penalties whichever level dispatch selected. Only
+/// SSE2 + SSSE3 intrinsics may appear here.
+///
+/// Algorithm (T-MAC style). For a <=4-bit multiplier every product-LUT row
+/// (the 2^bits products of one weight code) fits 16 uint8 values, i.e. one
+/// xmm register, and the activation codes are nibbles. Per depth step:
+/// narrow the weight's LUT row into a byte table, unpack 16 nibble codes
+/// from the packed panel (ActPanels::packed4) and one _mm_shuffle_epi8
+/// yields 16 products. Products are <= 255, so 16-bit lane accumulators are
+/// exact for up to 128 steps before widening to 32 bits; 32-bit totals are
+/// bounded by tk * 255, far under overflow. All arithmetic is integer, so
+/// the result is bitwise-identical to the scalar oracle.
+
+namespace amret::kernels::simd::detail {
+namespace {
+
+void acc_panel_nibble_impl(const BlockedGemmArgs& a, std::int64_t rb,
+                           std::int64_t ob, std::int64_t* acc) {
+    const PanelPlan& xp = a.x.plan;
+    const PanelPlan& wp = a.w.plan;
+    const std::int64_t tp = xp.tr, to = wp.tr;
+    const std::int64_t orr = wp.block_rows(ob);
+    const std::int64_t kblocks = xp.depth_blocks();
+    const int table_n = 1 << a.bits;
+    const __m128i zero = _mm_setzero_si128();
+    const __m128i nib_mask = _mm_set1_epi8(0x0f);
+    std::fill(acc, acc + orr * tp, std::int64_t{0});
+    for (std::int64_t kb = 0; kb < kblocks; ++kb) {
+        const std::int64_t kr = xp.block_depth(kb);
+        const std::uint8_t* xpk = a.x.packed4 + xp.panel_offset(rb, kb) / 2;
+        const std::uint32_t* wpan = a.w.codes + wp.panel_offset(ob, kb);
+        for (std::int64_t oo = 0; oo < orr; ++oo) {
+            std::int64_t* arow = acc + oo * tp;
+            for (std::int64_t g0 = 0; g0 < tp; g0 += 16) {
+                // Packed bytes of this 16-lane group: 8 bytes per depth
+                // step at stride tp/2 (layout.cpp pack_nibble_codes).
+                const std::uint8_t* gcol = xpk + (g0 / 16) * 8;
+                __m128i a32_0 = zero, a32_1 = zero, a32_2 = zero, a32_3 = zero;
+                __m128i a16_0 = zero, a16_1 = zero;
+                int pending = 0;
+                // Rows shorter than 16 entries (bits < 4) stage through a
+                // zero-filled buffer — loading 16 entries straight from
+                // lut + wcode would run past the table. Codes never index
+                // the zero tail (x < 2^bits), it only pads the register.
+                alignas(16) std::int32_t staged[16] = {};
+                for (std::int64_t kk = 0; kk < kr; ++kk) {
+                    const std::uint32_t wcode = wpan[kk * to + oo];
+                    const std::int32_t* lrow = a.lut + wcode;
+                    if (table_n < 16) {
+                        for (int t = 0; t < table_n; ++t) staged[t] = lrow[t];
+                        lrow = staged;
+                    }
+                    // Narrow the 16 int32 row entries to 16 uint8: values
+                    // are in [0, 255] (dispatcher precondition), so the
+                    // saturating packs are exact.
+                    const __m128i w01 = _mm_packs_epi32(
+                        _mm_loadu_si128(reinterpret_cast<const __m128i*>(lrow)),
+                        _mm_loadu_si128(
+                            reinterpret_cast<const __m128i*>(lrow + 4)));
+                    const __m128i w23 = _mm_packs_epi32(
+                        _mm_loadu_si128(
+                            reinterpret_cast<const __m128i*>(lrow + 8)),
+                        _mm_loadu_si128(
+                            reinterpret_cast<const __m128i*>(lrow + 12)));
+                    const __m128i table = _mm_packus_epi16(w01, w23);
+                    // 8 packed bytes hold lanes g0..g0+7 in the low nibbles
+                    // and g0+8..g0+15 in the high nibbles.
+                    const __m128i pk =
+                        _mm_loadl_epi64(reinterpret_cast<const __m128i*>(
+                            gcol + kk * (tp / 2)));
+                    const __m128i lo = _mm_and_si128(pk, nib_mask);
+                    const __m128i hi =
+                        _mm_and_si128(_mm_srli_epi16(pk, 4), nib_mask);
+                    const __m128i codes = _mm_unpacklo_epi64(lo, hi);
+                    const __m128i prod = _mm_shuffle_epi8(table, codes);
+                    a16_0 = _mm_add_epi16(a16_0, _mm_unpacklo_epi8(prod, zero));
+                    a16_1 = _mm_add_epi16(a16_1, _mm_unpackhi_epi8(prod, zero));
+                    if (++pending == 128) {
+                        a32_0 = _mm_add_epi32(a32_0,
+                                              _mm_unpacklo_epi16(a16_0, zero));
+                        a32_1 = _mm_add_epi32(a32_1,
+                                              _mm_unpackhi_epi16(a16_0, zero));
+                        a32_2 = _mm_add_epi32(a32_2,
+                                              _mm_unpacklo_epi16(a16_1, zero));
+                        a32_3 = _mm_add_epi32(a32_3,
+                                              _mm_unpackhi_epi16(a16_1, zero));
+                        a16_0 = zero;
+                        a16_1 = zero;
+                        pending = 0;
+                    }
+                }
+                if (pending != 0) {
+                    a32_0 = _mm_add_epi32(a32_0, _mm_unpacklo_epi16(a16_0, zero));
+                    a32_1 = _mm_add_epi32(a32_1, _mm_unpackhi_epi16(a16_0, zero));
+                    a32_2 = _mm_add_epi32(a32_2, _mm_unpacklo_epi16(a16_1, zero));
+                    a32_3 = _mm_add_epi32(a32_3, _mm_unpackhi_epi16(a16_1, zero));
+                }
+                // Zero-extend the nonnegative 32-bit lane totals to int64
+                // and add into the accumulator row (one add per depth
+                // block; acc was zeroed at block start).
+                const __m128i parts[4] = {a32_0, a32_1, a32_2, a32_3};
+                for (int q = 0; q < 4; ++q) {
+                    std::int64_t* dst = arow + g0 + q * 4;
+                    const __m128i lo64 = _mm_unpacklo_epi32(parts[q], zero);
+                    const __m128i hi64 = _mm_unpackhi_epi32(parts[q], zero);
+                    _mm_storeu_si128(
+                        reinterpret_cast<__m128i*>(dst),
+                        _mm_add_epi64(_mm_loadu_si128(
+                                          reinterpret_cast<const __m128i*>(dst)),
+                                      lo64));
+                    _mm_storeu_si128(
+                        reinterpret_cast<__m128i*>(dst + 2),
+                        _mm_add_epi64(
+                            _mm_loadu_si128(
+                                reinterpret_cast<const __m128i*>(dst + 2)),
+                            hi64));
+                }
+            }
+        }
+    }
+}
+
+} // namespace
+} // namespace amret::kernels::simd::detail

@@ -1,0 +1,197 @@
+/// \file lut_simd_avx2.cpp
+/// \brief AVX2 leaf kernels (compiled with -mavx2 -ffp-contract=off).
+///
+/// Three capabilities arrive at this level:
+///   - the nibble path re-compiles VEX-encoded (acc_panel_nibble.inl);
+///   - vector gathers unlock the wide-operand forward: 8 activation codes
+///     are widened, OR'd with the pre-shifted weight code and gathered from
+///     the product LUT, accumulating in 4+4 independent int64 lanes;
+///   - the backward gradient-LUT walks vectorize across 8 depth lanes while
+///     the compacted nonzero-gradient replay stays serial per lane.
+///
+/// -ffp-contract=off is part of the numerical contract, not an
+/// optimization knob: the scalar tails below repeat the oracle's
+/// mul-then-add float expressions, and under -mavx2 GCC would otherwise
+/// contract them into FMAs that round differently than the oracle built
+/// without AVX2. The vector paths use explicit mul/add intrinsics, which
+/// are never contracted.
+
+#include "kernels/simd/simd_internal.hpp"
+
+#if defined(__AVX2__)
+
+#include <immintrin.h>
+
+#include <algorithm>
+
+#include "kernels/simd/acc_panel_nibble.inl"
+
+namespace amret::kernels::simd::detail {
+
+bool compiled_avx2() { return true; }
+
+void acc_panel_nibble_avx2(const BlockedGemmArgs& a, std::int64_t rb,
+                           std::int64_t ob, std::int64_t* acc) {
+    acc_panel_nibble_impl(a, rb, ob, acc);
+}
+
+void acc_panel_gather_avx2(const BlockedGemmArgs& a, std::int64_t rb,
+                           std::int64_t ob, std::int64_t* acc) {
+    const PanelPlan& xp = a.x.plan;
+    const PanelPlan& wp = a.w.plan;
+    const std::int64_t tp = xp.tr, to = wp.tr;
+    const std::int64_t orr = wp.block_rows(ob);
+    const std::int64_t kblocks = xp.depth_blocks();
+    const std::int64_t pvec = tp & ~std::int64_t{7};
+    std::fill(acc, acc + orr * tp, std::int64_t{0});
+    for (std::int64_t kb = 0; kb < kblocks; ++kb) {
+        const std::int64_t kr = xp.block_depth(kb);
+        const std::uint16_t* xpan = a.x.codes + xp.panel_offset(rb, kb);
+        const std::uint32_t* wpan = a.w.codes + wp.panel_offset(ob, kb);
+        for (std::int64_t oo = 0; oo < orr; ++oo) {
+            std::int64_t* arow = acc + oo * tp;
+            for (std::int64_t pp0 = 0; pp0 < pvec; pp0 += 8) {
+                __m256i acc_lo = _mm256_setzero_si256();
+                __m256i acc_hi = _mm256_setzero_si256();
+                for (std::int64_t kk = 0; kk < kr; ++kk) {
+                    const std::uint32_t wcode = wpan[kk * to + oo];
+                    const __m128i x16 =
+                        _mm_loadu_si128(reinterpret_cast<const __m128i*>(
+                            xpan + kk * tp + pp0));
+                    const __m256i idx = _mm256_or_si256(
+                        _mm256_set1_epi32(static_cast<int>(wcode)),
+                        _mm256_cvtepu16_epi32(x16));
+                    const __m256i v = _mm256_i32gather_epi32(
+                        reinterpret_cast<const int*>(a.lut), idx, 4);
+                    acc_lo = _mm256_add_epi64(
+                        acc_lo,
+                        _mm256_cvtepi32_epi64(_mm256_castsi256_si128(v)));
+                    acc_hi = _mm256_add_epi64(
+                        acc_hi,
+                        _mm256_cvtepi32_epi64(_mm256_extracti128_si256(v, 1)));
+                }
+                _mm256_storeu_si256(
+                    reinterpret_cast<__m256i*>(arow + pp0),
+                    _mm256_add_epi64(_mm256_loadu_si256(
+                                         reinterpret_cast<const __m256i*>(
+                                             arow + pp0)),
+                                     acc_lo));
+                _mm256_storeu_si256(
+                    reinterpret_cast<__m256i*>(arow + pp0 + 4),
+                    _mm256_add_epi64(_mm256_loadu_si256(
+                                         reinterpret_cast<const __m256i*>(
+                                             arow + pp0 + 4)),
+                                     acc_hi));
+            }
+            // Remaining lanes (tp % 8, incl. pads): scalar, still exact.
+            for (std::int64_t kk = 0; kk < kr && pvec < tp; ++kk) {
+                const std::int32_t* lrow = a.lut + wpan[kk * to + oo];
+                const std::uint16_t* xv = xpan + kk * tp;
+                for (std::int64_t pp = pvec; pp < tp; ++pp)
+                    arow[pp] += lrow[xv[pp]];
+            }
+        }
+    }
+}
+
+void grad_x_block_avx2(const GradXBlockArgs& a) {
+    const std::int64_t kvec = a.kr & ~std::int64_t{7};
+    const int to32 = static_cast<int>(a.to);
+    const __m256i ito = _mm256_setr_epi32(0, to32, 2 * to32, 3 * to32,
+                                          4 * to32, 5 * to32, 6 * to32,
+                                          7 * to32);
+    for (std::int64_t kk0 = 0; kk0 < kvec; kk0 += 8) {
+        alignas(32) std::int32_t xc[8];
+        for (int i = 0; i < 8; ++i) {
+            xc[i] = static_cast<std::int32_t>(
+                a.xpan[(kk0 + i) * a.tp + a.pr_rel]);
+        }
+        const __m256i xcv =
+            _mm256_load_si256(reinterpret_cast<const __m256i*>(xc));
+        __m256 accv = _mm256_loadu_ps(a.gxrow + a.kbase + kk0);
+        for (std::int64_t j = 0; j < a.cnt; ++j) {
+            const std::uint32_t* wbase =
+                a.wcodes + a.off[j] + a.kb_off + kk0 * a.to;
+            const __m256i wv = _mm256_i32gather_epi32(
+                reinterpret_cast<const int*>(wbase), ito, 4);
+            const __m256i idx = _mm256_or_si256(wv, xcv);
+            const __m256 lutv = _mm256_i32gather_ps(a.grad_x_lut, idx, 4);
+            // Oracle order per lane: gs = g*s, then gs * (lut - zw), then
+            // add — explicit mul/add intrinsics, never FMA-contracted.
+            const float gs = a.g[j] * a.s[j];
+            accv = _mm256_add_ps(
+                accv, _mm256_mul_ps(_mm256_set1_ps(gs),
+                                    _mm256_sub_ps(lutv,
+                                                  _mm256_set1_ps(a.zw[j]))));
+        }
+        _mm256_storeu_ps(a.gxrow + a.kbase + kk0, accv);
+    }
+    for (std::int64_t kk = kvec; kk < a.kr; ++kk) {
+        const std::uint32_t xcs = a.xpan[kk * a.tp + a.pr_rel];
+        const std::int64_t kk_off = a.kb_off + kk * a.to;
+        float acc = a.gxrow[a.kbase + kk];
+        for (std::int64_t j = 0; j < a.cnt; ++j) {
+            const std::uint32_t idx = a.wcodes[a.off[j] + kk_off] | xcs;
+            acc += a.g[j] * a.s[j] * (a.grad_x_lut[idx] - a.zw[j]);
+        }
+        a.gxrow[a.kbase + kk] = acc;
+    }
+}
+
+void grad_w_block_avx2(const GradWBlockArgs& a) {
+    const std::int64_t kvec = a.kr & ~std::int64_t{7};
+    const int to32 = static_cast<int>(a.to);
+    const __m256i ito = _mm256_setr_epi32(0, to32, 2 * to32, 3 * to32,
+                                          4 * to32, 5 * to32, 6 * to32,
+                                          7 * to32);
+    for (std::int64_t kk0 = 0; kk0 < kvec; kk0 += 8) {
+        const std::uint32_t* wb = a.wpan + kk0 * a.to + a.orel;
+        const __m256i wv = _mm256_i32gather_epi32(
+            reinterpret_cast<const int*>(wb), ito, 4);
+        __m256 accv = _mm256_loadu_ps(a.gwrow + a.kbase + kk0);
+        for (std::int64_t j = 0; j < a.cnt; ++j) {
+            const std::uint16_t* xb = a.xpan + kk0 * a.tp + a.pidx[j];
+            alignas(32) std::int32_t xc[8];
+            for (int i = 0; i < 8; ++i)
+                xc[i] = static_cast<std::int32_t>(xb[i * a.tp]);
+            const __m256i idx = _mm256_or_si256(
+                wv, _mm256_load_si256(reinterpret_cast<const __m256i*>(xc)));
+            const __m256 lutv = _mm256_i32gather_ps(a.grad_w_lut, idx, 4);
+            accv = _mm256_add_ps(
+                accv, _mm256_mul_ps(_mm256_set1_ps(a.pg[j]),
+                                    _mm256_sub_ps(lutv,
+                                                  _mm256_set1_ps(a.zx))));
+        }
+        _mm256_storeu_ps(a.gwrow + a.kbase + kk0, accv);
+    }
+    for (std::int64_t kk = kvec; kk < a.kr; ++kk) {
+        const std::uint32_t wshift = a.wpan[kk * a.to + a.orel];
+        const std::uint16_t* xv = a.xpan + kk * a.tp;
+        float acc = a.gwrow[a.kbase + kk];
+        for (std::int64_t j = 0; j < a.cnt; ++j) {
+            const std::uint32_t idx = wshift | xv[a.pidx[j]];
+            acc += a.pg[j] * (a.grad_w_lut[idx] - a.zx);
+        }
+        a.gwrow[a.kbase + kk] = acc;
+    }
+}
+
+} // namespace amret::kernels::simd::detail
+
+#else // !defined(__AVX2__)
+
+namespace amret::kernels::simd::detail {
+
+bool compiled_avx2() { return false; }
+
+// Unreachable: dispatch.cpp never routes to a level compiled() rejects.
+void acc_panel_nibble_avx2(const BlockedGemmArgs&, std::int64_t, std::int64_t,
+                           std::int64_t*) {}
+void acc_panel_gather_avx2(const BlockedGemmArgs&, std::int64_t, std::int64_t,
+                           std::int64_t*) {}
+void grad_x_block_avx2(const GradXBlockArgs&) {}
+void grad_w_block_avx2(const GradWBlockArgs&) {}
+
+} // namespace amret::kernels::simd::detail
+
+#endif // __AVX2__

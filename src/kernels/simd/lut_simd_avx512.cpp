@@ -1,0 +1,124 @@
+/// \file lut_simd_avx512.cpp
+/// \brief AVX-512F leaf kernel (compiled with -mavx512f -ffp-contract=off).
+///
+/// Only the wide-operand forward widens here: 16 activation codes per
+/// gather, 8+8 int64 accumulator lanes. The nibble path stays on the AVX2
+/// byte-table copy (pshufb beats gathers for <=4-bit operands even at
+/// 512-bit width) and the backward walks reuse the AVX2 leaves — both
+/// routed by dispatch.cpp, so this TU carries a single kernel.
+
+#include "kernels/simd/simd_internal.hpp"
+
+#if defined(__AVX512F__)
+
+#include <immintrin.h>
+
+#include <algorithm>
+
+namespace amret::kernels::simd::detail {
+
+bool compiled_avx512() { return true; }
+
+void acc_panel_gather_avx512(const BlockedGemmArgs& a, std::int64_t rb,
+                             std::int64_t ob, std::int64_t* acc) {
+    const PanelPlan& xp = a.x.plan;
+    const PanelPlan& wp = a.w.plan;
+    const std::int64_t tp = xp.tr, to = wp.tr;
+    const std::int64_t orr = wp.block_rows(ob);
+    const std::int64_t kblocks = xp.depth_blocks();
+    const std::int64_t p16 = tp & ~std::int64_t{15};
+    const std::int64_t p8 = tp & ~std::int64_t{7};
+    std::fill(acc, acc + orr * tp, std::int64_t{0});
+    for (std::int64_t kb = 0; kb < kblocks; ++kb) {
+        const std::int64_t kr = xp.block_depth(kb);
+        const std::uint16_t* xpan = a.x.codes + xp.panel_offset(rb, kb);
+        const std::uint32_t* wpan = a.w.codes + wp.panel_offset(ob, kb);
+        for (std::int64_t oo = 0; oo < orr; ++oo) {
+            std::int64_t* arow = acc + oo * tp;
+            for (std::int64_t pp0 = 0; pp0 < p16; pp0 += 16) {
+                __m512i acc_lo = _mm512_setzero_si512();
+                __m512i acc_hi = _mm512_setzero_si512();
+                for (std::int64_t kk = 0; kk < kr; ++kk) {
+                    const std::uint32_t wcode = wpan[kk * to + oo];
+                    const __m256i x16 =
+                        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(
+                            xpan + kk * tp + pp0));
+                    const __m512i idx = _mm512_or_si512(
+                        _mm512_set1_epi32(static_cast<int>(wcode)),
+                        _mm512_cvtepu16_epi32(x16));
+                    const __m512i v = _mm512_i32gather_epi32(idx, a.lut, 4);
+                    acc_lo = _mm512_add_epi64(
+                        acc_lo,
+                        _mm512_cvtepi32_epi64(_mm512_castsi512_si256(v)));
+                    acc_hi = _mm512_add_epi64(
+                        acc_hi, _mm512_cvtepi32_epi64(
+                                    _mm512_extracti64x4_epi64(v, 1)));
+                }
+                _mm512_storeu_si512(
+                    arow + pp0,
+                    _mm512_add_epi64(_mm512_loadu_si512(arow + pp0), acc_lo));
+                _mm512_storeu_si512(
+                    arow + pp0 + 8,
+                    _mm512_add_epi64(_mm512_loadu_si512(arow + pp0 + 8),
+                                     acc_hi));
+            }
+            // One 8-lane group when tp % 16 >= 8 (-mavx512f implies AVX2).
+            for (std::int64_t pp0 = p16; pp0 < p8; pp0 += 8) {
+                __m256i acc_lo = _mm256_setzero_si256();
+                __m256i acc_hi = _mm256_setzero_si256();
+                for (std::int64_t kk = 0; kk < kr; ++kk) {
+                    const std::uint32_t wcode = wpan[kk * to + oo];
+                    const __m128i x8 =
+                        _mm_loadu_si128(reinterpret_cast<const __m128i*>(
+                            xpan + kk * tp + pp0));
+                    const __m256i idx = _mm256_or_si256(
+                        _mm256_set1_epi32(static_cast<int>(wcode)),
+                        _mm256_cvtepu16_epi32(x8));
+                    const __m256i v = _mm256_i32gather_epi32(
+                        reinterpret_cast<const int*>(a.lut), idx, 4);
+                    acc_lo = _mm256_add_epi64(
+                        acc_lo,
+                        _mm256_cvtepi32_epi64(_mm256_castsi256_si128(v)));
+                    acc_hi = _mm256_add_epi64(
+                        acc_hi,
+                        _mm256_cvtepi32_epi64(_mm256_extracti128_si256(v, 1)));
+                }
+                _mm256_storeu_si256(
+                    reinterpret_cast<__m256i*>(arow + pp0),
+                    _mm256_add_epi64(_mm256_loadu_si256(
+                                         reinterpret_cast<const __m256i*>(
+                                             arow + pp0)),
+                                     acc_lo));
+                _mm256_storeu_si256(
+                    reinterpret_cast<__m256i*>(arow + pp0 + 4),
+                    _mm256_add_epi64(_mm256_loadu_si256(
+                                         reinterpret_cast<const __m256i*>(
+                                             arow + pp0 + 4)),
+                                     acc_hi));
+            }
+            // Remaining lanes (tp % 8, incl. pads): scalar, still exact.
+            for (std::int64_t kk = 0; kk < kr && p8 < tp; ++kk) {
+                const std::int32_t* lrow = a.lut + wpan[kk * to + oo];
+                const std::uint16_t* xv = xpan + kk * tp;
+                for (std::int64_t pp = p8; pp < tp; ++pp)
+                    arow[pp] += lrow[xv[pp]];
+            }
+        }
+    }
+}
+
+} // namespace amret::kernels::simd::detail
+
+#else // !defined(__AVX512F__)
+
+namespace amret::kernels::simd::detail {
+
+bool compiled_avx512() { return false; }
+
+// Unreachable: dispatch.cpp never routes to a level compiled() rejects.
+void acc_panel_gather_avx512(const BlockedGemmArgs&, std::int64_t,
+                             std::int64_t, std::int64_t*) {}
+
+} // namespace amret::kernels::simd::detail
+
+#endif // __AVX512F__

@@ -1,0 +1,141 @@
+/// \file simd.hpp
+/// \brief Runtime-dispatched SIMD kernels for the blocked LUT-GEMM family.
+///
+/// The PR-8 blocked kernels walk panels with scalar loads: one product-LUT
+/// load per MAC in the forward, one gradient-LUT load per (grad, tap) in the
+/// backward. This subtree vectorizes those walks a la T-MAC / DeepGEMM:
+///
+///   - a pshufb-style in-register 16-entry LUT path for small-operand
+///     multipliers (bits <= 4): the activation codes are nibble-packed two
+///     per byte at panel-pack time (layout.hpp, ActPanels::packed4), the
+///     weight's 2^bits-entry product-LUT row is packed into one 16-byte
+///     register (all entries of a <=4-bit product LUT fit uint8), and one
+///     pshufb yields 16 products per instruction;
+///   - a gather path for 8x8 multipliers: 8/16 activation codes are widened,
+///     OR'd with the pre-shifted weight code and looked up with a vector
+///     gather, accumulating into 4 (AVX2) or 8 (AVX-512) independent int64
+///     lanes per step;
+///   - gather-vectorized gradient-LUT walks for the backward (AVX2+): lanes
+///     run across the depth axis, the compacted nonzero-gradient replay
+///     stays serial per lane, so every gx/gw element performs the scalar
+///     oracle's float additions in the scalar oracle's order.
+///
+/// Dispatch contract (DESIGN.md section 17). select() probes the CPU once
+/// (SSSE3 / AVX2 / AVX-512F via cpuid) and honours AMRET_SIMD=
+/// scalar|ssse3|avx2|avx512 as a *cap*: requesting a level the machine or
+/// build lacks falls back to the best supported level below it, with a typed
+/// warning through src/obs. Every entry point below returns false when the
+/// active level has no eligible kernel for the operands; callers then run
+/// the PR-8 blocked loops, which remain the bitwise-determinism oracle:
+///   - the forward accumulator is int64, so any lane split is exact and
+///     SIMD forward output memcmp-equals the scalar oracle;
+///   - the backward lanes preserve the per-element float op order, so
+///     gx/gw memcmp-equal the oracle too (tests/test_simd.cpp).
+///
+/// Raw vector intrinsics are confined to src/kernels/simd/ by
+/// scripts/check_invariants.py (rule simd-intrinsics); everything else goes
+/// through this seam.
+#pragma once
+
+#include "kernels/lut_kernels.hpp"
+
+#include <cstdint>
+
+namespace amret::kernels::simd {
+
+/// Instruction-set levels in dispatch order. kScalar always works and means
+/// "run the PR-8 blocked oracle".
+enum class Isa : int {
+    kScalar = 0,
+    kSsse3 = 1,
+    kAvx2 = 2,
+    kAvx512 = 3,
+};
+
+/// Lowercase level name ("scalar", "ssse3", "avx2", "avx512").
+const char* isa_name(Isa isa);
+
+/// Parses an AMRET_SIMD value. Returns false (out untouched) on an unknown
+/// string.
+bool parse_isa(const char* s, Isa* out);
+
+/// True when the level's kernels were compiled into this binary (x86 builds
+/// compile every level; other targets only kScalar).
+bool compiled(Isa isa);
+
+/// True when the running CPU reports the level's feature bits.
+bool cpu_supports(Isa isa);
+
+/// compiled() && cpu_supports() — the level select() may return.
+bool supported(Isa isa);
+
+/// Highest supported level on this machine/build.
+Isa max_supported();
+
+/// The process-wide dispatch level: AMRET_SIMD cap applied to the probed
+/// maximum, resolved once and cached. Overridable with set_isa_for_test.
+Isa select();
+
+/// Pure resolution of one AMRET_SIMD value against this machine (no cache,
+/// no env read): nullptr or unknown -> max_supported(); a known level ->
+/// the highest supported level <= it. Unknown/unsupported values emit a
+/// typed warning through src/obs. select() caches resolve_request(getenv).
+Isa resolve_request(const char* value);
+
+/// Test/tool hook: overrides select() process-wide. Call only while no
+/// kernels are running.
+void set_isa_for_test(Isa isa);
+void clear_isa_override();
+
+// ---------------------------------------------------------------- seams ----
+// Called by the blocked kernels (lut_kernels); each returns false when the
+// selected level has no eligible kernel, in which case the caller must run
+// the scalar blocked loop over the same region.
+
+/// Fills the int64 accumulator tile of block (rb, ob):
+/// acc[oo * x.plan.tr + pp] = sum_k LUT[w, x] over the real depth extent,
+/// for all physical rows (pad lanes accumulate LUT[w, 0]; callers never
+/// read them). \p acc must hold x.plan.tr * w.plan.tr int64s.
+bool accumulate_panel(const BlockedGemmArgs& a, std::int64_t rb,
+                      std::int64_t ob, std::int64_t* acc);
+
+/// One (position row, depth block) segment of the blocked grad-X walk: for
+/// kk in [0, kr), gxrow[kbase + kk] accumulates, over the compacted nonzero
+/// output gradients j in ascending order,
+///   g[j] * s[j] * (grad_x_lut[wcodes[off[j] + kb_off + kk*to] | xc(kk)] - zw[j])
+/// with xc(kk) = xpan[kk * tp + pr_rel].
+struct GradXBlockArgs {
+    const std::uint32_t* wcodes = nullptr; ///< full pre-shifted weight panels
+    const std::uint16_t* xpan = nullptr;   ///< activation panel (rb, kb)
+    const float* grad_x_lut = nullptr;
+    const std::int64_t* off = nullptr; ///< per-j weight panel-row offsets
+    const float* g = nullptr;          ///< per-j output gradients
+    const float* zw = nullptr;         ///< per-j weight zero points
+    const float* s = nullptr;          ///< per-j weight scales
+    std::int64_t cnt = 0;
+    std::int64_t kb_off = 0; ///< kb * w.plan.panel_elems()
+    std::int64_t kr = 0, to = 0, tp = 0;
+    std::int64_t pr_rel = 0, kbase = 0;
+    float* gxrow = nullptr;
+};
+bool grad_x_block(const GradXBlockArgs& a);
+
+/// One (output row, position block, depth block) segment of the blocked
+/// grad-W walk: for kk in [0, kr), gwrow[kbase + kk] accumulates, over the
+/// compacted nonzero position gradients j in ascending order,
+///   pg[j] * (grad_w_lut[wpan[kk*to + orel] | xpan[kk*tp + pidx[j]]] - zx)
+struct GradWBlockArgs {
+    const std::uint32_t* wpan = nullptr; ///< weight panel (wrb, kb)
+    const std::uint16_t* xpan = nullptr; ///< activation panel (rb, kb)
+    const float* grad_w_lut = nullptr;
+    const std::int64_t* pidx = nullptr; ///< per-j position lanes
+    const float* pg = nullptr;          ///< per-j output gradients
+    std::int64_t cnt = 0;
+    std::int64_t kr = 0, to = 0, tp = 0;
+    std::int64_t orel = 0, kbase = 0;
+    float zx = 0.0f;
+    float* gwrow = nullptr;
+};
+bool grad_w_block(const GradWBlockArgs& a);
+
+} // namespace amret::kernels::simd

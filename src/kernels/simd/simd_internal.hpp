@@ -1,0 +1,53 @@
+/// \file simd_internal.hpp
+/// \brief Per-ISA leaf kernel declarations, private to src/kernels/simd/.
+///
+/// Each leaf lives in its own translation unit compiled with that ISA's
+/// -m flags (see src/kernels/CMakeLists.txt), so the binary carries every
+/// level and dispatch.cpp picks at runtime. On targets where a level is not
+/// compiled (non-x86, or a toolchain without the intrinsics), the TU still
+/// provides the symbols: compiled_*() returns false and the leaves are
+/// unreachable stubs.
+#pragma once
+
+#include "kernels/simd/simd.hpp"
+
+#include <cstdint>
+
+namespace amret::kernels::simd::detail {
+
+bool compiled_ssse3();
+bool compiled_avx2();
+bool compiled_avx512();
+
+// Forward accumulation leaves. Contract of simd::accumulate_panel: fully
+// own the acc tile for block (rb, ob) — zero it, then accumulate the real
+// depth extent. Pad row lanes may accumulate LUT[w, 0] (in-bounds by
+// construction; callers never read pad lanes).
+
+/// pshufb 16-entry in-register LUT path (bits <= 4). Requires
+/// a.x.packed4 != nullptr, a.x.plan.tr % 16 == 0, and every product-LUT
+/// entry in [0, 255] (checked by the dispatcher).
+void acc_panel_nibble_ssse3(const BlockedGemmArgs& a, std::int64_t rb,
+                            std::int64_t ob, std::int64_t* acc);
+/// Same algorithm compiled VEX-encoded for AVX2-selected processes.
+void acc_panel_nibble_avx2(const BlockedGemmArgs& a, std::int64_t rb,
+                           std::int64_t ob, std::int64_t* acc);
+
+/// Vector-gather path for wide (e.g. 8x8) multipliers: 8 activation codes
+/// are widened, OR'd with the pre-shifted weight code and gathered from the
+/// product LUT, accumulating into 4+4 independent int64 lanes. Requires
+/// a.x.plan.tr >= 8.
+void acc_panel_gather_avx2(const BlockedGemmArgs& a, std::int64_t rb,
+                           std::int64_t ob, std::int64_t* acc);
+/// 16-lane AVX-512F variant (8+8 int64 accumulator lanes).
+void acc_panel_gather_avx512(const BlockedGemmArgs& a, std::int64_t rb,
+                             std::int64_t ob, std::int64_t* acc);
+
+// Backward leaves (AVX2): vectorize across 8 independent depth lanes while
+// replaying the compacted nonzero gradients serially per lane — every
+// gx/gw element performs the scalar oracle's float ops in the oracle's
+// order, so results are bitwise-identical.
+void grad_x_block_avx2(const GradXBlockArgs& a);
+void grad_w_block_avx2(const GradWBlockArgs& a);
+
+} // namespace amret::kernels::simd::detail

@@ -1,9 +1,14 @@
 #include "kernels/tuning.hpp"
 
+#include "kernels/simd/simd.hpp"
+#include "obs/obs.hpp"
+
+#include <algorithm>
 #include <atomic>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <string>
 
 namespace amret::kernels {
 
@@ -15,9 +20,7 @@ namespace {
 constexpr std::int64_t kMaxTileRows = 512;
 constexpr std::int64_t kMaxTileDepth = 1 << 20;
 
-std::int64_t clamp_tile(std::int64_t v, std::int64_t hi, std::int64_t fallback) {
-    return v >= 1 && v <= hi ? v : fallback;
-}
+bool tile_in_range(std::int64_t v, std::int64_t hi) { return v >= 1 && v <= hi; }
 
 /// Parses "PxOxK" (also accepts ',' separators). Returns false on malformed
 /// input, leaving \p t untouched.
@@ -55,20 +58,71 @@ bool find_json_int(const char* buf, const char* key, std::int64_t* out) {
     return true;
 }
 
-bool load_tuning_file(const char* path, Tuning& t) {
-    std::FILE* f = std::fopen(path, "rb");
-    if (f == nullptr) return false;
-    char buf[2048];
-    const std::size_t n = std::fread(buf, 1, sizeof(buf) - 1, f);
-    std::fclose(f);
-    buf[n] = '\0';
+/// Parses tp/to/tk out of \p buf into \p t. Returns false when any field is
+/// missing or unparseable (t untouched in that case).
+bool parse_tile_fields(const char* buf, Tuning& t) {
     std::int64_t tp = 0, to = 0, tk = 0;
     if (!find_json_int(buf, "\"tp\"", &tp) || !find_json_int(buf, "\"to\"", &to) ||
         !find_json_int(buf, "\"tk\"", &tk))
         return false;
-    t.tp = clamp_tile(tp, kMaxTileRows, t.tp);
-    t.to = clamp_tile(to, kMaxTileRows, t.to);
-    t.tk = clamp_tile(tk, kMaxTileDepth, t.tk);
+    t.tp = tp;
+    t.to = to;
+    t.tk = tk;
+    return true;
+}
+
+/// Loads the auto-tuner file. A missing file is the normal un-tuned state
+/// and stays silent; a file that exists but cannot be parsed, or carries
+/// out-of-range tiles, is REJECTED WHOLE with a typed warning (obs) and the
+/// caller's defaults stand — a corrupt tuner file must never half-apply.
+///
+/// The file may carry per-ISA refinements next to the top-level pick:
+///   { "tp": .., "to": .., "tk": ..,
+///     "isa": { "avx2": { "tp": .., "to": .., "tk": .. }, ... } }
+/// The block matching kernels::simd::select() wins when present and
+/// complete; the top-level fields are the portable fallback.
+bool load_tuning_file(const char* path, Tuning& t) {
+    std::FILE* f = std::fopen(path, "rb");
+    if (f == nullptr) return false;
+    char buf[4096];
+    const std::size_t n = std::fread(buf, 1, sizeof(buf) - 1, f);
+    std::fclose(f);
+    buf[n] = '\0';
+    Tuning parsed = t;
+    if (!parse_tile_fields(buf, parsed)) {
+        obs::warn_once("tuning.file_malformed",
+                       std::string(path) + // invariant-ok: once-per-process warning, not a kernel loop
+                           " exists but has no parseable tp/to/tk fields; "
+                           "keeping default tiles");
+        return false;
+    }
+    // Per-ISA refinement: cut the `"<isa>": { ... }` span out of the buffer
+    // and re-parse within it, so its fields shadow the top-level pick.
+    const std::string isa_key = // invariant-ok: once-per-process file load
+        std::string("\"") + simd::isa_name(simd::select()) + "\""; // invariant-ok: once-per-process file load
+    if (const char* at = std::strstr(buf, isa_key.c_str()); at != nullptr) {
+        if (const char* open = std::strchr(at, '{'); open != nullptr) {
+            if (const char* close = std::strchr(open, '}'); close != nullptr) {
+                char sub[512];
+                const std::size_t len =
+                    std::min(static_cast<std::size_t>(close - open),
+                             sizeof(sub) - 1);
+                std::memcpy(sub, open, len);
+                sub[len] = '\0';
+                parse_tile_fields(sub, parsed);
+            }
+        }
+    }
+    if (!tile_in_range(parsed.tp, kMaxTileRows) ||
+        !tile_in_range(parsed.to, kMaxTileRows) ||
+        !tile_in_range(parsed.tk, kMaxTileDepth)) {
+        obs::warn_once("tuning.file_invalid_tiles",
+                       std::string(path) + // invariant-ok: once-per-process warning, not a kernel loop
+                           " carries out-of-range tile dims; keeping default "
+                           "tiles");
+        return false;
+    }
+    t = parsed;
     return true;
 }
 

@@ -67,7 +67,11 @@ namespace amret::kernels {
 ///   1. AMRET_TILES=PxOxK (e.g. "16x64x1024") — explicit override;
 ///   2. the persistent auto-tuner file written by bench_micro --tile-sweep
 ///      (results/kernel_tuning.json, or the path in AMRET_TUNING_FILE);
+///      when the file carries a per-ISA block matching the active SIMD
+///      dispatch level (kernels::simd::select()), that block's tiles win;
 ///   3. the compiled tune::kTile* defaults.
+/// A tuner file that exists but is malformed or out-of-range is rejected
+/// whole with a typed warning (obs::warn_once) and the defaults stand.
 /// Tile dimensions only re-block integer-accumulated or order-preserving
 /// loops (see lut_kernels.hpp), so any resolved pick is numerically safe.
 struct Tuning {
@@ -98,7 +102,9 @@ enum class LayoutMode {
 
 /// Process-wide layout mode: AMRET_LAYOUT=scalar|blocked|blocked-nhwc
 /// (default blocked), resolved once; set_layout_mode overrides (tests/bench,
-/// call only between kernel invocations).
+/// call only between kernel invocations). The sibling knob
+/// AMRET_SIMD=scalar|ssse3|avx2|avx512 caps which vector kernels run on the
+/// blocked layouts (kernels/simd/simd.hpp); both are bitwise-neutral.
 LayoutMode layout_mode();
 void set_layout_mode(LayoutMode mode);
 void clear_layout_mode_override();

@@ -1,10 +1,12 @@
 #include "obs/obs.hpp"
 
+#include "util/logging.hpp"
 #include "util/table.hpp"
 
 #include <map>
 #include <memory>
 #include <mutex>
+#include <set>
 
 namespace amret::obs {
 
@@ -101,6 +103,19 @@ std::string counters_table() {
         ++rows;
     }
     return rows == 0 ? std::string() : table.str();
+}
+
+void warn_once(std::string_view code, std::string_view message) {
+    counter(std::string("warn.") + std::string(code)).add(1);
+    static std::mutex mutex;
+    static std::set<std::string, std::less<>>* seen =
+        new std::set<std::string, std::less<>>(); // leaked: see registry()
+    bool first = false;
+    {
+        std::lock_guard<std::mutex> lock(mutex);
+        first = seen->emplace(code).second;
+    }
+    if (first) util::log_warn("[", code, "] ", message);
 }
 
 } // namespace amret::obs

@@ -112,6 +112,13 @@ void reset_counters();
 /// when nothing was recorded).
 std::string counters_table();
 
+/// Typed warning: logs \p message (util::log_warn) the first time each
+/// distinct \p code fires in the process, and always bumps the counter
+/// `warn.<code>` so tests and exporters can observe the condition without
+/// scraping stderr. Codes are short dotted identifiers
+/// ("tuning.file_malformed", "simd.env_unsupported", ...). Thread-safe.
+void warn_once(std::string_view code, std::string_view message);
+
 } // namespace amret::obs
 
 // Hot-path instrumentation macros. They (and only they) compile out under

@@ -1,8 +1,10 @@
 #include "serve/serve.hpp"
 
+#include "kernels/simd/simd.hpp"
 #include "kernels/workspace.hpp"
 #include "obs/obs.hpp"
 #include "obs/trace.hpp"
+#include "util/logging.hpp"
 
 #include <algorithm>
 #include <cstring>
@@ -80,6 +82,13 @@ InferenceServer::InferenceServer(ModelRegistry& registry, ServeConfig config)
     workers_.reserve(config_.workers);
     for (std::size_t i = 0; i < config_.workers; ++i)
         workers_.push_back(std::make_unique<Worker>());
+
+    // One startup line pinning the kernel dispatch level this server runs
+    // at: batch latencies are meaningless in a bug report without it, and it
+    // surfaces an AMRET_SIMD typo (which warns and falls back) immediately.
+    util::log_info("serve: ", config_.workers, " workers, ",
+                   config_.queue_shards, " shards, SIMD dispatch ",
+                   kernels::simd::isa_name(kernels::simd::select()));
 
     coalescer_thread_ = std::thread([this] { coalescer_loop(); });
     worker_threads_.reserve(config_.workers);

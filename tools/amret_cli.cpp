@@ -24,12 +24,17 @@
 ///   explore [--mults a,b ...]     sensitivity-guided mixed-precision DSE:
 ///                                 per-layer multiplier assignments, Pareto
 ///                                 front on accuracy vs area
+///   simd-info [--check isa]       SIMD dispatch capability table; with
+///                                 --check, exit 0 iff that exact level is
+///                                 supported (the CI matrix probe)
 ///
 /// Examples:
 ///   amret_cli info mul7u_rm6
 ///   amret_cli synth --bits 6 --nmed 0.4 --out mult.v
 ///   amret_cli check mul8u_2NDH --hws 16
 #include "amret.hpp"
+
+#include "kernels/simd/simd.hpp"
 
 #include <algorithm>
 #include <cstdio>
@@ -885,6 +890,40 @@ int cmd_check(const util::ArgParser& args) {
     return failed == 0 ? 0 : 1;
 }
 
+/// Prints the per-level SIMD capability table (compiled / cpu / supported)
+/// and the active dispatch pick — which already reflects AMRET_SIMD, so the
+/// table doubles as an env-var debugging aid. With --check <isa> the exit
+/// status becomes the probe result: 0 only when that exact level would run.
+/// The CI simd-dispatch matrix uses the probe to decide between running
+/// tier-1 under AMRET_SIMD=<isa> and skipping the leg with a notice.
+int cmd_simd_info(const util::ArgParser& args) {
+    using kernels::simd::Isa;
+    const Isa active = kernels::simd::select();
+    std::printf("%-8s %-9s %-4s %-10s %s\n", "isa", "compiled", "cpu",
+                "supported", "active");
+    for (const Isa isa : {Isa::kScalar, Isa::kSsse3, Isa::kAvx2, Isa::kAvx512})
+        std::printf("%-8s %-9s %-4s %-10s %s\n", kernels::simd::isa_name(isa),
+                    kernels::simd::compiled(isa) ? "yes" : "no",
+                    kernels::simd::cpu_supports(isa) ? "yes" : "no",
+                    kernels::simd::supported(isa) ? "yes" : "no",
+                    isa == active ? "*" : "");
+    const std::string want = args.get("check", "");
+    if (!want.empty()) {
+        Isa req = Isa::kScalar;
+        if (!kernels::simd::parse_isa(want.c_str(), &req)) {
+            std::fprintf(stderr,
+                         "unknown ISA '%s' (scalar|ssse3|avx2|avx512)\n",
+                         want.c_str());
+            return 2;
+        }
+        const bool ok = kernels::simd::supported(req);
+        std::printf("check %s: %s\n", want.c_str(),
+                    ok ? "supported" : "unsupported");
+        return ok ? 0 : 1;
+    }
+    return 0;
+}
+
 void usage() {
     std::fputs(
         "usage: amret_cli <command> [args]\n"
@@ -931,6 +970,11 @@ void usage() {
         "                               sensitivity-guided mixed-precision\n"
         "                               search; emits the accuracy-vs-area\n"
         "                               Pareto front (CSV + BENCH_explore.json)\n"
+        "  simd-info [--check isa]      SIMD dispatch capability table\n"
+        "                               (compiled/cpu/supported per level +\n"
+        "                               the active pick under AMRET_SIMD);\n"
+        "                               --check exits 0 iff that level is\n"
+        "                               supported (CI matrix probe)\n"
         "global flags:\n"
         "  --threads N                  worker threads (0 = auto; env AMRET_THREADS)\n",
         stderr);
@@ -966,6 +1010,7 @@ int main(int argc, char** argv) {
     if (command == "train") return cmd_train(args);
     if (command == "serve") return cmd_serve(args);
     if (command == "explore") return cmd_explore(args);
+    if (command == "simd-info") return cmd_simd_info(args);
     usage();
     return 1;
 }
